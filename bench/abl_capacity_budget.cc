@@ -1,0 +1,88 @@
+// Ablation A3 (DESIGN.md): triage-queue capacity and synopsis resolution.
+// Queue capacity governs how much of a burst the engine can absorb before
+// shedding begins (and how stale kept tuples may get before their window's
+// deadline); the grid cell width sets the error floor the shadow estimate
+// converges to under saturation.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace datatriage::bench {
+namespace {
+
+constexpr int kSeeds = 5;
+constexpr double kAggregateRate = 800.0;  // ~2x engine capacity
+
+void Run() {
+  PrintHeader("Ablation A3a: triage queue capacity (Data Triage, 800/s)",
+              "capacity");
+  for (size_t capacity : {10u, 25u, 50u, 100u, 200u, 400u}) {
+    workload::ScenarioConfig scenario;
+    scenario.tuples_per_stream = 1500;
+    scenario.tuples_per_window = 60.0;
+    scenario.rate_per_stream = kAggregateRate / 3.0;
+
+    engine::EngineConfig config;
+    config.strategy = triage::SheddingStrategy::kDataTriage;
+    config.queue_capacity = capacity;
+    config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+    config.synopsis.grid.cell_width = 4.0;
+
+    metrics::MeanStd stats =
+        metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
+    PrintRow("queue_cap", static_cast<double>(capacity), stats);
+  }
+
+  PrintHeader(
+      "Ablation A3b: triage queue capacity (Data Triage, bursty peak "
+      "6000/s)",
+      "capacity");
+  for (size_t capacity : {10u, 25u, 50u, 100u, 200u, 400u}) {
+    workload::ScenarioConfig scenario;
+    scenario.tuples_per_stream = 1500;
+    scenario.tuples_per_window = 60.0;
+    scenario.bursty = true;
+    scenario.burst.base_rate = 20.0;
+
+    engine::EngineConfig config;
+    config.strategy = triage::SheddingStrategy::kDataTriage;
+    config.queue_capacity = capacity;
+    config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+    config.synopsis.grid.cell_width = 4.0;
+
+    metrics::MeanStd stats =
+        metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
+    PrintRow("queue_cap", static_cast<double>(capacity), stats);
+  }
+
+  PrintHeader(
+      "Ablation A3c: grid cell width / synopsis budget (Data Triage, "
+      "800/s)",
+      "cell_width");
+  for (double width : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    workload::ScenarioConfig scenario;
+    scenario.tuples_per_stream = 1500;
+    scenario.tuples_per_window = 60.0;
+    scenario.rate_per_stream = kAggregateRate / 3.0;
+
+    engine::EngineConfig config;
+    config.strategy = triage::SheddingStrategy::kDataTriage;
+    config.queue_capacity = 100;
+    config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+    config.synopsis.grid.cell_width = width;
+
+    metrics::MeanStd stats =
+        metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
+    PrintRow("grid_width", width, stats);
+  }
+}
+
+}  // namespace
+}  // namespace datatriage::bench
+
+int main() {
+  datatriage::bench::Run();
+  return 0;
+}

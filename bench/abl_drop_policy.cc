@@ -1,0 +1,68 @@
+// Ablation A2 (DESIGN.md): victim-selection policy for the triage queue.
+// The paper's build uses random victims (Sec. 5.2.1); Sec. 8.1 argues
+// Data Triage tolerates biased policies because victims are synopsized
+// rather than lost — whereas drop-only shedding pays the full price for a
+// biased sample. This bench runs the bursty workload under every policy
+// for both Data Triage and drop-only.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace datatriage::bench {
+namespace {
+
+constexpr int kSeeds = 5;
+
+void Run() {
+  const triage::SheddingStrategy kStrategies[] = {
+      triage::SheddingStrategy::kDataTriage,
+      triage::SheddingStrategy::kDropOnly,
+  };
+
+  PrintHeader("Ablation A2: drop policy x strategy (bursty, peak 6000/s)",
+              "peak t/s");
+  for (triage::SheddingStrategy strategy : kStrategies) {
+    std::vector<triage::DropPolicyKind> policies = {
+        triage::DropPolicyKind::kRandom,
+        triage::DropPolicyKind::kDropNewest,
+        triage::DropPolicyKind::kDropOldest,
+    };
+    // The synergistic policy consults the dropped synopses, so it only
+    // exists under synopsizing strategies.
+    if (strategy == triage::SheddingStrategy::kDataTriage) {
+      policies.push_back(triage::DropPolicyKind::kSynergistic);
+    }
+    for (triage::DropPolicyKind policy : policies) {
+      workload::ScenarioConfig scenario;
+      scenario.tuples_per_stream = 1500;
+      scenario.tuples_per_window = 60.0;
+      scenario.bursty = true;
+      scenario.burst.base_rate = 20.0;  // 6000/s aggregate peak
+
+      engine::EngineConfig config;
+      config.strategy = strategy;
+      config.queue_capacity = 100;
+      config.drop_policy = policy;
+      config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+      config.synopsis.grid.cell_width = 4.0;
+
+      metrics::MeanStd stats =
+          metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
+      const std::string label =
+          std::string(triage::SheddingStrategyToString(strategy)) + "/" +
+          std::string(triage::DropPolicyKindToString(policy));
+      PrintRow(label, 6000.0, stats);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datatriage::bench
+
+int main() {
+  datatriage::bench::Run();
+  return 0;
+}

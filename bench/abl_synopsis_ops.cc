@@ -1,0 +1,127 @@
+// Ablation A4 (DESIGN.md): raw throughput of the synopsis-algebra
+// operations per synopsis family. Underpins the paper's Sec. 5.2.2
+// requirements: inserts must be much cheaper than exact per-tuple join
+// work, and joins must stay fast and produce compact results. The
+// unaligned-MHIST join's bucket blowup is directly visible here.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/synopsis/factory.h"
+#include "tests/test_util.h"
+
+namespace datatriage::bench {
+namespace {
+
+Schema OneCol() { return Schema({{"a", FieldType::kInt64}}); }
+
+synopsis::SynopsisConfig ConfigFor(int kind) {
+  synopsis::SynopsisConfig config;
+  switch (kind) {
+    case 0:
+      config.type = synopsis::SynopsisType::kGridHistogram;
+      config.grid.cell_width = 4.0;
+      break;
+    case 1:
+      config.type = synopsis::SynopsisType::kMHist;
+      config.mhist.max_buckets = 64;
+      break;
+    case 2:
+      config.type = synopsis::SynopsisType::kAlignedMHist;
+      config.mhist.max_buckets = 64;
+      config.mhist.alignment_step = 4.0;
+      break;
+    default:
+      config.type = synopsis::SynopsisType::kReservoirSample;
+      config.reservoir.capacity = 64;
+      break;
+  }
+  return config;
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "grid";
+    case 1:
+      return "mhist";
+    case 2:
+      return "aligned_mhist";
+    default:
+      return "reservoir";
+  }
+}
+
+synopsis::SynopsisPtr BuildFilled(int kind, int64_t tuples, Rng* rng) {
+  auto made = synopsis::MakeSynopsis(ConfigFor(kind), OneCol());
+  DT_CHECK(made.ok());
+  for (int64_t i = 0; i < tuples; ++i) {
+    (*made)->Insert(testing::Row({rng->UniformInt(1, 100)}));
+  }
+  return std::move(made).value();
+}
+
+void BM_Insert(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto synopsis = BuildFilled(kind, 1000, &rng);
+    benchmark::DoNotOptimize(synopsis);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel(KindName(kind));
+}
+
+void BM_EquiJoin(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  Rng rng(2);
+  auto left = BuildFilled(kind, 1000, &rng);
+  auto right = BuildFilled(kind, 1000, &rng);
+  size_t result_cells = 0;
+  for (auto _ : state) {
+    auto joined = left->EquiJoinWith(*right, {{0, 0}}, nullptr);
+    DT_CHECK(joined.ok());
+    result_cells = (*joined)->SizeInCells();
+    benchmark::DoNotOptimize(joined);
+  }
+  state.counters["result_cells"] = static_cast<double>(result_cells);
+  state.SetLabel(KindName(kind));
+}
+
+void BM_UnionAll(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  Rng rng(3);
+  auto left = BuildFilled(kind, 1000, &rng);
+  auto right = BuildFilled(kind, 1000, &rng);
+  for (auto _ : state) {
+    auto merged = left->UnionAllWith(*right, nullptr);
+    DT_CHECK(merged.ok());
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetLabel(KindName(kind));
+}
+
+void BM_EstimateGroups(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  Rng rng(4);
+  auto synopsis = BuildFilled(kind, 1000, &rng);
+  for (auto _ : state) {
+    auto groups =
+        synopsis->EstimateGroups({0}, {synopsis::kCountOnlyColumn});
+    DT_CHECK(groups.ok());
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetLabel(KindName(kind));
+}
+
+BENCHMARK(BM_Insert)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EquiJoin)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_UnionAll)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EstimateGroups)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace datatriage::bench
+
+BENCHMARK_MAIN();

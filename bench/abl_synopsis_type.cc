@@ -1,0 +1,123 @@
+// Ablation A1 (DESIGN.md): how the synopsis family and resolution affect
+// Data Triage's result quality, on the Fig. 8/9 workloads at a fixed
+// overload point. Exercises the paper's Sec. 8.1 discussion: "using a
+// more advanced synopsis ... will improve result quality under heavy
+// load, as long as we take care to keep the synopsis cheap" — an
+// expensive synopsis steals processing capacity, so its virtual-time cost
+// feeds back into how much data must be shed.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace datatriage::bench {
+namespace {
+
+constexpr int kSeeds = 5;
+
+struct Variant {
+  std::string label;
+  synopsis::SynopsisConfig config;
+};
+
+std::vector<Variant> Variants() {
+  std::vector<Variant> variants;
+  for (double width : {2.0, 4.0, 8.0}) {
+    Variant v;
+    v.label = "grid_w" + std::to_string(static_cast<int>(width));
+    v.config.type = synopsis::SynopsisType::kGridHistogram;
+    v.config.grid.cell_width = width;
+    variants.push_back(std::move(v));
+  }
+  {
+    Variant v;
+    v.label = "mhist_64";
+    v.config.type = synopsis::SynopsisType::kMHist;
+    v.config.mhist.max_buckets = 64;
+    variants.push_back(std::move(v));
+  }
+  {
+    // The paper's "untuned" MHIST: a budget so generous that unaligned
+    // join blowups eat processing capacity, forcing extra shedding.
+    Variant v;
+    v.label = "mhist_512";
+    v.config.type = synopsis::SynopsisType::kMHist;
+    v.config.mhist.max_buckets = 512;
+    variants.push_back(std::move(v));
+  }
+  {
+    Variant v;
+    v.label = "aligned_mhist";
+    v.config.type = synopsis::SynopsisType::kAlignedMHist;
+    v.config.mhist.max_buckets = 64;
+    v.config.mhist.alignment_step = 4.0;
+    variants.push_back(std::move(v));
+  }
+  {
+    Variant v;
+    v.label = "avi_w4";
+    v.config.type = synopsis::SynopsisType::kAviHistogram;
+    v.config.avi.cell_width = 4.0;
+    variants.push_back(std::move(v));
+  }
+  {
+    Variant v;
+    v.label = "reservoir_64";
+    v.config.type = synopsis::SynopsisType::kReservoirSample;
+    v.config.reservoir.capacity = 64;
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+void Run() {
+  PrintHeader(
+      "Ablation A1: synopsis family under Data Triage (constant rate)",
+      "tuples/s");
+  for (const Variant& variant : Variants()) {
+    for (double aggregate_rate : {600.0, 1200.0}) {
+      workload::ScenarioConfig scenario;
+      scenario.tuples_per_stream = 1500;
+      scenario.tuples_per_window = 60.0;
+      scenario.rate_per_stream = aggregate_rate / 3.0;
+
+      engine::EngineConfig config;
+      config.strategy = triage::SheddingStrategy::kDataTriage;
+      config.queue_capacity = 100;
+      config.synopsis = variant.config;
+
+      metrics::MeanStd stats =
+          metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
+      PrintRow(variant.label, aggregate_rate, stats);
+    }
+  }
+
+  PrintHeader("Ablation A1: synopsis family under Data Triage (bursty)",
+              "peak t/s");
+  for (const Variant& variant : Variants()) {
+    workload::ScenarioConfig scenario;
+    scenario.tuples_per_stream = 1500;
+    scenario.tuples_per_window = 60.0;
+    scenario.bursty = true;
+    scenario.burst.base_rate = 20.0;  // 6000/s aggregate peak
+
+    engine::EngineConfig config;
+    config.strategy = triage::SheddingStrategy::kDataTriage;
+    config.queue_capacity = 100;
+    config.synopsis = variant.config;
+
+    metrics::MeanStd stats =
+        metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
+    PrintRow(variant.label, 6000.0, stats);
+  }
+}
+
+}  // namespace
+}  // namespace datatriage::bench
+
+int main() {
+  datatriage::bench::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "src/metrics/ideal.h"
+#include "src/metrics/rms.h"
+#include "src/plan/binder.h"
+#include "src/sql/parser.h"
+
+namespace datatriage::bench {
+
+RunResult RunScenario(const workload::Scenario& scenario,
+                      const engine::EngineConfig& config) {
+  auto engine = engine::ContinuousQueryEngine::Make(scenario.catalog,
+                                                    scenario.query_sql,
+                                                    config);
+  DT_CHECK(engine.ok()) << engine.status().ToString();
+  for (const engine::StreamEvent& event : scenario.events) {
+    Status s = (*engine)->Push(event);
+    DT_CHECK(s.ok()) << s.ToString();
+  }
+  Status s = (*engine)->Finish();
+  DT_CHECK(s.ok()) << s.ToString();
+  std::vector<engine::WindowResult> results = (*engine)->TakeResults();
+
+  auto stmt = sql::ParseStatement(scenario.query_sql);
+  DT_CHECK(stmt.ok()) << stmt.status().ToString();
+  auto bound = plan::BindStatement(*stmt, scenario.catalog);
+  DT_CHECK(bound.ok()) << bound.status().ToString();
+  auto ideal = metrics::ComputeIdealResults(*bound, scenario.events,
+                                            scenario.window_seconds);
+  DT_CHECK(ideal.ok()) << ideal.status().ToString();
+  const size_t group_columns = bound->group_by.size();
+  auto rms = metrics::RmsError(*ideal, results, group_columns,
+                               metrics::ResultChannel::kMerged);
+  DT_CHECK(rms.ok()) << rms.status().ToString();
+
+  RunResult out;
+  out.rms = rms.value();
+  out.tuples_dropped = (*engine)->stats().tuples_dropped;
+  out.tuples_kept = (*engine)->stats().tuples_kept;
+  return out;
+}
+
+std::vector<double> RunSeeds(workload::ScenarioConfig scenario_config,
+                             engine::EngineConfig engine_config,
+                             int seeds) {
+  std::vector<double> rms_values;
+  rms_values.reserve(static_cast<size_t>(seeds));
+  for (int seed = 1; seed <= seeds; ++seed) {
+    scenario_config.seed = static_cast<uint64_t>(seed);
+    engine_config.seed = static_cast<uint64_t>(seed) * 7919;
+    auto scenario = workload::BuildPaperScenario(scenario_config);
+    DT_CHECK(scenario.ok()) << scenario.status().ToString();
+    rms_values.push_back(RunScenario(*scenario, engine_config).rms);
+  }
+  return rms_values;
+}
+
+void PrintRow(const std::string& series, double x,
+              const metrics::MeanStd& stats) {
+  std::printf("%-16s %10.1f %12.3f %12.3f %6zu\n", series.c_str(), x,
+              stats.mean, stats.stddev, stats.n);
+}
+
+void PrintHeader(const std::string& title, const std::string& x_label) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-16s %10s %12s %12s %6s\n", "series", x_label.c_str(),
+              "rms_mean", "rms_stddev", "runs");
+}
+
+}  // namespace datatriage::bench

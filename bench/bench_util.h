@@ -1,0 +1,42 @@
+#ifndef DATATRIAGE_BENCH_BENCH_UTIL_H_
+#define DATATRIAGE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/metrics/stats.h"
+#include "src/workload/scenario.h"
+
+namespace datatriage::bench {
+
+/// Outcome of one engine run scored against the ideal results.
+struct RunResult {
+  double rms = 0.0;
+  int64_t tuples_dropped = 0;
+  int64_t tuples_kept = 0;
+};
+
+/// Runs one scenario through the engine under `config` and scores the
+/// merged results against the ideal (no-shedding) answer. CHECK-fails on
+/// internal errors: benchmarks have no useful way to continue.
+RunResult RunScenario(const workload::Scenario& scenario,
+                      const engine::EngineConfig& config);
+
+/// Runs `seeds` repetitions of a scenario configuration (re-seeding both
+/// the workload and the engine per repetition, as the paper does) and
+/// returns the per-seed RMS errors.
+std::vector<double> RunSeeds(workload::ScenarioConfig scenario_config,
+                             engine::EngineConfig engine_config,
+                             int seeds);
+
+/// Prints one row of a results table: label, x value, mean +/- stddev.
+void PrintRow(const std::string& series, double x,
+              const metrics::MeanStd& stats);
+
+/// Prints the standard table header used by the figure benches.
+void PrintHeader(const std::string& title, const std::string& x_label);
+
+}  // namespace datatriage::bench
+
+#endif  // DATATRIAGE_BENCH_BENCH_UTIL_H_

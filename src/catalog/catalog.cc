@@ -1,0 +1,37 @@
+#include "src/catalog/catalog.h"
+
+#include "src/common/string_util.h"
+
+namespace datatriage {
+
+// SQL identifiers are case-insensitive (the lexer lower-cases unquoted
+// names), so the catalog canonicalizes every stream name to lower case.
+
+Status Catalog::RegisterStream(StreamDef def) {
+  def.name = ToLowerAscii(def.name);
+  if (streams_.count(def.name) > 0) {
+    return Status::AlreadyExists("stream '" + def.name +
+                                 "' is already registered");
+  }
+  registration_order_.push_back(def.name);
+  streams_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Result<StreamDef> Catalog::GetStream(const std::string& name) const {
+  auto it = streams_.find(ToLowerAscii(name));
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasStream(const std::string& name) const {
+  return streams_.count(ToLowerAscii(name)) > 0;
+}
+
+std::vector<std::string> Catalog::StreamNames() const {
+  return registration_order_;
+}
+
+}  // namespace datatriage

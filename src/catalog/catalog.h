@@ -1,0 +1,43 @@
+#ifndef DATATRIAGE_CATALOG_CATALOG_H_
+#define DATATRIAGE_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/catalog/stream_def.h"
+#include "src/common/result.h"
+
+namespace datatriage {
+
+/// Registry of stream definitions known to one engine instance. The SQL
+/// binder resolves FROM-clause names against a Catalog.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = default;
+  Catalog& operator=(const Catalog&) = default;
+
+  /// Registers a stream. Returns kAlreadyExists on a duplicate name.
+  Status RegisterStream(StreamDef def);
+
+  /// Looks up a stream by name (case-sensitive, as in PostgreSQL with
+  /// quoted identifiers; the parser lower-cases unquoted identifiers).
+  Result<StreamDef> GetStream(const std::string& name) const;
+
+  bool HasStream(const std::string& name) const;
+
+  /// Stream names in registration order.
+  std::vector<std::string> StreamNames() const;
+
+  size_t num_streams() const { return streams_.size(); }
+
+ private:
+  std::map<std::string, StreamDef> streams_;
+  std::vector<std::string> registration_order_;
+};
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_CATALOG_CATALOG_H_

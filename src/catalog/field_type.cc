@@ -1,0 +1,48 @@
+#include "src/catalog/field_type.h"
+
+#include <string>
+
+#include "src/common/string_util.h"
+
+namespace datatriage {
+
+std::string_view FieldTypeToString(FieldType type) {
+  switch (type) {
+    case FieldType::kInt64:
+      return "INTEGER";
+    case FieldType::kDouble:
+      return "DOUBLE";
+    case FieldType::kString:
+      return "VARCHAR";
+    case FieldType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "UNKNOWN";
+}
+
+Result<FieldType> FieldTypeFromString(std::string_view name) {
+  const std::string lower = ToLowerAscii(name);
+  if (lower == "integer" || lower == "int" || lower == "bigint" ||
+      lower == "int8" || lower == "int4") {
+    return FieldType::kInt64;
+  }
+  if (lower == "double" || lower == "float" || lower == "real" ||
+      lower == "float8") {
+    return FieldType::kDouble;
+  }
+  if (lower == "varchar" || lower == "text" || lower == "string" ||
+      lower == "cstring") {
+    return FieldType::kString;
+  }
+  if (lower == "timestamp") {
+    return FieldType::kTimestamp;
+  }
+  return Status::ParseError("unknown SQL type name: " + std::string(name));
+}
+
+bool IsNumericType(FieldType type) {
+  return type == FieldType::kInt64 || type == FieldType::kDouble ||
+         type == FieldType::kTimestamp;
+}
+
+}  // namespace datatriage

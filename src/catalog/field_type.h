@@ -1,0 +1,34 @@
+#ifndef DATATRIAGE_CATALOG_FIELD_TYPE_H_
+#define DATATRIAGE_CATALOG_FIELD_TYPE_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace datatriage {
+
+/// Column types supported by the mini engine. The paper's experiments use
+/// integer-valued fields in [1, 100]; DOUBLE/STRING/TIMESTAMP round out the
+/// engine so examples can model realistic streams (packet sizes, symbols,
+/// arrival times).
+enum class FieldType {
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+};
+
+/// Canonical SQL spelling ("INTEGER", "DOUBLE", "VARCHAR", "TIMESTAMP").
+std::string_view FieldTypeToString(FieldType type);
+
+/// Parses a SQL type name, case-insensitively. Accepts common aliases
+/// (INT, BIGINT, FLOAT, REAL, TEXT).
+Result<FieldType> FieldTypeFromString(std::string_view name);
+
+/// True for types on which the synopsis structures can build histograms
+/// (numeric and timestamp types).
+bool IsNumericType(FieldType type);
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_CATALOG_FIELD_TYPE_H_

@@ -1,0 +1,60 @@
+#include "src/catalog/schema.h"
+
+#include <string>
+
+namespace datatriage {
+
+Result<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) +
+                          "' in schema [" + ToString() + "]");
+}
+
+bool Schema::HasField(std::string_view name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+Status Schema::AddField(Field field) {
+  if (HasField(field.name)) {
+    return Status::AlreadyExists("duplicate column name '" + field.name +
+                                 "'");
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Result<Schema> Schema::Concat(const Schema& other) const {
+  Schema combined = *this;
+  for (const Field& f : other.fields_) {
+    DT_RETURN_IF_ERROR(combined.AddField(f));
+  }
+  return combined;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const std::string& name : names) {
+    DT_ASSIGN_OR_RETURN(size_t index, FieldIndex(name));
+    projected.push_back(fields_[index]);
+  }
+  return Schema(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ' ';
+    out += FieldTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace datatriage

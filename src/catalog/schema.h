@@ -1,0 +1,67 @@
+#ifndef DATATRIAGE_CATALOG_SCHEMA_H_
+#define DATATRIAGE_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/field_type.h"
+#include "src/common/result.h"
+
+namespace datatriage {
+
+/// One column of a stream or intermediate relation.
+struct Field {
+  std::string name;
+  FieldType type = FieldType::kInt64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of named, typed columns. Schemas are value types: plan
+/// nodes, synopses, and operators copy them freely.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  Schema(const Schema&) = default;
+  Schema& operator=(const Schema&) = default;
+  Schema(Schema&&) = default;
+  Schema& operator=(Schema&&) = default;
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_.at(i); }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name` (exact match), or kNotFound.
+  Result<size_t> FieldIndex(std::string_view name) const;
+
+  /// True if a column named `name` exists.
+  bool HasField(std::string_view name) const;
+
+  /// Appends a column. Returns kAlreadyExists if the name is taken.
+  Status AddField(Field field);
+
+  /// Schema of this ⨯ other (concatenated columns). Returns
+  /// kAlreadyExists on a duplicate column name.
+  Result<Schema> Concat(const Schema& other) const;
+
+  /// Schema restricted to `names` in the given order.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// "name TYPE, name TYPE, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_CATALOG_SCHEMA_H_

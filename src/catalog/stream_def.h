@@ -1,0 +1,29 @@
+#ifndef DATATRIAGE_CATALOG_STREAM_DEF_H_
+#define DATATRIAGE_CATALOG_STREAM_DEF_H_
+
+#include <string>
+
+#include "src/catalog/schema.h"
+
+namespace datatriage {
+
+/// Definition of a registered data stream (the result of CREATE STREAM).
+/// The Data Triage machinery derives per-stream auxiliary channels from a
+/// StreamDef: the kept tuples, the dropped-tuple synopsis stream, and the
+/// kept-tuple synopsis stream (paper Sec. 5.1).
+struct StreamDef {
+  std::string name;
+  Schema schema;
+
+  /// Name of the auxiliary stream carrying synopses of dropped tuples
+  /// ("R_dropped_syn" in the paper's rewritten DDL).
+  std::string DroppedSynopsisName() const { return name + "_dropped_syn"; }
+
+  /// Name of the auxiliary stream carrying synopses of kept tuples
+  /// ("R_kept_syn" in the paper).
+  std::string KeptSynopsisName() const { return name + "_kept_syn"; }
+};
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_CATALOG_STREAM_DEF_H_

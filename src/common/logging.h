@@ -1,0 +1,95 @@
+#ifndef DATATRIAGE_COMMON_LOGGING_H_
+#define DATATRIAGE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace datatriage {
+
+enum class LogSeverity { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Global minimum severity; messages below it are discarded. Defaults to
+/// kInfo. Benchmarks raise it to kWarning to keep output machine-parsable.
+LogSeverity GetMinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement whose severity is below the threshold while
+/// still type-checking the streamed expressions.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Allows `cond ? (void)0 : Voidify() & stream` in the macros below.
+struct Voidify {
+  void operator&(LogMessage&) {}
+  void operator&(NullStream&) {}
+};
+
+}  // namespace internal
+
+#define DT_LOG(severity)                                                   \
+  (::datatriage::LogSeverity::k##severity <                                \
+   ::datatriage::GetMinLogSeverity())                                      \
+      ? (void)0                                                            \
+      : ::datatriage::internal::Voidify() &                                \
+            ::datatriage::internal::LogMessage(                            \
+                ::datatriage::LogSeverity::k##severity, __FILE__, __LINE__)
+
+/// Fatal-on-failure invariant check, active in all build modes. Database
+/// internals use it for conditions that indicate a programming error, never
+/// for errors triggered by user input (those return Status).
+#define DT_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                     \
+         : ::datatriage::internal::Voidify() &                         \
+               ::datatriage::internal::LogMessage(                     \
+                   ::datatriage::LogSeverity::kFatal, __FILE__,        \
+                   __LINE__)                                           \
+                   << "Check failed: " #cond " "
+
+#define DT_CHECK_EQ(a, b) DT_CHECK((a) == (b))
+#define DT_CHECK_NE(a, b) DT_CHECK((a) != (b))
+#define DT_CHECK_LT(a, b) DT_CHECK((a) < (b))
+#define DT_CHECK_LE(a, b) DT_CHECK((a) <= (b))
+#define DT_CHECK_GT(a, b) DT_CHECK((a) > (b))
+#define DT_CHECK_GE(a, b) DT_CHECK((a) >= (b))
+
+/// Debug-only check; compiles away in NDEBUG builds.
+#ifdef NDEBUG
+#define DT_DCHECK(cond) \
+  while (false) DT_CHECK(cond)
+#else
+#define DT_DCHECK(cond) DT_CHECK(cond)
+#endif
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_COMMON_LOGGING_H_

@@ -1,0 +1,61 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace datatriage {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DT_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  DT_CHECK_LE(lo, hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  DT_CHECK_GT(rate, 0.0);
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+int64_t Rng::Geometric(double p) {
+  DT_CHECK_GT(p, 0.0);
+  DT_CHECK_LE(p, 1.0);
+  // std::geometric_distribution counts failures before the first success;
+  // callers want the trial count, hence the +1.
+  std::geometric_distribution<int64_t> dist(p);
+  return dist(engine_) + 1;
+}
+
+uint64_t Rng::Fork() {
+  // SplitMix-style scramble of the next raw draw so sibling child seeds do
+  // not correlate with each other or the parent stream.
+  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace datatriage

@@ -1,0 +1,57 @@
+#ifndef DATATRIAGE_COMMON_RANDOM_H_
+#define DATATRIAGE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace datatriage {
+
+/// Deterministic pseudo-random source. Every stochastic component of the
+/// library (workload generators, drop policies, burst models) draws from an
+/// explicitly seeded Rng so experiments are reproducible run-to-run; the
+/// paper likewise re-seeds each experimental run (Sec. 6.2.2).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double UniformDouble();
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed inter-arrival gap with the given rate
+  /// (events per unit time). Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Geometric number of trials until first success with success
+  /// probability `p` in (0, 1]; returns a value >= 1.
+  int64_t Geometric(double p);
+
+  /// Derives an independent child seed; used to give each stream / component
+  /// its own Rng while keeping the whole experiment a function of one seed.
+  uint64_t Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_COMMON_RANDOM_H_

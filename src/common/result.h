@@ -1,0 +1,81 @@
+#ifndef DATATRIAGE_COMMON_RESULT_H_
+#define DATATRIAGE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace datatriage {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// could not be produced. Mirrors the Status/Result pattern used by
+/// production database codebases (Arrow, RocksDB) instead of exceptions.
+///
+/// Usage:
+///   Result<Schema> r = ParseSchema(text);
+///   if (!r.ok()) return r.status();
+///   UseSchema(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit so functions can
+  /// `return Status::InvalidArgument(...);`). Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DT_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    DT_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DT_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DT_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status, otherwise
+/// binds the moved value to `lhs`.
+#define DT_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  DT_ASSIGN_OR_RETURN_IMPL_(                                 \
+      DT_CONCAT_(_dt_result, __LINE__), lhs, rexpr)
+
+#define DT_CONCAT_INNER_(a, b) a##b
+#define DT_CONCAT_(a, b) DT_CONCAT_INNER_(a, b)
+
+#define DT_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                              \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_COMMON_RESULT_H_

@@ -1,0 +1,32 @@
+#ifndef DATATRIAGE_COMMON_STRING_UTIL_H_
+#define DATATRIAGE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datatriage {
+
+/// Returns `text` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLowerAscii(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,61 @@
+#ifndef DATATRIAGE_ENGINE_COST_MODEL_H_
+#define DATATRIAGE_ENGINE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/virtual_time.h"
+
+namespace datatriage::engine {
+
+/// Deterministic virtual-time cost model replacing the paper's wall-clock
+/// overload on a 1.4 GHz Pentium 3 (see DESIGN.md, substitution table).
+///
+/// The engine owns one virtual clock. Every unit of work advances it:
+/// ingesting a tuple into the exact pipeline, folding a tuple into a
+/// synopsis, and the per-window evaluation of the exact and shadow plans
+/// (charged per measured work unit, so expensive synopses — e.g. an
+/// untuned MHIST join — genuinely overload the engine as in paper
+/// Sec. 5.2.2). Overload exists whenever the offered work per virtual
+/// second exceeds 1.0.
+///
+/// Defaults are calibrated so the Fig. 8 sweep (aggregate input up to
+/// ~1600 tuples/s across three streams) crosses from underload to heavy
+/// shedding, mirroring the paper's operating range.
+struct CostModel {
+  /// Virtual seconds to push one kept tuple through the standard-case
+  /// pipeline (parse, route, window insert, incremental join work).
+  double exact_tuple_cost = 1.0 / 400.0;
+
+  /// Virtual seconds to fold one tuple into a synopsis. Paper Fig. 6:
+  /// "the cost of forming and manipulating synopses is dwarfed by the
+  /// cost of standard-case query processing."
+  double synopsis_insert_cost = 1.0 / 40000.0;
+
+  /// Virtual seconds per exact-plan work unit (ExecStats::TotalWork)
+  /// during window emission.
+  double exact_work_unit_cost = 1.0 / 400000.0;
+
+  /// Virtual seconds per synopsis-algebra work unit (OpStats::work)
+  /// during shadow-plan evaluation.
+  double synopsis_work_unit_cost = 1.0 / 200000.0;
+
+  /// Fixed virtual seconds per window emission (result delivery, buffer
+  /// management).
+  double emission_overhead = 0.0002;
+
+  /// Emission deadline of window w is its span end + delay_factor *
+  /// window range: the latency budget before un-processed window tuples
+  /// are force-shed.
+  double delay_factor = 1.0;
+
+  /// Deadline for window `window` with the given range and slide
+  /// (slide == range for tumbling windows).
+  VirtualTime EmissionDeadline(WindowId window, VirtualDuration range,
+                               VirtualDuration slide) const {
+    return WindowSpanEnd(window, range, slide) + delay_factor * range;
+  }
+};
+
+}  // namespace datatriage::engine
+
+#endif  // DATATRIAGE_ENGINE_COST_MODEL_H_

@@ -1,0 +1,193 @@
+#ifndef DATATRIAGE_ENGINE_ENGINE_H_
+#define DATATRIAGE_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/engine/cost_model.h"
+#include "src/engine/merge.h"
+#include "src/engine/window_result.h"
+#include "src/rewrite/data_triage_rewrite.h"
+#include "src/synopsis/factory.h"
+#include "src/triage/drop_policy.h"
+#include "src/triage/shedding_strategy.h"
+#include "src/triage/synopsizer.h"
+#include "src/triage/triage_queue.h"
+
+namespace datatriage::engine {
+
+struct EngineConfig {
+  triage::SheddingStrategy strategy =
+      triage::SheddingStrategy::kDataTriage;
+  synopsis::SynopsisConfig synopsis;
+  /// Per-stream triage queue capacity, in tuples.
+  size_t queue_capacity = 100;
+  triage::DropPolicyKind drop_policy = triage::DropPolicyKind::kRandom;
+  /// Candidate-sample size for the synergistic policy (paper Sec. 8.1);
+  /// only used when drop_policy == kSynergistic, which in turn requires a
+  /// synopsizing strategy.
+  size_t synergistic_candidates = 4;
+  CostModel cost_model;
+  /// Seed for the drop policies (one forked Rng per stream queue).
+  uint64_t seed = 1;
+};
+
+/// One tuple arriving on a named stream; the tuple's timestamp is its
+/// arrival time on the engine's virtual clock.
+struct StreamEvent {
+  std::string stream;
+  Tuple tuple;
+};
+
+/// The mini continuous-query engine with the Data Triage architecture of
+/// paper Fig. 1 wired in front of it.
+///
+/// Usage:
+///   auto engine = ContinuousQueryEngine::Make(catalog, sql, config);
+///   for (const StreamEvent& e : events) engine->Push(e);
+///   engine->Finish();
+///   for (WindowResult& r : engine->TakeResults()) ...
+///
+/// The engine is driven entirely by the virtual clock (see CostModel):
+/// arrivals carry virtual timestamps, processing charges virtual time,
+/// and windows emit at their virtual deadlines with unprocessed window
+/// tuples force-shed. Runs are deterministic for a fixed (events, config,
+/// seed) triple.
+///
+/// Restrictions (documented in DESIGN.md): all streams of a query must
+/// share one window length (the paper's experiments do), and queries must
+/// be SPJ + GROUP BY aggregates — SELECT DISTINCT and EXCEPT are rejected
+/// because the paper's shadow machinery does not cover them.
+class ContinuousQueryEngine {
+ public:
+  static Result<std::unique_ptr<ContinuousQueryEngine>> Make(
+      const Catalog& catalog, const std::string& query_sql,
+      EngineConfig config);
+
+  static Result<std::unique_ptr<ContinuousQueryEngine>> Make(
+      const Catalog& catalog, plan::BoundQuery query, EngineConfig config);
+
+  ContinuousQueryEngine(const ContinuousQueryEngine&) = delete;
+  ContinuousQueryEngine& operator=(const ContinuousQueryEngine&) = delete;
+
+  /// Delivers one arrival. Events must have non-decreasing timestamps.
+  Status Push(const StreamEvent& event);
+
+  /// Drains queues and emits every remaining window.
+  Status Finish();
+
+  /// Moves out the results emitted so far (in window order).
+  std::vector<WindowResult> TakeResults();
+
+  const EngineStats& stats() const { return stats_; }
+  const rewrite::TriagedQuery& triaged_query() const { return triaged_; }
+  /// Window range (span length).
+  VirtualDuration window_seconds() const { return window_seconds_; }
+  /// Hop between consecutive windows; equals window_seconds() for
+  /// tumbling windows.
+  VirtualDuration window_slide_seconds() const { return window_slide_; }
+
+ private:
+  /// Coverage oracle for the synergistic drop policy: a tuple is "free"
+  /// to shed when its window's dropped synopsis already has mass at its
+  /// location.
+  class DroppedCoverageProbe final : public triage::SynopsisCoverageProbe {
+   public:
+    DroppedCoverageProbe(const triage::WindowSynopsizer* synopsizer,
+                         VirtualDuration range, VirtualDuration slide)
+        : synopsizer_(synopsizer), range_(range), slide_(slide) {}
+
+    bool IsCovered(const Tuple& tuple) const override {
+      const WindowSpan span =
+          CoveringWindows(tuple.timestamp(), range_, slide_);
+      for (WindowId w = span.first; w <= span.last; ++w) {
+        const synopsis::Synopsis* dropped = synopsizer_->PeekDropped(w);
+        if (dropped != nullptr && dropped->EstimatePointCount(tuple) > 0) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+   private:
+    const triage::WindowSynopsizer* synopsizer_;
+    VirtualDuration range_;
+    VirtualDuration slide_;
+  };
+
+  struct StreamState {
+    Schema schema;
+    std::unique_ptr<triage::TriageQueue> queue;
+    std::unique_ptr<triage::WindowSynopsizer> synopsizer;
+    std::unique_ptr<DroppedCoverageProbe> coverage_probe;
+    /// Kept tuples per open window.
+    std::map<WindowId, exec::Relation> kept_buffers;
+    std::map<WindowId, int64_t> dropped_counts;
+  };
+
+  ContinuousQueryEngine(rewrite::TriagedQuery triaged,
+                        EngineConfig config);
+
+  Status Init(const Catalog& catalog);
+
+  /// Advances the engine clock to `until`, interleaving queued-tuple
+  /// processing with window emissions whose deadlines pass.
+  Status ProcessUntil(VirtualTime until);
+
+  /// True if any stream queue holds a tuple.
+  bool HasQueuedTuple() const;
+
+  /// Pops and processes the queued tuple with the earliest timestamp.
+  Status ProcessOneQueuedTuple();
+
+  /// Routes a fully shed tuple (it will never be processed) according to
+  /// the strategy: it counts as dropped for every not-yet-emitted window
+  /// covering it.
+  Status ShedTuple(StreamState* state, const Tuple& tuple);
+
+  /// Marks a still-queued tuple as dropped *for one window* whose
+  /// deadline arrived before the engine reached the tuple; it may yet be
+  /// kept for later windows (sliding-window case).
+  Status ShedTupleForWindow(StreamState* state, const Tuple& tuple,
+                            WindowId window);
+
+  /// Windows covering `t` that have not been emitted yet.
+  WindowSpan PendingWindowsFor(VirtualTime t) const;
+
+  Status EmitWindow(WindowId window);
+
+  void ChargeSynopsisTime(double seconds) {
+    engine_time_ += seconds;
+    stats_.synopsis_work_seconds += seconds;
+  }
+  void ChargeExactTime(double seconds) {
+    engine_time_ += seconds;
+    stats_.exact_work_seconds += seconds;
+  }
+
+  rewrite::TriagedQuery triaged_;
+  EngineConfig config_;
+  AggregationSpec agg_spec_;  // valid when the query aggregates
+
+  std::map<std::string, StreamState> streams_;
+  VirtualDuration window_seconds_ = 1.0;  // range
+  VirtualDuration window_slide_ = 1.0;    // hop (== range when tumbling)
+
+  VirtualTime engine_time_ = 0.0;
+  VirtualTime last_arrival_time_ = 0.0;
+  bool saw_arrival_ = false;
+  WindowId next_window_to_emit_ = 0;
+  WindowId last_window_seen_ = -1;
+
+  std::vector<WindowResult> results_;
+  EngineStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace datatriage::engine
+
+#endif  // DATATRIAGE_ENGINE_ENGINE_H_

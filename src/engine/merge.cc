@@ -1,0 +1,111 @@
+#include "src/engine/merge.h"
+
+#include <cmath>
+
+namespace datatriage::engine {
+
+Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query) {
+  if (!query.has_aggregate) {
+    return Status::InvalidArgument(
+        "MakeAggregationSpec requires an aggregate query");
+  }
+  AggregationSpec spec;
+  for (const plan::GroupBySpec& g : query.group_by) {
+    spec.group_columns.push_back(g.input_index);
+  }
+  for (const plan::AggregateSpec& a : query.aggregates) {
+    spec.agg_columns.push_back(a.count_star ? synopsis::kCountOnlyColumn
+                                            : a.input_index);
+  }
+  return spec;
+}
+
+synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
+                                          const AggregationSpec& spec) {
+  synopsis::GroupedEstimate groups;
+  for (const Tuple& row : spj_rows) {
+    std::vector<Value> key;
+    key.reserve(spec.group_columns.size());
+    for (size_t g : spec.group_columns) key.push_back(row.value(g));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second.resize(spec.agg_columns.size());
+    for (size_t a = 0; a < spec.agg_columns.size(); ++a) {
+      if (spec.agg_columns[a] == synopsis::kCountOnlyColumn) {
+        it->second[a].count += 1.0;
+      } else {
+        it->second[a].Add(row.value(spec.agg_columns[a]).AsDouble(), 1.0);
+      }
+    }
+  }
+  return groups;
+}
+
+void MergeGroupedEstimates(synopsis::GroupedEstimate* dst,
+                           const synopsis::GroupedEstimate& src) {
+  for (const auto& [key, accumulators] : src) {
+    auto [it, inserted] = dst->try_emplace(key);
+    if (inserted) it->second.resize(accumulators.size());
+    DT_CHECK_EQ(it->second.size(), accumulators.size());
+    for (size_t a = 0; a < accumulators.size(); ++a) {
+      it->second[a].MergeFrom(accumulators[a]);
+    }
+  }
+}
+
+Result<exec::Relation> BuildAggregateRows(
+    const synopsis::GroupedEstimate& groups, const plan::BoundQuery& query,
+    const AggregationSpec& spec, bool exact_types) {
+  constexpr double kEpsilon = 1e-9;
+  exec::Relation rows;
+  for (const auto& [key, accumulators] : groups) {
+    DT_CHECK_EQ(accumulators.size(), query.aggregates.size());
+    double total_weight = 0;
+    for (const synopsis::AggAccumulator& acc : accumulators) {
+      total_weight += acc.count;
+    }
+    if (total_weight <= kEpsilon) continue;
+
+    std::vector<Value> row = key;
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const plan::AggregateSpec& agg = query.aggregates[a];
+      const synopsis::AggAccumulator& acc = accumulators[a];
+      double value = 0;
+      switch (agg.func) {
+        case sql::AggFunc::kCount:
+          value = acc.count;
+          break;
+        case sql::AggFunc::kSum:
+          value = acc.sum;
+          break;
+        case sql::AggFunc::kAvg:
+          value = acc.count > kEpsilon ? acc.sum / acc.count : 0.0;
+          break;
+        case sql::AggFunc::kMin:
+          value = acc.count > kEpsilon ? acc.min : 0.0;
+          break;
+        case sql::AggFunc::kMax:
+          value = acc.count > kEpsilon ? acc.max : 0.0;
+          break;
+        case sql::AggFunc::kNone:
+          return Status::Internal("AggFunc::kNone in aggregate spec");
+      }
+      if (exact_types) {
+        FieldType input_type = FieldType::kInt64;
+        if (spec.agg_columns[a] != synopsis::kCountOnlyColumn) {
+          input_type = query.spj_core->schema()
+                           .field(spec.agg_columns[a])
+                           .type;
+        }
+        if (agg.ResultType(input_type) == FieldType::kInt64) {
+          row.push_back(Value::Int64(std::llround(value)));
+          continue;
+        }
+      }
+      row.push_back(Value::Double(value));
+    }
+    rows.emplace_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace datatriage::engine

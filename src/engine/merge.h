@@ -1,0 +1,50 @@
+#ifndef DATATRIAGE_ENGINE_MERGE_H_
+#define DATATRIAGE_ENGINE_MERGE_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/exec/relation.h"
+#include "src/plan/binder.h"
+#include "src/synopsis/synopsis.h"
+
+namespace datatriage::engine {
+
+/// Column bookkeeping for merging exact results with shadow estimates
+/// (paper Fig. 2's "Merge" stage / Sec. 8.1: "we merged these streams by
+/// merging the aggregates computed from a SQL GROUP BY statement with
+/// approximate aggregates computed from synopses").
+struct AggregationSpec {
+  /// Grouping columns, as indices into the SPJ core's output schema.
+  std::vector<size_t> group_columns;
+  /// One entry per aggregate: its input column in the SPJ schema, or
+  /// synopsis::kCountOnlyColumn for COUNT(*).
+  std::vector<size_t> agg_columns;
+};
+
+/// Derives the spec from a bound aggregate query.
+Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query);
+
+/// Aggregates exact SPJ rows into per-group accumulators, mirroring what
+/// Synopsis::EstimateGroups produces for the shadow side so the two merge
+/// additively.
+synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
+                                          const AggregationSpec& spec);
+
+/// Adds `src`'s accumulators into `dst` group-wise.
+void MergeGroupedEstimates(synopsis::GroupedEstimate* dst,
+                           const synopsis::GroupedEstimate& src);
+
+/// Renders accumulators as output rows shaped like the query's aggregate
+/// output (group values first, then one value per aggregate, in the bound
+/// order). With `exact_types` the aggregate values take the query's
+/// declared types (COUNT -> INTEGER, ...); otherwise they are doubles,
+/// since merged estimates are fractional. Groups whose total weight is
+/// ~zero are omitted.
+Result<exec::Relation> BuildAggregateRows(
+    const synopsis::GroupedEstimate& groups, const plan::BoundQuery& query,
+    const AggregationSpec& spec, bool exact_types);
+
+}  // namespace datatriage::engine
+
+#endif  // DATATRIAGE_ENGINE_MERGE_H_

@@ -1,0 +1,320 @@
+#include "src/exec/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::exec {
+
+namespace {
+
+using plan::LogicalPlan;
+
+/// Hash-map key over a subset of columns.
+struct KeyView {
+  std::vector<Value> values;
+
+  bool operator==(const KeyView& other) const {
+    return values == other.values;
+  }
+};
+
+struct KeyViewHash {
+  size_t operator()(const KeyView& k) const {
+    size_t seed = k.values.size();
+    for (const Value& v : k.values) {
+      seed ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};
+
+KeyView ExtractKey(const Tuple& tuple, const std::vector<size_t>& indices) {
+  KeyView key;
+  key.values.reserve(indices.size());
+  for (size_t i : indices) key.values.push_back(tuple.value(i));
+  return key;
+}
+
+/// Running state for one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_integral = true;
+  Value min;
+  Value max;
+  bool has_extremes = false;
+};
+
+}  // namespace
+
+ExecStats& ExecStats::operator+=(const ExecStats& other) {
+  tuples_scanned += other.tuples_scanned;
+  tuples_output += other.tuples_output;
+  join_probes += other.join_probes;
+  join_build_inserts += other.join_build_inserts;
+  comparisons += other.comparisons;
+  return *this;
+}
+
+Result<Relation> Evaluator::Evaluate(const LogicalPlan& plan) {
+  switch (plan.kind()) {
+    case LogicalPlan::Kind::kEmpty:
+      return Relation{};
+    case LogicalPlan::Kind::kStreamScan:
+      return EvaluateScan(plan);
+    case LogicalPlan::Kind::kFilter:
+      return EvaluateFilter(plan);
+    case LogicalPlan::Kind::kProject:
+      return EvaluateProject(plan);
+    case LogicalPlan::Kind::kCompute:
+      return EvaluateCompute(plan);
+    case LogicalPlan::Kind::kJoin:
+      return EvaluateJoin(plan);
+    case LogicalPlan::Kind::kUnionAll:
+      return EvaluateUnionAll(plan);
+    case LogicalPlan::Kind::kSetDifference:
+      return EvaluateSetDifference(plan);
+    case LogicalPlan::Kind::kAggregate:
+      return EvaluateAggregate(plan);
+  }
+  return Status::Internal("unhandled plan kind in evaluator");
+}
+
+Result<Relation> Evaluator::EvaluateScan(const LogicalPlan& plan) {
+  auto it = inputs_->find(ChannelKey{plan.stream(), plan.channel()});
+  if (it == inputs_->end()) return Relation{};
+  stats_.tuples_scanned += static_cast<int64_t>(it->second.size());
+  return it->second;
+}
+
+Result<Relation> Evaluator::EvaluateFilter(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
+  Relation output;
+  output.reserve(input.size());
+  for (Tuple& t : input) {
+    ++stats_.comparisons;
+    if (plan.predicate()->EvaluatesToTrue(t)) {
+      output.push_back(std::move(t));
+    }
+  }
+  stats_.tuples_output += static_cast<int64_t>(output.size());
+  return output;
+}
+
+Result<Relation> Evaluator::EvaluateProject(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
+  Relation output;
+  output.reserve(input.size());
+  for (const Tuple& t : input) {
+    output.push_back(t.Project(plan.projection()));
+  }
+  stats_.tuples_output += static_cast<int64_t>(output.size());
+  return output;
+}
+
+Result<Relation> Evaluator::EvaluateCompute(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
+  Relation output;
+  output.reserve(input.size());
+  for (const Tuple& t : input) {
+    std::vector<Value> row;
+    row.reserve(plan.compute_exprs().size());
+    for (const plan::BoundExprPtr& expr : plan.compute_exprs()) {
+      row.push_back(expr->Evaluate(t));
+    }
+    output.emplace_back(std::move(row));
+    output.back().set_timestamp(t.timestamp());
+  }
+  stats_.tuples_output += static_cast<int64_t>(output.size());
+  return output;
+}
+
+Result<Relation> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(Relation left, Evaluate(*plan.child(0)));
+  DT_ASSIGN_OR_RETURN(Relation right, Evaluate(*plan.child(1)));
+  Relation output;
+
+  if (plan.join_keys().empty()) {
+    // Cross product (plus optional residual predicate).
+    for (const Tuple& l : left) {
+      for (const Tuple& r : right) {
+        ++stats_.join_probes;
+        Tuple joined = l.Concat(r);
+        if (plan.predicate() != nullptr) {
+          ++stats_.comparisons;
+          if (!plan.predicate()->EvaluatesToTrue(joined)) continue;
+        }
+        output.push_back(std::move(joined));
+      }
+    }
+    stats_.tuples_output += static_cast<int64_t>(output.size());
+    return output;
+  }
+
+  std::vector<size_t> left_keys, right_keys;
+  for (const auto& [l, r] : plan.join_keys()) {
+    left_keys.push_back(l);
+    right_keys.push_back(r);
+  }
+
+  // Build on the smaller side, probe with the larger.
+  const bool build_left = left.size() <= right.size();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<size_t>& build_keys = build_left ? left_keys : right_keys;
+  const std::vector<size_t>& probe_keys = build_left ? right_keys : left_keys;
+
+  std::unordered_map<KeyView, std::vector<const Tuple*>, KeyViewHash> table;
+  table.reserve(build.size());
+  for (const Tuple& t : build) {
+    ++stats_.join_build_inserts;
+    table[ExtractKey(t, build_keys)].push_back(&t);
+  }
+  for (const Tuple& t : probe) {
+    ++stats_.join_probes;
+    auto it = table.find(ExtractKey(t, probe_keys));
+    if (it == table.end()) continue;
+    for (const Tuple* match : it->second) {
+      // Output column order is (left, right) regardless of build side.
+      Tuple joined =
+          build_left ? match->Concat(t) : t.Concat(*match);
+      if (plan.predicate() != nullptr) {
+        ++stats_.comparisons;
+        if (!plan.predicate()->EvaluatesToTrue(joined)) continue;
+      }
+      output.push_back(std::move(joined));
+    }
+  }
+  stats_.tuples_output += static_cast<int64_t>(output.size());
+  return output;
+}
+
+Result<Relation> Evaluator::EvaluateUnionAll(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(Relation left, Evaluate(*plan.child(0)));
+  DT_ASSIGN_OR_RETURN(Relation right, Evaluate(*plan.child(1)));
+  left.reserve(left.size() + right.size());
+  for (Tuple& t : right) left.push_back(std::move(t));
+  stats_.tuples_output += static_cast<int64_t>(left.size());
+  return left;
+}
+
+Result<Relation> Evaluator::EvaluateSetDifference(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(Relation left, Evaluate(*plan.child(0)));
+  DT_ASSIGN_OR_RETURN(Relation right, Evaluate(*plan.child(1)));
+  // Multiset monus: each right-side tuple cancels at most one left-side
+  // occurrence.
+  std::unordered_map<Tuple, int64_t, TupleHash, TupleEq> to_remove;
+  for (const Tuple& t : right) {
+    ++stats_.comparisons;
+    ++to_remove[t];
+  }
+  Relation output;
+  output.reserve(left.size());
+  for (Tuple& t : left) {
+    ++stats_.comparisons;
+    auto it = to_remove.find(t);
+    if (it != to_remove.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    output.push_back(std::move(t));
+  }
+  stats_.tuples_output += static_cast<int64_t>(output.size());
+  return output;
+}
+
+Result<Relation> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
+  std::vector<size_t> group_indices;
+  for (const plan::GroupBySpec& g : plan.group_by()) {
+    group_indices.push_back(g.input_index);
+  }
+
+  struct GroupState {
+    Tuple representative;
+    std::vector<AggState> aggs;
+  };
+  std::unordered_map<KeyView, GroupState, KeyViewHash> groups;
+  for (const Tuple& t : input) {
+    ++stats_.comparisons;
+    KeyView key = ExtractKey(t, group_indices);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    GroupState& state = it->second;
+    if (inserted) {
+      state.representative = t;
+      state.aggs.resize(plan.aggregates().size());
+    }
+    for (size_t i = 0; i < plan.aggregates().size(); ++i) {
+      const plan::AggregateSpec& spec = plan.aggregates()[i];
+      AggState& agg = state.aggs[i];
+      ++agg.count;
+      if (spec.count_star) continue;
+      const Value& v = t.value(spec.input_index);
+      if (v.is_numeric()) {
+        agg.sum += v.AsDouble();
+        if (!v.is_int64()) agg.sum_is_integral = false;
+      }
+      if (!agg.has_extremes) {
+        agg.min = v;
+        agg.max = v;
+        agg.has_extremes = true;
+      } else {
+        if (v < agg.min) agg.min = v;
+        if (agg.max < v) agg.max = v;
+      }
+    }
+  }
+
+  Relation output;
+  output.reserve(groups.size());
+  for (const auto& [key, state] : groups) {
+    std::vector<Value> row;
+    row.reserve(group_indices.size() + plan.aggregates().size());
+    for (size_t i : group_indices) {
+      row.push_back(state.representative.value(i));
+    }
+    for (size_t i = 0; i < plan.aggregates().size(); ++i) {
+      const plan::AggregateSpec& spec = plan.aggregates()[i];
+      const AggState& agg = state.aggs[i];
+      switch (spec.func) {
+        case sql::AggFunc::kCount:
+          row.push_back(Value::Int64(agg.count));
+          break;
+        case sql::AggFunc::kSum:
+          row.push_back(agg.sum_is_integral
+                            ? Value::Int64(static_cast<int64_t>(agg.sum))
+                            : Value::Double(agg.sum));
+          break;
+        case sql::AggFunc::kAvg:
+          row.push_back(Value::Double(
+              agg.count == 0 ? 0.0 : agg.sum / static_cast<double>(
+                                                  agg.count)));
+          break;
+        case sql::AggFunc::kMin:
+          row.push_back(agg.min);
+          break;
+        case sql::AggFunc::kMax:
+          row.push_back(agg.max);
+          break;
+        case sql::AggFunc::kNone:
+          return Status::Internal("AggFunc::kNone in aggregate spec");
+      }
+    }
+    output.emplace_back(std::move(row));
+  }
+  stats_.tuples_output += static_cast<int64_t>(output.size());
+  return output;
+}
+
+Result<Relation> EvaluatePlan(const LogicalPlan& plan,
+                              const RelationProvider& inputs,
+                              ExecStats* stats) {
+  Evaluator evaluator(&inputs);
+  DT_ASSIGN_OR_RETURN(Relation result, evaluator.Evaluate(plan));
+  if (stats != nullptr) *stats += evaluator.stats();
+  return result;
+}
+
+}  // namespace datatriage::exec

@@ -1,0 +1,36 @@
+#ifndef DATATRIAGE_EXEC_RELATION_H_
+#define DATATRIAGE_EXEC_RELATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/plan/logical_plan.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::exec {
+
+/// A materialized multiset of tuples (one window's worth of one channel of
+/// one stream, or an intermediate result).
+using Relation = std::vector<Tuple>;
+
+/// Key identifying one channel of one stream.
+struct ChannelKey {
+  std::string stream;
+  plan::Channel channel = plan::Channel::kBase;
+
+  bool operator<(const ChannelKey& other) const {
+    if (stream != other.stream) return stream < other.stream;
+    return static_cast<int>(channel) < static_cast<int>(other.channel);
+  }
+};
+
+/// Input bindings for one evaluation: the tuples available on each
+/// (stream, channel) during the window being evaluated. Scans of a missing
+/// key see an empty relation (e.g. the kDropped channel when nothing was
+/// shed).
+using RelationProvider = std::map<ChannelKey, Relation>;
+
+}  // namespace datatriage::exec
+
+#endif  // DATATRIAGE_EXEC_RELATION_H_

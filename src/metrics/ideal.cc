@@ -1,0 +1,38 @@
+#include "src/metrics/ideal.h"
+
+#include "src/exec/evaluator.h"
+
+namespace datatriage::metrics {
+
+Result<std::map<WindowId, exec::Relation>> ComputeIdealResults(
+    const plan::BoundQuery& query,
+    const std::vector<engine::StreamEvent>& events,
+    VirtualDuration window_seconds, VirtualDuration slide_seconds) {
+  if (window_seconds <= 0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  const VirtualDuration slide =
+      slide_seconds > 0 ? slide_seconds : window_seconds;
+  // Bucket every event into (window, stream) relations; with sliding
+  // windows one event feeds several.
+  std::map<WindowId, exec::RelationProvider> inputs_by_window;
+  for (const engine::StreamEvent& event : events) {
+    const WindowSpan span =
+        CoveringWindows(event.tuple.timestamp(), window_seconds, slide);
+    for (WindowId window = std::max<WindowId>(span.first, 0);
+         window <= span.last; ++window) {
+      inputs_by_window[window][exec::ChannelKey{event.stream,
+                                                plan::Channel::kBase}]
+          .push_back(event.tuple);
+    }
+  }
+  std::map<WindowId, exec::Relation> results;
+  for (const auto& [window, inputs] : inputs_by_window) {
+    DT_ASSIGN_OR_RETURN(exec::Relation result,
+                        exec::EvaluatePlan(*query.plan, inputs));
+    results[window] = std::move(result);
+  }
+  return results;
+}
+
+}  // namespace datatriage::metrics

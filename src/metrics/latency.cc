@@ -1,0 +1,17 @@
+#include "src/metrics/latency.h"
+
+namespace datatriage::metrics {
+
+MeanStd EmissionLatency(const std::vector<engine::WindowResult>& results,
+                        VirtualDuration window_seconds) {
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const engine::WindowResult& result : results) {
+    const VirtualTime window_end =
+        (static_cast<double>(result.window) + 1.0) * window_seconds;
+    latencies.push_back(result.emit_time - window_end);
+  }
+  return ComputeMeanStd(latencies);
+}
+
+}  // namespace datatriage::metrics

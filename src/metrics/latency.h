@@ -1,0 +1,21 @@
+#ifndef DATATRIAGE_METRICS_LATENCY_H_
+#define DATATRIAGE_METRICS_LATENCY_H_
+
+#include <vector>
+
+#include "src/engine/window_result.h"
+#include "src/metrics/stats.h"
+
+namespace datatriage::metrics {
+
+/// Result latency statistics: how long after a window closed its
+/// composite result left the engine. Low latency is the paper's core
+/// requirement ("timely query results are of great importance", Sec. 1);
+/// the engine's emission deadline bounds it at delay_factor x window
+/// length plus the emission work itself.
+MeanStd EmissionLatency(const std::vector<engine::WindowResult>& results,
+                        VirtualDuration window_seconds);
+
+}  // namespace datatriage::metrics
+
+#endif  // DATATRIAGE_METRICS_LATENCY_H_

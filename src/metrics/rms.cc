@@ -1,0 +1,130 @@
+#include "src/metrics/rms.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::metrics {
+
+namespace {
+
+/// (window, group values) -> aggregate values.
+using CellMap = std::map<std::pair<WindowId, std::vector<Value>>,
+                         std::vector<double>>;
+
+Status AddRelation(const exec::Relation& rows, WindowId window,
+                   size_t num_group_columns, CellMap* cells) {
+  for (const Tuple& row : rows) {
+    if (row.size() < num_group_columns) {
+      return Status::InvalidArgument(StringPrintf(
+          "result row has %zu columns but %zu group columns expected",
+          row.size(), num_group_columns));
+    }
+    std::vector<Value> group(row.values().begin(),
+                             row.values().begin() +
+                                 static_cast<ptrdiff_t>(num_group_columns));
+    std::vector<double> aggregates;
+    for (size_t i = num_group_columns; i < row.size(); ++i) {
+      if (!row.value(i).is_numeric()) {
+        return Status::InvalidArgument(
+            "aggregate columns must be numeric for RMS scoring");
+      }
+      aggregates.push_back(row.value(i).AsDouble());
+    }
+    auto [it, inserted] =
+        cells->try_emplace({window, std::move(group)},
+                           std::move(aggregates));
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "duplicate group in one window's results");
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> RmsOverCells(const CellMap& ideal, const CellMap& actual) {
+  // Squared error accumulates over the union of cells (a group missing on
+  // either side counts as zero there), but the mean is taken over the
+  // IDEAL result's cells: spurious groups in the approximate answer add
+  // error mass without inflating the denominator. Normalizing by the
+  // union instead would reward methods that spray small estimates across
+  // many extra groups (histogram smearing) with a larger denominator.
+  double sum_squared = 0.0;
+  int64_t ideal_cells = 0;
+  int64_t spurious_cells = 0;
+  auto square_into = [&](const std::vector<double>& a,
+                         const std::vector<double>& b) -> Status {
+    if (a.size() != b.size()) {
+      return Status::InvalidArgument(
+          "ideal and actual rows have different aggregate arity");
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double diff = a[i] - b[i];
+      sum_squared += diff * diff;
+      ++ideal_cells;
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [key, ideal_values] : ideal) {
+    auto it = actual.find(key);
+    if (it != actual.end()) {
+      DT_RETURN_IF_ERROR(square_into(ideal_values, it->second));
+    } else {
+      for (double v : ideal_values) {
+        sum_squared += v * v;
+        ++ideal_cells;
+      }
+    }
+  }
+  for (const auto& [key, actual_values] : actual) {
+    if (ideal.count(key) > 0) continue;
+    for (double v : actual_values) {
+      sum_squared += v * v;
+      ++spurious_cells;
+    }
+  }
+  const int64_t denominator =
+      ideal_cells > 0 ? ideal_cells : spurious_cells;
+  if (denominator == 0) return 0.0;
+  return std::sqrt(sum_squared / static_cast<double>(denominator));
+}
+
+}  // namespace
+
+Result<double> RmsError(const std::map<WindowId, exec::Relation>& ideal,
+                        const std::vector<engine::WindowResult>& actual,
+                        size_t num_group_columns, ResultChannel channel) {
+  CellMap ideal_cells, actual_cells;
+  for (const auto& [window, rows] : ideal) {
+    DT_RETURN_IF_ERROR(
+        AddRelation(rows, window, num_group_columns, &ideal_cells));
+  }
+  for (const engine::WindowResult& result : actual) {
+    const exec::Relation& rows = channel == ResultChannel::kExact
+                                     ? result.exact_rows
+                                     : result.merged_rows;
+    DT_RETURN_IF_ERROR(
+        AddRelation(rows, result.window, num_group_columns,
+                    &actual_cells));
+  }
+  return RmsOverCells(ideal_cells, actual_cells);
+}
+
+Result<double> RmsErrorOverRelations(
+    const std::map<WindowId, exec::Relation>& ideal,
+    const std::map<WindowId, exec::Relation>& actual,
+    size_t num_group_columns) {
+  CellMap ideal_cells, actual_cells;
+  for (const auto& [window, rows] : ideal) {
+    DT_RETURN_IF_ERROR(
+        AddRelation(rows, window, num_group_columns, &ideal_cells));
+  }
+  for (const auto& [window, rows] : actual) {
+    DT_RETURN_IF_ERROR(
+        AddRelation(rows, window, num_group_columns, &actual_cells));
+  }
+  return RmsOverCells(ideal_cells, actual_cells);
+}
+
+}  // namespace datatriage::metrics

@@ -1,0 +1,40 @@
+#ifndef DATATRIAGE_METRICS_RMS_H_
+#define DATATRIAGE_METRICS_RMS_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/window_result.h"
+#include "src/exec/relation.h"
+
+namespace datatriage::metrics {
+
+/// Which relation of each WindowResult to score.
+enum class ResultChannel {
+  kExact,   // exact_rows: what drop-only shedding reports
+  kMerged,  // merged_rows: the Data Triage composite result
+};
+
+/// Root-mean-square error between per-window grouped-aggregate results
+/// and the ideal (paper Sec. 6.3): rows are keyed by window number plus
+/// the first `num_group_columns` values; the remaining columns are
+/// aggregate values. Squared differences are accumulated over the union
+/// of groups (a group absent on one side counts as zero there) and the
+/// mean is taken over the ideal result's (window, group, aggregate)
+/// cells, so spurious estimated groups add error without inflating the
+/// denominator.
+Result<double> RmsError(const std::map<WindowId, exec::Relation>& ideal,
+                        const std::vector<engine::WindowResult>& actual,
+                        size_t num_group_columns,
+                        ResultChannel channel = ResultChannel::kMerged);
+
+/// Same, for pre-extracted relations per window.
+Result<double> RmsErrorOverRelations(
+    const std::map<WindowId, exec::Relation>& ideal,
+    const std::map<WindowId, exec::Relation>& actual,
+    size_t num_group_columns);
+
+}  // namespace datatriage::metrics
+
+#endif  // DATATRIAGE_METRICS_RMS_H_

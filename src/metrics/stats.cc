@@ -1,0 +1,24 @@
+#include "src/metrics/stats.h"
+
+#include <cmath>
+
+namespace datatriage::metrics {
+
+MeanStd ComputeMeanStd(const std::vector<double>& samples) {
+  MeanStd out;
+  out.n = samples.size();
+  if (samples.empty()) return out;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  out.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() < 2) return out;
+  double sq = 0.0;
+  for (double v : samples) {
+    const double d = v - out.mean;
+    sq += d * d;
+  }
+  out.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  return out;
+}
+
+}  // namespace datatriage::metrics

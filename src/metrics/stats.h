@@ -1,0 +1,22 @@
+#ifndef DATATRIAGE_METRICS_STATS_H_
+#define DATATRIAGE_METRICS_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace datatriage::metrics {
+
+/// Mean and sample standard deviation across experiment repetitions (the
+/// paper reports "mean of nine runs; error bars indicate the standard
+/// deviation", Figs. 8-9).
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t n = 0;
+};
+
+MeanStd ComputeMeanStd(const std::vector<double>& samples);
+
+}  // namespace datatriage::metrics
+
+#endif  // DATATRIAGE_METRICS_STATS_H_

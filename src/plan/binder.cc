@@ -1,0 +1,549 @@
+#include "src/plan/binder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::plan {
+
+namespace {
+
+/// Splits an AST predicate into its top-level AND conjuncts.
+void CollectConjuncts(const sql::Expr& expr,
+                      std::vector<const sql::Expr*>* out) {
+  if (expr.kind == sql::Expr::Kind::kBinary &&
+      expr.binary_op == sql::BinaryOp::kAnd) {
+    CollectConjuncts(*expr.lhs, out);
+    CollectConjuncts(*expr.rhs, out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+/// Collects the column indices referenced by a bound expression.
+void CollectColumnIndices(const BoundExpr& expr, std::set<size_t>* out) {
+  switch (expr.kind()) {
+    case BoundExpr::Kind::kColumn:
+      out->insert(expr.column_index());
+      return;
+    case BoundExpr::Kind::kLiteral:
+      return;
+    case BoundExpr::Kind::kUnary:
+      CollectColumnIndices(*expr.lhs(), out);
+      return;
+    case BoundExpr::Kind::kBinary:
+      CollectColumnIndices(*expr.lhs(), out);
+      CollectColumnIndices(*expr.rhs(), out);
+      return;
+  }
+}
+
+/// Strips the "<alias>." qualifier.
+std::string BaseName(const std::string& qualified) {
+  size_t dot = qualified.rfind('.');
+  return dot == std::string::npos ? qualified : qualified.substr(dot + 1);
+}
+
+struct FromEntry {
+  std::string stream;  // catalog name
+  std::string alias;   // effective (defaults to stream name)
+  Schema scan_schema;  // fields "<alias>.<col>"
+  size_t offset = 0;   // first column position in the combined schema
+};
+
+/// Binder working state for one SELECT.
+class SelectBinder {
+ public:
+  SelectBinder(const sql::SelectStatement& select, const Catalog& catalog,
+               const BindOptions& options)
+      : select_(select), catalog_(catalog), options_(options) {}
+
+  Result<BoundQuery> Bind() {
+    DT_RETURN_IF_ERROR(BindFrom());
+    DT_RETURN_IF_ERROR(ClassifyPredicates());
+    DT_RETURN_IF_ERROR(BuildJoinTree());
+    DT_RETURN_IF_ERROR(BindWindows());
+    DT_RETURN_IF_ERROR(BindOutput());
+    DT_RETURN_IF_ERROR(BindOrderByAndLimit());
+    return std::move(query_);
+  }
+
+ private:
+  Status BindFrom() {
+    if (select_.from.empty()) {
+      return Status::BindError("query has no FROM clause");
+    }
+    for (const sql::TableRef& ref : select_.from) {
+      DT_ASSIGN_OR_RETURN(StreamDef def, catalog_.GetStream(ref.name));
+      FromEntry entry;
+      entry.stream = def.name;
+      entry.alias = ref.effective_name();
+      for (const auto& existing : from_) {
+        if (existing.alias == entry.alias) {
+          return Status::BindError("duplicate FROM alias '" + entry.alias +
+                                   "'");
+        }
+      }
+      for (const Field& f : def.schema.fields()) {
+        DT_RETURN_IF_ERROR(entry.scan_schema.AddField(
+            Field{entry.alias + "." + f.name, f.type}));
+      }
+      entry.offset = combined_.num_fields();
+      DT_ASSIGN_OR_RETURN(combined_, combined_.Concat(entry.scan_schema));
+      from_.push_back(std::move(entry));
+    }
+    query_.from_streams.clear();
+    for (const FromEntry& e : from_) {
+      query_.from_streams.push_back(e.stream);
+      query_.from_aliases.push_back(e.alias);
+    }
+    return Status::OK();
+  }
+
+  /// Index of the FROM entry owning combined-schema column `global`.
+  size_t OwnerOf(size_t global) const {
+    for (size_t i = from_.size(); i-- > 0;) {
+      if (global >= from_[i].offset) return i;
+    }
+    DT_CHECK(false) << "column offset inconsistency";
+    return 0;
+  }
+
+  Status ClassifyPredicates() {
+    if (select_.where == nullptr) return Status::OK();
+    std::vector<const sql::Expr*> conjuncts;
+    CollectConjuncts(*select_.where, &conjuncts);
+    for (const sql::Expr* conjunct : conjuncts) {
+      DT_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                          BindExpr(*conjunct, combined_));
+      std::set<size_t> columns;
+      CollectColumnIndices(*bound, &columns);
+      std::set<size_t> owners;
+      for (size_t c : columns) owners.insert(OwnerOf(c));
+
+      if (owners.size() <= 1) {
+        // Single-stream predicate: push below the join by remapping the
+        // combined-schema indices onto the scan schema.
+        size_t owner = owners.empty() ? 0 : *owners.begin();
+        std::vector<size_t> index_map(combined_.num_fields(), 0);
+        for (size_t c : columns) index_map[c] = c - from_[owner].offset;
+        pushed_filters_[owner].push_back(bound->RemapColumns(index_map));
+        continue;
+      }
+      // Equijoin pattern: column = column across exactly two streams.
+      if (owners.size() == 2 &&
+          bound->kind() == BoundExpr::Kind::kBinary &&
+          bound->binary_op() == sql::BinaryOp::kEq &&
+          bound->lhs()->kind() == BoundExpr::Kind::kColumn &&
+          bound->rhs()->kind() == BoundExpr::Kind::kColumn) {
+        equi_preds_.push_back({bound->lhs()->column_index(),
+                               bound->rhs()->column_index(), false});
+        continue;
+      }
+      residuals_.push_back(std::move(bound));
+    }
+    return Status::OK();
+  }
+
+  Status BuildJoinTree() {
+    // Scans with pushed-down filters, in FROM order (the paper keeps the
+    // user's order for the kept plan and its rewrite; Sec. 5.2).
+    std::vector<PlanPtr> inputs;
+    for (size_t i = 0; i < from_.size(); ++i) {
+      PlanPtr node = LogicalPlan::StreamScan(from_[i].stream, Channel::kBase,
+                                             from_[i].scan_schema);
+      auto it = pushed_filters_.find(i);
+      if (it != pushed_filters_.end()) {
+        for (const BoundExprPtr& predicate : it->second) {
+          DT_ASSIGN_OR_RETURN(node,
+                              LogicalPlan::Filter(node, predicate));
+        }
+      }
+      inputs.push_back(std::move(node));
+    }
+
+    PlanPtr acc = inputs[0];
+    for (size_t i = 1; i < inputs.size(); ++i) {
+      // Keys link a column already in `acc` (aliases 0..i-1, whose
+      // combined indices coincide with acc's) to a column of input i.
+      std::vector<std::pair<size_t, size_t>> keys;
+      for (EquiPred& pred : equi_preds_) {
+        if (pred.placed) continue;
+        size_t owner_l = OwnerOf(pred.left);
+        size_t owner_r = OwnerOf(pred.right);
+        if (owner_r < owner_l) {
+          std::swap(pred.left, pred.right);
+          std::swap(owner_l, owner_r);
+        }
+        if (owner_r == i) {
+          DT_CHECK_LT(owner_l, i);
+          keys.push_back({pred.left, pred.right - from_[i].offset});
+          pred.placed = true;
+        }
+      }
+      DT_ASSIGN_OR_RETURN(acc, LogicalPlan::Join(acc, inputs[i],
+                                                 std::move(keys)));
+    }
+    for (const BoundExprPtr& residual : residuals_) {
+      DT_ASSIGN_OR_RETURN(acc, LogicalPlan::Filter(acc, residual));
+    }
+    query_.spj_core = std::move(acc);
+    return Status::OK();
+  }
+
+  Status BindOrderByAndLimit() {
+    query_.limit = select_.limit;
+    const Schema& output = query_.plan->schema();
+    for (const sql::OrderBySpec& spec : select_.order_by) {
+      if (spec.expr->kind != sql::Expr::Kind::kColumnRef) {
+        return Status::BindError(
+            "ORDER BY supports only output column references, got " +
+            spec.expr->ToString());
+      }
+      DT_ASSIGN_OR_RETURN(
+          size_t index,
+          ResolveColumn(spec.expr->table, spec.expr->column, output));
+      query_.sort_keys.push_back({index, spec.descending});
+    }
+    return Status::OK();
+  }
+
+  Status BindWindows() {
+    for (const sql::WindowSpec& spec : select_.windows) {
+      // The WINDOW clause may name either the alias or the stream.
+      std::string stream;
+      for (const FromEntry& e : from_) {
+        if (e.alias == spec.stream || e.stream == spec.stream) {
+          stream = e.stream;
+          break;
+        }
+      }
+      if (stream.empty()) {
+        return Status::BindError("WINDOW clause names unknown stream '" +
+                                 spec.stream + "'");
+      }
+      const double slide =
+          spec.slide_seconds > 0 ? spec.slide_seconds : spec.seconds;
+      auto [it, inserted] =
+          query_.window_seconds.insert({stream, spec.seconds});
+      if (!inserted && it->second != spec.seconds) {
+        return Status::BindError(
+            "conflicting window lengths for stream '" + stream + "'");
+      }
+      auto [slide_it, slide_inserted] =
+          query_.window_slide_seconds.insert({stream, slide});
+      if (!slide_inserted && slide_it->second != slide) {
+        return Status::BindError(
+            "conflicting window slides for stream '" + stream + "'");
+      }
+    }
+    for (const FromEntry& e : from_) {
+      query_.window_seconds.insert(
+          {e.stream, options_.default_window_seconds});
+      query_.window_slide_seconds.insert(
+          {e.stream, query_.window_seconds.at(e.stream)});
+    }
+    return Status::OK();
+  }
+
+  Status BindOutput() {
+    query_.distinct = select_.distinct;
+    bool any_agg = false;
+    for (const sql::SelectItem& item : select_.items) {
+      if (item.agg != sql::AggFunc::kNone) any_agg = true;
+    }
+    query_.has_aggregate = any_agg || !select_.group_by.empty();
+    if (query_.has_aggregate) return BindAggregateOutput();
+    return BindProjectionOutput();
+  }
+
+  Status BindAggregateOutput() {
+    // Resolve GROUP BY columns.
+    std::set<size_t> group_indices;
+    for (const sql::ExprPtr& g : select_.group_by) {
+      if (g->kind != sql::Expr::Kind::kColumnRef) {
+        return Status::BindError(
+            "GROUP BY supports only column references, got " +
+            g->ToString());
+      }
+      DT_ASSIGN_OR_RETURN(size_t index,
+                          ResolveColumn(g->table, g->column, combined_));
+      GroupBySpec spec;
+      spec.input_index = index;
+      spec.output_name = BaseName(combined_.field(index).name);
+      if (group_indices.count(index) == 0) {
+        group_indices.insert(index);
+        query_.group_by.push_back(std::move(spec));
+      }
+    }
+    // SELECT items: plain columns must be grouped; aggregates become specs.
+    std::set<std::string> used_names;
+    for (GroupBySpec& g : query_.group_by) {
+      if (!used_names.insert(g.output_name).second) {
+        g.output_name = combined_.field(g.input_index).name;
+        used_names.insert(g.output_name);
+      }
+    }
+    for (const sql::SelectItem& item : select_.items) {
+      if (item.is_star) {
+        return Status::BindError(
+            "SELECT * cannot be combined with aggregates");
+      }
+      if (item.agg == sql::AggFunc::kNone) {
+        if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+          return Status::BindError(
+              "non-aggregate SELECT items must be column references in an "
+              "aggregate query");
+        }
+        DT_ASSIGN_OR_RETURN(
+            size_t index,
+            ResolveColumn(item.expr->table, item.expr->column, combined_));
+        bool grouped = group_indices.count(index) > 0;
+        if (!grouped) {
+          return Status::BindError("column " + item.expr->ToString() +
+                                   " must appear in GROUP BY");
+        }
+        if (!item.alias.empty()) {
+          for (GroupBySpec& g : query_.group_by) {
+            if (g.input_index == index) g.output_name = item.alias;
+          }
+        }
+        continue;
+      }
+      AggregateSpec spec;
+      spec.func = item.agg;
+      if (item.count_star) {
+        spec.count_star = true;
+      } else {
+        if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+          return Status::BindError(
+              "aggregate arguments must be column references, got " +
+              item.expr->ToString());
+        }
+        DT_ASSIGN_OR_RETURN(
+            spec.input_index,
+            ResolveColumn(item.expr->table, item.expr->column, combined_));
+      }
+      spec.output_name =
+          item.alias.empty()
+              ? ToLowerAscii(sql::AggFuncToString(item.agg))
+              : item.alias;
+      int suffix = 2;
+      std::string base = spec.output_name;
+      while (!used_names.insert(spec.output_name).second) {
+        spec.output_name = base + StringPrintf("_%d", suffix++);
+      }
+      query_.aggregates.push_back(std::move(spec));
+    }
+    DT_ASSIGN_OR_RETURN(
+        query_.plan,
+        LogicalPlan::Aggregate(query_.spj_core, query_.group_by,
+                               query_.aggregates));
+    if (select_.having != nullptr) {
+      // HAVING references the aggregate's output columns (group names
+      // and aggregate aliases).
+      DT_ASSIGN_OR_RETURN(
+          query_.having,
+          BindExpr(*select_.having, query_.plan->schema()));
+      DT_ASSIGN_OR_RETURN(
+          query_.plan, LogicalPlan::Filter(query_.plan, query_.having));
+    }
+    return Status::OK();
+  }
+
+  Status BindProjectionOutput() {
+    // First pass: does the SELECT list reduce to plain column
+    // references? If so we keep the π form, which the shadow evaluator
+    // can mirror on synopses; otherwise we build a Compute node.
+    bool all_columns = true;
+    for (const sql::SelectItem& item : select_.items) {
+      if (item.is_star) continue;
+      if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+        all_columns = false;
+      }
+    }
+
+    std::set<std::string> used_names;
+    auto unique_name = [&](std::string preferred, size_t index,
+                           bool has_index) {
+      std::string name = std::move(preferred);
+      if (!used_names.insert(name).second) {
+        if (has_index) {
+          name = combined_.field(index).name;  // fall back to qualified
+        } else {
+          int suffix = 2;
+          std::string base = name;
+          do {
+            name = base + StringPrintf("_%d", suffix++);
+          } while (used_names.count(name) > 0);
+        }
+        used_names.insert(name);
+      }
+      return name;
+    };
+
+    if (all_columns) {
+      auto add_output = [&](size_t index, std::string preferred) {
+        query_.projection.push_back(index);
+        query_.projection_names.push_back(
+            unique_name(std::move(preferred), index, true));
+      };
+      for (const sql::SelectItem& item : select_.items) {
+        if (item.is_star) {
+          for (size_t i = 0; i < combined_.num_fields(); ++i) {
+            add_output(i, BaseName(combined_.field(i).name));
+          }
+          continue;
+        }
+        DT_ASSIGN_OR_RETURN(
+            size_t index,
+            ResolveColumn(item.expr->table, item.expr->column, combined_));
+        add_output(index, item.alias.empty()
+                              ? BaseName(combined_.field(index).name)
+                              : item.alias);
+      }
+      DT_ASSIGN_OR_RETURN(
+          query_.plan,
+          LogicalPlan::Project(query_.spj_core, query_.projection,
+                               query_.projection_names));
+      return Status::OK();
+    }
+
+    // Computed projection (e.g. SELECT a + b AS x): bind every item as an
+    // expression over the combined schema.
+    query_.computed_projection = true;
+    size_t expr_counter = 1;
+    for (const sql::SelectItem& item : select_.items) {
+      if (item.is_star) {
+        for (size_t i = 0; i < combined_.num_fields(); ++i) {
+          query_.projection_exprs.push_back(BoundExpr::Column(
+              i, combined_.field(i).type));
+          query_.projection_names.push_back(unique_name(
+              BaseName(combined_.field(i).name), i, true));
+        }
+        continue;
+      }
+      DT_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                          BindExpr(*item.expr, combined_));
+      std::string preferred = item.alias;
+      if (preferred.empty()) {
+        preferred =
+            item.expr->kind == sql::Expr::Kind::kColumnRef
+                ? BaseName(item.expr->column)
+                : StringPrintf("expr%zu", expr_counter);
+      }
+      ++expr_counter;
+      query_.projection_names.push_back(
+          unique_name(std::move(preferred), 0, false));
+      query_.projection_exprs.push_back(std::move(bound));
+    }
+    DT_ASSIGN_OR_RETURN(
+        query_.plan,
+        LogicalPlan::Compute(query_.spj_core, query_.projection_exprs,
+                             query_.projection_names));
+    return Status::OK();
+  }
+
+  struct EquiPred {
+    size_t left;   // combined-schema index
+    size_t right;  // combined-schema index
+    bool placed;
+  };
+
+  const sql::SelectStatement& select_;
+  const Catalog& catalog_;
+  const BindOptions& options_;
+
+  std::vector<FromEntry> from_;
+  Schema combined_;
+  std::map<size_t, std::vector<BoundExprPtr>> pushed_filters_;
+  std::vector<EquiPred> equi_preds_;
+  std::vector<BoundExprPtr> residuals_;
+  BoundQuery query_;
+};
+
+}  // namespace
+
+Result<BoundQuery> BindSelect(const sql::SelectStatement& select,
+                              const Catalog& catalog,
+                              const BindOptions& options) {
+  return SelectBinder(select, catalog, options).Bind();
+}
+
+Result<BoundQuery> BindSetOp(const sql::SetOpStatement& set_op,
+                             const Catalog& catalog,
+                             const BindOptions& options) {
+  DT_ASSIGN_OR_RETURN(BoundQuery lhs,
+                      BindSelect(*set_op.lhs, catalog, options));
+  DT_ASSIGN_OR_RETURN(BoundQuery rhs,
+                      BindSelect(*set_op.rhs, catalog, options));
+  if (lhs.has_aggregate || rhs.has_aggregate) {
+    return Status::BindError(
+        "UNION ALL / EXCEPT over aggregate queries is not supported");
+  }
+  if (lhs.distinct || rhs.distinct) {
+    return Status::BindError(
+        "UNION ALL / EXCEPT over DISTINCT queries is not supported");
+  }
+  if (!lhs.sort_keys.empty() || !rhs.sort_keys.empty() ||
+      lhs.limit >= 0 || rhs.limit >= 0) {
+    return Status::BindError(
+        "ORDER BY / LIMIT inside set-operation branches is not "
+        "supported");
+  }
+  BoundQuery out;
+  if (set_op.op == sql::SetOpKind::kUnionAll) {
+    DT_ASSIGN_OR_RETURN(out.plan,
+                        LogicalPlan::UnionAll(lhs.plan, rhs.plan));
+  } else {
+    DT_ASSIGN_OR_RETURN(out.plan,
+                        LogicalPlan::SetDifference(lhs.plan, rhs.plan));
+  }
+  out.spj_core = out.plan;
+  out.projection_names.clear();
+  for (const Field& f : out.plan->schema().fields()) {
+    out.projection_names.push_back(f.name);
+  }
+  out.window_seconds = lhs.window_seconds;
+  out.window_slide_seconds = lhs.window_slide_seconds;
+  for (const auto& [stream, seconds] : rhs.window_seconds) {
+    auto [it, inserted] = out.window_seconds.insert({stream, seconds});
+    if (!inserted && it->second != seconds) {
+      return Status::BindError("conflicting window lengths for stream '" +
+                               stream + "' across set-operation branches");
+    }
+  }
+  for (const auto& [stream, slide] : rhs.window_slide_seconds) {
+    auto [it, inserted] =
+        out.window_slide_seconds.insert({stream, slide});
+    if (!inserted && it->second != slide) {
+      return Status::BindError("conflicting window slides for stream '" +
+                               stream + "' across set-operation branches");
+    }
+  }
+  out.from_streams = lhs.from_streams;
+  out.from_aliases = lhs.from_aliases;
+  for (size_t i = 0; i < rhs.from_streams.size(); ++i) {
+    out.from_streams.push_back(rhs.from_streams[i]);
+    out.from_aliases.push_back(rhs.from_aliases[i]);
+  }
+  return out;
+}
+
+Result<BoundQuery> BindStatement(const sql::Statement& statement,
+                                 const Catalog& catalog,
+                                 const BindOptions& options) {
+  switch (statement.kind) {
+    case sql::Statement::Kind::kSelect:
+      return BindSelect(*statement.select, catalog, options);
+    case sql::Statement::Kind::kSetOp:
+      return BindSetOp(*statement.set_op, catalog, options);
+    case sql::Statement::Kind::kCreateStream:
+      return Status::BindError(
+          "CREATE STREAM is a DDL statement; register it with the catalog");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace datatriage::plan

@@ -1,0 +1,95 @@
+#ifndef DATATRIAGE_PLAN_BINDER_H_
+#define DATATRIAGE_PLAN_BINDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/plan/logical_plan.h"
+#include "src/sql/ast.h"
+
+namespace datatriage::plan {
+
+/// A continuous query after name resolution and planning.
+struct BoundQuery {
+  /// Complete plan: SPJ core plus projection or aggregation on top.
+  PlanPtr plan;
+
+  /// The select-project-join core (scans, per-stream filters, join tree,
+  /// residual filters) *below* any aggregation/projection. The Data Triage
+  /// rewrite of Sec. 4 operates on this subtree; aggregation is re-applied
+  /// to the shadow result separately (Sec. 8.1 "merging").
+  PlanPtr spj_core;
+
+  bool has_aggregate = false;
+  /// Populated when has_aggregate: specs are bound against
+  /// spj_core->schema().
+  std::vector<GroupBySpec> group_by;
+  std::vector<AggregateSpec> aggregates;
+  /// HAVING predicate bound against the aggregate output schema (group
+  /// columns then aggregates); null when absent. Also folded into `plan`
+  /// as a Filter, so offline evaluation applies it automatically; the
+  /// engine applies it to both the exact and the merged composite rows.
+  BoundExprPtr having;
+
+  /// Populated when !has_aggregate: the final projection over spj_core.
+  /// When every SELECT item is a plain column reference, `projection`
+  /// holds the column indices (and the shadow result synopsis can be
+  /// projected to the output columns). Otherwise `computed_projection` is
+  /// set and `projection_exprs` holds one bound expression per output
+  /// column (no synopsis view of the loss estimate is available then).
+  std::vector<size_t> projection;
+  std::vector<std::string> projection_names;
+  bool computed_projection = false;
+  std::vector<BoundExprPtr> projection_exprs;
+
+  bool distinct = false;
+
+  /// ORDER BY keys as (output column index, descending) pairs, applied
+  /// per window at result delivery, plus the per-window LIMIT (< 0 means
+  /// none). Presentation-level: they do not change which results exist,
+  /// only how each window's rows are ordered and truncated.
+  std::vector<std::pair<size_t, bool>> sort_keys;
+  int64_t limit = -1;
+
+  /// Window range per catalog stream name (every stream in FROM has an
+  /// entry; unspecified streams get the binder's default).
+  std::map<std::string, double> window_seconds;
+
+  /// Window slide per catalog stream name; equals the range for tumbling
+  /// windows (the default when the WINDOW clause gives one interval).
+  std::map<std::string, double> window_slide_seconds;
+
+  /// Catalog stream names in FROM-clause order (duplicates possible for
+  /// self-joins; paired with the alias actually used).
+  std::vector<std::string> from_streams;
+  std::vector<std::string> from_aliases;
+};
+
+struct BindOptions {
+  /// Window length for streams without a WINDOW clause entry.
+  double default_window_seconds = 1.0;
+};
+
+/// Binds a SELECT statement against the catalog.
+Result<BoundQuery> BindSelect(const sql::SelectStatement& select,
+                              const Catalog& catalog,
+                              const BindOptions& options = BindOptions());
+
+/// Binds a UNION ALL / EXCEPT of two SELECTs (both must be
+/// aggregation-free and union-compatible).
+Result<BoundQuery> BindSetOp(const sql::SetOpStatement& set_op,
+                             const Catalog& catalog,
+                             const BindOptions& options = BindOptions());
+
+/// Dispatches on statement kind (CREATE STREAM is not a query and is
+/// rejected here; register it with the catalog instead).
+Result<BoundQuery> BindStatement(const sql::Statement& statement,
+                                 const Catalog& catalog,
+                                 const BindOptions& options = BindOptions());
+
+}  // namespace datatriage::plan
+
+#endif  // DATATRIAGE_PLAN_BINDER_H_

@@ -1,0 +1,280 @@
+#include "src/plan/expression.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::plan {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::UnaryOp;
+
+bool ValueIsTrue(const Value& v) {
+  if (v.is_string()) return !v.str().empty();
+  return v.AsDouble() != 0.0;
+}
+
+Value BoolValue(bool b) { return Value::Int64(b ? 1 : 0); }
+
+}  // namespace
+
+BoundExprPtr BoundExpr::Column(size_t index, FieldType type) {
+  auto e = std::shared_ptr<BoundExpr>(new BoundExpr());
+  e->kind_ = Kind::kColumn;
+  e->column_index_ = index;
+  e->result_type_ = type;
+  return e;
+}
+
+BoundExprPtr BoundExpr::Literal(Value value) {
+  auto e = std::shared_ptr<BoundExpr>(new BoundExpr());
+  e->kind_ = Kind::kLiteral;
+  e->result_type_ = value.type();
+  e->literal_ = std::move(value);
+  return e;
+}
+
+BoundExprPtr BoundExpr::Unary(UnaryOp op, BoundExprPtr operand) {
+  auto e = std::shared_ptr<BoundExpr>(new BoundExpr());
+  e->kind_ = Kind::kUnary;
+  e->unary_op_ = op;
+  e->result_type_ = op == UnaryOp::kNot ? FieldType::kInt64
+                                        : operand->result_type();
+  e->lhs_ = std::move(operand);
+  return e;
+}
+
+BoundExprPtr BoundExpr::Binary(BinaryOp op, BoundExprPtr lhs,
+                               BoundExprPtr rhs) {
+  auto e = std::shared_ptr<BoundExpr>(new BoundExpr());
+  e->kind_ = Kind::kBinary;
+  e->binary_op_ = op;
+  if (IsComparisonOp(op) || op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    e->result_type_ = FieldType::kInt64;
+  } else if (lhs->result_type() == FieldType::kInt64 &&
+             rhs->result_type() == FieldType::kInt64) {
+    e->result_type_ = FieldType::kInt64;
+  } else {
+    e->result_type_ = FieldType::kDouble;
+  }
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+Value BoundExpr::Evaluate(const Tuple& input) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return input.value(column_index_);
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kUnary: {
+      Value operand = lhs_->Evaluate(input);
+      if (unary_op_ == UnaryOp::kNot) {
+        return BoolValue(!ValueIsTrue(operand));
+      }
+      // Negation.
+      if (operand.is_int64()) return Value::Int64(-operand.int64());
+      DT_CHECK(operand.is_numeric()) << "negating non-numeric value";
+      return Value::Double(-operand.AsDouble());
+    }
+    case Kind::kBinary: {
+      // Short-circuiting connectives first.
+      if (binary_op_ == BinaryOp::kAnd) {
+        if (!ValueIsTrue(lhs_->Evaluate(input))) return BoolValue(false);
+        return BoolValue(ValueIsTrue(rhs_->Evaluate(input)));
+      }
+      if (binary_op_ == BinaryOp::kOr) {
+        if (ValueIsTrue(lhs_->Evaluate(input))) return BoolValue(true);
+        return BoolValue(ValueIsTrue(rhs_->Evaluate(input)));
+      }
+      Value a = lhs_->Evaluate(input);
+      Value b = rhs_->Evaluate(input);
+      switch (binary_op_) {
+        case BinaryOp::kEq:
+          return BoolValue(a == b);
+        case BinaryOp::kNotEq:
+          return BoolValue(a != b);
+        case BinaryOp::kLess:
+          return BoolValue(a < b);
+        case BinaryOp::kLessEq:
+          return BoolValue(!(b < a));
+        case BinaryOp::kGreater:
+          return BoolValue(b < a);
+        case BinaryOp::kGreaterEq:
+          return BoolValue(!(a < b));
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv: {
+          DT_CHECK(a.is_numeric() && b.is_numeric())
+              << "arithmetic on non-numeric values";
+          if (a.is_int64() && b.is_int64() &&
+              binary_op_ != BinaryOp::kDiv) {
+            int64_t x = a.int64(), y = b.int64();
+            switch (binary_op_) {
+              case BinaryOp::kAdd:
+                return Value::Int64(x + y);
+              case BinaryOp::kSub:
+                return Value::Int64(x - y);
+              default:
+                return Value::Int64(x * y);
+            }
+          }
+          double x = a.AsDouble(), y = b.AsDouble();
+          switch (binary_op_) {
+            case BinaryOp::kAdd:
+              return Value::Double(x + y);
+            case BinaryOp::kSub:
+              return Value::Double(x - y);
+            case BinaryOp::kMul:
+              return Value::Double(x * y);
+            default:
+              return Value::Double(y == 0.0 ? 0.0 : x / y);
+          }
+        }
+        default:
+          break;
+      }
+      DT_CHECK(false) << "unhandled binary op";
+      return Value();
+    }
+  }
+  DT_CHECK(false) << "unhandled expression kind";
+  return Value();
+}
+
+bool BoundExpr::EvaluatesToTrue(const Tuple& input) const {
+  return ValueIsTrue(Evaluate(input));
+}
+
+BoundExprPtr BoundExpr::RemapColumns(
+    const std::vector<size_t>& index_map) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      DT_CHECK_LT(column_index_, index_map.size())
+          << "column index out of range in remap";
+      return Column(index_map[column_index_], result_type_);
+    case Kind::kLiteral:
+      return Literal(literal_);
+    case Kind::kUnary:
+      return Unary(unary_op_, lhs_->RemapColumns(index_map));
+    case Kind::kBinary:
+      return Binary(binary_op_, lhs_->RemapColumns(index_map),
+                    rhs_->RemapColumns(index_map));
+  }
+  DT_CHECK(false) << "unhandled expression kind";
+  return nullptr;
+}
+
+std::string BoundExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return StringPrintf("$%zu", column_index_);
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kUnary:
+      return std::string(sql::UnaryOpToString(unary_op_)) + "(" +
+             lhs_->ToString() + ")";
+    case Kind::kBinary:
+      return "(" + lhs_->ToString() + " " +
+             std::string(sql::BinaryOpToString(binary_op_)) + " " +
+             rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+Result<size_t> ResolveColumn(const std::string& table,
+                             const std::string& column,
+                             const Schema& schema) {
+  if (!table.empty()) {
+    const std::string qualified = table + "." + column;
+    DT_ASSIGN_OR_RETURN(size_t index, schema.FieldIndex(qualified));
+    return index;
+  }
+  // Unqualified: an exact full-name match wins (supports schemas whose
+  // field names themselves contain dots, e.g. "r.a" referenced as a
+  // quoted identifier); otherwise match on the suffix after '.', which
+  // must be unambiguous.
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (schema.field(i).name == column) return i;
+  }
+  size_t found = schema.num_fields();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const std::string& name = schema.field(i).name;
+    size_t dot = name.rfind('.');
+    const std::string_view base =
+        dot == std::string::npos
+            ? std::string_view(name)
+            : std::string_view(name).substr(dot + 1);
+    if (base == column) {
+      if (found != schema.num_fields()) {
+        return Status::BindError("ambiguous column reference '" + column +
+                                 "' in schema [" + schema.ToString() + "]");
+      }
+      found = i;
+    }
+  }
+  if (found == schema.num_fields()) {
+    return Status::BindError("unknown column '" + column + "' in schema [" +
+                             schema.ToString() + "]");
+  }
+  return found;
+}
+
+namespace {
+
+Result<BoundExprPtr> BindExprInternal(const sql::Expr& expr,
+                                      const Schema& schema) {
+  switch (expr.kind) {
+    case sql::Expr::Kind::kColumnRef: {
+      DT_ASSIGN_OR_RETURN(size_t index,
+                          ResolveColumn(expr.table, expr.column, schema));
+      return BoundExpr::Column(index, schema.field(index).type);
+    }
+    case sql::Expr::Kind::kLiteral:
+      return BoundExpr::Literal(expr.literal);
+    case sql::Expr::Kind::kUnary: {
+      DT_ASSIGN_OR_RETURN(BoundExprPtr operand,
+                          BindExprInternal(*expr.lhs, schema));
+      if (expr.unary_op == sql::UnaryOp::kNegate &&
+          operand->result_type() == FieldType::kString) {
+        return Status::BindError("cannot negate a string expression");
+      }
+      return BoundExpr::Unary(expr.unary_op, std::move(operand));
+    }
+    case sql::Expr::Kind::kBinary: {
+      DT_ASSIGN_OR_RETURN(BoundExprPtr lhs,
+                          BindExprInternal(*expr.lhs, schema));
+      DT_ASSIGN_OR_RETURN(BoundExprPtr rhs,
+                          BindExprInternal(*expr.rhs, schema));
+      const bool lhs_string = lhs->result_type() == FieldType::kString;
+      const bool rhs_string = rhs->result_type() == FieldType::kString;
+      if (sql::IsComparisonOp(expr.binary_op)) {
+        if (lhs_string != rhs_string) {
+          return Status::BindError(
+              "cannot compare string with numeric in " + expr.ToString());
+        }
+      } else if (expr.binary_op != sql::BinaryOp::kAnd &&
+                 expr.binary_op != sql::BinaryOp::kOr) {
+        if (lhs_string || rhs_string) {
+          return Status::BindError("arithmetic on string operand in " +
+                                   expr.ToString());
+        }
+      }
+      return BoundExpr::Binary(expr.binary_op, std::move(lhs),
+                               std::move(rhs));
+    }
+  }
+  return Status::Internal("unhandled AST expression kind");
+}
+
+}  // namespace
+
+Result<BoundExprPtr> BindExpr(const sql::Expr& expr, const Schema& schema) {
+  return BindExprInternal(expr, schema);
+}
+
+}  // namespace datatriage::plan

@@ -1,0 +1,86 @@
+#ifndef DATATRIAGE_PLAN_EXPRESSION_H_
+#define DATATRIAGE_PLAN_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/catalog/schema.h"
+#include "src/common/result.h"
+#include "src/sql/ast.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::plan {
+
+class BoundExpr;
+using BoundExprPtr = std::shared_ptr<const BoundExpr>;
+
+/// Scalar expression with column references resolved to positional indices
+/// against a specific input schema. Immutable and shareable across plan
+/// nodes (the differential rewrite duplicates subtrees heavily).
+///
+/// Type checking happens at bind time; `Evaluate` is the hot path and
+/// assumes well-typed inputs (violations are programming errors and
+/// DT_CHECK-fail).
+class BoundExpr {
+ public:
+  enum class Kind { kColumn, kLiteral, kUnary, kBinary };
+
+  static BoundExprPtr Column(size_t index, FieldType type);
+  static BoundExprPtr Literal(Value value);
+  static BoundExprPtr Unary(sql::UnaryOp op, BoundExprPtr operand);
+  static BoundExprPtr Binary(sql::BinaryOp op, BoundExprPtr lhs,
+                             BoundExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  size_t column_index() const { return column_index_; }
+  const Value& literal() const { return literal_; }
+  sql::UnaryOp unary_op() const { return unary_op_; }
+  sql::BinaryOp binary_op() const { return binary_op_; }
+  const BoundExprPtr& lhs() const { return lhs_; }
+  const BoundExprPtr& rhs() const { return rhs_; }
+
+  /// Static result type. Comparisons and logical connectives yield kInt64
+  /// (0/1); arithmetic follows numeric promotion.
+  FieldType result_type() const { return result_type_; }
+
+  /// Evaluates against one input row.
+  Value Evaluate(const Tuple& input) const;
+
+  /// Convenience: evaluates and interprets the result as a SQL condition
+  /// (non-zero numeric = true).
+  bool EvaluatesToTrue(const Tuple& input) const;
+
+  /// Remaps column indices through `index_map` (new_index =
+  /// index_map[old_index]); used when a predicate moves across a
+  /// projection or join boundary. All referenced indices must be mapped.
+  BoundExprPtr RemapColumns(const std::vector<size_t>& index_map) const;
+
+  std::string ToString() const;
+
+ private:
+  BoundExpr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  size_t column_index_ = 0;
+  Value literal_;
+  sql::UnaryOp unary_op_ = sql::UnaryOp::kNot;
+  sql::BinaryOp binary_op_ = sql::BinaryOp::kEq;
+  BoundExprPtr lhs_;
+  BoundExprPtr rhs_;
+  FieldType result_type_ = FieldType::kInt64;
+};
+
+/// Resolves `expr` (an AST expression) against `schema`, whose field names
+/// are qualified as "<stream>.<column>". Unqualified references resolve
+/// when the suffix matches exactly one field. Performs type checking.
+Result<BoundExprPtr> BindExpr(const sql::Expr& expr, const Schema& schema);
+
+/// Resolves a (possibly qualified) column name against a qualified schema,
+/// returning its index. Shared by the binder and the aggregate planner.
+Result<size_t> ResolveColumn(const std::string& table,
+                             const std::string& column,
+                             const Schema& schema);
+
+}  // namespace datatriage::plan
+
+#endif  // DATATRIAGE_PLAN_EXPRESSION_H_

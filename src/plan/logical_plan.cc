@@ -1,0 +1,348 @@
+#include "src/plan/logical_plan.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::plan {
+
+std::string_view ChannelToString(Channel channel) {
+  switch (channel) {
+    case Channel::kBase:
+      return "base";
+    case Channel::kKept:
+      return "kept";
+    case Channel::kDropped:
+      return "dropped";
+  }
+  return "?";
+}
+
+FieldType AggregateSpec::ResultType(FieldType input_type) const {
+  switch (func) {
+    case sql::AggFunc::kCount:
+      return FieldType::kInt64;
+    case sql::AggFunc::kAvg:
+      return FieldType::kDouble;
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kMin:
+    case sql::AggFunc::kMax:
+      return input_type;
+    case sql::AggFunc::kNone:
+      break;
+  }
+  return input_type;
+}
+
+namespace {
+
+/// Schemas are union/difference-compatible when field types match
+/// positionally.
+Status CheckUnionCompatible(const Schema& left, const Schema& right,
+                            const char* op_name) {
+  if (left.num_fields() != right.num_fields()) {
+    return Status::InvalidArgument(
+        StringPrintf("%s inputs have different arity (%zu vs %zu)", op_name,
+                     left.num_fields(), right.num_fields()));
+  }
+  for (size_t i = 0; i < left.num_fields(); ++i) {
+    if (left.field(i).type != right.field(i).type) {
+      return Status::InvalidArgument(
+          StringPrintf("%s inputs disagree on column %zu type (%s vs %s)",
+                       op_name, i,
+                       std::string(FieldTypeToString(left.field(i).type))
+                           .c_str(),
+                       std::string(FieldTypeToString(right.field(i).type))
+                           .c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PlanPtr LogicalPlan::Empty(Schema schema) {
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kEmpty;
+  p->schema_ = std::move(schema);
+  return p;
+}
+
+PlanPtr LogicalPlan::StreamScan(std::string stream, Channel channel,
+                                Schema schema) {
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kStreamScan;
+  p->stream_ = std::move(stream);
+  p->channel_ = channel;
+  p->schema_ = std::move(schema);
+  return p;
+}
+
+Result<PlanPtr> LogicalPlan::Filter(PlanPtr input, BoundExprPtr predicate) {
+  if (input == nullptr || predicate == nullptr) {
+    return Status::InvalidArgument("Filter requires an input and predicate");
+  }
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kFilter;
+  p->schema_ = input->schema();
+  p->children_.push_back(std::move(input));
+  p->predicate_ = std::move(predicate);
+  return PlanPtr(p);
+}
+
+Result<PlanPtr> LogicalPlan::Project(PlanPtr input,
+                                     std::vector<size_t> indices,
+                                     std::vector<std::string> names) {
+  if (input == nullptr) {
+    return Status::InvalidArgument("Project requires an input");
+  }
+  if (indices.size() != names.size()) {
+    return Status::InvalidArgument(
+        "Project indices and names must have equal length");
+  }
+  Schema schema;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= input->schema().num_fields()) {
+      return Status::OutOfRange(
+          StringPrintf("Project index %zu out of range for schema [%s]",
+                       indices[i], input->schema().ToString().c_str()));
+    }
+    DT_RETURN_IF_ERROR(schema.AddField(
+        Field{names[i], input->schema().field(indices[i]).type}));
+  }
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kProject;
+  p->schema_ = std::move(schema);
+  p->children_.push_back(std::move(input));
+  p->projection_ = std::move(indices);
+  return PlanPtr(p);
+}
+
+Result<PlanPtr> LogicalPlan::Compute(PlanPtr input,
+                                     std::vector<BoundExprPtr> exprs,
+                                     std::vector<std::string> names) {
+  if (input == nullptr) {
+    return Status::InvalidArgument("Compute requires an input");
+  }
+  if (exprs.size() != names.size()) {
+    return Status::InvalidArgument(
+        "Compute expressions and names must have equal length");
+  }
+  Schema schema;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (exprs[i] == nullptr) {
+      return Status::InvalidArgument("Compute expression is null");
+    }
+    DT_RETURN_IF_ERROR(
+        schema.AddField(Field{names[i], exprs[i]->result_type()}));
+  }
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kCompute;
+  p->schema_ = std::move(schema);
+  p->children_.push_back(std::move(input));
+  p->compute_exprs_ = std::move(exprs);
+  return PlanPtr(p);
+}
+
+Result<PlanPtr> LogicalPlan::Join(
+    PlanPtr left, PlanPtr right,
+    std::vector<std::pair<size_t, size_t>> keys, BoundExprPtr residual) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("Join requires two inputs");
+  }
+  for (const auto& [l, r] : keys) {
+    if (l >= left->schema().num_fields()) {
+      return Status::OutOfRange(
+          StringPrintf("join key %zu out of range on left", l));
+    }
+    if (r >= right->schema().num_fields()) {
+      return Status::OutOfRange(
+          StringPrintf("join key %zu out of range on right", r));
+    }
+  }
+  DT_ASSIGN_OR_RETURN(Schema schema,
+                      left->schema().Concat(right->schema()));
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kJoin;
+  p->schema_ = std::move(schema);
+  p->children_.push_back(std::move(left));
+  p->children_.push_back(std::move(right));
+  p->join_keys_ = std::move(keys);
+  p->predicate_ = std::move(residual);
+  return PlanPtr(p);
+}
+
+Result<PlanPtr> LogicalPlan::UnionAll(PlanPtr left, PlanPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("UnionAll requires two inputs");
+  }
+  DT_RETURN_IF_ERROR(
+      CheckUnionCompatible(left->schema(), right->schema(), "UNION ALL"));
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kUnionAll;
+  p->schema_ = left->schema();
+  p->children_.push_back(std::move(left));
+  p->children_.push_back(std::move(right));
+  return PlanPtr(p);
+}
+
+Result<PlanPtr> LogicalPlan::SetDifference(PlanPtr left, PlanPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("SetDifference requires two inputs");
+  }
+  DT_RETURN_IF_ERROR(
+      CheckUnionCompatible(left->schema(), right->schema(), "EXCEPT"));
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kSetDifference;
+  p->schema_ = left->schema();
+  p->children_.push_back(std::move(left));
+  p->children_.push_back(std::move(right));
+  return PlanPtr(p);
+}
+
+Result<PlanPtr> LogicalPlan::Aggregate(PlanPtr input,
+                                       std::vector<GroupBySpec> group_by,
+                                       std::vector<AggregateSpec> aggregates) {
+  if (input == nullptr) {
+    return Status::InvalidArgument("Aggregate requires an input");
+  }
+  Schema schema;
+  for (const GroupBySpec& g : group_by) {
+    if (g.input_index >= input->schema().num_fields()) {
+      return Status::OutOfRange(
+          StringPrintf("group-by index %zu out of range", g.input_index));
+    }
+    DT_RETURN_IF_ERROR(schema.AddField(
+        Field{g.output_name, input->schema().field(g.input_index).type}));
+  }
+  for (const AggregateSpec& a : aggregates) {
+    FieldType input_type = FieldType::kInt64;
+    if (!a.count_star) {
+      if (a.input_index >= input->schema().num_fields()) {
+        return Status::OutOfRange(
+            StringPrintf("aggregate index %zu out of range", a.input_index));
+      }
+      input_type = input->schema().field(a.input_index).type;
+      if (a.func != sql::AggFunc::kMin && a.func != sql::AggFunc::kMax &&
+          a.func != sql::AggFunc::kCount &&
+          input_type == FieldType::kString) {
+        return Status::InvalidArgument(
+            "SUM/AVG require a numeric input column");
+      }
+    }
+    DT_RETURN_IF_ERROR(
+        schema.AddField(Field{a.output_name, a.ResultType(input_type)}));
+  }
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kAggregate;
+  p->schema_ = std::move(schema);
+  p->children_.push_back(std::move(input));
+  p->group_by_ = std::move(group_by);
+  p->aggregates_ = std::move(aggregates);
+  return PlanPtr(p);
+}
+
+bool LogicalPlan::IsFreeOfChannel(Channel channel) const {
+  if (kind_ == Kind::kStreamScan && channel_ == channel) return false;
+  for (const PlanPtr& c : children_) {
+    if (!c->IsFreeOfChannel(channel)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> LogicalPlan::ScannedStreams() const {
+  std::vector<std::string> streams;
+  if (kind_ == Kind::kStreamScan) streams.push_back(stream_);
+  for (const PlanPtr& c : children_) {
+    for (std::string& s : c->ScannedStreams()) {
+      if (std::find(streams.begin(), streams.end(), s) == streams.end()) {
+        streams.push_back(std::move(s));
+      }
+    }
+  }
+  return streams;
+}
+
+void LogicalPlan::AppendTo(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind_) {
+    case Kind::kEmpty:
+      *out += "Empty";
+      break;
+    case Kind::kStreamScan:
+      *out += "Scan " + stream_ + "[" +
+              std::string(ChannelToString(channel_)) + "]";
+      break;
+    case Kind::kFilter:
+      *out += "Filter " + predicate_->ToString();
+      break;
+    case Kind::kProject: {
+      *out += "Project {";
+      for (size_t i = 0; i < projection_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += StringPrintf("$%zu AS %s", projection_[i],
+                             schema_.field(i).name.c_str());
+      }
+      *out += "}";
+      break;
+    }
+    case Kind::kCompute: {
+      *out += "Compute {";
+      for (size_t i = 0; i < compute_exprs_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += compute_exprs_[i]->ToString() + " AS " +
+                schema_.field(i).name;
+      }
+      *out += "}";
+      break;
+    }
+    case Kind::kJoin: {
+      *out += "Join";
+      if (join_keys_.empty() && predicate_ == nullptr) {
+        *out += " (cross)";
+      }
+      for (size_t i = 0; i < join_keys_.size(); ++i) {
+        *out += StringPrintf("%s L$%zu=R$%zu", i == 0 ? " on" : " and",
+                             join_keys_[i].first, join_keys_[i].second);
+      }
+      if (predicate_ != nullptr) {
+        *out += " residual " + predicate_->ToString();
+      }
+      break;
+    }
+    case Kind::kUnionAll:
+      *out += "UnionAll";
+      break;
+    case Kind::kSetDifference:
+      *out += "SetDifference";
+      break;
+    case Kind::kAggregate: {
+      *out += "Aggregate group-by {";
+      for (size_t i = 0; i < group_by_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += StringPrintf("$%zu AS %s", group_by_[i].input_index,
+                             group_by_[i].output_name.c_str());
+      }
+      *out += "} aggs {";
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        const AggregateSpec& a = aggregates_[i];
+        *out += std::string(sql::AggFuncToString(a.func)) + "(";
+        *out += a.count_star ? "*" : StringPrintf("$%zu", a.input_index);
+        *out += ") AS " + a.output_name;
+      }
+      *out += "}";
+      break;
+    }
+  }
+  *out += "\n";
+  for (const PlanPtr& c : children_) c->AppendTo(out, indent + 1);
+}
+
+std::string LogicalPlan::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+}  // namespace datatriage::plan

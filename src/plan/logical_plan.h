@@ -1,0 +1,178 @@
+#ifndef DATATRIAGE_PLAN_LOGICAL_PLAN_H_
+#define DATATRIAGE_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/result.h"
+#include "src/plan/expression.h"
+#include "src/sql/ast.h"
+
+namespace datatriage::plan {
+
+/// Which substream a scan leaf reads. The Data Triage rewrite splits every
+/// base stream R into R_kept (tuples the engine processed) and R_dropped
+/// (tuples shed by the triage queue); see paper Sec. 4.3.
+enum class Channel { kBase, kKept, kDropped };
+
+std::string_view ChannelToString(Channel channel);
+
+/// One aggregate computation in an Aggregate node.
+struct AggregateSpec {
+  sql::AggFunc func = sql::AggFunc::kCount;
+  /// COUNT(*): no input column.
+  bool count_star = false;
+  /// Input column index (when !count_star).
+  size_t input_index = 0;
+  std::string output_name;
+
+  /// Result type given the input column type.
+  FieldType ResultType(FieldType input_type) const;
+};
+
+/// Named group-by column.
+struct GroupBySpec {
+  size_t input_index = 0;
+  std::string output_name;
+};
+
+class LogicalPlan;
+using PlanPtr = std::shared_ptr<const LogicalPlan>;
+
+/// Immutable relational-algebra plan node. Subtrees are shared via
+/// shared_ptr: the differential rewrite's recurrence expansion (paper
+/// Sec. 4.2) deliberately reuses intermediate join results, and sharing
+/// makes that reuse explicit in the plan DAG.
+///
+/// Plans are built through factory functions that compute output schemas
+/// and validate arity/type preconditions, returning Status on misuse.
+class LogicalPlan {
+ public:
+  enum class Kind {
+    kEmpty,          // leaf: the empty relation with a known schema
+    kStreamScan,     // leaf: one channel of a registered stream
+    kFilter,         // σ
+    kProject,        // π (multiset projection)
+    kCompute,        // generalized projection: scalar expressions per row
+    kJoin,           // equijoin; with no keys and no residual, ⨯
+    kUnionAll,       // multiset +
+    kSetDifference,  // multiset −
+    kAggregate,      // γ (hash group-by)
+  };
+
+  // ------------------------------------------------------------------
+  // Factories.
+  // ------------------------------------------------------------------
+
+  /// Empty relation with the given schema (arises during differential
+  /// rewriting, e.g. R+ for pure streams).
+  static PlanPtr Empty(Schema schema);
+
+  static PlanPtr StreamScan(std::string stream, Channel channel,
+                            Schema schema);
+
+  /// σ_predicate(input). The predicate is bound against input->schema().
+  static Result<PlanPtr> Filter(PlanPtr input, BoundExprPtr predicate);
+
+  /// π(input): keeps `indices` in order, renaming to `names` (same size).
+  static Result<PlanPtr> Project(PlanPtr input, std::vector<size_t> indices,
+                                 std::vector<std::string> names);
+
+  /// Generalized projection: one output column per expression (bound
+  /// against input->schema()), named by `names`. Like π it is a per-tuple
+  /// map, so it distributes channel-wise under the differential rewrite —
+  /// but it has no synopsis-algebra counterpart, so shadow evaluation
+  /// rejects it.
+  static Result<PlanPtr> Compute(PlanPtr input,
+                                 std::vector<BoundExprPtr> exprs,
+                                 std::vector<std::string> names);
+
+  /// Equijoin on pairwise-equal key columns (left index, right index);
+  /// `residual` (nullable) is a predicate over the concatenated schema
+  /// applied to surviving pairs. No keys + no residual = cross product.
+  static Result<PlanPtr> Join(
+      PlanPtr left, PlanPtr right,
+      std::vector<std::pair<size_t, size_t>> keys,
+      BoundExprPtr residual = nullptr);
+
+  /// Multiset union; schemas must have equal field types (names may
+  /// differ; the left side's names win).
+  static Result<PlanPtr> UnionAll(PlanPtr left, PlanPtr right);
+
+  /// Multiset difference (monus); same schema rules as UnionAll.
+  static Result<PlanPtr> SetDifference(PlanPtr left, PlanPtr right);
+
+  static Result<PlanPtr> Aggregate(PlanPtr input,
+                                   std::vector<GroupBySpec> group_by,
+                                   std::vector<AggregateSpec> aggregates);
+
+  // ------------------------------------------------------------------
+  // Accessors.
+  // ------------------------------------------------------------------
+
+  Kind kind() const { return kind_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(size_t i) const { return children_.at(i); }
+
+  // kStreamScan.
+  const std::string& stream() const { return stream_; }
+  Channel channel() const { return channel_; }
+
+  // kFilter / kJoin residual.
+  const BoundExprPtr& predicate() const { return predicate_; }
+
+  // kProject.
+  const std::vector<size_t>& projection() const { return projection_; }
+
+  // kCompute.
+  const std::vector<BoundExprPtr>& compute_exprs() const {
+    return compute_exprs_;
+  }
+
+  // kJoin.
+  const std::vector<std::pair<size_t, size_t>>& join_keys() const {
+    return join_keys_;
+  }
+
+  // kAggregate.
+  const std::vector<GroupBySpec>& group_by() const { return group_by_; }
+  const std::vector<AggregateSpec>& aggregates() const {
+    return aggregates_;
+  }
+
+  /// True if no kStreamScan leaf below this node reads `channel`.
+  bool IsFreeOfChannel(Channel channel) const;
+
+  /// Names of the distinct streams scanned below this node, in first-visit
+  /// order.
+  std::vector<std::string> ScannedStreams() const;
+
+  /// Multi-line indented tree rendering for tests and EXPLAIN-style
+  /// diagnostics.
+  std::string ToString() const;
+
+ private:
+  LogicalPlan() = default;
+
+  void AppendTo(std::string* out, int indent) const;
+
+  Kind kind_ = Kind::kEmpty;
+  Schema schema_;
+  std::vector<PlanPtr> children_;
+  std::string stream_;
+  Channel channel_ = Channel::kBase;
+  BoundExprPtr predicate_;
+  std::vector<size_t> projection_;
+  std::vector<BoundExprPtr> compute_exprs_;
+  std::vector<std::pair<size_t, size_t>> join_keys_;
+  std::vector<GroupBySpec> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+};
+
+}  // namespace datatriage::plan
+
+#endif  // DATATRIAGE_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,33 @@
+#include "src/rewrite/data_triage_rewrite.h"
+
+namespace datatriage::rewrite {
+
+Result<TriagedQuery> RewriteForDataTriage(plan::BoundQuery query) {
+  if (query.distinct) {
+    return Status::Unimplemented(
+        "SELECT DISTINCT is not supported by the Data Triage rewrite: the "
+        "differential projection operator is multiset-only (paper "
+        "Sec. 3.2.2 / 8.1)");
+  }
+  if (query.spj_core == nullptr) {
+    return Status::InvalidArgument("bound query has no SPJ core");
+  }
+  TriagedQuery triaged;
+  DT_ASSIGN_OR_RETURN(triaged.kept_plan,
+                      RetargetScans(query.spj_core, plan::Channel::kKept));
+  if (!query.has_aggregate) {
+    DT_ASSIGN_OR_RETURN(
+        triaged.kept_output_plan,
+        RetargetScans(query.plan, plan::Channel::kKept));
+  }
+  DT_ASSIGN_OR_RETURN(DifferentialPlan differential,
+                      DifferentialRewrite(query.spj_core));
+  triaged.dropped_plan = differential.minus;
+  triaged.plus_plan = differential.plus;
+  triaged.plus_is_empty =
+      differential.plus->kind() == plan::LogicalPlan::Kind::kEmpty;
+  triaged.query = std::move(query);
+  return triaged;
+}
+
+}  // namespace datatriage::rewrite

@@ -1,0 +1,45 @@
+#ifndef DATATRIAGE_REWRITE_DATA_TRIAGE_REWRITE_H_
+#define DATATRIAGE_REWRITE_DATA_TRIAGE_REWRITE_H_
+
+#include "src/common/result.h"
+#include "src/plan/binder.h"
+#include "src/rewrite/differential.h"
+
+namespace datatriage::rewrite {
+
+/// A continuous query prepared for Data Triage execution: the exact plan
+/// the engine runs over kept tuples, and the shadow plans it runs over
+/// synopses to estimate what load shedding removed (paper Fig. 2).
+struct TriagedQuery {
+  /// The original bound query (windows, aggregation specs, projection).
+  plan::BoundQuery query;
+
+  /// SPJ core over Channel::kKept — Fig. 4's Q_kept, pre-aggregation.
+  plan::PlanPtr kept_plan;
+
+  /// For non-aggregate queries: the complete output plan (projection or
+  /// computed projection included) over Channel::kKept; null for
+  /// aggregate queries, whose output is produced by the merge stage.
+  plan::PlanPtr kept_output_plan;
+
+  /// Differential minus plan (Q_dropped): evaluated over synopses each
+  /// window to estimate the results lost to shedding.
+  plan::PlanPtr dropped_plan;
+
+  /// Differential plus plan (Q_added): empty for SPJ queries (footnote 1
+  /// of the paper); non-empty under EXCEPT.
+  plan::PlanPtr plus_plan;
+
+  /// True when plus_plan is the empty relation, i.e. the cheap merge path
+  /// (exact + estimate) is valid.
+  bool plus_is_empty = false;
+};
+
+/// Applies the Data Triage rewrite of paper Sec. 4 to a bound query.
+/// Fails with kUnimplemented for SELECT DISTINCT (deferred by the paper,
+/// Sec. 8.1).
+Result<TriagedQuery> RewriteForDataTriage(plan::BoundQuery query);
+
+}  // namespace datatriage::rewrite
+
+#endif  // DATATRIAGE_REWRITE_DATA_TRIAGE_REWRITE_H_

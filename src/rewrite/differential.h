@@ -1,0 +1,53 @@
+#ifndef DATATRIAGE_REWRITE_DIFFERENTIAL_H_
+#define DATATRIAGE_REWRITE_DIFFERENTIAL_H_
+
+#include "src/common/result.h"
+#include "src/plan/logical_plan.h"
+
+namespace datatriage::rewrite {
+
+/// The differential triple of a relational query Q (paper Sec. 3): plans
+/// computing Q_noisy (the result over surviving tuples), Q+ (tuples that
+/// appear because inputs shrank — only non-empty below set difference),
+/// and Q− (tuples that disappear). They satisfy the invariant of paper
+/// Eq. 1:   Q = Q_noisy − Q+ + Q−   (multiset semantics).
+struct DifferentialPlan {
+  plan::PlanPtr noisy;
+  plan::PlanPtr plus;
+  plan::PlanPtr minus;
+};
+
+/// Rewrites `query` — whose leaves scan Channel::kBase — into its
+/// differential form, recursively applying the operator definitions of
+/// paper Sec. 3.2:
+///
+///   scan R       ->  (R_kept, ∅, R_dropped)            [streams only drop]
+///   σ, π         ->  applied to all three channels      (Eqs. 4–5)
+///   join / ⨯     ->  N = S_N ⋈ T_N
+///                    P = S_P ⋈ T_N + (S_N − S_P) ⋈ T_P
+///                    M = S_M ⋈ ((T_N − T_P) + T_M) + (S_N − S_P) ⋈ T_M
+///                    (Eq. 8's three-term forms, with adjacent terms
+///                    factored through UNION ALL so n-way joins reuse
+///                    intermediates — the 3n−1 join count of Sec. 4.2)
+///   −            ->  multiset-exact deltas (NOT the paper's Eq. 9, which
+///                    only holds under set semantics; see the comment in
+///                    differential.cc and DESIGN.md)
+///   UNION ALL    ->  channel-wise union
+///
+/// Empty channels are propagated algebraically (join with ∅ is ∅, ∅ is the
+/// unit of UNION ALL, X − ∅ = X, ∅ − X = ∅), so for select-project-join
+/// queries the plus plan collapses to ∅ and the minus plan to exactly the
+/// expanded form of paper Eqs. 13/17.
+///
+/// Aggregation and DISTINCT are rejected: the paper merges aggregates
+/// outside the rewrite (Sec. 8.1) and defers DISTINCT to future work.
+Result<DifferentialPlan> DifferentialRewrite(const plan::PlanPtr& query);
+
+/// Returns `query` with every kBase scan retargeted to `channel` (used to
+/// build the kept-plan the main engine executes, Fig. 4's Q_kept).
+Result<plan::PlanPtr> RetargetScans(const plan::PlanPtr& query,
+                                    plan::Channel channel);
+
+}  // namespace datatriage::rewrite
+
+#endif  // DATATRIAGE_REWRITE_DIFFERENTIAL_H_

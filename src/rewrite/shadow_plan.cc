@@ -1,0 +1,83 @@
+#include "src/rewrite/shadow_plan.h"
+
+namespace datatriage::rewrite {
+
+using plan::LogicalPlan;
+using synopsis::SynopsisPtr;
+
+Result<SynopsisPtr> ShadowEvaluator::MakeEmpty(const Schema& schema) const {
+  return synopsis::MakeSynopsis(*config_, schema);
+}
+
+Result<SynopsisPtr> ShadowEvaluator::Evaluate(const LogicalPlan& plan) {
+  switch (plan.kind()) {
+    case LogicalPlan::Kind::kEmpty:
+      return MakeEmpty(plan.schema());
+    case LogicalPlan::Kind::kStreamScan: {
+      auto it = synopses_->find(
+          exec::ChannelKey{plan.stream(), plan.channel()});
+      if (it == synopses_->end() || it->second == nullptr) {
+        return MakeEmpty(plan.schema());
+      }
+      stats_.work += static_cast<int64_t>(it->second->SizeInCells());
+      return it->second->Clone();
+    }
+    case LogicalPlan::Kind::kFilter: {
+      DT_ASSIGN_OR_RETURN(SynopsisPtr input, Evaluate(*plan.child(0)));
+      return input->Filter(*plan.predicate(), &stats_);
+    }
+    case LogicalPlan::Kind::kProject: {
+      DT_ASSIGN_OR_RETURN(SynopsisPtr input, Evaluate(*plan.child(0)));
+      std::vector<std::string> names;
+      names.reserve(plan.schema().num_fields());
+      for (const Field& f : plan.schema().fields()) {
+        names.push_back(f.name);
+      }
+      return input->ProjectColumns(plan.projection(), names, &stats_);
+    }
+    case LogicalPlan::Kind::kJoin: {
+      DT_ASSIGN_OR_RETURN(SynopsisPtr left, Evaluate(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(SynopsisPtr right, Evaluate(*plan.child(1)));
+      DT_ASSIGN_OR_RETURN(
+          SynopsisPtr joined,
+          left->EquiJoinWith(*right, plan.join_keys(), &stats_));
+      if (plan.predicate() != nullptr) {
+        return joined->Filter(*plan.predicate(), &stats_);
+      }
+      return joined;
+    }
+    case LogicalPlan::Kind::kUnionAll: {
+      DT_ASSIGN_OR_RETURN(SynopsisPtr left, Evaluate(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(SynopsisPtr right, Evaluate(*plan.child(1)));
+      return left->UnionAllWith(*right, &stats_);
+    }
+    case LogicalPlan::Kind::kCompute:
+      return Status::Unimplemented(
+          "computed projections have no synopsis-algebra counterpart; "
+          "the shadow estimate is only available for plain column "
+          "projections");
+    case LogicalPlan::Kind::kSetDifference:
+      return Status::Unimplemented(
+          "multiset difference over synopses is not supported; shadow "
+          "plans of EXCEPT queries cannot be approximated by this "
+          "evaluator");
+    case LogicalPlan::Kind::kAggregate:
+      return Status::Unimplemented(
+          "aggregates are estimated from the result synopsis "
+          "(Synopsis::EstimateGroups), not evaluated inside the shadow "
+          "plan");
+  }
+  return Status::Internal("unhandled plan kind in shadow evaluator");
+}
+
+Result<SynopsisPtr> EvaluateShadowPlan(const LogicalPlan& plan,
+                                       const SynopsisProvider& synopses,
+                                       const synopsis::SynopsisConfig& config,
+                                       synopsis::OpStats* stats) {
+  ShadowEvaluator evaluator(&synopses, &config);
+  DT_ASSIGN_OR_RETURN(SynopsisPtr result, evaluator.Evaluate(plan));
+  if (stats != nullptr) *stats += evaluator.stats();
+  return result;
+}
+
+}  // namespace datatriage::rewrite

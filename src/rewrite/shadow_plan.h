@@ -1,0 +1,63 @@
+#ifndef DATATRIAGE_REWRITE_SHADOW_PLAN_H_
+#define DATATRIAGE_REWRITE_SHADOW_PLAN_H_
+
+#include <map>
+
+#include "src/common/result.h"
+#include "src/exec/relation.h"
+#include "src/plan/logical_plan.h"
+#include "src/synopsis/factory.h"
+#include "src/synopsis/synopsis.h"
+
+namespace datatriage::rewrite {
+
+/// Synopses available to one shadow evaluation: one per (stream, channel),
+/// typically the kKept and kDropped synopses each triage queue emitted for
+/// the window (paper Sec. 5.1's R_kept_syn / R_dropped_syn streams).
+/// Missing entries evaluate as empty synopses.
+using SynopsisProvider =
+    std::map<exec::ChannelKey, const synopsis::Synopsis*>;
+
+/// Evaluates a (channel-tagged) relational plan over synopses instead of
+/// tuples, mapping each operator onto the synopsis algebra — the
+/// object-relational evaluation strategy of paper Sec. 5.1:
+///   scan  -> provider lookup      filter -> Synopsis::Filter
+///   π     -> ProjectColumns        ⋈     -> EquiJoinWith (+ Filter for
+///   ∪     -> UnionAllWith                  residual predicates)
+///
+/// Multiset difference has no synopsis counterpart here (it only arises in
+/// shadow plans of EXCEPT queries) and returns kUnimplemented.
+///
+/// `stats` accumulates the synopsis work performed; the engine charges it
+/// to virtual time, which is how a slow synopsis (untuned MHIST) shows up
+/// as overload exactly as in paper Sec. 5.2.2.
+class ShadowEvaluator {
+ public:
+  ShadowEvaluator(const SynopsisProvider* synopses,
+                  const synopsis::SynopsisConfig* config)
+      : synopses_(synopses), config_(config) {}
+
+  ShadowEvaluator(const ShadowEvaluator&) = delete;
+  ShadowEvaluator& operator=(const ShadowEvaluator&) = delete;
+
+  Result<synopsis::SynopsisPtr> Evaluate(const plan::LogicalPlan& plan);
+
+  const synopsis::OpStats& stats() const { return stats_; }
+
+ private:
+  Result<synopsis::SynopsisPtr> MakeEmpty(const Schema& schema) const;
+
+  const SynopsisProvider* synopses_;
+  const synopsis::SynopsisConfig* config_;
+  synopsis::OpStats stats_;
+};
+
+/// One-shot convenience wrapper.
+Result<synopsis::SynopsisPtr> EvaluateShadowPlan(
+    const plan::LogicalPlan& plan, const SynopsisProvider& synopses,
+    const synopsis::SynopsisConfig& config,
+    synopsis::OpStats* stats = nullptr);
+
+}  // namespace datatriage::rewrite
+
+#endif  // DATATRIAGE_REWRITE_SHADOW_PLAN_H_

@@ -1,0 +1,370 @@
+#include "src/rewrite/sql_emitter.h"
+
+#include <set>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::rewrite {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::LogicalPlan;
+using plan::PlanPtr;
+
+/// Renders a bound expression as SQL against `schema`'s column names.
+/// Names produced by the binder have the form "alias.col", which parses
+/// back as a qualified reference.
+std::string ExprToSql(const BoundExpr& expr, const Schema& schema) {
+  switch (expr.kind()) {
+    case BoundExpr::Kind::kColumn:
+      return schema.field(expr.column_index()).name;
+    case BoundExpr::Kind::kLiteral:
+      return expr.literal().ToString();
+    case BoundExpr::Kind::kUnary:
+      if (expr.unary_op() == sql::UnaryOp::kNot) {
+        return "NOT (" + ExprToSql(*expr.lhs(), schema) + ")";
+      }
+      return "-(" + ExprToSql(*expr.lhs(), schema) + ")";
+    case BoundExpr::Kind::kBinary:
+      return "(" + ExprToSql(*expr.lhs(), schema) + " " +
+             std::string(sql::BinaryOpToString(expr.binary_op())) + " " +
+             ExprToSql(*expr.rhs(), schema) + ")";
+  }
+  return "?";
+}
+
+/// Substream name for one channel of a stream (paper Sec. 4.3 naming).
+std::string SubstreamName(const std::string& stream,
+                          plan::Channel channel) {
+  return stream + (channel == plan::Channel::kKept ? "_kept" : "_dropped");
+}
+
+/// Short alias for a synopsis stream, as used in paper Fig. 5
+/// (R_kept -> r_k, R_dropped -> r_d).
+std::string SynopsisAlias(const std::string& stream,
+                          plan::Channel channel) {
+  return stream + (channel == plan::Channel::kKept ? "_k" : "_d");
+}
+
+/// Collects the WHERE-clause conjuncts of a binder-shaped (left-deep) SPJ
+/// plan, rendered against the combined FROM schema, plus the scans in
+/// FROM order.
+struct FlattenedSpj {
+  std::vector<const LogicalPlan*> scans;  // FROM order
+  std::vector<std::string> conjuncts;     // rendered predicates
+};
+
+Status Flatten(const LogicalPlan& node, const Schema& combined,
+               size_t right_offset, FlattenedSpj* out) {
+  switch (node.kind()) {
+    case LogicalPlan::Kind::kStreamScan:
+      out->scans.push_back(&node);
+      return Status::OK();
+    case LogicalPlan::Kind::kFilter: {
+      const LogicalPlan& child = *node.child(0);
+      // A filter above a scan references the scan's local columns; remap
+      // them onto the combined schema via the scan's offset (= the
+      // position where this subtree starts).
+      if (child.kind() == LogicalPlan::Kind::kStreamScan ||
+          child.kind() == LogicalPlan::Kind::kFilter) {
+        DT_RETURN_IF_ERROR(Flatten(child, combined, right_offset, out));
+        std::vector<size_t> remap(node.schema().num_fields());
+        // The filter subtree starts at the offset where its leftmost
+        // scan begins; for binder plans a scan-filter chain sits at a
+        // single offset.
+        size_t base = right_offset;
+        for (size_t i = 0; i < remap.size(); ++i) remap[i] = base + i;
+        out->conjuncts.push_back(
+            ExprToSql(*node.predicate()->RemapColumns(remap), combined));
+        return Status::OK();
+      }
+      // Filter above the join tree: columns already align with the
+      // combined schema.
+      DT_RETURN_IF_ERROR(Flatten(child, combined, right_offset, out));
+      out->conjuncts.push_back(ExprToSql(*node.predicate(), combined));
+      return Status::OK();
+    }
+    case LogicalPlan::Kind::kJoin: {
+      const LogicalPlan& left = *node.child(0);
+      const LogicalPlan& right = *node.child(1);
+      DT_RETURN_IF_ERROR(Flatten(left, combined, right_offset, out));
+      const size_t offset = left.schema().num_fields();
+      DT_RETURN_IF_ERROR(Flatten(right, combined, offset, out));
+      for (const auto& [l, r] : node.join_keys()) {
+        out->conjuncts.push_back(combined.field(l).name + " = " +
+                                 combined.field(offset + r).name);
+      }
+      if (node.predicate() != nullptr) {
+        out->conjuncts.push_back(ExprToSql(*node.predicate(), combined));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Unimplemented(
+          "SQL emission supports binder-shaped select-project-join cores "
+          "only");
+  }
+}
+
+/// Renders the WINDOW clause for the given aliases, including the slide
+/// when it differs from the range.
+std::string WindowClause(const plan::BoundQuery& query,
+                         const std::vector<std::string>& aliases,
+                         const std::vector<std::string>& streams) {
+  std::string out = "WINDOW ";
+  for (size_t i = 0; i < aliases.size(); ++i) {
+    if (i > 0) out += ", ";
+    const double range = query.window_seconds.at(streams[i]);
+    auto slide_it = query.window_slide_seconds.find(streams[i]);
+    const double slide =
+        slide_it == query.window_slide_seconds.end() ? range
+                                                     : slide_it->second;
+    if (slide != range) {
+      out += aliases[i] + StringPrintf(" ['%g seconds', '%g seconds']",
+                                       range, slide);
+    } else {
+      out += aliases[i] + StringPrintf(" ['%g seconds']", range);
+    }
+  }
+  return out;
+}
+
+/// Renders the dropped plan as nested synopsis-UDF calls (paper Fig. 5).
+Result<std::string> PlanToSynopsisExpr(const LogicalPlan& node) {
+  switch (node.kind()) {
+    case LogicalPlan::Kind::kEmpty:
+      return std::string("empty_synopsis()");
+    case LogicalPlan::Kind::kStreamScan:
+      return SynopsisAlias(node.stream(), node.channel()) + ".syn";
+    case LogicalPlan::Kind::kUnionAll: {
+      DT_ASSIGN_OR_RETURN(std::string left,
+                          PlanToSynopsisExpr(*node.child(0)));
+      DT_ASSIGN_OR_RETURN(std::string right,
+                          PlanToSynopsisExpr(*node.child(1)));
+      return "union_all(" + left + ", " + right + ")";
+    }
+    case LogicalPlan::Kind::kJoin: {
+      DT_ASSIGN_OR_RETURN(std::string left,
+                          PlanToSynopsisExpr(*node.child(0)));
+      DT_ASSIGN_OR_RETURN(std::string right,
+                          PlanToSynopsisExpr(*node.child(1)));
+      std::string left_cols, right_cols;
+      for (size_t i = 0; i < node.join_keys().size(); ++i) {
+        if (i > 0) {
+          left_cols += ", ";
+          right_cols += ", ";
+        }
+        left_cols +=
+            node.child(0)->schema().field(node.join_keys()[i].first).name;
+        right_cols += node.child(1)
+                          ->schema()
+                          .field(node.join_keys()[i].second)
+                          .name;
+      }
+      if (node.join_keys().empty()) {
+        return "cross_product(" + left + ", " + right + ")";
+      }
+      std::string joined = "equijoin(" + left + ", '" + left_cols + "', " +
+                           right + ", '" + right_cols + "')";
+      if (node.predicate() != nullptr) {
+        joined = "filter(" + joined + ", '" +
+                 ExprToSql(*node.predicate(), node.schema()) + "')";
+      }
+      return joined;
+    }
+    case LogicalPlan::Kind::kProject: {
+      DT_ASSIGN_OR_RETURN(std::string input,
+                          PlanToSynopsisExpr(*node.child(0)));
+      std::string cols;
+      for (size_t i = 0; i < node.projection().size(); ++i) {
+        if (i > 0) cols += ", ";
+        cols += node.child(0)->schema().field(node.projection()[i]).name;
+      }
+      return "project(" + input + ", '" + cols + "')";
+    }
+    case LogicalPlan::Kind::kFilter: {
+      DT_ASSIGN_OR_RETURN(std::string input,
+                          PlanToSynopsisExpr(*node.child(0)));
+      return "filter(" + input + ", '" +
+             ExprToSql(*node.predicate(), node.schema()) + "')";
+    }
+    default:
+      return Status::Unimplemented(
+          "no synopsis UDF rendering for this operator");
+  }
+}
+
+/// Distinct (stream, channel) scans below a plan, in first-visit order.
+void CollectScans(const LogicalPlan& node,
+                  std::vector<const LogicalPlan*>* scans,
+                  std::set<std::pair<std::string, int>>* seen) {
+  if (node.kind() == LogicalPlan::Kind::kStreamScan) {
+    auto key = std::make_pair(node.stream(),
+                              static_cast<int>(node.channel()));
+    if (seen->insert(key).second) scans->push_back(&node);
+  }
+  for (const PlanPtr& child : node.children()) {
+    CollectScans(*child, scans, seen);
+  }
+}
+
+}  // namespace
+
+Result<std::string> EmitSubstreamDdl(const Catalog& catalog,
+                                     const TriagedQuery& query) {
+  std::string out;
+  std::set<std::string> emitted;
+  for (const std::string& stream : query.query.from_streams) {
+    if (!emitted.insert(stream).second) continue;
+    DT_ASSIGN_OR_RETURN(StreamDef def, catalog.GetStream(stream));
+    std::string columns;
+    for (size_t i = 0; i < def.schema.num_fields(); ++i) {
+      if (i > 0) columns += ", ";
+      columns += def.schema.field(i).name;
+      columns += ' ';
+      columns += FieldTypeToString(def.schema.field(i).type);
+    }
+    out += "CREATE STREAM " + stream + "_kept (" + columns + ");\n";
+    out += "CREATE STREAM " + stream + "_dropped (" + columns + ");\n";
+    // Synopsis streams carry an opaque Synopsis payload plus the
+    // timestamp range summarized (paper Sec. 5.1). The Synopsis type is
+    // object-relational and outside this dialect's scalar types, so
+    // these two lines are documentation of the architecture rather than
+    // statements our parser accepts.
+    out += "CREATE STREAM " + def.KeptSynopsisName() +
+           " (syn SYNOPSIS, earliest TIMESTAMP, latest TIMESTAMP);\n";
+    out += "CREATE STREAM " + def.DroppedSynopsisName() +
+           " (syn SYNOPSIS, earliest TIMESTAMP, latest TIMESTAMP);\n";
+  }
+  return out;
+}
+
+Result<std::string> EmitKeptViewSql(const TriagedQuery& query) {
+  const plan::BoundQuery& bound = query.query;
+  const Schema& combined = bound.spj_core->schema();
+
+  FlattenedSpj flattened;
+  DT_RETURN_IF_ERROR(
+      Flatten(*query.kept_plan, combined, 0, &flattened));
+  if (flattened.scans.size() != bound.from_streams.size()) {
+    return Status::Internal("kept plan scan count does not match FROM");
+  }
+
+  // SELECT list.
+  std::string select_list;
+  if (bound.has_aggregate) {
+    std::set<size_t> listed;
+    for (const plan::GroupBySpec& g : bound.group_by) {
+      if (!select_list.empty()) select_list += ", ";
+      select_list += combined.field(g.input_index).name + " AS " +
+                     g.output_name;
+      listed.insert(g.input_index);
+    }
+    for (const plan::AggregateSpec& a : bound.aggregates) {
+      if (!select_list.empty()) select_list += ", ";
+      select_list += std::string(sql::AggFuncToString(a.func)) + "(" +
+                     (a.count_star ? "*"
+                                   : combined.field(a.input_index).name) +
+                     ") AS " + a.output_name;
+    }
+  } else if (bound.computed_projection) {
+    for (size_t i = 0; i < bound.projection_exprs.size(); ++i) {
+      if (i > 0) select_list += ", ";
+      select_list += ExprToSql(*bound.projection_exprs[i], combined) +
+                     " AS " + bound.projection_names[i];
+    }
+  } else {
+    for (size_t i = 0; i < bound.projection.size(); ++i) {
+      if (i > 0) select_list += ", ";
+      select_list += combined.field(bound.projection[i]).name + " AS " +
+                     bound.projection_names[i];
+    }
+  }
+
+  // FROM list: substreams with the original aliases, so the qualified
+  // column names in the predicates resolve unchanged.
+  std::string from_list;
+  for (size_t i = 0; i < flattened.scans.size(); ++i) {
+    if (i > 0) from_list += ", ";
+    from_list += SubstreamName(flattened.scans[i]->stream(),
+                               plan::Channel::kKept) +
+                 " " + bound.from_aliases[i];
+  }
+
+  std::string sql = "CREATE VIEW q_kept AS\nSELECT " + select_list +
+                    "\nFROM " + from_list;
+  if (!flattened.conjuncts.empty()) {
+    sql += "\nWHERE " + JoinStrings(flattened.conjuncts, " AND ");
+  }
+  if (bound.has_aggregate) {
+    sql += "\nGROUP BY ";
+    for (size_t i = 0; i < bound.group_by.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += combined.field(bound.group_by[i].input_index).name;
+    }
+    if (bound.having != nullptr) {
+      sql +=
+          "\nHAVING " + ExprToSql(*bound.having, bound.plan->schema());
+    }
+  }
+  if (!bound.sort_keys.empty()) {
+    sql += "\nORDER BY ";
+    for (size_t i = 0; i < bound.sort_keys.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += bound.plan->schema().field(bound.sort_keys[i].first).name;
+      if (bound.sort_keys[i].second) sql += " DESC";
+    }
+  }
+  if (bound.limit >= 0) {
+    sql += StringPrintf("\nLIMIT %lld", (long long)bound.limit);
+  }
+  sql += "\n" +
+         WindowClause(bound, bound.from_aliases, bound.from_streams) +
+         ";\n";
+  return sql;
+}
+
+Result<std::string> EmitShadowViewSql(const TriagedQuery& query) {
+  DT_ASSIGN_OR_RETURN(std::string expr,
+                      PlanToSynopsisExpr(*query.dropped_plan));
+
+  // FROM list: the synopsis streams the expression references, with the
+  // paper's r_k / r_d aliases; one synopsis tuple per window.
+  std::vector<const LogicalPlan*> scans;
+  std::set<std::pair<std::string, int>> seen;
+  CollectScans(*query.dropped_plan, &scans, &seen);
+  std::string from_list;
+  std::vector<std::string> aliases, streams;
+  for (size_t i = 0; i < scans.size(); ++i) {
+    if (i > 0) from_list += ", ";
+    const std::string suffix =
+        scans[i]->channel() == plan::Channel::kKept ? "_kept_syn"
+                                                    : "_dropped_syn";
+    from_list += scans[i]->stream() + suffix + " " +
+                 SynopsisAlias(scans[i]->stream(), scans[i]->channel());
+    aliases.push_back(
+        SynopsisAlias(scans[i]->stream(), scans[i]->channel()));
+    streams.push_back(scans[i]->stream());
+  }
+
+  const std::string window = WindowClause(query.query, aliases, streams);
+
+  return "CREATE VIEW q_dropped AS\nSELECT " + expr +
+         " AS result\nFROM " + from_list + "\n" + window + ";\n";
+}
+
+Result<std::string> EmitRewrittenScript(const Catalog& catalog,
+                                        const TriagedQuery& query) {
+  DT_ASSIGN_OR_RETURN(std::string ddl, EmitSubstreamDdl(catalog, query));
+  DT_ASSIGN_OR_RETURN(std::string kept, EmitKeptViewSql(query));
+  DT_ASSIGN_OR_RETURN(std::string shadow, EmitShadowViewSql(query));
+  return "-- Substreams and synopsis streams (paper Sec. 4.3 / 5.1)\n" +
+         ddl + "\n-- Exact results over kept tuples (paper Fig. 4)\n" +
+         kept +
+         "\n-- Estimate of dropped results over synopses (paper "
+         "Fig. 5)\n" +
+         shadow;
+}
+
+}  // namespace datatriage::rewrite

@@ -1,0 +1,49 @@
+#ifndef DATATRIAGE_REWRITE_SQL_EMITTER_H_
+#define DATATRIAGE_REWRITE_SQL_EMITTER_H_
+
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/rewrite/data_triage_rewrite.h"
+
+namespace datatriage::rewrite {
+
+/// Renders the Data Triage rewrite back to SQL text, the way the paper's
+/// TelegraphCQ implementation expresses it (Sec. 4.3 / 5.1): DDL for the
+/// kept/dropped substreams and synopsis streams, a Q_kept view over
+/// relational substreams (paper Fig. 4), and a Q_dropped view whose body
+/// is a composition of the object-relational synopsis UDFs
+/// project/union_all/equijoin/filter (paper Fig. 5).
+///
+/// The engine itself never round-trips through this text — it interprets
+/// the plans directly — but the emitter makes the rewrite inspectable and
+/// is validated by round-trip tests (the emitted Q_kept re-parses, binds
+/// against the substream catalog, and evaluates identically).
+
+/// CREATE STREAM statements for every stream the rewritten query needs:
+/// per input stream R, the substreams R_kept and R_dropped (paper
+/// Sec. 4.3) and the synopsis streams R_kept_syn / R_dropped_syn
+/// (Sec. 5.1), each carrying a Synopsis payload with the timestamp range
+/// it summarizes.
+Result<std::string> EmitSubstreamDdl(const Catalog& catalog,
+                                     const TriagedQuery& query);
+
+/// `CREATE VIEW q_kept AS SELECT ...` over the *_kept substreams,
+/// equivalent to the paper's Fig. 4 Q_kept. The emitted text re-parses
+/// with this library's parser (qualified intermediate columns are emitted
+/// as "double-quoted" identifiers).
+Result<std::string> EmitKeptViewSql(const TriagedQuery& query);
+
+/// `CREATE VIEW q_dropped AS SELECT <synopsis expression> AS result FROM
+/// ... WINDOW ...` equivalent to the paper's Fig. 5, with the dropped
+/// plan rendered as nested synopsis-UDF calls.
+Result<std::string> EmitShadowViewSql(const TriagedQuery& query);
+
+/// The complete rewritten script: DDL + both views.
+Result<std::string> EmitRewrittenScript(const Catalog& catalog,
+                                        const TriagedQuery& query);
+
+}  // namespace datatriage::rewrite
+
+#endif  // DATATRIAGE_REWRITE_SQL_EMITTER_H_

@@ -1,0 +1,20 @@
+#ifndef DATATRIAGE_SQL_LEXER_H_
+#define DATATRIAGE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/token.h"
+
+namespace datatriage::sql {
+
+/// Tokenizes one or more SQL statements. Keywords are recognized
+/// case-insensitively; unquoted identifiers are lower-cased (PostgreSQL
+/// convention, which TelegraphCQ inherits); "double-quoted" identifiers
+/// preserve case. `--` starts a comment running to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace datatriage::sql
+
+#endif  // DATATRIAGE_SQL_LEXER_H_

@@ -1,0 +1,117 @@
+#include "src/sql/token.h"
+
+namespace datatriage::sql {
+
+std::string_view TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kIntLiteral:
+      return "integer literal";
+    case TokenType::kDoubleLiteral:
+      return "double literal";
+    case TokenType::kStringLiteral:
+      return "string literal";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNotEq:
+      return "'<>'";
+    case TokenType::kLess:
+      return "'<'";
+    case TokenType::kLessEq:
+      return "'<='";
+    case TokenType::kGreater:
+      return "'>'";
+    case TokenType::kGreaterEq:
+      return "'>='";
+    case TokenType::kSelect:
+      return "SELECT";
+    case TokenType::kDistinct:
+      return "DISTINCT";
+    case TokenType::kFrom:
+      return "FROM";
+    case TokenType::kWhere:
+      return "WHERE";
+    case TokenType::kGroup:
+      return "GROUP";
+    case TokenType::kBy:
+      return "BY";
+    case TokenType::kHaving:
+      return "HAVING";
+    case TokenType::kOrder:
+      return "ORDER";
+    case TokenType::kAsc:
+      return "ASC";
+    case TokenType::kDesc:
+      return "DESC";
+    case TokenType::kLimit:
+      return "LIMIT";
+    case TokenType::kWindow:
+      return "WINDOW";
+    case TokenType::kAs:
+      return "AS";
+    case TokenType::kAnd:
+      return "AND";
+    case TokenType::kOr:
+      return "OR";
+    case TokenType::kNot:
+      return "NOT";
+    case TokenType::kCreate:
+      return "CREATE";
+    case TokenType::kStream:
+      return "STREAM";
+    case TokenType::kUnion:
+      return "UNION";
+    case TokenType::kAll:
+      return "ALL";
+    case TokenType::kExcept:
+      return "EXCEPT";
+    case TokenType::kCount:
+      return "COUNT";
+    case TokenType::kSum:
+      return "SUM";
+    case TokenType::kAvg:
+      return "AVG";
+    case TokenType::kMin:
+      return "MIN";
+    case TokenType::kMax:
+      return "MAX";
+    case TokenType::kEndOfInput:
+      return "end of input";
+  }
+  return "unknown token";
+}
+
+std::string Token::ToString() const {
+  std::string out(TokenTypeToString(type));
+  if (type == TokenType::kIdentifier || type == TokenType::kIntLiteral ||
+      type == TokenType::kDoubleLiteral ||
+      type == TokenType::kStringLiteral) {
+    out += " '" + text + "'";
+  }
+  return out;
+}
+
+}  // namespace datatriage::sql

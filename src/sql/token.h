@@ -1,0 +1,84 @@
+#ifndef DATATRIAGE_SQL_TOKEN_H_
+#define DATATRIAGE_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace datatriage::sql {
+
+enum class TokenType {
+  // Literals and names.
+  kIdentifier,    // column / stream names (lower-cased unless quoted)
+  kIntLiteral,    // 42
+  kDoubleLiteral, // 3.5
+  kStringLiteral, // '1 second'
+  // Punctuation / operators.
+  kComma,
+  kSemicolon,
+  kDot,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,        // =
+  kNotEq,     // <> or !=
+  kLess,      // <
+  kLessEq,    // <=
+  kGreater,   // >
+  kGreaterEq, // >=
+  // Keywords (case-insensitive in the source text).
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kGroup,
+  kBy,
+  kHaving,
+  kOrder,
+  kAsc,
+  kDesc,
+  kLimit,
+  kWindow,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kCreate,
+  kStream,
+  kUnion,
+  kAll,
+  kExcept,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kEndOfInput,
+};
+
+/// Canonical display name of a token type for diagnostics.
+std::string_view TokenTypeToString(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  /// Raw text (identifiers are already lower-cased; string literals have
+  /// quotes stripped).
+  std::string text;
+  /// Numeric payloads for literal tokens.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  /// 1-based position in the statement for error messages.
+  int line = 1;
+  int column = 1;
+
+  std::string ToString() const;
+};
+
+}  // namespace datatriage::sql
+
+#endif  // DATATRIAGE_SQL_TOKEN_H_

@@ -1,0 +1,169 @@
+#include "src/synopsis/exact_synopsis.h"
+
+#include "src/common/string_util.h"
+
+namespace datatriage::synopsis {
+
+Result<SynopsisPtr> ExactSynopsis::Make(Schema schema) {
+  DT_RETURN_IF_ERROR(CheckNumericSchema(schema));
+  return SynopsisPtr(new ExactSynopsis(std::move(schema)));
+}
+
+void ExactSynopsis::Insert(const Tuple& tuple) {
+  DT_CHECK_EQ(tuple.size(), schema_.num_fields());
+  rows_.push_back(WeightedRow{tuple, 1.0});
+}
+
+void ExactSynopsis::AddRow(Tuple tuple, double weight) {
+  DT_CHECK_EQ(tuple.size(), schema_.num_fields());
+  if (weight <= 0) return;
+  rows_.push_back(WeightedRow{std::move(tuple), weight});
+}
+
+double ExactSynopsis::TotalCount() const {
+  double total = 0;
+  for (const WeightedRow& r : rows_) total += r.weight;
+  return total;
+}
+
+SynopsisPtr ExactSynopsis::Clone() const {
+  auto clone = std::unique_ptr<ExactSynopsis>(new ExactSynopsis(schema_));
+  clone->rows_ = rows_;
+  return clone;
+}
+
+Result<SynopsisPtr> ExactSynopsis::UnionAllWith(const Synopsis& other,
+                                                OpStats* stats) const {
+  if (other.type() != SynopsisType::kExact) {
+    return Status::InvalidArgument(
+        "cannot union exact synopsis with " +
+        std::string(SynopsisTypeToString(other.type())));
+  }
+  const auto& rhs = static_cast<const ExactSynopsis&>(other);
+  if (rhs.schema_.num_fields() != schema_.num_fields()) {
+    return Status::InvalidArgument("union of different-arity synopses");
+  }
+  auto result = std::unique_ptr<ExactSynopsis>(new ExactSynopsis(schema_));
+  result->rows_ = rows_;
+  result->rows_.insert(result->rows_.end(), rhs.rows_.begin(),
+                       rhs.rows_.end());
+  if (stats != nullptr) {
+    stats->work += static_cast<int64_t>(rows_.size() + rhs.rows_.size());
+  }
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> ExactSynopsis::EquiJoinWith(
+    const Synopsis& other, const std::vector<std::pair<size_t, size_t>>& keys,
+    OpStats* stats) const {
+  if (other.type() != SynopsisType::kExact) {
+    return Status::InvalidArgument(
+        "cannot join exact synopsis with " +
+        std::string(SynopsisTypeToString(other.type())));
+  }
+  const auto& rhs = static_cast<const ExactSynopsis&>(other);
+  Schema joined_schema;
+  for (const Field& f : schema_.fields()) {
+    DT_RETURN_IF_ERROR(
+        joined_schema.AddField(Field{"l." + f.name, f.type}));
+  }
+  for (const Field& f : rhs.schema_.fields()) {
+    DT_RETURN_IF_ERROR(
+        joined_schema.AddField(Field{"r." + f.name, f.type}));
+  }
+  auto result = std::unique_ptr<ExactSynopsis>(
+      new ExactSynopsis(std::move(joined_schema)));
+  int64_t work = 0;
+  for (const WeightedRow& l : rows_) {
+    for (const WeightedRow& r : rhs.rows_) {
+      ++work;
+      bool match = true;
+      for (const auto& [lk, rk] : keys) {
+        if (!(l.tuple.value(lk) == r.tuple.value(rk))) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      result->rows_.push_back(
+          WeightedRow{l.tuple.Concat(r.tuple), l.weight * r.weight});
+    }
+  }
+  if (stats != nullptr) stats->work += work;
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> ExactSynopsis::ProjectColumns(
+    const std::vector<size_t>& indices, const std::vector<std::string>& names,
+    OpStats* stats) const {
+  if (indices.size() != names.size()) {
+    return Status::InvalidArgument(
+        "projection indices and names must have equal length");
+  }
+  Schema projected_schema;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= schema_.num_fields()) {
+      return Status::OutOfRange(
+          StringPrintf("projection index %zu out of range", indices[i]));
+    }
+    DT_RETURN_IF_ERROR(projected_schema.AddField(
+        Field{names[i], schema_.field(indices[i]).type}));
+  }
+  auto result = std::unique_ptr<ExactSynopsis>(
+      new ExactSynopsis(std::move(projected_schema)));
+  for (const WeightedRow& r : rows_) {
+    result->rows_.push_back(WeightedRow{r.tuple.Project(indices), r.weight});
+  }
+  if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> ExactSynopsis::Filter(const plan::BoundExpr& predicate,
+                                          OpStats* stats) const {
+  auto result = std::unique_ptr<ExactSynopsis>(new ExactSynopsis(schema_));
+  for (const WeightedRow& r : rows_) {
+    if (predicate.EvaluatesToTrue(r.tuple)) result->rows_.push_back(r);
+  }
+  if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
+  return SynopsisPtr(std::move(result));
+}
+
+Result<GroupedEstimate> ExactSynopsis::EstimateGroups(
+    const std::vector<size_t>& group_columns,
+    const std::vector<size_t>& agg_columns) const {
+  for (size_t g : group_columns) {
+    if (g >= schema_.num_fields()) {
+      return Status::OutOfRange("group column out of range");
+    }
+  }
+  GroupedEstimate groups;
+  for (const WeightedRow& r : rows_) {
+    std::vector<Value> key;
+    key.reserve(group_columns.size());
+    for (size_t g : group_columns) key.push_back(r.tuple.value(g));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second.resize(agg_columns.size());
+    for (size_t a = 0; a < agg_columns.size(); ++a) {
+      if (agg_columns[a] == kCountOnlyColumn) {
+        it->second[a].count += r.weight;
+      } else {
+        if (agg_columns[a] >= schema_.num_fields()) {
+          return Status::OutOfRange("aggregate column out of range");
+        }
+        it->second[a].Add(r.tuple.value(agg_columns[a]).AsDouble(),
+                          r.weight);
+      }
+    }
+  }
+  return groups;
+}
+
+double ExactSynopsis::EstimatePointCount(const Tuple& point) const {
+  double total = 0;
+  for (const WeightedRow& r : rows_) {
+    if (r.tuple == point) total += r.weight;
+  }
+  return total;
+}
+
+}  // namespace datatriage::synopsis

@@ -1,0 +1,53 @@
+#ifndef DATATRIAGE_SYNOPSIS_EXACT_SYNOPSIS_H_
+#define DATATRIAGE_SYNOPSIS_EXACT_SYNOPSIS_H_
+
+#include <vector>
+
+#include "src/synopsis/synopsis.h"
+
+namespace datatriage::synopsis {
+
+/// Lossless "synopsis": a weighted multiset of the actual tuples. Never
+/// used for load shedding (it is as expensive as the data); it exists so
+/// tests can verify the algebraic identity the Data Triage rewrite rests
+/// on (paper Eq. 1: S = S_noisy − S+ + S−): running the shadow plan with
+/// ExactSynopsis must reproduce the dropped query results exactly.
+class ExactSynopsis final : public Synopsis {
+ public:
+  static Result<SynopsisPtr> Make(Schema schema);
+
+  SynopsisType type() const override { return SynopsisType::kExact; }
+
+  void Insert(const Tuple& tuple) override;
+  double TotalCount() const override;
+  size_t SizeInCells() const override { return rows_.size(); }
+  SynopsisPtr Clone() const override;
+
+  Result<SynopsisPtr> UnionAllWith(const Synopsis& other,
+                                   OpStats* stats) const override;
+  Result<SynopsisPtr> EquiJoinWith(
+      const Synopsis& other,
+      const std::vector<std::pair<size_t, size_t>>& keys,
+      OpStats* stats) const override;
+  Result<SynopsisPtr> ProjectColumns(const std::vector<size_t>& indices,
+                                     const std::vector<std::string>& names,
+                                     OpStats* stats) const override;
+  Result<SynopsisPtr> Filter(const plan::BoundExpr& predicate,
+                             OpStats* stats) const override;
+  Result<GroupedEstimate> EstimateGroups(
+      const std::vector<size_t>& group_columns,
+      const std::vector<size_t>& agg_columns) const override;
+  double EstimatePointCount(const Tuple& point) const override;
+
+  const std::vector<WeightedRow>& rows() const { return rows_; }
+  void AddRow(Tuple tuple, double weight);
+
+ private:
+  explicit ExactSynopsis(Schema schema) : Synopsis(std::move(schema)) {}
+
+  std::vector<WeightedRow> rows_;
+};
+
+}  // namespace datatriage::synopsis
+
+#endif  // DATATRIAGE_SYNOPSIS_EXACT_SYNOPSIS_H_

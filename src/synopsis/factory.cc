@@ -1,0 +1,32 @@
+#include "src/synopsis/factory.h"
+
+#include "src/synopsis/exact_synopsis.h"
+
+namespace datatriage::synopsis {
+
+Result<SynopsisPtr> MakeSynopsis(const SynopsisConfig& config,
+                                 Schema schema) {
+  switch (config.type) {
+    case SynopsisType::kGridHistogram:
+      return GridHistogram::Make(std::move(schema), config.grid);
+    case SynopsisType::kMHist: {
+      MHistConfig mhist = config.mhist;
+      mhist.aligned = false;
+      return MHist::Make(std::move(schema), mhist);
+    }
+    case SynopsisType::kAlignedMHist: {
+      MHistConfig mhist = config.mhist;
+      mhist.aligned = true;
+      return MHist::Make(std::move(schema), mhist);
+    }
+    case SynopsisType::kReservoirSample:
+      return ReservoirSample::Make(std::move(schema), config.reservoir);
+    case SynopsisType::kAviHistogram:
+      return AviHistogram::Make(std::move(schema), config.avi);
+    case SynopsisType::kExact:
+      return ExactSynopsis::Make(std::move(schema));
+  }
+  return Status::InvalidArgument("unknown synopsis type");
+}
+
+}  // namespace datatriage::synopsis

@@ -1,0 +1,31 @@
+#ifndef DATATRIAGE_SYNOPSIS_FACTORY_H_
+#define DATATRIAGE_SYNOPSIS_FACTORY_H_
+
+#include "src/synopsis/avi_histogram.h"
+#include "src/synopsis/grid_histogram.h"
+#include "src/synopsis/mhist.h"
+#include "src/synopsis/reservoir_sample.h"
+#include "src/synopsis/synopsis.h"
+
+namespace datatriage::synopsis {
+
+/// Union of the per-type parameters, selected by `type`. One SynopsisConfig
+/// describes the synopsis family used for every channel of every stream in
+/// an engine run (the algebra requires all participating synopses to share
+/// a family).
+struct SynopsisConfig {
+  SynopsisType type = SynopsisType::kGridHistogram;
+  GridHistogramConfig grid;
+  MHistConfig mhist;
+  ReservoirSampleConfig reservoir;
+  AviHistogramConfig avi;
+};
+
+/// Creates an empty synopsis of the configured family over `schema`.
+/// For kAlignedMHist the mhist config's `aligned` flag is forced on.
+Result<SynopsisPtr> MakeSynopsis(const SynopsisConfig& config,
+                                 Schema schema);
+
+}  // namespace datatriage::synopsis
+
+#endif  // DATATRIAGE_SYNOPSIS_FACTORY_H_

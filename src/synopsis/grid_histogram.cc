@@ -1,0 +1,333 @@
+#include "src/synopsis/grid_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::synopsis {
+
+namespace {
+
+/// Integer points covered by cell `coord` along a dimension of width `w`:
+/// [ceil(coord*w), ceil((coord+1)*w) - 1].
+void IntegerPointsInCell(int64_t coord, double w,
+                         std::vector<double>* points) {
+  const int64_t lo = static_cast<int64_t>(std::ceil(coord * w));
+  const int64_t hi = static_cast<int64_t>(std::ceil((coord + 1) * w)) - 1;
+  points->clear();
+  for (int64_t v = lo; v <= hi; ++v) {
+    points->push_back(static_cast<double>(v));
+  }
+  if (points->empty()) points->push_back(coord * w);
+}
+
+}  // namespace
+
+Result<SynopsisPtr> GridHistogram::Make(Schema schema,
+                                        const GridHistogramConfig& config) {
+  DT_RETURN_IF_ERROR(CheckNumericSchema(schema));
+  if (config.cell_width <= 0) {
+    return Status::InvalidArgument("grid histogram cell_width must be > 0");
+  }
+  return SynopsisPtr(new GridHistogram(std::move(schema), config));
+}
+
+int64_t GridHistogram::CellCoord(double value) const {
+  return static_cast<int64_t>(std::floor(value / config_.cell_width));
+}
+
+double GridHistogram::ValuesPerCell() const {
+  return std::max(1.0, std::round(config_.cell_width));
+}
+
+double GridHistogram::CellMidpoint(int64_t coord) const {
+  return (static_cast<double>(coord) + 0.5) * config_.cell_width;
+}
+
+void GridHistogram::Insert(const Tuple& tuple) {
+  DT_CHECK_EQ(tuple.size(), schema_.num_fields());
+  std::vector<int64_t> coords;
+  coords.reserve(tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    coords.push_back(CellCoord(tuple.value(i).AsDouble()));
+  }
+  cells_[coords] += 1.0;
+  total_count_ += 1.0;
+}
+
+void GridHistogram::AddCell(const std::vector<int64_t>& coords,
+                            double count) {
+  DT_CHECK_EQ(coords.size(), schema_.num_fields());
+  if (count <= 0) return;
+  cells_[coords] += count;
+  total_count_ += count;
+}
+
+SynopsisPtr GridHistogram::Clone() const {
+  auto clone =
+      std::unique_ptr<GridHistogram>(new GridHistogram(schema_, config_));
+  clone->cells_ = cells_;
+  clone->total_count_ = total_count_;
+  return clone;
+}
+
+Result<SynopsisPtr> GridHistogram::UnionAllWith(const Synopsis& other,
+                                                OpStats* stats) const {
+  if (other.type() != SynopsisType::kGridHistogram) {
+    return Status::InvalidArgument(
+        "cannot union grid histogram with " +
+        std::string(SynopsisTypeToString(other.type())));
+  }
+  const auto& rhs = static_cast<const GridHistogram&>(other);
+  if (rhs.config_.cell_width != config_.cell_width) {
+    return Status::InvalidArgument(
+        StringPrintf("grid cell widths differ (%g vs %g)",
+                     config_.cell_width, rhs.config_.cell_width));
+  }
+  if (rhs.schema_.num_fields() != schema_.num_fields()) {
+    return Status::InvalidArgument("union of different-arity histograms");
+  }
+  auto result =
+      std::unique_ptr<GridHistogram>(new GridHistogram(schema_, config_));
+  result->cells_ = cells_;
+  result->total_count_ = total_count_;
+  for (const auto& [coords, count] : rhs.cells_) {
+    result->cells_[coords] += count;
+    result->total_count_ += count;
+  }
+  if (stats != nullptr) {
+    stats->work += static_cast<int64_t>(cells_.size() + rhs.cells_.size());
+  }
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> GridHistogram::EquiJoinWith(
+    const Synopsis& other, const std::vector<std::pair<size_t, size_t>>& keys,
+    OpStats* stats) const {
+  if (other.type() != SynopsisType::kGridHistogram) {
+    return Status::InvalidArgument(
+        "cannot join grid histogram with " +
+        std::string(SynopsisTypeToString(other.type())));
+  }
+  const auto& rhs = static_cast<const GridHistogram&>(other);
+  if (rhs.config_.cell_width != config_.cell_width) {
+    return Status::InvalidArgument(
+        StringPrintf("grid cell widths differ (%g vs %g)",
+                     config_.cell_width, rhs.config_.cell_width));
+  }
+  DT_ASSIGN_OR_RETURN(Schema joined_schema, [&]() -> Result<Schema> {
+    // Column names may collide across sides; uniquify with a side prefix.
+    Schema s;
+    for (const Field& f : schema_.fields()) {
+      DT_RETURN_IF_ERROR(s.AddField(Field{"l." + f.name, f.type}));
+    }
+    for (const Field& f : rhs.schema_.fields()) {
+      DT_RETURN_IF_ERROR(s.AddField(Field{"r." + f.name, f.type}));
+    }
+    return s;
+  }());
+
+  // Index the right side's cells by their join-key coordinates.
+  std::vector<size_t> left_keys, right_keys;
+  for (const auto& [l, r] : keys) {
+    if (l >= schema_.num_fields() || r >= rhs.schema_.num_fields()) {
+      return Status::OutOfRange("join key column out of range");
+    }
+    left_keys.push_back(l);
+    right_keys.push_back(r);
+  }
+  std::map<std::vector<int64_t>,
+           std::vector<const std::pair<const std::vector<int64_t>, double>*>>
+      index;
+  for (const auto& entry : rhs.cells_) {
+    std::vector<int64_t> key_coords;
+    key_coords.reserve(right_keys.size());
+    for (size_t k : right_keys) key_coords.push_back(entry.first[k]);
+    index[std::move(key_coords)].push_back(&entry);
+  }
+
+  // Within a matching cell pair, assume uniformity: each of the w distinct
+  // values per key dimension is equally likely, so the expected number of
+  // matching pairs is c1*c2 / w^|keys| (exact join count when keys is
+  // empty, i.e. a cross product of one-tuple-per-window synopsis streams
+  // as in paper Fig. 5).
+  const double selectivity =
+      std::pow(1.0 / ValuesPerCell(), static_cast<double>(keys.size()));
+
+  auto result = std::unique_ptr<GridHistogram>(
+      new GridHistogram(joined_schema, config_));
+  int64_t work = static_cast<int64_t>(rhs.cells_.size());
+  for (const auto& [lcoords, lcount] : cells_) {
+    ++work;
+    std::vector<int64_t> key_coords;
+    key_coords.reserve(left_keys.size());
+    for (size_t k : left_keys) key_coords.push_back(lcoords[k]);
+    auto it = index.find(key_coords);
+    if (it == index.end()) continue;
+    for (const auto* rentry : it->second) {
+      ++work;
+      std::vector<int64_t> coords = lcoords;
+      coords.insert(coords.end(), rentry->first.begin(),
+                    rentry->first.end());
+      const double count = lcount * rentry->second * selectivity;
+      if (count <= 0) continue;
+      result->cells_[std::move(coords)] += count;
+      result->total_count_ += count;
+    }
+  }
+  if (stats != nullptr) stats->work += work;
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> GridHistogram::ProjectColumns(
+    const std::vector<size_t>& indices, const std::vector<std::string>& names,
+    OpStats* stats) const {
+  if (indices.size() != names.size()) {
+    return Status::InvalidArgument(
+        "projection indices and names must have equal length");
+  }
+  Schema projected_schema;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= schema_.num_fields()) {
+      return Status::OutOfRange(
+          StringPrintf("projection index %zu out of range", indices[i]));
+    }
+    DT_RETURN_IF_ERROR(projected_schema.AddField(
+        Field{names[i], schema_.field(indices[i]).type}));
+  }
+  auto result = std::unique_ptr<GridHistogram>(
+      new GridHistogram(std::move(projected_schema), config_));
+  for (const auto& [coords, count] : cells_) {
+    std::vector<int64_t> projected;
+    projected.reserve(indices.size());
+    for (size_t i : indices) projected.push_back(coords[i]);
+    result->cells_[std::move(projected)] += count;
+    result->total_count_ += count;
+  }
+  if (stats != nullptr) stats->work += static_cast<int64_t>(cells_.size());
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> GridHistogram::Filter(const plan::BoundExpr& predicate,
+                                          OpStats* stats) const {
+  // Coarse bucket-granularity selection: the predicate is evaluated at
+  // each cell's midpoint and the whole cell is kept or discarded.
+  auto result =
+      std::unique_ptr<GridHistogram>(new GridHistogram(schema_, config_));
+  for (const auto& [coords, count] : cells_) {
+    std::vector<Value> midpoint;
+    midpoint.reserve(coords.size());
+    for (size_t i = 0; i < coords.size(); ++i) {
+      midpoint.push_back(Value::Double(CellMidpoint(coords[i])));
+    }
+    if (predicate.EvaluatesToTrue(Tuple(std::move(midpoint)))) {
+      result->cells_[coords] += count;
+      result->total_count_ += count;
+    }
+  }
+  if (stats != nullptr) stats->work += static_cast<int64_t>(cells_.size());
+  return SynopsisPtr(std::move(result));
+}
+
+Result<GroupedEstimate> GridHistogram::EstimateGroups(
+    const std::vector<size_t>& group_columns,
+    const std::vector<size_t>& agg_columns) const {
+  for (size_t g : group_columns) {
+    if (g >= schema_.num_fields()) {
+      return Status::OutOfRange("group column out of range");
+    }
+  }
+  for (size_t a : agg_columns) {
+    if (a != kCountOnlyColumn && a >= schema_.num_fields()) {
+      return Status::OutOfRange("aggregate column out of range");
+    }
+  }
+
+  GroupedEstimate groups;
+  std::vector<double> dim_points;
+  for (const auto& [coords, count] : cells_) {
+    // Enumerate the group-coordinate points this cell spreads over:
+    // integer-typed columns get one point per covered integer; real-valued
+    // columns collapse to the cell midpoint.
+    std::vector<std::vector<double>> per_dim;
+    per_dim.reserve(group_columns.size());
+    for (size_t g : group_columns) {
+      if (schema_.field(g).type == FieldType::kInt64) {
+        IntegerPointsInCell(coords[g], config_.cell_width, &dim_points);
+        per_dim.push_back(dim_points);
+      } else {
+        per_dim.push_back({CellMidpoint(coords[g])});
+      }
+    }
+    double num_points = 1.0;
+    for (const auto& pts : per_dim) {
+      num_points *= static_cast<double>(pts.size());
+    }
+    const double weight = count / num_points;
+
+    // Walk the cartesian product of per-dimension points.
+    std::vector<size_t> cursor(per_dim.size(), 0);
+    while (true) {
+      std::vector<Value> key;
+      key.reserve(group_columns.size());
+      for (size_t d = 0; d < per_dim.size(); ++d) {
+        const double v = per_dim[d][cursor[d]];
+        key.push_back(schema_.field(group_columns[d]).type ==
+                              FieldType::kInt64
+                          ? Value::Int64(static_cast<int64_t>(v))
+                          : Value::Double(v));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(agg_columns.size());
+      for (size_t a = 0; a < agg_columns.size(); ++a) {
+        if (agg_columns[a] == kCountOnlyColumn) {
+          it->second[a].count += weight;
+          continue;
+        }
+        // If the aggregate column is one of the group columns, its value
+        // at this point is the point coordinate itself; otherwise use the
+        // cell midpoint along that column.
+        double value = CellMidpoint(coords[agg_columns[a]]);
+        for (size_t d = 0; d < group_columns.size(); ++d) {
+          if (group_columns[d] == agg_columns[a]) {
+            value = per_dim[d][cursor[d]];
+            break;
+          }
+        }
+        it->second[a].Add(value, weight);
+      }
+      // Advance the cartesian-product cursor.
+      size_t d = 0;
+      for (; d < cursor.size(); ++d) {
+        if (++cursor[d] < per_dim[d].size()) break;
+        cursor[d] = 0;
+      }
+      // All combinations visited (also exits immediately for the empty
+      // group-by, whose single global group was handled above).
+      if (d == cursor.size()) break;
+    }
+  }
+  return groups;
+}
+
+double GridHistogram::EstimatePointCount(const Tuple& point) const {
+  DT_CHECK_EQ(point.size(), schema_.num_fields());
+  std::vector<int64_t> coords;
+  coords.reserve(point.size());
+  for (size_t i = 0; i < point.size(); ++i) {
+    coords.push_back(CellCoord(point.value(i).AsDouble()));
+  }
+  auto it = cells_.find(coords);
+  if (it == cells_.end()) return 0.0;
+  // Spread the cell mass uniformly over the integer points it covers.
+  double points = 1.0;
+  for (size_t i = 0; i < point.size(); ++i) {
+    if (schema_.field(i).type == FieldType::kInt64) {
+      points *= ValuesPerCell();
+    }
+  }
+  return it->second / points;
+}
+
+}  // namespace datatriage::synopsis

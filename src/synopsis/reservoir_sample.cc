@@ -1,0 +1,211 @@
+#include "src/synopsis/reservoir_sample.h"
+
+#include "src/common/string_util.h"
+
+namespace datatriage::synopsis {
+
+Result<SynopsisPtr> ReservoirSample::Make(
+    Schema schema, const ReservoirSampleConfig& config) {
+  DT_RETURN_IF_ERROR(CheckNumericSchema(schema));
+  if (config.capacity == 0) {
+    return Status::InvalidArgument("reservoir capacity must be > 0");
+  }
+  return SynopsisPtr(new ReservoirSample(std::move(schema), config));
+}
+
+double ReservoirSample::ScaleFactor() const {
+  if (materialized_) return 1.0;  // weights already scaled
+  if (seen_ <= static_cast<int64_t>(config_.capacity)) return 1.0;
+  return static_cast<double>(seen_) / static_cast<double>(rows_.size());
+}
+
+void ReservoirSample::Insert(const Tuple& tuple) {
+  DT_CHECK(!materialized_) << "Insert into a materialized op result";
+  DT_CHECK_EQ(tuple.size(), schema_.num_fields());
+  ++seen_;
+  if (rows_.size() < config_.capacity) {
+    rows_.push_back(WeightedRow{tuple, 1.0});
+    return;
+  }
+  // Vitter's algorithm R: replace a random victim with probability k/n.
+  const int64_t slot = rng_.UniformInt(0, seen_ - 1);
+  if (slot < static_cast<int64_t>(config_.capacity)) {
+    rows_[static_cast<size_t>(slot)] = WeightedRow{tuple, 1.0};
+  }
+}
+
+double ReservoirSample::TotalCount() const {
+  if (!materialized_) return static_cast<double>(seen_);
+  double total = 0;
+  for (const WeightedRow& r : rows_) total += r.weight;
+  return total;
+}
+
+std::vector<WeightedRow> ReservoirSample::ScaledRows() const {
+  std::vector<WeightedRow> scaled = rows_;
+  const double factor = ScaleFactor();
+  if (factor != 1.0) {
+    for (WeightedRow& r : scaled) r.weight *= factor;
+  }
+  return scaled;
+}
+
+SynopsisPtr ReservoirSample::Clone() const {
+  ReservoirSampleConfig config = config_;
+  // The PRNG cannot be copied mid-stream; derive a distinct but
+  // deterministic continuation seed.
+  config.seed = config_.seed ^ (0x5bd1e995ULL * (seen_ + 1));
+  auto clone = std::unique_ptr<ReservoirSample>(
+      new ReservoirSample(schema_, config));
+  clone->materialized_ = materialized_;
+  clone->seen_ = seen_;
+  clone->rows_ = rows_;
+  return clone;
+}
+
+Result<SynopsisPtr> ReservoirSample::UnionAllWith(const Synopsis& other,
+                                                  OpStats* stats) const {
+  if (other.type() != SynopsisType::kReservoirSample) {
+    return Status::InvalidArgument(
+        "cannot union reservoir sample with " +
+        std::string(SynopsisTypeToString(other.type())));
+  }
+  const auto& rhs = static_cast<const ReservoirSample&>(other);
+  if (rhs.schema_.num_fields() != schema_.num_fields()) {
+    return Status::InvalidArgument("union of different-arity synopses");
+  }
+  auto result = std::unique_ptr<ReservoirSample>(
+      new ReservoirSample(schema_, config_));
+  result->materialized_ = true;
+  result->rows_ = ScaledRows();
+  std::vector<WeightedRow> other_rows = rhs.ScaledRows();
+  result->rows_.insert(result->rows_.end(), other_rows.begin(),
+                       other_rows.end());
+  if (stats != nullptr) {
+    stats->work += static_cast<int64_t>(result->rows_.size());
+  }
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> ReservoirSample::EquiJoinWith(
+    const Synopsis& other, const std::vector<std::pair<size_t, size_t>>& keys,
+    OpStats* stats) const {
+  if (other.type() != SynopsisType::kReservoirSample) {
+    return Status::InvalidArgument(
+        "cannot join reservoir sample with " +
+        std::string(SynopsisTypeToString(other.type())));
+  }
+  const auto& rhs = static_cast<const ReservoirSample&>(other);
+  Schema joined_schema;
+  for (const Field& f : schema_.fields()) {
+    DT_RETURN_IF_ERROR(joined_schema.AddField(Field{"l." + f.name, f.type}));
+  }
+  for (const Field& f : rhs.schema_.fields()) {
+    DT_RETURN_IF_ERROR(joined_schema.AddField(Field{"r." + f.name, f.type}));
+  }
+  auto result = std::unique_ptr<ReservoirSample>(
+      new ReservoirSample(std::move(joined_schema), config_));
+  result->materialized_ = true;
+  const std::vector<WeightedRow> left = ScaledRows();
+  const std::vector<WeightedRow> right = rhs.ScaledRows();
+  int64_t work = 0;
+  for (const WeightedRow& l : left) {
+    for (const WeightedRow& r : right) {
+      ++work;
+      bool match = true;
+      for (const auto& [lk, rk] : keys) {
+        if (!(l.tuple.value(lk) == r.tuple.value(rk))) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      // Each surviving pair was sampled with probability (k1/n1)(k2/n2);
+      // the product of the scale-inflated weights is the unbiased
+      // Horvitz-Thompson estimate.
+      result->rows_.push_back(
+          WeightedRow{l.tuple.Concat(r.tuple), l.weight * r.weight});
+    }
+  }
+  if (stats != nullptr) stats->work += work;
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> ReservoirSample::ProjectColumns(
+    const std::vector<size_t>& indices, const std::vector<std::string>& names,
+    OpStats* stats) const {
+  if (indices.size() != names.size()) {
+    return Status::InvalidArgument(
+        "projection indices and names must have equal length");
+  }
+  Schema projected_schema;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= schema_.num_fields()) {
+      return Status::OutOfRange(
+          StringPrintf("projection index %zu out of range", indices[i]));
+    }
+    DT_RETURN_IF_ERROR(projected_schema.AddField(
+        Field{names[i], schema_.field(indices[i]).type}));
+  }
+  auto result = std::unique_ptr<ReservoirSample>(
+      new ReservoirSample(std::move(projected_schema), config_));
+  result->materialized_ = true;
+  for (const WeightedRow& r : ScaledRows()) {
+    result->rows_.push_back(
+        WeightedRow{r.tuple.Project(indices), r.weight});
+  }
+  if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
+  return SynopsisPtr(std::move(result));
+}
+
+Result<SynopsisPtr> ReservoirSample::Filter(const plan::BoundExpr& predicate,
+                                            OpStats* stats) const {
+  auto result = std::unique_ptr<ReservoirSample>(
+      new ReservoirSample(schema_, config_));
+  result->materialized_ = true;
+  for (const WeightedRow& r : ScaledRows()) {
+    if (predicate.EvaluatesToTrue(r.tuple)) result->rows_.push_back(r);
+  }
+  if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
+  return SynopsisPtr(std::move(result));
+}
+
+Result<GroupedEstimate> ReservoirSample::EstimateGroups(
+    const std::vector<size_t>& group_columns,
+    const std::vector<size_t>& agg_columns) const {
+  for (size_t g : group_columns) {
+    if (g >= schema_.num_fields()) {
+      return Status::OutOfRange("group column out of range");
+    }
+  }
+  GroupedEstimate groups;
+  for (const WeightedRow& r : ScaledRows()) {
+    std::vector<Value> key;
+    key.reserve(group_columns.size());
+    for (size_t g : group_columns) key.push_back(r.tuple.value(g));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second.resize(agg_columns.size());
+    for (size_t a = 0; a < agg_columns.size(); ++a) {
+      if (agg_columns[a] == kCountOnlyColumn) {
+        it->second[a].count += r.weight;
+      } else {
+        if (agg_columns[a] >= schema_.num_fields()) {
+          return Status::OutOfRange("aggregate column out of range");
+        }
+        it->second[a].Add(r.tuple.value(agg_columns[a]).AsDouble(),
+                          r.weight);
+      }
+    }
+  }
+  return groups;
+}
+
+double ReservoirSample::EstimatePointCount(const Tuple& point) const {
+  double total = 0;
+  for (const WeightedRow& r : ScaledRows()) {
+    if (r.tuple == point) total += r.weight;
+  }
+  return total;
+}
+
+}  // namespace datatriage::synopsis

@@ -1,0 +1,60 @@
+#include "src/synopsis/synopsis.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::synopsis {
+
+std::string_view SynopsisTypeToString(SynopsisType type) {
+  switch (type) {
+    case SynopsisType::kGridHistogram:
+      return "grid_histogram";
+    case SynopsisType::kMHist:
+      return "mhist";
+    case SynopsisType::kAlignedMHist:
+      return "aligned_mhist";
+    case SynopsisType::kReservoirSample:
+      return "reservoir_sample";
+    case SynopsisType::kAviHistogram:
+      return "avi_histogram";
+    case SynopsisType::kExact:
+      return "exact";
+  }
+  return "?";
+}
+
+void AggAccumulator::Add(double value, double weight) {
+  if (weight <= 0) return;
+  count += weight;
+  sum += value * weight;
+  min = std::min(min, value);
+  max = std::max(max, value);
+}
+
+void AggAccumulator::MergeFrom(const AggAccumulator& other) {
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+Status Synopsis::CheckNumericSchema(const Schema& schema) {
+  for (const Field& f : schema.fields()) {
+    if (!IsNumericType(f.type)) {
+      return Status::InvalidArgument(
+          "synopses support only numeric columns; column '" + f.name +
+          "' has type " + std::string(FieldTypeToString(f.type)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Synopsis::DebugString() const {
+  return StringPrintf("%s over [%s]: ~%.1f tuples in %zu cells",
+                      std::string(SynopsisTypeToString(type())).c_str(),
+                      schema_.ToString().c_str(), TotalCount(),
+                      SizeInCells());
+}
+
+}  // namespace datatriage::synopsis

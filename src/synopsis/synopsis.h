@@ -1,0 +1,167 @@
+#ifndef DATATRIAGE_SYNOPSIS_SYNOPSIS_H_
+#define DATATRIAGE_SYNOPSIS_SYNOPSIS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/result.h"
+#include "src/plan/expression.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::synopsis {
+
+enum class SynopsisType {
+  kGridHistogram,    // sparse multidimensional histogram, cubic buckets
+                     // (the paper's fast synopsis)
+  kMHist,            // MHIST with MAXDIFF splits (the paper's slow/accurate
+                     // synopsis)
+  kAlignedMHist,     // MHIST constrained to grid-aligned boundaries
+                     // (paper Sec. 8.1 future-work variant)
+  kReservoirSample,  // scaled uniform sample (extension)
+  kAviHistogram,     // per-column marginals under attribute value
+                     // independence (classic baseline; ablation A1)
+  kExact,            // lossless multiset; testing/reference only
+};
+
+std::string_view SynopsisTypeToString(SynopsisType type);
+
+/// Work accounting for synopsis-algebra operations (one unit ~ one bucket
+/// or sample row touched). The engine's cost model converts these to
+/// virtual seconds, which is how the MHIST bucket-blowup of paper
+/// Sec. 5.2.2 manifests as real overload.
+struct OpStats {
+  int64_t work = 0;
+
+  OpStats& operator+=(const OpStats& other) {
+    work += other.work;
+    return *this;
+  }
+};
+
+/// Running estimate of {COUNT, SUM, MIN, MAX} of one column within one
+/// group. Counts are fractional: histogram buckets spread mass over the
+/// group values they cover.
+struct AggAccumulator {
+  double count = 0.0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double value, double weight);
+  void MergeFrom(const AggAccumulator& other);
+};
+
+/// Sentinel column index for COUNT(*)-style accumulators that track only
+/// cardinality.
+inline constexpr size_t kCountOnlyColumn =
+    std::numeric_limits<size_t>::max();
+
+/// Estimated per-group accumulators: group key values -> one accumulator
+/// per requested aggregate column. Ordered map for deterministic
+/// iteration.
+using GroupedEstimate =
+    std::map<std::vector<Value>, std::vector<AggAccumulator>>;
+
+/// One (tuple, weight) row of a sample-based synopsis. A weight of w means
+/// the row stands in for w tuples of the summarized multiset.
+struct WeightedRow {
+  Tuple tuple;
+  double weight = 1.0;
+};
+
+class Synopsis;
+using SynopsisPtr = std::unique_ptr<Synopsis>;
+
+/// Lossy summary of a multiset of tuples, closed under the relational
+/// algebra the shadow plan needs (paper Sec. 5.1): projection, multiset
+/// union, equijoin, and selection. All columns must be numeric.
+///
+/// Concrete types only combine with the same type and compatible
+/// parameters; mismatches return InvalidArgument rather than silently
+/// degrading.
+class Synopsis {
+ public:
+  virtual ~Synopsis() = default;
+
+  Synopsis(const Synopsis&) = delete;
+  Synopsis& operator=(const Synopsis&) = delete;
+
+  virtual SynopsisType type() const = 0;
+  const Schema& schema() const { return schema_; }
+
+  /// Folds one tuple into the summary.
+  virtual void Insert(const Tuple& tuple) = 0;
+
+  /// Estimated number of summarized tuples.
+  virtual double TotalCount() const = 0;
+
+  /// Memory footprint proxy: buckets / samples currently held.
+  virtual size_t SizeInCells() const = 0;
+
+  virtual SynopsisPtr Clone() const = 0;
+
+  // ------------------------------------------------------------------
+  // Relational algebra over synopses (paper Sec. 5.1's user-defined
+  // functions project/union_all/equijoin, plus selection).
+  // Operations never mutate their inputs.
+  // ------------------------------------------------------------------
+
+  /// Approximate UNION ALL. `other` must match in type, parameters, and
+  /// schema column types.
+  virtual Result<SynopsisPtr> UnionAllWith(const Synopsis& other,
+                                           OpStats* stats) const = 0;
+
+  /// Approximate equijoin; `keys` pairs (this column, other column). The
+  /// result schema is this->schema() ++ other.schema() (names uniquified
+  /// by the caller's plan layer).
+  virtual Result<SynopsisPtr> EquiJoinWith(
+      const Synopsis& other,
+      const std::vector<std::pair<size_t, size_t>>& keys,
+      OpStats* stats) const = 0;
+
+  /// Projection onto `indices`, renamed to `names` (multiset semantics:
+  /// counts are preserved, not deduplicated).
+  virtual Result<SynopsisPtr> ProjectColumns(
+      const std::vector<size_t>& indices,
+      const std::vector<std::string>& names, OpStats* stats) const = 0;
+
+  /// Approximate selection. Histogram implementations evaluate the
+  /// predicate at bucket representatives and keep or discard whole
+  /// buckets; sample-based implementations filter exactly.
+  virtual Result<SynopsisPtr> Filter(const plan::BoundExpr& predicate,
+                                     OpStats* stats) const = 0;
+
+  /// Estimates per-group aggregate accumulators. `group_columns` are the
+  /// grouping columns; `agg_columns` selects the column feeding each
+  /// accumulator (kCountOnlyColumn for COUNT(*)). Integer-typed group
+  /// columns are enumerated point-by-point within buckets; real-valued
+  /// ones collapse to bucket representatives.
+  virtual Result<GroupedEstimate> EstimateGroups(
+      const std::vector<size_t>& group_columns,
+      const std::vector<size_t>& agg_columns) const = 0;
+
+  /// Estimated count of tuples equal to `point` on all columns
+  /// (selectivity-style point estimate; used by tests and the
+  /// visualization example).
+  virtual double EstimatePointCount(const Tuple& point) const = 0;
+
+  std::string DebugString() const;
+
+  /// Validates that all columns are numeric (the synopsis structures
+  /// histogram/sample over numeric domains only).
+  static Status CheckNumericSchema(const Schema& schema);
+
+ protected:
+  explicit Synopsis(Schema schema) : schema_(std::move(schema)) {}
+
+  Schema schema_;
+};
+
+}  // namespace datatriage::synopsis
+
+#endif  // DATATRIAGE_SYNOPSIS_SYNOPSIS_H_

@@ -1,0 +1,127 @@
+#include "src/triage/drop_policy.h"
+
+#include "src/common/logging.h"
+
+namespace datatriage::triage {
+
+std::string_view DropPolicyKindToString(DropPolicyKind kind) {
+  switch (kind) {
+    case DropPolicyKind::kRandom:
+      return "random";
+    case DropPolicyKind::kDropNewest:
+      return "drop_newest";
+    case DropPolicyKind::kDropOldest:
+      return "drop_oldest";
+    case DropPolicyKind::kSynergistic:
+      return "synergistic";
+  }
+  return "?";
+}
+
+namespace {
+
+class RandomDropPolicy final : public DropPolicy {
+ public:
+  explicit RandomDropPolicy(uint64_t seed) : rng_(seed) {}
+
+  DropPolicyKind kind() const override { return DropPolicyKind::kRandom; }
+
+  size_t ChooseVictim(const std::deque<Tuple>& queue) override {
+    DT_CHECK(!queue.empty());
+    return static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(queue.size()) - 1));
+  }
+
+ private:
+  Rng rng_;
+};
+
+class DropNewestPolicy final : public DropPolicy {
+ public:
+  DropPolicyKind kind() const override {
+    return DropPolicyKind::kDropNewest;
+  }
+
+  size_t ChooseVictim(const std::deque<Tuple>& queue) override {
+    DT_CHECK(!queue.empty());
+    return queue.size() - 1;
+  }
+};
+
+class DropOldestPolicy final : public DropPolicy {
+ public:
+  DropPolicyKind kind() const override {
+    return DropPolicyKind::kDropOldest;
+  }
+
+  size_t ChooseVictim(const std::deque<Tuple>& queue) override {
+    DT_CHECK(!queue.empty());
+    return 0;
+  }
+};
+
+/// Sec. 8.1's "synergistic" policy: shed tuples the synopsis data
+/// structure can summarize most efficiently. Sampling a handful of
+/// candidates keeps eviction O(candidates) instead of scanning the whole
+/// buffer.
+class SynergisticDropPolicy final : public DropPolicy {
+ public:
+  SynergisticDropPolicy(uint64_t seed, const SynopsisCoverageProbe* probe,
+                        size_t candidates)
+      : rng_(seed), probe_(probe), candidates_(candidates) {
+    DT_CHECK(probe_ != nullptr);
+    DT_CHECK_GT(candidates_, 0u);
+  }
+
+  DropPolicyKind kind() const override {
+    return DropPolicyKind::kSynergistic;
+  }
+
+  size_t ChooseVictim(const std::deque<Tuple>& queue) override {
+    DT_CHECK(!queue.empty());
+    const size_t fallback = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(queue.size()) - 1));
+    for (size_t attempt = 0; attempt < candidates_; ++attempt) {
+      const size_t index = attempt == 0
+                               ? fallback
+                               : static_cast<size_t>(rng_.UniformInt(
+                                     0,
+                                     static_cast<int64_t>(queue.size()) -
+                                         1));
+      if (probe_->IsCovered(queue[index])) return index;
+    }
+    return fallback;
+  }
+
+ private:
+  Rng rng_;
+  const SynopsisCoverageProbe* probe_;
+  size_t candidates_;
+};
+
+}  // namespace
+
+std::unique_ptr<DropPolicy> DropPolicy::Make(DropPolicyKind kind,
+                                             uint64_t seed) {
+  switch (kind) {
+    case DropPolicyKind::kRandom:
+      return std::make_unique<RandomDropPolicy>(seed);
+    case DropPolicyKind::kDropNewest:
+      return std::make_unique<DropNewestPolicy>();
+    case DropPolicyKind::kDropOldest:
+      return std::make_unique<DropOldestPolicy>();
+    case DropPolicyKind::kSynergistic:
+      DT_CHECK(false)
+          << "kSynergistic needs a coverage probe; use MakeSynergistic";
+      return nullptr;
+  }
+  DT_CHECK(false) << "unknown drop policy";
+  return nullptr;
+}
+
+std::unique_ptr<DropPolicy> DropPolicy::MakeSynergistic(
+    uint64_t seed, const SynopsisCoverageProbe* probe, size_t candidates) {
+  return std::make_unique<SynergisticDropPolicy>(seed, probe, candidates);
+}
+
+}  // namespace datatriage::triage

@@ -1,0 +1,72 @@
+#ifndef DATATRIAGE_TRIAGE_DROP_POLICY_H_
+#define DATATRIAGE_TRIAGE_DROP_POLICY_H_
+
+#include <deque>
+#include <memory>
+#include <string_view>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::triage {
+
+/// Victim-selection policies for a full triage queue (paper Sec. 5.2.1:
+/// TelegraphCQ's build uses kRandom; Sec. 8.1 discusses alternatives,
+/// which Data Triage tolerates because victims are synopsized rather than
+/// lost).
+enum class DropPolicyKind {
+  kRandom,       // random victim from the buffer (the paper's default)
+  kDropNewest,   // tail drop: reject the just-arrived tuple
+  kDropOldest,   // head drop: evict the stalest tuple
+  kSynergistic,  // prefer victims the synopsis summarizes "for free"
+                 // (paper Sec. 8.1's proposed synergistic policy)
+};
+
+std::string_view DropPolicyKindToString(DropPolicyKind kind);
+
+/// Oracle the synergistic policy consults: whether shedding `tuple` costs
+/// the synopsis nothing extra (e.g. its histogram cell is already
+/// occupied by previously shed tuples of the same window). Implemented by
+/// the engine against the live per-window dropped synopses.
+class SynopsisCoverageProbe {
+ public:
+  virtual ~SynopsisCoverageProbe() = default;
+  virtual bool IsCovered(const Tuple& tuple) const = 0;
+};
+
+/// Chooses which queued tuple to evict when a triage queue overflows. The
+/// incoming tuple has already been appended at the back when the policy
+/// runs, so returning `queue.size() - 1` rejects the new arrival.
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+
+  DropPolicy(const DropPolicy&) = delete;
+  DropPolicy& operator=(const DropPolicy&) = delete;
+
+  virtual DropPolicyKind kind() const = 0;
+
+  /// Index of the victim in [0, queue.size()). Requires a non-empty queue.
+  virtual size_t ChooseVictim(const std::deque<Tuple>& queue) = 0;
+
+  /// Creates one of the probe-free policies. CHECK-fails for
+  /// kSynergistic, which needs MakeSynergistic.
+  static std::unique_ptr<DropPolicy> Make(DropPolicyKind kind,
+                                          uint64_t seed);
+
+  /// Creates the Sec. 8.1 synergistic policy: inspect up to `candidates`
+  /// random queue entries and evict the first one `probe` reports as
+  /// already covered by the synopsis; fall back to a random victim when
+  /// none is. `probe` must outlive the policy.
+  static std::unique_ptr<DropPolicy> MakeSynergistic(
+      uint64_t seed, const SynopsisCoverageProbe* probe,
+      size_t candidates = 4);
+
+ protected:
+  DropPolicy() = default;
+};
+
+}  // namespace datatriage::triage
+
+#endif  // DATATRIAGE_TRIAGE_DROP_POLICY_H_

@@ -1,0 +1,36 @@
+#include "src/triage/shedding_strategy.h"
+
+#include <string>
+
+#include "src/common/string_util.h"
+
+namespace datatriage::triage {
+
+std::string_view SheddingStrategyToString(SheddingStrategy strategy) {
+  switch (strategy) {
+    case SheddingStrategy::kDropOnly:
+      return "drop_only";
+    case SheddingStrategy::kSummarizeOnly:
+      return "summarize_only";
+    case SheddingStrategy::kDataTriage:
+      return "data_triage";
+  }
+  return "?";
+}
+
+Result<SheddingStrategy> SheddingStrategyFromString(std::string_view name) {
+  const std::string lower = ToLowerAscii(name);
+  if (lower == "drop_only" || lower == "drop") {
+    return SheddingStrategy::kDropOnly;
+  }
+  if (lower == "summarize_only" || lower == "summarize") {
+    return SheddingStrategy::kSummarizeOnly;
+  }
+  if (lower == "data_triage" || lower == "triage") {
+    return SheddingStrategy::kDataTriage;
+  }
+  return Status::InvalidArgument("unknown shedding strategy '" +
+                                 std::string(name) + "'");
+}
+
+}  // namespace datatriage::triage

@@ -1,0 +1,26 @@
+#ifndef DATATRIAGE_TRIAGE_SHEDDING_STRATEGY_H_
+#define DATATRIAGE_TRIAGE_SHEDDING_STRATEGY_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace datatriage::triage {
+
+/// The three load-shedding methods TelegraphCQ supports (paper
+/// Sec. 5.2.1), implemented over one shared codebase exactly as the paper
+/// describes: drop-only disables the synopsizer, summarize-only bypasses
+/// the triage queue, and Data Triage uses both.
+enum class SheddingStrategy {
+  kDropOnly,       // discard overflow tuples; exact results over the rest
+  kSummarizeOnly,  // synopsize every tuple; fully approximate results
+  kDataTriage,     // exact over kept tuples + shadow estimate of the rest
+};
+
+std::string_view SheddingStrategyToString(SheddingStrategy strategy);
+
+Result<SheddingStrategy> SheddingStrategyFromString(std::string_view name);
+
+}  // namespace datatriage::triage
+
+#endif  // DATATRIAGE_TRIAGE_SHEDDING_STRATEGY_H_

@@ -1,0 +1,69 @@
+#include "src/triage/synopsizer.h"
+
+namespace datatriage::triage {
+
+WindowSynopsizer::WindowSynopsizer(std::string stream, Schema schema,
+                                   synopsis::SynopsisConfig config,
+                                   VirtualDuration window_seconds)
+    : stream_(std::move(stream)),
+      schema_(std::move(schema)),
+      config_(config),
+      window_seconds_(window_seconds) {
+  DT_CHECK_GT(window_seconds_, 0.0);
+}
+
+Status WindowSynopsizer::AddDropped(const Tuple& tuple) {
+  return AddDroppedToWindow(
+      tuple, WindowIdFor(tuple.timestamp(), window_seconds_));
+}
+
+Status WindowSynopsizer::AddKept(const Tuple& tuple) {
+  return AddKeptToWindow(tuple,
+                         WindowIdFor(tuple.timestamp(), window_seconds_));
+}
+
+Status WindowSynopsizer::AddDroppedToWindow(const Tuple& tuple,
+                                            WindowId window_id) {
+  PerWindow& window = windows_[window_id];
+  if (window.dropped == nullptr) {
+    DT_ASSIGN_OR_RETURN(window.dropped,
+                        synopsis::MakeSynopsis(config_, schema_));
+  }
+  window.dropped->Insert(tuple);
+  ++window.dropped_count;
+  return Status::OK();
+}
+
+Status WindowSynopsizer::AddKeptToWindow(const Tuple& tuple,
+                                         WindowId window_id) {
+  PerWindow& window = windows_[window_id];
+  if (window.kept == nullptr) {
+    DT_ASSIGN_OR_RETURN(window.kept,
+                        synopsis::MakeSynopsis(config_, schema_));
+  }
+  window.kept->Insert(tuple);
+  ++window.kept_count;
+  return Status::OK();
+}
+
+const synopsis::Synopsis* WindowSynopsizer::PeekDropped(
+    WindowId window) const {
+  auto it = windows_.find(window);
+  if (it == windows_.end()) return nullptr;
+  return it->second.dropped.get();
+}
+
+WindowSynopsizer::WindowSynopses WindowSynopsizer::TakeWindow(
+    WindowId window) {
+  WindowSynopses result;
+  auto it = windows_.find(window);
+  if (it == windows_.end()) return result;
+  result.kept = std::move(it->second.kept);
+  result.dropped = std::move(it->second.dropped);
+  result.kept_count = it->second.kept_count;
+  result.dropped_count = it->second.dropped_count;
+  windows_.erase(it);
+  return result;
+}
+
+}  // namespace datatriage::triage

@@ -1,0 +1,79 @@
+#ifndef DATATRIAGE_TRIAGE_SYNOPSIZER_H_
+#define DATATRIAGE_TRIAGE_SYNOPSIZER_H_
+
+#include <map>
+#include <string>
+
+#include "src/catalog/schema.h"
+#include "src/common/virtual_time.h"
+#include "src/synopsis/factory.h"
+
+namespace datatriage::triage {
+
+/// Per-stream builder of the auxiliary synopsis streams of paper Sec. 5.1:
+/// one kept-tuple synopsis and one dropped-tuple synopsis per time window
+/// (R_kept_syn / R_dropped_syn). Tuples are routed to the window their
+/// timestamp falls in; at emission time the engine takes both synopses and
+/// feeds them to the shadow plan.
+class WindowSynopsizer {
+ public:
+  WindowSynopsizer(std::string stream, Schema schema,
+                   synopsis::SynopsisConfig config,
+                   VirtualDuration window_seconds);
+
+  WindowSynopsizer(const WindowSynopsizer&) = delete;
+  WindowSynopsizer& operator=(const WindowSynopsizer&) = delete;
+  WindowSynopsizer(WindowSynopsizer&&) = default;
+  WindowSynopsizer& operator=(WindowSynopsizer&&) = default;
+
+  /// Folds a shed tuple into its window's dropped synopsis, routing by
+  /// timestamp (tumbling windows of `window_seconds`).
+  Status AddDropped(const Tuple& tuple);
+
+  /// Folds a processed tuple into its window's kept synopsis, routing by
+  /// timestamp.
+  Status AddKept(const Tuple& tuple);
+
+  /// Window-addressed variants: the caller chooses the target window
+  /// (required for sliding windows, where one tuple feeds several
+  /// windows and kept/dropped status is decided per window).
+  Status AddDroppedToWindow(const Tuple& tuple, WindowId window);
+  Status AddKeptToWindow(const Tuple& tuple, WindowId window);
+
+  struct WindowSynopses {
+    synopsis::SynopsisPtr kept;     // may be null if nothing was kept
+    synopsis::SynopsisPtr dropped;  // may be null if nothing was dropped
+    int64_t kept_count = 0;
+    int64_t dropped_count = 0;
+  };
+
+  /// Removes and returns the synopses for `window` (null members when no
+  /// tuple of that class arrived).
+  WindowSynopses TakeWindow(WindowId window);
+
+  /// Read-only view of the dropped synopsis accumulating for `window`
+  /// (null until a tuple of that window is shed). Used by the
+  /// synergistic drop policy to test coverage (paper Sec. 8.1).
+  const synopsis::Synopsis* PeekDropped(WindowId window) const;
+
+  const std::string& stream() const { return stream_; }
+  VirtualDuration window_seconds() const { return window_seconds_; }
+
+ private:
+  struct PerWindow {
+    synopsis::SynopsisPtr kept;
+    synopsis::SynopsisPtr dropped;
+    int64_t kept_count = 0;
+    int64_t dropped_count = 0;
+  };
+
+  std::string stream_;
+  Schema schema_;
+  synopsis::SynopsisConfig config_;
+  VirtualDuration window_seconds_;
+  std::map<WindowId, PerWindow> windows_;
+};
+
+}  // namespace datatriage::triage
+
+#endif  // DATATRIAGE_TRIAGE_SYNOPSIZER_H_

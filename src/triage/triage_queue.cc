@@ -1,0 +1,66 @@
+#include "src/triage/triage_queue.h"
+
+#include "src/common/logging.h"
+
+namespace datatriage::triage {
+
+TriageQueue::TriageQueue(size_t capacity,
+                         std::unique_ptr<DropPolicy> policy)
+    : capacity_(capacity), policy_(std::move(policy)) {
+  DT_CHECK_GT(capacity_, 0u) << "triage queue capacity must be positive";
+  DT_CHECK(policy_ != nullptr);
+}
+
+std::optional<Tuple> TriageQueue::Push(Tuple tuple) {
+  ++total_pushed_;
+  queue_.push_back(std::move(tuple));
+  if (queue_.size() <= capacity_) return std::nullopt;
+  const size_t victim_index = policy_->ChooseVictim(queue_);
+  DT_CHECK_LT(victim_index, queue_.size());
+  Tuple victim = std::move(queue_[victim_index]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim_index));
+  ++total_dropped_;
+  return victim;
+}
+
+const Tuple& TriageQueue::Front() const {
+  DT_CHECK(!queue_.empty());
+  return queue_.front();
+}
+
+Tuple TriageQueue::PopFront() {
+  DT_CHECK(!queue_.empty());
+  Tuple front = std::move(queue_.front());
+  queue_.pop_front();
+  ++total_popped_;
+  return front;
+}
+
+std::vector<Tuple> TriageQueue::EvictOlderThan(VirtualTime cutoff) {
+  return EvictIf(
+      [cutoff](const Tuple& t) { return t.timestamp() < cutoff; });
+}
+
+std::vector<Tuple> TriageQueue::EvictIf(
+    const std::function<bool(const Tuple&)>& predicate) {
+  std::vector<Tuple> evicted;
+  // FIFO queues of a time-ordered source keep older tuples at the front,
+  // but victim eviction can perturb strict ordering, so scan everything.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (predicate(*it)) {
+      evicted.push_back(std::move(*it));
+      it = queue_.erase(it);
+      ++total_dropped_;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void TriageQueue::ForEach(
+    const std::function<void(const Tuple&)>& visit) const {
+  for (const Tuple& t : queue_) visit(t);
+}
+
+}  // namespace datatriage::triage

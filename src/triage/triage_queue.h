@@ -1,0 +1,70 @@
+#ifndef DATATRIAGE_TRIAGE_TRIAGE_QUEUE_H_
+#define DATATRIAGE_TRIAGE_TRIAGE_QUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/virtual_time.h"
+#include "src/triage/drop_policy.h"
+
+namespace datatriage::triage {
+
+/// The bounded buffer between a data source and the query engine
+/// (paper Fig. 1). Sources push; the engine pops in FIFO order. When the
+/// queue is full, the drop policy selects a victim, which the caller then
+/// either discards (drop-only shedding) or synopsizes (Data Triage).
+class TriageQueue {
+ public:
+  /// `capacity` > 0 is the maximum number of buffered tuples.
+  TriageQueue(size_t capacity, std::unique_ptr<DropPolicy> policy);
+
+  TriageQueue(const TriageQueue&) = delete;
+  TriageQueue& operator=(const TriageQueue&) = delete;
+  TriageQueue(TriageQueue&&) = default;
+  TriageQueue& operator=(TriageQueue&&) = default;
+
+  /// Enqueues `tuple`. If the queue was full, returns the evicted victim
+  /// (possibly the pushed tuple itself under a drop-newest policy).
+  std::optional<Tuple> Push(Tuple tuple);
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Precondition: !empty().
+  const Tuple& Front() const;
+  Tuple PopFront();
+
+  /// Removes and returns every buffered tuple whose timestamp is strictly
+  /// before `cutoff`. Used at window-emission deadlines to force-shed
+  /// tuples the engine did not reach in time.
+  std::vector<Tuple> EvictOlderThan(VirtualTime cutoff);
+
+  /// Removes and returns every buffered tuple for which `predicate` is
+  /// true (generalizes EvictOlderThan; used by sliding-window emission).
+  std::vector<Tuple> EvictIf(
+      const std::function<bool(const Tuple&)>& predicate);
+
+  /// Visits every buffered tuple without removing it.
+  void ForEach(const std::function<void(const Tuple&)>& visit) const;
+
+  // Lifetime counters.
+  int64_t total_pushed() const { return total_pushed_; }
+  int64_t total_dropped() const { return total_dropped_; }
+  int64_t total_popped() const { return total_popped_; }
+
+ private:
+  size_t capacity_;
+  std::unique_ptr<DropPolicy> policy_;
+  std::deque<Tuple> queue_;
+  int64_t total_pushed_ = 0;
+  int64_t total_dropped_ = 0;
+  int64_t total_popped_ = 0;
+};
+
+}  // namespace datatriage::triage
+
+#endif  // DATATRIAGE_TRIAGE_TRIAGE_QUEUE_H_

@@ -1,0 +1,63 @@
+#include "src/tuple/tuple.h"
+
+#include <algorithm>
+
+namespace datatriage {
+
+namespace {
+
+// 64-bit hash combiner (boost::hash_combine style, widened).
+inline size_t CombineHash(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> projected;
+  projected.reserve(indices.size());
+  for (size_t i : indices) projected.push_back(values_.at(i));
+  return Tuple(std::move(projected), timestamp_);
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> combined;
+  combined.reserve(values_.size() + other.values_.size());
+  combined.insert(combined.end(), values_.begin(), values_.end());
+  combined.insert(combined.end(), other.values_.begin(),
+                  other.values_.end());
+  return Tuple(std::move(combined), std::max(timestamp_, other.timestamp_));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (values_[i] < other.values_[i]) return true;
+    if (other.values_[i] < values_[i]) return false;
+  }
+  return values_.size() < other.values_.size();
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = values_.size();
+  for (const Value& v : values_) seed = CombineHash(seed, v.Hash());
+  return seed;
+}
+
+size_t HashValuesAt(const Tuple& tuple, const std::vector<size_t>& indices) {
+  size_t seed = indices.size();
+  for (size_t i : indices) seed = CombineHash(seed, tuple.value(i).Hash());
+  return seed;
+}
+
+}  // namespace datatriage

@@ -1,0 +1,76 @@
+#ifndef DATATRIAGE_TUPLE_TUPLE_H_
+#define DATATRIAGE_TUPLE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/virtual_time.h"
+#include "src/tuple/value.h"
+
+namespace datatriage {
+
+/// One stream element: a row of values plus the virtual arrival timestamp
+/// the engine windows on. Tuples are value types and cheap to move.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values, VirtualTime timestamp = 0.0)
+      : values_(std::move(values)), timestamp_(timestamp) {}
+
+  Tuple(const Tuple&) = default;
+  Tuple& operator=(const Tuple&) = default;
+  Tuple(Tuple&&) = default;
+  Tuple& operator=(Tuple&&) = default;
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_.at(i); }
+  Value& value(size_t i) { return values_.at(i); }
+  const std::vector<Value>& values() const { return values_; }
+
+  VirtualTime timestamp() const { return timestamp_; }
+  void set_timestamp(VirtualTime t) { timestamp_ = t; }
+
+  /// New tuple with only the columns at `indices`, preserving the
+  /// timestamp.
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  /// New tuple with this row's columns followed by `other`'s; the
+  /// timestamp is the later of the two (a join output is not "ready"
+  /// before both inputs have arrived).
+  Tuple Concat(const Tuple& other) const;
+
+  /// "(v1, v2, ...)" rendering for diagnostics.
+  std::string ToString() const;
+
+  /// Row equality over values only (timestamps are transport metadata and
+  /// excluded, matching multiset semantics in the differential algebra).
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// Lexicographic value order; used by multiset containers in tests and
+  /// by the exact reference synopsis.
+  bool operator<(const Tuple& other) const;
+
+  /// Hash over values, consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+  VirtualTime timestamp_ = 0.0;
+};
+
+/// Functors for unordered containers keyed by Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+};
+
+/// Hash of a subset of columns; used by hash joins and group-by.
+size_t HashValuesAt(const Tuple& tuple, const std::vector<size_t>& indices);
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_TUPLE_TUPLE_H_

@@ -1,0 +1,73 @@
+#include "src/tuple/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/string_util.h"
+
+namespace datatriage {
+
+FieldType Value::type() const {
+  if (is_int64()) return FieldType::kInt64;
+  if (is_string()) return FieldType::kString;
+  return is_timestamp_ ? FieldType::kTimestamp : FieldType::kDouble;
+}
+
+double Value::AsDouble() const {
+  DT_CHECK(is_numeric()) << "AsDouble() on string value";
+  if (is_int64()) return static_cast<double>(int64());
+  return dbl();
+}
+
+Result<Value> Value::CastTo(FieldType target) const {
+  switch (target) {
+    case FieldType::kInt64:
+      if (is_int64()) return *this;
+      if (is_numeric()) {
+        return Value::Int64(static_cast<int64_t>(std::llround(dbl())));
+      }
+      break;
+    case FieldType::kDouble:
+      if (is_numeric()) return Value::Double(AsDouble());
+      break;
+    case FieldType::kTimestamp:
+      if (is_numeric()) return Value::Timestamp(AsDouble());
+      break;
+    case FieldType::kString:
+      if (is_string()) return *this;
+      break;
+  }
+  return Status::InvalidArgument(
+      "cannot cast " + std::string(FieldTypeToString(type())) + " value " +
+      ToString() + " to " + std::string(FieldTypeToString(target)));
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(int64());
+  if (is_string()) return "'" + str() + "'";
+  return StringPrintf("%g", dbl());
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_string() || other.is_string()) {
+    return is_string() && other.is_string() && str() == other.str();
+  }
+  return AsDouble() == other.AsDouble();
+}
+
+bool Value::operator<(const Value& other) const {
+  const bool lhs_string = is_string();
+  const bool rhs_string = other.is_string();
+  if (lhs_string != rhs_string) return !lhs_string;  // numerics first
+  if (lhs_string) return str() < other.str();
+  return AsDouble() < other.AsDouble();
+}
+
+size_t Value::Hash() const {
+  if (is_string()) return std::hash<std::string>{}(str());
+  // Hash the double representation so Int64(3) and Double(3.0) collide,
+  // matching operator==.
+  return std::hash<double>{}(AsDouble());
+}
+
+}  // namespace datatriage

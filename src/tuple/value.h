@@ -1,0 +1,91 @@
+#ifndef DATATRIAGE_TUPLE_VALUE_H_
+#define DATATRIAGE_TUPLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/catalog/field_type.h"
+#include "src/common/result.h"
+
+namespace datatriage {
+
+/// A single column value. Cheap to copy for the numeric alternatives; the
+/// string alternative owns its storage.
+class Value {
+ public:
+  /// Default-constructs the integer 0 (the engine has no SQL NULL; the
+  /// paper's workloads and queries do not exercise NULLs).
+  Value() : data_(int64_t{0}) {}
+
+  static Value Int64(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Timestamp(double seconds) {
+    Value v{Rep(seconds)};
+    v.is_timestamp_ = true;
+    return v;
+  }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  FieldType type() const;
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const {
+    return std::holds_alternative<double>(data_) && !is_timestamp_;
+  }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+  bool is_timestamp() const {
+    return std::holds_alternative<double>(data_) && is_timestamp_;
+  }
+  bool is_numeric() const { return !is_string(); }
+
+  /// Precondition: is_int64().
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  /// Precondition: holds a double or timestamp.
+  double dbl() const { return std::get<double>(data_); }
+  /// Precondition: is_string().
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric view of the value: int64 and timestamp promote to double.
+  /// Precondition: is_numeric(). Used by histograms and comparisons.
+  double AsDouble() const;
+
+  /// Coerces to the requested type where a lossless or conventional
+  /// conversion exists (int64<->double, numeric->timestamp); errors on
+  /// string<->numeric.
+  Result<Value> CastTo(FieldType type) const;
+
+  /// SQL-literal style rendering ('quoted' strings, plain numerics).
+  std::string ToString() const;
+
+  /// Value equality with numeric promotion: Int64(3) == Double(3.0).
+  /// Strings compare only to strings.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Ordering with the same promotion rules; strings order lexically and
+  /// sort after all numerics (a total order for use in ordered containers).
+  bool operator<(const Value& other) const;
+
+  /// Hash consistent with operator== (numeric values hash by double
+  /// representation).
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<int64_t, double, std::string>;
+  explicit Value(Rep rep) : data_(std::move(rep)) {}
+
+  Rep data_;
+  bool is_timestamp_ = false;
+};
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_TUPLE_VALUE_H_

@@ -1,0 +1,66 @@
+#include "src/workload/arrival.h"
+
+namespace datatriage::workload {
+
+Result<std::unique_ptr<ArrivalProcess>> ConstantRateArrivals::Make(
+    double rate, double phase) {
+  if (rate <= 0) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  if (phase < 0) {
+    return Status::InvalidArgument("phase must be non-negative");
+  }
+  return std::unique_ptr<ArrivalProcess>(
+      new ConstantRateArrivals(1.0 / rate, phase));
+}
+
+ArrivalSlot ConstantRateArrivals::Next() {
+  ArrivalSlot slot{next_time_, /*in_burst=*/false};
+  next_time_ += gap_;
+  return slot;
+}
+
+Result<std::unique_ptr<ArrivalProcess>> MarkovBurstArrivals::Make(
+    const MarkovBurstConfig& config, uint64_t seed, double phase) {
+  if (config.base_rate <= 0 || config.burst_speedup < 1.0) {
+    return Status::InvalidArgument(
+        "base_rate must be positive and burst_speedup >= 1");
+  }
+  if (config.burst_fraction <= 0 || config.burst_fraction >= 1) {
+    return Status::InvalidArgument("burst_fraction must be in (0, 1)");
+  }
+  if (config.expected_burst_length < 1.0) {
+    return Status::InvalidArgument("expected_burst_length must be >= 1");
+  }
+  return std::unique_ptr<ArrivalProcess>(
+      new MarkovBurstArrivals(config, seed, phase));
+}
+
+ArrivalSlot MarkovBurstArrivals::Next() {
+  // Per-tuple two-state chain. With exit probability 1/E[len] and entry
+  // probability chosen so the stationary burst share is burst_fraction:
+  //   f = p_enter / (p_enter + p_exit)  =>  p_enter = p_exit * f / (1-f).
+  const double p_exit = 1.0 / config_.expected_burst_length;
+  const double p_enter =
+      p_exit * config_.burst_fraction / (1.0 - config_.burst_fraction);
+  if (in_burst_) {
+    if (rng_.Bernoulli(p_exit)) in_burst_ = false;
+  } else {
+    if (rng_.Bernoulli(p_enter)) in_burst_ = true;
+  }
+  const double gap =
+      in_burst_ ? 1.0 / (config_.base_rate * config_.burst_speedup)
+                : 1.0 / config_.base_rate;
+  next_time_ += gap;
+  return ArrivalSlot{next_time_, in_burst_};
+}
+
+std::vector<ArrivalSlot> TakeArrivals(ArrivalProcess* process,
+                                      size_t count) {
+  std::vector<ArrivalSlot> slots;
+  slots.reserve(count);
+  for (size_t i = 0; i < count; ++i) slots.push_back(process->Next());
+  return slots;
+}
+
+}  // namespace datatriage::workload

@@ -1,0 +1,97 @@
+#ifndef DATATRIAGE_WORKLOAD_ARRIVAL_H_
+#define DATATRIAGE_WORKLOAD_ARRIVAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/virtual_time.h"
+
+namespace datatriage::workload {
+
+/// One scheduled tuple slot produced by an arrival process.
+struct ArrivalSlot {
+  VirtualTime time = 0.0;
+  bool in_burst = false;
+};
+
+/// Generates the arrival timeline of one stream.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  ArrivalProcess(const ArrivalProcess&) = delete;
+  ArrivalProcess& operator=(const ArrivalProcess&) = delete;
+
+  /// The next arrival (times are strictly increasing).
+  virtual ArrivalSlot Next() = 0;
+
+ protected:
+  ArrivalProcess() = default;
+};
+
+/// Evenly spaced arrivals at a fixed rate (the paper's constant-rate
+/// experiment, Sec. 7.1).
+class ConstantRateArrivals final : public ArrivalProcess {
+ public:
+  /// `rate` in tuples per virtual second; `phase` offsets the first
+  /// arrival (lets multiple streams interleave instead of colliding).
+  static Result<std::unique_ptr<ArrivalProcess>> Make(double rate,
+                                                      double phase = 0.0);
+
+  ArrivalSlot Next() override;
+
+ private:
+  ConstantRateArrivals(double gap, double phase)
+      : gap_(gap), next_time_(phase) {}
+
+  double gap_;
+  VirtualTime next_time_;
+};
+
+/// The paper's two-state Markov burst model (Sec. 6.2.2): a per-tuple
+/// chain where 60% of tuples belong to bursts, the expected burst length
+/// is 200 tuples, and burst tuples arrive `burst_speedup`× faster than
+/// the base rate.
+struct MarkovBurstConfig {
+  /// Arrival rate outside bursts, tuples per virtual second.
+  double base_rate = 100.0;
+  /// Bursts arrive this many times faster (paper: 100).
+  double burst_speedup = 100.0;
+  /// Stationary fraction of tuples that are burst tuples (paper: 0.6).
+  double burst_fraction = 0.6;
+  /// Expected burst length in tuples (paper: 200).
+  double expected_burst_length = 200.0;
+};
+
+class MarkovBurstArrivals final : public ArrivalProcess {
+ public:
+  static Result<std::unique_ptr<ArrivalProcess>> Make(
+      const MarkovBurstConfig& config, uint64_t seed, double phase = 0.0);
+
+  ArrivalSlot Next() override;
+
+  /// Peak arrival rate during bursts.
+  static double PeakRate(const MarkovBurstConfig& config) {
+    return config.base_rate * config.burst_speedup;
+  }
+
+ private:
+  MarkovBurstArrivals(const MarkovBurstConfig& config, uint64_t seed,
+                      double phase)
+      : config_(config), rng_(seed), next_time_(phase) {}
+
+  MarkovBurstConfig config_;
+  Rng rng_;
+  VirtualTime next_time_;
+  bool in_burst_ = false;
+};
+
+/// Materializes the first `count` arrivals of a process.
+std::vector<ArrivalSlot> TakeArrivals(ArrivalProcess* process,
+                                      size_t count);
+
+}  // namespace datatriage::workload
+
+#endif  // DATATRIAGE_WORKLOAD_ARRIVAL_H_

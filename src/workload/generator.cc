@@ -1,0 +1,55 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datatriage::workload {
+
+Result<TupleGenerator> TupleGenerator::Make(
+    Schema schema, std::vector<GaussianColumnSpec> normal,
+    std::vector<GaussianColumnSpec> burst, uint64_t seed) {
+  if (normal.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "one normal column spec required per schema column");
+  }
+  if (!burst.empty() && burst.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "burst column specs must be empty or match the column count");
+  }
+  for (const Field& f : schema.fields()) {
+    if (!IsNumericType(f.type)) {
+      return Status::InvalidArgument(
+          "generated streams must have numeric columns; '" + f.name +
+          "' is not");
+    }
+  }
+  return TupleGenerator(std::move(schema), std::move(normal),
+                        std::move(burst), seed);
+}
+
+Tuple TupleGenerator::Next(VirtualTime timestamp, bool in_burst) {
+  const std::vector<GaussianColumnSpec>& specs =
+      (in_burst && !burst_.empty()) ? burst_ : normal_;
+  std::vector<Value> values;
+  values.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const GaussianColumnSpec& spec = specs[i];
+    double v = rng_.Gaussian(spec.mean, spec.stddev);
+    v = std::clamp(v, spec.clamp_lo, spec.clamp_hi);
+    if (spec.round_to_int) v = std::round(v);
+    switch (schema_.field(i).type) {
+      case FieldType::kInt64:
+        values.push_back(Value::Int64(static_cast<int64_t>(v)));
+        break;
+      case FieldType::kTimestamp:
+        values.push_back(Value::Timestamp(v));
+        break;
+      default:
+        values.push_back(Value::Double(v));
+        break;
+    }
+  }
+  return Tuple(std::move(values), timestamp);
+}
+
+}  // namespace datatriage::workload

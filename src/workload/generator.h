@@ -1,0 +1,63 @@
+#ifndef DATATRIAGE_WORKLOAD_GENERATOR_H_
+#define DATATRIAGE_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::workload {
+
+/// Distribution of one generated column: a Gaussian clamped to
+/// [clamp_lo, clamp_hi] and optionally rounded to integers — the paper's
+/// workload draws integer fields in [1, 100] from Gaussians (Sec. 6.2.1).
+struct GaussianColumnSpec {
+  double mean = 50.0;
+  double stddev = 15.0;
+  double clamp_lo = 1.0;
+  double clamp_hi = 100.0;
+  bool round_to_int = true;
+};
+
+/// Generates random tuples for one stream; burst tuples may come from a
+/// different set of column distributions (Sec. 6.2.2: "the 'burst' tuples
+/// were drawn from Gaussian distributions with means at different
+/// locations").
+class TupleGenerator {
+ public:
+  /// `normal` must have one spec per schema column; `burst` may be empty
+  /// (burst tuples then use `normal`) or match the column count.
+  static Result<TupleGenerator> Make(Schema schema,
+                                     std::vector<GaussianColumnSpec> normal,
+                                     std::vector<GaussianColumnSpec> burst,
+                                     uint64_t seed);
+
+  TupleGenerator(const TupleGenerator&) = delete;
+  TupleGenerator& operator=(const TupleGenerator&) = delete;
+  TupleGenerator(TupleGenerator&&) = default;
+  TupleGenerator& operator=(TupleGenerator&&) = default;
+
+  /// Draws one tuple with the given timestamp.
+  Tuple Next(VirtualTime timestamp, bool in_burst);
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  TupleGenerator(Schema schema, std::vector<GaussianColumnSpec> normal,
+                 std::vector<GaussianColumnSpec> burst, uint64_t seed)
+      : schema_(std::move(schema)),
+        normal_(std::move(normal)),
+        burst_(std::move(burst)),
+        rng_(seed) {}
+
+  Schema schema_;
+  std::vector<GaussianColumnSpec> normal_;
+  std::vector<GaussianColumnSpec> burst_;  // empty -> use normal_
+  Rng rng_;
+};
+
+}  // namespace datatriage::workload
+
+#endif  // DATATRIAGE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,216 @@
+#include "src/plan/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sql/parser.h"
+
+namespace datatriage::plan {
+namespace {
+
+Catalog PaperCatalog() {
+  // The paper's three streams: R(a), S(b, c), T(d); Sec. 4.3 / 6.2.1.
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .RegisterStream({"R", Schema({{"a", FieldType::kInt64}})})
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .RegisterStream({"S", Schema({{"b", FieldType::kInt64},
+                                                {"c", FieldType::kInt64}})})
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .RegisterStream({"T", Schema({{"d", FieldType::kInt64}})})
+                  .ok());
+  return catalog;
+}
+
+Result<BoundQuery> Bind(const std::string& text,
+                        const Catalog& catalog) {
+  auto stmt = sql::ParseStatement(text);
+  if (!stmt.ok()) return stmt.status();
+  return BindStatement(*stmt, catalog);
+}
+
+TEST(BinderTest, PaperFigure7QueryBinds) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind(
+      "SELECT a, COUNT(*) as count FROM R,S,T WHERE R.a = S.b AND "
+      "S.c = T.d GROUP BY a; WINDOW R['1 second'], S['1 second'], "
+      "T['1 second'];",
+      catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  EXPECT_TRUE(bound->has_aggregate);
+  ASSERT_EQ(bound->group_by.size(), 1u);
+  EXPECT_EQ(bound->group_by[0].input_index, 0u);  // r.a
+  EXPECT_EQ(bound->group_by[0].output_name, "a");
+  ASSERT_EQ(bound->aggregates.size(), 1u);
+  EXPECT_EQ(bound->aggregates[0].func, sql::AggFunc::kCount);
+  EXPECT_TRUE(bound->aggregates[0].count_star);
+  EXPECT_EQ(bound->aggregates[0].output_name, "count");
+
+  EXPECT_EQ(bound->from_streams,
+            (std::vector<std::string>{"r", "s", "t"}));
+  EXPECT_EQ(bound->window_seconds.at("r"), 1.0);
+  EXPECT_EQ(bound->window_seconds.at("t"), 1.0);
+
+  // SPJ core: ((R join S) join T) with keys on the equijoin columns.
+  const std::string plan_text = bound->spj_core->ToString();
+  EXPECT_NE(plan_text.find("Join on L$0=R$0"), std::string::npos)
+      << plan_text;  // r.a = s.b
+  EXPECT_NE(plan_text.find("Join on L$2=R$0"), std::string::npos)
+      << plan_text;  // s.c = t.d
+  EXPECT_EQ(bound->spj_core->schema().num_fields(), 4u);
+  EXPECT_EQ(bound->spj_core->schema().field(0).name, "r.a");
+  EXPECT_EQ(bound->spj_core->schema().field(3).name, "t.d");
+
+  // The full plan aggregates on top of the SPJ core.
+  EXPECT_EQ(bound->plan->kind(), LogicalPlan::Kind::kAggregate);
+  EXPECT_EQ(bound->plan->schema().field(0).name, "a");
+  EXPECT_EQ(bound->plan->schema().field(1).name, "count");
+}
+
+TEST(BinderTest, SingleTablePredicatePushdown) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind(
+      "SELECT a FROM R, S WHERE R.a = S.b AND R.a > 10 AND S.c < 5",
+      catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const std::string plan_text = bound->spj_core->ToString();
+  // Pushed filters sit below the join (indented deeper than the join).
+  EXPECT_NE(plan_text.find("Filter ($0 > 10)"), std::string::npos)
+      << plan_text;
+  EXPECT_NE(plan_text.find("Filter ($1 < 5)"), std::string::npos)
+      << plan_text;
+  EXPECT_EQ(plan_text.find("Join"), plan_text.find("Join on L$0=R$0"))
+      << plan_text;
+}
+
+TEST(BinderTest, NonEquiMultiStreamPredicateBecomesResidual) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind("SELECT a FROM R, S WHERE R.a < S.b", catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const std::string plan_text = bound->spj_core->ToString();
+  // Cross product with a residual filter on top.
+  EXPECT_NE(plan_text.find("Filter ($0 < $1)"), std::string::npos)
+      << plan_text;
+  EXPECT_NE(plan_text.find("Join (cross)"), std::string::npos) << plan_text;
+}
+
+TEST(BinderTest, SelfJoinWithAliases) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind(
+      "SELECT x.a FROM R x, R y WHERE x.a = y.a", catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->from_streams, (std::vector<std::string>{"r", "r"}));
+  EXPECT_EQ(bound->from_aliases, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(bound->spj_core->schema().field(0).name, "x.a");
+  EXPECT_EQ(bound->spj_core->schema().field(1).name, "y.a");
+}
+
+TEST(BinderTest, DuplicateAliasRejected) {
+  Catalog catalog = PaperCatalog();
+  EXPECT_EQ(Bind("SELECT a FROM R, R", catalog).status().code(),
+            StatusCode::kBindError);
+}
+
+TEST(BinderTest, UnknownStreamAndColumn) {
+  Catalog catalog = PaperCatalog();
+  EXPECT_EQ(Bind("SELECT a FROM Nope", catalog).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Bind("SELECT zzz FROM R", catalog).status().code(),
+            StatusCode::kBindError);
+}
+
+TEST(BinderTest, UngroupedColumnRejected) {
+  Catalog catalog = PaperCatalog();
+  auto bound =
+      Bind("SELECT b, COUNT(*) FROM S GROUP BY c", catalog);
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST(BinderTest, StarExpansionUsesBaseNames) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind("SELECT * FROM R, S", catalog);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->projection_names,
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(BinderTest, StarCollisionFallsBackToQualifiedName) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.RegisterStream({"U", Schema({{"a", FieldType::kInt64}})})
+          .ok());
+  ASSERT_TRUE(
+      catalog.RegisterStream({"V", Schema({{"a", FieldType::kInt64}})})
+          .ok());
+  auto bound = Bind("SELECT * FROM U, V", catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->projection_names,
+            (std::vector<std::string>{"a", "v.a"}));
+}
+
+TEST(BinderTest, DefaultWindowApplied) {
+  Catalog catalog = PaperCatalog();
+  BindOptions options;
+  options.default_window_seconds = 7.5;
+  auto stmt = sql::ParseStatement("SELECT a FROM R");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = BindStatement(*stmt, catalog, options);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound->window_seconds.at("r"), 7.5);
+}
+
+TEST(BinderTest, ConflictingWindowsRejected) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind(
+      "SELECT x.a FROM R x, R y WINDOW x['1 second'], y['2 seconds']",
+      catalog);
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST(BinderTest, AggregateAliasesAndDeduplication) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind(
+      "SELECT c, COUNT(*), SUM(b), SUM(c) AS totc FROM S GROUP BY c",
+      catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_EQ(bound->aggregates.size(), 3u);
+  EXPECT_EQ(bound->aggregates[0].output_name, "count");
+  EXPECT_EQ(bound->aggregates[1].output_name, "sum");
+  EXPECT_EQ(bound->aggregates[2].output_name, "totc");
+}
+
+TEST(BinderTest, SetOpBindsUnionCompatibleSelects) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind(
+      "(SELECT a FROM R) EXCEPT (SELECT b FROM S)", catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->plan->kind(), LogicalPlan::Kind::kSetDifference);
+  EXPECT_FALSE(bound->has_aggregate);
+  EXPECT_EQ(bound->from_streams, (std::vector<std::string>{"r", "s"}));
+}
+
+TEST(BinderTest, SetOpRejectsAggregates) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind(
+      "(SELECT COUNT(*) FROM R) UNION ALL (SELECT COUNT(*) FROM S)",
+      catalog);
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST(BinderTest, CreateStreamIsRejectedAsQuery) {
+  Catalog catalog = PaperCatalog();
+  EXPECT_EQ(Bind("CREATE STREAM Z (x INTEGER)", catalog).status().code(),
+            StatusCode::kBindError);
+}
+
+TEST(BinderTest, DistinctFlagPropagates) {
+  Catalog catalog = PaperCatalog();
+  auto bound = Bind("SELECT DISTINCT a FROM R", catalog);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->distinct);
+}
+
+}  // namespace
+}  // namespace datatriage::plan

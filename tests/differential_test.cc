@@ -1,0 +1,237 @@
+#include "src/rewrite/differential.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/evaluator.h"
+#include "tests/test_util.h"
+
+namespace datatriage::rewrite {
+namespace {
+
+using exec::ChannelKey;
+using exec::Relation;
+using exec::RelationProvider;
+using plan::Channel;
+using plan::LogicalPlan;
+using plan::PlanPtr;
+using testing::MustBind;
+using testing::PaperCatalog;
+using testing::RandomRelation;
+using testing::RandomSplit;
+using testing::RelationToString;
+using testing::Row;
+using testing::SameMultiset;
+
+/// Multiset monus computed directly (reference implementation for the
+/// identity check).
+Relation Monus(const Relation& a, const Relation& b) {
+  std::unordered_map<Tuple, int64_t, TupleHash, TupleEq> cancel;
+  for (const Tuple& t : b) ++cancel[t];
+  Relation out;
+  for (const Tuple& t : a) {
+    auto it = cancel.find(t);
+    if (it != cancel.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+Relation Concat(Relation a, const Relation& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+/// Checks the paper's Eq. 1 invariant  Q = Q_noisy − Q+ + Q−  for `plan`:
+/// evaluates the base plan over full inputs, randomly splits every stream
+/// into kept/dropped, evaluates the differential triple, and compares
+/// multisets.
+void CheckIdentity(const PlanPtr& base_plan,
+                   const std::vector<std::pair<std::string, size_t>>&
+                       stream_arities,
+                   uint64_t seed, double drop_probability) {
+  Rng rng(seed);
+  RelationProvider inputs;
+  for (const auto& [stream, arity] : stream_arities) {
+    Relation base = RandomRelation(&rng, 40, arity, 1, 8);
+    auto [kept, dropped] = RandomSplit(&rng, base, drop_probability);
+    inputs[ChannelKey{stream, Channel::kBase}] = std::move(base);
+    inputs[ChannelKey{stream, Channel::kKept}] = std::move(kept);
+    inputs[ChannelKey{stream, Channel::kDropped}] = std::move(dropped);
+  }
+
+  auto full = exec::EvaluatePlan(*base_plan, inputs);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  auto differential = DifferentialRewrite(base_plan);
+  ASSERT_TRUE(differential.ok()) << differential.status().ToString();
+
+  auto noisy = exec::EvaluatePlan(*differential->noisy, inputs);
+  auto plus = exec::EvaluatePlan(*differential->plus, inputs);
+  auto minus = exec::EvaluatePlan(*differential->minus, inputs);
+  ASSERT_TRUE(noisy.ok()) << noisy.status().ToString();
+  ASSERT_TRUE(plus.ok()) << plus.status().ToString();
+  ASSERT_TRUE(minus.ok()) << minus.status().ToString();
+
+  const Relation reconstructed = Concat(Monus(*noisy, *plus), *minus);
+  EXPECT_TRUE(SameMultiset(*full, reconstructed))
+      << "seed " << seed << "\nfull:          "
+      << RelationToString(*full)
+      << "\nreconstructed: " << RelationToString(reconstructed)
+      << "\nnoisy: " << RelationToString(*noisy)
+      << "\nplus:  " << RelationToString(*plus)
+      << "\nminus: " << RelationToString(*minus);
+}
+
+TEST(DifferentialTest, ScanSplitsIntoKeptAndDropped) {
+  PlanPtr scan = LogicalPlan::StreamScan(
+      "r", Channel::kBase, Schema({{"r.a", FieldType::kInt64}}));
+  auto d = DifferentialRewrite(scan);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->noisy->channel(), Channel::kKept);
+  EXPECT_EQ(d->minus->channel(), Channel::kDropped);
+  EXPECT_EQ(d->plus->kind(), LogicalPlan::Kind::kEmpty);
+}
+
+TEST(DifferentialTest, ChannelTaggedScanRejected) {
+  PlanPtr scan = LogicalPlan::StreamScan(
+      "r", Channel::kKept, Schema({{"r.a", FieldType::kInt64}}));
+  EXPECT_EQ(DifferentialRewrite(scan).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DifferentialTest, AggregateRejected) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  EXPECT_EQ(DifferentialRewrite(bound.plan).status().code(),
+            StatusCode::kUnimplemented);
+  // But the SPJ core rewrites fine.
+  EXPECT_TRUE(DifferentialRewrite(bound.spj_core).ok());
+}
+
+TEST(DifferentialTest, SpjMinusPlanMatchesPaperEq17Shape) {
+  // For the 3-way join with no additions, the minus plan must be
+  //   R_d ⋈ S_all ⋈ T_all  +  R_k ⋈ (S_d ⋈ T_all + S_k ⋈ T_d)
+  // i.e. contain no set differences and scan every channel.
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  auto d = DifferentialRewrite(bound.spj_core);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->plus->kind(), LogicalPlan::Kind::kEmpty);
+  const std::string minus_text = d->minus->ToString();
+  EXPECT_EQ(minus_text.find("SetDifference"), std::string::npos)
+      << minus_text;
+  for (const char* expected :
+       {"Scan r[dropped]", "Scan r[kept]", "Scan s[dropped]",
+        "Scan s[kept]", "Scan t[dropped]", "Scan t[kept]"}) {
+    EXPECT_NE(minus_text.find(expected), std::string::npos)
+        << "missing " << expected << " in\n"
+        << minus_text;
+  }
+  // The noisy plan only reads kept channels.
+  EXPECT_TRUE(d->noisy->IsFreeOfChannel(Channel::kDropped));
+  EXPECT_TRUE(d->noisy->IsFreeOfChannel(Channel::kBase));
+}
+
+TEST(DifferentialTest, RetargetScansRewritesAllLeaves) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  auto kept = RetargetScans(bound.spj_core, Channel::kKept);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_TRUE((*kept)->IsFreeOfChannel(Channel::kBase));
+  EXPECT_TRUE((*kept)->IsFreeOfChannel(Channel::kDropped));
+  EXPECT_EQ((*kept)->schema(), bound.spj_core->schema());
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the Eq. 1 identity over random data and drop patterns.
+// ---------------------------------------------------------------------
+
+class DifferentialIdentityTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialIdentityTest, TwoWayEquijoin) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound =
+      MustBind("SELECT * FROM R, S WHERE R.a = S.b", catalog);
+  CheckIdentity(bound.spj_core, {{"r", 1}, {"s", 2}}, GetParam(), 0.4);
+}
+
+TEST_P(DifferentialIdentityTest, PaperThreeWayJoin) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  CheckIdentity(bound.spj_core, {{"r", 1}, {"s", 2}, {"t", 1}}, GetParam(),
+                0.4);
+}
+
+TEST_P(DifferentialIdentityTest, JoinWithPushedFilter) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(
+      "SELECT * FROM R, S WHERE R.a = S.b AND S.c > 3 AND R.a < 7",
+      catalog);
+  CheckIdentity(bound.spj_core, {{"r", 1}, {"s", 2}}, GetParam(), 0.5);
+}
+
+TEST_P(DifferentialIdentityTest, ProjectionOverJoin) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound =
+      MustBind("SELECT c FROM R, S WHERE R.a = S.b", catalog);
+  // Test the full plan (projection included): it is aggregate-free.
+  CheckIdentity(bound.plan, {{"r", 1}, {"s", 2}}, GetParam(), 0.4);
+}
+
+TEST_P(DifferentialIdentityTest, CrossProductWithResidual) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound =
+      MustBind("SELECT * FROM R, T WHERE R.a < T.d", catalog);
+  CheckIdentity(bound.spj_core, {{"r", 1}, {"t", 1}}, GetParam(), 0.3);
+}
+
+TEST_P(DifferentialIdentityTest, UnionAllQuery) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(
+      "(SELECT a FROM R) UNION ALL (SELECT d FROM T)", catalog);
+  CheckIdentity(bound.plan, {{"r", 1}, {"t", 1}}, GetParam(), 0.4);
+}
+
+TEST_P(DifferentialIdentityTest, ExceptQueryExercisesAddedTuples) {
+  // EXCEPT is where dropping input tuples *adds* result tuples, so the
+  // plus plan is non-trivial (paper Sec. 3.2.3).
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound =
+      MustBind("(SELECT a FROM R) EXCEPT (SELECT d FROM T)", catalog);
+  CheckIdentity(bound.plan, {{"r", 1}, {"t", 1}}, GetParam(), 0.4);
+}
+
+TEST_P(DifferentialIdentityTest, NestedExceptOverJoin) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(
+      "(SELECT a FROM R, S WHERE R.a = S.b) EXCEPT (SELECT d FROM T)",
+      catalog);
+  CheckIdentity(bound.plan, {{"r", 1}, {"s", 2}, {"t", 1}}, GetParam(),
+                0.3);
+}
+
+TEST_P(DifferentialIdentityTest, EverythingDropped) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  CheckIdentity(bound.spj_core, {{"r", 1}, {"s", 2}, {"t", 1}}, GetParam(),
+                1.0);
+}
+
+TEST_P(DifferentialIdentityTest, NothingDropped) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  CheckIdentity(bound.spj_core, {{"r", 1}, {"s", 2}, {"t", 1}}, GetParam(),
+                0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialIdentityTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace datatriage::rewrite

@@ -1,0 +1,244 @@
+#include "src/exec/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace datatriage::exec {
+namespace {
+
+using plan::Channel;
+using plan::LogicalPlan;
+using plan::PlanPtr;
+using testing::PaperCatalog;
+using testing::RelationToString;
+using testing::Row;
+using testing::SameMultiset;
+
+Schema RSchema() { return Schema({{"r.a", FieldType::kInt64}}); }
+Schema SSchema() {
+  return Schema({{"s.b", FieldType::kInt64}, {"s.c", FieldType::kInt64}});
+}
+
+TEST(EvaluatorTest, ScanReadsChannel) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({2})};
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  auto result = EvaluatePlan(*scan, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(EvaluatorTest, ScanOfMissingChannelIsEmpty) {
+  RelationProvider inputs;
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kDropped, RSchema());
+  auto result = EvaluatePlan(*scan, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorTest, EmptyPlanYieldsNothing) {
+  RelationProvider inputs;
+  auto result = EvaluatePlan(*LogicalPlan::Empty(RSchema()), inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorTest, FilterKeepsMatching) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({5}), Row({9})};
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  auto filter = LogicalPlan::Filter(
+      scan, plan::BoundExpr::Binary(
+                sql::BinaryOp::kGreater,
+                plan::BoundExpr::Column(0, FieldType::kInt64),
+                plan::BoundExpr::Literal(Value::Int64(3))));
+  ASSERT_TRUE(filter.ok());
+  auto result = EvaluatePlan(**filter, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SameMultiset(*result, {Row({5}), Row({9})}))
+      << RelationToString(*result);
+}
+
+TEST(EvaluatorTest, ProjectReordersColumns) {
+  RelationProvider inputs;
+  inputs[{"s", Channel::kBase}] = {Row({1, 2}), Row({3, 4})};
+  PlanPtr scan = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto project = LogicalPlan::Project(scan, {1, 0}, {"c", "b"});
+  ASSERT_TRUE(project.ok());
+  auto result = EvaluatePlan(**project, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SameMultiset(*result, {Row({2, 1}), Row({4, 3})}));
+}
+
+TEST(EvaluatorTest, HashJoinProducesAllMatches) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({2}), Row({2})};
+  inputs[{"s", Channel::kBase}] = {Row({2, 10}), Row({2, 20}), Row({3, 30})};
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto join = LogicalPlan::Join(r, s, {{0, 0}});
+  ASSERT_TRUE(join.ok());
+  auto result = EvaluatePlan(**join, inputs);
+  ASSERT_TRUE(result.ok());
+  // Two r-rows with value 2, two matching s-rows: 4 outputs.
+  EXPECT_TRUE(SameMultiset(*result,
+                           {Row({2, 2, 10}), Row({2, 2, 20}),
+                            Row({2, 2, 10}), Row({2, 2, 20})}))
+      << RelationToString(*result);
+}
+
+TEST(EvaluatorTest, JoinColumnOrderIndependentOfBuildSide) {
+  // Force each side to be smaller in turn; output column order must stay
+  // (left, right).
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({7})};
+  inputs[{"s", Channel::kBase}] = {Row({7, 1}), Row({7, 2}), Row({8, 3})};
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto rs = LogicalPlan::Join(r, s, {{0, 0}});
+  ASSERT_TRUE(rs.ok());
+  auto result1 = EvaluatePlan(**rs, inputs);
+  ASSERT_TRUE(result1.ok());
+  EXPECT_TRUE(
+      SameMultiset(*result1, {Row({7, 7, 1}), Row({7, 7, 2})}));
+
+  auto sr = LogicalPlan::Join(s, r, {{0, 0}});
+  ASSERT_TRUE(sr.ok());
+  auto result2 = EvaluatePlan(**sr, inputs);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_TRUE(
+      SameMultiset(*result2, {Row({7, 1, 7}), Row({7, 2, 7})}));
+}
+
+TEST(EvaluatorTest, CrossProductWithResidual) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({5})};
+  inputs[{"s", Channel::kBase}] = {Row({2, 0}), Row({6, 0})};
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  // r.a < s.b as residual over the concatenated schema.
+  auto residual = plan::BoundExpr::Binary(
+      sql::BinaryOp::kLess, plan::BoundExpr::Column(0, FieldType::kInt64),
+      plan::BoundExpr::Column(1, FieldType::kInt64));
+  auto join = LogicalPlan::Join(r, s, {}, residual);
+  ASSERT_TRUE(join.ok());
+  auto result = EvaluatePlan(**join, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SameMultiset(
+      *result, {Row({1, 2, 0}), Row({1, 6, 0}), Row({5, 6, 0})}))
+      << RelationToString(*result);
+}
+
+TEST(EvaluatorTest, UnionAllKeepsDuplicates) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kKept}] = {Row({1})};
+  inputs[{"r", Channel::kDropped}] = {Row({1}), Row({2})};
+  PlanPtr kept = LogicalPlan::StreamScan("r", Channel::kKept, RSchema());
+  PlanPtr dropped =
+      LogicalPlan::StreamScan("r", Channel::kDropped, RSchema());
+  auto u = LogicalPlan::UnionAll(kept, dropped);
+  ASSERT_TRUE(u.ok());
+  auto result = EvaluatePlan(**u, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SameMultiset(*result, {Row({1}), Row({1}), Row({2})}));
+}
+
+TEST(EvaluatorTest, SetDifferenceIsMultisetMonus) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kKept}] = {Row({1}), Row({1}), Row({1}), Row({2})};
+  inputs[{"r", Channel::kDropped}] = {Row({1}), Row({3})};
+  PlanPtr kept = LogicalPlan::StreamScan("r", Channel::kKept, RSchema());
+  PlanPtr dropped =
+      LogicalPlan::StreamScan("r", Channel::kDropped, RSchema());
+  auto diff = LogicalPlan::SetDifference(kept, dropped);
+  ASSERT_TRUE(diff.ok());
+  auto result = EvaluatePlan(**diff, inputs);
+  ASSERT_TRUE(result.ok());
+  // Each right occurrence cancels exactly one left occurrence.
+  EXPECT_TRUE(SameMultiset(*result, {Row({1}), Row({1}), Row({2})}))
+      << RelationToString(*result);
+}
+
+TEST(EvaluatorTest, AggregateComputesAllFunctions) {
+  RelationProvider inputs;
+  inputs[{"s", Channel::kBase}] = {Row({1, 10}), Row({1, 20}), Row({2, 5})};
+  PlanPtr scan = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto agg = LogicalPlan::Aggregate(
+      scan, {{0, "b"}},
+      {{sql::AggFunc::kCount, true, 0, "count"},
+       {sql::AggFunc::kSum, false, 1, "total"},
+       {sql::AggFunc::kAvg, false, 1, "mean"},
+       {sql::AggFunc::kMin, false, 1, "lo"},
+       {sql::AggFunc::kMax, false, 1, "hi"}});
+  ASSERT_TRUE(agg.ok());
+  auto result = EvaluatePlan(**agg, inputs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  // Locate group b=1.
+  const Tuple& g1 = (*result)[0].value(0).int64() == 1 ? (*result)[0]
+                                                       : (*result)[1];
+  EXPECT_EQ(g1.value(1).int64(), 2);             // count
+  EXPECT_EQ(g1.value(2).int64(), 30);            // sum
+  EXPECT_DOUBLE_EQ(g1.value(3).dbl(), 15.0);     // avg
+  EXPECT_EQ(g1.value(4).int64(), 10);            // min
+  EXPECT_EQ(g1.value(5).int64(), 20);            // max
+}
+
+TEST(EvaluatorTest, AggregateWithNoGroupsYieldsSingleRow) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({2}), Row({3})};
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  auto agg = LogicalPlan::Aggregate(
+      scan, {}, {{sql::AggFunc::kCount, true, 0, "count"}});
+  ASSERT_TRUE(agg.ok());
+  auto result = EvaluatePlan(**agg, inputs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].value(0).int64(), 3);
+}
+
+TEST(EvaluatorTest, AggregateOnEmptyInputYieldsNoGroups) {
+  RelationProvider inputs;
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  auto agg = LogicalPlan::Aggregate(
+      scan, {{0, "a"}}, {{sql::AggFunc::kCount, true, 0, "count"}});
+  ASSERT_TRUE(agg.ok());
+  auto result = EvaluatePlan(**agg, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorTest, EndToEndPaperQueryShape) {
+  // Bind the paper's query and run its full plan over tiny relations.
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = testing::MustBind(testing::kPaperQuery, catalog);
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({2})};
+  inputs[{"s", Channel::kBase}] = {Row({1, 7}), Row({1, 8}), Row({2, 7})};
+  inputs[{"t", Channel::kBase}] = {Row({7}), Row({7})};
+  auto result = EvaluatePlan(*bound.plan, inputs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Matches: a=1 joins s(1,7)x2 t-rows = 2; a=2 joins s(2,7)x2 = 2.
+  EXPECT_TRUE(SameMultiset(*result, {Row({1, 2}), Row({2, 2})}))
+      << RelationToString(*result);
+}
+
+TEST(EvaluatorTest, StatsCountWork) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({2})};
+  inputs[{"s", Channel::kBase}] = {Row({1, 0})};
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto join = LogicalPlan::Join(r, s, {{0, 0}});
+  ASSERT_TRUE(join.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**join, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tuples_scanned, 3);
+  EXPECT_GT(stats.join_probes, 0);
+  EXPECT_GT(stats.TotalWork(), 0);
+}
+
+}  // namespace
+}  // namespace datatriage::exec

@@ -1,0 +1,152 @@
+#include "src/plan/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sql/parser.h"
+
+namespace datatriage::plan {
+namespace {
+
+Schema QualifiedSchema() {
+  return Schema({{"r.a", FieldType::kInt64},
+                 {"r.b", FieldType::kDouble},
+                 {"s.a", FieldType::kInt64},
+                 {"s.c", FieldType::kString}});
+}
+
+Tuple Row(int64_t a, double b, int64_t sa, std::string c) {
+  return Tuple({Value::Int64(a), Value::Double(b), Value::Int64(sa),
+                Value::String(std::move(c))});
+}
+
+/// Parses the WHERE clause of a synthetic query to get an AST expression.
+sql::ExprPtr ParseExpr(const std::string& text) {
+  auto stmt = sql::ParseStatement("SELECT a FROM r WHERE " + text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return std::move(stmt->select->where);
+}
+
+BoundExprPtr Bind(const std::string& text, const Schema& schema) {
+  sql::ExprPtr ast = ParseExpr(text);
+  auto bound = BindExpr(*ast, schema);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return bound.ok() ? bound.value() : nullptr;
+}
+
+TEST(ResolveColumnTest, QualifiedAndSuffixResolution) {
+  Schema schema = QualifiedSchema();
+  EXPECT_EQ(ResolveColumn("r", "a", schema).value(), 0u);
+  EXPECT_EQ(ResolveColumn("s", "a", schema).value(), 2u);
+  EXPECT_EQ(ResolveColumn("", "b", schema).value(), 1u);
+  EXPECT_EQ(ResolveColumn("", "c", schema).value(), 3u);
+}
+
+TEST(ResolveColumnTest, AmbiguousAndMissing) {
+  Schema schema = QualifiedSchema();
+  Result<size_t> ambiguous = ResolveColumn("", "a", schema);
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kBindError);
+  EXPECT_FALSE(ResolveColumn("", "zzz", schema).ok());
+  EXPECT_FALSE(ResolveColumn("t", "a", schema).ok());
+}
+
+TEST(BoundExprTest, ComparisonOnColumns) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("r.a = s.a", schema);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->EvaluatesToTrue(Row(3, 0, 3, "x")));
+  EXPECT_FALSE(e->EvaluatesToTrue(Row(3, 0, 4, "x")));
+}
+
+TEST(BoundExprTest, ArithmeticAndPromotion) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("r.a + 2", schema);
+  Value v = e->Evaluate(Row(3, 0, 0, ""));
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 5);
+
+  BoundExprPtr f = Bind("r.a + r.b", schema);
+  EXPECT_EQ(f->result_type(), FieldType::kDouble);
+  EXPECT_DOUBLE_EQ(f->Evaluate(Row(3, 0.5, 0, "")).dbl(), 3.5);
+}
+
+TEST(BoundExprTest, DivisionAlwaysDouble) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("r.a / 2", schema);
+  EXPECT_DOUBLE_EQ(e->Evaluate(Row(7, 0, 0, "")).dbl(), 3.5);
+  // Division by zero yields 0 rather than UB (engine semantics).
+  BoundExprPtr z = Bind("r.a / 0", schema);
+  EXPECT_DOUBLE_EQ(z->Evaluate(Row(7, 0, 0, "")).dbl(), 0.0);
+}
+
+TEST(BoundExprTest, LogicalConnectivesShortCircuit) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("r.a > 0 AND r.b < 1.0", schema);
+  EXPECT_TRUE(e->EvaluatesToTrue(Row(1, 0.5, 0, "")));
+  EXPECT_FALSE(e->EvaluatesToTrue(Row(0, 0.5, 0, "")));
+  EXPECT_FALSE(e->EvaluatesToTrue(Row(1, 2.0, 0, "")));
+
+  BoundExprPtr o = Bind("r.a > 0 OR r.b < 1.0", schema);
+  EXPECT_TRUE(o->EvaluatesToTrue(Row(0, 0.5, 0, "")));
+  EXPECT_FALSE(o->EvaluatesToTrue(Row(0, 5.0, 0, "")));
+
+  BoundExprPtr n = Bind("NOT r.a = 3", schema);
+  EXPECT_FALSE(n->EvaluatesToTrue(Row(3, 0, 0, "")));
+  EXPECT_TRUE(n->EvaluatesToTrue(Row(4, 0, 0, "")));
+}
+
+TEST(BoundExprTest, AllComparisonOperators) {
+  Schema schema = QualifiedSchema();
+  Tuple row = Row(3, 0, 4, "");
+  EXPECT_TRUE(Bind("r.a < s.a", schema)->EvaluatesToTrue(row));
+  EXPECT_TRUE(Bind("r.a <= s.a", schema)->EvaluatesToTrue(row));
+  EXPECT_FALSE(Bind("r.a > s.a", schema)->EvaluatesToTrue(row));
+  EXPECT_FALSE(Bind("r.a >= s.a", schema)->EvaluatesToTrue(row));
+  EXPECT_TRUE(Bind("r.a <> s.a", schema)->EvaluatesToTrue(row));
+  EXPECT_TRUE(Bind("r.a <= 3", schema)->EvaluatesToTrue(row));
+  EXPECT_TRUE(Bind("r.a >= 3", schema)->EvaluatesToTrue(row));
+}
+
+TEST(BoundExprTest, StringComparison) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("s.c = 'hello'", schema);
+  EXPECT_TRUE(e->EvaluatesToTrue(Row(0, 0, 0, "hello")));
+  EXPECT_FALSE(e->EvaluatesToTrue(Row(0, 0, 0, "world")));
+}
+
+TEST(BindExprTest, TypeErrors) {
+  Schema schema = QualifiedSchema();
+  sql::ExprPtr cmp = ParseExpr("s.c = 3");
+  EXPECT_EQ(BindExpr(*cmp, schema).status().code(),
+            StatusCode::kBindError);
+  sql::ExprPtr arith = ParseExpr("s.c + 1 > 0");
+  EXPECT_EQ(BindExpr(*arith, schema).status().code(),
+            StatusCode::kBindError);
+  sql::ExprPtr neg = ParseExpr("-s.c > 0");
+  EXPECT_FALSE(BindExpr(*neg, schema).ok());
+}
+
+TEST(BoundExprTest, RemapColumnsRewritesIndices) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("r.a = 7", schema);  // references column 0
+  // Pretend the expression moves to a schema where that column is at 2.
+  BoundExprPtr remapped = e->RemapColumns({2, 0, 0, 0});
+  Tuple row({Value::Int64(0), Value::Int64(0), Value::Int64(7)});
+  EXPECT_TRUE(remapped->EvaluatesToTrue(row));
+}
+
+TEST(BoundExprTest, ToStringShowsPositionalRefs) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("r.a = 7", schema);
+  EXPECT_EQ(e->ToString(), "($0 = 7)");
+}
+
+TEST(BoundExprTest, UnaryNegateOnInt) {
+  Schema schema = QualifiedSchema();
+  BoundExprPtr e = Bind("-r.a < 0", schema);
+  EXPECT_TRUE(e->EvaluatesToTrue(Row(5, 0, 0, "")));
+  EXPECT_FALSE(e->EvaluatesToTrue(Row(-5, 0, 0, "")));
+}
+
+}  // namespace
+}  // namespace datatriage::plan

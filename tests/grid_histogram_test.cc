@@ -1,0 +1,206 @@
+#include "src/synopsis/grid_histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "tests/test_util.h"
+
+namespace datatriage::synopsis {
+namespace {
+
+using testing::Row;
+
+Schema OneCol() { return Schema({{"a", FieldType::kInt64}}); }
+Schema TwoCol() {
+  return Schema({{"b", FieldType::kInt64}, {"c", FieldType::kInt64}});
+}
+
+SynopsisPtr MakeGrid(Schema schema, double width = 4.0) {
+  auto made = GridHistogram::Make(std::move(schema), {width});
+  EXPECT_TRUE(made.ok()) << made.status().ToString();
+  return std::move(made).value();
+}
+
+TEST(GridHistogramTest, RejectsBadConfigAndSchema) {
+  EXPECT_FALSE(GridHistogram::Make(OneCol(), {0.0}).ok());
+  EXPECT_FALSE(GridHistogram::Make(OneCol(), {-1.0}).ok());
+  EXPECT_FALSE(
+      GridHistogram::Make(Schema({{"s", FieldType::kString}}), {4.0}).ok());
+}
+
+TEST(GridHistogramTest, InsertAccumulatesCounts) {
+  SynopsisPtr h = MakeGrid(OneCol());
+  h->Insert(Row({1}));
+  h->Insert(Row({2}));  // same cell as 1 with width 4
+  h->Insert(Row({9}));
+  EXPECT_DOUBLE_EQ(h->TotalCount(), 3.0);
+  EXPECT_EQ(h->SizeInCells(), 2u);
+}
+
+TEST(GridHistogramTest, NegativeValuesLandInFloorCells) {
+  SynopsisPtr h = MakeGrid(OneCol());
+  h->Insert(Row({-1}));  // cell floor(-1/4) = -1
+  h->Insert(Row({-5}));  // cell -2
+  EXPECT_EQ(h->SizeInCells(), 2u);
+}
+
+TEST(GridHistogramTest, CloneIsIndependent) {
+  SynopsisPtr h = MakeGrid(OneCol());
+  h->Insert(Row({1}));
+  SynopsisPtr c = h->Clone();
+  c->Insert(Row({2}));
+  EXPECT_DOUBLE_EQ(h->TotalCount(), 1.0);
+  EXPECT_DOUBLE_EQ(c->TotalCount(), 2.0);
+}
+
+TEST(GridHistogramTest, UnionAddsCellwise) {
+  SynopsisPtr a = MakeGrid(OneCol());
+  SynopsisPtr b = MakeGrid(OneCol());
+  a->Insert(Row({1}));
+  a->Insert(Row({9}));
+  b->Insert(Row({2}));
+  OpStats stats;
+  auto u = a->UnionAllWith(*b, &stats);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ((*u)->TotalCount(), 3.0);
+  EXPECT_EQ((*u)->SizeInCells(), 2u);  // cells {0} and {2}
+  EXPECT_GT(stats.work, 0);
+}
+
+TEST(GridHistogramTest, UnionRejectsMismatchedWidth) {
+  SynopsisPtr a = MakeGrid(OneCol(), 4.0);
+  SynopsisPtr b = MakeGrid(OneCol(), 2.0);
+  EXPECT_FALSE(a->UnionAllWith(*b, nullptr).ok());
+}
+
+TEST(GridHistogramTest, EquiJoinEstimatesMatchUniformData) {
+  // With all values in one cell, the estimate is exactly c1*c2/width.
+  SynopsisPtr a = MakeGrid(OneCol(), 4.0);
+  SynopsisPtr b = MakeGrid(OneCol(), 4.0);
+  for (int64_t v = 0; v < 4; ++v) {
+    a->Insert(Row({v}));
+    b->Insert(Row({v}));
+  }
+  auto joined = a->EquiJoinWith(*b, {{0, 0}}, nullptr);
+  ASSERT_TRUE(joined.ok());
+  // True join count: each value matches once -> 4. Estimate: 4*4/4 = 4.
+  EXPECT_NEAR((*joined)->TotalCount(), 4.0, 1e-9);
+  EXPECT_EQ((*joined)->schema().num_fields(), 2u);
+}
+
+TEST(GridHistogramTest, EquiJoinMissesCrossCellPairs) {
+  SynopsisPtr a = MakeGrid(OneCol(), 4.0);
+  SynopsisPtr b = MakeGrid(OneCol(), 4.0);
+  a->Insert(Row({1}));   // cell 0
+  b->Insert(Row({9}));   // cell 2
+  auto joined = a->EquiJoinWith(*b, {{0, 0}}, nullptr);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ((*joined)->TotalCount(), 0.0);
+}
+
+TEST(GridHistogramTest, CrossProductIsExactOnCounts) {
+  SynopsisPtr a = MakeGrid(OneCol(), 4.0);
+  SynopsisPtr b = MakeGrid(TwoCol(), 4.0);
+  a->Insert(Row({1}));
+  a->Insert(Row({9}));
+  b->Insert(Row({2, 3}));
+  auto cross = a->EquiJoinWith(*b, {}, nullptr);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_DOUBLE_EQ((*cross)->TotalCount(), 2.0);
+  EXPECT_EQ((*cross)->schema().num_fields(), 3u);
+}
+
+TEST(GridHistogramTest, ProjectMergesCells) {
+  SynopsisPtr h = MakeGrid(TwoCol(), 4.0);
+  h->Insert(Row({1, 1}));
+  h->Insert(Row({1, 9}));  // same b-cell, different c-cell
+  auto p = h->ProjectColumns({0}, {"b"}, nullptr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->SizeInCells(), 1u);
+  EXPECT_DOUBLE_EQ((*p)->TotalCount(), 2.0);
+  EXPECT_FALSE(h->ProjectColumns({5}, {"x"}, nullptr).ok());
+}
+
+TEST(GridHistogramTest, FilterKeepsWholeCellsByMidpoint) {
+  SynopsisPtr h = MakeGrid(OneCol(), 4.0);
+  h->Insert(Row({1}));   // cell [0,4), midpoint 2
+  h->Insert(Row({9}));   // cell [8,12), midpoint 10
+  auto pred = plan::BoundExpr::Binary(
+      sql::BinaryOp::kGreater, plan::BoundExpr::Column(0, FieldType::kInt64),
+      plan::BoundExpr::Literal(Value::Int64(5)));
+  auto f = h->Filter(*pred, nullptr);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ((*f)->TotalCount(), 1.0);
+}
+
+TEST(GridHistogramTest, EstimateGroupsSpreadsCellMass) {
+  SynopsisPtr h = MakeGrid(OneCol(), 4.0);
+  // 8 tuples in cell [0,4).
+  for (int i = 0; i < 8; ++i) h->Insert(Row({1}));
+  auto groups = h->EstimateGroups({0}, {kCountOnlyColumn});
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 4u);  // integer points 0..3
+  for (const auto& [key, accs] : *groups) {
+    EXPECT_DOUBLE_EQ(accs[0].count, 2.0);  // 8 / 4 points
+  }
+}
+
+TEST(GridHistogramTest, EstimateGroupsSumUsesPointValueForGroupColumn) {
+  SynopsisPtr h = MakeGrid(OneCol(), 4.0);
+  for (int i = 0; i < 4; ++i) h->Insert(Row({1}));
+  // SUM over the group column itself: each point v contributes v * 1.
+  auto groups = h->EstimateGroups({0}, {0});
+  ASSERT_TRUE(groups.ok());
+  double total_sum = 0;
+  for (const auto& [key, accs] : *groups) total_sum += accs[0].sum;
+  EXPECT_DOUBLE_EQ(total_sum, 0.0 + 1.0 + 2.0 + 3.0);
+}
+
+TEST(GridHistogramTest, EstimateGroupsEmptyGroupByGivesGlobalGroup) {
+  SynopsisPtr h = MakeGrid(TwoCol(), 4.0);
+  h->Insert(Row({1, 2}));
+  h->Insert(Row({9, 2}));
+  auto groups = h->EstimateGroups({}, {kCountOnlyColumn});
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 1u);
+  EXPECT_DOUBLE_EQ(groups->begin()->second[0].count, 2.0);
+}
+
+TEST(GridHistogramTest, PointEstimateDividesCellMass) {
+  SynopsisPtr h = MakeGrid(OneCol(), 4.0);
+  for (int i = 0; i < 8; ++i) h->Insert(Row({2}));
+  EXPECT_DOUBLE_EQ(h->EstimatePointCount(Row({2})), 2.0);  // 8 / 4
+  EXPECT_DOUBLE_EQ(h->EstimatePointCount(Row({3})), 2.0);  // same cell
+  EXPECT_DOUBLE_EQ(h->EstimatePointCount(Row({7})), 0.0);
+}
+
+TEST(GridHistogramTest, GroupedCountsApproximateGaussianData) {
+  // Statistical sanity: total estimated mass equals inserted mass, and
+  // per-point estimates track a heavily populated distribution.
+  Rng rng(77);
+  SynopsisPtr h = MakeGrid(OneCol(), 4.0);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = std::llround(rng.Gaussian(50, 10));
+    v = std::clamp<int64_t>(v, 1, 100);
+    h->Insert(Row({v}));
+  }
+  auto groups = h->EstimateGroups({0}, {kCountOnlyColumn});
+  ASSERT_TRUE(groups.ok());
+  double total = 0;
+  for (const auto& [key, accs] : *groups) total += accs[0].count;
+  EXPECT_NEAR(total, n, 1e-6);
+  // The mode region should carry far more mass than the tail.
+  double near_mode = 0, tail = 0;
+  for (const auto& [key, accs] : *groups) {
+    int64_t v = key[0].int64();
+    if (v >= 45 && v <= 55) near_mode += accs[0].count;
+    if (v <= 20) tail += accs[0].count;
+  }
+  EXPECT_GT(near_mode, 10 * (tail + 1));
+}
+
+}  // namespace
+}  // namespace datatriage::synopsis

@@ -1,0 +1,139 @@
+#include "src/plan/logical_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace datatriage::plan {
+namespace {
+
+Schema RSchema() {
+  return Schema({{"r.a", FieldType::kInt64}});
+}
+Schema SSchema() {
+  return Schema({{"s.b", FieldType::kInt64}, {"s.c", FieldType::kInt64}});
+}
+
+TEST(LogicalPlanTest, ScanCarriesStreamChannelSchema) {
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kDropped, RSchema());
+  EXPECT_EQ(scan->kind(), LogicalPlan::Kind::kStreamScan);
+  EXPECT_EQ(scan->stream(), "r");
+  EXPECT_EQ(scan->channel(), Channel::kDropped);
+  EXPECT_EQ(scan->schema().num_fields(), 1u);
+}
+
+TEST(LogicalPlanTest, FilterKeepsSchema) {
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  BoundExprPtr pred = BoundExpr::Binary(
+      sql::BinaryOp::kLess, BoundExpr::Column(0, FieldType::kInt64),
+      BoundExpr::Literal(Value::Int64(5)));
+  auto filter = LogicalPlan::Filter(scan, pred);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ((*filter)->schema(), scan->schema());
+  EXPECT_FALSE(LogicalPlan::Filter(nullptr, pred).ok());
+  EXPECT_FALSE(LogicalPlan::Filter(scan, nullptr).ok());
+}
+
+TEST(LogicalPlanTest, ProjectRenamesAndChecksBounds) {
+  PlanPtr scan = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto project = LogicalPlan::Project(scan, {1}, {"c"});
+  ASSERT_TRUE(project.ok());
+  EXPECT_EQ((*project)->schema().field(0).name, "c");
+  EXPECT_EQ((*project)->schema().field(0).type, FieldType::kInt64);
+  EXPECT_FALSE(LogicalPlan::Project(scan, {7}, {"x"}).ok());
+  EXPECT_FALSE(LogicalPlan::Project(scan, {0, 1}, {"x"}).ok());
+}
+
+TEST(LogicalPlanTest, JoinConcatenatesSchemas) {
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto join = LogicalPlan::Join(r, s, {{0, 0}});
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ((*join)->schema().num_fields(), 3u);
+  EXPECT_EQ((*join)->schema().field(1).name, "s.b");
+  EXPECT_FALSE(LogicalPlan::Join(r, s, {{5, 0}}).ok());
+  EXPECT_FALSE(LogicalPlan::Join(r, s, {{0, 9}}).ok());
+}
+
+TEST(LogicalPlanTest, JoinRejectsDuplicateColumnNames) {
+  PlanPtr r1 = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr r2 = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  EXPECT_FALSE(LogicalPlan::Join(r1, r2, {}).ok());
+}
+
+TEST(LogicalPlanTest, UnionRequiresMatchingTypes) {
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr r2 = LogicalPlan::StreamScan(
+      "r2", Channel::kBase, Schema({{"x", FieldType::kInt64}}));
+  auto u = LogicalPlan::UnionAll(r, r2);
+  ASSERT_TRUE(u.ok());  // names differ, types match
+  EXPECT_EQ((*u)->schema().field(0).name, "r.a");  // left names win
+
+  PlanPtr bad = LogicalPlan::StreamScan(
+      "b", Channel::kBase, Schema({{"x", FieldType::kDouble}}));
+  EXPECT_FALSE(LogicalPlan::UnionAll(r, bad).ok());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  EXPECT_FALSE(LogicalPlan::UnionAll(r, s).ok());  // arity mismatch
+}
+
+TEST(LogicalPlanTest, AggregateSchemaAndValidation) {
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  AggregateSpec count{sql::AggFunc::kCount, true, 0, "count"};
+  AggregateSpec sum{sql::AggFunc::kSum, false, 1, "total"};
+  AggregateSpec avg{sql::AggFunc::kAvg, false, 1, "mean"};
+  auto agg = LogicalPlan::Aggregate(s, {{0, "b"}}, {count, sum, avg});
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  const Schema& schema = (*agg)->schema();
+  ASSERT_EQ(schema.num_fields(), 4u);
+  EXPECT_EQ(schema.field(0).name, "b");
+  EXPECT_EQ(schema.field(1).type, FieldType::kInt64);   // COUNT
+  EXPECT_EQ(schema.field(2).type, FieldType::kInt64);   // SUM of int
+  EXPECT_EQ(schema.field(3).type, FieldType::kDouble);  // AVG
+
+  AggregateSpec bad{sql::AggFunc::kSum, false, 9, "oops"};
+  EXPECT_FALSE(LogicalPlan::Aggregate(s, {}, {bad}).ok());
+  EXPECT_FALSE(LogicalPlan::Aggregate(s, {{9, "x"}}, {}).ok());
+}
+
+TEST(LogicalPlanTest, ChannelPredicates) {
+  PlanPtr kept = LogicalPlan::StreamScan("r", Channel::kKept, RSchema());
+  PlanPtr dropped =
+      LogicalPlan::StreamScan("s", Channel::kDropped, SSchema());
+  auto join = LogicalPlan::Join(kept, dropped, {});
+  ASSERT_TRUE(join.ok());
+  EXPECT_TRUE((*join)->IsFreeOfChannel(Channel::kBase));
+  EXPECT_FALSE((*join)->IsFreeOfChannel(Channel::kKept));
+  EXPECT_FALSE((*join)->IsFreeOfChannel(Channel::kDropped));
+}
+
+TEST(LogicalPlanTest, ScannedStreamsDeduplicated) {
+  PlanPtr r1 = LogicalPlan::StreamScan("r", Channel::kKept, RSchema());
+  PlanPtr r2 = LogicalPlan::StreamScan(
+      "r", Channel::kDropped, Schema({{"x", FieldType::kInt64}}));
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto join1 = LogicalPlan::Join(r1, s, {});
+  ASSERT_TRUE(join1.ok());
+  auto join2 = LogicalPlan::Join(*join1, r2, {});
+  ASSERT_TRUE(join2.ok());
+  EXPECT_EQ((*join2)->ScannedStreams(),
+            (std::vector<std::string>{"r", "s"}));
+}
+
+TEST(LogicalPlanTest, ToStringRendersTree) {
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kKept, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kDropped, SSchema());
+  auto join = LogicalPlan::Join(r, s, {{0, 0}});
+  ASSERT_TRUE(join.ok());
+  const std::string rendering = (*join)->ToString();
+  EXPECT_NE(rendering.find("Join on L$0=R$0"), std::string::npos);
+  EXPECT_NE(rendering.find("Scan r[kept]"), std::string::npos);
+  EXPECT_NE(rendering.find("Scan s[dropped]"), std::string::npos);
+}
+
+TEST(LogicalPlanTest, EmptyLeaf) {
+  PlanPtr empty = LogicalPlan::Empty(RSchema());
+  EXPECT_EQ(empty->kind(), LogicalPlan::Kind::kEmpty);
+  EXPECT_EQ(empty->schema().num_fields(), 1u);
+  EXPECT_TRUE(empty->ScannedStreams().empty());
+}
+
+}  // namespace
+}  // namespace datatriage::plan

@@ -1,0 +1,125 @@
+#include "src/engine/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace datatriage::engine {
+namespace {
+
+using synopsis::AggAccumulator;
+using synopsis::GroupedEstimate;
+using testing::MustBind;
+using testing::PaperCatalog;
+using testing::Row;
+
+plan::BoundQuery PaperQuery() {
+  Catalog catalog = PaperCatalog();
+  return MustBind(testing::kPaperQuery, catalog);
+}
+
+TEST(MergeTest, SpecFromPaperQuery) {
+  plan::BoundQuery query = PaperQuery();
+  auto spec = MakeAggregationSpec(query);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->group_columns, (std::vector<size_t>{0}));
+  EXPECT_EQ(spec->agg_columns,
+            (std::vector<size_t>{synopsis::kCountOnlyColumn}));
+}
+
+TEST(MergeTest, SpecRequiresAggregates) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery query = MustBind("SELECT a FROM R", catalog);
+  EXPECT_FALSE(MakeAggregationSpec(query).ok());
+}
+
+TEST(MergeTest, AccumulateExactCountsPerGroup) {
+  plan::BoundQuery query = PaperQuery();
+  AggregationSpec spec = MakeAggregationSpec(query).value();
+  // SPJ rows: schema (r.a, s.b, s.c, t.d); group on column 0.
+  exec::Relation rows = {Row({1, 1, 7, 7}), Row({1, 1, 8, 8}),
+                         Row({2, 2, 7, 7})};
+  GroupedEstimate groups = AccumulateExact(rows, spec);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(groups.at({Value::Int64(1)})[0].count, 2.0);
+  EXPECT_DOUBLE_EQ(groups.at({Value::Int64(2)})[0].count, 1.0);
+}
+
+TEST(MergeTest, MergeAddsAccumulators) {
+  GroupedEstimate a, b;
+  a[{Value::Int64(1)}].resize(1);
+  a[{Value::Int64(1)}][0].count = 2.0;
+  b[{Value::Int64(1)}].resize(1);
+  b[{Value::Int64(1)}][0].count = 3.5;
+  b[{Value::Int64(9)}].resize(1);
+  b[{Value::Int64(9)}][0].count = 1.0;
+  MergeGroupedEstimates(&a, b);
+  EXPECT_DOUBLE_EQ(a.at({Value::Int64(1)})[0].count, 5.5);
+  EXPECT_DOUBLE_EQ(a.at({Value::Int64(9)})[0].count, 1.0);
+}
+
+TEST(MergeTest, BuildRowsExactTypesRoundCounts) {
+  plan::BoundQuery query = PaperQuery();
+  AggregationSpec spec = MakeAggregationSpec(query).value();
+  GroupedEstimate groups;
+  groups[{Value::Int64(5)}].resize(1);
+  groups[{Value::Int64(5)}][0].count = 3.0;
+  auto rows = BuildAggregateRows(groups, query, spec, /*exact_types=*/true);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].value(0).int64(), 5);
+  EXPECT_TRUE((*rows)[0].value(1).is_int64());
+  EXPECT_EQ((*rows)[0].value(1).int64(), 3);
+}
+
+TEST(MergeTest, BuildRowsEstimatesStayFractional) {
+  plan::BoundQuery query = PaperQuery();
+  AggregationSpec spec = MakeAggregationSpec(query).value();
+  GroupedEstimate groups;
+  groups[{Value::Int64(5)}].resize(1);
+  groups[{Value::Int64(5)}][0].count = 2.25;
+  auto rows =
+      BuildAggregateRows(groups, query, spec, /*exact_types=*/false);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_DOUBLE_EQ((*rows)[0].value(1).dbl(), 2.25);
+}
+
+TEST(MergeTest, BuildRowsSkipsZeroWeightGroups) {
+  plan::BoundQuery query = PaperQuery();
+  AggregationSpec spec = MakeAggregationSpec(query).value();
+  GroupedEstimate groups;
+  groups[{Value::Int64(1)}].resize(1);  // zero count
+  groups[{Value::Int64(2)}].resize(1);
+  groups[{Value::Int64(2)}][0].count = 1.0;
+  auto rows =
+      BuildAggregateRows(groups, query, spec, /*exact_types=*/false);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].value(0).int64(), 2);
+}
+
+TEST(MergeTest, AllAggregateFunctionsRender) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery query = MustBind(
+      "SELECT b, COUNT(*), SUM(c), AVG(c), MIN(c), MAX(c) FROM S "
+      "GROUP BY b",
+      catalog);
+  AggregationSpec spec = MakeAggregationSpec(query).value();
+  // SPJ rows have schema (s.b, s.c).
+  exec::Relation rows = {Row({1, 10}), Row({1, 30})};
+  GroupedEstimate groups = AccumulateExact(rows, spec);
+  auto out = BuildAggregateRows(groups, query, spec, /*exact_types=*/true);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  const Tuple& row = (*out)[0];
+  EXPECT_EQ(row.value(0).int64(), 1);   // group b
+  EXPECT_EQ(row.value(1).int64(), 2);   // count
+  EXPECT_EQ(row.value(2).int64(), 40);  // sum
+  EXPECT_DOUBLE_EQ(row.value(3).dbl(), 20.0);  // avg (double even exact)
+  EXPECT_EQ(row.value(4).int64(), 10);  // min
+  EXPECT_EQ(row.value(5).int64(), 30);  // max
+}
+
+}  // namespace
+}  // namespace datatriage::engine

@@ -1,0 +1,134 @@
+#include "src/metrics/rms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/ideal.h"
+#include "src/metrics/stats.h"
+#include "tests/test_util.h"
+
+namespace datatriage::metrics {
+namespace {
+
+using exec::Relation;
+using testing::MustBind;
+using testing::PaperCatalog;
+using testing::Row;
+
+TEST(MeanStdTest, BasicStatistics) {
+  MeanStd empty = ComputeMeanStd({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  MeanStd single = ComputeMeanStd({5.0});
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+
+  MeanStd several = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(several.mean, 5.0);
+  EXPECT_NEAR(several.stddev, 2.138, 0.001);  // sample stddev
+}
+
+TEST(RmsTest, IdenticalResultsScoreZero) {
+  std::map<WindowId, Relation> ideal, actual;
+  ideal[0] = {Row({1, 10}), Row({2, 20})};
+  actual[0] = {Row({2, 20}), Row({1, 10})};  // order-insensitive
+  auto rms = RmsErrorOverRelations(ideal, actual, 1);
+  ASSERT_TRUE(rms.ok());
+  EXPECT_DOUBLE_EQ(rms.value(), 0.0);
+}
+
+TEST(RmsTest, SingleCellDifference) {
+  std::map<WindowId, Relation> ideal, actual;
+  ideal[0] = {Row({1, 10})};
+  actual[0] = {Row({1, 7})};
+  auto rms = RmsErrorOverRelations(ideal, actual, 1);
+  ASSERT_TRUE(rms.ok());
+  EXPECT_DOUBLE_EQ(rms.value(), 3.0);
+}
+
+TEST(RmsTest, MissingGroupsCountAsZero) {
+  std::map<WindowId, Relation> ideal, actual;
+  ideal[0] = {Row({1, 4}), Row({2, 3})};
+  actual[0] = {Row({1, 4})};  // group 2 missing entirely
+  auto rms = RmsErrorOverRelations(ideal, actual, 1);
+  ASSERT_TRUE(rms.ok());
+  // Cells: (1): diff 0, (2): diff 3. RMS = sqrt(9/2).
+  EXPECT_DOUBLE_EQ(rms.value(), std::sqrt(4.5));
+}
+
+TEST(RmsTest, SpuriousGroupsPenalized) {
+  std::map<WindowId, Relation> ideal, actual;
+  ideal[0] = {};
+  actual[0] = {Row({9, 5})};
+  auto rms = RmsErrorOverRelations(ideal, actual, 1);
+  ASSERT_TRUE(rms.ok());
+  EXPECT_DOUBLE_EQ(rms.value(), 5.0);
+}
+
+TEST(RmsTest, SpansWindows) {
+  std::map<WindowId, Relation> ideal, actual;
+  ideal[0] = {Row({1, 2})};
+  ideal[1] = {Row({1, 2})};
+  actual[0] = {Row({1, 2})};
+  actual[1] = {Row({1, 4})};
+  auto rms = RmsErrorOverRelations(ideal, actual, 1);
+  ASSERT_TRUE(rms.ok());
+  EXPECT_DOUBLE_EQ(rms.value(), std::sqrt(4.0 / 2.0));
+}
+
+TEST(RmsTest, FractionalEstimatesSupported) {
+  std::map<WindowId, Relation> ideal;
+  ideal[0] = {Row({1, 10})};
+  std::map<WindowId, Relation> actual;
+  actual[0] = {Tuple({Value::Int64(1), Value::Double(9.5)})};
+  auto rms = RmsErrorOverRelations(ideal, actual, 1);
+  ASSERT_TRUE(rms.ok());
+  EXPECT_DOUBLE_EQ(rms.value(), 0.5);
+}
+
+TEST(RmsTest, RejectsDuplicateGroups) {
+  std::map<WindowId, Relation> ideal, actual;
+  ideal[0] = {Row({1, 1}), Row({1, 2})};
+  actual[0] = {};
+  EXPECT_FALSE(RmsErrorOverRelations(ideal, actual, 1).ok());
+}
+
+TEST(RmsTest, MultipleAggregateColumns) {
+  std::map<WindowId, Relation> ideal, actual;
+  ideal[0] = {Row({1, 3, 30})};
+  actual[0] = {Row({1, 3, 36})};
+  auto rms = RmsErrorOverRelations(ideal, actual, 1);
+  ASSERT_TRUE(rms.ok());
+  // Cells: count diff 0, sum diff 6 -> sqrt(36/2).
+  EXPECT_DOUBLE_EQ(rms.value(), std::sqrt(18.0));
+}
+
+TEST(IdealTest, ComputesPerWindowGroupedCounts) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery query = MustBind(testing::kPaperQuery, catalog);
+  std::vector<engine::StreamEvent> events;
+  // Window 0: r=(5) at t=0.1, s=(5,7) at 0.2, t=(7) at 0.3 -> one match.
+  events.push_back({"r", Row({5}, 0.1)});
+  events.push_back({"s", Row({5, 7}, 0.2)});
+  events.push_back({"t", Row({7}, 0.3)});
+  // Window 1: r joins nothing.
+  events.push_back({"r", Row({5}, 1.1)});
+  auto ideal = ComputeIdealResults(query, events, 1.0);
+  ASSERT_TRUE(ideal.ok()) << ideal.status().ToString();
+  ASSERT_EQ(ideal->size(), 2u);
+  ASSERT_EQ(ideal->at(0).size(), 1u);
+  EXPECT_EQ(ideal->at(0)[0].value(0).int64(), 5);
+  EXPECT_EQ(ideal->at(0)[0].value(1).int64(), 1);
+  EXPECT_TRUE(ideal->at(1).empty());
+}
+
+TEST(IdealTest, RejectsNonPositiveWindow) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery query = MustBind(testing::kPaperQuery, catalog);
+  EXPECT_FALSE(ComputeIdealResults(query, {}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace datatriage::metrics

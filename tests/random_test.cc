@@ -1,0 +1,111 @@
+#include "src/common/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace datatriage {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 45);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMatchesMomentsApproximately) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(50.0, 10.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 50.0, 0.5);
+  EXPECT_NEAR(std::sqrt(var), 10.0, 0.5);
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliClampsOutOfRange) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, GeometricIsAtLeastOneWithRequestedMean) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = rng.Geometric(0.2);
+    EXPECT_GE(v, 1);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.2);  // mean of trials-to-success = 1/p
+}
+
+TEST(RngTest, ForkProducesDistinctSeeds) {
+  Rng rng(100);
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 100; ++i) seeds.insert(rng.Fork());
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+}  // namespace
+}  // namespace datatriage

@@ -1,0 +1,118 @@
+#include "src/catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/catalog.h"
+#include "src/catalog/field_type.h"
+#include "src/catalog/stream_def.h"
+
+namespace datatriage {
+namespace {
+
+Schema RSchema() {
+  return Schema({{"a", FieldType::kInt64}, {"b", FieldType::kDouble}});
+}
+
+TEST(FieldTypeTest, RoundTripsThroughNames) {
+  for (FieldType t : {FieldType::kInt64, FieldType::kDouble,
+                      FieldType::kString, FieldType::kTimestamp}) {
+    Result<FieldType> parsed = FieldTypeFromString(FieldTypeToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), t);
+  }
+}
+
+TEST(FieldTypeTest, AcceptsAliasesCaseInsensitively) {
+  EXPECT_EQ(FieldTypeFromString("InT").value(), FieldType::kInt64);
+  EXPECT_EQ(FieldTypeFromString("FLOAT8").value(), FieldType::kDouble);
+  EXPECT_EQ(FieldTypeFromString("text").value(), FieldType::kString);
+  EXPECT_FALSE(FieldTypeFromString("blob").ok());
+}
+
+TEST(FieldTypeTest, NumericClassification) {
+  EXPECT_TRUE(IsNumericType(FieldType::kInt64));
+  EXPECT_TRUE(IsNumericType(FieldType::kDouble));
+  EXPECT_TRUE(IsNumericType(FieldType::kTimestamp));
+  EXPECT_FALSE(IsNumericType(FieldType::kString));
+}
+
+TEST(SchemaTest, FieldIndexFindsExactNames) {
+  Schema s = RSchema();
+  EXPECT_EQ(s.FieldIndex("a").value(), 0u);
+  EXPECT_EQ(s.FieldIndex("b").value(), 1u);
+  EXPECT_FALSE(s.FieldIndex("c").ok());
+  EXPECT_TRUE(s.HasField("a"));
+  EXPECT_FALSE(s.HasField("A"));  // exact match only
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema s = RSchema();
+  EXPECT_TRUE(s.AddField({"c", FieldType::kInt64}).ok());
+  Status dup = s.AddField({"a", FieldType::kInt64});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.num_fields(), 3u);
+}
+
+TEST(SchemaTest, ConcatMergesAndDetectsCollisions) {
+  Schema s = RSchema();
+  Result<Schema> ok =
+      s.Concat(Schema({{"c", FieldType::kInt64}}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_fields(), 3u);
+  EXPECT_FALSE(s.Concat(RSchema()).ok());
+}
+
+TEST(SchemaTest, ProjectSelectsInOrder) {
+  Schema s = RSchema();
+  Result<Schema> p = s.Project({"b", "a"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->field(0).name, "b");
+  EXPECT_EQ(p->field(1).name, "a");
+  EXPECT_FALSE(s.Project({"zzz"}).ok());
+}
+
+TEST(SchemaTest, ToStringListsAll) {
+  EXPECT_EQ(RSchema().ToString(), "a INTEGER, b DOUBLE");
+  EXPECT_EQ(Schema().ToString(), "");
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterStream({"R", RSchema()}).ok());
+  EXPECT_TRUE(catalog.HasStream("R"));
+  EXPECT_TRUE(catalog.HasStream("r"));  // case-insensitive
+  Result<StreamDef> def = catalog.GetStream("R");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->name, "r");  // canonicalized
+  EXPECT_EQ(def->schema.num_fields(), 2u);
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterStream({"R", RSchema()}).ok());
+  EXPECT_EQ(catalog.RegisterStream({"r", RSchema()}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MissingStreamIsNotFound) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetStream("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, StreamNamesPreserveRegistrationOrder) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterStream({"S", RSchema()}).ok());
+  ASSERT_TRUE(catalog.RegisterStream({"R", RSchema()}).ok());
+  EXPECT_EQ(catalog.StreamNames(),
+            (std::vector<std::string>{"s", "r"}));
+}
+
+TEST(StreamDefTest, AuxiliarySynopsisStreamNames) {
+  StreamDef def{"r", RSchema()};
+  EXPECT_EQ(def.DroppedSynopsisName(), "r_dropped_syn");
+  EXPECT_EQ(def.KeptSynopsisName(), "r_kept_syn");
+}
+
+}  // namespace
+}  // namespace datatriage

@@ -1,0 +1,208 @@
+#include "src/rewrite/shadow_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/evaluator.h"
+#include "src/rewrite/data_triage_rewrite.h"
+#include "tests/test_util.h"
+
+namespace datatriage::rewrite {
+namespace {
+
+using exec::ChannelKey;
+using exec::Relation;
+using exec::RelationProvider;
+using plan::Channel;
+using synopsis::SynopsisConfig;
+using synopsis::SynopsisPtr;
+using synopsis::SynopsisType;
+using testing::MustBind;
+using testing::PaperCatalog;
+using testing::RandomRelation;
+using testing::RandomSplit;
+using testing::Row;
+
+SynopsisConfig ExactConfig() {
+  SynopsisConfig config;
+  config.type = SynopsisType::kExact;
+  return config;
+}
+
+SynopsisConfig GridConfig(double width = 4.0) {
+  SynopsisConfig config;
+  config.type = SynopsisType::kGridHistogram;
+  config.grid.cell_width = width;
+  return config;
+}
+
+/// Builds per-channel synopses from relations (what the triage queue's
+/// synopsizer does per window).
+struct SynopsisSet {
+  std::map<exec::ChannelKey, SynopsisPtr> owned;
+  SynopsisProvider provider;
+
+  void Add(const std::string& stream, Channel channel, Schema schema,
+           const Relation& rows, const SynopsisConfig& config) {
+    auto made = synopsis::MakeSynopsis(config, std::move(schema));
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    for (const Tuple& t : rows) (*made)->Insert(t);
+    ChannelKey key{stream, channel};
+    owned[key] = std::move(made).value();
+    provider[key] = owned[key].get();
+  }
+};
+
+TEST(DataTriageRewriteTest, DistinctRejected) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind("SELECT DISTINCT a FROM R", catalog);
+  EXPECT_EQ(RewriteForDataTriage(std::move(bound)).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(DataTriageRewriteTest, PaperQueryProducesTriagedPlans) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  auto triaged = RewriteForDataTriage(std::move(bound));
+  ASSERT_TRUE(triaged.ok()) << triaged.status().ToString();
+  EXPECT_TRUE(triaged->plus_is_empty);
+  EXPECT_TRUE(triaged->kept_plan->IsFreeOfChannel(Channel::kBase));
+  EXPECT_TRUE(triaged->dropped_plan->IsFreeOfChannel(Channel::kBase));
+}
+
+class ShadowExactIdentityTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+/// With lossless (exact) synopses, the shadow plan's grouped estimates
+/// must equal the true dropped results: this is the end-to-end validation
+/// of the paper's Fig. 2 architecture — main plan over tuples, shadow
+/// plan over synopses, identical algebra.
+TEST_P(ShadowExactIdentityTest, ShadowWithExactSynopsesIsLossless) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  std::vector<size_t> group_cols{bound.group_by[0].input_index};
+  auto triaged = RewriteForDataTriage(std::move(bound));
+  ASSERT_TRUE(triaged.ok());
+
+  Rng rng(GetParam());
+  RelationProvider relations;
+  SynopsisSet synopses;
+  const std::vector<std::pair<std::string, size_t>> streams = {
+      {"r", 1}, {"s", 2}, {"t", 1}};
+  for (const auto& [stream, arity] : streams) {
+    Relation base = RandomRelation(&rng, 30, arity, 1, 6);
+    auto [kept, dropped] = RandomSplit(&rng, base, 0.5);
+    Schema schema;
+    for (size_t c = 0; c < arity; ++c) {
+      ASSERT_TRUE(schema
+                      .AddField({stream + ".col" + std::to_string(c),
+                                 FieldType::kInt64})
+                      .ok());
+    }
+    synopses.Add(stream, Channel::kKept, schema, kept, ExactConfig());
+    synopses.Add(stream, Channel::kDropped, schema, dropped,
+                 ExactConfig());
+    relations[ChannelKey{stream, Channel::kKept}] = std::move(kept);
+    relations[ChannelKey{stream, Channel::kDropped}] = std::move(dropped);
+  }
+
+  // Ground truth: evaluate the dropped plan over actual relations and
+  // aggregate counts by the group column.
+  auto true_dropped = exec::EvaluatePlan(*triaged->dropped_plan, relations);
+  ASSERT_TRUE(true_dropped.ok()) << true_dropped.status().ToString();
+  std::map<int64_t, double> truth;
+  for (const Tuple& t : *true_dropped) {
+    truth[t.value(group_cols[0]).int64()] += 1.0;
+  }
+
+  // Shadow path: same plan over exact synopses.
+  auto result_syn = EvaluateShadowPlan(*triaged->dropped_plan,
+                                       synopses.provider, ExactConfig());
+  ASSERT_TRUE(result_syn.ok()) << result_syn.status().ToString();
+  auto estimate = (*result_syn)
+                      ->EstimateGroups(group_cols,
+                                       {synopsis::kCountOnlyColumn});
+  ASSERT_TRUE(estimate.ok());
+
+  std::map<int64_t, double> estimated;
+  for (const auto& [key, accs] : *estimate) {
+    if (accs[0].count > 0) estimated[key[0].int64()] = accs[0].count;
+  }
+  EXPECT_EQ(truth.size(), estimated.size());
+  for (const auto& [group, count] : truth) {
+    ASSERT_TRUE(estimated.count(group) > 0) << "missing group " << group;
+    EXPECT_NEAR(estimated[group], count, 1e-9)
+        << "group " << group << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShadowExactIdentityTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(ShadowPlanTest, MissingChannelsEvaluateAsEmpty) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = MustBind(testing::kPaperQuery, catalog);
+  auto triaged = RewriteForDataTriage(std::move(bound));
+  ASSERT_TRUE(triaged.ok());
+  SynopsisProvider empty_provider;
+  auto result = EvaluateShadowPlan(*triaged->dropped_plan, empty_provider,
+                                   GridConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ((*result)->TotalCount(), 0.0);
+}
+
+TEST(ShadowPlanTest, GridShadowApproximatesDroppedJoin) {
+  // With dense data and grid synopses, the estimated total dropped-join
+  // cardinality should land within a modest factor of the truth.
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound =
+      MustBind("SELECT * FROM R, S WHERE R.a = S.b", catalog);
+  auto triaged = RewriteForDataTriage(std::move(bound));
+  ASSERT_TRUE(triaged.ok());
+
+  Rng rng(4242);
+  RelationProvider relations;
+  SynopsisSet synopses;
+  Schema r_schema({{"r.a", FieldType::kInt64}});
+  Schema s_schema({{"s.b", FieldType::kInt64}, {"s.c", FieldType::kInt64}});
+  Relation r_base = RandomRelation(&rng, 400, 1, 1, 40);
+  Relation s_base = RandomRelation(&rng, 400, 2, 1, 40);
+  auto [r_kept, r_dropped] = RandomSplit(&rng, r_base, 0.5);
+  auto [s_kept, s_dropped] = RandomSplit(&rng, s_base, 0.5);
+  synopses.Add("r", Channel::kKept, r_schema, r_kept, GridConfig());
+  synopses.Add("r", Channel::kDropped, r_schema, r_dropped, GridConfig());
+  synopses.Add("s", Channel::kKept, s_schema, s_kept, GridConfig());
+  synopses.Add("s", Channel::kDropped, s_schema, s_dropped, GridConfig());
+  relations[ChannelKey{"r", Channel::kKept}] = std::move(r_kept);
+  relations[ChannelKey{"r", Channel::kDropped}] = std::move(r_dropped);
+  relations[ChannelKey{"s", Channel::kKept}] = std::move(s_kept);
+  relations[ChannelKey{"s", Channel::kDropped}] = std::move(s_dropped);
+
+  auto truth = exec::EvaluatePlan(*triaged->dropped_plan, relations);
+  ASSERT_TRUE(truth.ok());
+  synopsis::OpStats stats;
+  auto estimate = EvaluateShadowPlan(*triaged->dropped_plan,
+                                     synopses.provider, GridConfig(),
+                                     &stats);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  const double true_count = static_cast<double>(truth->size());
+  const double est_count = (*estimate)->TotalCount();
+  EXPECT_GT(stats.work, 0);
+  EXPECT_GT(est_count, true_count * 0.5);
+  EXPECT_LT(est_count, true_count * 1.5);
+}
+
+TEST(ShadowPlanTest, SetDifferencePlanUnimplemented) {
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound =
+      MustBind("(SELECT a FROM R) EXCEPT (SELECT d FROM T)", catalog);
+  auto triaged = RewriteForDataTriage(std::move(bound));
+  ASSERT_TRUE(triaged.ok());
+  EXPECT_FALSE(triaged->plus_is_empty);
+  SynopsisProvider provider;
+  auto result = EvaluateShadowPlan(*triaged->dropped_plan, provider,
+                                   GridConfig());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace datatriage::rewrite

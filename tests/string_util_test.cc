@@ -1,0 +1,63 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace datatriage {
+namespace {
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hello  "), "hello");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace("nospace"), "nospace");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(SplitStringTest, SplitsAndKeepsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(SplitJoinTest, RoundTrips) {
+  const std::string text = "x|y||z";
+  EXPECT_EQ(JoinStrings(SplitString(text, '|'), "|"), text);
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_EQ(ToLowerAscii("ABC_123"), "abc_123");
+}
+
+TEST(EqualsIgnoreCaseTest, Works) {
+  EXPECT_TRUE(EqualsIgnoreCase("WINDOW", "window"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(StringPrintfTest, HandlesLongOutput) {
+  std::string long_arg(1000, 'q');
+  std::string out = StringPrintf("<%s>", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+}  // namespace
+}  // namespace datatriage

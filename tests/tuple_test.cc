@@ -1,0 +1,76 @@
+#include "src/tuple/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace datatriage {
+namespace {
+
+Tuple MakeTuple(std::initializer_list<int64_t> values, double ts = 0.0) {
+  std::vector<Value> v;
+  for (int64_t x : values) v.push_back(Value::Int64(x));
+  return Tuple(std::move(v), ts);
+}
+
+TEST(TupleTest, BasicAccess) {
+  Tuple t = MakeTuple({1, 2, 3}, 4.5);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.value(1).int64(), 2);
+  EXPECT_DOUBLE_EQ(t.timestamp(), 4.5);
+}
+
+TEST(TupleTest, ProjectReordersAndDuplicates) {
+  Tuple t = MakeTuple({10, 20, 30}, 1.0);
+  Tuple p = t.Project({2, 0, 2});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.value(0).int64(), 30);
+  EXPECT_EQ(p.value(1).int64(), 10);
+  EXPECT_EQ(p.value(2).int64(), 30);
+  EXPECT_DOUBLE_EQ(p.timestamp(), 1.0);
+}
+
+TEST(TupleTest, ConcatKeepsLaterTimestamp) {
+  Tuple a = MakeTuple({1}, 2.0);
+  Tuple b = MakeTuple({2, 3}, 5.0);
+  Tuple c = a.Concat(b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.value(0).int64(), 1);
+  EXPECT_EQ(c.value(2).int64(), 3);
+  EXPECT_DOUBLE_EQ(c.timestamp(), 5.0);
+  EXPECT_DOUBLE_EQ(b.Concat(a).timestamp(), 5.0);
+}
+
+TEST(TupleTest, EqualityIgnoresTimestamp) {
+  EXPECT_EQ(MakeTuple({1, 2}, 0.0), MakeTuple({1, 2}, 9.0));
+  EXPECT_NE(MakeTuple({1, 2}), MakeTuple({2, 1}));
+  EXPECT_NE(MakeTuple({1}), MakeTuple({1, 1}));
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT(MakeTuple({1, 2}), MakeTuple({1, 3}));
+  EXPECT_LT(MakeTuple({1}), MakeTuple({1, 0}));  // prefix sorts first
+  EXPECT_FALSE(MakeTuple({2}) < MakeTuple({1, 9}));
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  EXPECT_EQ(MakeTuple({1, 2}, 0.0).Hash(), MakeTuple({1, 2}, 3.0).Hash());
+  // Numeric promotion: (1, 2) as ints hashes like (1.0, 2.0) as doubles.
+  Tuple doubles(
+      std::vector<Value>{Value::Double(1.0), Value::Double(2.0)});
+  EXPECT_EQ(MakeTuple({1, 2}).Hash(), doubles.Hash());
+  EXPECT_EQ(MakeTuple({1, 2}), doubles);
+}
+
+TEST(TupleTest, HashValuesAtSubset) {
+  Tuple a = MakeTuple({1, 2, 3});
+  Tuple b = MakeTuple({9, 2, 3});
+  EXPECT_EQ(HashValuesAt(a, {1, 2}), HashValuesAt(b, {1, 2}));
+  EXPECT_NE(HashValuesAt(a, {0}), HashValuesAt(b, {0}));
+}
+
+TEST(TupleTest, ToStringRendersParenthesized) {
+  EXPECT_EQ(MakeTuple({1, 2}).ToString(), "(1, 2)");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+}  // namespace
+}  // namespace datatriage

@@ -1,0 +1,82 @@
+#include "src/tuple/value.h"
+
+#include <gtest/gtest.h>
+
+namespace datatriage {
+namespace {
+
+TEST(ValueTest, DefaultIsIntegerZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 0);
+}
+
+TEST(ValueTest, TypeTagsMatchFactories) {
+  EXPECT_EQ(Value::Int64(1).type(), FieldType::kInt64);
+  EXPECT_EQ(Value::Double(1.5).type(), FieldType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), FieldType::kString);
+  EXPECT_EQ(Value::Timestamp(2.0).type(), FieldType::kTimestamp);
+}
+
+TEST(ValueTest, TimestampIsNumericButNotDouble) {
+  Value ts = Value::Timestamp(3.5);
+  EXPECT_TRUE(ts.is_timestamp());
+  EXPECT_FALSE(ts.is_double());
+  EXPECT_TRUE(ts.is_numeric());
+  EXPECT_DOUBLE_EQ(ts.AsDouble(), 3.5);
+}
+
+TEST(ValueTest, NumericEqualityPromotes) {
+  EXPECT_EQ(Value::Int64(3), Value::Double(3.0));
+  EXPECT_EQ(Value::Int64(3), Value::Timestamp(3.0));
+  EXPECT_NE(Value::Int64(3), Value::Double(3.5));
+}
+
+TEST(ValueTest, StringsOnlyEqualStrings) {
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("3"), Value::Int64(3));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, OrderingIsTotalWithNumericsBeforeStrings) {
+  EXPECT_LT(Value::Int64(1), Value::Double(1.5));
+  EXPECT_LT(Value::Double(-2.0), Value::Int64(0));
+  EXPECT_LT(Value::Int64(1000000), Value::String(""));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_FALSE(Value::Int64(3) < Value::Double(3.0));
+  EXPECT_FALSE(Value::Double(3.0) < Value::Int64(3));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(ValueTest, CastToWidensAndRounds) {
+  Result<Value> d = Value::Int64(3).CastTo(FieldType::kDouble);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->is_double());
+  EXPECT_DOUBLE_EQ(d->dbl(), 3.0);
+
+  Result<Value> i = Value::Double(2.6).CastTo(FieldType::kInt64);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->int64(), 3);  // llround
+
+  Result<Value> ts = Value::Int64(9).CastTo(FieldType::kTimestamp);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_TRUE(ts->is_timestamp());
+}
+
+TEST(ValueTest, CastStringNumericFails) {
+  EXPECT_FALSE(Value::String("3").CastTo(FieldType::kInt64).ok());
+  EXPECT_FALSE(Value::Int64(3).CastTo(FieldType::kString).ok());
+}
+
+TEST(ValueTest, ToStringRendersSqlStyle) {
+  EXPECT_EQ(Value::Int64(-5).ToString(), "-5");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace datatriage

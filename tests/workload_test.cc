@@ -1,0 +1,218 @@
+#include "src/workload/scenario.h"
+
+#include "src/plan/binder.h"
+#include "src/sql/parser.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace datatriage::workload {
+namespace {
+
+TEST(TupleGeneratorTest, RespectsClampAndRounding) {
+  Schema schema({{"a", FieldType::kInt64}});
+  auto generator = TupleGenerator::Make(
+      schema, {GaussianColumnSpec{50, 40, 1, 100, true}}, {}, 3);
+  ASSERT_TRUE(generator.ok());
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t = generator->Next(0.0, false);
+    ASSERT_TRUE(t.value(0).is_int64());
+    EXPECT_GE(t.value(0).int64(), 1);
+    EXPECT_LE(t.value(0).int64(), 100);
+  }
+}
+
+TEST(TupleGeneratorTest, BurstTuplesUseShiftedDistribution) {
+  Schema schema({{"a", FieldType::kInt64}});
+  auto generator = TupleGenerator::Make(
+      schema, {GaussianColumnSpec{80, 5, 1, 100, true}},
+      {GaussianColumnSpec{20, 5, 1, 100, true}}, 3);
+  ASSERT_TRUE(generator.ok());
+  double normal_sum = 0, burst_sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    normal_sum += static_cast<double>(
+        generator->Next(0.0, false).value(0).int64());
+    burst_sum += static_cast<double>(
+        generator->Next(0.0, true).value(0).int64());
+  }
+  EXPECT_NEAR(normal_sum / n, 80.0, 1.0);
+  EXPECT_NEAR(burst_sum / n, 20.0, 1.0);
+}
+
+TEST(TupleGeneratorTest, ValidatesSpecArity) {
+  Schema schema({{"a", FieldType::kInt64}, {"b", FieldType::kInt64}});
+  EXPECT_FALSE(
+      TupleGenerator::Make(schema, {GaussianColumnSpec{}}, {}, 1).ok());
+  EXPECT_FALSE(TupleGenerator::Make(
+                   schema, {GaussianColumnSpec{}, GaussianColumnSpec{}},
+                   {GaussianColumnSpec{}}, 1)
+                   .ok());
+  Schema with_string({{"a", FieldType::kString}});
+  EXPECT_FALSE(
+      TupleGenerator::Make(with_string, {GaussianColumnSpec{}}, {}, 1)
+          .ok());
+}
+
+TEST(ConstantRateArrivalsTest, EvenSpacing) {
+  auto arrivals = ConstantRateArrivals::Make(10.0, 0.05);
+  ASSERT_TRUE(arrivals.ok());
+  std::vector<ArrivalSlot> slots = TakeArrivals(arrivals->get(), 5);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_NEAR(slots[i].time, 0.05 + 0.1 * static_cast<double>(i), 1e-12);
+    EXPECT_FALSE(slots[i].in_burst);
+  }
+  EXPECT_FALSE(ConstantRateArrivals::Make(0.0).ok());
+  EXPECT_FALSE(ConstantRateArrivals::Make(10.0, -1.0).ok());
+}
+
+TEST(MarkovBurstArrivalsTest, MatchesConfiguredBurstShare) {
+  MarkovBurstConfig config;  // paper defaults: 60%, E[len]=200, 100x
+  auto arrivals = MarkovBurstArrivals::Make(config, 11);
+  ASSERT_TRUE(arrivals.ok());
+  const size_t n = 200000;
+  std::vector<ArrivalSlot> slots = TakeArrivals(arrivals->get(), n);
+  size_t burst_count = 0;
+  double prev = -1;
+  for (const ArrivalSlot& slot : slots) {
+    EXPECT_GT(slot.time, prev);
+    prev = slot.time;
+    if (slot.in_burst) ++burst_count;
+  }
+  EXPECT_NEAR(static_cast<double>(burst_count) / n, 0.6, 0.05);
+}
+
+TEST(MarkovBurstArrivalsTest, BurstRunsHaveExpectedLength) {
+  MarkovBurstConfig config;
+  auto arrivals = MarkovBurstArrivals::Make(config, 5);
+  ASSERT_TRUE(arrivals.ok());
+  std::vector<ArrivalSlot> slots =
+      TakeArrivals(arrivals->get(), 400000);
+  // Measure mean burst run length.
+  std::vector<int64_t> runs;
+  int64_t current = 0;
+  for (const ArrivalSlot& slot : slots) {
+    if (slot.in_burst) {
+      ++current;
+    } else if (current > 0) {
+      runs.push_back(current);
+      current = 0;
+    }
+  }
+  ASSERT_GT(runs.size(), 100u);
+  double mean = 0;
+  for (int64_t r : runs) mean += static_cast<double>(r);
+  mean /= static_cast<double>(runs.size());
+  EXPECT_NEAR(mean, 200.0, 30.0);
+}
+
+TEST(MarkovBurstArrivalsTest, BurstGapsAreFaster) {
+  MarkovBurstConfig config;
+  config.base_rate = 10.0;
+  auto arrivals = MarkovBurstArrivals::Make(config, 21);
+  ASSERT_TRUE(arrivals.ok());
+  std::vector<ArrivalSlot> slots = TakeArrivals(arrivals->get(), 50000);
+  double burst_gap_sum = 0, normal_gap_sum = 0;
+  int64_t burst_gaps = 0, normal_gaps = 0;
+  for (size_t i = 1; i < slots.size(); ++i) {
+    const double gap = slots[i].time - slots[i - 1].time;
+    if (slots[i].in_burst) {
+      burst_gap_sum += gap;
+      ++burst_gaps;
+    } else {
+      normal_gap_sum += gap;
+      ++normal_gaps;
+    }
+  }
+  ASSERT_GT(burst_gaps, 0);
+  ASSERT_GT(normal_gaps, 0);
+  const double mean_burst_gap = burst_gap_sum / burst_gaps;
+  const double mean_normal_gap = normal_gap_sum / normal_gaps;
+  EXPECT_NEAR(mean_normal_gap / mean_burst_gap, 100.0, 20.0);
+}
+
+TEST(MarkovBurstArrivalsTest, ValidatesConfig) {
+  MarkovBurstConfig bad;
+  bad.base_rate = 0;
+  EXPECT_FALSE(MarkovBurstArrivals::Make(bad, 1).ok());
+  bad = MarkovBurstConfig();
+  bad.burst_fraction = 1.0;
+  EXPECT_FALSE(MarkovBurstArrivals::Make(bad, 1).ok());
+  bad = MarkovBurstConfig();
+  bad.expected_burst_length = 0.5;
+  EXPECT_FALSE(MarkovBurstArrivals::Make(bad, 1).ok());
+}
+
+TEST(ScenarioTest, BuildsTimeOrderedThreeStreamEvents) {
+  ScenarioConfig config;
+  config.tuples_per_stream = 300;
+  config.rate_per_stream = 100.0;
+  config.tuples_per_window = 100.0;
+  config.seed = 9;
+  auto scenario = BuildPaperScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  EXPECT_EQ(scenario->events.size(), 900u);
+  EXPECT_DOUBLE_EQ(scenario->window_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(scenario->aggregate_rate, 300.0);
+  std::set<std::string> streams;
+  double prev = -1;
+  for (const engine::StreamEvent& e : scenario->events) {
+    EXPECT_GE(e.tuple.timestamp(), prev);
+    prev = e.tuple.timestamp();
+    streams.insert(e.stream);
+  }
+  EXPECT_EQ(streams, (std::set<std::string>{"r", "s", "t"}));
+  // The generated query must bind against the generated catalog.
+  auto stmt = sql::ParseStatement(scenario->query_sql);
+  ASSERT_TRUE(stmt.ok());
+  auto bound = plan::BindStatement(*stmt, scenario->catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_DOUBLE_EQ(bound->window_seconds.at("r"),
+                   scenario->window_seconds);
+}
+
+TEST(ScenarioTest, WindowScalesInverselyWithRate) {
+  ScenarioConfig slow, fast;
+  slow.rate_per_stream = 50.0;
+  fast.rate_per_stream = 200.0;
+  auto s = BuildPaperScenario(slow);
+  auto f = BuildPaperScenario(fast);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(s->window_seconds, 4.0 * f->window_seconds);
+}
+
+TEST(ScenarioTest, DifferentSeedsGiveDifferentData) {
+  ScenarioConfig a, b;
+  a.tuples_per_stream = b.tuples_per_stream = 50;
+  a.seed = 1;
+  b.seed = 2;
+  auto sa = BuildPaperScenario(a);
+  auto sb = BuildPaperScenario(b);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  bool any_different = false;
+  for (size_t i = 0; i < sa->events.size(); ++i) {
+    if (!(sa->events[i].tuple == sb->events[i].tuple)) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ScenarioTest, BurstyScenarioUsesMeanRateForWindows) {
+  ScenarioConfig config;
+  config.bursty = true;
+  config.burst.base_rate = 10.0;
+  config.tuples_per_window = 100.0;
+  auto scenario = BuildPaperScenario(config);
+  ASSERT_TRUE(scenario.ok());
+  // Mean gap = 0.4/10 + 0.6/1000 = 0.0406 s -> mean rate ~24.63/s.
+  EXPECT_NEAR(scenario->window_seconds, 100.0 * 0.0406, 1e-9);
+}
+
+}  // namespace
+}  // namespace datatriage::workload
