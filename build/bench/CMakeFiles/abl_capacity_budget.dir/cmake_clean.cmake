@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_capacity_budget.dir/abl_capacity_budget.cc.o"
+  "CMakeFiles/abl_capacity_budget.dir/abl_capacity_budget.cc.o.d"
+  "abl_capacity_budget"
+  "abl_capacity_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_capacity_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

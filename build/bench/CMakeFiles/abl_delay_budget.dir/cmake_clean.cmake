@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_delay_budget.dir/abl_delay_budget.cc.o"
+  "CMakeFiles/abl_delay_budget.dir/abl_delay_budget.cc.o.d"
+  "abl_delay_budget"
+  "abl_delay_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_delay_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

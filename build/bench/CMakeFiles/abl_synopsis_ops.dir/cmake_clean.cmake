@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_synopsis_ops.dir/abl_synopsis_ops.cc.o"
+  "CMakeFiles/abl_synopsis_ops.dir/abl_synopsis_ops.cc.o.d"
+  "abl_synopsis_ops"
+  "abl_synopsis_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_synopsis_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_synopsis_type.dir/abl_synopsis_type.cc.o"
+  "CMakeFiles/abl_synopsis_type.dir/abl_synopsis_type.cc.o.d"
+  "abl_synopsis_type"
+  "abl_synopsis_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_synopsis_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_constant_rate.dir/fig8_constant_rate.cc.o"
+  "CMakeFiles/fig8_constant_rate.dir/fig8_constant_rate.cc.o.d"
+  "fig8_constant_rate"
+  "fig8_constant_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_constant_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bursty_rate.dir/fig9_bursty_rate.cc.o"
+  "CMakeFiles/fig9_bursty_rate.dir/fig9_bursty_rate.cc.o.d"
+  "fig9_bursty_rate"
+  "fig9_bursty_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bursty_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtcli.dir/dtcli.cpp.o"
+  "CMakeFiles/dtcli.dir/dtcli.cpp.o.d"
+  "dtcli"
+  "dtcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_visualizer.dir/frontend_visualizer.cpp.o"
+  "CMakeFiles/frontend_visualizer.dir/frontend_visualizer.cpp.o.d"
+  "frontend_visualizer"
+  "frontend_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/show_rewrite.dir/show_rewrite.cpp.o"
+  "CMakeFiles/show_rewrite.dir/show_rewrite.cpp.o.d"
+  "show_rewrite"
+  "show_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/show_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/datatriage.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/field_type.cc" "src/CMakeFiles/datatriage.dir/catalog/field_type.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/catalog/field_type.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/datatriage.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/datatriage.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/datatriage.dir/common/random.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/datatriage.dir/common/status.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/datatriage.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/common/string_util.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/datatriage.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/merge.cc" "src/CMakeFiles/datatriage.dir/engine/merge.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/engine/merge.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/datatriage.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/datatriage.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/io/csv.cc.o.d"
+  "/root/repo/src/metrics/ideal.cc" "src/CMakeFiles/datatriage.dir/metrics/ideal.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/metrics/ideal.cc.o.d"
+  "/root/repo/src/metrics/latency.cc" "src/CMakeFiles/datatriage.dir/metrics/latency.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/metrics/latency.cc.o.d"
+  "/root/repo/src/metrics/rms.cc" "src/CMakeFiles/datatriage.dir/metrics/rms.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/metrics/rms.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/CMakeFiles/datatriage.dir/metrics/stats.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/metrics/stats.cc.o.d"
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/datatriage.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/expression.cc" "src/CMakeFiles/datatriage.dir/plan/expression.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/plan/expression.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/datatriage.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/rewrite/data_triage_rewrite.cc" "src/CMakeFiles/datatriage.dir/rewrite/data_triage_rewrite.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/rewrite/data_triage_rewrite.cc.o.d"
+  "/root/repo/src/rewrite/differential.cc" "src/CMakeFiles/datatriage.dir/rewrite/differential.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/rewrite/differential.cc.o.d"
+  "/root/repo/src/rewrite/shadow_plan.cc" "src/CMakeFiles/datatriage.dir/rewrite/shadow_plan.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/rewrite/shadow_plan.cc.o.d"
+  "/root/repo/src/rewrite/sql_emitter.cc" "src/CMakeFiles/datatriage.dir/rewrite/sql_emitter.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/rewrite/sql_emitter.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/datatriage.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/datatriage.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/datatriage.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/datatriage.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/sql/token.cc.o.d"
+  "/root/repo/src/synopsis/avi_histogram.cc" "src/CMakeFiles/datatriage.dir/synopsis/avi_histogram.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/synopsis/avi_histogram.cc.o.d"
+  "/root/repo/src/synopsis/exact_synopsis.cc" "src/CMakeFiles/datatriage.dir/synopsis/exact_synopsis.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/synopsis/exact_synopsis.cc.o.d"
+  "/root/repo/src/synopsis/factory.cc" "src/CMakeFiles/datatriage.dir/synopsis/factory.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/synopsis/factory.cc.o.d"
+  "/root/repo/src/synopsis/grid_histogram.cc" "src/CMakeFiles/datatriage.dir/synopsis/grid_histogram.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/synopsis/grid_histogram.cc.o.d"
+  "/root/repo/src/synopsis/mhist.cc" "src/CMakeFiles/datatriage.dir/synopsis/mhist.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/synopsis/mhist.cc.o.d"
+  "/root/repo/src/synopsis/reservoir_sample.cc" "src/CMakeFiles/datatriage.dir/synopsis/reservoir_sample.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/synopsis/reservoir_sample.cc.o.d"
+  "/root/repo/src/synopsis/synopsis.cc" "src/CMakeFiles/datatriage.dir/synopsis/synopsis.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/synopsis/synopsis.cc.o.d"
+  "/root/repo/src/triage/drop_policy.cc" "src/CMakeFiles/datatriage.dir/triage/drop_policy.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/triage/drop_policy.cc.o.d"
+  "/root/repo/src/triage/shedding_strategy.cc" "src/CMakeFiles/datatriage.dir/triage/shedding_strategy.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/triage/shedding_strategy.cc.o.d"
+  "/root/repo/src/triage/synopsizer.cc" "src/CMakeFiles/datatriage.dir/triage/synopsizer.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/triage/synopsizer.cc.o.d"
+  "/root/repo/src/triage/triage_queue.cc" "src/CMakeFiles/datatriage.dir/triage/triage_queue.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/triage/triage_queue.cc.o.d"
+  "/root/repo/src/tuple/tuple.cc" "src/CMakeFiles/datatriage.dir/tuple/tuple.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/tuple/tuple.cc.o.d"
+  "/root/repo/src/tuple/value.cc" "src/CMakeFiles/datatriage.dir/tuple/value.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/tuple/value.cc.o.d"
+  "/root/repo/src/workload/arrival.cc" "src/CMakeFiles/datatriage.dir/workload/arrival.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/workload/arrival.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/datatriage.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/datatriage.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/datatriage.dir/workload/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/having_test.dir/having_test.cc.o"
+  "CMakeFiles/having_test.dir/having_test.cc.o.d"
+  "having_test"
+  "having_test.pdb"
+  "having_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/having_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

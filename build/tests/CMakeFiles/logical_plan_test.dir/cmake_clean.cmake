@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_plan_test.dir/logical_plan_test.cc.o"
+  "CMakeFiles/logical_plan_test.dir/logical_plan_test.cc.o.d"
+  "logical_plan_test"
+  "logical_plan_test.pdb"
+  "logical_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhist_test.dir/mhist_test.cc.o"
+  "CMakeFiles/mhist_test.dir/mhist_test.cc.o.d"
+  "mhist_test"
+  "mhist_test.pdb"
+  "mhist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_limit_test.dir/order_limit_test.cc.o"
+  "CMakeFiles/order_limit_test.dir/order_limit_test.cc.o.d"
+  "order_limit_test"
+  "order_limit_test.pdb"
+  "order_limit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

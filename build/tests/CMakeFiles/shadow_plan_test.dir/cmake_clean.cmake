@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_plan_test.dir/shadow_plan_test.cc.o"
+  "CMakeFiles/shadow_plan_test.dir/shadow_plan_test.cc.o.d"
+  "shadow_plan_test"
+  "shadow_plan_test.pdb"
+  "shadow_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_queue_test.dir/triage_queue_test.cc.o"
+  "CMakeFiles/triage_queue_test.dir/triage_queue_test.cc.o.d"
+  "triage_queue_test"
+  "triage_queue_test.pdb"
+  "triage_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
