@@ -69,4 +69,24 @@ void PrintHeader(const std::string& title, const std::string& x_label) {
               "rms_mean", "rms_stddev", "runs");
 }
 
+void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  DT_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"tuples_per_sec\": %.0f",
+                 r.name.c_str(), r.ns_per_op, r.tuples_per_sec);
+    if (r.allocs_per_op >= 0) {
+      std::fprintf(f, ", \"allocs_per_op\": %.1f", r.allocs_per_op);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 }  // namespace datatriage::bench

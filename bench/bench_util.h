@@ -37,6 +37,21 @@ void PrintRow(const std::string& series, double x,
 /// Prints the standard table header used by the figure benches.
 void PrintHeader(const std::string& title, const std::string& x_label);
 
+/// One microbenchmark measurement destined for machine-readable output.
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0.0;
+  double tuples_per_sec = 0.0;
+  double allocs_per_op = -1.0;  // < 0 means "not measured"
+};
+
+/// Writes `records` to `path` as a JSON array of objects with keys
+/// `name`, `ns_per_op`, `tuples_per_sec`, and (when measured)
+/// `allocs_per_op`. Overwrites the file: callers pass every record of the
+/// run so the perf trajectory can be diffed across PRs.
+void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records);
+
 }  // namespace datatriage::bench
 
 #endif  // DATATRIAGE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,125 @@
+#ifndef DATATRIAGE_COMMON_FLAT_TABLE_H_
+#define DATATRIAGE_COMMON_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace datatriage {
+
+/// Open-addressing hash table (linear probing, power-of-two capacity)
+/// built for the executor hot path:
+///
+///  - The caller supplies the 64-bit hash; the table never hashes keys
+///    itself. Each occupied slot caches that hash, so a probe compares
+///    hashes first and only invokes the caller's (potentially expensive)
+///    equality predicate on a hash hit, and rehashing repositions slots
+///    without touching key material.
+///  - Entries live in one contiguous allocation — no per-node allocation
+///    as in std::unordered_map — and are visited in slot order.
+///
+/// Entry must be default-constructible and movable. Typical entries hold
+/// borrowed `const Tuple*` keys plus a small payload, so the table stores
+/// zero copies of key data. Entry pointers returned by Find/FindOrEmplace
+/// are invalidated by the next insertion.
+template <typename Entry>
+class FlatTable {
+ public:
+  FlatTable() = default;
+  explicit FlatTable(size_t expected) { Reserve(expected); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pre-sizes the table to hold `expected` entries without rehashing.
+  void Reserve(size_t expected) {
+    const size_t needed = CapacityFor(expected);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// Returns the entry whose cached hash equals `hash` and for which
+  /// `eq(entry)` holds, or nullptr.
+  template <typename Eq>
+  Entry* Find(uint64_t hash, Eq&& eq) {
+    if (slots_.empty()) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (!slot.occupied) return nullptr;
+      if (slot.hash == hash && eq(slot.entry)) return &slot.entry;
+    }
+  }
+
+  /// Finds the entry matching (`hash`, `eq`) or inserts `make()`.
+  /// Returns the entry and whether it was newly inserted.
+  template <typename Eq, typename Make>
+  std::pair<Entry*, bool> FindOrEmplace(uint64_t hash, Eq&& eq,
+                                        Make&& make) {
+    if (size_ + 1 > Threshold(slots_.size())) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (!slot.occupied) {
+        slot.occupied = true;
+        slot.hash = hash;
+        slot.entry = make();
+        ++size_;
+        return {&slot.entry, true};
+      }
+      if (slot.hash == hash && eq(slot.entry)) return {&slot.entry, false};
+    }
+  }
+
+  /// Visits every entry in slot order (deterministic for a given set of
+  /// hashes and insertion sequence).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.occupied) fn(slot.entry);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    bool occupied = false;
+    Entry entry{};
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  // Maximum load factor 3/4.
+  static size_t Threshold(size_t capacity) {
+    return capacity - capacity / 4;
+  }
+
+  static size_t CapacityFor(size_t expected) {
+    size_t capacity = kMinCapacity;
+    while (Threshold(capacity) < expected) capacity *= 2;
+    return capacity;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_ = std::vector<Slot>(new_capacity);
+    const size_t mask = new_capacity - 1;
+    for (Slot& slot : old) {
+      if (!slot.occupied) continue;
+      size_t i = slot.hash & mask;
+      while (slots_[i].occupied) i = (i + 1) & mask;
+      slots_[i].occupied = true;
+      slots_[i].hash = slot.hash;
+      slots_[i].entry = std::move(slot.entry);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_COMMON_FLAT_TABLE_H_

@@ -228,12 +228,18 @@ Status ContinuousQueryEngine::ProcessOneQueuedTuple() {
   // dropped at their emission).
   const WindowSpan pending = PendingWindowsFor(tuple.timestamp());
   for (WindowId w = pending.first; w <= pending.last; ++w) {
-    best->kept_buffers[w].push_back(tuple);
     if (config_.strategy == SheddingStrategy::kDataTriage) {
       // Data Triage also synopsizes kept tuples so the shadow plan can
       // join dropped data against them (paper Sec. 5.1).
       DT_RETURN_IF_ERROR(best->synopsizer->AddKeptToWindow(tuple, w));
       ChargeSynopsisTime(config_.cost_model.synopsis_insert_cost);
+    }
+    // The last covering window takes the tuple by move (the common
+    // tumbling-window case copies nothing); earlier sliding windows copy.
+    if (w == pending.last) {
+      best->kept_buffers[w].push_back(std::move(tuple));
+    } else {
+      best->kept_buffers[w].push_back(tuple);
     }
   }
   return Status::OK();

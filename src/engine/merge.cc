@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/common/flat_table.h"
+
 namespace datatriage::engine {
 
 Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query) {
@@ -22,21 +24,49 @@ Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query) {
 
 synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
                                           const AggregationSpec& spec) {
-  synopsis::GroupedEstimate groups;
+  // Stage groups in a flat table keyed by borrowed rows, then build the
+  // ordered GroupedEstimate once per distinct group: the per-row cost is
+  // a hash plus an in-place comparison, not a key-vector construction.
+  struct Staged {
+    const Tuple* repr = nullptr;
+    size_t offset = 0;
+  };
+  const size_t stride = spec.agg_columns.size();
+  FlatTable<Staged> staged;
+  std::vector<synopsis::AggAccumulator> arena;
   for (const Tuple& row : spj_rows) {
-    std::vector<Value> key;
-    key.reserve(spec.group_columns.size());
-    for (size_t g : spec.group_columns) key.push_back(row.value(g));
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) it->second.resize(spec.agg_columns.size());
-    for (size_t a = 0; a < spec.agg_columns.size(); ++a) {
+    const uint64_t hash = HashValuesAt(row, spec.group_columns);
+    auto [entry, inserted] = staged.FindOrEmplace(
+        hash,
+        [&](const Staged& s) {
+          return ValuesEqualAt(*s.repr, spec.group_columns, row,
+                               spec.group_columns);
+        },
+        [&] {
+          const size_t offset = arena.size();
+          arena.resize(offset + stride);
+          return Staged{&row, offset};
+        });
+    for (size_t a = 0; a < stride; ++a) {
       if (spec.agg_columns[a] == synopsis::kCountOnlyColumn) {
-        it->second[a].count += 1.0;
+        arena[entry->offset + a].count += 1.0;
       } else {
-        it->second[a].Add(row.value(spec.agg_columns[a]).AsDouble(), 1.0);
+        arena[entry->offset + a].Add(
+            row.value(spec.agg_columns[a]).AsDouble(), 1.0);
       }
     }
   }
+  synopsis::GroupedEstimate groups;
+  staged.ForEach([&](const Staged& s) {
+    std::vector<Value> key;
+    key.reserve(spec.group_columns.size());
+    for (size_t g : spec.group_columns) key.push_back(s.repr->value(g));
+    groups.emplace(std::move(key),
+                   std::vector<synopsis::AggAccumulator>(
+                       arena.begin() + static_cast<ptrdiff_t>(s.offset),
+                       arena.begin() +
+                           static_cast<ptrdiff_t>(s.offset + stride)));
+  });
   return groups;
 }
 

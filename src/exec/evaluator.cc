@@ -1,8 +1,11 @@
 #include "src/exec/evaluator.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
+#include "src/common/flat_table.h"
 #include "src/common/string_util.h"
 
 namespace datatriage::exec {
@@ -11,40 +14,17 @@ namespace {
 
 using plan::LogicalPlan;
 
-/// Hash-map key over a subset of columns.
-struct KeyView {
-  std::vector<Value> values;
+constexpr uint32_t kNil = UINT32_MAX;
 
-  bool operator==(const KeyView& other) const {
-    return values == other.values;
-  }
-};
-
-struct KeyViewHash {
-  size_t operator()(const KeyView& k) const {
-    size_t seed = k.values.size();
-    for (const Value& v : k.values) {
-      seed ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
-    }
-    return seed;
-  }
-};
-
-KeyView ExtractKey(const Tuple& tuple, const std::vector<size_t>& indices) {
-  KeyView key;
-  key.values.reserve(indices.size());
-  for (size_t i : indices) key.values.push_back(tuple.value(i));
-  return key;
-}
-
-/// Running state for one aggregate within one group.
+/// Running state for one aggregate within one group. min/max borrow the
+/// extreme Value from the input (which outlives the group-by loop) so no
+/// Value is copied until the output row is built.
 struct AggState {
   int64_t count = 0;
   double sum = 0.0;
   bool sum_is_integral = true;
-  Value min;
-  Value max;
-  bool has_extremes = false;
+  const Value* min = nullptr;
+  const Value* max = nullptr;
 };
 
 }  // namespace
@@ -59,9 +39,14 @@ ExecStats& ExecStats::operator+=(const ExecStats& other) {
 }
 
 Result<Relation> Evaluator::Evaluate(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView view, EvaluateView(plan));
+  return std::move(view).Materialize();
+}
+
+Result<RelationView> Evaluator::EvaluateView(const LogicalPlan& plan) {
   switch (plan.kind()) {
     case LogicalPlan::Kind::kEmpty:
-      return Relation{};
+      return RelationView();
     case LogicalPlan::Kind::kStreamScan:
       return EvaluateScan(plan);
     case LogicalPlan::Kind::kFilter:
@@ -82,43 +67,40 @@ Result<Relation> Evaluator::Evaluate(const LogicalPlan& plan) {
   return Status::Internal("unhandled plan kind in evaluator");
 }
 
-Result<Relation> Evaluator::EvaluateScan(const LogicalPlan& plan) {
+Result<RelationView> Evaluator::EvaluateScan(const LogicalPlan& plan) {
   auto it = inputs_->find(ChannelKey{plan.stream(), plan.channel()});
-  if (it == inputs_->end()) return Relation{};
+  if (it == inputs_->end()) return RelationView();
   stats_.tuples_scanned += static_cast<int64_t>(it->second.size());
-  return it->second;
+  return RelationView::Borrow(it->second);
 }
 
-Result<Relation> Evaluator::EvaluateFilter(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
-  Relation output;
-  output.reserve(input.size());
-  for (Tuple& t : input) {
+Result<RelationView> Evaluator::EvaluateFilter(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+  std::vector<const Tuple*> refs;
+  refs.reserve(input.size());
+  input.ForEach([&](const Tuple& t) {
     ++stats_.comparisons;
-    if (plan.predicate()->EvaluatesToTrue(t)) {
-      output.push_back(std::move(t));
-    }
-  }
-  stats_.tuples_output += static_cast<int64_t>(output.size());
-  return output;
+    if (plan.predicate()->EvaluatesToTrue(t)) refs.push_back(&t);
+  });
+  stats_.tuples_output += static_cast<int64_t>(refs.size());
+  return RelationView::Subset(input, std::move(refs));
 }
 
-Result<Relation> Evaluator::EvaluateProject(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
+Result<RelationView> Evaluator::EvaluateProject(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
   Relation output;
   output.reserve(input.size());
-  for (const Tuple& t : input) {
-    output.push_back(t.Project(plan.projection()));
-  }
+  input.ForEach(
+      [&](const Tuple& t) { output.push_back(t.Project(plan.projection())); });
   stats_.tuples_output += static_cast<int64_t>(output.size());
-  return output;
+  return RelationView::Own(std::move(output));
 }
 
-Result<Relation> Evaluator::EvaluateCompute(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
+Result<RelationView> Evaluator::EvaluateCompute(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
   Relation output;
   output.reserve(input.size());
-  for (const Tuple& t : input) {
+  input.ForEach([&](const Tuple& t) {
     std::vector<Value> row;
     row.reserve(plan.compute_exprs().size());
     for (const plan::BoundExprPtr& expr : plan.compute_exprs()) {
@@ -126,22 +108,23 @@ Result<Relation> Evaluator::EvaluateCompute(const LogicalPlan& plan) {
     }
     output.emplace_back(std::move(row));
     output.back().set_timestamp(t.timestamp());
-  }
+  });
   stats_.tuples_output += static_cast<int64_t>(output.size());
-  return output;
+  return RelationView::Own(std::move(output));
 }
 
-Result<Relation> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(Relation left, Evaluate(*plan.child(0)));
-  DT_ASSIGN_OR_RETURN(Relation right, Evaluate(*plan.child(1)));
+Result<RelationView> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
+  DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
   Relation output;
 
   if (plan.join_keys().empty()) {
     // Cross product (plus optional residual predicate).
-    for (const Tuple& l : left) {
-      for (const Tuple& r : right) {
+    for (size_t li = 0; li < left.size(); ++li) {
+      const Tuple& l = left[li];
+      for (size_t ri = 0; ri < right.size(); ++ri) {
         ++stats_.join_probes;
-        Tuple joined = l.Concat(r);
+        Tuple joined = l.Concat(right[ri]);
         if (plan.predicate() != nullptr) {
           ++stats_.comparisons;
           if (!plan.predicate()->EvaluatesToTrue(joined)) continue;
@@ -150,7 +133,7 @@ Result<Relation> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
       }
     }
     stats_.tuples_output += static_cast<int64_t>(output.size());
-    return output;
+    return RelationView::Own(std::move(output));
   }
 
   std::vector<size_t> left_keys, right_keys;
@@ -161,25 +144,51 @@ Result<Relation> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
 
   // Build on the smaller side, probe with the larger.
   const bool build_left = left.size() <= right.size();
-  const Relation& build = build_left ? left : right;
-  const Relation& probe = build_left ? right : left;
+  const RelationView& build = build_left ? left : right;
+  const RelationView& probe = build_left ? right : left;
   const std::vector<size_t>& build_keys = build_left ? left_keys : right_keys;
   const std::vector<size_t>& probe_keys = build_left ? right_keys : left_keys;
 
-  std::unordered_map<KeyView, std::vector<const Tuple*>, KeyViewHash> table;
-  table.reserve(build.size());
-  for (const Tuple& t : build) {
+  // One flat-table bucket per distinct key; rows of a bucket form a chain
+  // through `next` (indices into the build side), so duplicate keys cost
+  // no per-bucket vector.
+  struct BuildBucket {
+    const Tuple* repr = nullptr;  // borrowed key representative
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
+  FlatTable<BuildBucket> table(build.size());
+  std::vector<uint32_t> next(build.size(), kNil);
+  for (size_t i = 0; i < build.size(); ++i) {
+    const Tuple& t = build[i];
     ++stats_.join_build_inserts;
-    table[ExtractKey(t, build_keys)].push_back(&t);
+    const uint64_t hash = HashValuesAt(t, build_keys);
+    auto [bucket, inserted] = table.FindOrEmplace(
+        hash,
+        [&](const BuildBucket& b) {
+          return ValuesEqualAt(*b.repr, build_keys, t, build_keys);
+        },
+        [&] {
+          const uint32_t index = static_cast<uint32_t>(i);
+          return BuildBucket{&t, index, index};
+        });
+    if (!inserted) {
+      next[bucket->tail] = static_cast<uint32_t>(i);
+      bucket->tail = static_cast<uint32_t>(i);
+    }
   }
-  for (const Tuple& t : probe) {
+  for (size_t pi = 0; pi < probe.size(); ++pi) {
+    const Tuple& t = probe[pi];
     ++stats_.join_probes;
-    auto it = table.find(ExtractKey(t, probe_keys));
-    if (it == table.end()) continue;
-    for (const Tuple* match : it->second) {
+    const uint64_t hash = HashValuesAt(t, probe_keys);
+    BuildBucket* bucket = table.Find(hash, [&](const BuildBucket& b) {
+      return ValuesEqualAt(*b.repr, build_keys, t, probe_keys);
+    });
+    if (bucket == nullptr) continue;
+    for (uint32_t bi = bucket->head; bi != kNil; bi = next[bi]) {
+      const Tuple& match = build[bi];
       // Output column order is (left, right) regardless of build side.
-      Tuple joined =
-          build_left ? match->Concat(t) : t.Concat(*match);
+      Tuple joined = build_left ? match.Concat(t) : t.Concat(match);
       if (plan.predicate() != nullptr) {
         ++stats_.comparisons;
         if (!plan.predicate()->EvaluatesToTrue(joined)) continue;
@@ -188,67 +197,89 @@ Result<Relation> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
     }
   }
   stats_.tuples_output += static_cast<int64_t>(output.size());
-  return output;
+  return RelationView::Own(std::move(output));
 }
 
-Result<Relation> Evaluator::EvaluateUnionAll(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(Relation left, Evaluate(*plan.child(0)));
-  DT_ASSIGN_OR_RETURN(Relation right, Evaluate(*plan.child(1)));
-  left.reserve(left.size() + right.size());
-  for (Tuple& t : right) left.push_back(std::move(t));
-  stats_.tuples_output += static_cast<int64_t>(left.size());
-  return left;
+Result<RelationView> Evaluator::EvaluateUnionAll(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
+  DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
+  stats_.tuples_output +=
+      static_cast<int64_t>(left.size() + right.size());
+  return RelationView::Concat(std::move(left), std::move(right));
 }
 
-Result<Relation> Evaluator::EvaluateSetDifference(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(Relation left, Evaluate(*plan.child(0)));
-  DT_ASSIGN_OR_RETURN(Relation right, Evaluate(*plan.child(1)));
+Result<RelationView> Evaluator::EvaluateSetDifference(
+    const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
+  DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
   // Multiset monus: each right-side tuple cancels at most one left-side
   // occurrence.
-  std::unordered_map<Tuple, int64_t, TupleHash, TupleEq> to_remove;
-  for (const Tuple& t : right) {
+  struct Monus {
+    const Tuple* repr = nullptr;
+    int64_t count = 0;
+  };
+  FlatTable<Monus> to_remove(right.size());
+  right.ForEach([&](const Tuple& t) {
     ++stats_.comparisons;
-    ++to_remove[t];
-  }
-  Relation output;
-  output.reserve(left.size());
-  for (Tuple& t : left) {
+    auto [entry, inserted] = to_remove.FindOrEmplace(
+        t.Hash(), [&](const Monus& m) { return *m.repr == t; },
+        [&] { return Monus{&t, 0}; });
+    ++entry->count;
+  });
+  std::vector<const Tuple*> refs;
+  refs.reserve(left.size());
+  left.ForEach([&](const Tuple& t) {
     ++stats_.comparisons;
-    auto it = to_remove.find(t);
-    if (it != to_remove.end() && it->second > 0) {
-      --it->second;
-      continue;
+    Monus* entry = to_remove.Find(
+        t.Hash(), [&](const Monus& m) { return *m.repr == t; });
+    if (entry != nullptr && entry->count > 0) {
+      --entry->count;
+      return;
     }
-    output.push_back(std::move(t));
-  }
-  stats_.tuples_output += static_cast<int64_t>(output.size());
-  return output;
+    refs.push_back(&t);
+  });
+  stats_.tuples_output += static_cast<int64_t>(refs.size());
+  return RelationView::Subset(left, std::move(refs));
 }
 
-Result<Relation> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(Relation input, Evaluate(*plan.child(0)));
+Result<RelationView> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
   std::vector<size_t> group_indices;
   for (const plan::GroupBySpec& g : plan.group_by()) {
     group_indices.push_back(g.input_index);
   }
-
-  struct GroupState {
-    Tuple representative;
-    std::vector<AggState> aggs;
-  };
-  std::unordered_map<KeyView, GroupState, KeyViewHash> groups;
-  for (const Tuple& t : input) {
-    ++stats_.comparisons;
-    KeyView key = ExtractKey(t, group_indices);
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    GroupState& state = it->second;
-    if (inserted) {
-      state.representative = t;
-      state.aggs.resize(plan.aggregates().size());
+  const size_t num_aggs = plan.aggregates().size();
+  for (const plan::AggregateSpec& spec : plan.aggregates()) {
+    if (spec.func == sql::AggFunc::kNone) {
+      return Status::Internal("AggFunc::kNone in aggregate spec");
     }
-    for (size_t i = 0; i < plan.aggregates().size(); ++i) {
-      const plan::AggregateSpec& spec = plan.aggregates()[i];
-      AggState& agg = state.aggs[i];
+  }
+
+  // Group states live in one arena at a fixed stride; the table entry
+  // holds a borrowed representative tuple and the group's arena offset.
+  struct GroupEntry {
+    const Tuple* repr = nullptr;
+    size_t agg_offset = 0;
+  };
+  FlatTable<GroupEntry> groups;
+  std::vector<AggState> agg_arena;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const Tuple& t = input[i];
+    ++stats_.comparisons;
+    const uint64_t hash = HashValuesAt(t, group_indices);
+    auto [entry, inserted] = groups.FindOrEmplace(
+        hash,
+        [&](const GroupEntry& g) {
+          return ValuesEqualAt(*g.repr, group_indices, t, group_indices);
+        },
+        [&] {
+          const size_t offset = agg_arena.size();
+          agg_arena.resize(offset + num_aggs);
+          return GroupEntry{&t, offset};
+        });
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const plan::AggregateSpec& spec = plan.aggregates()[a];
+      AggState& agg = agg_arena[entry->agg_offset + a];
       ++agg.count;
       if (spec.count_star) continue;
       const Value& v = t.value(spec.input_index);
@@ -256,28 +287,27 @@ Result<Relation> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
         agg.sum += v.AsDouble();
         if (!v.is_int64()) agg.sum_is_integral = false;
       }
-      if (!agg.has_extremes) {
-        agg.min = v;
-        agg.max = v;
-        agg.has_extremes = true;
+      if (agg.min == nullptr) {
+        agg.min = &v;
+        agg.max = &v;
       } else {
-        if (v < agg.min) agg.min = v;
-        if (agg.max < v) agg.max = v;
+        if (v < *agg.min) agg.min = &v;
+        if (*agg.max < v) agg.max = &v;
       }
     }
   }
 
   Relation output;
   output.reserve(groups.size());
-  for (const auto& [key, state] : groups) {
+  groups.ForEach([&](const GroupEntry& group) {
     std::vector<Value> row;
-    row.reserve(group_indices.size() + plan.aggregates().size());
+    row.reserve(group_indices.size() + num_aggs);
     for (size_t i : group_indices) {
-      row.push_back(state.representative.value(i));
+      row.push_back(group.repr->value(i));
     }
-    for (size_t i = 0; i < plan.aggregates().size(); ++i) {
-      const plan::AggregateSpec& spec = plan.aggregates()[i];
-      const AggState& agg = state.aggs[i];
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const plan::AggregateSpec& spec = plan.aggregates()[a];
+      const AggState& agg = agg_arena[group.agg_offset + a];
       switch (spec.func) {
         case sql::AggFunc::kCount:
           row.push_back(Value::Int64(agg.count));
@@ -293,19 +323,19 @@ Result<Relation> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
                                                   agg.count)));
           break;
         case sql::AggFunc::kMin:
-          row.push_back(agg.min);
+          row.push_back(agg.min == nullptr ? Value() : *agg.min);
           break;
         case sql::AggFunc::kMax:
-          row.push_back(agg.max);
+          row.push_back(agg.max == nullptr ? Value() : *agg.max);
           break;
         case sql::AggFunc::kNone:
-          return Status::Internal("AggFunc::kNone in aggregate spec");
+          break;  // rejected above
       }
     }
     output.emplace_back(std::move(row));
-  }
+  });
   stats_.tuples_output += static_cast<int64_t>(output.size());
-  return output;
+  return RelationView::Own(std::move(output));
 }
 
 Result<Relation> EvaluatePlan(const LogicalPlan& plan,

@@ -29,10 +29,17 @@ struct ExecStats {
 
 /// Evaluates a logical plan exactly over materialized inputs.
 ///
-/// Joins use hash tables on the equijoin keys (building on the smaller
-/// input); keyless joins fall back to nested-loop cross products. Set
-/// difference uses multiset (monus) semantics, matching the algebra in
-/// paper Sec. 3. Aggregation is a hash group-by.
+/// Joins use an open-addressing hash table (FlatTable) on the equijoin
+/// keys, building on the smaller input; keyless joins fall back to
+/// nested-loop cross products. Set difference uses multiset (monus)
+/// semantics, matching the algebra in paper Sec. 3. Aggregation is a hash
+/// group-by over the same table.
+///
+/// Internally operators exchange RelationViews: scans and filters pass
+/// borrowed tuples, and only operators that create new rows (project,
+/// compute, join, aggregate) own their output. Hash keys are (tuple
+/// pointer, index list) views with precomputed hashes — no Value is
+/// copied to build or probe a table.
 class Evaluator {
  public:
   explicit Evaluator(const RelationProvider* inputs) : inputs_(inputs) {}
@@ -47,14 +54,19 @@ class Evaluator {
   void ResetStats() { stats_ = ExecStats(); }
 
  private:
-  Result<Relation> EvaluateScan(const plan::LogicalPlan& plan);
-  Result<Relation> EvaluateFilter(const plan::LogicalPlan& plan);
-  Result<Relation> EvaluateProject(const plan::LogicalPlan& plan);
-  Result<Relation> EvaluateCompute(const plan::LogicalPlan& plan);
-  Result<Relation> EvaluateJoin(const plan::LogicalPlan& plan);
-  Result<Relation> EvaluateUnionAll(const plan::LogicalPlan& plan);
-  Result<Relation> EvaluateSetDifference(const plan::LogicalPlan& plan);
-  Result<Relation> EvaluateAggregate(const plan::LogicalPlan& plan);
+  /// Dispatch used for operator inputs: results may borrow from the
+  /// provider or from a child view's owned storage.
+  Result<RelationView> EvaluateView(const plan::LogicalPlan& plan);
+
+  Result<RelationView> EvaluateScan(const plan::LogicalPlan& plan);
+  Result<RelationView> EvaluateFilter(const plan::LogicalPlan& plan);
+  Result<RelationView> EvaluateProject(const plan::LogicalPlan& plan);
+  Result<RelationView> EvaluateCompute(const plan::LogicalPlan& plan);
+  Result<RelationView> EvaluateJoin(const plan::LogicalPlan& plan);
+  Result<RelationView> EvaluateUnionAll(const plan::LogicalPlan& plan);
+  Result<RelationView> EvaluateSetDifference(
+      const plan::LogicalPlan& plan);
+  Result<RelationView> EvaluateAggregate(const plan::LogicalPlan& plan);
 
   const RelationProvider* inputs_;
   ExecStats stats_;

@@ -2,7 +2,9 @@
 #define DATATRIAGE_EXEC_RELATION_H_
 
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/plan/logical_plan.h"
@@ -30,6 +32,108 @@ struct ChannelKey {
 /// key see an empty relation (e.g. the kDropped channel when nothing was
 /// shed).
 using RelationProvider = std::map<ChannelKey, Relation>;
+
+/// Borrowed-or-owned view of a relation, so pass-through operators never
+/// copy tuples. A view is one of:
+///
+///  - a span over a relation it does not own (scan of a provider input);
+///  - a span over rows it owns (project / compute / join / aggregate
+///    output), held behind a shared_ptr so tuple addresses stay stable;
+///  - a scattered list of borrowed tuple pointers (filter and union
+///    output) plus shared ownership of whatever owned storage those
+///    pointers reach into.
+///
+/// Ownership is shared rather than tied to the operator tree: a filter's
+/// view stays valid after the child view that owned the rows is destroyed.
+/// Borrowed provider spans are only valid while the provider outlives the
+/// view, which the evaluator guarantees.
+class RelationView {
+ public:
+  RelationView() = default;
+
+  /// Borrows `rel` without taking ownership; `rel` must outlive the view.
+  static RelationView Borrow(const Relation& rel) {
+    RelationView view;
+    view.span_ = &rel;
+    return view;
+  }
+
+  /// Takes ownership of `rel`.
+  static RelationView Own(Relation rel) {
+    RelationView view;
+    view.storage_.push_back(
+        std::make_shared<Relation>(std::move(rel)));
+    view.span_ = view.storage_.back().get();
+    return view;
+  }
+
+  /// Scattered subset of `parent`'s rows; every pointer in `refs` must
+  /// point into `parent`. Shares `parent`'s owned storage.
+  static RelationView Subset(const RelationView& parent,
+                             std::vector<const Tuple*> refs) {
+    RelationView view;
+    view.storage_ = parent.storage_;
+    view.refs_ = std::move(refs);
+    view.scattered_ = true;
+    return view;
+  }
+
+  /// Concatenation of two views without copying rows (union-all).
+  static RelationView Concat(RelationView left, RelationView right) {
+    RelationView view;
+    view.scattered_ = true;
+    view.refs_.reserve(left.size() + right.size());
+    left.ForEach([&](const Tuple& t) { view.refs_.push_back(&t); });
+    right.ForEach([&](const Tuple& t) { view.refs_.push_back(&t); });
+    for (auto& storage : left.storage_) {
+      view.storage_.push_back(std::move(storage));
+    }
+    for (auto& storage : right.storage_) {
+      view.storage_.push_back(std::move(storage));
+    }
+    return view;
+  }
+
+  size_t size() const {
+    if (scattered_) return refs_.size();
+    return span_ == nullptr ? 0 : span_->size();
+  }
+  bool empty() const { return size() == 0; }
+
+  const Tuple& operator[](size_t i) const {
+    return scattered_ ? *refs_[i] : (*span_)[i];
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (scattered_) {
+      for (const Tuple* t : refs_) fn(*t);
+    } else if (span_ != nullptr) {
+      for (const Tuple& t : *span_) fn(t);
+    }
+  }
+
+  /// Materializes an owned Relation: moves the rows when this view is the
+  /// unique owner of a full span (the common case for operator outputs),
+  /// copies otherwise.
+  Relation Materialize() && {
+    if (!scattered_ && storage_.size() == 1 &&
+        span_ == storage_.front().get() &&
+        storage_.front().use_count() == 1) {
+      return std::move(*storage_.front());
+    }
+    Relation out;
+    out.reserve(size());
+    ForEach([&](const Tuple& t) { out.push_back(t); });
+    return out;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Relation>> storage_;  // keep-alive (0–2 ptrs)
+  const Relation* span_ = nullptr;     // contiguous mode
+  std::vector<const Tuple*> refs_;     // scattered mode
+  bool scattered_ = false;
+};
 
 }  // namespace datatriage::exec
 

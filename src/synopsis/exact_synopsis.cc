@@ -1,5 +1,6 @@
 #include "src/synopsis/exact_synopsis.h"
 
+#include "src/common/flat_table.h"
 #include "src/common/string_util.h"
 
 namespace datatriage::synopsis {
@@ -136,25 +137,54 @@ Result<GroupedEstimate> ExactSynopsis::EstimateGroups(
       return Status::OutOfRange("group column out of range");
     }
   }
-  GroupedEstimate groups;
+  for (size_t a : agg_columns) {
+    if (a != kCountOnlyColumn && a >= schema_.num_fields()) {
+      return Status::OutOfRange("aggregate column out of range");
+    }
+  }
+  // Same staging as the engine's exact accumulator: groups hash borrowed
+  // rows in a flat table, and the ordered GroupedEstimate is built once
+  // per distinct group rather than once per row.
+  struct Staged {
+    const Tuple* repr = nullptr;
+    size_t offset = 0;
+  };
+  const size_t stride = agg_columns.size();
+  FlatTable<Staged> staged;
+  std::vector<AggAccumulator> arena;
   for (const WeightedRow& r : rows_) {
-    std::vector<Value> key;
-    key.reserve(group_columns.size());
-    for (size_t g : group_columns) key.push_back(r.tuple.value(g));
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) it->second.resize(agg_columns.size());
-    for (size_t a = 0; a < agg_columns.size(); ++a) {
+    const uint64_t hash = HashValuesAt(r.tuple, group_columns);
+    auto [entry, inserted] = staged.FindOrEmplace(
+        hash,
+        [&](const Staged& s) {
+          return ValuesEqualAt(*s.repr, group_columns, r.tuple,
+                               group_columns);
+        },
+        [&] {
+          const size_t offset = arena.size();
+          arena.resize(offset + stride);
+          return Staged{&r.tuple, offset};
+        });
+    for (size_t a = 0; a < stride; ++a) {
       if (agg_columns[a] == kCountOnlyColumn) {
-        it->second[a].count += r.weight;
+        arena[entry->offset + a].count += r.weight;
       } else {
-        if (agg_columns[a] >= schema_.num_fields()) {
-          return Status::OutOfRange("aggregate column out of range");
-        }
-        it->second[a].Add(r.tuple.value(agg_columns[a]).AsDouble(),
-                          r.weight);
+        arena[entry->offset + a].Add(
+            r.tuple.value(agg_columns[a]).AsDouble(), r.weight);
       }
     }
   }
+  GroupedEstimate groups;
+  staged.ForEach([&](const Staged& s) {
+    std::vector<Value> key;
+    key.reserve(group_columns.size());
+    for (size_t g : group_columns) key.push_back(s.repr->value(g));
+    groups.emplace(std::move(key),
+                   std::vector<AggAccumulator>(
+                       arena.begin() + static_cast<ptrdiff_t>(s.offset),
+                       arena.begin() +
+                           static_cast<ptrdiff_t>(s.offset + stride)));
+  });
   return groups;
 }
 

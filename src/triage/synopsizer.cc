@@ -22,9 +22,19 @@ Status WindowSynopsizer::AddKept(const Tuple& tuple) {
                          WindowIdFor(tuple.timestamp(), window_seconds_));
 }
 
+WindowSynopsizer::PerWindow* WindowSynopsizer::WindowSlot(
+    WindowId window_id) {
+  if (cached_slot_ != nullptr && cached_window_ == window_id) {
+    return cached_slot_;
+  }
+  cached_slot_ = &windows_[window_id];
+  cached_window_ = window_id;
+  return cached_slot_;
+}
+
 Status WindowSynopsizer::AddDroppedToWindow(const Tuple& tuple,
                                             WindowId window_id) {
-  PerWindow& window = windows_[window_id];
+  PerWindow& window = *WindowSlot(window_id);
   if (window.dropped == nullptr) {
     DT_ASSIGN_OR_RETURN(window.dropped,
                         synopsis::MakeSynopsis(config_, schema_));
@@ -36,7 +46,7 @@ Status WindowSynopsizer::AddDroppedToWindow(const Tuple& tuple,
 
 Status WindowSynopsizer::AddKeptToWindow(const Tuple& tuple,
                                          WindowId window_id) {
-  PerWindow& window = windows_[window_id];
+  PerWindow& window = *WindowSlot(window_id);
   if (window.kept == nullptr) {
     DT_ASSIGN_OR_RETURN(window.kept,
                         synopsis::MakeSynopsis(config_, schema_));
@@ -62,6 +72,7 @@ WindowSynopsizer::WindowSynopses WindowSynopsizer::TakeWindow(
   result.dropped = std::move(it->second.dropped);
   result.kept_count = it->second.kept_count;
   result.dropped_count = it->second.dropped_count;
+  if (cached_slot_ == &it->second) cached_slot_ = nullptr;
   windows_.erase(it);
   return result;
 }

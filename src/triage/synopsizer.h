@@ -67,11 +67,19 @@ class WindowSynopsizer {
     int64_t dropped_count = 0;
   };
 
+  /// Map slot for `window`, cached across calls: consecutive inserts
+  /// overwhelmingly target the same window, so the common case skips the
+  /// O(log n) map walk. std::map nodes are stable, keeping the cached
+  /// pointer valid until that window is erased.
+  PerWindow* WindowSlot(WindowId window);
+
   std::string stream_;
   Schema schema_;
   synopsis::SynopsisConfig config_;
   VirtualDuration window_seconds_;
   std::map<WindowId, PerWindow> windows_;
+  WindowId cached_window_ = 0;
+  PerWindow* cached_slot_ = nullptr;
 };
 
 }  // namespace datatriage::triage

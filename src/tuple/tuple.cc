@@ -60,4 +60,12 @@ size_t HashValuesAt(const Tuple& tuple, const std::vector<size_t>& indices) {
   return seed;
 }
 
+bool ValuesEqualAt(const Tuple& a, const std::vector<size_t>& ai,
+                   const Tuple& b, const std::vector<size_t>& bi) {
+  for (size_t k = 0; k < ai.size(); ++k) {
+    if (!(a.value(ai[k]) == b.value(bi[k]))) return false;
+  }
+  return true;
+}
+
 }  // namespace datatriage

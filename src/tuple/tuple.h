@@ -68,8 +68,17 @@ struct TupleEq {
   bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
 };
 
-/// Hash of a subset of columns; used by hash joins and group-by.
+/// Hash of a subset of columns; used by hash joins and group-by. Consistent
+/// with ValuesEqualAt (numeric values hash by their double promotion).
 size_t HashValuesAt(const Tuple& tuple, const std::vector<size_t>& indices);
+
+/// True when a.value(ai[k]) == b.value(bi[k]) for every k, under
+/// Value::operator== promotion rules. `ai` and `bi` must have equal
+/// length. This is the zero-copy key comparison of the executor's hash
+/// tables: keys are (tuple pointer, index list) views, never copied
+/// Values.
+bool ValuesEqualAt(const Tuple& a, const std::vector<size_t>& ai,
+                   const Tuple& b, const std::vector<size_t>& bi);
 
 }  // namespace datatriage
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "tests/test_util.h"
 
 namespace datatriage::exec {
@@ -222,6 +224,209 @@ TEST(EvaluatorTest, EndToEndPaperQueryShape) {
   // Matches: a=1 joins s(1,7)x2 t-rows = 2; a=2 joins s(2,7)x2 = 2.
   EXPECT_TRUE(SameMultiset(*result, {Row({1, 2}), Row({2, 2})}))
       << RelationToString(*result);
+}
+
+TEST(EvaluatorTest, MultiKeyJoinMixedTypes) {
+  // Three-column key: int64, string, timestamp. The probe side carries a
+  // Double(3.0) where the build side has Int64(3); numeric promotion in
+  // Value::operator== (and the double-based hash) must still match them.
+  Schema left_schema({{"l.k1", FieldType::kInt64},
+                      {"l.k2", FieldType::kString},
+                      {"l.k3", FieldType::kTimestamp},
+                      {"l.p", FieldType::kInt64}});
+  Schema right_schema({{"r.k1", FieldType::kInt64},
+                       {"r.k2", FieldType::kString},
+                       {"r.k3", FieldType::kTimestamp},
+                       {"r.p", FieldType::kInt64}});
+  auto row = [](Value k1, const char* k2, double ts, int64_t payload) {
+    return Tuple({std::move(k1), Value::String(k2), Value::Timestamp(ts),
+                  Value::Int64(payload)});
+  };
+  RelationProvider inputs;
+  inputs[{"l", Channel::kBase}] = {
+      row(Value::Int64(1), "a", 1.5, 100),
+      row(Value::Int64(1), "a", 1.5, 101),
+      row(Value::Int64(2), "b", 2.5, 102),
+      row(Value::Int64(3), "c", 3.5, 103),
+  };
+  inputs[{"r", Channel::kBase}] = {
+      row(Value::Int64(1), "a", 1.5, 200),
+      row(Value::Int64(2), "b", 9.9, 201),   // timestamp differs: no match
+      row(Value::Double(3.0), "c", 3.5, 202),  // promoted match vs Int64(3)
+      row(Value::Int64(4), "d", 4.5, 203),
+  };
+  PlanPtr l = LogicalPlan::StreamScan("l", Channel::kBase, left_schema);
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, right_schema);
+  auto join = LogicalPlan::Join(l, r, {{0, 0}, {1, 1}, {2, 2}});
+  ASSERT_TRUE(join.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**join, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  std::multiset<int64_t> payload_pairs;
+  for (const Tuple& t : *result) {
+    payload_pairs.insert(t.value(3).int64() * 1000 + t.value(7).int64());
+  }
+  EXPECT_EQ(payload_pairs,
+            (std::multiset<int64_t>{100200, 101200, 103202}));
+  EXPECT_EQ(stats.tuples_scanned, 8);
+  EXPECT_EQ(stats.join_build_inserts, 4);
+  EXPECT_EQ(stats.join_probes, 4);
+  EXPECT_EQ(stats.tuples_output, 3);
+  EXPECT_EQ(stats.comparisons, 0);
+}
+
+TEST(EvaluatorTest, JoinManyDistinctKeysCollisionGroups) {
+  // Enough distinct keys that a power-of-two table gets bucket
+  // collisions; every key must still find exactly its own matches.
+  RelationProvider inputs;
+  Relation left, right;
+  for (int64_t k = 0; k < 100; ++k) {
+    left.push_back(Row({k, 1000 + k}));
+    left.push_back(Row({k, 2000 + k}));
+    right.push_back(Row({k}));
+  }
+  inputs[{"s", Channel::kBase}] = std::move(left);
+  inputs[{"r", Channel::kBase}] = std::move(right);
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  auto join = LogicalPlan::Join(s, r, {{0, 0}});
+  ASSERT_TRUE(join.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**join, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 200u);
+  for (const Tuple& t : *result) {
+    EXPECT_EQ(t.value(0).int64(), t.value(2).int64());
+    EXPECT_EQ(t.value(1).int64() % 1000, t.value(0).int64());
+  }
+  // Build on the smaller (right) side: 100 inserts, 200 probes.
+  EXPECT_EQ(stats.join_build_inserts, 100);
+  EXPECT_EQ(stats.join_probes, 200);
+  EXPECT_EQ(stats.tuples_output, 200);
+}
+
+// The counters below pin the seed evaluator's exact accounting. The
+// virtual-time cost model converts these units into engine time, so the
+// hot-path rewrite must keep them bit-identical or every experiment
+// figure shifts.
+
+TEST(EvaluatorStatsTest, FilterCounters) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({5}), Row({9})};
+  PlanPtr scan = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  auto filter = LogicalPlan::Filter(
+      scan, plan::BoundExpr::Binary(
+                sql::BinaryOp::kGreater,
+                plan::BoundExpr::Column(0, FieldType::kInt64),
+                plan::BoundExpr::Literal(Value::Int64(3))));
+  ASSERT_TRUE(filter.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**filter, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tuples_scanned, 3);
+  EXPECT_EQ(stats.comparisons, 3);
+  EXPECT_EQ(stats.tuples_output, 2);
+  EXPECT_EQ(stats.join_probes, 0);
+  EXPECT_EQ(stats.join_build_inserts, 0);
+  EXPECT_EQ(stats.TotalWork(), 8);
+}
+
+TEST(EvaluatorStatsTest, HashJoinCounters) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({2}), Row({2})};
+  inputs[{"s", Channel::kBase}] = {Row({2, 10}), Row({2, 20}), Row({3, 30})};
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto join = LogicalPlan::Join(r, s, {{0, 0}});
+  ASSERT_TRUE(join.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**join, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tuples_scanned, 6);
+  EXPECT_EQ(stats.join_build_inserts, 3);
+  EXPECT_EQ(stats.join_probes, 3);
+  EXPECT_EQ(stats.comparisons, 0);
+  EXPECT_EQ(stats.tuples_output, 4);
+  EXPECT_EQ(stats.TotalWork(), 16);
+}
+
+TEST(EvaluatorStatsTest, CrossProductResidualCounters) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({5})};
+  inputs[{"s", Channel::kBase}] = {Row({2, 0}), Row({6, 0})};
+  PlanPtr r = LogicalPlan::StreamScan("r", Channel::kBase, RSchema());
+  PlanPtr s = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto residual = plan::BoundExpr::Binary(
+      sql::BinaryOp::kLess, plan::BoundExpr::Column(0, FieldType::kInt64),
+      plan::BoundExpr::Column(1, FieldType::kInt64));
+  auto join = LogicalPlan::Join(r, s, {}, residual);
+  ASSERT_TRUE(join.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**join, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tuples_scanned, 4);
+  EXPECT_EQ(stats.join_probes, 4);
+  EXPECT_EQ(stats.comparisons, 4);
+  EXPECT_EQ(stats.tuples_output, 3);
+  EXPECT_EQ(stats.join_build_inserts, 0);
+  EXPECT_EQ(stats.TotalWork(), 15);
+}
+
+TEST(EvaluatorStatsTest, SetDifferenceCounters) {
+  RelationProvider inputs;
+  inputs[{"r", Channel::kKept}] = {Row({1}), Row({1}), Row({1}), Row({2})};
+  inputs[{"r", Channel::kDropped}] = {Row({1}), Row({3})};
+  PlanPtr kept = LogicalPlan::StreamScan("r", Channel::kKept, RSchema());
+  PlanPtr dropped =
+      LogicalPlan::StreamScan("r", Channel::kDropped, RSchema());
+  auto diff = LogicalPlan::SetDifference(kept, dropped);
+  ASSERT_TRUE(diff.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**diff, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tuples_scanned, 6);
+  EXPECT_EQ(stats.comparisons, 6);
+  EXPECT_EQ(stats.tuples_output, 3);
+  EXPECT_EQ(stats.TotalWork(), 15);
+}
+
+TEST(EvaluatorStatsTest, AggregateCounters) {
+  RelationProvider inputs;
+  inputs[{"s", Channel::kBase}] = {Row({1, 10}), Row({1, 20}), Row({2, 5})};
+  PlanPtr scan = LogicalPlan::StreamScan("s", Channel::kBase, SSchema());
+  auto agg = LogicalPlan::Aggregate(
+      scan, {{0, "b"}},
+      {{sql::AggFunc::kCount, true, 0, "count"},
+       {sql::AggFunc::kSum, false, 1, "total"}});
+  ASSERT_TRUE(agg.ok());
+  ExecStats stats;
+  auto result = EvaluatePlan(**agg, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tuples_scanned, 3);
+  EXPECT_EQ(stats.comparisons, 3);
+  EXPECT_EQ(stats.tuples_output, 2);
+  EXPECT_EQ(stats.TotalWork(), 8);
+}
+
+TEST(EvaluatorStatsTest, EndToEndPaperQueryCounters) {
+  // Full paper plan (3-way join + grouped COUNT): pins TotalWork so the
+  // cost model charges exactly what the seed evaluator charged.
+  Catalog catalog = PaperCatalog();
+  plan::BoundQuery bound = testing::MustBind(testing::kPaperQuery, catalog);
+  RelationProvider inputs;
+  inputs[{"r", Channel::kBase}] = {Row({1}), Row({2})};
+  inputs[{"s", Channel::kBase}] = {Row({1, 7}), Row({1, 8}), Row({2, 7})};
+  inputs[{"t", Channel::kBase}] = {Row({7}), Row({7})};
+  ExecStats stats;
+  auto result = EvaluatePlan(*bound.plan, inputs, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(stats.tuples_scanned, 7);
+  EXPECT_EQ(stats.join_build_inserts, 4);
+  EXPECT_EQ(stats.join_probes, 6);
+  EXPECT_EQ(stats.comparisons, 4);
+  EXPECT_EQ(stats.tuples_output, 9);
+  EXPECT_EQ(stats.TotalWork(), 30);
 }
 
 TEST(EvaluatorTest, StatsCountWork) {

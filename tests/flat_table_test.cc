@@ -1,0 +1,119 @@
+#include "src/common/flat_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace datatriage {
+namespace {
+
+struct Entry {
+  int64_t key = 0;
+  int64_t payload = 0;
+};
+
+// Degenerate hash confined to a few buckets: every operation probes
+// through collision chains.
+uint64_t CollidingHash(int64_t key) {
+  return static_cast<uint64_t>(key % 7);
+}
+
+TEST(FlatTableTest, FindOnEmptyTableMisses) {
+  FlatTable<Entry> table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.Find(42, [](const Entry&) { return true; }), nullptr);
+}
+
+TEST(FlatTableTest, InsertThenFind) {
+  FlatTable<Entry> table;
+  auto [entry, inserted] = table.FindOrEmplace(
+      7, [](const Entry& e) { return e.key == 1; },
+      [] { return Entry{1, 100}; });
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(entry->payload, 100);
+
+  auto [again, inserted_again] = table.FindOrEmplace(
+      7, [](const Entry& e) { return e.key == 1; },
+      [] { return Entry{1, 999}; });
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(again->payload, 100);
+  EXPECT_EQ(table.size(), 1u);
+
+  Entry* found = table.Find(7, [](const Entry& e) { return e.key == 1; });
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->payload, 100);
+}
+
+TEST(FlatTableTest, SameHashDifferentKeysStaySeparate) {
+  FlatTable<Entry> table;
+  for (int64_t k = 0; k < 20; ++k) {
+    auto [entry, inserted] = table.FindOrEmplace(
+        CollidingHash(k), [&](const Entry& e) { return e.key == k; },
+        [&] { return Entry{k, k * 10}; });
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(entry->key, k);
+  }
+  EXPECT_EQ(table.size(), 20u);
+  for (int64_t k = 0; k < 20; ++k) {
+    Entry* found = table.Find(CollidingHash(k),
+                              [&](const Entry& e) { return e.key == k; });
+    ASSERT_NE(found, nullptr) << "key " << k;
+    EXPECT_EQ(found->payload, k * 10);
+  }
+  EXPECT_EQ(table.Find(CollidingHash(21),
+                       [](const Entry& e) { return e.key == 21; }),
+            nullptr);
+}
+
+TEST(FlatTableTest, GrowthPreservesEntries) {
+  FlatTable<Entry> table;
+  constexpr int64_t kCount = 10000;
+  for (int64_t k = 0; k < kCount; ++k) {
+    table.FindOrEmplace(
+        static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ULL,
+        [&](const Entry& e) { return e.key == k; },
+        [&] { return Entry{k, -k}; });
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kCount));
+  for (int64_t k = 0; k < kCount; ++k) {
+    Entry* found =
+        table.Find(static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ULL,
+                   [&](const Entry& e) { return e.key == k; });
+    ASSERT_NE(found, nullptr) << "key " << k;
+    EXPECT_EQ(found->payload, -k);
+  }
+}
+
+TEST(FlatTableTest, ReserveAvoidsRehashButKeepsSemantics) {
+  FlatTable<Entry> table(5000);
+  for (int64_t k = 0; k < 5000; ++k) {
+    auto [entry, inserted] = table.FindOrEmplace(
+        static_cast<uint64_t>(k), [&](const Entry& e) { return e.key == k; },
+        [&] { return Entry{k, k}; });
+    ASSERT_TRUE(inserted);
+  }
+  EXPECT_EQ(table.size(), 5000u);
+}
+
+TEST(FlatTableTest, ForEachVisitsEveryEntryOnce) {
+  FlatTable<Entry> table;
+  for (int64_t k = 0; k < 100; ++k) {
+    table.FindOrEmplace(
+        CollidingHash(k), [&](const Entry& e) { return e.key == k; },
+        [&] { return Entry{k, 0}; });
+  }
+  std::set<int64_t> seen;
+  size_t visits = 0;
+  table.ForEach([&](const Entry& e) {
+    ++visits;
+    seen.insert(e.key);
+  });
+  EXPECT_EQ(visits, 100u);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace datatriage
