@@ -4,13 +4,15 @@
 
 #include "src/metrics/ideal.h"
 #include "src/metrics/rms.h"
+#include "src/obs/export.h"
 #include "src/plan/binder.h"
 #include "src/sql/parser.h"
 
 namespace datatriage::bench {
 
 RunResult RunScenario(const workload::Scenario& scenario,
-                      const engine::EngineConfig& config) {
+                      const engine::EngineConfig& config,
+                      bool collect_metrics) {
   auto engine = engine::ContinuousQueryEngine::Make(scenario.catalog,
                                                     scenario.query_sql,
                                                     config);
@@ -35,16 +37,21 @@ RunResult RunScenario(const workload::Scenario& scenario,
                                metrics::ResultChannel::kMerged);
   DT_CHECK(rms.ok()) << rms.status().ToString();
 
+  const engine::EngineStatsSnapshot snapshot = (*engine)->StatsSnapshot();
   RunResult out;
   out.rms = rms.value();
-  out.tuples_dropped = (*engine)->stats().tuples_dropped;
-  out.tuples_kept = (*engine)->stats().tuples_kept;
+  out.tuples_dropped = snapshot.core.tuples_dropped;
+  out.tuples_kept = snapshot.core.tuples_kept;
+  if (collect_metrics) {
+    out.metrics_json =
+        obs::MetricsJson((*engine)->metrics(), &(*engine)->trace());
+  }
   return out;
 }
 
 std::vector<double> RunSeeds(workload::ScenarioConfig scenario_config,
                              engine::EngineConfig engine_config,
-                             int seeds) {
+                             int seeds, std::string* first_seed_metrics) {
   std::vector<double> rms_values;
   rms_values.reserve(static_cast<size_t>(seeds));
   for (int seed = 1; seed <= seeds; ++seed) {
@@ -52,7 +59,10 @@ std::vector<double> RunSeeds(workload::ScenarioConfig scenario_config,
     engine_config.seed = static_cast<uint64_t>(seed) * 7919;
     auto scenario = workload::BuildPaperScenario(scenario_config);
     DT_CHECK(scenario.ok()) << scenario.status().ToString();
-    rms_values.push_back(RunScenario(*scenario, engine_config).rms);
+    const bool want_metrics = seed == 1 && first_seed_metrics != nullptr;
+    RunResult result = RunScenario(*scenario, engine_config, want_metrics);
+    if (want_metrics) *first_seed_metrics = std::move(result.metrics_json);
+    rms_values.push_back(result.rms);
   }
   return rms_values;
 }
@@ -84,6 +94,24 @@ void WriteBenchJson(const std::string& path,
       std::fprintf(f, ", \"allocs_per_op\": %.1f", r.allocs_per_op);
     }
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+void WriteSeriesJson(const std::string& path,
+                     const std::vector<SeriesPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  DT_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SeriesPoint& p = points[i];
+    std::fprintf(f,
+                 "  {\"series\": \"%s\", \"x\": %g, \"rms_mean\": %.6f, "
+                 "\"rms_stddev\": %.6f, \"runs\": %zu, \"metrics\": %s}%s\n",
+                 p.series.c_str(), p.x, p.rms.mean, p.rms.stddev, p.rms.n,
+                 p.metrics_json.empty() ? "null" : p.metrics_json.c_str(),
+                 i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

@@ -15,20 +15,27 @@ struct RunResult {
   double rms = 0.0;
   int64_t tuples_dropped = 0;
   int64_t tuples_kept = 0;
+  std::string metrics_json;  // filled only when requested (see below)
 };
 
 /// Runs one scenario through the engine under `config` and scores the
 /// merged results against the ideal (no-shedding) answer. CHECK-fails on
-/// internal errors: benchmarks have no useful way to continue.
+/// internal errors: benchmarks have no useful way to continue. When
+/// `collect_metrics` is set, RunResult.metrics_json carries the engine's
+/// obs registry + per-window trace (obs::MetricsJson schema).
 RunResult RunScenario(const workload::Scenario& scenario,
-                      const engine::EngineConfig& config);
+                      const engine::EngineConfig& config,
+                      bool collect_metrics = false);
 
 /// Runs `seeds` repetitions of a scenario configuration (re-seeding both
 /// the workload and the engine per repetition, as the paper does) and
-/// returns the per-seed RMS errors.
+/// returns the per-seed RMS errors. When `first_seed_metrics` is
+/// non-null it receives the obs metrics JSON of the seed-1 run — one
+/// representative queue/drop/latency timeseries per data point.
 std::vector<double> RunSeeds(workload::ScenarioConfig scenario_config,
                              engine::EngineConfig engine_config,
-                             int seeds);
+                             int seeds,
+                             std::string* first_seed_metrics = nullptr);
 
 /// Prints one row of a results table: label, x value, mean +/- stddev.
 void PrintRow(const std::string& series, double x,
@@ -51,6 +58,23 @@ struct BenchRecord {
 /// run so the perf trajectory can be diffed across PRs.
 void WriteBenchJson(const std::string& path,
                     const std::vector<BenchRecord>& records);
+
+/// One (series, x) data point of a figure bench: aggregate RMS over the
+/// seeded runs plus the representative obs metrics JSON (queue-depth
+/// high-watermarks, drop causes by stream, per-window trace).
+struct SeriesPoint {
+  std::string series;
+  double x = 0.0;
+  metrics::MeanStd rms;
+  std::string metrics_json;  // already JSON; embedded verbatim
+};
+
+/// Writes figure-bench points to `path` as a JSON array of
+/// `{series, x, rms_mean, rms_stddev, runs, metrics}` objects, so
+/// BENCH_fig*.json exposes the queue/drop timeseries behind each plotted
+/// point. Overwrites the file.
+void WriteSeriesJson(const std::string& path,
+                     const std::vector<SeriesPoint>& points);
 
 }  // namespace datatriage::bench
 

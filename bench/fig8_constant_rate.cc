@@ -35,6 +35,7 @@ void Run() {
   PrintHeader(
       "Figure 8: RMS error vs constant data rate (3-stream aggregate)",
       "tuples/s");
+  std::vector<SeriesPoint> points;
   for (triage::SheddingStrategy strategy : kStrategies) {
     for (double aggregate_rate : kAggregateRates) {
       workload::ScenarioConfig scenario;
@@ -48,12 +49,19 @@ void Run() {
       config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
       config.synopsis.grid.cell_width = 4.0;
 
-      metrics::MeanStd stats =
-          metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
-      PrintRow(std::string(triage::SheddingStrategyToString(strategy)),
-               aggregate_rate, stats);
+      SeriesPoint point;
+      point.series = std::string(triage::SheddingStrategyToString(strategy));
+      point.x = aggregate_rate;
+      point.rms = metrics::ComputeMeanStd(
+          RunSeeds(scenario, config, kSeeds, &point.metrics_json));
+      PrintRow(point.series, aggregate_rate, point.rms);
+      points.push_back(std::move(point));
     }
   }
+  // stderr: the fig8 stdout table is a byte-exact regression oracle.
+  WriteSeriesJson("BENCH_fig8.json", points);
+  std::fprintf(stderr, "wrote BENCH_fig8.json (%zu points)\n",
+               points.size());
 }
 
 }  // namespace

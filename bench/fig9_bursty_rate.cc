@@ -37,6 +37,7 @@ void Run() {
       "Figure 9: RMS error vs peak data rate, bursty arrivals "
       "(3-stream aggregate)",
       "peak t/s");
+  std::vector<SeriesPoint> points;
   for (triage::SheddingStrategy strategy : kStrategies) {
     for (double peak_rate : kPeakAggregateRates) {
       workload::ScenarioConfig scenario;
@@ -55,12 +56,18 @@ void Run() {
       config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
       config.synopsis.grid.cell_width = 4.0;
 
-      metrics::MeanStd stats =
-          metrics::ComputeMeanStd(RunSeeds(scenario, config, kSeeds));
-      PrintRow(std::string(triage::SheddingStrategyToString(strategy)),
-               peak_rate, stats);
+      SeriesPoint point;
+      point.series = std::string(triage::SheddingStrategyToString(strategy));
+      point.x = peak_rate;
+      point.rms = metrics::ComputeMeanStd(
+          RunSeeds(scenario, config, kSeeds, &point.metrics_json));
+      PrintRow(point.series, peak_rate, point.rms);
+      points.push_back(std::move(point));
     }
   }
+  WriteSeriesJson("BENCH_fig9.json", points);
+  std::fprintf(stderr, "wrote BENCH_fig9.json (%zu points)\n",
+               points.size());
 }
 
 }  // namespace

@@ -20,6 +20,9 @@
 //   --sort-events       time-sort the event file before feeding
 //   --show-rewrite      print the rewritten SQL (paper Figs. 4-5) and exit
 //   --stats             print run statistics to stderr
+//   --metrics-json=PATH write the obs metrics registry + per-window
+//                       trace as JSON (schema: DESIGN.md Sec. 9.3);
+//                       `--metrics-json PATH` also works
 //
 // Example:
 //   ./build/examples/dtcli --stats script.sql events.csv > results.csv
@@ -31,6 +34,7 @@
 
 #include "src/engine/engine.h"
 #include "src/io/csv.h"
+#include "src/obs/export.h"
 #include "src/rewrite/sql_emitter.h"
 #include "src/sql/parser.h"
 
@@ -59,6 +63,7 @@ int main(int argc, char** argv) {
   datatriage::engine::EngineConfig config;
   config.queue_capacity = 100;
   std::string synopsis_kind = "grid";
+  std::string metrics_json_path;
   bool show_rewrite = false, print_stats = false, sort_events = false;
   std::vector<std::string> positional;
 
@@ -99,6 +104,10 @@ int main(int argc, char** argv) {
       } else {
         return Fail("unknown drop policy '" + value + "'");
       }
+    } else if (ConsumeFlag(arg, "metrics-json", &value)) {
+      metrics_json_path = value;
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
     } else if (arg == "--show-rewrite") {
       show_rewrite = true;
     } else if (arg == "--stats") {
@@ -206,8 +215,18 @@ int main(int argc, char** argv) {
       datatriage::io::FormatResultsCsv(results, column_names).c_str(),
       stdout);
 
+  if (!metrics_json_path.empty()) {
+    if (Status s = datatriage::obs::WriteMetricsJson(
+            (*engine)->metrics(), &(*engine)->trace(), metrics_json_path);
+        !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
+
   if (print_stats) {
-    const datatriage::engine::EngineStats& stats = (*engine)->stats();
+    const datatriage::engine::EngineStatsSnapshot snapshot =
+        (*engine)->StatsSnapshot();
+    const datatriage::engine::EngineStats& stats = snapshot.core;
     std::fprintf(
         stderr,
         "ingested=%lld kept=%lld dropped=%lld windows=%lld "
@@ -217,6 +236,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.tuples_dropped),
         static_cast<long long>(stats.windows_emitted),
         stats.exact_work_seconds, stats.synopsis_work_seconds);
+    // Per-stream drop causes and queue high-watermarks from the obs
+    // registry embedded in the snapshot.
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name.rfind("stream.", 0) == 0 && value > 0 &&
+          name.find(".dropped.") != std::string::npos) {
+        std::fprintf(stderr, "%s=%lld\n", name.c_str(),
+                     static_cast<long long>(value));
+      }
+    }
+    for (const auto& [name, value] : snapshot.gauge_maxima) {
+      if (name.rfind("stream.", 0) == 0 &&
+          name.find(".queue_depth") != std::string::npos) {
+        std::fprintf(stderr, "%s.hwm=%g\n", name.c_str(), value);
+      }
+    }
   }
   return 0;
 }

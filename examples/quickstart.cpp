@@ -2,10 +2,15 @@
 //
 //  1. Register streams in a catalog (the paper's R(a), S(b,c), T(d)).
 //  2. Submit the continuous query of paper Fig. 7.
-//  3. Feed timestamped tuples through the engine; the triage queues shed
+//  3. Install a streaming window sink: each per-window composite result
+//     (exact answer over kept tuples + the shadow plan's estimate of
+//     what shedding removed) is delivered at emission time, while the
+//     run is still in flight. (Call TakeResults() after Finish() instead
+//     if you prefer buffered delivery.)
+//  4. Feed timestamped tuples through the engine; the triage queues shed
 //     load when arrivals outrun the (virtual-time) processing capacity.
-//  4. Read per-window composite results: the exact answer over kept
-//     tuples plus the shadow plan's estimate of what shedding removed.
+//  5. Read the run accounting — StatsSnapshot() embeds the obs metrics
+//     registry: per-stream queue high-watermarks and drop causes.
 //
 // Build & run:  ./build/examples/quickstart
 
@@ -44,6 +49,10 @@ int main() {
   config.synopsis.type =
       datatriage::synopsis::SynopsisType::kGridHistogram;
   config.synopsis.grid.cell_width = 4.0;
+  if (datatriage::Status s = config.Validate(); !s.ok()) {
+    std::fprintf(stderr, "config: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   auto engine = ContinuousQueryEngine::Make(scenario->catalog,
                                             scenario->query_sql, config);
@@ -53,23 +62,10 @@ int main() {
     return 1;
   }
 
-  // --- 3. Feed the timeline.
-  for (const datatriage::engine::StreamEvent& event : scenario->events) {
-    datatriage::Status s = (*engine)->Push(event);
-    if (!s.ok()) {
-      std::fprintf(stderr, "push: %s\n", s.ToString().c_str());
-      return 1;
-    }
-  }
-  if (datatriage::Status s = (*engine)->Finish(); !s.ok()) {
-    std::fprintf(stderr, "finish: %s\n", s.ToString().c_str());
-    return 1;
-  }
-
-  // --- 4. Inspect composite results.
+  // --- 3. Streaming results: print each window as it emits.
   std::printf("%6s %6s %8s %22s %22s\n", "window", "kept", "dropped",
               "exact groups (count)", "merged groups (count)");
-  for (const WindowResult& result : (*engine)->TakeResults()) {
+  (*engine)->SetWindowSink([](WindowResult&& result) {
     double exact_total = 0, merged_total = 0;
     for (const datatriage::Tuple& row : result.exact_rows) {
       exact_total += row.value(1).AsDouble();
@@ -83,14 +79,34 @@ int main() {
                 static_cast<long long>(result.dropped_tuples),
                 result.exact_rows.size(), exact_total,
                 result.merged_rows.size(), merged_total);
+  });
+
+  // --- 4. Feed the timeline.
+  for (const datatriage::engine::StreamEvent& event : scenario->events) {
+    datatriage::Status s = (*engine)->Push(event);
+    if (!s.ok()) {
+      std::fprintf(stderr, "push: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (datatriage::Status s = (*engine)->Finish(); !s.ok()) {
+    std::fprintf(stderr, "finish: %s\n", s.ToString().c_str());
+    return 1;
   }
 
-  const datatriage::engine::EngineStats& stats = (*engine)->stats();
+  // --- 5. Run accounting, including the obs registry totals.
+  const datatriage::engine::EngineStatsSnapshot stats =
+      (*engine)->StatsSnapshot();
   std::printf(
       "\ningested %lld tuples: kept %lld, shed %lld "
       "(synopsized and reflected in the merged column)\n",
-      static_cast<long long>(stats.tuples_ingested),
-      static_cast<long long>(stats.tuples_kept),
-      static_cast<long long>(stats.tuples_dropped));
+      static_cast<long long>(stats.core.tuples_ingested),
+      static_cast<long long>(stats.core.tuples_kept),
+      static_cast<long long>(stats.core.tuples_dropped));
+  for (const auto& [name, hwm] : stats.gauge_maxima) {
+    if (name.find(".queue_depth") != std::string::npos) {
+      std::printf("%s high-watermark: %.0f\n", name.c_str(), hwm);
+    }
+  }
   return 0;
 }

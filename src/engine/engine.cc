@@ -1,6 +1,7 @@
 #include "src/engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "src/common/string_util.h"
@@ -12,9 +13,33 @@ namespace datatriage::engine {
 
 using triage::SheddingStrategy;
 
+Status EngineConfig::Validate() const {
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "EngineConfig: queue_capacity must be positive (a zero-slot "
+        "triage queue could never buffer an arrival)");
+  }
+  if (drop_policy == triage::DropPolicyKind::kSynergistic) {
+    if (strategy == SheddingStrategy::kDropOnly) {
+      return Status::InvalidArgument(
+          "EngineConfig: the synergistic drop policy consults the "
+          "dropped-tuple synopses and requires a synopsizing strategy "
+          "(data_triage or summarize_only), not drop_only");
+    }
+    if (synergistic_candidates == 0) {
+      return Status::InvalidArgument(
+          "EngineConfig: synergistic_candidates must be positive (the "
+          "synergistic policy samples that many victim candidates per "
+          "eviction, paper Sec. 8.1)");
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<ContinuousQueryEngine>> ContinuousQueryEngine::Make(
     const Catalog& catalog, const std::string& query_sql,
     EngineConfig config) {
+  DT_RETURN_IF_ERROR(config.Validate());
   DT_ASSIGN_OR_RETURN(sql::Statement statement,
                       sql::ParseStatement(query_sql));
   DT_ASSIGN_OR_RETURN(plan::BoundQuery bound,
@@ -24,6 +49,7 @@ Result<std::unique_ptr<ContinuousQueryEngine>> ContinuousQueryEngine::Make(
 
 Result<std::unique_ptr<ContinuousQueryEngine>> ContinuousQueryEngine::Make(
     const Catalog& catalog, plan::BoundQuery query, EngineConfig config) {
+  DT_RETURN_IF_ERROR(config.Validate());
   DT_ASSIGN_OR_RETURN(rewrite::TriagedQuery triaged,
                       rewrite::RewriteForDataTriage(std::move(query)));
   if (!triaged.plus_is_empty &&
@@ -91,12 +117,8 @@ Status ContinuousQueryEngine::Init(const Catalog& catalog) {
           stream, def.schema, config_.synopsis, window_seconds_);
     }
     if (config_.drop_policy == triage::DropPolicyKind::kSynergistic) {
-      if (state.synopsizer == nullptr) {
-        return Status::InvalidArgument(
-            "the synergistic drop policy consults the dropped-tuple "
-            "synopses and requires a synopsizing strategy (Data Triage "
-            "or summarize-only)");
-      }
+      // EngineConfig::Validate rejected synergistic-without-synopsizer.
+      DT_CHECK(state.synopsizer != nullptr);
       state.coverage_probe = std::make_unique<DroppedCoverageProbe>(
           state.synopsizer.get(), window_seconds_, window_slide_);
       state.queue = std::make_unique<triage::TriageQueue>(
@@ -111,7 +133,56 @@ Status ContinuousQueryEngine::Init(const Catalog& catalog) {
     }
     streams_.emplace(stream, std::move(state));
   }
+  InitInstruments();
   return Status::OK();
+}
+
+void ContinuousQueryEngine::InitInstruments() {
+  ingested_counter_ = metrics_.GetCounter("engine.tuples_ingested");
+  kept_counter_ = metrics_.GetCounter("engine.tuples_kept");
+  dropped_counter_ = metrics_.GetCounter("engine.tuples_dropped");
+  windows_counter_ = metrics_.GetCounter("engine.windows_emitted");
+  exec_scanned_ = metrics_.GetCounter("exec.tuples_scanned");
+  exec_output_ = metrics_.GetCounter("exec.tuples_output");
+  exec_probes_ = metrics_.GetCounter("exec.join_probes");
+  exec_build_inserts_ = metrics_.GetCounter("exec.join_build_inserts");
+  exec_comparisons_ = metrics_.GetCounter("exec.comparisons");
+  shadow_work_ = metrics_.GetCounter("shadow.work_units");
+  // Latency past the emission deadline, in virtual seconds. The floor is
+  // the emission overhead (~2e-4 s); heavy backlog pushes emissions whole
+  // windows late, hence the wide top end.
+  emission_latency_ = metrics_.GetHistogram(
+      "engine.emission_latency_seconds",
+      {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+       1.0, 2.0, 5.0});
+
+  for (auto& [name, state] : streams_) {
+    const std::string prefix = "stream." + name;
+    if (state.queue != nullptr) {
+      triage::QueueInstruments queue_instruments;
+      queue_instruments.depth =
+          metrics_.GetGauge(prefix + ".queue_depth");
+      queue_instruments.policy_evicted =
+          metrics_.GetCounter(prefix + ".dropped.policy_evicted");
+      queue_instruments.force_evicted =
+          metrics_.GetCounter(prefix + ".dropped.force_shed");
+      state.queue->SetInstruments(queue_instruments);
+    }
+    if (state.synopsizer != nullptr) {
+      triage::SynopsizerInstruments synopsizer_instruments;
+      synopsizer_instruments.kept_folded =
+          metrics_.GetCounter(prefix + ".synopsis.kept_folded");
+      synopsizer_instruments.dropped_folded =
+          metrics_.GetCounter(prefix + ".synopsis.dropped_folded");
+      state.synopsizer->SetInstruments(synopsizer_instruments);
+      state.synopsis_build_seconds =
+          metrics_.GetGauge(prefix + ".synopsis.build_seconds");
+    }
+    if (config_.strategy == SheddingStrategy::kSummarizeOnly) {
+      state.summarized_dropped =
+          metrics_.GetCounter(prefix + ".dropped.summarized");
+    }
+  }
 }
 
 Status ContinuousQueryEngine::Push(const StreamEvent& event) {
@@ -124,6 +195,15 @@ Status ContinuousQueryEngine::Push(const StreamEvent& event) {
                             "' is not part of this query");
   }
   const VirtualTime arrival = event.tuple.timestamp();
+  // Reject non-finite timestamps before any state changes: a NaN would
+  // slide past the ordering check below (every comparison is false) and
+  // an infinity would register a window at id ~2^63, hanging Finish —
+  // silent misbehavior either way once the cast to WindowId happens.
+  if (!std::isfinite(arrival)) {
+    return Status::InvalidArgument(StringPrintf(
+        "event timestamp on stream '%s' must be finite (got %g)",
+        event.stream.c_str(), arrival));
+  }
   if (saw_arrival_ && arrival < last_arrival_time_) {
     return Status::InvalidArgument(StringPrintf(
         "events must arrive in timestamp order (%g after %g)", arrival,
@@ -152,15 +232,18 @@ Status ContinuousQueryEngine::Push(const StreamEvent& event) {
 
   StreamState& state = it->second;
   ++stats_.tuples_ingested;
+  ingested_counter_->Add(1);
   if (config_.strategy == SheddingStrategy::kSummarizeOnly) {
     // Summarize-only bypasses the triage queue entirely (paper
     // Sec. 5.2.1): every tuple is folded into the window synopses.
     ++stats_.tuples_dropped;
+    dropped_counter_->Add(1);
+    state.summarized_dropped->Add(1);
     for (WindowId w = std::max(covering.first, next_window_to_emit_);
          w <= covering.last; ++w) {
       DT_RETURN_IF_ERROR(
           state.synopsizer->AddDroppedToWindow(event.tuple, w));
-      ChargeSynopsisTime(config_.cost_model.synopsis_insert_cost);
+      ChargeSynopsisTime(&state, config_.cost_model.synopsis_insert_cost);
       state.dropped_counts[w] += 1;
     }
     return Status::OK();
@@ -175,6 +258,7 @@ Status ContinuousQueryEngine::Push(const StreamEvent& event) {
 Status ContinuousQueryEngine::ShedTuple(StreamState* state,
                                         const Tuple& tuple) {
   ++stats_.tuples_dropped;
+  dropped_counter_->Add(1);
   const WindowSpan pending = PendingWindowsFor(tuple.timestamp());
   for (WindowId w = pending.first; w <= pending.last; ++w) {
     DT_RETURN_IF_ERROR(ShedTupleForWindow(state, tuple, w));
@@ -190,7 +274,7 @@ Status ContinuousQueryEngine::ShedTupleForWindow(StreamState* state,
       config_.strategy == SheddingStrategy::kSummarizeOnly) {
     DT_RETURN_IF_ERROR(
         state->synopsizer->AddDroppedToWindow(tuple, window));
-    ChargeSynopsisTime(config_.cost_model.synopsis_insert_cost);
+    ChargeSynopsisTime(state, config_.cost_model.synopsis_insert_cost);
   }
   // Drop-only: the tuple is discarded; only the count remains.
   return Status::OK();
@@ -222,6 +306,7 @@ Status ContinuousQueryEngine::ProcessOneQueuedTuple() {
   DT_CHECK(best != nullptr);
   Tuple tuple = best->queue->PopFront();
   ++stats_.tuples_kept;
+  kept_counter_->Add(1);
   ChargeExactTime(config_.cost_model.exact_tuple_cost);
   // The tuple becomes a kept tuple of every covering window that has not
   // yet emitted (windows whose deadline already passed counted it as
@@ -232,7 +317,7 @@ Status ContinuousQueryEngine::ProcessOneQueuedTuple() {
       // Data Triage also synopsizes kept tuples so the shadow plan can
       // join dropped data against them (paper Sec. 5.1).
       DT_RETURN_IF_ERROR(best->synopsizer->AddKeptToWindow(tuple, w));
-      ChargeSynopsisTime(config_.cost_model.synopsis_insert_cost);
+      ChargeSynopsisTime(best, config_.cost_model.synopsis_insert_cost);
     }
     // The last covering window takes the tuple by move (the common
     // tumbling-window case copies nothing); earlier sliding windows copy.
@@ -283,6 +368,11 @@ Status ContinuousQueryEngine::EmitWindow(WindowId window) {
   const VirtualTime span_end =
       WindowSpanEnd(window, window_seconds_, window_slide_);
 
+  obs::WindowTraceRecord trace_record;
+  trace_record.window = window;
+  trace_record.deadline = config_.cost_model.EmissionDeadline(
+      window, window_seconds_, window_slide_);
+
   // Account for window tuples the engine did not reach before the
   // deadline. Tuples covering no window after this one are force-shed
   // for good; tuples that also belong to later (sliding) windows count
@@ -291,7 +381,11 @@ Status ContinuousQueryEngine::EmitWindow(WindowId window) {
   const VirtualTime final_cutoff =
       static_cast<double>(window + 1) * window_slide_;
   for (auto& [name, state] : streams_) {
-    for (Tuple& tuple : state.queue->EvictOlderThan(final_cutoff)) {
+    std::vector<Tuple> force_shed =
+        state.queue->EvictOlderThan(final_cutoff);
+    trace_record.force_shed_by_stream[name] =
+        static_cast<int64_t>(force_shed.size());
+    for (Tuple& tuple : force_shed) {
       DT_RETURN_IF_ERROR(ShedTuple(&state, tuple));
     }
     if (window_slide_ < window_seconds_) {
@@ -339,6 +433,13 @@ Status ContinuousQueryEngine::EmitWindow(WindowId window) {
       exec::EvaluatePlan(exact_plan, kept_inputs, &exec_stats));
   ChargeExactTime(static_cast<double>(exec_stats.TotalWork()) *
                   config_.cost_model.exact_work_unit_cost);
+  // Roll this window's executor accounting into the registry.
+  exec_scanned_->Add(exec_stats.tuples_scanned);
+  exec_output_->Add(exec_stats.tuples_output);
+  exec_probes_->Add(exec_stats.join_probes);
+  exec_build_inserts_->Add(exec_stats.join_build_inserts);
+  exec_comparisons_->Add(exec_stats.comparisons);
+  trace_record.exact_work_units = exec_stats.TotalWork();
 
   // Shadow side: evaluate the dropped plan over the window's synopses.
   synopsis::SynopsisPtr shadow_result;
@@ -366,6 +467,8 @@ Status ContinuousQueryEngine::EmitWindow(WindowId window) {
                                     config_.synopsis, &op_stats));
     ChargeSynopsisTime(static_cast<double>(op_stats.work) *
                        config_.cost_model.synopsis_work_unit_cost);
+    shadow_work_->Add(op_stats.work);
+    trace_record.shadow_work_units = op_stats.work;
   }
 
   // Merge (paper Fig. 2): exact rows + estimated lost results.
@@ -446,8 +549,55 @@ Status ContinuousQueryEngine::EmitWindow(WindowId window) {
   engine_time_ += config_.cost_model.emission_overhead;
   result.emit_time = engine_time_;
   ++stats_.windows_emitted;
-  results_.push_back(std::move(result));
+  windows_counter_->Add(1);
+
+  trace_record.emit_time = result.emit_time;
+  trace_record.latency = result.emit_time - trace_record.deadline;
+  trace_record.kept_tuples = result.kept_tuples;
+  trace_record.dropped_tuples = result.dropped_tuples;
+  trace_record.exact_rows = static_cast<int64_t>(result.exact_rows.size());
+  trace_record.merged_rows =
+      static_cast<int64_t>(result.merged_rows.size());
+  emission_latency_->Observe(trace_record.latency);
+  trace_.Record(std::move(trace_record));
+
+  DeliverResult(std::move(result));
   return Status::OK();
+}
+
+void ContinuousQueryEngine::DeliverResult(WindowResult&& result) {
+  if (sink_) {
+    sink_(std::move(result));
+  } else {
+    results_.push_back(std::move(result));
+  }
+}
+
+void ContinuousQueryEngine::SetWindowSink(WindowSink sink) {
+  sink_ = std::move(sink);
+  if (!sink_) return;
+  // Flush anything buffered before the sink existed so the sink sees the
+  // same windows, in the same order, as TakeResults() would have.
+  std::vector<WindowResult> buffered = std::move(results_);
+  results_.clear();
+  for (WindowResult& result : buffered) {
+    sink_(std::move(result));
+  }
+}
+
+EngineStatsSnapshot ContinuousQueryEngine::StatsSnapshot() const {
+  EngineStatsSnapshot snapshot;
+  snapshot.core = stats_;
+  // Mid-run snapshots report the clock as of now; Finish pins the final
+  // value into stats_ and the two then agree.
+  snapshot.core.final_engine_time = engine_time_;
+  snapshot.counters = metrics_.CounterTotals();
+  metrics_.ForEachGauge(
+      [&snapshot](const std::string& name, const obs::Gauge& gauge) {
+        snapshot.gauges.emplace(name, gauge.value());
+      });
+  snapshot.gauge_maxima = metrics_.GaugeMaxima();
+  return snapshot;
 }
 
 Status ContinuousQueryEngine::Finish() {

@@ -1,6 +1,7 @@
 #ifndef DATATRIAGE_ENGINE_ENGINE_H_
 #define DATATRIAGE_ENGINE_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,6 +12,8 @@
 #include "src/engine/cost_model.h"
 #include "src/engine/merge.h"
 #include "src/engine/window_result.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rewrite/data_triage_rewrite.h"
 #include "src/synopsis/factory.h"
 #include "src/triage/drop_policy.h"
@@ -34,6 +37,14 @@ struct EngineConfig {
   CostModel cost_model;
   /// Seed for the drop policies (one forked Rng per stream queue).
   uint64_t seed = 1;
+
+  /// Checks the config's internal invariants, returning a specific error
+  /// for the first violation found: a zero queue_capacity, the
+  /// synergistic drop policy without a synopsizing strategy, or a zero
+  /// synergistic candidate-sample size. Both Make() overloads call this
+  /// before constructing an engine; call it directly to validate
+  /// user-supplied configs up front.
+  Status Validate() const;
 };
 
 /// One tuple arriving on a named stream; the tuple's timestamp is its
@@ -74,16 +85,45 @@ class ContinuousQueryEngine {
   ContinuousQueryEngine(const ContinuousQueryEngine&) = delete;
   ContinuousQueryEngine& operator=(const ContinuousQueryEngine&) = delete;
 
-  /// Delivers one arrival. Events must have non-decreasing timestamps.
+  /// Delivers one arrival. Events must have finite, non-decreasing
+  /// timestamps; violations return InvalidArgument and leave the engine
+  /// state untouched (the offending event is not ingested).
   Status Push(const StreamEvent& event);
 
-  /// Drains queues and emits every remaining window.
+  /// Drains queues and emits every remaining window (through the window
+  /// sink when one is set).
   Status Finish();
 
-  /// Moves out the results emitted so far (in window order).
+  /// Moves out the results emitted so far (in window order). Empty when a
+  /// window sink is installed — the sink already consumed them.
   std::vector<WindowResult> TakeResults();
 
-  const EngineStats& stats() const { return stats_; }
+  /// Streaming results API: `sink` is invoked once per window, at
+  /// emission time on the engine's virtual clock, in window order —
+  /// exactly the windows (content and order) that TakeResults() would
+  /// have buffered. Results already buffered when the sink is installed
+  /// are flushed through it immediately. Pass nullptr to return to
+  /// buffered delivery.
+  using WindowSink = std::function<void(WindowResult&&)>;
+  void SetWindowSink(WindowSink sink);
+
+  /// Copies the run accounting plus the obs registry totals (counters
+  /// and gauge high-watermarks) into one value.
+  EngineStatsSnapshot StatsSnapshot() const;
+
+  /// Deprecated: live reference into the engine; prefer StatsSnapshot(),
+  /// which is a value and also embeds the per-stream obs totals. Kept as
+  /// a thin wrapper for one release.
+  [[deprecated("use StatsSnapshot()")]] const EngineStats& stats() const {
+    return stats_;
+  }
+
+  /// Engine-local metrics registry (counters/gauges/histograms), updated
+  /// while a run is in flight. See DESIGN.md Sec. 9.2 for the names.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Per-window emission trace, in emission order.
+  const obs::WindowTraceRecorder& trace() const { return trace_; }
   const rewrite::TriagedQuery& triaged_query() const { return triaged_; }
   /// Window range (span length).
   VirtualDuration window_seconds() const { return window_seconds_; }
@@ -127,6 +167,9 @@ class ContinuousQueryEngine {
     /// Kept tuples per open window.
     std::map<WindowId, exec::Relation> kept_buffers;
     std::map<WindowId, int64_t> dropped_counts;
+    /// Obs hooks, resolved once at Init (owned by metrics_).
+    obs::Counter* summarized_dropped = nullptr;
+    obs::Gauge* synopsis_build_seconds = nullptr;
   };
 
   ContinuousQueryEngine(rewrite::TriagedQuery triaged,
@@ -160,9 +203,23 @@ class ContinuousQueryEngine {
 
   Status EmitWindow(WindowId window);
 
+  /// Hands a finished window to the sink (when set) or the result buffer.
+  void DeliverResult(WindowResult&& result);
+
+  /// Resolves the engine-level and per-stream instruments from metrics_
+  /// and attaches the queue/synopsizer hooks. Called once from Init.
+  void InitInstruments();
+
   void ChargeSynopsisTime(double seconds) {
     engine_time_ += seconds;
     stats_.synopsis_work_seconds += seconds;
+  }
+  /// Per-stream variant: also gauges the stream's synopsis build time.
+  void ChargeSynopsisTime(StreamState* state, double seconds) {
+    ChargeSynopsisTime(seconds);
+    if (state->synopsis_build_seconds != nullptr) {
+      state->synopsis_build_seconds->Add(seconds);
+    }
   }
   void ChargeExactTime(double seconds) {
     engine_time_ += seconds;
@@ -184,8 +241,25 @@ class ContinuousQueryEngine {
   WindowId last_window_seen_ = -1;
 
   std::vector<WindowResult> results_;
+  WindowSink sink_;
   EngineStats stats_;
   bool finished_ = false;
+
+  // --- Observability (src/obs/). The registry owns every metric; the
+  // pointers below are hot-path handles resolved once in Init.
+  obs::MetricsRegistry metrics_;
+  obs::WindowTraceRecorder trace_;
+  obs::Counter* ingested_counter_ = nullptr;
+  obs::Counter* kept_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* windows_counter_ = nullptr;
+  obs::Counter* exec_scanned_ = nullptr;
+  obs::Counter* exec_output_ = nullptr;
+  obs::Counter* exec_probes_ = nullptr;
+  obs::Counter* exec_build_inserts_ = nullptr;
+  obs::Counter* exec_comparisons_ = nullptr;
+  obs::Counter* shadow_work_ = nullptr;
+  obs::Histogram* emission_latency_ = nullptr;
 };
 
 }  // namespace datatriage::engine

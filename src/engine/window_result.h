@@ -2,6 +2,8 @@
 #define DATATRIAGE_ENGINE_WINDOW_RESULT_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "src/common/virtual_time.h"
 #include "src/exec/relation.h"
@@ -51,6 +53,20 @@ struct EngineStats {
   double synopsis_work_seconds = 0.0;
   /// Engine clock at the end of the run.
   VirtualTime final_engine_time = 0.0;
+};
+
+/// Point-in-time copy of the engine's accounting, safe to hold after the
+/// engine is gone. `core` carries the legacy EngineStats fields; the maps
+/// embed the obs registry totals (metric name -> value), e.g.
+/// "stream.r.queue_depth" in `gauge_maxima` is stream r's queue-depth
+/// high-watermark. Returned by ContinuousQueryEngine::StatsSnapshot().
+struct EngineStatsSnapshot {
+  EngineStats core;
+  /// Every registry counter's total (DESIGN.md Sec. 9.2 names them).
+  std::map<std::string, int64_t> counters;
+  /// Every registry gauge's current value / high-watermark.
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> gauge_maxima;
 };
 
 }  // namespace datatriage::engine

@@ -1,0 +1,46 @@
+#ifndef DATATRIAGE_OBS_EXPORT_H_
+#define DATATRIAGE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace datatriage::obs {
+
+/// Renders a registry (and optionally a per-window trace) as JSON with a
+/// stable schema (DESIGN.md Sec. 9.3):
+///
+///   {
+///     "schema_version": 1,
+///     "counters":   { "<name>": <int>, ... },
+///     "gauges":     { "<name>": {"value": <num>, "max": <num>}, ... },
+///     "histograms": { "<name>": {"count": <int>, "sum": <num>,
+///                                "min": <num>, "max": <num>,
+///                                "buckets": [{"le": <num>|"+inf",
+///                                             "count": <int>}, ...]},
+///                     ... },
+///     "windows":    [ {"window": <int>, "deadline": <num>,
+///                      "emit_time": <num>, "latency": <num>,
+///                      "kept": <int>, "dropped": <int>,
+///                      "force_shed": {"<stream>": <int>, ...},
+///                      "exact_rows": <int>, "merged_rows": <int>,
+///                      "exact_work_units": <int>,
+///                      "shadow_work_units": <int>}, ... ]
+///   }
+///
+/// Metric names are sorted and doubles use shortest round-trip
+/// formatting, so two runs with identical metrics produce byte-identical
+/// JSON. Pass trace == nullptr to omit the "windows" array.
+std::string MetricsJson(const MetricsRegistry& registry,
+                        const WindowTraceRecorder* trace);
+
+/// Writes MetricsJson(...) to `path`, overwriting any existing file.
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const WindowTraceRecorder* trace,
+                        const std::string& path);
+
+}  // namespace datatriage::obs
+
+#endif  // DATATRIAGE_OBS_EXPORT_H_

@@ -1,0 +1,94 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace datatriage::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      bucket_counts_(upper_bounds_.size() + 1, 0) {
+  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
+    DT_CHECK(upper_bounds_[i - 1] < upper_bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+}
+
+void Histogram::Observe(double value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  const auto it = std::lower_bound(upper_bounds_.begin(),
+                                   upper_bounds_.end(), value);
+  ++bucket_counts_[static_cast<size_t>(it - upper_bounds_.begin())];
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter()).first;
+  }
+  return &it->second;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge()).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    std::string_view name, std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  } else {
+    DT_CHECK(it->second->upper_bounds() == upper_bounds)
+        << "histogram '" << std::string(name)
+        << "' re-registered with different bounds";
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(const std::string&, const Counter&)>& fn)
+    const {
+  for (const auto& [name, counter] : counters_) fn(name, counter);
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn)
+    const {
+  for (const auto& [name, gauge] : gauges_) fn(name, gauge);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  for (const auto& [name, histogram] : histograms_) fn(name, *histogram);
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterTotals() const {
+  std::map<std::string, int64_t> totals;
+  for (const auto& [name, counter] : counters_) {
+    totals.emplace(name, counter.value());
+  }
+  return totals;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeMaxima() const {
+  std::map<std::string, double> maxima;
+  for (const auto& [name, gauge] : gauges_) {
+    maxima.emplace(name, gauge.max());
+  }
+  return maxima;
+}
+
+}  // namespace datatriage::obs

@@ -1,0 +1,123 @@
+#ifndef DATATRIAGE_OBS_METRICS_H_
+#define DATATRIAGE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datatriage::obs {
+
+/// Monotonically increasing event count (tuples dropped, windows emitted,
+/// work units charged, ...).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, accumulated virtual seconds). The
+/// gauge remembers its high-watermark: `max()` is the largest value ever
+/// set, which is how the engine reports queue-depth high-watermarks.
+class Gauge {
+ public:
+  void Set(double value) {
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+  void Add(double delta) { Set(value_ + delta); }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are chosen at registration
+/// and never change, so exports are schema-stable across runs. An implicit
+/// overflow bucket catches observations above the last bound.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; bucket i counts
+  /// observations v with v <= upper_bounds[i] (first matching bucket).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Smallest / largest observation; 0 when count() == 0.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// bucket_counts().size() == upper_bounds().size() + 1; the final entry
+  /// is the overflow bucket.
+  const std::vector<int64_t>& bucket_counts() const {
+    return bucket_counts_;
+  }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<int64_t> bucket_counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named metrics registry. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime, so hot paths
+/// resolve names once and then touch plain counters. Iteration is in
+/// lexicographic name order, which keeps exports deterministic.
+///
+/// The registry is engine-local and driven entirely by the engine's
+/// virtual clock — it never reads wall-clock time, so identical runs
+/// produce identical metrics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// The bounds of an existing histogram win; callers re-registering a
+  /// name must pass identical bounds (checked).
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds);
+
+  void ForEachCounter(
+      const std::function<void(const std::string&, const Counter&)>& fn)
+      const;
+  void ForEachGauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn)
+      const;
+  void ForEachHistogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+
+  /// Snapshot of every counter, keyed by name.
+  std::map<std::string, int64_t> CounterTotals() const;
+  /// Snapshot of every gauge's high-watermark, keyed by name.
+  std::map<std::string, double> GaugeMaxima() const;
+
+ private:
+  // std::map: stable nodes (pointer validity) + ordered iteration
+  // (deterministic export).
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace datatriage::obs
+
+#endif  // DATATRIAGE_OBS_METRICS_H_

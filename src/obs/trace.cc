@@ -1,0 +1,13 @@
+#include "src/obs/trace.h"
+
+namespace datatriage::obs {
+
+void WindowTraceRecorder::Record(WindowTraceRecord record) {
+  ++total_recorded_;
+  if (capacity_ > 0 && records_.size() >= capacity_) {
+    records_.erase(records_.begin());
+  }
+  records_.push_back(std::move(record));
+}
+
+}  // namespace datatriage::obs

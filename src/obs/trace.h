@@ -1,0 +1,66 @@
+#ifndef DATATRIAGE_OBS_TRACE_H_
+#define DATATRIAGE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/virtual_time.h"
+
+namespace datatriage::obs {
+
+/// One window emission, as seen from the engine's virtual clock. Together
+/// the records of a run form the queue/drop/latency timeseries that an
+/// adaptive controller (or a BENCH_*.json diff) consumes.
+struct WindowTraceRecord {
+  WindowId window = 0;
+  /// The window's emission deadline (span end + latency budget).
+  VirtualTime deadline = 0.0;
+  /// Virtual time at which the result left the engine.
+  VirtualTime emit_time = 0.0;
+  /// emit_time - deadline: how far past its budget the window emitted.
+  double latency = 0.0;
+
+  int64_t kept_tuples = 0;
+  int64_t dropped_tuples = 0;
+  /// Queued window tuples the deadline force-shed, per stream (a subset
+  /// of dropped_tuples; the rest were policy evictions or summarize-only
+  /// bypass).
+  std::map<std::string, int64_t> force_shed_by_stream;
+
+  int64_t exact_rows = 0;
+  int64_t merged_rows = 0;
+  /// ExecStats::TotalWork of the exact plan for this window.
+  int64_t exact_work_units = 0;
+  /// OpStats::work of the shadow plan for this window (0 under drop-only).
+  int64_t shadow_work_units = 0;
+};
+
+/// Append-only log of per-window trace records, in emission order.
+/// Recording is O(1) amortized and allocation-light; a production
+/// deployment would cap or down-sample it, which `set_capacity` models:
+/// once `capacity` records exist, the oldest are discarded (the counters
+/// in MetricsRegistry keep whole-run totals regardless).
+class WindowTraceRecorder {
+ public:
+  void Record(WindowTraceRecord record);
+
+  const std::vector<WindowTraceRecord>& records() const {
+    return records_;
+  }
+  /// Total records ever recorded (>= records().size() once capped).
+  int64_t total_recorded() const { return total_recorded_; }
+
+  /// 0 (the default) means unbounded.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+ private:
+  std::vector<WindowTraceRecord> records_;
+  size_t capacity_ = 0;
+  int64_t total_recorded_ = 0;
+};
+
+}  // namespace datatriage::obs
+
+#endif  // DATATRIAGE_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "src/triage/synopsizer.h"
 
+#include "src/obs/metrics.h"
+
 namespace datatriage::triage {
 
 WindowSynopsizer::WindowSynopsizer(std::string stream, Schema schema,
@@ -41,6 +43,9 @@ Status WindowSynopsizer::AddDroppedToWindow(const Tuple& tuple,
   }
   window.dropped->Insert(tuple);
   ++window.dropped_count;
+  if (instruments_.dropped_folded != nullptr) {
+    instruments_.dropped_folded->Add(1);
+  }
   return Status::OK();
 }
 
@@ -53,6 +58,9 @@ Status WindowSynopsizer::AddKeptToWindow(const Tuple& tuple,
   }
   window.kept->Insert(tuple);
   ++window.kept_count;
+  if (instruments_.kept_folded != nullptr) {
+    instruments_.kept_folded->Add(1);
+  }
   return Status::OK();
 }
 

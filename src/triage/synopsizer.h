@@ -8,7 +8,20 @@
 #include "src/common/virtual_time.h"
 #include "src/synopsis/factory.h"
 
+namespace datatriage::obs {
+class Counter;
+}  // namespace datatriage::obs
+
 namespace datatriage::triage {
+
+/// Optional observability hooks (src/obs/): tuples folded into the
+/// kept/dropped window synopses. Null members are skipped. The virtual
+/// build-time cost lives with the engine, which charges it (see
+/// CostModel::synopsis_insert_cost) and gauges it per stream.
+struct SynopsizerInstruments {
+  obs::Counter* kept_folded = nullptr;
+  obs::Counter* dropped_folded = nullptr;
+};
 
 /// Per-stream builder of the auxiliary synopsis streams of paper Sec. 5.1:
 /// one kept-tuple synopsis and one dropped-tuple synopsis per time window
@@ -59,6 +72,12 @@ class WindowSynopsizer {
   const std::string& stream() const { return stream_; }
   VirtualDuration window_seconds() const { return window_seconds_; }
 
+  /// Attaches metrics hooks; the pointed-to instruments must outlive the
+  /// synopsizer.
+  void SetInstruments(SynopsizerInstruments instruments) {
+    instruments_ = instruments;
+  }
+
  private:
   struct PerWindow {
     synopsis::SynopsisPtr kept;
@@ -75,6 +94,7 @@ class WindowSynopsizer {
 
   std::string stream_;
   Schema schema_;
+  SynopsizerInstruments instruments_;
   synopsis::SynopsisConfig config_;
   VirtualDuration window_seconds_;
   std::map<WindowId, PerWindow> windows_;

@@ -1,6 +1,7 @@
 #include "src/triage/triage_queue.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace datatriage::triage {
 
@@ -14,12 +15,19 @@ TriageQueue::TriageQueue(size_t capacity,
 std::optional<Tuple> TriageQueue::Push(Tuple tuple) {
   ++total_pushed_;
   queue_.push_back(std::move(tuple));
-  if (queue_.size() <= capacity_) return std::nullopt;
+  if (queue_.size() <= capacity_) {
+    UpdateDepthGauge();
+    return std::nullopt;
+  }
   const size_t victim_index = policy_->ChooseVictim(queue_);
   DT_CHECK_LT(victim_index, queue_.size());
   Tuple victim = std::move(queue_[victim_index]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim_index));
   ++total_dropped_;
+  if (instruments_.policy_evicted != nullptr) {
+    instruments_.policy_evicted->Add(1);
+  }
+  UpdateDepthGauge();
   return victim;
 }
 
@@ -33,6 +41,7 @@ Tuple TriageQueue::PopFront() {
   Tuple front = std::move(queue_.front());
   queue_.pop_front();
   ++total_popped_;
+  UpdateDepthGauge();
   return front;
 }
 
@@ -55,7 +64,23 @@ std::vector<Tuple> TriageQueue::EvictIf(
       ++it;
     }
   }
+  if (instruments_.force_evicted != nullptr && !evicted.empty()) {
+    instruments_.force_evicted->Add(
+        static_cast<int64_t>(evicted.size()));
+  }
+  UpdateDepthGauge();
   return evicted;
+}
+
+void TriageQueue::SetInstruments(QueueInstruments instruments) {
+  instruments_ = instruments;
+  UpdateDepthGauge();
+}
+
+void TriageQueue::UpdateDepthGauge() {
+  if (instruments_.depth != nullptr) {
+    instruments_.depth->Set(static_cast<double>(queue_.size()));
+  }
 }
 
 void TriageQueue::ForEach(

@@ -10,7 +10,23 @@
 #include "src/common/virtual_time.h"
 #include "src/triage/drop_policy.h"
 
+namespace datatriage::obs {
+class Counter;
+class Gauge;
+}  // namespace datatriage::obs
+
 namespace datatriage::triage {
+
+/// Optional observability hooks (src/obs/). Null members are skipped, so
+/// an uninstrumented queue pays one branch per operation. The queue
+/// distinguishes drop causes at the source: `policy_evicted` counts
+/// victims the drop policy chose on overflow, `force_evicted` counts
+/// tuples evicted by deadline (EvictOlderThan / EvictIf).
+struct QueueInstruments {
+  obs::Gauge* depth = nullptr;  // current depth; its max() is the HWM
+  obs::Counter* policy_evicted = nullptr;
+  obs::Counter* force_evicted = nullptr;
+};
 
 /// The bounded buffer between a data source and the query engine
 /// (paper Fig. 1). Sources push; the engine pops in FIFO order. When the
@@ -51,14 +67,21 @@ class TriageQueue {
   /// Visits every buffered tuple without removing it.
   void ForEach(const std::function<void(const Tuple&)>& visit) const;
 
+  /// Attaches metrics hooks; the pointed-to instruments must outlive the
+  /// queue. Passing default-constructed instruments detaches.
+  void SetInstruments(QueueInstruments instruments);
+
   // Lifetime counters.
   int64_t total_pushed() const { return total_pushed_; }
   int64_t total_dropped() const { return total_dropped_; }
   int64_t total_popped() const { return total_popped_; }
 
  private:
+  void UpdateDepthGauge();
+
   size_t capacity_;
   std::unique_ptr<DropPolicy> policy_;
+  QueueInstruments instruments_;
   std::deque<Tuple> queue_;
   int64_t total_pushed_ = 0;
   int64_t total_dropped_ = 0;

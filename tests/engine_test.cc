@@ -41,7 +41,7 @@ RunOutput MustRun(const Catalog& catalog, const std::string& sql,
   DT_CHECK(s.ok()) << s.ToString();
   RunOutput out;
   out.results = (*engine)->TakeResults();
-  out.stats = (*engine)->stats();
+  out.stats = (*engine)->StatsSnapshot().core;
   return out;
 }
 

@@ -148,7 +148,7 @@ TEST(IntegrationTest, ExactSynopsisMakesDataTriageLossless) {
     ASSERT_TRUE((*engine)->Push(e).ok());
   }
   ASSERT_TRUE((*engine)->Finish().ok());
-  EXPECT_GT((*engine)->stats().tuples_dropped, 0);
+  EXPECT_GT((*engine)->StatsSnapshot().core.tuples_dropped, 0);
   std::vector<engine::WindowResult> results = (*engine)->TakeResults();
 
   auto stmt = sql::ParseStatement(scenario.query_sql);

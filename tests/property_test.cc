@@ -199,7 +199,7 @@ TEST_P(PropertyTest, EngineConservesTuplesAcrossStrategies) {
       ASSERT_TRUE((*engine)->Push(e).ok());
     }
     ASSERT_TRUE((*engine)->Finish().ok());
-    const engine::EngineStats& stats = (*engine)->stats();
+    const engine::EngineStats stats = (*engine)->StatsSnapshot().core;
     EXPECT_EQ(stats.tuples_ingested,
               stats.tuples_kept + stats.tuples_dropped)
         << triage::SheddingStrategyToString(strategy);

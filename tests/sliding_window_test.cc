@@ -131,7 +131,7 @@ RunOutput MustRun(const Catalog& catalog, const std::string& sql,
   DT_CHECK((*engine)->Finish().ok());
   RunOutput out;
   out.results = (*engine)->TakeResults();
-  out.stats = (*engine)->stats();
+  out.stats = (*engine)->StatsSnapshot().core;
   return out;
 }
 
