@@ -23,6 +23,7 @@
 #include "src/common/random.h"
 #include "src/exec/evaluator.h"
 #include "src/plan/logical_plan.h"
+#include "src/server/stream_server.h"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every global operator new bumps a counter so each
@@ -402,6 +403,65 @@ void Run() {
       auto result = exec::EvaluatePlan(plan, inputs);
       DT_CHECK(result.ok());
       return result->size();
+    });
+    DT_CHECK_EQ(c.legacy.result_rows, c.current.result_rows);
+    cases.push_back(std::move(c));
+  }
+
+  // --- Ingest boundary: name-keyed StreamEvent pushes (a heap string +
+  // name lookup per event — the only API before stream interning) vs
+  // pre-interned Push(StreamId, Tuple). The stream name is longer than
+  // SSO so the legacy column pays the allocation the id path removes;
+  // both sides share one trivial drop-only query so triage work cancels
+  // out. ---
+  {
+    const std::string stream_name = "network_packets_inbound";
+    Schema schema({{"a", FieldType::kInt64}});
+    Catalog catalog;
+    DT_CHECK(catalog.RegisterStream({stream_name, schema}).ok());
+    const std::string sql =
+        "SELECT a, COUNT(*) as count FROM " + stream_name +
+        " GROUP BY a; WINDOW " + stream_name + "['1 second'];";
+    engine::EngineConfig config;
+    config.strategy = triage::SheddingStrategy::kDropOnly;
+
+    auto make_server = [&] {
+      auto server = std::make_unique<server::StreamServer>(catalog);
+      auto id = server->RegisterQuery(sql, config);
+      DT_CHECK(id.ok()) << id.status().ToString();
+      // Discard windows as they emit so a long run stays flat.
+      server->session(*id).SetWindowSink([](engine::WindowResult&&) {});
+      return server;
+    };
+    auto by_name = make_server();
+    auto by_id = make_server();
+    auto interned = by_id->InternStream(stream_name);
+    DT_CHECK(interned.ok());
+
+    constexpr size_t kBatch = 256;
+    constexpr double kDt = 0.01;  // 100 tuples/s: no shedding, pure path
+    std::vector<Value> row{Value::Int64(7)};
+    double name_ts = 0.0, id_ts = 0.0;
+
+    Case c;
+    c.name = "ingest_event_route";
+    c.tuples_per_op = kBatch;
+    c.legacy = Measure([&] {
+      for (size_t i = 0; i < kBatch; ++i) {
+        name_ts += kDt;
+        DT_CHECK(by_name
+                     ->Push(engine::StreamEvent{stream_name,
+                                                Tuple(row, name_ts)})
+                     .ok());
+      }
+      return kBatch;
+    });
+    c.current = Measure([&] {
+      for (size_t i = 0; i < kBatch; ++i) {
+        id_ts += kDt;
+        DT_CHECK(by_id->Push(*interned, Tuple(row, id_ts)).ok());
+      }
+      return kBatch;
     });
     DT_CHECK_EQ(c.legacy.result_rows, c.current.result_rows);
     cases.push_back(std::move(c));

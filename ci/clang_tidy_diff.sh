@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (checks from .clang-tidy: bugprone-*, performance-*)
+# over the engine and server layers and fails only on warnings that are
+# NEW relative to a base revision — pre-existing findings are
+# grandfathered so the gate can be adopted without a cleanup PR.
+#
+# Usage: ci/clang_tidy_diff.sh [base-rev]
+#   base-rev  revision to diff against (default: merge-base with
+#             origin/main; when absent or equal to HEAD, every warning
+#             is reported but none fail the build).
+#
+# Requires: clang-tidy, cmake, git. Each tree is configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON; warnings are normalized to
+# "file [check] message" (no line/column) so unrelated edits that shift
+# lines do not resurrect grandfathered findings.
+set -euo pipefail
+
+REPO_ROOT="$(git rev-parse --show-toplevel)"
+cd "${REPO_ROOT}"
+
+TIDY_TARGETS="src/engine src/server"
+
+# Emits normalized warnings for the tree rooted at $1 to stdout.
+run_tidy() {
+  local tree="$1"
+  local build="${tree}/build-tidy"
+  cmake -B "${build}" -S "${tree}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  local sources=()
+  for dir in ${TIDY_TARGETS}; do
+    [ -d "${tree}/${dir}" ] || continue
+    while IFS= read -r f; do sources+=("$f"); done \
+      < <(find "${tree}/${dir}" -name '*.cc' | sort)
+  done
+  [ "${#sources[@]}" -gt 0 ] || return 0
+  # clang-tidy exits nonzero when it finds warnings; the diff decides
+  # pass/fail, so swallow the exit code but not crashes (grep below).
+  clang-tidy -p "${build}" "${sources[@]}" 2>/dev/null |
+    grep -E 'warning: .* \[[a-z0-9.,-]+\]$' |
+    sed -E "s|^${tree}/||; s|:[0-9]+:[0-9]+: warning: | |" |
+    sort -u
+}
+
+echo "clang-tidy (head): ${TIDY_TARGETS}"
+HEAD_WARNINGS="$(run_tidy "${REPO_ROOT}")"
+
+BASE_REV="${1:-$(git merge-base HEAD origin/main 2>/dev/null || true)}"
+if [ -z "${BASE_REV}" ] || \
+   [ "$(git rev-parse "${BASE_REV}")" = "$(git rev-parse HEAD)" ]; then
+  echo "no distinct base revision; reporting without failing:"
+  printf '%s\n' "${HEAD_WARNINGS:-  (no warnings)}"
+  exit 0
+fi
+
+BASE_TREE="$(mktemp -d)"
+trap 'git worktree remove --force "${BASE_TREE}" 2>/dev/null || true; \
+      rm -rf "${BASE_TREE}"' EXIT
+git worktree add --detach "${BASE_TREE}" "${BASE_REV}" >/dev/null
+# Judge both trees by the head's check set, or a base predating
+# .clang-tidy would be measured against clang-tidy's defaults.
+cp "${REPO_ROOT}/.clang-tidy" "${BASE_TREE}/.clang-tidy"
+echo "clang-tidy (base ${BASE_REV}): ${TIDY_TARGETS}"
+BASE_WARNINGS="$(run_tidy "${BASE_TREE}")"
+
+NEW_WARNINGS="$(comm -13 <(printf '%s\n' "${BASE_WARNINGS}") \
+                         <(printf '%s\n' "${HEAD_WARNINGS}"))"
+if [ -n "${NEW_WARNINGS}" ]; then
+  echo "new clang-tidy warnings (not present at ${BASE_REV}):"
+  printf '%s\n' "${NEW_WARNINGS}"
+  exit 1
+fi
+echo "no new clang-tidy warnings"

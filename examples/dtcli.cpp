@@ -1,14 +1,24 @@
-// dtcli — run a Data Triage continuous query over a CSV event file.
+// dtcli — run Data Triage continuous queries over a CSV event file.
 //
 //   dtcli [options] <script.sql> <events.csv>
 //
-// The SQL script contains CREATE STREAM statements followed by exactly
-// one continuous query. The events file has one arrival per line:
-// `stream,timestamp,v1,v2,...` (see src/io/csv.h). Per-window results are
-// written to stdout as CSV, with one `exact` row per exact result tuple
-// and one `merged` row per composite (exact + estimated) tuple.
+// The SQL script contains CREATE STREAM statements followed by any
+// number of continuous queries; more queries can be added with repeated
+// --query flags. All queries (at least one, counting both sources) run
+// together on one StreamServer over a single pass of the event feed.
+// The events file has one arrival per line: `stream,timestamp,v1,v2,...`
+// (see src/io/csv.h). Per-window results are written to stdout as CSV,
+// with one `exact` row per exact result tuple and one `merged` row per
+// composite (exact + estimated) tuple.
+//
+// With one query, output/--stats/--metrics-json keep the legacy
+// single-engine format exactly. With several, stdout carries one
+// `# query <i>` section per session, --stats lines are scoped
+// with the `session.<i>.` metric prefix (DESIGN.md Sec. 10), and
+// --metrics-json writes the combined StreamServer export.
 //
 // Options:
+//   --query=SQL         add a continuous query (repeatable)
 //   --strategy=data_triage|drop_only|summarize_only   (default data_triage)
 //   --synopsis=grid|mhist|aligned_mhist|reservoir|exact (default grid)
 //   --cell-width=W      grid cell width            (default 4)
@@ -36,6 +46,7 @@
 #include "src/io/csv.h"
 #include "src/obs/export.h"
 #include "src/rewrite/sql_emitter.h"
+#include "src/server/stream_server.h"
 #include "src/sql/parser.h"
 
 namespace {
@@ -66,11 +77,16 @@ int main(int argc, char** argv) {
   std::string metrics_json_path;
   bool show_rewrite = false, print_stats = false, sort_events = false;
   std::vector<std::string> positional;
+  std::vector<std::string> query_flags;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
-    if (ConsumeFlag(arg, "strategy", &value)) {
+    if (ConsumeFlag(arg, "query", &value)) {
+      query_flags.push_back(value);
+    } else if (arg == "--query" && i + 1 < argc) {
+      query_flags.push_back(argv[++i]);
+    } else if (ConsumeFlag(arg, "strategy", &value)) {
       auto strategy = datatriage::triage::SheddingStrategyFromString(value);
       if (!strategy.ok()) return Fail(strategy.status().ToString());
       config.strategy = strategy.value();
@@ -140,14 +156,15 @@ int main(int argc, char** argv) {
     return Fail("usage: dtcli [options] <script.sql> <events.csv>");
   }
 
-  // --- Load and split the script: CREATE STREAMs + one query.
+  // --- Load and split the script: CREATE STREAMs + queries, then any
+  // --query flags (session ids follow that order).
   auto script_text = datatriage::io::ReadFileToString(positional[0]);
   if (!script_text.ok()) return Fail(script_text.status().ToString());
   auto statements = datatriage::sql::ParseScript(*script_text);
   if (!statements.ok()) return Fail(statements.status().ToString());
 
   Catalog catalog;
-  const datatriage::sql::Statement* query_statement = nullptr;
+  std::vector<const datatriage::sql::Statement*> query_statements;
   for (const datatriage::sql::Statement& statement : *statements) {
     if (statement.kind ==
         datatriage::sql::Statement::Kind::kCreateStream) {
@@ -164,26 +181,45 @@ int main(int argc, char** argv) {
         return Fail(s.ToString());
       }
     } else {
-      if (query_statement != nullptr) {
-        return Fail("script must contain exactly one query");
-      }
-      query_statement = &statement;
+      query_statements.push_back(&statement);
     }
   }
-  if (query_statement == nullptr) {
-    return Fail("script contains no query");
+
+  std::vector<datatriage::sql::Statement> flag_statements;
+  flag_statements.reserve(query_flags.size());
+  for (const std::string& sql : query_flags) {
+    auto statement = datatriage::sql::ParseStatement(sql);
+    if (!statement.ok()) return Fail(statement.status().ToString());
+    flag_statements.push_back(std::move(statement).value());
   }
-  auto bound = datatriage::plan::BindStatement(*query_statement, catalog);
-  if (!bound.ok()) return Fail(bound.status().ToString());
+  for (const datatriage::sql::Statement& statement : flag_statements) {
+    query_statements.push_back(&statement);
+  }
+  if (query_statements.empty()) {
+    return Fail("no query: the script has none and no --query was given");
+  }
+
+  std::vector<datatriage::plan::BoundQuery> bound_queries;
+  for (const datatriage::sql::Statement* statement : query_statements) {
+    auto bound = datatriage::plan::BindStatement(*statement, catalog);
+    if (!bound.ok()) return Fail(bound.status().ToString());
+    bound_queries.push_back(std::move(bound).value());
+  }
+  const size_t num_queries = bound_queries.size();
 
   if (show_rewrite) {
-    auto triaged =
-        datatriage::rewrite::RewriteForDataTriage(std::move(bound).value());
-    if (!triaged.ok()) return Fail(triaged.status().ToString());
-    auto script = datatriage::rewrite::EmitRewrittenScript(catalog,
-                                                           *triaged);
-    if (!script.ok()) return Fail(script.status().ToString());
-    std::printf("%s", script->c_str());
+    for (size_t i = 0; i < num_queries; ++i) {
+      auto triaged = datatriage::rewrite::RewriteForDataTriage(
+          std::move(bound_queries[i]));
+      if (!triaged.ok()) return Fail(triaged.status().ToString());
+      auto script = datatriage::rewrite::EmitRewrittenScript(catalog,
+                                                             *triaged);
+      if (!script.ok()) return Fail(script.status().ToString());
+      if (num_queries > 1) {
+        std::printf("%s-- query %zu\n", i == 0 ? "" : "\n", i);
+      }
+      std::printf("%s", script->c_str());
+    }
     return 0;
   }
 
@@ -194,61 +230,97 @@ int main(int argc, char** argv) {
   if (!events.ok()) return Fail(events.status().ToString());
   if (sort_events) datatriage::io::SortEventsByTime(&events.value());
 
-  // --- Run.
-  std::vector<std::string> column_names;
-  for (const datatriage::Field& f : bound->plan->schema().fields()) {
-    column_names.push_back(f.name);
+  // --- Run: every query as one session on a shared StreamServer.
+  std::vector<std::vector<std::string>> column_names(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    for (const datatriage::Field& f :
+         bound_queries[i].plan->schema().fields()) {
+      column_names[i].push_back(f.name);
+    }
   }
-  auto engine = datatriage::engine::ContinuousQueryEngine::Make(
-      catalog, std::move(bound).value(), config);
-  if (!engine.ok()) return Fail(engine.status().ToString());
+  datatriage::server::StreamServer server(catalog);
+  for (size_t i = 0; i < num_queries; ++i) {
+    auto id = server.RegisterQuery(std::move(bound_queries[i]), config);
+    if (!id.ok()) return Fail(id.status().ToString());
+  }
   for (const datatriage::engine::StreamEvent& event : *events) {
-    if (Status s = (*engine)->Push(event); !s.ok()) {
+    if (Status s = server.Push(event); !s.ok()) {
       return Fail(s.ToString());
     }
   }
-  if (Status s = (*engine)->Finish(); !s.ok()) return Fail(s.ToString());
+  if (Status s = server.Finish(); !s.ok()) return Fail(s.ToString());
 
-  std::vector<datatriage::engine::WindowResult> results =
-      (*engine)->TakeResults();
-  std::fputs(
-      datatriage::io::FormatResultsCsv(results, column_names).c_str(),
-      stdout);
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (num_queries > 1) std::printf("# query %zu\n", i);
+    auto& session =
+        server.session(static_cast<datatriage::server::SessionId>(i));
+    std::fputs(datatriage::io::FormatResultsCsv(session.TakeResults(),
+                                                column_names[i])
+                   .c_str(),
+               stdout);
+  }
 
   if (!metrics_json_path.empty()) {
-    if (Status s = datatriage::obs::WriteMetricsJson(
-            (*engine)->metrics(), &(*engine)->trace(), metrics_json_path);
-        !s.ok()) {
-      return Fail(s.ToString());
+    // One query keeps the legacy single-registry schema (Sec. 9.3);
+    // several write the combined server export (Sec. 10).
+    if (num_queries == 1) {
+      auto& session = server.session(0);
+      if (Status s = datatriage::obs::WriteMetricsJson(
+              session.metrics(), &session.trace(), metrics_json_path);
+          !s.ok()) {
+        return Fail(s.ToString());
+      }
+    } else {
+      std::FILE* out = std::fopen(metrics_json_path.c_str(), "w");
+      if (out == nullptr) {
+        return Fail("cannot open '" + metrics_json_path +
+                    "' for writing");
+      }
+      const std::string json = server.MetricsJson();
+      const bool ok =
+          std::fwrite(json.data(), 1, json.size(), out) == json.size();
+      if (std::fclose(out) != 0 || !ok) {
+        return Fail("cannot write '" + metrics_json_path + "'");
+      }
     }
   }
 
   if (print_stats) {
-    const datatriage::engine::EngineStatsSnapshot snapshot =
-        (*engine)->StatsSnapshot();
-    const datatriage::engine::EngineStats& stats = snapshot.core;
-    std::fprintf(
-        stderr,
-        "ingested=%lld kept=%lld dropped=%lld windows=%lld "
-        "exact_work=%.4fs synopsis_work=%.4fs\n",
-        static_cast<long long>(stats.tuples_ingested),
-        static_cast<long long>(stats.tuples_kept),
-        static_cast<long long>(stats.tuples_dropped),
-        static_cast<long long>(stats.windows_emitted),
-        stats.exact_work_seconds, stats.synopsis_work_seconds);
-    // Per-stream drop causes and queue high-watermarks from the obs
-    // registry embedded in the snapshot.
-    for (const auto& [name, value] : snapshot.counters) {
-      if (name.rfind("stream.", 0) == 0 && value > 0 &&
-          name.find(".dropped.") != std::string::npos) {
-        std::fprintf(stderr, "%s=%lld\n", name.c_str(),
-                     static_cast<long long>(value));
+    for (size_t i = 0; i < num_queries; ++i) {
+      const auto& session =
+          server.session(static_cast<datatriage::server::SessionId>(i));
+      const datatriage::engine::EngineStatsSnapshot snapshot =
+          session.StatsSnapshot();
+      const datatriage::engine::EngineStats& stats = snapshot.core;
+      // With several sessions each stderr line carries the session's
+      // metric scope (the same "session.<i>." prefix the combined JSON
+      // export uses); with one the legacy unscoped format is kept.
+      const std::string scope =
+          num_queries > 1 ? "session." + std::to_string(i) + "." : "";
+      std::fprintf(
+          stderr,
+          "%singested=%lld kept=%lld dropped=%lld windows=%lld "
+          "exact_work=%.4fs synopsis_work=%.4fs\n",
+          scope.c_str(), static_cast<long long>(stats.tuples_ingested),
+          static_cast<long long>(stats.tuples_kept),
+          static_cast<long long>(stats.tuples_dropped),
+          static_cast<long long>(stats.windows_emitted),
+          stats.exact_work_seconds, stats.synopsis_work_seconds);
+      // Per-stream drop causes and queue high-watermarks from the obs
+      // registry embedded in the snapshot.
+      for (const auto& [name, value] : snapshot.counters) {
+        if (name.rfind("stream.", 0) == 0 && value > 0 &&
+            name.find(".dropped.") != std::string::npos) {
+          std::fprintf(stderr, "%s%s=%lld\n", scope.c_str(),
+                       name.c_str(), static_cast<long long>(value));
+        }
       }
-    }
-    for (const auto& [name, value] : snapshot.gauge_maxima) {
-      if (name.rfind("stream.", 0) == 0 &&
-          name.find(".queue_depth") != std::string::npos) {
-        std::fprintf(stderr, "%s.hwm=%g\n", name.c_str(), value);
+      for (const auto& [name, value] : snapshot.gauge_maxima) {
+        if (name.rfind("stream.", 0) == 0 &&
+            name.find(".queue_depth") != std::string::npos) {
+          std::fprintf(stderr, "%s%s.hwm=%g\n", scope.c_str(),
+                       name.c_str(), value);
+        }
       }
     }
   }

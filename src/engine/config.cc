@@ -1,0 +1,28 @@
+#include "src/engine/config.h"
+
+namespace datatriage::engine {
+
+Status EngineConfig::Validate() const {
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "EngineConfig: queue_capacity must be positive (a zero-slot "
+        "triage queue could never buffer an arrival)");
+  }
+  if (drop_policy == triage::DropPolicyKind::kSynergistic) {
+    if (strategy == triage::SheddingStrategy::kDropOnly) {
+      return Status::InvalidArgument(
+          "EngineConfig: the synergistic drop policy consults the "
+          "dropped-tuple synopses and requires a synopsizing strategy "
+          "(data_triage or summarize_only), not drop_only");
+    }
+    if (synergistic_candidates == 0) {
+      return Status::InvalidArgument(
+          "EngineConfig: synergistic_candidates must be positive (the "
+          "synergistic policy samples that many victim candidates per "
+          "eviction, paper Sec. 8.1)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace datatriage::engine

@@ -1,0 +1,54 @@
+#ifndef DATATRIAGE_ENGINE_CONFIG_H_
+#define DATATRIAGE_ENGINE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/engine/cost_model.h"
+#include "src/synopsis/factory.h"
+#include "src/triage/drop_policy.h"
+#include "src/triage/shedding_strategy.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::engine {
+
+/// Per-query triage configuration. One StreamServer can host sessions with
+/// different configs; each session's queues, synopses, and drop-policy RNGs
+/// are derived from its own config (see src/server/).
+struct EngineConfig {
+  triage::SheddingStrategy strategy =
+      triage::SheddingStrategy::kDataTriage;
+  synopsis::SynopsisConfig synopsis;
+  /// Per-stream triage queue capacity, in tuples.
+  size_t queue_capacity = 100;
+  triage::DropPolicyKind drop_policy = triage::DropPolicyKind::kRandom;
+  /// Candidate-sample size for the synergistic policy (paper Sec. 8.1);
+  /// only used when drop_policy == kSynergistic, which in turn requires a
+  /// synopsizing strategy.
+  size_t synergistic_candidates = 4;
+  CostModel cost_model;
+  /// Seed for the drop policies (one forked Rng per stream queue).
+  uint64_t seed = 1;
+
+  /// Checks the config's internal invariants, returning a specific error
+  /// for the first violation found: a zero queue_capacity, the
+  /// synergistic drop policy without a synopsizing strategy, or a zero
+  /// synergistic candidate-sample size. Both Make() overloads call this
+  /// before constructing an engine; call it directly to validate
+  /// user-supplied configs up front.
+  Status Validate() const;
+};
+
+/// One tuple arriving on a named stream; the tuple's timestamp is its
+/// arrival time on the virtual clock. The name is the wire format of an
+/// arrival — the ingest plane resolves it to an interned StreamId once at
+/// the boundary, and everything downstream routes by id.
+struct StreamEvent {
+  std::string stream;
+  Tuple tuple;
+};
+
+}  // namespace datatriage::engine
+
+#endif  // DATATRIAGE_ENGINE_CONFIG_H_

@@ -2,19 +2,20 @@
 #define DATATRIAGE_ENGINE_ENGINE_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/catalog/catalog.h"
 #include "src/common/result.h"
+#include "src/engine/config.h"
 #include "src/engine/cost_model.h"
 #include "src/engine/merge.h"
 #include "src/engine/window_result.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rewrite/data_triage_rewrite.h"
+#include "src/server/stream_server.h"
 #include "src/synopsis/factory.h"
 #include "src/triage/drop_policy.h"
 #include "src/triage/shedding_strategy.h"
@@ -23,39 +24,12 @@
 
 namespace datatriage::engine {
 
-struct EngineConfig {
-  triage::SheddingStrategy strategy =
-      triage::SheddingStrategy::kDataTriage;
-  synopsis::SynopsisConfig synopsis;
-  /// Per-stream triage queue capacity, in tuples.
-  size_t queue_capacity = 100;
-  triage::DropPolicyKind drop_policy = triage::DropPolicyKind::kRandom;
-  /// Candidate-sample size for the synergistic policy (paper Sec. 8.1);
-  /// only used when drop_policy == kSynergistic, which in turn requires a
-  /// synopsizing strategy.
-  size_t synergistic_candidates = 4;
-  CostModel cost_model;
-  /// Seed for the drop policies (one forked Rng per stream queue).
-  uint64_t seed = 1;
-
-  /// Checks the config's internal invariants, returning a specific error
-  /// for the first violation found: a zero queue_capacity, the
-  /// synergistic drop policy without a synopsizing strategy, or a zero
-  /// synergistic candidate-sample size. Both Make() overloads call this
-  /// before constructing an engine; call it directly to validate
-  /// user-supplied configs up front.
-  Status Validate() const;
-};
-
-/// One tuple arriving on a named stream; the tuple's timestamp is its
-/// arrival time on the engine's virtual clock.
-struct StreamEvent {
-  std::string stream;
-  Tuple tuple;
-};
-
 /// The mini continuous-query engine with the Data Triage architecture of
-/// paper Fig. 1 wired in front of it.
+/// paper Fig. 1 wired in front of it — a single-session convenience
+/// wrapper over server::StreamServer (see src/server/ and DESIGN.md
+/// Sec. 10). Multi-query deployments should use StreamServer directly;
+/// this class keeps the one-query API that the tests, benches, and
+/// examples grew up on.
 ///
 /// Usage:
 ///   auto engine = ContinuousQueryEngine::Make(catalog, sql, config);
@@ -104,162 +78,46 @@ class ContinuousQueryEngine {
   /// have buffered. Results already buffered when the sink is installed
   /// are flushed through it immediately. Pass nullptr to return to
   /// buffered delivery.
-  using WindowSink = std::function<void(WindowResult&&)>;
+  using WindowSink = server::QuerySession::WindowSink;
   void SetWindowSink(WindowSink sink);
 
   /// Copies the run accounting plus the obs registry totals (counters
   /// and gauge high-watermarks) into one value.
   EngineStatsSnapshot StatsSnapshot() const;
 
-  /// Deprecated: live reference into the engine; prefer StatsSnapshot(),
-  /// which is a value and also embeds the per-stream obs totals. Kept as
-  /// a thin wrapper for one release.
-  [[deprecated("use StatsSnapshot()")]] const EngineStats& stats() const {
-    return stats_;
-  }
-
   /// Engine-local metrics registry (counters/gauges/histograms), updated
   /// while a run is in flight. See DESIGN.md Sec. 9.2 for the names.
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  const obs::MetricsRegistry& metrics() const {
+    return session().metrics();
+  }
 
   /// Per-window emission trace, in emission order.
-  const obs::WindowTraceRecorder& trace() const { return trace_; }
-  const rewrite::TriagedQuery& triaged_query() const { return triaged_; }
+  const obs::WindowTraceRecorder& trace() const {
+    return session().trace();
+  }
+  const rewrite::TriagedQuery& triaged_query() const {
+    return session().triaged_query();
+  }
   /// Window range (span length).
-  VirtualDuration window_seconds() const { return window_seconds_; }
+  VirtualDuration window_seconds() const {
+    return session().window_seconds();
+  }
   /// Hop between consecutive windows; equals window_seconds() for
   /// tumbling windows.
-  VirtualDuration window_slide_seconds() const { return window_slide_; }
+  VirtualDuration window_slide_seconds() const {
+    return session().window_slide_seconds();
+  }
 
  private:
-  /// Coverage oracle for the synergistic drop policy: a tuple is "free"
-  /// to shed when its window's dropped synopsis already has mass at its
-  /// location.
-  class DroppedCoverageProbe final : public triage::SynopsisCoverageProbe {
-   public:
-    DroppedCoverageProbe(const triage::WindowSynopsizer* synopsizer,
-                         VirtualDuration range, VirtualDuration slide)
-        : synopsizer_(synopsizer), range_(range), slide_(slide) {}
+  explicit ContinuousQueryEngine(Catalog catalog);
 
-    bool IsCovered(const Tuple& tuple) const override {
-      const WindowSpan span =
-          CoveringWindows(tuple.timestamp(), range_, slide_);
-      for (WindowId w = span.first; w <= span.last; ++w) {
-        const synopsis::Synopsis* dropped = synopsizer_->PeekDropped(w);
-        if (dropped != nullptr && dropped->EstimatePointCount(tuple) > 0) {
-          return true;
-        }
-      }
-      return false;
-    }
-
-   private:
-    const triage::WindowSynopsizer* synopsizer_;
-    VirtualDuration range_;
-    VirtualDuration slide_;
-  };
-
-  struct StreamState {
-    Schema schema;
-    std::unique_ptr<triage::TriageQueue> queue;
-    std::unique_ptr<triage::WindowSynopsizer> synopsizer;
-    std::unique_ptr<DroppedCoverageProbe> coverage_probe;
-    /// Kept tuples per open window.
-    std::map<WindowId, exec::Relation> kept_buffers;
-    std::map<WindowId, int64_t> dropped_counts;
-    /// Obs hooks, resolved once at Init (owned by metrics_).
-    obs::Counter* summarized_dropped = nullptr;
-    obs::Gauge* synopsis_build_seconds = nullptr;
-  };
-
-  ContinuousQueryEngine(rewrite::TriagedQuery triaged,
-                        EngineConfig config);
-
-  Status Init(const Catalog& catalog);
-
-  /// Advances the engine clock to `until`, interleaving queued-tuple
-  /// processing with window emissions whose deadlines pass.
-  Status ProcessUntil(VirtualTime until);
-
-  /// True if any stream queue holds a tuple.
-  bool HasQueuedTuple() const;
-
-  /// Pops and processes the queued tuple with the earliest timestamp.
-  Status ProcessOneQueuedTuple();
-
-  /// Routes a fully shed tuple (it will never be processed) according to
-  /// the strategy: it counts as dropped for every not-yet-emitted window
-  /// covering it.
-  Status ShedTuple(StreamState* state, const Tuple& tuple);
-
-  /// Marks a still-queued tuple as dropped *for one window* whose
-  /// deadline arrived before the engine reached the tuple; it may yet be
-  /// kept for later windows (sliding-window case).
-  Status ShedTupleForWindow(StreamState* state, const Tuple& tuple,
-                            WindowId window);
-
-  /// Windows covering `t` that have not been emitted yet.
-  WindowSpan PendingWindowsFor(VirtualTime t) const;
-
-  Status EmitWindow(WindowId window);
-
-  /// Hands a finished window to the sink (when set) or the result buffer.
-  void DeliverResult(WindowResult&& result);
-
-  /// Resolves the engine-level and per-stream instruments from metrics_
-  /// and attaches the queue/synopsizer hooks. Called once from Init.
-  void InitInstruments();
-
-  void ChargeSynopsisTime(double seconds) {
-    engine_time_ += seconds;
-    stats_.synopsis_work_seconds += seconds;
-  }
-  /// Per-stream variant: also gauges the stream's synopsis build time.
-  void ChargeSynopsisTime(StreamState* state, double seconds) {
-    ChargeSynopsisTime(seconds);
-    if (state->synopsis_build_seconds != nullptr) {
-      state->synopsis_build_seconds->Add(seconds);
-    }
-  }
-  void ChargeExactTime(double seconds) {
-    engine_time_ += seconds;
-    stats_.exact_work_seconds += seconds;
+  server::QuerySession& session() { return server_.session(session_id_); }
+  const server::QuerySession& session() const {
+    return server_.session(session_id_);
   }
 
-  rewrite::TriagedQuery triaged_;
-  EngineConfig config_;
-  AggregationSpec agg_spec_;  // valid when the query aggregates
-
-  std::map<std::string, StreamState> streams_;
-  VirtualDuration window_seconds_ = 1.0;  // range
-  VirtualDuration window_slide_ = 1.0;    // hop (== range when tumbling)
-
-  VirtualTime engine_time_ = 0.0;
-  VirtualTime last_arrival_time_ = 0.0;
-  bool saw_arrival_ = false;
-  WindowId next_window_to_emit_ = 0;
-  WindowId last_window_seen_ = -1;
-
-  std::vector<WindowResult> results_;
-  WindowSink sink_;
-  EngineStats stats_;
-  bool finished_ = false;
-
-  // --- Observability (src/obs/). The registry owns every metric; the
-  // pointers below are hot-path handles resolved once in Init.
-  obs::MetricsRegistry metrics_;
-  obs::WindowTraceRecorder trace_;
-  obs::Counter* ingested_counter_ = nullptr;
-  obs::Counter* kept_counter_ = nullptr;
-  obs::Counter* dropped_counter_ = nullptr;
-  obs::Counter* windows_counter_ = nullptr;
-  obs::Counter* exec_scanned_ = nullptr;
-  obs::Counter* exec_output_ = nullptr;
-  obs::Counter* exec_probes_ = nullptr;
-  obs::Counter* exec_build_inserts_ = nullptr;
-  obs::Counter* exec_comparisons_ = nullptr;
-  obs::Counter* shadow_work_ = nullptr;
-  obs::Histogram* emission_latency_ = nullptr;
+  server::StreamServer server_;
+  server::SessionId session_id_ = 0;
 };
 
 }  // namespace datatriage::engine

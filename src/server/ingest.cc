@@ -1,0 +1,130 @@
+#include "src/server/ingest.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/server/query_session.h"
+
+namespace datatriage::server {
+
+using triage::SheddingStrategy;
+
+IngestPlane::IngestPlane(Catalog catalog) : catalog_(std::move(catalog)) {
+  events_pushed_ = metrics_.GetCounter("server.events_pushed");
+  events_unrouted_ = metrics_.GetCounter("server.events_unrouted");
+  streams_interned_ = metrics_.GetCounter("server.streams_interned");
+}
+
+Result<StreamId> IngestPlane::Intern(std::string_view name) {
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  DT_ASSIGN_OR_RETURN(StreamDef def,
+                      catalog_.GetStream(std::string(name)));
+  const StreamId id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(StreamEntry{std::string(name), std::move(def.schema),
+                                 {}});
+  ids_.emplace(streams_.back().name, id);
+  streams_interned_->Add(1);
+  return id;
+}
+
+Result<StreamId> IngestPlane::Find(std::string_view name) const {
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  return Status::NotFound("stream '" + std::string(name) +
+                          "' is not read by any registered query");
+}
+
+const std::string& IngestPlane::NameOf(StreamId id) const {
+  DT_CHECK(id < streams_.size());
+  return streams_[id].name;
+}
+
+const Schema& IngestPlane::SchemaOf(StreamId id) const {
+  DT_CHECK(id < streams_.size());
+  return streams_[id].schema;
+}
+
+Result<StreamLane*> IngestPlane::Subscribe(
+    QuerySession* session, const std::string& stream,
+    const engine::EngineConfig& config, VirtualDuration window_seconds,
+    VirtualDuration window_slide, Rng* seeder) {
+  DT_ASSIGN_OR_RETURN(StreamId id, Intern(stream));
+  StreamEntry& entry = streams_[id];
+
+  auto lane = std::make_unique<StreamLane>();
+  lane->session = session;
+  lane->stream_id = id;
+  lane->stream_name = entry.name;
+  if (config.strategy != SheddingStrategy::kDropOnly) {
+    DT_RETURN_IF_ERROR(
+        synopsis::Synopsis::CheckNumericSchema(entry.schema));
+    lane->synopsizer = std::make_unique<triage::WindowSynopsizer>(
+        entry.name, entry.schema, config.synopsis, window_seconds);
+  }
+  if (config.drop_policy == triage::DropPolicyKind::kSynergistic) {
+    // EngineConfig::Validate rejected synergistic-without-synopsizer.
+    DT_CHECK(lane->synopsizer != nullptr);
+    lane->coverage_probe = std::make_unique<DroppedCoverageProbe>(
+        lane->synopsizer.get(), window_seconds, window_slide);
+    lane->queue = std::make_unique<triage::TriageQueue>(
+        config.queue_capacity,
+        triage::DropPolicy::MakeSynergistic(
+            seeder->Fork(), lane->coverage_probe.get(),
+            config.synergistic_candidates));
+  } else {
+    lane->queue = std::make_unique<triage::TriageQueue>(
+        config.queue_capacity,
+        triage::DropPolicy::Make(config.drop_policy, seeder->Fork()));
+  }
+  StreamLane* raw = lane.get();
+  lanes_.push_back(std::move(lane));
+  entry.lanes.push_back(raw);
+  return raw;
+}
+
+Status IngestPlane::Push(StreamId stream, const Tuple& tuple) {
+  DT_CHECK(stream < streams_.size());
+  StreamEntry& entry = streams_[stream];
+  const VirtualTime arrival = tuple.timestamp();
+  // Reject non-finite timestamps before any state changes: a NaN would
+  // slide past the ordering check below (every comparison is false) and
+  // an infinity would register a window at id ~2^63, hanging Finish —
+  // silent misbehavior either way once the cast to WindowId happens.
+  if (!std::isfinite(arrival)) {
+    return Status::InvalidArgument(StringPrintf(
+        "event timestamp on stream '%s' must be finite (got %g)",
+        entry.name.c_str(), arrival));
+  }
+  if (saw_arrival_ && arrival < last_arrival_time_) {
+    return Status::InvalidArgument(StringPrintf(
+        "events must arrive in timestamp order (%g after %g)", arrival,
+        last_arrival_time_));
+  }
+  if (tuple.size() != entry.schema.num_fields()) {
+    return Status::InvalidArgument(
+        StringPrintf("tuple arity %zu does not match stream '%s' (%zu)",
+                     tuple.size(), entry.name.c_str(),
+                     entry.schema.num_fields()));
+  }
+  saw_arrival_ = true;
+  last_arrival_time_ = arrival;
+  events_pushed_->Add(1);
+  if (entry.lanes.empty()) {
+    events_unrouted_->Add(1);
+    return Status::OK();
+  }
+  for (StreamLane* lane : entry.lanes) {
+    DT_RETURN_IF_ERROR(lane->session->Ingest(lane, tuple));
+  }
+  return Status::OK();
+}
+
+Status IngestPlane::Push(const engine::StreamEvent& event) {
+  // Intern rather than Find: an arrival on a catalog stream that no
+  // session reads is still a valid (unrouted) arrival; only streams the
+  // catalog does not define are rejected.
+  DT_ASSIGN_OR_RETURN(StreamId id, Intern(event.stream));
+  return Push(id, event.tuple);
+}
+
+}  // namespace datatriage::server

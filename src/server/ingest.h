@@ -1,0 +1,155 @@
+#ifndef DATATRIAGE_SERVER_INGEST_H_
+#define DATATRIAGE_SERVER_INGEST_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/engine/config.h"
+#include "src/exec/relation.h"
+#include "src/obs/metrics.h"
+#include "src/triage/synopsizer.h"
+#include "src/triage/triage_queue.h"
+
+namespace datatriage::server {
+
+class QuerySession;
+
+/// Interned stream identity. Names are the wire format of an arrival; the
+/// ingest plane resolves each name to a StreamId once (hash lookup at the
+/// boundary, or ahead of time via InternStream) and routes by id after
+/// that, so the hot ingest path never touches a std::string.
+using StreamId = uint32_t;
+
+/// Coverage oracle for the synergistic drop policy: a tuple is "free" to
+/// shed when its window's dropped synopsis already has mass at its
+/// location (paper Sec. 8.1).
+class DroppedCoverageProbe final : public triage::SynopsisCoverageProbe {
+ public:
+  DroppedCoverageProbe(const triage::WindowSynopsizer* synopsizer,
+                       VirtualDuration range, VirtualDuration slide)
+      : synopsizer_(synopsizer), range_(range), slide_(slide) {}
+
+  bool IsCovered(const Tuple& tuple) const override {
+    const WindowSpan span =
+        CoveringWindows(tuple.timestamp(), range_, slide_);
+    for (WindowId w = span.first; w <= span.last; ++w) {
+      const synopsis::Synopsis* dropped = synopsizer_->PeekDropped(w);
+      if (dropped != nullptr && dropped->EstimatePointCount(tuple) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const triage::WindowSynopsizer* synopsizer_;
+  VirtualDuration range_;
+  VirtualDuration slide_;
+};
+
+/// One session's triage state for one stream (paper Fig. 1: the triage
+/// queue and summarizer sitting between a data source and a query). The
+/// ingest plane owns every lane; a session holds borrowed pointers to its
+/// own lanes and consumes from them under its virtual clock.
+struct StreamLane {
+  QuerySession* session = nullptr;
+  StreamId stream_id = 0;
+  std::string stream_name;
+  std::unique_ptr<triage::TriageQueue> queue;
+  std::unique_ptr<triage::WindowSynopsizer> synopsizer;
+  std::unique_ptr<DroppedCoverageProbe> coverage_probe;
+  /// Kept tuples per open window.
+  std::map<WindowId, exec::Relation> kept_buffers;
+  std::map<WindowId, int64_t> dropped_counts;
+  /// Obs hooks, resolved once at session init (owned by the session's
+  /// registry).
+  obs::Counter* summarized_dropped = nullptr;
+  obs::Gauge* synopsis_build_seconds = nullptr;
+};
+
+/// The shared ingest plane of a StreamServer: one boundary for all
+/// sessions. It owns the catalog, the stream-name interner, the shared
+/// arrival clock, and every per-(session, stream) StreamLane — so arrival
+/// validation (finite timestamp, global order, arity) happens once per
+/// event no matter how many queries consume it, and routing is a vector
+/// walk over subscribed lanes.
+class IngestPlane {
+ public:
+  explicit IngestPlane(Catalog catalog);
+
+  IngestPlane(const IngestPlane&) = delete;
+  IngestPlane& operator=(const IngestPlane&) = delete;
+
+  /// Resolves `name` to its interned id, creating the id on first use.
+  /// Fails with NotFound when the catalog does not define the stream.
+  Result<StreamId> Intern(std::string_view name);
+
+  /// Id of an already interned stream, or an error if never interned.
+  Result<StreamId> Find(std::string_view name) const;
+
+  const std::string& NameOf(StreamId id) const;
+  const Schema& SchemaOf(StreamId id) const;
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Builds a lane for `session` on `stream` — queue, drop policy (with
+  /// an Rng forked from `seeder`), and, for synopsizing strategies, the
+  /// window synopsizer and coverage probe — and registers it for routing.
+  /// The returned lane stays owned by the plane and valid for its
+  /// lifetime.
+  Result<StreamLane*> Subscribe(QuerySession* session,
+                                const std::string& stream,
+                                const engine::EngineConfig& config,
+                                VirtualDuration window_seconds,
+                                VirtualDuration window_slide, Rng* seeder);
+
+  /// Validates one arrival (finite timestamp, global timestamp order,
+  /// tuple arity against the stream schema) and delivers it to every
+  /// subscribed lane. An arrival on a stream no session reads is counted
+  /// as unrouted and otherwise ignored. Validation failures leave every
+  /// session untouched.
+  Status Push(StreamId stream, const Tuple& tuple);
+
+  /// Name-resolving variant (one interner lookup, then Push by id).
+  Status Push(const engine::StreamEvent& event);
+
+  /// The shared arrival clock: timestamp of the latest accepted arrival.
+  VirtualTime now() const { return last_arrival_time_; }
+
+  /// Plane-level metrics: server.events_pushed, server.events_unrouted,
+  /// server.streams_interned.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  struct StreamEntry {
+    std::string name;
+    Schema schema;
+    /// Routing fan-out: one lane per session subscribed to this stream.
+    std::vector<StreamLane*> lanes;
+  };
+
+  Catalog catalog_;
+  /// deque: stable StreamEntry addresses across Intern calls.
+  std::deque<StreamEntry> streams_;
+  std::map<std::string, StreamId, std::less<>> ids_;
+  std::vector<std::unique_ptr<StreamLane>> lanes_;
+
+  VirtualTime last_arrival_time_ = 0.0;
+  bool saw_arrival_ = false;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* events_pushed_ = nullptr;
+  obs::Counter* events_unrouted_ = nullptr;
+  obs::Counter* streams_interned_ = nullptr;
+};
+
+}  // namespace datatriage::server
+
+#endif  // DATATRIAGE_SERVER_INGEST_H_

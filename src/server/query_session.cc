@@ -1,0 +1,542 @@
+#include "src/server/query_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/exec/evaluator.h"
+#include "src/rewrite/shadow_plan.h"
+
+namespace datatriage::server {
+
+using engine::WindowResult;
+using triage::SheddingStrategy;
+
+Result<std::unique_ptr<QuerySession>> QuerySession::Make(
+    SessionId id, IngestPlane* plane, plan::BoundQuery query,
+    engine::EngineConfig config) {
+  DT_ASSIGN_OR_RETURN(rewrite::TriagedQuery triaged,
+                      rewrite::RewriteForDataTriage(std::move(query)));
+  if (!triaged.plus_is_empty &&
+      config.strategy != SheddingStrategy::kDropOnly) {
+    return Status::Unimplemented(
+        "queries whose differential plus-plan is non-empty (EXCEPT) "
+        "cannot run with synopsis-based shedding");
+  }
+  auto session = std::unique_ptr<QuerySession>(
+      new QuerySession(id, std::move(triaged), std::move(config)));
+  DT_RETURN_IF_ERROR(session->Init(plane));
+  return session;
+}
+
+QuerySession::QuerySession(SessionId id, rewrite::TriagedQuery triaged,
+                           engine::EngineConfig config)
+    : id_(id), triaged_(std::move(triaged)), config_(std::move(config)) {}
+
+Status QuerySession::Init(IngestPlane* plane) {
+  const plan::BoundQuery& query = triaged_.query;
+  if (query.from_streams.empty()) {
+    return Status::InvalidArgument("query reads no streams");
+  }
+  // Uniform windows: the session emits one composite result per window,
+  // so all streams must agree on the window range and slide (as in the
+  // paper's experiments).
+  window_seconds_ = query.window_seconds.begin()->second;
+  for (const auto& [stream, seconds] : query.window_seconds) {
+    if (seconds != window_seconds_) {
+      return Status::Unimplemented(
+          "the engine requires one window length across all streams "
+          "of a query");
+    }
+  }
+  window_slide_ = window_seconds_;
+  if (!query.window_slide_seconds.empty()) {
+    window_slide_ = query.window_slide_seconds.begin()->second;
+    for (const auto& [stream, slide] : query.window_slide_seconds) {
+      if (slide != window_slide_) {
+        return Status::Unimplemented(
+            "the engine requires one window slide across all streams "
+            "of a query");
+      }
+    }
+  }
+  if (window_slide_ <= 0) {
+    return Status::InvalidArgument("window slide must be positive");
+  }
+  if (query.has_aggregate) {
+    DT_ASSIGN_OR_RETURN(agg_spec_, engine::MakeAggregationSpec(query));
+  }
+
+  // Lanes are created (and drop-policy Rngs forked) in FROM-clause order,
+  // matching the single-query engine's seeding exactly.
+  Rng seeder(config_.seed);
+  for (const std::string& stream : query.from_streams) {
+    if (lanes_by_name_.count(stream) > 0) continue;  // self-join: one lane
+    DT_ASSIGN_OR_RETURN(
+        StreamLane * lane,
+        plane->Subscribe(this, stream, config_, window_seconds_,
+                         window_slide_, &seeder));
+    lanes_by_name_.emplace(stream, lane);
+  }
+  InitInstruments();
+  return Status::OK();
+}
+
+void QuerySession::InitInstruments() {
+  ingested_counter_ = metrics_.GetCounter("engine.tuples_ingested");
+  kept_counter_ = metrics_.GetCounter("engine.tuples_kept");
+  dropped_counter_ = metrics_.GetCounter("engine.tuples_dropped");
+  windows_counter_ = metrics_.GetCounter("engine.windows_emitted");
+  exec_scanned_ = metrics_.GetCounter("exec.tuples_scanned");
+  exec_output_ = metrics_.GetCounter("exec.tuples_output");
+  exec_probes_ = metrics_.GetCounter("exec.join_probes");
+  exec_build_inserts_ = metrics_.GetCounter("exec.join_build_inserts");
+  exec_comparisons_ = metrics_.GetCounter("exec.comparisons");
+  shadow_work_ = metrics_.GetCounter("shadow.work_units");
+  // Latency past the emission deadline, in virtual seconds. The floor is
+  // the emission overhead (~2e-4 s); heavy backlog pushes emissions whole
+  // windows late, hence the wide top end.
+  emission_latency_ = metrics_.GetHistogram(
+      "engine.emission_latency_seconds",
+      {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+       1.0, 2.0, 5.0});
+
+  for (auto& [name, lane] : lanes_by_name_) {
+    const std::string prefix = "stream." + name;
+    if (lane->queue != nullptr) {
+      triage::QueueInstruments queue_instruments;
+      queue_instruments.depth =
+          metrics_.GetGauge(prefix + ".queue_depth");
+      queue_instruments.policy_evicted =
+          metrics_.GetCounter(prefix + ".dropped.policy_evicted");
+      queue_instruments.force_evicted =
+          metrics_.GetCounter(prefix + ".dropped.force_shed");
+      lane->queue->SetInstruments(queue_instruments);
+    }
+    if (lane->synopsizer != nullptr) {
+      triage::SynopsizerInstruments synopsizer_instruments;
+      synopsizer_instruments.kept_folded =
+          metrics_.GetCounter(prefix + ".synopsis.kept_folded");
+      synopsizer_instruments.dropped_folded =
+          metrics_.GetCounter(prefix + ".synopsis.dropped_folded");
+      lane->synopsizer->SetInstruments(synopsizer_instruments);
+      lane->synopsis_build_seconds =
+          metrics_.GetGauge(prefix + ".synopsis.build_seconds");
+    }
+    if (config_.strategy == SheddingStrategy::kSummarizeOnly) {
+      lane->summarized_dropped =
+          metrics_.GetCounter(prefix + ".dropped.summarized");
+    }
+  }
+}
+
+Status QuerySession::Ingest(StreamLane* lane, const Tuple& tuple) {
+  DT_CHECK(lane->session == this);
+  const VirtualTime arrival = tuple.timestamp();
+  const WindowSpan covering =
+      CoveringWindows(arrival, window_seconds_, window_slide_);
+  if (!saw_arrival_) {
+    saw_arrival_ = true;
+    next_window_to_emit_ =
+        covering.empty() ? covering.last : covering.first;
+    if (next_window_to_emit_ < 0) next_window_to_emit_ = 0;
+  }
+  last_window_seen_ =
+      std::max(last_window_seen_,
+               std::max(covering.last, static_cast<WindowId>(0)));
+
+  DT_RETURN_IF_ERROR(ProcessUntil(arrival));
+
+  ++stats_.tuples_ingested;
+  ingested_counter_->Add(1);
+  if (config_.strategy == SheddingStrategy::kSummarizeOnly) {
+    // Summarize-only bypasses the triage queue entirely (paper
+    // Sec. 5.2.1): every tuple is folded into the window synopses.
+    ++stats_.tuples_dropped;
+    dropped_counter_->Add(1);
+    lane->summarized_dropped->Add(1);
+    for (WindowId w = std::max(covering.first, next_window_to_emit_);
+         w <= covering.last; ++w) {
+      DT_RETURN_IF_ERROR(lane->synopsizer->AddDroppedToWindow(tuple, w));
+      ChargeSynopsisTime(lane, config_.cost_model.synopsis_insert_cost);
+      lane->dropped_counts[w] += 1;
+    }
+    return Status::OK();
+  }
+  std::optional<Tuple> victim = lane->queue->Push(tuple);
+  if (victim.has_value()) {
+    DT_RETURN_IF_ERROR(ShedTuple(lane, *victim));
+  }
+  return Status::OK();
+}
+
+Status QuerySession::ShedTuple(StreamLane* lane, const Tuple& tuple) {
+  ++stats_.tuples_dropped;
+  dropped_counter_->Add(1);
+  const WindowSpan pending = PendingWindowsFor(tuple.timestamp());
+  for (WindowId w = pending.first; w <= pending.last; ++w) {
+    DT_RETURN_IF_ERROR(ShedTupleForWindow(lane, tuple, w));
+  }
+  return Status::OK();
+}
+
+Status QuerySession::ShedTupleForWindow(StreamLane* lane,
+                                        const Tuple& tuple,
+                                        WindowId window) {
+  lane->dropped_counts[window] += 1;
+  if (config_.strategy == SheddingStrategy::kDataTriage ||
+      config_.strategy == SheddingStrategy::kSummarizeOnly) {
+    DT_RETURN_IF_ERROR(lane->synopsizer->AddDroppedToWindow(tuple, window));
+    ChargeSynopsisTime(lane, config_.cost_model.synopsis_insert_cost);
+  }
+  // Drop-only: the tuple is discarded; only the count remains.
+  return Status::OK();
+}
+
+WindowSpan QuerySession::PendingWindowsFor(VirtualTime t) const {
+  WindowSpan span = CoveringWindows(t, window_seconds_, window_slide_);
+  span.first = std::max(span.first, next_window_to_emit_);
+  return span;
+}
+
+bool QuerySession::HasQueuedTuple() const {
+  for (const auto& [name, lane] : lanes_by_name_) {
+    if (!lane->queue->empty()) return true;
+  }
+  return false;
+}
+
+Status QuerySession::ProcessOneQueuedTuple() {
+  StreamLane* best = nullptr;
+  VirtualTime best_time = std::numeric_limits<double>::infinity();
+  for (auto& [name, lane] : lanes_by_name_) {
+    if (lane->queue->empty()) continue;
+    if (lane->queue->Front().timestamp() < best_time) {
+      best_time = lane->queue->Front().timestamp();
+      best = lane;
+    }
+  }
+  DT_CHECK(best != nullptr);
+  Tuple tuple = best->queue->PopFront();
+  ++stats_.tuples_kept;
+  kept_counter_->Add(1);
+  ChargeExactTime(config_.cost_model.exact_tuple_cost);
+  // The tuple becomes a kept tuple of every covering window that has not
+  // yet emitted (windows whose deadline already passed counted it as
+  // dropped at their emission).
+  const WindowSpan pending = PendingWindowsFor(tuple.timestamp());
+  for (WindowId w = pending.first; w <= pending.last; ++w) {
+    if (config_.strategy == SheddingStrategy::kDataTriage) {
+      // Data Triage also synopsizes kept tuples so the shadow plan can
+      // join dropped data against them (paper Sec. 5.1).
+      DT_RETURN_IF_ERROR(best->synopsizer->AddKeptToWindow(tuple, w));
+      ChargeSynopsisTime(best, config_.cost_model.synopsis_insert_cost);
+    }
+    // The last covering window takes the tuple by move (the common
+    // tumbling-window case copies nothing); earlier sliding windows copy.
+    if (w == pending.last) {
+      best->kept_buffers[w].push_back(std::move(tuple));
+    } else {
+      best->kept_buffers[w].push_back(tuple);
+    }
+  }
+  return Status::OK();
+}
+
+Status QuerySession::ProcessUntil(VirtualTime until) {
+  while (true) {
+    // Emission takes priority once the session clock passes a deadline.
+    if (next_window_to_emit_ <= last_window_seen_) {
+      const VirtualTime deadline = config_.cost_model.EmissionDeadline(
+          next_window_to_emit_, window_seconds_, window_slide_);
+      if (session_time_ >= deadline) {
+        DT_RETURN_IF_ERROR(EmitWindow(next_window_to_emit_));
+        ++next_window_to_emit_;
+        continue;
+      }
+    }
+    if (session_time_ >= until) break;
+    if (HasQueuedTuple()) {
+      DT_RETURN_IF_ERROR(ProcessOneQueuedTuple());
+      continue;
+    }
+    // Idle: jump the clock to the next interesting instant.
+    VirtualTime target = until;
+    if (next_window_to_emit_ <= last_window_seen_) {
+      target = std::min(
+          target, config_.cost_model.EmissionDeadline(
+                      next_window_to_emit_, window_seconds_,
+                      window_slide_));
+    }
+    session_time_ = target;
+    if (session_time_ >= until) break;
+  }
+  return Status::OK();
+}
+
+Status QuerySession::EmitWindow(WindowId window) {
+  const plan::BoundQuery& query = triaged_.query;
+  const VirtualTime span_start =
+      WindowSpanStart(window, window_seconds_, window_slide_);
+  const VirtualTime span_end =
+      WindowSpanEnd(window, window_seconds_, window_slide_);
+
+  obs::WindowTraceRecord trace_record;
+  trace_record.window = window;
+  trace_record.deadline = config_.cost_model.EmissionDeadline(
+      window, window_seconds_, window_slide_);
+
+  // Account for window tuples the session did not reach before the
+  // deadline. Tuples covering no window after this one are force-shed
+  // for good; tuples that also belong to later (sliding) windows count
+  // as dropped for this window but stay queued — they may still be kept
+  // for the windows ahead.
+  const VirtualTime final_cutoff =
+      static_cast<double>(window + 1) * window_slide_;
+  for (auto& [name, lane] : lanes_by_name_) {
+    std::vector<Tuple> force_shed =
+        lane->queue->EvictOlderThan(final_cutoff);
+    trace_record.force_shed_by_stream[name] =
+        static_cast<int64_t>(force_shed.size());
+    for (Tuple& tuple : force_shed) {
+      DT_RETURN_IF_ERROR(ShedTuple(lane, tuple));
+    }
+    if (window_slide_ < window_seconds_) {
+      StreamLane* lane_ptr = lane;
+      Status shed_status;
+      lane->queue->ForEach([&](const Tuple& tuple) {
+        if (!shed_status.ok()) return;
+        if (tuple.timestamp() >= span_start &&
+            tuple.timestamp() < span_end) {
+          shed_status = ShedTupleForWindow(lane_ptr, tuple, window);
+        }
+      });
+      DT_RETURN_IF_ERROR(shed_status);
+    }
+  }
+
+  WindowResult result;
+  result.window = window;
+
+  // Exact side: evaluate the kept plan over this window's buffers.
+  exec::RelationProvider kept_inputs;
+  for (auto& [name, lane] : lanes_by_name_) {
+    auto it = lane->kept_buffers.find(window);
+    if (it != lane->kept_buffers.end()) {
+      result.kept_tuples += static_cast<int64_t>(it->second.size());
+      kept_inputs[exec::ChannelKey{name, plan::Channel::kKept}] =
+          std::move(it->second);
+      lane->kept_buffers.erase(it);
+    }
+    auto dropped_it = lane->dropped_counts.find(window);
+    if (dropped_it != lane->dropped_counts.end()) {
+      result.dropped_tuples += dropped_it->second;
+      lane->dropped_counts.erase(dropped_it);
+    }
+  }
+  // Aggregate queries need the raw SPJ rows for the merge accumulators;
+  // non-aggregate queries evaluate their full output plan (projection or
+  // computed projection included).
+  const plan::LogicalPlan& exact_plan =
+      query.has_aggregate ? *triaged_.kept_plan
+                          : *triaged_.kept_output_plan;
+  exec::ExecStats exec_stats;
+  DT_ASSIGN_OR_RETURN(
+      exec::Relation kept_rows,
+      exec::EvaluatePlan(exact_plan, kept_inputs, &exec_stats));
+  ChargeExactTime(static_cast<double>(exec_stats.TotalWork()) *
+                  config_.cost_model.exact_work_unit_cost);
+  // Roll this window's executor accounting into the registry.
+  exec_scanned_->Add(exec_stats.tuples_scanned);
+  exec_output_->Add(exec_stats.tuples_output);
+  exec_probes_->Add(exec_stats.join_probes);
+  exec_build_inserts_->Add(exec_stats.join_build_inserts);
+  exec_comparisons_->Add(exec_stats.comparisons);
+  trace_record.exact_work_units = exec_stats.TotalWork();
+
+  // Shadow side: evaluate the dropped plan over the window's synopses.
+  synopsis::SynopsisPtr shadow_result;
+  if (config_.strategy != SheddingStrategy::kDropOnly) {
+    rewrite::SynopsisProvider synopses;
+    std::vector<synopsis::SynopsisPtr> owned;
+    for (auto& [name, lane] : lanes_by_name_) {
+      triage::WindowSynopsizer::WindowSynopses window_synopses =
+          lane->synopsizer->TakeWindow(window);
+      if (window_synopses.kept != nullptr) {
+        synopses[exec::ChannelKey{name, plan::Channel::kKept}] =
+            window_synopses.kept.get();
+        owned.push_back(std::move(window_synopses.kept));
+      }
+      if (window_synopses.dropped != nullptr) {
+        synopses[exec::ChannelKey{name, plan::Channel::kDropped}] =
+            window_synopses.dropped.get();
+        owned.push_back(std::move(window_synopses.dropped));
+      }
+    }
+    synopsis::OpStats op_stats;
+    DT_ASSIGN_OR_RETURN(
+        shadow_result,
+        rewrite::EvaluateShadowPlan(*triaged_.dropped_plan, synopses,
+                                    config_.synopsis, &op_stats));
+    ChargeSynopsisTime(static_cast<double>(op_stats.work) *
+                       config_.cost_model.synopsis_work_unit_cost);
+    shadow_work_->Add(op_stats.work);
+    trace_record.shadow_work_units = op_stats.work;
+  }
+
+  // Merge (paper Fig. 2): exact rows + estimated lost results.
+  if (query.has_aggregate) {
+    synopsis::GroupedEstimate exact_groups =
+        engine::AccumulateExact(kept_rows, agg_spec_);
+    DT_ASSIGN_OR_RETURN(
+        result.exact_rows,
+        engine::BuildAggregateRows(exact_groups, query, agg_spec_,
+                           /*exact_types=*/true));
+    synopsis::GroupedEstimate merged = exact_groups;
+    if (shadow_result != nullptr) {
+      DT_ASSIGN_OR_RETURN(
+          result.shadow_estimate,
+          shadow_result->EstimateGroups(agg_spec_.group_columns,
+                                        agg_spec_.agg_columns));
+      engine::MergeGroupedEstimates(&merged, result.shadow_estimate);
+    }
+    DT_ASSIGN_OR_RETURN(
+        result.merged_rows,
+        engine::BuildAggregateRows(merged, query, agg_spec_,
+                           /*exact_types=*/false));
+    if (query.having != nullptr) {
+      auto apply_having = [&](exec::Relation* rows) {
+        exec::Relation filtered;
+        filtered.reserve(rows->size());
+        for (Tuple& row : *rows) {
+          if (query.having->EvaluatesToTrue(row)) {
+            filtered.push_back(std::move(row));
+          }
+        }
+        *rows = std::move(filtered);
+      };
+      apply_having(&result.exact_rows);
+      apply_having(&result.merged_rows);
+    }
+  } else {
+    // Non-aggregate query: exact rows come straight from the output
+    // plan; the loss estimate is delivered as a synopsis over the output
+    // columns (plain projections only — computed expressions have no
+    // synopsis counterpart).
+    result.exact_rows = kept_rows;
+    result.merged_rows = std::move(kept_rows);
+    if (shadow_result != nullptr && !query.computed_projection &&
+        !query.projection.empty()) {
+      DT_ASSIGN_OR_RETURN(
+          result.result_synopsis,
+          shadow_result->ProjectColumns(query.projection,
+                                        query.projection_names, nullptr));
+    }
+  }
+
+  // Presentation: per-window ORDER BY and LIMIT (top-k results).
+  if (!query.sort_keys.empty() || query.limit >= 0) {
+    auto apply = [&](exec::Relation* rows) {
+      if (!query.sort_keys.empty()) {
+        std::stable_sort(
+            rows->begin(), rows->end(),
+            [&](const Tuple& a, const Tuple& b) {
+              for (const auto& [index, descending] : query.sort_keys) {
+                const Value& va = a.value(index);
+                const Value& vb = b.value(index);
+                if (va < vb) return !descending;
+                if (vb < va) return descending;
+              }
+              return false;
+            });
+      }
+      if (query.limit >= 0 &&
+          rows->size() > static_cast<size_t>(query.limit)) {
+        rows->resize(static_cast<size_t>(query.limit));
+      }
+    };
+    apply(&result.exact_rows);
+    apply(&result.merged_rows);
+  }
+
+  session_time_ += config_.cost_model.emission_overhead;
+  result.emit_time = session_time_;
+  ++stats_.windows_emitted;
+  windows_counter_->Add(1);
+
+  trace_record.emit_time = result.emit_time;
+  trace_record.latency = result.emit_time - trace_record.deadline;
+  trace_record.kept_tuples = result.kept_tuples;
+  trace_record.dropped_tuples = result.dropped_tuples;
+  trace_record.exact_rows = static_cast<int64_t>(result.exact_rows.size());
+  trace_record.merged_rows =
+      static_cast<int64_t>(result.merged_rows.size());
+  emission_latency_->Observe(trace_record.latency);
+  trace_.Record(std::move(trace_record));
+
+  DeliverResult(std::move(result));
+  return Status::OK();
+}
+
+void QuerySession::DeliverResult(WindowResult&& result) {
+  if (sink_) {
+    sink_(std::move(result));
+  } else {
+    results_.push_back(std::move(result));
+  }
+}
+
+void QuerySession::SetWindowSink(WindowSink sink) {
+  sink_ = std::move(sink);
+  if (!sink_) return;
+  // Flush anything buffered before the sink existed so the sink sees the
+  // same windows, in the same order, as TakeResults() would have.
+  std::vector<WindowResult> buffered = std::move(results_);
+  results_.clear();
+  for (WindowResult& result : buffered) {
+    sink_(std::move(result));
+  }
+}
+
+engine::EngineStatsSnapshot QuerySession::StatsSnapshot() const {
+  engine::EngineStatsSnapshot snapshot;
+  snapshot.core = stats_;
+  // Mid-run snapshots report the clock as of now; Finish pins the final
+  // value into stats_ and the two then agree.
+  snapshot.core.final_engine_time = session_time_;
+  snapshot.counters = metrics_.CounterTotals();
+  metrics_.ForEachGauge(
+      [&snapshot](const std::string& name, const obs::Gauge& gauge) {
+        snapshot.gauges.emplace(name, gauge.value());
+      });
+  snapshot.gauge_maxima = metrics_.GaugeMaxima();
+  return snapshot;
+}
+
+Status QuerySession::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (!saw_arrival_) return Status::OK();
+  // Run the clock past the last window's deadline; ProcessUntil
+  // interleaves the remaining processing and emissions.
+  const VirtualTime last_deadline = config_.cost_model.EmissionDeadline(
+      last_window_seen_, window_seconds_, window_slide_);
+  DT_RETURN_IF_ERROR(
+      ProcessUntil(last_deadline + window_seconds_));
+  // The loop above stops once the clock passes the target; make sure
+  // every window actually emitted (processing backlog may have pushed the
+  // clock further).
+  while (next_window_to_emit_ <= last_window_seen_) {
+    DT_RETURN_IF_ERROR(EmitWindow(next_window_to_emit_));
+    ++next_window_to_emit_;
+  }
+  stats_.final_engine_time = session_time_;
+  return Status::OK();
+}
+
+std::vector<WindowResult> QuerySession::TakeResults() {
+  return std::move(results_);
+}
+
+}  // namespace datatriage::server

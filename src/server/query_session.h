@@ -1,0 +1,194 @@
+#ifndef DATATRIAGE_SERVER_QUERY_SESSION_H_
+#define DATATRIAGE_SERVER_QUERY_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/config.h"
+#include "src/engine/merge.h"
+#include "src/engine/window_result.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/rewrite/data_triage_rewrite.h"
+#include "src/server/ingest.h"
+
+namespace datatriage::server {
+
+using SessionId = uint32_t;
+
+/// One bound continuous query hosted by a StreamServer: the exact plan,
+/// shadow plan, merge state, window sink, per-session obs registry, and
+/// the session's virtual processing clock. The session consumes arrivals
+/// from its StreamLanes in the shared IngestPlane; all per-query state
+/// lives here, all per-stream ingest state lives in the plane.
+///
+/// Determinism contract: a session's results, stats, metrics, and trace
+/// are a function of (its query, its config, the event subsequence on its
+/// streams) only — co-hosted sessions cannot perturb each other. That is
+/// what makes a Q-session server byte-equivalent to Q standalone engines
+/// (tests/stream_server_test.cc).
+class QuerySession {
+ public:
+  using WindowSink = std::function<void(engine::WindowResult&&)>;
+
+  /// Rewrites `query` for Data Triage and wires the session's lanes into
+  /// `plane`. `config` must already be validated.
+  static Result<std::unique_ptr<QuerySession>> Make(
+      SessionId id, IngestPlane* plane, plan::BoundQuery query,
+      engine::EngineConfig config);
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// Delivers one validated arrival from the ingest plane. `lane` must be
+  /// one of this session's lanes.
+  Status Ingest(StreamLane* lane, const Tuple& tuple);
+
+  /// Drains the session's lanes and emits every remaining window
+  /// (through the window sink when one is set).
+  Status Finish();
+
+  /// Moves out the results emitted so far (in window order). Empty when a
+  /// window sink is installed — the sink already consumed them.
+  std::vector<engine::WindowResult> TakeResults();
+
+  /// Streaming results API: `sink` is invoked once per window, at
+  /// emission time on the session's virtual clock, in window order —
+  /// exactly the windows (content and order) that TakeResults() would
+  /// have buffered. Results already buffered when the sink is installed
+  /// are flushed through it immediately. Pass nullptr to return to
+  /// buffered delivery.
+  void SetWindowSink(WindowSink sink);
+
+  /// Copies the run accounting plus the obs registry totals (counters
+  /// and gauge high-watermarks) into one value.
+  engine::EngineStatsSnapshot StatsSnapshot() const;
+
+  /// Session-local metrics registry (counters/gauges/histograms), updated
+  /// while a run is in flight. Names are unscoped (DESIGN.md Sec. 9.2);
+  /// server-level exports prefix them with "session.<id>." (Sec. 10).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Per-window emission trace, in emission order.
+  const obs::WindowTraceRecorder& trace() const { return trace_; }
+  const rewrite::TriagedQuery& triaged_query() const { return triaged_; }
+  /// Window range (span length).
+  VirtualDuration window_seconds() const { return window_seconds_; }
+  /// Hop between consecutive windows; equals window_seconds() for
+  /// tumbling windows.
+  VirtualDuration window_slide_seconds() const { return window_slide_; }
+  SessionId id() const { return id_; }
+
+  /// True when `name` is one of the query's FROM streams.
+  bool ReadsStream(std::string_view name) const {
+    return lanes_by_name_.find(name) != lanes_by_name_.end();
+  }
+
+ private:
+  QuerySession(SessionId id, rewrite::TriagedQuery triaged,
+               engine::EngineConfig config);
+
+  Status Init(IngestPlane* plane);
+
+  /// Advances the session clock to `until`, interleaving queued-tuple
+  /// processing with window emissions whose deadlines pass.
+  Status ProcessUntil(VirtualTime until);
+
+  /// True if any lane's queue holds a tuple.
+  bool HasQueuedTuple() const;
+
+  /// Pops and processes the queued tuple with the earliest timestamp.
+  Status ProcessOneQueuedTuple();
+
+  /// Routes a fully shed tuple (it will never be processed) according to
+  /// the strategy: it counts as dropped for every not-yet-emitted window
+  /// covering it.
+  Status ShedTuple(StreamLane* lane, const Tuple& tuple);
+
+  /// Marks a still-queued tuple as dropped *for one window* whose
+  /// deadline arrived before the session reached the tuple; it may yet be
+  /// kept for later windows (sliding-window case).
+  Status ShedTupleForWindow(StreamLane* lane, const Tuple& tuple,
+                            WindowId window);
+
+  /// Windows covering `t` that have not been emitted yet.
+  WindowSpan PendingWindowsFor(VirtualTime t) const;
+
+  Status EmitWindow(WindowId window);
+
+  /// Hands a finished window to the sink (when set) or the result buffer.
+  void DeliverResult(engine::WindowResult&& result);
+
+  /// Resolves the session-level and per-stream instruments from metrics_
+  /// and attaches the queue/synopsizer hooks. Called once from Init.
+  void InitInstruments();
+
+  void ChargeSynopsisTime(double seconds) {
+    session_time_ += seconds;
+    stats_.synopsis_work_seconds += seconds;
+  }
+  /// Per-stream variant: also gauges the lane's synopsis build time.
+  void ChargeSynopsisTime(StreamLane* lane, double seconds) {
+    ChargeSynopsisTime(seconds);
+    if (lane->synopsis_build_seconds != nullptr) {
+      lane->synopsis_build_seconds->Add(seconds);
+    }
+  }
+  void ChargeExactTime(double seconds) {
+    session_time_ += seconds;
+    stats_.exact_work_seconds += seconds;
+  }
+
+  SessionId id_;
+  rewrite::TriagedQuery triaged_;
+  engine::EngineConfig config_;
+  engine::AggregationSpec agg_spec_;  // valid when the query aggregates
+
+  /// This session's lanes, keyed (and iterated) by stream name so
+  /// queue-drain tie-breaking and per-window emission walk streams in the
+  /// same deterministic order the single-query engine always used. The
+  /// lanes themselves are owned by the ingest plane.
+  std::map<std::string, StreamLane*, std::less<>> lanes_by_name_;
+  VirtualDuration window_seconds_ = 1.0;  // range
+  VirtualDuration window_slide_ = 1.0;    // hop (== range when tumbling)
+
+  /// The session's processing clock: charged for this session's exact,
+  /// synopsis, and emission work only. Arrival timestamps come from the
+  /// plane's shared arrival clock, so overload on a feed pushes every
+  /// consuming session past the same deadlines.
+  VirtualTime session_time_ = 0.0;
+  bool saw_arrival_ = false;
+  WindowId next_window_to_emit_ = 0;
+  WindowId last_window_seen_ = -1;
+
+  std::vector<engine::WindowResult> results_;
+  WindowSink sink_;
+  engine::EngineStats stats_;
+  bool finished_ = false;
+
+  // --- Observability (src/obs/). The registry owns every metric; the
+  // pointers below are hot-path handles resolved once in Init.
+  obs::MetricsRegistry metrics_;
+  obs::WindowTraceRecorder trace_;
+  obs::Counter* ingested_counter_ = nullptr;
+  obs::Counter* kept_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* windows_counter_ = nullptr;
+  obs::Counter* exec_scanned_ = nullptr;
+  obs::Counter* exec_output_ = nullptr;
+  obs::Counter* exec_probes_ = nullptr;
+  obs::Counter* exec_build_inserts_ = nullptr;
+  obs::Counter* exec_comparisons_ = nullptr;
+  obs::Counter* shadow_work_ = nullptr;
+  obs::Histogram* emission_latency_ = nullptr;
+};
+
+}  // namespace datatriage::server
+
+#endif  // DATATRIAGE_SERVER_QUERY_SESSION_H_

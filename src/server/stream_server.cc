@@ -1,0 +1,99 @@
+#include "src/server/stream_server.h"
+
+#include <utility>
+
+#include "src/obs/export.h"
+#include "src/plan/binder.h"
+#include "src/sql/parser.h"
+
+namespace datatriage::server {
+
+StreamServer::StreamServer(Catalog catalog)
+    : plane_(std::move(catalog)) {}
+
+Result<SessionId> StreamServer::RegisterQuery(
+    const std::string& query_sql, engine::EngineConfig config) {
+  DT_RETURN_IF_ERROR(config.Validate());
+  DT_ASSIGN_OR_RETURN(sql::Statement statement,
+                      sql::ParseStatement(query_sql));
+  DT_ASSIGN_OR_RETURN(plan::BoundQuery bound,
+                      plan::BindStatement(statement, plane_.catalog()));
+  return RegisterQuery(std::move(bound), std::move(config));
+}
+
+Result<SessionId> StreamServer::RegisterQuery(plan::BoundQuery query,
+                                              engine::EngineConfig config) {
+  DT_RETURN_IF_ERROR(config.Validate());
+  if (started_) {
+    return Status::InvalidArgument(
+        "RegisterQuery after Push: register every query before the "
+        "first arrival so sessions see the whole feed");
+  }
+  if (finished_) {
+    return Status::InvalidArgument("RegisterQuery after Finish");
+  }
+  const SessionId id = static_cast<SessionId>(sessions_.size());
+  DT_ASSIGN_OR_RETURN(
+      std::unique_ptr<QuerySession> session,
+      QuerySession::Make(id, &plane_, std::move(query), std::move(config)));
+  sessions_.push_back(std::move(session));
+  return id;
+}
+
+Result<StreamId> StreamServer::InternStream(std::string_view name) {
+  return plane_.Intern(name);
+}
+
+Status StreamServer::Push(const engine::StreamEvent& event) {
+  if (finished_) {
+    return Status::InvalidArgument("Push after Finish");
+  }
+  started_ = true;
+  return plane_.Push(event);
+}
+
+Status StreamServer::Push(StreamId stream, const Tuple& tuple) {
+  if (finished_) {
+    return Status::InvalidArgument("Push after Finish");
+  }
+  started_ = true;
+  return plane_.Push(stream, tuple);
+}
+
+Status StreamServer::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  for (std::unique_ptr<QuerySession>& session : sessions_) {
+    DT_RETURN_IF_ERROR(session->Finish());
+  }
+  return Status::OK();
+}
+
+QuerySession& StreamServer::session(SessionId id) {
+  DT_CHECK(id < sessions_.size());
+  return *sessions_[id];
+}
+
+const QuerySession& StreamServer::session(SessionId id) const {
+  DT_CHECK(id < sessions_.size());
+  return *sessions_[id];
+}
+
+std::string StreamServer::MetricsJson() const {
+  std::string out = "{\n\"schema_version\": 1,\n\"server\": ";
+  out += obs::MetricsJson(plane_.metrics(), nullptr);
+  out += ",\n\"sessions\": [";
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n{\"session\": " + std::to_string(i) +
+           ", \"prefix\": \"session." + std::to_string(i) +
+           ".\", \"metrics\": ";
+    out += obs::MetricsJson(sessions_[i]->metrics(),
+                            &sessions_[i]->trace());
+    out += "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+}  // namespace datatriage::server

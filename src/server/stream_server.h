@@ -1,0 +1,91 @@
+#ifndef DATATRIAGE_SERVER_STREAM_SERVER_H_
+#define DATATRIAGE_SERVER_STREAM_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/result.h"
+#include "src/engine/config.h"
+#include "src/server/ingest.h"
+#include "src/server/query_session.h"
+
+namespace datatriage::server {
+
+/// Multi-query facade over one shared ingest plane (paper Fig. 1 scaled
+/// out: one triage queue per data source *per consumer*, one boundary per
+/// feed). Register every query up front, push one interleaved event feed,
+/// and read each session's results and stats independently:
+///
+///   StreamServer server(catalog);
+///   auto a = server.RegisterQuery(sql_a, config_a);
+///   auto b = server.RegisterQuery(sql_b, config_b);
+///   for (const StreamEvent& e : events) server.Push(e);
+///   server.Finish();
+///   for (WindowResult& r : server.session(*a).TakeResults()) ...
+///
+/// Each session's output is byte-identical to a standalone
+/// ContinuousQueryEngine run of the same (query, config) over the same
+/// events — co-hosting shares the ingest boundary (name resolution,
+/// validation, routing), never the per-query triage state.
+class StreamServer {
+ public:
+  explicit StreamServer(Catalog catalog);
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Parses, binds, rewrites, and hosts one continuous query. All
+  /// registration must happen before the first Push.
+  Result<SessionId> RegisterQuery(const std::string& query_sql,
+                                  engine::EngineConfig config);
+  Result<SessionId> RegisterQuery(plan::BoundQuery query,
+                                  engine::EngineConfig config);
+
+  /// Resolves a stream name to its interned id ahead of pushing, so hot
+  /// ingest loops can use the id overload of Push and skip per-event
+  /// name hashing entirely.
+  Result<StreamId> InternStream(std::string_view name);
+
+  /// Delivers one arrival to every session reading its stream. Events
+  /// must have finite, non-decreasing timestamps; violations return
+  /// InvalidArgument and leave every session untouched.
+  Status Push(const engine::StreamEvent& event);
+  Status Push(StreamId stream, const Tuple& tuple);
+
+  /// Drains every session's lanes and emits all remaining windows.
+  /// Idempotent.
+  Status Finish();
+  bool finished() const { return finished_; }
+
+  size_t session_count() const { return sessions_.size(); }
+
+  /// The session behind `id` (results, sink, stats, metrics, trace).
+  /// Ids are dense: 0 <= id < session_count().
+  QuerySession& session(SessionId id);
+  const QuerySession& session(SessionId id) const;
+
+  /// Plane-level ingest metrics (server.events_pushed, ...).
+  const obs::MetricsRegistry& server_metrics() const {
+    return plane_.metrics();
+  }
+
+  /// Combined deterministic JSON export: the plane's registry under
+  /// "server", then one entry per session whose metric names are scoped
+  /// with the "session.<id>." prefix (DESIGN.md Sec. 10). Single-session
+  /// callers that need the legacy schema should export the session's
+  /// registry directly with obs::MetricsJson.
+  std::string MetricsJson() const;
+
+ private:
+  IngestPlane plane_;
+  std::vector<std::unique_ptr<QuerySession>> sessions_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace datatriage::server
+
+#endif  // DATATRIAGE_SERVER_STREAM_SERVER_H_

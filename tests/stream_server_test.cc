@@ -1,0 +1,342 @@
+// Tests for the multi-query StreamServer: N sessions co-hosted on one
+// shared ingest plane must produce per-query results, stats, metrics,
+// and traces byte-identical to N independent ContinuousQueryEngine runs
+// over the same event subsequences (the determinism contract of
+// DESIGN.md Sec. 10), plus the server-boundary behaviors the single
+// engine never had: interned-id pushes, unrouted arrivals, and
+// registration ordering.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/engine/engine.h"
+#include "src/io/csv.h"
+#include "src/obs/export.h"
+#include "src/server/stream_server.h"
+#include "src/workload/scenario.h"
+#include "tests/test_util.h"
+
+namespace datatriage::server {
+namespace {
+
+using engine::ContinuousQueryEngine;
+using engine::EngineConfig;
+using engine::EngineStatsSnapshot;
+using engine::StreamEvent;
+using engine::WindowResult;
+using testing::Row;
+using triage::DropPolicyKind;
+using triage::SheddingStrategy;
+
+/// One query to co-host: its SQL, config, and result columns.
+struct QuerySpec {
+  std::string sql;
+  EngineConfig config;
+  std::vector<std::string> columns;
+};
+
+/// An overload scenario (600 tuples/s aggregate against a ~400 tuples/s
+/// engine) so every session actually sheds, force-sheds, and builds
+/// synopses — equivalence over a no-drop run would prove little.
+workload::Scenario OverloadScenario(uint64_t seed = 1) {
+  workload::ScenarioConfig config;
+  config.tuples_per_stream = 400;
+  config.tuples_per_window = 60.0;
+  config.rate_per_stream = 200.0;
+  config.seed = seed;
+  auto scenario = workload::BuildPaperScenario(config);
+  DT_CHECK(scenario.ok()) << scenario.status().ToString();
+  return *std::move(scenario);
+}
+
+/// Three deliberately heterogeneous queries over the scenario's streams:
+/// different FROM sets, windows, strategies, drop policies, and seeds,
+/// so co-hosting cannot accidentally pass by symmetry.
+std::vector<QuerySpec> HostedQueries(const workload::Scenario& scenario) {
+  std::vector<QuerySpec> specs;
+
+  QuerySpec paper;  // the scenario's own Fig. 7 three-way join
+  paper.sql = scenario.query_sql;
+  paper.config.strategy = SheddingStrategy::kDataTriage;
+  paper.config.queue_capacity = 50;
+  paper.config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+  paper.config.synopsis.grid.cell_width = 4.0;
+  paper.columns = {"a", "count"};
+  specs.push_back(std::move(paper));
+
+  QuerySpec drop_only;  // single-stream, exact-over-kept, tail drop
+  drop_only.sql = StringPrintf(
+      "SELECT b, COUNT(*) as count FROM S GROUP BY b; "
+      "WINDOW S['%.9f seconds'];",
+      scenario.window_seconds * 0.5);
+  drop_only.config.strategy = SheddingStrategy::kDropOnly;
+  drop_only.config.queue_capacity = 24;
+  drop_only.config.drop_policy = DropPolicyKind::kDropNewest;
+  // A slow consumer: at 5ms/tuple the 200 tuples/s feed on s is a 1x
+  // overload on its own, so this session sheds even though its query is
+  // cheap.
+  drop_only.config.cost_model.exact_tuple_cost = 1.0 / 100.0;
+  drop_only.config.seed = 7;
+  drop_only.columns = {"b", "count"};
+  specs.push_back(std::move(drop_only));
+
+  QuerySpec synergistic;  // two-stream join with the Sec. 8.1 policy
+  synergistic.sql = StringPrintf(
+      "SELECT a, COUNT(*) as count FROM R,T WHERE R.a = T.d GROUP BY a; "
+      "WINDOW R['%.9f seconds'], T['%.9f seconds'];",
+      scenario.window_seconds, scenario.window_seconds);
+  synergistic.config.strategy = SheddingStrategy::kDataTriage;
+  synergistic.config.queue_capacity = 32;
+  synergistic.config.drop_policy = DropPolicyKind::kSynergistic;
+  synergistic.config.synergistic_candidates = 4;
+  synergistic.config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+  synergistic.config.synopsis.grid.cell_width = 8.0;
+  synergistic.config.cost_model.exact_tuple_cost = 1.0 / 150.0;
+  synergistic.config.seed = 11;
+  synergistic.columns = {"a", "count"};
+  specs.push_back(std::move(synergistic));
+
+  return specs;
+}
+
+/// Output of one query run, normalized for byte comparison.
+struct RunOutput {
+  std::string results_csv;
+  EngineStatsSnapshot snapshot;
+  std::string metrics_json;
+};
+
+/// Runs `spec` on its own standalone engine, feeding only the events on
+/// streams the query reads (the wrapper rejects the rest with NotFound —
+/// exactly the subsequence the co-hosted session sees).
+RunOutput RunStandalone(const workload::Scenario& scenario,
+                        const QuerySpec& spec) {
+  auto engine = ContinuousQueryEngine::Make(scenario.catalog, spec.sql,
+                                            spec.config);
+  DT_CHECK(engine.ok()) << engine.status().ToString();
+  for (const StreamEvent& event : scenario.events) {
+    Status status = (*engine)->Push(event);
+    DT_CHECK(status.ok() || status.code() == StatusCode::kNotFound)
+        << status.ToString();
+  }
+  DT_CHECK((*engine)->Finish().ok());
+  RunOutput out;
+  out.results_csv =
+      io::FormatResultsCsv((*engine)->TakeResults(), spec.columns);
+  out.snapshot = (*engine)->StatsSnapshot();
+  out.metrics_json =
+      obs::MetricsJson((*engine)->metrics(), &(*engine)->trace());
+  return out;
+}
+
+void ExpectSnapshotsEqual(const EngineStatsSnapshot& a,
+                          const EngineStatsSnapshot& b) {
+  EXPECT_EQ(a.core.tuples_ingested, b.core.tuples_ingested);
+  EXPECT_EQ(a.core.tuples_kept, b.core.tuples_kept);
+  EXPECT_EQ(a.core.tuples_dropped, b.core.tuples_dropped);
+  EXPECT_EQ(a.core.windows_emitted, b.core.windows_emitted);
+  EXPECT_EQ(a.core.exact_work_seconds, b.core.exact_work_seconds);
+  EXPECT_EQ(a.core.synopsis_work_seconds, b.core.synopsis_work_seconds);
+  EXPECT_EQ(a.core.final_engine_time, b.core.final_engine_time);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  EXPECT_EQ(a.gauge_maxima, b.gauge_maxima);
+}
+
+// --- The equivalence contract -------------------------------------------
+
+TEST(StreamServerTest, SessionsMatchStandaloneEnginesByteForByte) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  std::vector<SessionId> ids;
+  for (const QuerySpec& spec : specs) {
+    auto id = server.RegisterQuery(spec.sql, spec.config);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  for (const StreamEvent& event : scenario.events) {
+    ASSERT_TRUE(server.Push(event).ok());
+  }
+  ASSERT_TRUE(server.Finish().ok());
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    const RunOutput standalone = RunStandalone(scenario, specs[i]);
+    QuerySession& session = server.session(ids[i]);
+
+    // Results: identical windows, identical rows, identical formatting.
+    const std::string hosted_csv =
+        io::FormatResultsCsv(session.TakeResults(), specs[i].columns);
+    EXPECT_GT(hosted_csv.size(), 0u);
+    EXPECT_EQ(hosted_csv, standalone.results_csv);
+
+    // Stats: every core field, counter, gauge, and high-watermark.
+    const EngineStatsSnapshot hosted = session.StatsSnapshot();
+    EXPECT_GT(hosted.core.tuples_dropped, 0);
+    ExpectSnapshotsEqual(hosted, standalone.snapshot);
+
+    // Drop causes partition the dropped count in both runs: policy
+    // eviction, force shed, and summarize bypass are exhaustive and
+    // disjoint, co-hosted or not.
+    int64_t by_cause = 0;
+    for (const auto& [name, value] : hosted.counters) {
+      if (name.rfind("stream.", 0) == 0 &&
+          name.find(".dropped.") != std::string::npos) {
+        by_cause += value;
+      }
+    }
+    EXPECT_EQ(by_cause, hosted.core.tuples_dropped);
+
+    // Metrics + trace export, byte-for-byte.
+    EXPECT_EQ(obs::MetricsJson(session.metrics(), &session.trace()),
+              standalone.metrics_json);
+  }
+}
+
+TEST(StreamServerTest, InternedIdPushMatchesNamePush) {
+  const workload::Scenario scenario = OverloadScenario(2);
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  std::vector<std::string> by_name, by_id;
+  for (std::vector<std::string>* out : {&by_name, &by_id}) {
+    StreamServer server(scenario.catalog);
+    std::vector<SessionId> ids;
+    for (const QuerySpec& spec : specs) {
+      auto id = server.RegisterQuery(spec.sql, spec.config);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids.push_back(*id);
+    }
+    if (out == &by_id) {
+      // Resolve names once at the boundary, then push ids only — the
+      // hot-loop pattern the id overload exists for.
+      std::map<std::string, StreamId> interned;
+      for (const StreamEvent& event : scenario.events) {
+        auto it = interned.find(event.stream);
+        if (it == interned.end()) {
+          auto id = server.InternStream(event.stream);
+          ASSERT_TRUE(id.ok()) << id.status().ToString();
+          it = interned.emplace(event.stream, *id).first;
+        }
+        ASSERT_TRUE(server.Push(it->second, event.tuple).ok());
+      }
+    } else {
+      for (const StreamEvent& event : scenario.events) {
+        ASSERT_TRUE(server.Push(event).ok());
+      }
+    }
+    ASSERT_TRUE(server.Finish().ok());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      out->push_back(io::FormatResultsCsv(
+          server.session(ids[i]).TakeResults(), specs[i].columns));
+      out->push_back(obs::MetricsJson(server.session(ids[i]).metrics(),
+                                      &server.session(ids[i]).trace()));
+    }
+    out->push_back(server.MetricsJson());
+  }
+  EXPECT_EQ(by_name, by_id);
+}
+
+// --- Server-boundary behavior -------------------------------------------
+
+TEST(StreamServerTest, RejectsRegistrationAfterFirstPush) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  ASSERT_TRUE(server.RegisterQuery(specs[0].sql, specs[0].config).ok());
+  ASSERT_TRUE(server.Push(scenario.events.front()).ok());
+
+  auto late = server.RegisterQuery(specs[1].sql, specs[1].config);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(late.status().message().find("RegisterQuery after Push"),
+            std::string::npos);
+  EXPECT_EQ(server.session_count(), 1u);
+}
+
+TEST(StreamServerTest, CountsUnroutedCatalogStreamsAndRejectsUnknown) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  // Only the drop_only query (reads s) is registered: arrivals on r and
+  // t are valid catalog traffic with no consumer.
+  auto id = server.RegisterQuery(specs[1].sql, specs[1].config);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  ASSERT_TRUE(server.Push({"r", Row({5}, 0.1)}).ok());
+  ASSERT_TRUE(server.Push({"s", Row({5, 7}, 0.2)}).ok());
+  ASSERT_TRUE(server.Push({"t", Row({7}, 0.3)}).ok());
+
+  Status unknown = server.Push({"nonesuch", Row({1}, 0.4)});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(server.Finish().ok());
+  const auto totals = server.server_metrics().CounterTotals();
+  EXPECT_EQ(totals.at("server.events_pushed"), 3);
+  EXPECT_EQ(totals.at("server.events_unrouted"), 2);
+  const EngineStatsSnapshot snapshot =
+      server.session(*id).StatsSnapshot();
+  EXPECT_EQ(snapshot.core.tuples_ingested, 1);
+}
+
+TEST(StreamServerTest, SharedFeedEnforcesOneTimestampOrder) {
+  // The arrival clock is plane-wide: after an event at t=1.0 on r, an
+  // event at t=0.5 on s is out of order even though s never saw t=1.0.
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  ASSERT_TRUE(server.RegisterQuery(specs[0].sql, specs[0].config).ok());
+  ASSERT_TRUE(server.Push({"r", Row({5}, 1.0)}).ok());
+  Status status = server.Push({"s", Row({5, 7}, 0.5)});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("timestamp order"), std::string::npos);
+}
+
+TEST(StreamServerTest, CombinedMetricsJsonScopesSessionsByPrefix) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  for (const QuerySpec& spec : specs) {
+    ASSERT_TRUE(server.RegisterQuery(spec.sql, spec.config).ok());
+  }
+  for (const StreamEvent& event : scenario.events) {
+    ASSERT_TRUE(server.Push(event).ok());
+  }
+  ASSERT_TRUE(server.Finish().ok());
+
+  const std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"server\": "), std::string::npos);
+  EXPECT_NE(json.find("server.events_pushed"), std::string::npos);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_NE(json.find("\"prefix\": \"session." + std::to_string(i) +
+                        ".\""),
+              std::string::npos)
+        << "session " << i;
+  }
+  // Deterministic across identical runs.
+  StreamServer again(scenario.catalog);
+  for (const QuerySpec& spec : specs) {
+    ASSERT_TRUE(again.RegisterQuery(spec.sql, spec.config).ok());
+  }
+  for (const StreamEvent& event : scenario.events) {
+    ASSERT_TRUE(again.Push(event).ok());
+  }
+  ASSERT_TRUE(again.Finish().ok());
+  EXPECT_EQ(json, again.MetricsJson());
+}
+
+}  // namespace
+}  // namespace datatriage::server
