@@ -1,0 +1,182 @@
+// Ablation: worker-pool session execution (DESIGN.md Sec. 11).
+//
+// Co-hosts 8 instances of the paper's Fig. 7 query (distinct seeds, so
+// their drop decisions differ) on one StreamServer and replays the
+// Fig. 8 constant-rate feed through them at worker_threads in
+// {0, 1, 2, 4, 8}. For every setting the bench (a) asserts each
+// session's results CSV and metrics JSON are byte-identical to the
+// serial (workers=0) run — the determinism contract the parallel mode
+// must keep — and (b) measures wall-clock feed throughput, reporting
+// the speedup over serial.
+//
+// Speedup scales with physical cores: the per-event work fans out to
+// 8 sessions whose processing is embarrassingly parallel across the
+// pool, while the ingest thread only validates, routes, and enqueues.
+// On a single-core host the parallel settings degrade to ~1x (the
+// pipeline can't overlap), but the equivalence assertions still bite —
+// which is exactly what the TSan smoke mode exists for.
+//
+// Usage: abl_parallel_sessions [--smoke]
+//   --smoke  small feed, workers {0, 4} only, no JSON — a fast
+//            correctness pass for sanitizer CI.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/io/csv.h"
+#include "src/obs/export.h"
+#include "src/server/stream_server.h"
+
+namespace datatriage::bench {
+namespace {
+
+constexpr size_t kQueries = 8;
+
+/// Per-session outputs of one run, for byte comparison across settings.
+struct RunOutputs {
+  std::vector<std::string> results_csv;
+  std::vector<std::string> metrics_json;
+  double seconds = 0.0;
+};
+
+workload::Scenario BuildFeed(bool smoke) {
+  workload::ScenarioConfig config;
+  // ~1.5x the engine's ~400 tuples/s saturation point: sessions shed
+  // (so triage, synopses, and force-shed paths all run) while keeping
+  // enough tuples that per-window join evaluation dominates the run.
+  config.tuples_per_stream = smoke ? 400 : 4000;
+  config.tuples_per_window = 60.0;
+  config.rate_per_stream = 200.0;
+  config.seed = 1;
+  auto scenario = workload::BuildPaperScenario(config);
+  DT_CHECK(scenario.ok()) << scenario.status().ToString();
+  return *std::move(scenario);
+}
+
+engine::EngineConfig SessionConfig(size_t query_index) {
+  engine::EngineConfig config;
+  config.strategy = triage::SheddingStrategy::kDataTriage;
+  config.queue_capacity = 100;
+  config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+  config.synopsis.grid.cell_width = 4.0;
+  // Distinct seeds: co-hosted sessions must not pass equivalence by
+  // accidentally being copies of one another.
+  config.seed = 1 + 7919 * static_cast<uint64_t>(query_index);
+  return config;
+}
+
+RunOutputs RunOnce(const workload::Scenario& scenario,
+                   size_t worker_threads) {
+  engine::StreamServerOptions options;
+  options.worker_threads = worker_threads;
+  server::StreamServer server(scenario.catalog, options);
+  std::vector<server::SessionId> ids;
+  for (size_t q = 0; q < kQueries; ++q) {
+    auto id = server.RegisterQuery(scenario.query_sql, SessionConfig(q));
+    DT_CHECK(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
+  Status pushed = server.PushBatch(scenario.events);
+  DT_CHECK(pushed.ok()) << pushed.ToString();
+  Status finished = server.Finish();
+  DT_CHECK(finished.ok()) << finished.ToString();
+  const double seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  RunOutputs out;
+  out.seconds = seconds;
+  const std::vector<std::string> columns = {"a", "count"};
+  for (server::SessionId id : ids) {
+    server::QuerySession& session = server.session(id);
+    out.results_csv.push_back(
+        io::FormatResultsCsv(session.TakeResults(), columns));
+    out.metrics_json.push_back(
+        obs::MetricsJson(session.metrics(), &session.trace()));
+  }
+  return out;
+}
+
+void ExpectEquivalent(const RunOutputs& serial, const RunOutputs& run,
+                      size_t workers) {
+  for (size_t q = 0; q < kQueries; ++q) {
+    DT_CHECK(run.results_csv[q] == serial.results_csv[q])
+        << "workers=" << workers << " session " << q
+        << ": results diverged from the serial run";
+    DT_CHECK(run.metrics_json[q] == serial.metrics_json[q])
+        << "workers=" << workers << " session " << q
+        << ": metrics diverged from the serial run";
+  }
+}
+
+void Run(bool smoke) {
+  const workload::Scenario scenario = BuildFeed(smoke);
+  const std::vector<size_t> worker_settings =
+      smoke ? std::vector<size_t>{0, 4}
+            : std::vector<size_t>{0, 1, 2, 4, 8};
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("== Parallel sessions: %zu co-hosted fig8 queries, %zu "
+              "events ==\n",
+              kQueries, scenario.events.size());
+  std::printf("%8s %10s %12s %8s\n", "workers", "seconds", "events/s",
+              "speedup");
+
+  std::vector<BenchRecord> records;
+  RunOutputs serial;
+  double serial_seconds = 0.0;
+  for (size_t workers : worker_settings) {
+    // Best-of-reps wall time; outputs are checked on every rep.
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      RunOutputs run = RunOnce(scenario, workers);
+      if (workers == 0 && rep == 0) {
+        serial = std::move(run);
+        best = serial.seconds;
+        continue;
+      }
+      ExpectEquivalent(serial, run, workers);
+      if (rep == 0 || run.seconds < best) best = run.seconds;
+    }
+    if (workers == 0) serial_seconds = best;
+    const double events_per_sec =
+        static_cast<double>(scenario.events.size()) / best;
+    std::printf("%8zu %10.3f %12.0f %7.2fx\n", workers, best,
+                events_per_sec, serial_seconds / best);
+    BenchRecord record;
+    record.name = "parallel_sessions/q" + std::to_string(kQueries) +
+                  "/workers=" + std::to_string(workers);
+    record.ns_per_op =
+        best * 1e9 / static_cast<double>(scenario.events.size());
+    record.tuples_per_sec = events_per_sec;
+    records.push_back(std::move(record));
+  }
+
+  if (!smoke) {
+    WriteBenchJson("BENCH_parallel.json", records);
+    std::fprintf(stderr, "wrote BENCH_parallel.json (%zu records)\n",
+                 records.size());
+  } else {
+    std::fprintf(stderr,
+                 "smoke ok: per-session outputs byte-identical across "
+                 "worker settings\n");
+  }
+}
+
+}  // namespace
+}  // namespace datatriage::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  datatriage::bench::Run(smoke);
+  return 0;
+}

@@ -17,10 +17,8 @@ RunResult RunScenario(const workload::Scenario& scenario,
                                                     scenario.query_sql,
                                                     config);
   DT_CHECK(engine.ok()) << engine.status().ToString();
-  for (const engine::StreamEvent& event : scenario.events) {
-    Status s = (*engine)->Push(event);
-    DT_CHECK(s.ok()) << s.ToString();
-  }
+  Status pushed = (*engine)->PushBatch(scenario.events);
+  DT_CHECK(pushed.ok()) << pushed.ToString();
   Status s = (*engine)->Finish();
   DT_CHECK(s.ok()) << s.ToString();
   std::vector<engine::WindowResult> results = (*engine)->TakeResults();

@@ -25,6 +25,9 @@
 //   --buckets=N         MHIST bucket budget        (default 64)
 //   --reservoir=N       reservoir capacity         (default 64)
 //   --queue-capacity=N  triage queue slots         (default 100)
+//   --workers=N         worker threads session execution is sharded
+//                       across; 0 = serial (default). Per-query output
+//                       is byte-identical at any setting (DESIGN.md §11)
 //   --drop-policy=random|drop_newest|drop_oldest|synergistic
 //   --seed=N            drop-policy seed           (default 1)
 //   --sort-events       time-sort the event file before feeding
@@ -72,6 +75,7 @@ bool ConsumeFlag(const std::string& arg, const std::string& name,
 
 int main(int argc, char** argv) {
   datatriage::engine::EngineConfig config;
+  datatriage::engine::StreamServerOptions server_options;
   config.queue_capacity = 100;
   std::string synopsis_kind = "grid";
   std::string metrics_json_path;
@@ -102,6 +106,9 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ConsumeFlag(arg, "queue-capacity", &value)) {
       config.queue_capacity =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ConsumeFlag(arg, "workers", &value)) {
+      server_options.worker_threads =
           static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ConsumeFlag(arg, "seed", &value)) {
       config.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
@@ -238,15 +245,18 @@ int main(int argc, char** argv) {
       column_names[i].push_back(f.name);
     }
   }
-  datatriage::server::StreamServer server(catalog);
+  if (Status s = server_options.Validate(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  datatriage::server::StreamServer server(catalog, server_options);
   for (size_t i = 0; i < num_queries; ++i) {
     auto id = server.RegisterQuery(std::move(bound_queries[i]), config);
     if (!id.ok()) return Fail(id.status().ToString());
   }
-  for (const datatriage::engine::StreamEvent& event : *events) {
-    if (Status s = server.Push(event); !s.ok()) {
-      return Fail(s.ToString());
-    }
+  // One batch: timestamps validate in a single pass and same-stream runs
+  // skip the per-event name lookup (StreamServer::PushBatch).
+  if (Status s = server.PushBatch(*events); !s.ok()) {
+    return Fail(s.ToString());
   }
   if (Status s = server.Finish(); !s.ok()) return Fail(s.ToString());
 

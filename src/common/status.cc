@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "bind error";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
   }
   return "unknown";
 }

@@ -20,6 +20,10 @@ enum class StatusCode {
   kParseError,
   kBindError,
   kResourceExhausted,
+  /// The operation is valid in some state the object is not currently in
+  /// (e.g. registering a query after streaming started). Distinct from
+  /// kInvalidArgument: the arguments are fine, the timing is not.
+  kFailedPrecondition,
 };
 
 /// Returns the canonical lower-case name of `code` (e.g. "invalid argument").
@@ -72,6 +76,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -25,4 +25,19 @@ Status EngineConfig::Validate() const {
   return Status::OK();
 }
 
+Status StreamServerOptions::Validate() const {
+  if (task_queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "StreamServerOptions: task_queue_capacity must be positive (a "
+        "zero-slot task queue could never hand a worker any work)");
+  }
+  if (worker_threads > 256) {
+    return Status::InvalidArgument(
+        "StreamServerOptions: worker_threads must be at most 256 (one "
+        "thread per session is the useful maximum; the pool is clamped "
+        "to the session count anyway)");
+  }
+  return Status::OK();
+}
+
 }  // namespace datatriage::engine

@@ -40,6 +40,30 @@ struct EngineConfig {
   Status Validate() const;
 };
 
+/// Execution options of a server::StreamServer (kept here with the other
+/// config types so callers configure a deployment from one header).
+struct StreamServerOptions {
+  /// Number of worker threads session execution is sharded across.
+  /// 0 (the default) runs every session inline on the pushing thread —
+  /// the fully serial legacy mode. N >= 1 starts a pool of N workers;
+  /// each session is pinned to the worker `session_id % N`, so a
+  /// session's arrivals are always consumed in feed order by exactly one
+  /// thread and its output stays byte-identical to the serial run
+  /// (DESIGN.md Sec. 11). The pool is clamped to the session count —
+  /// extra threads would only idle.
+  size_t worker_threads = 0;
+
+  /// Capacity of each worker's bounded SPSC task queue, in tasks
+  /// (rounded up to a power of two). The pushing thread blocks when the
+  /// owning worker's queue is full — backpressure, never loss: load
+  /// shedding is the triage queues' job, not the task queues'.
+  size_t task_queue_capacity = 1024;
+
+  /// Checks the options' invariants: a positive task_queue_capacity and
+  /// a worker_threads count within the sane ceiling (256).
+  Status Validate() const;
+};
+
 /// One tuple arriving on a named stream; the tuple's timestamp is its
 /// arrival time on the virtual clock. The name is the wire format of an
 /// arrival — the ingest plane resolves it to an interned StreamId once at

@@ -32,17 +32,30 @@ Result<std::unique_ptr<ContinuousQueryEngine>> ContinuousQueryEngine::Make(
 }
 
 Status ContinuousQueryEngine::Push(const StreamEvent& event) {
-  if (server_.finished()) {
-    return Status::InvalidArgument("Push after Finish");
-  }
   // The server accepts any catalog stream (other sessions might read
   // it); the single-query engine keeps its historical contract of
-  // rejecting streams outside its own query.
-  if (!session().ReadsStream(event.stream)) {
+  // rejecting streams outside its own query. A finished server wins
+  // over the membership check — let it name its state.
+  if (server_.state() != server::ServerState::kFinished &&
+      !session().ReadsStream(event.stream)) {
     return Status::NotFound("stream '" + event.stream +
                             "' is not part of this query");
   }
   return server_.Push(event);
+}
+
+Status ContinuousQueryEngine::PushBatch(
+    std::span<const StreamEvent> events) {
+  if (server_.state() != server::ServerState::kFinished) {
+    for (const StreamEvent& event : events) {
+      if (!session().ReadsStream(event.stream)) {
+        return Status::NotFound("stream '" + event.stream +
+                                "' is not part of this query; no event "
+                                "of the batch was ingested");
+      }
+    }
+  }
+  return server_.PushBatch(events);
 }
 
 Status ContinuousQueryEngine::Finish() { return server_.Finish(); }

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,13 @@ class ContinuousQueryEngine {
   /// timestamps; violations return InvalidArgument and leave the engine
   /// state untouched (the offending event is not ingested).
   Status Push(const StreamEvent& event);
+
+  /// Batched ingest: stream membership is checked for the whole batch up
+  /// front (NotFound, nothing ingested, when any event names a stream
+  /// outside this query) and timestamps are validated once per batch by
+  /// the underlying server. For valid input the result is byte-identical
+  /// to pushing the events one by one; hot feed loops should prefer it.
+  Status PushBatch(std::span<const StreamEvent> events);
 
   /// Drains queues and emits every remaining window (through the window
   /// sink when one is set).

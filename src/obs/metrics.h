@@ -80,7 +80,19 @@ class Histogram {
 ///
 /// The registry is engine-local and driven entirely by the engine's
 /// virtual clock — it never reads wall-clock time, so identical runs
-/// produce identical metrics.
+/// produce identical metrics (the one exception: the server.worker.*
+/// instruments the StreamServer flushes after a parallel run carry
+/// wall-clock busy-seconds; see DESIGN.md Sec. 11).
+///
+/// Threading discipline: registries and their instruments are NOT
+/// thread-safe and are deliberately left lock-free-single-writer. Each
+/// registry has exactly one writing thread at a time — a session's
+/// registry is written by the worker that owns the session (or the
+/// pushing thread in serial mode), the plane's registry by the ingest
+/// thread, and the worker pool keeps its own worker-local counters that
+/// the server folds in only after the Finish barrier, when everything is
+/// single-threaded again. Readers (snapshots, JSON export) run after
+/// that barrier too.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

@@ -82,6 +82,34 @@ Result<StreamLane*> IngestPlane::Subscribe(
   return raw;
 }
 
+void IngestPlane::SetDispatcher(LaneDispatcher dispatcher) {
+  dispatcher_ = std::move(dispatcher);
+}
+
+Status IngestPlane::Deliver(StreamEntry& entry, const Tuple& tuple) {
+  if (tuple.size() != entry.schema.num_fields()) {
+    return Status::InvalidArgument(
+        StringPrintf("tuple arity %zu does not match stream '%s' (%zu)",
+                     tuple.size(), entry.name.c_str(),
+                     entry.schema.num_fields()));
+  }
+  saw_arrival_ = true;
+  last_arrival_time_ = tuple.timestamp();
+  events_pushed_->Add(1);
+  if (entry.lanes.empty()) {
+    events_unrouted_->Add(1);
+    return Status::OK();
+  }
+  for (StreamLane* lane : entry.lanes) {
+    if (dispatcher_) {
+      DT_RETURN_IF_ERROR(dispatcher_(lane, tuple));
+    } else {
+      DT_RETURN_IF_ERROR(lane->session->Ingest(lane, tuple));
+    }
+  }
+  return Status::OK();
+}
+
 Status IngestPlane::Push(StreamId stream, const Tuple& tuple) {
   DT_CHECK(stream < streams_.size());
   StreamEntry& entry = streams_[stream];
@@ -100,21 +128,43 @@ Status IngestPlane::Push(StreamId stream, const Tuple& tuple) {
         "events must arrive in timestamp order (%g after %g)", arrival,
         last_arrival_time_));
   }
-  if (tuple.size() != entry.schema.num_fields()) {
-    return Status::InvalidArgument(
-        StringPrintf("tuple arity %zu does not match stream '%s' (%zu)",
-                     tuple.size(), entry.name.c_str(),
-                     entry.schema.num_fields()));
+  return Deliver(entry, tuple);
+}
+
+Status IngestPlane::PushBatch(std::span<const engine::StreamEvent> events) {
+  // Pass 1 — timestamps, batch-atomically: every failure here leaves the
+  // plane (and every session) untouched, which per-event Push cannot
+  // promise for an error in the middle of a burst.
+  VirtualTime previous = last_arrival_time_;
+  bool saw_previous = saw_arrival_;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const VirtualTime arrival = events[i].tuple.timestamp();
+    if (!std::isfinite(arrival)) {
+      return Status::InvalidArgument(StringPrintf(
+          "batch event %zu on stream '%s': timestamp must be finite "
+          "(got %g); no event of the batch was ingested",
+          i, events[i].stream.c_str(), arrival));
+    }
+    if (saw_previous && arrival < previous) {
+      return Status::InvalidArgument(StringPrintf(
+          "batch event %zu: events must arrive in timestamp order "
+          "(%g after %g); no event of the batch was ingested",
+          i, arrival, previous));
+    }
+    saw_previous = true;
+    previous = arrival;
   }
-  saw_arrival_ = true;
-  last_arrival_time_ = arrival;
-  events_pushed_->Add(1);
-  if (entry.lanes.empty()) {
-    events_unrouted_->Add(1);
-    return Status::OK();
-  }
-  for (StreamLane* lane : entry.lanes) {
-    DT_RETURN_IF_ERROR(lane->session->Ingest(lane, tuple));
+  // Pass 2 — delivery, with the interner lookup memoized across runs of
+  // same-stream events (bursts from one source are the common case).
+  StreamEntry* entry = nullptr;
+  std::string_view entry_name;
+  for (const engine::StreamEvent& event : events) {
+    if (entry == nullptr || event.stream != entry_name) {
+      DT_ASSIGN_OR_RETURN(StreamId id, Intern(event.stream));
+      entry = &streams_[id];
+      entry_name = entry->name;
+    }
+    DT_RETURN_IF_ERROR(Deliver(*entry, event.tuple));
   }
   return Status::OK();
 }

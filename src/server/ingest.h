@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -120,12 +122,39 @@ class IngestPlane {
   /// Name-resolving variant (one interner lookup, then Push by id).
   Status Push(const engine::StreamEvent& event);
 
+  /// Batched push with the validation hoisted out of the per-event path:
+  /// one pass checks every timestamp (finite, non-decreasing within the
+  /// batch and against the arrival clock) before any state changes — an
+  /// invalid timestamp anywhere rejects the whole batch with no event
+  /// ingested — then the delivery pass routes each event, memoizing the
+  /// previous event's stream so runs of same-stream arrivals skip the
+  /// interner entirely. For valid input the observable effects (lane
+  /// deliveries, counters, arrival clock) are exactly those of pushing
+  /// the events one by one. A mid-batch arity error keeps loop
+  /// semantics: events before the offender stay ingested.
+  Status PushBatch(std::span<const engine::StreamEvent> events);
+
+  /// Routing override for parallel execution: when set, every validated
+  /// arrival is handed to `dispatcher` (which enqueues it on the owning
+  /// session's worker) instead of running the lane's session inline.
+  /// Pass nullptr to restore inline delivery. Validation, the arrival
+  /// clock, and plane metrics stay on the pushing thread either way —
+  /// the arrival clock keeps a single writer (DESIGN.md Sec. 11).
+  using LaneDispatcher = std::function<Status(StreamLane*, const Tuple&)>;
+  void SetDispatcher(LaneDispatcher dispatcher);
+
   /// The shared arrival clock: timestamp of the latest accepted arrival.
   VirtualTime now() const { return last_arrival_time_; }
 
   /// Plane-level metrics: server.events_pushed, server.events_unrouted,
-  /// server.streams_interned.
+  /// server.streams_interned (plus, after a parallel run's Finish, the
+  /// flushed server.worker.<k>.* instruments).
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Mutable registry access for the server to flush worker-pool
+  /// accounting into after the Finish barrier (single-threaded again by
+  /// then).
+  obs::MetricsRegistry& mutable_metrics() { return metrics_; }
 
  private:
   struct StreamEntry {
@@ -135,6 +164,10 @@ class IngestPlane {
     std::vector<StreamLane*> lanes;
   };
 
+  /// The post-validation tail of Push: clock advance, counters, and
+  /// delivery to every subscribed lane (via the dispatcher when set).
+  Status Deliver(StreamEntry& entry, const Tuple& tuple);
+
   Catalog catalog_;
   /// deque: stable StreamEntry addresses across Intern calls.
   std::deque<StreamEntry> streams_;
@@ -143,6 +176,7 @@ class IngestPlane {
 
   VirtualTime last_arrival_time_ = 0.0;
   bool saw_arrival_ = false;
+  LaneDispatcher dispatcher_;
 
   obs::MetricsRegistry metrics_;
   obs::Counter* events_pushed_ = nullptr;

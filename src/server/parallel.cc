@@ -1,0 +1,43 @@
+#include "src/server/parallel.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace datatriage::server {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SpscTaskQueue::SpscTaskQueue(size_t min_capacity) {
+  DT_CHECK(min_capacity > 0);
+  slots_.resize(NextPowerOfTwo(min_capacity));
+  mask_ = slots_.size() - 1;
+}
+
+bool SpscTaskQueue::TryPush(WorkerTask&& task) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head == slots_.size()) return false;  // full
+  slots_[tail & mask_] = std::move(task);
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+bool SpscTaskQueue::TryPop(WorkerTask* out) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) return false;  // empty
+  *out = std::move(slots_[head & mask_]);
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+}  // namespace datatriage::server

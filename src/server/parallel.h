@@ -1,0 +1,76 @@
+#ifndef DATATRIAGE_SERVER_PARALLEL_H_
+#define DATATRIAGE_SERVER_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/tuple/tuple.h"
+
+namespace datatriage::server {
+
+class QuerySession;
+struct StreamLane;
+
+/// One unit of work handed from the ingest thread to a session's worker.
+/// kIngest delivers a validated arrival to `lane` (the tuple travels by
+/// value: the ingest thread keeps no reference once the task is
+/// enqueued); kFinish runs `session`'s end-of-stream drain on its owning
+/// worker so Finish work parallelizes like ingest work does.
+struct WorkerTask {
+  enum class Kind : uint8_t { kIngest, kFinish };
+  Kind kind = Kind::kIngest;
+  StreamLane* lane = nullptr;       // kIngest only
+  QuerySession* session = nullptr;  // kFinish only
+  Tuple tuple;                      // kIngest only
+};
+
+/// Bounded single-producer/single-consumer ring of WorkerTasks. The
+/// ingest thread is the only producer and the owning worker the only
+/// consumer, so the ring needs exactly two atomics: `tail_` (producer
+/// cursor, release-published after the slot is written) and `head_`
+/// (consumer cursor, release-published after the slot is moved out).
+/// Capacity is rounded up to a power of two so wrap-around is a mask.
+class SpscTaskQueue {
+ public:
+  /// `min_capacity` must be positive; the ring allocates the next power
+  /// of two at or above it.
+  explicit SpscTaskQueue(size_t min_capacity);
+
+  SpscTaskQueue(const SpscTaskQueue&) = delete;
+  SpscTaskQueue& operator=(const SpscTaskQueue&) = delete;
+
+  /// Producer side. False when the ring is full (caller backs off and
+  /// retries — backpressure, never loss).
+  bool TryPush(WorkerTask&& task);
+
+  /// Consumer side. False when the ring is empty.
+  bool TryPop(WorkerTask* out);
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<WorkerTask> slots_;
+  size_t mask_;
+  /// Separate cache lines: the producer spins on tail_ (own) + head_
+  /// (theirs) and the consumer on the opposite pair; sharing a line
+  /// would ping-pong it on every task.
+  alignas(64) std::atomic<uint64_t> head_{0};  // next slot to pop
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next slot to fill
+};
+
+/// The sharding rule: session `id` is owned by worker `id % workers`.
+/// Static modulo sharding (not work stealing) is what keeps the
+/// parallel run byte-identical to the serial one — every lane of a
+/// session maps to the same worker, so the session's arrivals are
+/// consumed in feed order by a single thread and its processing clock,
+/// RNGs, and window emission order never depend on scheduling
+/// (DESIGN.md Sec. 11).
+inline size_t WorkerForSession(uint32_t session_id, size_t workers) {
+  return workers == 0 ? 0 : static_cast<size_t>(session_id) % workers;
+}
+
+}  // namespace datatriage::server
+
+#endif  // DATATRIAGE_SERVER_PARALLEL_H_

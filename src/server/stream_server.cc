@@ -1,15 +1,42 @@
 #include "src/server/stream_server.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/common/string_util.h"
 #include "src/obs/export.h"
 #include "src/plan/binder.h"
 #include "src/sql/parser.h"
 
 namespace datatriage::server {
 
-StreamServer::StreamServer(Catalog catalog)
-    : plane_(std::move(catalog)) {}
+std::string_view ServerStateName(ServerState state) {
+  switch (state) {
+    case ServerState::kRegistering:
+      return "kRegistering";
+    case ServerState::kStreaming:
+      return "kStreaming";
+    case ServerState::kFinished:
+      return "kFinished";
+  }
+  return "unknown";
+}
+
+StreamServer::StreamServer(Catalog catalog,
+                           engine::StreamServerOptions options)
+    : options_(options), plane_(std::move(catalog)) {
+  Status valid = options_.Validate();
+  DT_CHECK(valid.ok()) << valid.ToString();
+}
+
+StreamServer::~StreamServer() {
+  // The pool (if streaming never reached Finish) must stop before the
+  // sessions and lanes its queued tasks point into are torn down.
+  if (pool_ != nullptr) {
+    pool_->Stop();
+    plane_.SetDispatcher(nullptr);
+  }
+}
 
 Result<SessionId> StreamServer::RegisterQuery(
     const std::string& query_sql, engine::EngineConfig config) {
@@ -24,13 +51,12 @@ Result<SessionId> StreamServer::RegisterQuery(
 Result<SessionId> StreamServer::RegisterQuery(plan::BoundQuery query,
                                               engine::EngineConfig config) {
   DT_RETURN_IF_ERROR(config.Validate());
-  if (started_) {
-    return Status::InvalidArgument(
-        "RegisterQuery after Push: register every query before the "
-        "first arrival so sessions see the whole feed");
-  }
-  if (finished_) {
-    return Status::InvalidArgument("RegisterQuery after Finish");
+  if (state_ != ServerState::kRegistering) {
+    return Status::FailedPrecondition(StringPrintf(
+        "RegisterQuery after Push (server state %s): register every "
+        "query while the server is still kRegistering, so sessions see "
+        "the whole feed",
+        std::string(ServerStateName(state_)).c_str()));
   }
   const SessionId id = static_cast<SessionId>(sessions_.size());
   DT_ASSIGN_OR_RETURN(
@@ -44,39 +70,129 @@ Result<StreamId> StreamServer::InternStream(std::string_view name) {
   return plane_.Intern(name);
 }
 
-Status StreamServer::Push(const engine::StreamEvent& event) {
-  if (finished_) {
-    return Status::InvalidArgument("Push after Finish");
+Status StreamServer::EnsureStreaming() {
+  if (state_ == ServerState::kFinished) {
+    return Status::FailedPrecondition(
+        "Push on a finished StreamServer (state kFinished): results are "
+        "sealed once Finish has run");
   }
-  started_ = true;
+  if (state_ == ServerState::kRegistering) {
+    state_ = ServerState::kStreaming;
+    const size_t workers =
+        std::min(options_.worker_threads, sessions_.size());
+    if (workers > 0) {
+      pool_ = std::make_unique<WorkerPool>(workers,
+                                           options_.task_queue_capacity);
+      plane_.SetDispatcher([this](StreamLane* lane, const Tuple& tuple) {
+        WorkerTask task;
+        task.kind = WorkerTask::Kind::kIngest;
+        task.lane = lane;
+        task.tuple = tuple;  // by value: the plane's reference dies here
+        pool_->Dispatch(
+            WorkerForSession(lane->session->id(), pool_->size()),
+            std::move(task));
+        return Status::OK();
+      });
+    }
+  }
+  // Asynchronous execution defers errors; surface the earliest one on
+  // the next push rather than silently feeding a dead session.
+  if (pool_ != nullptr && pool_->error_seen()) return pool_->first_error();
+  return Status::OK();
+}
+
+Status StreamServer::Push(const engine::StreamEvent& event) {
+  DT_RETURN_IF_ERROR(EnsureStreaming());
   return plane_.Push(event);
 }
 
 Status StreamServer::Push(StreamId stream, const Tuple& tuple) {
-  if (finished_) {
-    return Status::InvalidArgument("Push after Finish");
-  }
-  started_ = true;
+  DT_RETURN_IF_ERROR(EnsureStreaming());
   return plane_.Push(stream, tuple);
 }
 
+Status StreamServer::PushBatch(
+    std::span<const engine::StreamEvent> events) {
+  DT_RETURN_IF_ERROR(EnsureStreaming());
+  return plane_.PushBatch(events);
+}
+
 Status StreamServer::Finish() {
-  if (finished_) return Status::OK();
-  finished_ = true;
+  if (state_ == ServerState::kFinished) return Status::OK();
+  state_ = ServerState::kFinished;
+  if (pool_ != nullptr) {
+    // Each session finishes on its owning worker — end-of-stream drain
+    // parallelizes like ingest — then the pool's barrier walks workers
+    // in index order and reports the lowest-id session error, so what
+    // the caller observes never depends on thread timing.
+    for (std::unique_ptr<QuerySession>& session : sessions_) {
+      WorkerTask task;
+      task.kind = WorkerTask::Kind::kFinish;
+      task.session = session.get();
+      pool_->Dispatch(WorkerForSession(session->id(), pool_->size()),
+                      std::move(task));
+    }
+    Status status = pool_->Stop();
+    plane_.SetDispatcher(nullptr);
+    FlushWorkerMetrics();
+    pool_.reset();
+    return status;
+  }
   for (std::unique_ptr<QuerySession>& session : sessions_) {
     DT_RETURN_IF_ERROR(session->Finish());
   }
   return Status::OK();
 }
 
+void StreamServer::FlushWorkerMetrics() {
+  obs::MetricsRegistry& registry = plane_.mutable_metrics();
+  for (size_t k = 0; k < pool_->size(); ++k) {
+    const WorkerPoolStats stats = pool_->stats(k);
+    const std::string prefix = "server.worker." + std::to_string(k);
+    registry.GetCounter(prefix + ".tasks")->Add(stats.tasks);
+    registry.GetGauge(prefix + ".busy_seconds")->Set(stats.busy_seconds);
+    // Set once: value and high-watermark both read as the HWM.
+    registry.GetGauge(prefix + ".queue_depth")
+        ->Set(static_cast<double>(stats.queue_depth_hwm));
+  }
+}
+
 QuerySession& StreamServer::session(SessionId id) {
-  DT_CHECK(id < sessions_.size());
+  DT_CHECK(id < sessions_.size())
+      << "StreamServer::session: id " << id << " out of range [0, "
+      << sessions_.size()
+      << ") — stale or foreign SessionId? FindSession() returns an "
+         "error instead of crashing";
   return *sessions_[id];
 }
 
 const QuerySession& StreamServer::session(SessionId id) const {
-  DT_CHECK(id < sessions_.size());
+  DT_CHECK(id < sessions_.size())
+      << "StreamServer::session: id " << id << " out of range [0, "
+      << sessions_.size()
+      << ") — stale or foreign SessionId? FindSession() returns an "
+         "error instead of crashing";
   return *sessions_[id];
+}
+
+Result<QuerySession*> StreamServer::FindSession(SessionId id) {
+  if (id >= sessions_.size()) {
+    return Status::NotFound(StringPrintf(
+        "no session with id %u: this server hosts %zu session(s), ids "
+        "are dense in [0, %zu)",
+        id, sessions_.size(), sessions_.size()));
+  }
+  return sessions_[id].get();
+}
+
+Result<const QuerySession*> StreamServer::FindSession(SessionId id) const {
+  if (id >= sessions_.size()) {
+    return Status::NotFound(StringPrintf(
+        "no session with id %u: this server hosts %zu session(s), ids "
+        "are dense in [0, %zu)",
+        id, sessions_.size(), sessions_.size()));
+  }
+  return sessions_[id].get();
 }
 
 std::string StreamServer::MetricsJson() const {

@@ -2,6 +2,7 @@
 #define DATATRIAGE_SERVER_STREAM_SERVER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,34 +12,53 @@
 #include "src/engine/config.h"
 #include "src/server/ingest.h"
 #include "src/server/query_session.h"
+#include "src/server/worker_pool.h"
 
 namespace datatriage::server {
+
+/// Explicit server lifecycle. The transitions are one-way:
+/// kRegistering --first Push/PushBatch--> kStreaming --Finish--> kFinished.
+/// RegisterQuery is legal only while kRegistering; Push/PushBatch are
+/// legal until kFinished; results/metrics accessors are meaningful once
+/// kFinished (and, in parallel mode, safe only then — workers may still
+/// be executing while kStreaming).
+enum class ServerState { kRegistering, kStreaming, kFinished };
+
+/// "kRegistering" / "kStreaming" / "kFinished", for error messages.
+std::string_view ServerStateName(ServerState state);
 
 /// Multi-query facade over one shared ingest plane (paper Fig. 1 scaled
 /// out: one triage queue per data source *per consumer*, one boundary per
 /// feed). Register every query up front, push one interleaved event feed,
 /// and read each session's results and stats independently:
 ///
-///   StreamServer server(catalog);
+///   StreamServer server(catalog, {.worker_threads = 4});
 ///   auto a = server.RegisterQuery(sql_a, config_a);
 ///   auto b = server.RegisterQuery(sql_b, config_b);
-///   for (const StreamEvent& e : events) server.Push(e);
+///   server.PushBatch(events);
 ///   server.Finish();
 ///   for (WindowResult& r : server.session(*a).TakeResults()) ...
 ///
 /// Each session's output is byte-identical to a standalone
 /// ContinuousQueryEngine run of the same (query, config) over the same
 /// events — co-hosting shares the ingest boundary (name resolution,
-/// validation, routing), never the per-query triage state.
+/// validation, routing), never the per-query triage state — and that
+/// holds for every worker_threads setting: sessions are statically
+/// sharded across the pool, so each one is still consumed in feed order
+/// by a single thread (DESIGN.md Sec. 11).
 class StreamServer {
  public:
-  explicit StreamServer(Catalog catalog);
+  explicit StreamServer(Catalog catalog,
+                        engine::StreamServerOptions options = {});
 
   StreamServer(const StreamServer&) = delete;
   StreamServer& operator=(const StreamServer&) = delete;
 
-  /// Parses, binds, rewrites, and hosts one continuous query. All
-  /// registration must happen before the first Push.
+  ~StreamServer();
+
+  /// Parses, binds, rewrites, and hosts one continuous query. Legal only
+  /// in state kRegistering (before the first push) — FailedPrecondition
+  /// otherwise.
   Result<SessionId> RegisterQuery(const std::string& query_sql,
                                   engine::EngineConfig config);
   Result<SessionId> RegisterQuery(plan::BoundQuery query,
@@ -51,23 +71,48 @@ class StreamServer {
 
   /// Delivers one arrival to every session reading its stream. Events
   /// must have finite, non-decreasing timestamps; violations return
-  /// InvalidArgument and leave every session untouched.
+  /// InvalidArgument and leave every session untouched. The first push
+  /// (even a failing one) moves the server to kStreaming and seals
+  /// registration; pushing on a finished server is FailedPrecondition.
   Status Push(const engine::StreamEvent& event);
   Status Push(StreamId stream, const Tuple& tuple);
 
-  /// Drains every session's lanes and emits all remaining windows.
-  /// Idempotent.
+  /// Batched ingest: timestamps are validated once over the whole batch
+  /// before any event is ingested (an invalid timestamp anywhere rejects
+  /// the batch atomically), and stream routing is memoized across runs
+  /// of same-stream events. For valid input the result is byte-identical
+  /// to pushing the events one by one — PushBatch is the amortization,
+  /// not a semantic variant.
+  Status PushBatch(std::span<const engine::StreamEvent> events);
+
+  /// Drains every session (in parallel mode: on its owning worker, with
+  /// a deterministic session-ordered barrier before returning), emits
+  /// all remaining windows, and joins the pool. Idempotent.
   Status Finish();
-  bool finished() const { return finished_; }
+
+  ServerState state() const { return state_; }
+  [[deprecated("use state() == ServerState::kFinished")]] bool finished()
+      const {
+    return state_ == ServerState::kFinished;
+  }
 
   size_t session_count() const { return sessions_.size(); }
 
   /// The session behind `id` (results, sink, stats, metrics, trace).
-  /// Ids are dense: 0 <= id < session_count().
+  /// Ids are dense: 0 <= id < session_count(). CHECK-fails on an
+  /// out-of-range id — use FindSession when the id is not trusted.
   QuerySession& session(SessionId id);
   const QuerySession& session(SessionId id) const;
 
-  /// Plane-level ingest metrics (server.events_pushed, ...).
+  /// Bounds-checked lookup: NotFound (naming the valid range) instead of
+  /// a crash when `id` is stale or from another server. The pointer is
+  /// owned by the server and valid for its lifetime.
+  Result<QuerySession*> FindSession(SessionId id);
+  Result<const QuerySession*> FindSession(SessionId id) const;
+
+  /// Plane-level ingest metrics (server.events_pushed, ...; after a
+  /// parallel Finish also server.worker.<k>.tasks / .busy_seconds /
+  /// .queue_depth).
   const obs::MetricsRegistry& server_metrics() const {
     return plane_.metrics();
   }
@@ -76,14 +121,28 @@ class StreamServer {
   /// "server", then one entry per session whose metric names are scoped
   /// with the "session.<id>." prefix (DESIGN.md Sec. 10). Single-session
   /// callers that need the legacy schema should export the session's
-  /// registry directly with obs::MetricsJson.
+  /// registry directly with obs::MetricsJson. Note the worker gauges in
+  /// the "server" section carry wall-clock readings — per-session
+  /// sections stay deterministic, the server section is deterministic
+  /// only at worker_threads == 0.
   std::string MetricsJson() const;
 
  private:
+  /// Moves kRegistering -> kStreaming on the first push: seals
+  /// registration and, when worker_threads > 0, starts the pool and
+  /// installs the plane dispatcher. Also surfaces any error a worker
+  /// recorded since the previous push (FailedPrecondition on kFinished).
+  Status EnsureStreaming();
+
+  /// Folds the pool's post-barrier accounting into the plane registry
+  /// as server.worker.<k>.* instruments.
+  void FlushWorkerMetrics();
+
+  engine::StreamServerOptions options_;
   IngestPlane plane_;
   std::vector<std::unique_ptr<QuerySession>> sessions_;
-  bool started_ = false;
-  bool finished_ = false;
+  ServerState state_ = ServerState::kRegistering;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace datatriage::server

@@ -1,0 +1,161 @@
+#include "src/server/worker_pool.h"
+
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/server/ingest.h"
+#include "src/server/query_session.h"
+
+namespace datatriage::server {
+
+namespace {
+
+/// Bounded spin before parking: queues stay hot under load (the pop/push
+/// succeeds within a few tries), and an idle worker backs off to a short
+/// sleep instead of burning its core.
+constexpr int kSpinsBeforeSleep = 64;
+constexpr std::chrono::microseconds kIdleSleep{50};
+
+uint32_t SessionIdOf(const WorkerTask& task) {
+  return task.kind == WorkerTask::Kind::kFinish
+             ? task.session->id()
+             : task.lane->session->id();
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(size_t workers, size_t queue_capacity) {
+  DT_CHECK(workers > 0);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(queue_capacity));
+  }
+  // Spawn only after the vector is fully built: workers never touch
+  // their siblings, but the spawn loop must not reallocate under them.
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    worker->thread =
+        std::thread([this, w = worker.get()] { RunWorker(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Stop(); }
+
+void WorkerPool::Dispatch(size_t worker, WorkerTask task) {
+  DT_CHECK(worker < workers_.size());
+  DT_CHECK(!joined_) << "WorkerPool::Dispatch after Stop";
+  Worker& w = *workers_[worker];
+  while (!w.queue.TryPush(std::move(task))) {
+    // Full ring: the consumer is behind. Backpressure the feed rather
+    // than dropping — shedding is the triage queues' job.
+    std::this_thread::yield();
+  }
+  ++w.enqueued;
+  const int64_t depth = static_cast<int64_t>(
+      w.enqueued - w.executed.load(std::memory_order_relaxed));
+  if (depth > w.depth_hwm) w.depth_hwm = depth;
+}
+
+Status WorkerPool::Drain() {
+  // Session-ordered barrier: wait workers out in index order. The order
+  // only affects which worker is waited on first — completion of all of
+  // them is what the barrier guarantees — but walking a fixed order
+  // (and picking the min-session error below) keeps everything the
+  // caller observes independent of thread timing.
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    int spins = 0;
+    while (worker->executed.load(std::memory_order_acquire) !=
+           worker->enqueued) {
+      if (++spins < kSpinsBeforeSleep) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(kIdleSleep);
+      }
+    }
+  }
+  return first_error();
+}
+
+Status WorkerPool::Stop() {
+  if (joined_) return first_error();
+  Status drained = Drain();
+  stop_.store(true, std::memory_order_release);
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    worker->thread.join();
+  }
+  joined_ = true;
+  return drained;
+}
+
+Status WorkerPool::first_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (errors_.empty()) return Status::OK();
+  return errors_.begin()->second;
+}
+
+WorkerPoolStats WorkerPool::stats(size_t worker) const {
+  DT_CHECK(worker < workers_.size());
+  const Worker& w = *workers_[worker];
+  WorkerPoolStats out;
+  out.tasks = w.tasks;
+  out.busy_seconds = w.busy_seconds;
+  out.queue_depth_hwm = w.depth_hwm;
+  return out;
+}
+
+void WorkerPool::RecordError(uint32_t session_id, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    errors_.emplace(session_id, std::move(status));  // first error wins
+  }
+  error_seen_.store(true, std::memory_order_release);
+}
+
+Status WorkerPool::ExecuteTask(const WorkerTask& task) {
+  switch (task.kind) {
+    case WorkerTask::Kind::kIngest:
+      return task.lane->session->Ingest(task.lane, task.tuple);
+    case WorkerTask::Kind::kFinish:
+      return task.session->Finish();
+  }
+  return Status::Internal("unknown worker task kind");
+}
+
+void WorkerPool::RunWorker(Worker* worker) {
+  using clock = std::chrono::steady_clock;
+  // Sessions whose pipeline already failed: skip their remaining tasks,
+  // the way a serial run would have stopped at the first error. Worker-
+  // local (no lock): a session's tasks all land on one worker.
+  std::unordered_set<uint32_t> errored;
+  int spins = 0;
+  for (;;) {
+    WorkerTask task;
+    if (worker->queue.TryPop(&task)) {
+      spins = 0;
+      if (errored.find(SessionIdOf(task)) == errored.end()) {
+        const clock::time_point start = clock::now();
+        Status status = ExecuteTask(task);
+        worker->busy_seconds +=
+            std::chrono::duration<double>(clock::now() - start).count();
+        if (!status.ok()) {
+          errored.insert(SessionIdOf(task));
+          RecordError(SessionIdOf(task), std::move(status));
+        }
+      }
+      ++worker->tasks;
+      // Publishes the task's side effects (session state, the counters
+      // above) to the dispatcher's acquire load in Drain().
+      worker->executed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (++spins < kSpinsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kIdleSleep);
+    }
+  }
+}
+
+}  // namespace datatriage::server

@@ -1,0 +1,115 @@
+#ifndef DATATRIAGE_SERVER_WORKER_POOL_H_
+#define DATATRIAGE_SERVER_WORKER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/parallel.h"
+
+namespace datatriage::server {
+
+/// Post-run accounting of one worker, read after Drain()/Stop() only.
+/// tasks/busy_seconds are written by the worker thread and published by
+/// its executed-counter release store; queue_depth_hwm is owned by the
+/// dispatching thread outright.
+struct WorkerPoolStats {
+  int64_t tasks = 0;
+  /// Wall-clock seconds spent executing tasks (not idling). Wall time is
+  /// observability-only — everything deterministic runs on virtual
+  /// clocks — so this is the one place the server reads a real clock.
+  double busy_seconds = 0.0;
+  int64_t queue_depth_hwm = 0;
+};
+
+/// Fixed pool of worker threads, one bounded SPSC task queue each, fed
+/// by a single dispatching thread (the StreamServer's ingest thread).
+/// Sessions are statically sharded across workers (WorkerForSession);
+/// the pool itself is policy-free — callers pick the worker index.
+///
+/// Error model: task execution is asynchronous, so a failing task cannot
+/// fail the Push that enqueued it. Workers record the first error per
+/// session; Drain()/Stop() surface the error of the lowest-id errored
+/// session (a deterministic choice — thread timing never picks the
+/// winner), and the dispatcher can poll error_seen() to fail fast
+/// between pushes. A session that has errored has its remaining tasks
+/// skipped, mirroring how a serial run would have stopped at the first
+/// failure.
+class WorkerPool {
+ public:
+  /// Starts `workers` (>= 1) threads, each with a task ring of at least
+  /// `queue_capacity` slots.
+  WorkerPool(size_t workers, size_t queue_capacity);
+
+  /// Stops and joins outstanding workers (draining their queues first).
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `task` on `worker`'s ring, blocking (yield loop) while the
+  /// ring is full. Must only be called from the single dispatching
+  /// thread, and not after Stop().
+  void Dispatch(size_t worker, WorkerTask task);
+
+  /// Barrier: blocks until every dispatched task has executed, walking
+  /// workers in index order. Returns the deterministic first error (see
+  /// class comment), OK when no task failed.
+  Status Drain();
+
+  /// Drain() + shut the threads down and join them. Idempotent; the
+  /// pool cannot be restarted.
+  Status Stop();
+
+  /// True once any task has failed; cheap enough for per-push polling.
+  bool error_seen() const {
+    return error_seen_.load(std::memory_order_acquire);
+  }
+
+  /// The error of the lowest-id errored session; OK when none.
+  Status first_error() const;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Valid after Drain()/Stop() (the barrier publishes the counters).
+  WorkerPoolStats stats(size_t worker) const;
+
+ private:
+  struct Worker {
+    explicit Worker(size_t queue_capacity) : queue(queue_capacity) {}
+    SpscTaskQueue queue;
+    std::thread thread;
+    /// Tasks completed; release-stored after each task so the
+    /// dispatcher's acquire load in Drain() publishes busy_seconds and
+    /// tasks below along with it.
+    alignas(64) std::atomic<uint64_t> executed{0};
+    // Consumer-side accounting (worker thread only until the barrier).
+    double busy_seconds = 0.0;
+    int64_t tasks = 0;
+    // Producer-side accounting (dispatching thread only).
+    uint64_t enqueued = 0;
+    int64_t depth_hwm = 0;
+  };
+
+  void RunWorker(Worker* worker);
+  Status ExecuteTask(const WorkerTask& task);
+  void RecordError(uint32_t session_id, Status status);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  bool joined_ = false;
+
+  mutable std::mutex error_mutex_;
+  /// First error per session id; min key wins at the barrier.
+  std::map<uint32_t, Status> errors_;
+  std::atomic<bool> error_seen_{false};
+};
+
+}  // namespace datatriage::server
+
+#endif  // DATATRIAGE_SERVER_WORKER_POOL_H_

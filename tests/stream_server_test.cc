@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -250,15 +253,71 @@ TEST(StreamServerTest, RejectsRegistrationAfterFirstPush) {
   const std::vector<QuerySpec> specs = HostedQueries(scenario);
 
   StreamServer server(scenario.catalog);
+  EXPECT_EQ(server.state(), ServerState::kRegistering);
   ASSERT_TRUE(server.RegisterQuery(specs[0].sql, specs[0].config).ok());
   ASSERT_TRUE(server.Push(scenario.events.front()).ok());
+  EXPECT_EQ(server.state(), ServerState::kStreaming);
 
   auto late = server.RegisterQuery(specs[1].sql, specs[1].config);
   ASSERT_FALSE(late.ok());
-  EXPECT_EQ(late.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_NE(late.status().message().find("RegisterQuery after Push"),
             std::string::npos);
+  // The message names the state the server is actually in.
+  EXPECT_NE(late.status().message().find("kStreaming"),
+            std::string::npos);
   EXPECT_EQ(server.session_count(), 1u);
+}
+
+TEST(StreamServerTest, LifecycleStatesAndPushAfterFinish) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  ASSERT_TRUE(server.RegisterQuery(specs[0].sql, specs[0].config).ok());
+  EXPECT_EQ(server.state(), ServerState::kRegistering);
+  ASSERT_TRUE(server.Push(scenario.events.front()).ok());
+  EXPECT_EQ(server.state(), ServerState::kStreaming);
+  ASSERT_TRUE(server.Finish().ok());
+  EXPECT_EQ(server.state(), ServerState::kFinished);
+
+  Status late = server.Push(scenario.events.front());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(late.message().find("kFinished"), std::string::npos);
+
+  // Registration after Finish names the kFinished state too.
+  auto registered = server.RegisterQuery(specs[1].sql, specs[1].config);
+  ASSERT_FALSE(registered.ok());
+  EXPECT_EQ(registered.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(registered.status().message().find("kFinished"),
+            std::string::npos);
+
+  // Finish stays idempotent.
+  EXPECT_TRUE(server.Finish().ok());
+}
+
+TEST(StreamServerTest, FindSessionBoundsChecksStaleIds) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  auto id = server.RegisterQuery(specs[0].sql, specs[0].config);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  auto found = server.FindSession(*id);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, &server.session(*id));
+
+  auto stale = server.FindSession(41);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(stale.status().message().find("no session with id 41"),
+            std::string::npos);
+  EXPECT_NE(stale.status().message().find("[0, 1)"), std::string::npos);
+
+  const StreamServer& const_server = server;
+  EXPECT_FALSE(const_server.FindSession(41).ok());
 }
 
 TEST(StreamServerTest, CountsUnroutedCatalogStreamsAndRejectsUnknown) {
@@ -336,6 +395,238 @@ TEST(StreamServerTest, CombinedMetricsJsonScopesSessionsByPrefix) {
   }
   ASSERT_TRUE(again.Finish().ok());
   EXPECT_EQ(json, again.MetricsJson());
+}
+
+// --- Parallel execution (DESIGN.md Sec. 11) -----------------------------
+
+/// Runs the heterogeneous overload scenario on a server with
+/// `worker_threads` workers and returns every per-session output that
+/// the determinism contract pins byte-for-byte.
+std::vector<RunOutput> RunHosted(const workload::Scenario& scenario,
+                                 const std::vector<QuerySpec>& specs,
+                                 size_t worker_threads) {
+  engine::StreamServerOptions options;
+  options.worker_threads = worker_threads;
+  StreamServer server(scenario.catalog, options);
+  std::vector<SessionId> ids;
+  for (const QuerySpec& spec : specs) {
+    auto id = server.RegisterQuery(spec.sql, spec.config);
+    DT_CHECK(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  Status pushed = server.PushBatch(scenario.events);
+  DT_CHECK(pushed.ok()) << pushed.ToString();
+  DT_CHECK(server.Finish().ok());
+
+  std::vector<RunOutput> outputs;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    QuerySession& session = server.session(ids[i]);
+    RunOutput out;
+    out.results_csv =
+        io::FormatResultsCsv(session.TakeResults(), specs[i].columns);
+    out.snapshot = session.StatsSnapshot();
+    out.metrics_json =
+        obs::MetricsJson(session.metrics(), &session.trace());
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+TEST(ParallelEquivalence, WorkerCountsProduceByteIdenticalSessions) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  const std::vector<RunOutput> serial = RunHosted(scenario, specs, 0);
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("worker_threads=" + std::to_string(workers));
+    const std::vector<RunOutput> parallel =
+        RunHosted(scenario, specs, workers);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("session " + std::to_string(i));
+      EXPECT_GT(serial[i].snapshot.core.tuples_dropped, 0);
+      EXPECT_EQ(parallel[i].results_csv, serial[i].results_csv);
+      EXPECT_EQ(parallel[i].metrics_json, serial[i].metrics_json);
+      ExpectSnapshotsEqual(parallel[i].snapshot, serial[i].snapshot);
+      // Drop causes still partition the dropped count under the pool.
+      int64_t by_cause = 0;
+      for (const auto& [name, value] : parallel[i].snapshot.counters) {
+        if (name.rfind("stream.", 0) == 0 &&
+            name.find(".dropped.") != std::string::npos) {
+          by_cause += value;
+        }
+      }
+      EXPECT_EQ(by_cause, parallel[i].snapshot.core.tuples_dropped);
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ParallelSessionsMatchStandaloneEngines) {
+  // Transitivity check done directly: a 4-worker co-hosted session must
+  // equal a standalone single-query engine, not just the serial server.
+  const workload::Scenario scenario = OverloadScenario(3);
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  const std::vector<RunOutput> parallel = RunHosted(scenario, specs, 4);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    const RunOutput standalone = RunStandalone(scenario, specs[i]);
+    EXPECT_EQ(parallel[i].results_csv, standalone.results_csv);
+    EXPECT_EQ(parallel[i].metrics_json, standalone.metrics_json);
+    ExpectSnapshotsEqual(parallel[i].snapshot, standalone.snapshot);
+  }
+}
+
+TEST(ParallelEquivalence, FlushesWorkerInstrumentsAfterFinish) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  engine::StreamServerOptions options;
+  options.worker_threads = 2;
+  StreamServer server(scenario.catalog, options);
+  for (const QuerySpec& spec : specs) {
+    ASSERT_TRUE(server.RegisterQuery(spec.sql, spec.config).ok());
+  }
+  ASSERT_TRUE(server.PushBatch(scenario.events).ok());
+  ASSERT_TRUE(server.Finish().ok());
+
+  // Three sessions shard 2/1 across two workers; every dispatched task
+  // (ingest + one finish per session) is accounted for exactly once.
+  const auto totals = server.server_metrics().CounterTotals();
+  const int64_t tasks = totals.at("server.worker.0.tasks") +
+                        totals.at("server.worker.1.tasks");
+  EXPECT_GT(totals.at("server.worker.0.tasks"), 0);
+  EXPECT_GT(totals.at("server.worker.1.tasks"), 0);
+  int64_t expected_tasks = static_cast<int64_t>(specs.size());  // finishes
+  // Each session ingests the events on its streams; sum over sessions.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    expected_tasks +=
+        server.session(static_cast<SessionId>(i))
+            .StatsSnapshot()
+            .core.tuples_ingested;
+  }
+  EXPECT_EQ(tasks, expected_tasks);
+  const auto gauges = server.server_metrics().GaugeMaxima();
+  EXPECT_GT(gauges.at("server.worker.0.queue_depth"), 0.0);
+  EXPECT_GE(gauges.at("server.worker.0.busy_seconds"), 0.0);
+  // Combined export carries the worker section under "server".
+  EXPECT_NE(server.MetricsJson().find("server.worker.0.tasks"),
+            std::string::npos);
+}
+
+// --- PushBatch ----------------------------------------------------------
+
+TEST(StreamServerTest, PushBatchMatchesLoopOfPushByteForByte) {
+  const workload::Scenario scenario = OverloadScenario(4);
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  std::vector<std::string> by_loop, by_batch;
+  for (std::vector<std::string>* out : {&by_loop, &by_batch}) {
+    StreamServer server(scenario.catalog);
+    std::vector<SessionId> ids;
+    for (const QuerySpec& spec : specs) {
+      auto id = server.RegisterQuery(spec.sql, spec.config);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids.push_back(*id);
+    }
+    if (out == &by_batch) {
+      // Split the feed into uneven chunks so batch boundaries land both
+      // mid-window and mid-stream-run.
+      std::span<const StreamEvent> rest(scenario.events);
+      const size_t chunks[] = {1, 7, 64, 3};
+      size_t next_chunk = 0;
+      while (!rest.empty()) {
+        const size_t take =
+            std::min(chunks[next_chunk++ % 4], rest.size());
+        ASSERT_TRUE(server.PushBatch(rest.subspan(0, take)).ok());
+        rest = rest.subspan(take);
+      }
+    } else {
+      for (const StreamEvent& event : scenario.events) {
+        ASSERT_TRUE(server.Push(event).ok());
+      }
+    }
+    ASSERT_TRUE(server.Finish().ok());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      out->push_back(io::FormatResultsCsv(
+          server.session(ids[i]).TakeResults(), specs[i].columns));
+      out->push_back(obs::MetricsJson(server.session(ids[i]).metrics(),
+                                      &server.session(ids[i]).trace()));
+    }
+    out->push_back(server.MetricsJson());
+  }
+  EXPECT_EQ(by_loop, by_batch);
+}
+
+TEST(StreamServerTest, PushBatchRejectsBadTimestampsAtomically) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer server(scenario.catalog);
+  auto id = server.RegisterQuery(specs[0].sql, specs[0].config);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Batch with an out-of-order timestamp in the middle: rejected whole,
+  // nothing ingested — unlike a loop of Push, which would have ingested
+  // the prefix before failing.
+  std::vector<StreamEvent> batch = {{"r", Row({5}, 0.1)},
+                                    {"s", Row({5, 7}, 0.2)},
+                                    {"r", Row({6}, 0.15)}};
+  Status status = server.PushBatch(batch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("batch event 2"), std::string::npos);
+  EXPECT_NE(status.message().find("no event of the batch was ingested"),
+            std::string::npos);
+  EXPECT_EQ(
+      server.server_metrics().CounterTotals().at("server.events_pushed"),
+      0);
+
+  // Same for a non-finite timestamp.
+  std::vector<StreamEvent> nan_batch = {
+      {"r", Row({5}, 0.1)},
+      {"r", Row({6}, std::numeric_limits<double>::quiet_NaN())}};
+  status = server.PushBatch(nan_batch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("must be finite"), std::string::npos);
+  EXPECT_EQ(
+      server.server_metrics().CounterTotals().at("server.events_pushed"),
+      0);
+
+  // The failed batches still sealed registration (state moved to
+  // kStreaming on the push attempt), and a valid batch still lands.
+  EXPECT_EQ(server.state(), ServerState::kStreaming);
+  ASSERT_TRUE(
+      server.PushBatch(std::span<const StreamEvent>(batch).subspan(0, 2))
+          .ok());
+  ASSERT_TRUE(server.Finish().ok());
+  EXPECT_EQ(
+      server.server_metrics().CounterTotals().at("server.events_pushed"),
+      2);
+}
+
+TEST(StreamServerTest, EnginePushBatchChecksMembershipUpFront) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  // The single-query wrapper rejects a batch containing any stream the
+  // query does not read, before ingesting anything.
+  auto engine = ContinuousQueryEngine::Make(
+      scenario.catalog, specs[1].sql, specs[1].config);  // reads s only
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<StreamEvent> batch = {{"s", Row({5, 7}, 0.1)},
+                                    {"r", Row({5}, 0.2)}};
+  Status status = (*engine)->PushBatch(batch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ((*engine)->StatsSnapshot().core.tuples_ingested, 0);
+
+  std::vector<StreamEvent> good = {{"s", Row({5, 7}, 0.1)},
+                                   {"s", Row({6, 8}, 0.2)}};
+  ASSERT_TRUE((*engine)->PushBatch(good).ok());
+  ASSERT_TRUE((*engine)->Finish().ok());
+  EXPECT_EQ((*engine)->StatsSnapshot().core.tuples_ingested, 2);
 }
 
 }  // namespace
