@@ -1,0 +1,129 @@
+// Deterministic simulation fuzzer for the StreamServer (DESIGN.md
+// Sec. 12): runs K seeded scenarios through the differential oracles in
+// src/sim/ and, on failure, prints the seed plus a one-line replay
+// command. Exit status 0 = every scenario passed.
+//
+//   sim_main --seeds 500 --workers 1,2,4            # CI smoke
+//   sim_main --max-seconds 1800 --seeds 1000000     # nightly long-fuzz
+//   sim_main --replay-seed 1234                     # reproduce one seed
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/sim/runner.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: sim_main [options]
+
+  --seeds N          number of scenarios to run (default 100)
+  --first-seed S     first seed (default 1); seeds S..S+N-1 are run
+  --seed S           alias for --first-seed
+  --replay-seed S    run exactly seed S, verbosely (sets --seeds 1)
+  --replay           with --seed: same as --replay-seed
+  --workers A,B,...  worker counts to compare against the serial run
+                     (default 1,2,4)
+  --no-faults        do not install the generated fault plans
+  --max-seconds X    wall-clock budget; stop between scenarios once spent
+  --failures-out P   append "<seed> <failure>" lines to file P
+  --verbose          describe every scenario as it runs
+  --help             this text
+)";
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  datatriage::sim::SimOptions options;
+  bool replay = false;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::cerr << arg << " needs a value\n" << kUsage;
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--seeds") {
+      const std::string* v = next();
+      uint64_t n = 0;
+      if (v == nullptr || !ParseUint64(*v, &n)) return 2;
+      options.num_scenarios = static_cast<size_t>(n);
+    } else if (arg == "--first-seed" || arg == "--seed") {
+      const std::string* v = next();
+      if (v == nullptr || !ParseUint64(*v, &options.first_seed)) return 2;
+    } else if (arg == "--replay-seed") {
+      const std::string* v = next();
+      if (v == nullptr || !ParseUint64(*v, &options.first_seed)) return 2;
+      replay = true;
+    } else if (arg == "--replay") {
+      replay = true;
+    } else if (arg == "--workers") {
+      const std::string* v = next();
+      if (v == nullptr) return 2;
+      options.worker_counts.clear();
+      for (const std::string& part :
+           datatriage::SplitString(*v, ',')) {
+        uint64_t w = 0;
+        if (!ParseUint64(part, &w) || w == 0) {
+          std::cerr << "--workers wants positive counts, got '" << part
+                    << "'\n";
+          return 2;
+        }
+        options.worker_counts.push_back(static_cast<size_t>(w));
+      }
+    } else if (arg == "--no-faults") {
+      options.with_faults = false;
+    } else if (arg == "--max-seconds") {
+      const std::string* v = next();
+      if (v == nullptr) return 2;
+      options.max_wall_seconds = std::atof(v->c_str());
+    } else if (arg == "--failures-out") {
+      const std::string* v = next();
+      if (v == nullptr) return 2;
+      options.failures_path = *v;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n" << kUsage;
+      return 2;
+    }
+  }
+
+  if (replay) {
+    options.num_scenarios = 1;
+    options.verbose = true;
+  }
+
+  const datatriage::sim::SimReport report =
+      datatriage::sim::RunSimulations(options, &std::cout);
+  if (!report.ok()) {
+    std::cerr << "\n" << report.failures.size()
+              << " failing seed(s); reproduce with:\n";
+    for (const datatriage::sim::SimFailure& failure : report.failures) {
+      std::cerr << "  "
+                << datatriage::sim::ReplayCommand(failure.seed, options)
+                << "\n";
+    }
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "src/common/digest.h"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace datatriage {
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321 Sec. 3.4).
+constexpr std::array<uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr std::array<uint32_t, 64> kSine = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+uint32_t RotateLeft(uint32_t x, uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+struct Md5State {
+  uint32_t a = 0x67452301;
+  uint32_t b = 0xefcdab89;
+  uint32_t c = 0x98badcfe;
+  uint32_t d = 0x10325476;
+
+  void Process(const unsigned char block[64]) {
+    uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+      m[i] = static_cast<uint32_t>(block[i * 4]) |
+             static_cast<uint32_t>(block[i * 4 + 1]) << 8 |
+             static_cast<uint32_t>(block[i * 4 + 2]) << 16 |
+             static_cast<uint32_t>(block[i * 4 + 3]) << 24;
+    }
+    uint32_t ra = a, rb = b, rc = c, rd = d;
+    for (int i = 0; i < 64; ++i) {
+      uint32_t f;
+      int g;
+      if (i < 16) {
+        f = (rb & rc) | (~rb & rd);
+        g = i;
+      } else if (i < 32) {
+        f = (rd & rb) | (~rd & rc);
+        g = (5 * i + 1) % 16;
+      } else if (i < 48) {
+        f = rb ^ rc ^ rd;
+        g = (3 * i + 5) % 16;
+      } else {
+        f = rc ^ (rb | ~rd);
+        g = (7 * i) % 16;
+      }
+      const uint32_t temp = rd;
+      rd = rc;
+      rc = rb;
+      rb = rb + RotateLeft(ra + f + kSine[i] + m[g], kShift[i]);
+      ra = temp;
+    }
+    a += ra;
+    b += rb;
+    c += rc;
+    d += rd;
+  }
+};
+
+}  // namespace
+
+std::string Md5Hex(std::string_view data) {
+  Md5State state;
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t remaining = data.size();
+  while (remaining >= 64) {
+    state.Process(bytes);
+    bytes += 64;
+    remaining -= 64;
+  }
+
+  // Final block(s): message, 0x80 pad, zeros, 64-bit bit length.
+  unsigned char tail[128] = {0};
+  std::memcpy(tail, bytes, remaining);
+  tail[remaining] = 0x80;
+  const size_t tail_len = remaining + 1 + 8 <= 64 ? 64 : 128;
+  const uint64_t bit_length = static_cast<uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 8 + i] =
+        static_cast<unsigned char>(bit_length >> (8 * i));
+  }
+  state.Process(tail);
+  if (tail_len == 128) state.Process(tail + 64);
+
+  const uint32_t words[4] = {state.a, state.b, state.c, state.d};
+  std::string hex;
+  hex.reserve(32);
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  for (uint32_t word : words) {
+    for (int i = 0; i < 4; ++i) {
+      const unsigned char byte =
+          static_cast<unsigned char>(word >> (8 * i));
+      hex.push_back(kHexDigits[byte >> 4]);
+      hex.push_back(kHexDigits[byte & 0xf]);
+    }
+  }
+  return hex;
+}
+
+}  // namespace datatriage

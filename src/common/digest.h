@@ -1,0 +1,17 @@
+#ifndef DATATRIAGE_COMMON_DIGEST_H_
+#define DATATRIAGE_COMMON_DIGEST_H_
+
+#include <string>
+#include <string_view>
+
+namespace datatriage {
+
+/// MD5 (RFC 1321) of `data`, rendered as 32 lowercase hex characters.
+/// Not a security primitive — it exists so tests can pin golden outputs
+/// (results CSVs, metric dumps) as one short string per seed instead of
+/// checking whole files into the tree.
+std::string Md5Hex(std::string_view data);
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_COMMON_DIGEST_H_

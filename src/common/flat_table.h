@@ -73,6 +73,44 @@ class FlatTable {
     }
   }
 
+  /// Removes the entry matching (`hash`, `eq`), if present, and returns
+  /// whether an entry was removed. Uses backward-shift deletion (no
+  /// tombstones): slots after the hole are shifted back while they remain
+  /// reachable from their home slot, so probe chains stay intact and
+  /// lookup cost does not degrade under churn.
+  template <typename Eq>
+  bool Erase(uint64_t hash, Eq&& eq) {
+    if (slots_.empty()) return false;
+    const size_t mask = slots_.size() - 1;
+    size_t hole = hash & mask;
+    for (;; hole = (hole + 1) & mask) {
+      Slot& slot = slots_[hole];
+      if (!slot.occupied) return false;
+      if (slot.hash == hash && eq(slot.entry)) break;
+    }
+    // Shift back every subsequent slot whose home position is at or
+    // before the hole (mod capacity); stop at the first empty slot.
+    size_t j = hole;
+    for (;;) {
+      j = (j + 1) & mask;
+      Slot& candidate = slots_[j];
+      if (!candidate.occupied) break;
+      const size_t home = candidate.hash & mask;
+      // The candidate may move into the hole only if the hole lies on its
+      // probe path, i.e. the distance home->j (mod capacity) is at least
+      // the distance hole->j.
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        slots_[hole].hash = candidate.hash;
+        slots_[hole].entry = std::move(candidate.entry);
+        hole = j;
+      }
+    }
+    slots_[hole].occupied = false;
+    slots_[hole].entry = Entry{};
+    --size_;
+    return true;
+  }
+
   /// Visits every entry in slot order (deterministic for a given set of
   /// hashes and insertion sequence).
   template <typename Fn>

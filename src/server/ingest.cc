@@ -55,6 +55,7 @@ Result<StreamLane*> IngestPlane::Subscribe(
   lane->session = session;
   lane->stream_id = id;
   lane->stream_name = entry.name;
+  lane->sim_faults = sim_faults_;
   if (config.strategy != SheddingStrategy::kDropOnly) {
     DT_RETURN_IF_ERROR(
         synopsis::Synopsis::CheckNumericSchema(entry.schema));

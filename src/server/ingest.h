@@ -17,6 +17,7 @@
 #include "src/engine/config.h"
 #include "src/exec/relation.h"
 #include "src/obs/metrics.h"
+#include "src/server/sim_faults.h"
 #include "src/triage/synopsizer.h"
 #include "src/triage/triage_queue.h"
 
@@ -75,6 +76,14 @@ struct StreamLane {
   /// registry).
   obs::Counter* summarized_dropped = nullptr;
   obs::Gauge* synopsis_build_seconds = nullptr;
+  /// Simulation-only fault injection (null in production). Set at
+  /// Subscribe time from the plane's installed SimFaults; read by the
+  /// session's Ingest on the lane's owning thread, so fault decisions
+  /// ride the same deterministic path as the tuples themselves.
+  const SimFaults* sim_faults = nullptr;
+  /// Drop-cause counter for fault-injected sheds; registered only when
+  /// sim_faults is installed so production metric exports are unchanged.
+  obs::Counter* fault_shed = nullptr;
 };
 
 /// The shared ingest plane of a StreamServer: one boundary for all
@@ -143,6 +152,13 @@ class IngestPlane {
   using LaneDispatcher = std::function<Status(StreamLane*, const Tuple&)>;
   void SetDispatcher(LaneDispatcher dispatcher);
 
+  /// Installs deterministic fault injection (DESIGN.md Sec. 12). Must be
+  /// called before any Subscribe so every lane (and its fault-shed
+  /// drop-cause counter) is wired consistently; `faults` must outlive
+  /// the plane. Pass nullptr to disable for lanes created afterwards.
+  void SetSimFaults(const SimFaults* faults) { sim_faults_ = faults; }
+  const SimFaults* sim_faults() const { return sim_faults_; }
+
   /// The shared arrival clock: timestamp of the latest accepted arrival.
   VirtualTime now() const { return last_arrival_time_; }
 
@@ -177,6 +193,7 @@ class IngestPlane {
   VirtualTime last_arrival_time_ = 0.0;
   bool saw_arrival_ = false;
   LaneDispatcher dispatcher_;
+  const SimFaults* sim_faults_ = nullptr;
 
   obs::MetricsRegistry metrics_;
   obs::Counter* events_pushed_ = nullptr;

@@ -128,6 +128,14 @@ void QuerySession::InitInstruments() {
       lane->summarized_dropped =
           metrics_.GetCounter(prefix + ".dropped.summarized");
     }
+    if (lane->sim_faults != nullptr) {
+      // Fault-injected sheds get their own cause so the drop-cause
+      // partition invariant (dropped == sum of stream.*.dropped.*) holds
+      // under injection too. Only registered when faults are installed:
+      // production exports stay byte-identical.
+      lane->fault_shed =
+          metrics_.GetCounter(prefix + ".dropped.fault_shed");
+    }
   }
 }
 
@@ -150,6 +158,25 @@ Status QuerySession::Ingest(StreamLane* lane, const Tuple& tuple) {
 
   ++stats_.tuples_ingested;
   ingested_counter_->Add(1);
+  if (lane->sim_faults != nullptr) {
+    // Simulation fault hooks (sim_faults.h). Decisions depend only on
+    // the arrival timestamp and session-local state, so they replay
+    // identically at every worker count.
+    const SimFaults& faults = *lane->sim_faults;
+    if (faults.stall_seconds > 0.0 && arrival >= faults.stall_from &&
+        arrival < faults.stall_to) {
+      // Delayed consumer: bill the stall as exact-path work.
+      ChargeExactTime(faults.stall_seconds);
+    }
+    if (faults.force_overflow &&
+        config_.strategy != SheddingStrategy::kSummarizeOnly &&
+        arrival >= faults.overflow_from && arrival < faults.overflow_to) {
+      // Forced overflow: the arrival never reaches the queue — shed it
+      // through the normal victim path under the fault_shed cause.
+      lane->fault_shed->Add(1);
+      return ShedTuple(lane, tuple);
+    }
+  }
   if (config_.strategy == SheddingStrategy::kSummarizeOnly) {
     // Summarize-only bypasses the triage queue entirely (paper
     // Sec. 5.2.1): every tuple is folded into the window synopses.
@@ -530,6 +557,19 @@ Status QuerySession::Finish() {
   while (next_window_to_emit_ <= last_window_seen_) {
     DT_RETURN_IF_ERROR(EmitWindow(next_window_to_emit_));
     ++next_window_to_emit_;
+  }
+  // A clock that ran ahead of the arrivals (processing backlog, or a
+  // pathological cost model) can emit a window before all of its tuples
+  // arrive; those stragglers are still queued here, with every covering
+  // window already emitted. Evict them as force-shed so the conservation
+  // invariant (ingested == kept + dropped) holds at end of stream.
+  for (auto& [name, lane] : lanes_by_name_) {
+    (void)name;
+    std::vector<Tuple> stragglers = lane->queue->EvictOlderThan(
+        std::numeric_limits<VirtualTime>::infinity());
+    for (Tuple& tuple : stragglers) {
+      DT_RETURN_IF_ERROR(ShedTuple(lane, tuple));
+    }
   }
   stats_.final_engine_time = session_time_;
   return Status::OK();

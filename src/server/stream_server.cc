@@ -70,6 +70,17 @@ Result<StreamId> StreamServer::InternStream(std::string_view name) {
   return plane_.Intern(name);
 }
 
+Status StreamServer::SetSimFaults(const SimFaults* faults) {
+  if (state_ != ServerState::kRegistering || !sessions_.empty()) {
+    return Status::FailedPrecondition(
+        "SetSimFaults must run before any RegisterQuery (state "
+        "kRegistering, no sessions): lanes wire their fault hooks at "
+        "Subscribe time");
+  }
+  plane_.SetSimFaults(faults);
+  return Status::OK();
+}
+
 Status StreamServer::EnsureStreaming() {
   if (state_ == ServerState::kFinished) {
     return Status::FailedPrecondition(
@@ -81,15 +92,23 @@ Status StreamServer::EnsureStreaming() {
     const size_t workers =
         std::min(options_.worker_threads, sessions_.size());
     if (workers > 0) {
-      pool_ = std::make_unique<WorkerPool>(workers,
-                                           options_.task_queue_capacity);
+      const SimFaults* faults = plane_.sim_faults();
+      size_t queue_capacity = options_.task_queue_capacity;
+      if (faults != nullptr && faults->task_queue_capacity_override > 0) {
+        queue_capacity = faults->task_queue_capacity_override;
+      }
+      pool_ = std::make_unique<WorkerPool>(workers, queue_capacity);
+      if (faults != nullptr) {
+        pool_->SetDispatchYield(faults->dispatch_yield_every);
+      }
       plane_.SetDispatcher([this](StreamLane* lane, const Tuple& tuple) {
         WorkerTask task;
         task.kind = WorkerTask::Kind::kIngest;
         task.lane = lane;
         task.tuple = tuple;  // by value: the plane's reference dies here
         pool_->Dispatch(
-            WorkerForSession(lane->session->id(), pool_->size()),
+            WorkerForSessionFaulted(lane->session->id(), pool_->size(),
+                                    plane_.sim_faults()),
             std::move(task));
         return Status::OK();
       });
@@ -129,8 +148,10 @@ Status StreamServer::Finish() {
       WorkerTask task;
       task.kind = WorkerTask::Kind::kFinish;
       task.session = session.get();
-      pool_->Dispatch(WorkerForSession(session->id(), pool_->size()),
-                      std::move(task));
+      pool_->Dispatch(
+          WorkerForSessionFaulted(session->id(), pool_->size(),
+                                  plane_.sim_faults()),
+          std::move(task));
     }
     Status status = pool_->Stop();
     plane_.SetDispatcher(nullptr);

@@ -69,6 +69,13 @@ class StreamServer {
   /// name hashing entirely.
   Result<StreamId> InternStream(std::string_view name);
 
+  /// Installs deterministic fault injection (simulation testing only —
+  /// DESIGN.md Sec. 12). Legal only while kRegistering with no sessions
+  /// yet registered, so every lane and counter is wired consistently;
+  /// `faults` must outlive the server. Production servers never call
+  /// this and carry no fault state.
+  Status SetSimFaults(const SimFaults* faults);
+
   /// Delivers one arrival to every session reading its stream. Events
   /// must have finite, non-decreasing timestamps; violations return
   /// InvalidArgument and leave every session untouched. The first push

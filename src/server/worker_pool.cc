@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/server/ingest.h"
 #include "src/server/query_session.h"
+#include "src/server/sim_faults.h"
 
 namespace datatriage::server {
 
@@ -55,6 +56,27 @@ void WorkerPool::Dispatch(size_t worker, WorkerTask task) {
   const int64_t depth = static_cast<int64_t>(
       w.enqueued - w.executed.load(std::memory_order_relaxed));
   if (depth > w.depth_hwm) w.depth_hwm = depth;
+  if (dispatch_yield_every_ > 0 &&
+      ++dispatched_since_yield_ >= dispatch_yield_every_) {
+    dispatched_since_yield_ = 0;
+    std::this_thread::yield();
+  }
+}
+
+size_t WorkerForSessionFaulted(uint32_t session_id, size_t workers,
+                               const SimFaults* faults) {
+  if (faults == nullptr || workers == 0) {
+    return WorkerForSession(session_id, workers);
+  }
+  switch (faults->sharding) {
+    case SimFaults::Sharding::kModulo:
+      return WorkerForSession(session_id, workers);
+    case SimFaults::Sharding::kSingleWorker:
+      return 0;
+    case SimFaults::Sharding::kReversed:
+      return workers - 1 - WorkerForSession(session_id, workers);
+  }
+  return WorkerForSession(session_id, workers);
 }
 
 Status WorkerPool::Drain() {

@@ -57,6 +57,11 @@ class WorkerPool {
   /// thread, and not after Stop().
   void Dispatch(size_t worker, WorkerTask task);
 
+  /// Simulation hook (SimFaults::dispatch_yield_every): when `every_n`
+  /// is > 0 the dispatching thread yields after every N enqueued tasks,
+  /// perturbing thread interleavings without touching any virtual clock.
+  void SetDispatchYield(uint64_t every_n) { dispatch_yield_every_ = every_n; }
+
   /// Barrier: blocks until every dispatched task has executed, walking
   /// workers in index order. Returns the deterministic first error (see
   /// class comment), OK when no task failed.
@@ -103,6 +108,10 @@ class WorkerPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
   bool joined_ = false;
+
+  // Dispatching-thread-only yield fault state (see SetDispatchYield).
+  uint64_t dispatch_yield_every_ = 0;
+  uint64_t dispatched_since_yield_ = 0;
 
   mutable std::mutex error_mutex_;
   /// First error per session id; min key wins at the barrier.

@@ -1,0 +1,372 @@
+#include "src/sim/oracles.h"
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/engine/engine.h"
+#include "src/io/csv.h"
+#include "src/metrics/ideal.h"
+#include "src/metrics/rms.h"
+#include "src/obs/export.h"
+#include "src/plan/binder.h"
+#include "src/server/stream_server.h"
+#include "src/sql/parser.h"
+
+namespace datatriage::sim {
+namespace {
+
+using engine::StreamEvent;
+
+QueryRunOutput CollectSession(server::QuerySession& session,
+                              const SimQuery& query) {
+  QueryRunOutput out;
+  out.results = session.TakeResults();
+  out.results_csv = io::FormatResultsCsv(out.results, query.columns);
+  out.snapshot = session.StatsSnapshot();
+  out.metrics_json = obs::MetricsJson(session.metrics(), &session.trace());
+  return out;
+}
+
+/// First difference between two snapshots, or "" when identical.
+std::string DiffSnapshots(const engine::EngineStatsSnapshot& a,
+                          const engine::EngineStatsSnapshot& b) {
+  const auto& ca = a.core;
+  const auto& cb = b.core;
+  if (ca.tuples_ingested != cb.tuples_ingested) {
+    return StringPrintf("tuples_ingested %lld vs %lld",
+                        static_cast<long long>(ca.tuples_ingested),
+                        static_cast<long long>(cb.tuples_ingested));
+  }
+  if (ca.tuples_kept != cb.tuples_kept) {
+    return StringPrintf("tuples_kept %lld vs %lld",
+                        static_cast<long long>(ca.tuples_kept),
+                        static_cast<long long>(cb.tuples_kept));
+  }
+  if (ca.tuples_dropped != cb.tuples_dropped) {
+    return StringPrintf("tuples_dropped %lld vs %lld",
+                        static_cast<long long>(ca.tuples_dropped),
+                        static_cast<long long>(cb.tuples_dropped));
+  }
+  if (ca.windows_emitted != cb.windows_emitted) {
+    return StringPrintf("windows_emitted %lld vs %lld",
+                        static_cast<long long>(ca.windows_emitted),
+                        static_cast<long long>(cb.windows_emitted));
+  }
+  if (ca.exact_work_seconds != cb.exact_work_seconds) {
+    return "exact_work_seconds differ";
+  }
+  if (ca.synopsis_work_seconds != cb.synopsis_work_seconds) {
+    return "synopsis_work_seconds differ";
+  }
+  if (ca.final_engine_time != cb.final_engine_time) {
+    return "final_engine_time differ";
+  }
+  if (a.counters != b.counters) return "counter maps differ";
+  if (a.gauges != b.gauges) return "gauge maps differ";
+  if (a.gauge_maxima != b.gauge_maxima) return "gauge maxima differ";
+  return "";
+}
+
+Status CompareOutputs(const QueryRunOutput& a, const QueryRunOutput& b,
+                      size_t session, std::string_view a_label,
+                      std::string_view b_label) {
+  if (a.results_csv != b.results_csv) {
+    return Status::Internal(StringPrintf(
+        "session %zu results CSV differs between %s and %s", session,
+        std::string(a_label).c_str(), std::string(b_label).c_str()));
+  }
+  const std::string diff = DiffSnapshots(a.snapshot, b.snapshot);
+  if (!diff.empty()) {
+    return Status::Internal(StringPrintf(
+        "session %zu stats differ between %s and %s: %s", session,
+        std::string(a_label).c_str(), std::string(b_label).c_str(),
+        diff.c_str()));
+  }
+  if (a.metrics_json != b.metrics_json) {
+    return Status::Internal(StringPrintf(
+        "session %zu metrics JSON differs between %s and %s", session,
+        std::string(a_label).c_str(), std::string(b_label).c_str()));
+  }
+  return Status::OK();
+}
+
+/// Events (from the pushed prefix) on the streams `query` reads.
+std::vector<StreamEvent> QueryFeed(const SimScenario& scenario,
+                                   const SimQuery& query) {
+  std::vector<StreamEvent> feed;
+  for (size_t i = 0; i < scenario.events_to_push; ++i) {
+    const StreamEvent& event = scenario.events[i];
+    for (const std::string& stream : query.streams) {
+      if (event.stream == stream) {
+        feed.push_back(event);
+        break;
+      }
+    }
+  }
+  return feed;
+}
+
+}  // namespace
+
+Result<ServerRunOutput> RunOnServer(const SimScenario& scenario,
+                                    size_t worker_threads,
+                                    bool install_faults) {
+  engine::StreamServerOptions options = scenario.options;
+  options.worker_threads = worker_threads;
+  server::StreamServer server(scenario.catalog, options);
+  if (install_faults) {
+    DT_RETURN_IF_ERROR(server.SetSimFaults(&scenario.faults));
+  }
+  std::vector<server::SessionId> ids;
+  for (const SimQuery& query : scenario.queries) {
+    DT_ASSIGN_OR_RETURN(server::SessionId id,
+                        server.RegisterQuery(query.sql, query.config));
+    ids.push_back(id);
+  }
+
+  const std::span<const StreamEvent> feed(scenario.events.data(),
+                                          scenario.events_to_push);
+  // The poison batch lands mid-feed, between two regular pushes, so its
+  // (required) atomic rejection is observable as "nothing changed".
+  const size_t poison_at =
+      scenario.inject_poison_batch ? feed.size() / 2 : feed.size() + 1;
+  size_t i = 0;
+  while (i < feed.size()) {
+    if (i == poison_at) {
+      std::vector<StreamEvent> poison;
+      poison.push_back(feed[i]);  // valid lead event: must NOT leak in
+      StreamEvent bad = feed[i];
+      bad.tuple.set_timestamp(std::numeric_limits<double>::quiet_NaN());
+      poison.push_back(std::move(bad));
+      const Status status = server.PushBatch(poison);
+      if (status.ok()) {
+        return Status::Internal(
+            "poison batch with a NaN timestamp was accepted; PushBatch "
+            "validation must reject it with nothing ingested");
+      }
+    }
+    if (scenario.push_batch_size == 0) {
+      DT_RETURN_IF_ERROR(server.Push(feed[i]));
+      ++i;
+    } else {
+      size_t n = std::min(scenario.push_batch_size, feed.size() - i);
+      if (i < poison_at && poison_at < i + n) n = poison_at - i;
+      DT_RETURN_IF_ERROR(server.PushBatch(feed.subspan(i, n)));
+      i += n;
+    }
+  }
+  DT_RETURN_IF_ERROR(server.Finish());
+
+  ServerRunOutput out;
+  for (size_t q = 0; q < ids.size(); ++q) {
+    out.sessions.push_back(
+        CollectSession(server.session(ids[q]), scenario.queries[q]));
+  }
+  return out;
+}
+
+Result<QueryRunOutput> RunOnEngine(const SimScenario& scenario,
+                                   size_t query_index) {
+  const SimQuery& query = scenario.queries[query_index];
+  DT_ASSIGN_OR_RETURN(std::unique_ptr<engine::ContinuousQueryEngine> eng,
+                      engine::ContinuousQueryEngine::Make(
+                          scenario.catalog, query.sql, query.config));
+  for (size_t i = 0; i < scenario.events_to_push; ++i) {
+    const Status status = eng->Push(scenario.events[i]);
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      return status;
+    }
+  }
+  DT_RETURN_IF_ERROR(eng->Finish());
+  QueryRunOutput out;
+  out.results = eng->TakeResults();
+  out.results_csv = io::FormatResultsCsv(out.results, query.columns);
+  out.snapshot = eng->StatsSnapshot();
+  out.metrics_json = obs::MetricsJson(eng->metrics(), &eng->trace());
+  return out;
+}
+
+Status CheckRunsEquivalent(const ServerRunOutput& a,
+                           const ServerRunOutput& b,
+                           std::string_view a_label,
+                           std::string_view b_label) {
+  if (a.sessions.size() != b.sessions.size()) {
+    return Status::Internal(StringPrintf(
+        "session count differs between %s (%zu) and %s (%zu)",
+        std::string(a_label).c_str(), a.sessions.size(),
+        std::string(b_label).c_str(), b.sessions.size()));
+  }
+  for (size_t s = 0; s < a.sessions.size(); ++s) {
+    DT_RETURN_IF_ERROR(CompareOutputs(a.sessions[s], b.sessions[s], s,
+                                      a_label, b_label));
+  }
+  return Status::OK();
+}
+
+Status CheckEngineEquivalence(const SimScenario& scenario,
+                              const ServerRunOutput& server_run) {
+  for (size_t q = 0; q < scenario.queries.size(); ++q) {
+    DT_ASSIGN_OR_RETURN(QueryRunOutput standalone,
+                        RunOnEngine(scenario, q));
+    DT_RETURN_IF_ERROR(CompareOutputs(server_run.sessions[q], standalone,
+                                      q, "hosted session",
+                                      "standalone engine"));
+  }
+  return Status::OK();
+}
+
+Status CheckConservation(const QueryRunOutput& run) {
+  const engine::EngineStats& core = run.snapshot.core;
+  if (core.tuples_ingested != core.tuples_kept + core.tuples_dropped) {
+    return Status::Internal(StringPrintf(
+        "conservation: ingested %lld != kept %lld + dropped %lld",
+        static_cast<long long>(core.tuples_ingested),
+        static_cast<long long>(core.tuples_kept),
+        static_cast<long long>(core.tuples_dropped)));
+  }
+  const auto expect_counter = [&](const char* name,
+                                  int64_t want) -> Status {
+    const auto it = run.snapshot.counters.find(name);
+    if (it == run.snapshot.counters.end()) {
+      return Status::Internal(
+          StringPrintf("conservation: counter %s missing", name));
+    }
+    if (it->second != want) {
+      return Status::Internal(StringPrintf(
+          "conservation: counter %s = %lld, core says %lld", name,
+          static_cast<long long>(it->second),
+          static_cast<long long>(want)));
+    }
+    return Status::OK();
+  };
+  DT_RETURN_IF_ERROR(
+      expect_counter("engine.tuples_ingested", core.tuples_ingested));
+  DT_RETURN_IF_ERROR(
+      expect_counter("engine.tuples_kept", core.tuples_kept));
+  DT_RETURN_IF_ERROR(
+      expect_counter("engine.tuples_dropped", core.tuples_dropped));
+  DT_RETURN_IF_ERROR(
+      expect_counter("engine.windows_emitted", core.windows_emitted));
+
+  // The drop-cause counters partition the dropped count: policy
+  // eviction, force shed, summarize bypass, and fault shed are
+  // exhaustive and disjoint.
+  int64_t by_cause = 0;
+  for (const auto& [name, value] : run.snapshot.counters) {
+    if (name.rfind("stream.", 0) == 0 &&
+        name.find(".dropped.") != std::string::npos) {
+      by_cause += value;
+    }
+  }
+  if (by_cause != core.tuples_dropped) {
+    return Status::Internal(StringPrintf(
+        "conservation: drop causes sum to %lld, dropped = %lld",
+        static_cast<long long>(by_cause),
+        static_cast<long long>(core.tuples_dropped)));
+  }
+
+  if (static_cast<int64_t>(run.results.size()) != core.windows_emitted) {
+    return Status::Internal(StringPrintf(
+        "conservation: %zu results but windows_emitted = %lld",
+        run.results.size(), static_cast<long long>(core.windows_emitted)));
+  }
+  for (size_t i = 0; i < run.results.size(); ++i) {
+    const engine::WindowResult& r = run.results[i];
+    if (r.kept_tuples < 0 || r.dropped_tuples < 0) {
+      return Status::Internal(StringPrintf(
+          "conservation: window %lld has negative volume accounting",
+          static_cast<long long>(r.window)));
+    }
+    if (i > 0) {
+      if (r.window <= run.results[i - 1].window) {
+        return Status::Internal(StringPrintf(
+            "conservation: window ids not strictly increasing "
+            "(%lld after %lld)",
+            static_cast<long long>(r.window),
+            static_cast<long long>(run.results[i - 1].window)));
+      }
+      if (r.emit_time < run.results[i - 1].emit_time) {
+        return Status::Internal(StringPrintf(
+            "conservation: emit times regress at window %lld",
+            static_cast<long long>(r.window)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckAccuracy(const SimScenario& scenario, size_t query_index,
+                     const QueryRunOutput& run) {
+  const SimQuery& query = scenario.queries[query_index];
+  if (!query.AccuracyEligible()) return Status::OK();
+
+  DT_ASSIGN_OR_RETURN(sql::Statement statement,
+                      sql::ParseStatement(query.sql));
+  DT_ASSIGN_OR_RETURN(plan::BoundQuery bound,
+                      plan::BindStatement(statement, scenario.catalog));
+  const std::vector<StreamEvent> feed = QueryFeed(scenario, query);
+  auto ideal_result = metrics::ComputeIdealResults(
+      bound, feed, scenario.window_seconds, scenario.window_slide);
+  if (!ideal_result.ok()) return ideal_result.status();
+  const std::map<WindowId, exec::Relation>& ideal = *ideal_result;
+
+  // (a) The scenario run (shedding, faults and all) must stay on the
+  // rails numerically: a NaN or infinite estimate anywhere in the merged
+  // channel poisons the RMS.
+  DT_ASSIGN_OR_RETURN(
+      const double rms,
+      metrics::RmsError(ideal, run.results, query.num_group_columns,
+                        metrics::ResultChannel::kMerged));
+  if (!std::isfinite(rms) || rms < 0.0) {
+    return Status::Internal(StringPrintf(
+        "accuracy: query %zu merged RMS error is %g (must be finite and "
+        ">= 0)",
+        query_index, rms));
+  }
+
+  // (b) With infinite capacity (zero-cost model, queue larger than the
+  // whole feed) nothing may be shed and the result must equal the ideal
+  // exactly.
+  engine::EngineConfig config = query.config;
+  config.strategy = triage::SheddingStrategy::kDropOnly;
+  config.drop_policy = triage::DropPolicyKind::kRandom;
+  config.queue_capacity = scenario.events.size() + 16;
+  config.cost_model.exact_tuple_cost = 0.0;
+  config.cost_model.synopsis_insert_cost = 0.0;
+  config.cost_model.exact_work_unit_cost = 0.0;
+  config.cost_model.synopsis_work_unit_cost = 0.0;
+  config.cost_model.emission_overhead = 0.0;
+  config.cost_model.delay_factor = 1.0;
+  DT_ASSIGN_OR_RETURN(std::unique_ptr<engine::ContinuousQueryEngine> eng,
+                      engine::ContinuousQueryEngine::Make(
+                          scenario.catalog, query.sql, config));
+  for (const StreamEvent& event : feed) {
+    DT_RETURN_IF_ERROR(eng->Push(event));
+  }
+  DT_RETURN_IF_ERROR(eng->Finish());
+  const engine::EngineStatsSnapshot snapshot = eng->StatsSnapshot();
+  if (snapshot.core.tuples_dropped != 0) {
+    return Status::Internal(StringPrintf(
+        "accuracy: ideal run of query %zu shed %lld tuple(s) despite "
+        "zero-cost model and capacity %zu",
+        query_index, static_cast<long long>(snapshot.core.tuples_dropped),
+        config.queue_capacity));
+  }
+  DT_ASSIGN_OR_RETURN(
+      const double ideal_rms,
+      metrics::RmsError(ideal, eng->TakeResults(),
+                        query.num_group_columns,
+                        metrics::ResultChannel::kMerged));
+  if (ideal_rms != 0.0) {
+    return Status::Internal(StringPrintf(
+        "accuracy: ideal run of query %zu has RMS error %g (expected "
+        "exactly 0)",
+        query_index, ideal_rms));
+  }
+  return Status::OK();
+}
+
+}  // namespace datatriage::sim

@@ -1,0 +1,74 @@
+#ifndef DATATRIAGE_SIM_ORACLES_H_
+#define DATATRIAGE_SIM_ORACLES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/window_result.h"
+#include "src/sim/scenario_gen.h"
+
+namespace datatriage::sim {
+
+/// One query's normalized run output, the unit every differential oracle
+/// compares: results CSV, stats snapshot, and metrics+trace JSON are the
+/// three byte-comparable projections of a session's observable state.
+struct QueryRunOutput {
+  std::string results_csv;
+  engine::EngineStatsSnapshot snapshot;
+  std::string metrics_json;
+  std::vector<engine::WindowResult> results;
+};
+
+/// Per-session outputs of one server run (indexed like scenario.queries).
+/// Plane-level ("server" section) metrics are deliberately excluded:
+/// worker gauges carry wall-clock readings, which are not deterministic
+/// across worker counts by design.
+struct ServerRunOutput {
+  std::vector<QueryRunOutput> sessions;
+};
+
+/// Runs the scenario on a StreamServer with `worker_threads` workers
+/// (0 = serial inline mode), honoring the scenario's push plan (batch
+/// size, poison batch, mid-stream finish). `install_faults` wires
+/// scenario.faults into the server before registration.
+Result<ServerRunOutput> RunOnServer(const SimScenario& scenario,
+                                    size_t worker_threads,
+                                    bool install_faults);
+
+/// Runs query `query_index` alone on a standalone ContinuousQueryEngine
+/// over the same pushed prefix (per-event, tolerating NotFound for
+/// events on streams the query does not read).
+Result<QueryRunOutput> RunOnEngine(const SimScenario& scenario,
+                                   size_t query_index);
+
+/// Oracle: two server runs are byte-identical per session (results CSV,
+/// snapshot, metrics JSON). Used serial-vs-replay and serial-vs-parallel.
+Status CheckRunsEquivalent(const ServerRunOutput& a,
+                           const ServerRunOutput& b, std::string_view
+                           a_label, std::string_view b_label);
+
+/// Oracle: every hosted session matches its standalone engine run byte
+/// for byte. Only valid when no faults were installed on the server (a
+/// standalone engine cannot receive them).
+Status CheckEngineEquivalence(const SimScenario& scenario,
+                              const ServerRunOutput& server_run);
+
+/// Oracle: conservation invariants of one session — ingested = kept +
+/// dropped, the drop-cause counters partition the dropped count, core
+/// stats agree with the registry counters, and windows emit in strictly
+/// increasing order at non-decreasing emit times.
+Status CheckConservation(const QueryRunOutput& run);
+
+/// Oracle: accuracy against the offline ideal evaluation, for queries
+/// with AccuracyEligible(). Checks (a) the scenario run's merged-channel
+/// RMS error vs the ideal is finite, and (b) an ideal engine run of the
+/// same query (zero-cost model, queue larger than the feed) sheds
+/// nothing and has exactly zero RMS error.
+Status CheckAccuracy(const SimScenario& scenario, size_t query_index,
+                     const QueryRunOutput& run);
+
+}  // namespace datatriage::sim
+
+#endif  // DATATRIAGE_SIM_ORACLES_H_

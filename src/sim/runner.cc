@@ -1,0 +1,141 @@
+#include "src/sim/runner.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "src/common/string_util.h"
+#include "src/sim/oracles.h"
+#include "src/sim/scenario_gen.h"
+
+namespace datatriage::sim {
+namespace {
+
+Status Annotate(Status status, uint64_t seed, const char* oracle) {
+  if (status.ok()) return status;
+  return Status::Internal(StringPrintf(
+      "seed %llu, oracle %s: %s",
+      static_cast<unsigned long long>(seed), oracle,
+      status.ToString().c_str()));
+}
+
+}  // namespace
+
+std::string ReplayCommand(uint64_t seed, const SimOptions& options) {
+  std::string workers;
+  for (size_t i = 0; i < options.worker_counts.size(); ++i) {
+    if (i > 0) workers += ",";
+    workers += std::to_string(options.worker_counts[i]);
+  }
+  std::string command = StringPrintf(
+      "sim_main --replay-seed %llu --workers %s",
+      static_cast<unsigned long long>(seed), workers.c_str());
+  if (!options.with_faults) command += " --no-faults";
+  return command;
+}
+
+Status RunScenarioOnce(uint64_t seed, const SimOptions& options,
+                       std::ostream* out) {
+  const SimScenario scenario = GenerateScenario(seed);
+  const bool install_faults = options.with_faults && scenario.use_faults;
+  if (options.verbose && out != nullptr) {
+    *out << Describe(scenario);
+  }
+
+  auto base = RunOnServer(scenario, 0, install_faults);
+  if (!base.ok()) {
+    return Annotate(base.status(), seed, "serial-run");
+  }
+
+  // Determinism: the serial run replayed must be byte-identical — this
+  // is what makes every other oracle's failure a stable reproduction.
+  auto replay = RunOnServer(scenario, 0, install_faults);
+  if (!replay.ok()) {
+    return Annotate(replay.status(), seed, "serial-replay");
+  }
+  DT_RETURN_IF_ERROR(Annotate(
+      CheckRunsEquivalent(*base, *replay, "serial", "serial-replay"),
+      seed, "replay-determinism"));
+
+  // Parallel equivalence: every worker count must match the serial
+  // baseline per session, faults and all (faults are functions of
+  // virtual time, never of scheduling).
+  for (size_t workers : options.worker_counts) {
+    auto parallel = RunOnServer(scenario, workers, install_faults);
+    if (!parallel.ok()) {
+      return Annotate(parallel.status(), seed, "parallel-run");
+    }
+    const std::string label = "workers=" + std::to_string(workers);
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckRunsEquivalent(*base, *parallel, "serial", label), seed,
+        "parallel-equivalence"));
+  }
+
+  // Standalone-engine equivalence needs a fault-free server: a
+  // ContinuousQueryEngine has no fault hooks to mirror them (and the
+  // fault-shed counter alone would already skew the metrics export).
+  if (!install_faults) {
+    DT_RETURN_IF_ERROR(Annotate(CheckEngineEquivalence(scenario, *base),
+                                seed, "engine-equivalence"));
+  }
+
+  for (size_t q = 0; q < base->sessions.size(); ++q) {
+    DT_RETURN_IF_ERROR(
+        Annotate(CheckConservation(base->sessions[q]), seed,
+                 "conservation"));
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckAccuracy(scenario, q, base->sessions[q]), seed, "accuracy"));
+  }
+  return Status::OK();
+}
+
+SimReport RunSimulations(const SimOptions& options, std::ostream* out) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
+  SimReport report;
+  std::ofstream failures_file;
+  if (!options.failures_path.empty()) {
+    failures_file.open(options.failures_path, std::ios::trunc);
+  }
+  for (size_t i = 0; i < options.num_scenarios; ++i) {
+    if (options.max_wall_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(clock::now() - start).count();
+      if (elapsed >= options.max_wall_seconds) {
+        if (out != nullptr) {
+          *out << "time budget reached after " << report.scenarios_run
+               << " scenario(s)\n";
+        }
+        break;
+      }
+    }
+    const uint64_t seed = options.first_seed + i;
+    const Status status = RunScenarioOnce(seed, options, out);
+    ++report.scenarios_run;
+    if (!status.ok()) {
+      report.failures.push_back(SimFailure{seed, status.ToString()});
+      if (out != nullptr) {
+        *out << "FAIL " << status.ToString() << "\n"
+             << "  replay: " << ReplayCommand(seed, options) << "\n";
+      }
+      if (failures_file.is_open()) {
+        failures_file << seed << " " << status.ToString() << "\n";
+        failures_file.flush();
+      }
+    } else if (options.verbose && out != nullptr) {
+      *out << "ok seed " << seed << "\n";
+    }
+    if (out != nullptr && !options.verbose &&
+        report.scenarios_run % 50 == 0) {
+      *out << "..." << report.scenarios_run << "/"
+           << options.num_scenarios << " scenarios, "
+           << report.failures.size() << " failure(s)\n";
+    }
+  }
+  if (out != nullptr) {
+    *out << report.scenarios_run << " scenario(s), "
+         << report.failures.size() << " failure(s)\n";
+  }
+  return report;
+}
+
+}  // namespace datatriage::sim

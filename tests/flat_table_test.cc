@@ -4,7 +4,10 @@
 
 #include <cstdint>
 #include <set>
+#include <unordered_map>
 #include <vector>
+
+#include "src/common/random.h"
 
 namespace datatriage {
 namespace {
@@ -114,6 +117,91 @@ TEST(FlatTableTest, ForEachVisitsEveryEntryOnce) {
   EXPECT_EQ(visits, 100u);
   EXPECT_EQ(seen.size(), 100u);
 }
+
+TEST(FlatTableTest, EraseOnEmptyTableIsNoop) {
+  FlatTable<Entry> table;
+  EXPECT_FALSE(table.Erase(3, [](const Entry&) { return true; }));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlatTableTest, EraseRemovesOnlyTheMatchingEntry) {
+  FlatTable<Entry> table;
+  for (int64_t k = 0; k < 20; ++k) {
+    table.FindOrEmplace(
+        CollidingHash(k), [&](const Entry& e) { return e.key == k; },
+        [&] { return Entry{k, k * 10}; });
+  }
+  EXPECT_TRUE(table.Erase(CollidingHash(9),
+                          [](const Entry& e) { return e.key == 9; }));
+  EXPECT_FALSE(table.Erase(CollidingHash(9),
+                           [](const Entry& e) { return e.key == 9; }));
+  EXPECT_EQ(table.size(), 19u);
+  // Backward-shift deletion must not break the probe chains of the
+  // surviving colliders.
+  for (int64_t k = 0; k < 20; ++k) {
+    Entry* found = table.Find(CollidingHash(k),
+                              [&](const Entry& e) { return e.key == k; });
+    if (k == 9) {
+      EXPECT_EQ(found, nullptr);
+    } else {
+      ASSERT_NE(found, nullptr) << "key " << k;
+      EXPECT_EQ(found->payload, k * 10);
+    }
+  }
+}
+
+// Property test: a random insert/find/erase workload over a degenerate
+// (heavily colliding) hash must agree with std::unordered_map at every
+// step. Parameterized by seed so failures name the offending sequence.
+class FlatTableProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatTableProperty, MatchesUnorderedMapReference) {
+  Rng rng(GetParam());
+  FlatTable<Entry> table;
+  std::unordered_map<int64_t, int64_t> reference;
+
+  for (int step = 0; step < 4000; ++step) {
+    const int64_t key = rng.UniformInt(int64_t{0}, int64_t{60});
+    const uint64_t hash = CollidingHash(key);
+    const auto eq = [&](const Entry& e) { return e.key == key; };
+    const int op = rng.UniformInt(0, 2);
+    if (op == 0) {  // insert
+      const int64_t payload = rng.UniformInt(int64_t{0}, int64_t{1000000});
+      auto [entry, inserted] = table.FindOrEmplace(
+          hash, eq, [&] { return Entry{key, payload}; });
+      const auto [ref_it, ref_inserted] =
+          reference.emplace(key, payload);
+      ASSERT_EQ(inserted, ref_inserted) << "step " << step;
+      ASSERT_EQ(entry->payload, ref_it->second) << "step " << step;
+    } else if (op == 1) {  // find
+      Entry* found = table.Find(hash, eq);
+      const auto ref_it = reference.find(key);
+      ASSERT_EQ(found != nullptr, ref_it != reference.end())
+          << "step " << step << " key " << key;
+      if (found != nullptr) {
+        ASSERT_EQ(found->payload, ref_it->second) << "step " << step;
+      }
+    } else {  // erase
+      const bool erased = table.Erase(hash, eq);
+      ASSERT_EQ(erased, reference.erase(key) == 1)
+          << "step " << step << " key " << key;
+    }
+    ASSERT_EQ(table.size(), reference.size()) << "step " << step;
+  }
+
+  // Final sweep: every surviving key findable, nothing extra visited.
+  size_t visits = 0;
+  table.ForEach([&](const Entry& e) {
+    ++visits;
+    const auto ref_it = reference.find(e.key);
+    ASSERT_NE(ref_it, reference.end()) << "stray key " << e.key;
+    ASSERT_EQ(e.payload, ref_it->second);
+  });
+  EXPECT_EQ(visits, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatTableProperty,
+                         ::testing::Range<uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace datatriage

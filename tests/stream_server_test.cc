@@ -432,6 +432,63 @@ std::vector<RunOutput> RunHosted(const workload::Scenario& scenario,
   return outputs;
 }
 
+// --- Batch atomicity ----------------------------------------------------
+
+// A batch containing one invalid event (non-finite timestamp) must
+// bounce as a unit: InvalidArgument, and no event of the batch — not
+// even the valid ones ahead of the bad entry — may reach any session.
+// The rest of the feed must then produce output byte-identical to a run
+// that never saw the poisoned batch.
+TEST(StreamServerTest, PushBatchRejectsPoisonedBatchAtomically) {
+  const workload::Scenario scenario = OverloadScenario(4);
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  const std::vector<RunOutput> clean = RunHosted(scenario, specs, 2);
+
+  engine::StreamServerOptions options;
+  options.worker_threads = 2;
+  StreamServer server(scenario.catalog, options);
+  std::vector<SessionId> ids;
+  for (const QuerySpec& spec : specs) {
+    auto id = server.RegisterQuery(spec.sql, spec.config);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+
+  const size_t half = scenario.events.size() / 2;
+  const std::span<const StreamEvent> head(scenario.events.data(), half);
+  const std::span<const StreamEvent> tail(
+      scenario.events.data() + half, scenario.events.size() - half);
+  ASSERT_TRUE(server.PushBatch(head).ok());
+
+  // Poisoned batch: a perfectly valid event followed by a NaN-timestamp
+  // clone. Atomicity means the valid lead event must not leak in.
+  std::vector<StreamEvent> poison;
+  poison.push_back(scenario.events[half]);
+  StreamEvent bad = scenario.events[half];
+  bad.tuple.set_timestamp(std::numeric_limits<double>::quiet_NaN());
+  poison.push_back(bad);
+  const Status rejected = server.PushBatch(poison);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument)
+      << rejected.ToString();
+
+  ASSERT_TRUE(server.PushBatch(tail).ok());
+  ASSERT_TRUE(server.Finish().ok());
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    QuerySession& session = server.session(ids[i]);
+    EXPECT_EQ(
+        io::FormatResultsCsv(session.TakeResults(), specs[i].columns),
+        clean[i].results_csv)
+        << "query " << i;
+    ExpectSnapshotsEqual(session.StatsSnapshot(), clean[i].snapshot);
+    EXPECT_EQ(obs::MetricsJson(session.metrics(), &session.trace()),
+              clean[i].metrics_json)
+        << "query " << i;
+  }
+}
+
 TEST(ParallelEquivalence, WorkerCountsProduceByteIdenticalSessions) {
   const workload::Scenario scenario = OverloadScenario();
   const std::vector<QuerySpec> specs = HostedQueries(scenario);
