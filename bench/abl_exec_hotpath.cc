@@ -7,6 +7,13 @@
 // evaluation via a counting operator new, which is how the
 // scan-copy-elimination claim is verified rather than assumed.
 //
+// A second section pits the scalar executor against the vectorized one
+// (EvalOptions::vectorized) per operator: filter at 1%/50%/99%
+// selectivity, join build/probe, and grouped aggregation at 10/1k/100k
+// groups. Those records are named <case>/scalar and <case>/vectorized so
+// the CI perf gate can compare each vectorized case against its own
+// scalar baseline across commits.
+//
 // Results go to stdout and to BENCH_exec.json (see bench_util.h) so the
 // perf trajectory is tracked across PRs.
 
@@ -23,6 +30,7 @@
 #include "src/common/random.h"
 #include "src/exec/evaluator.h"
 #include "src/plan/logical_plan.h"
+#include "src/exec/vector_eval.h"
 #include "src/server/stream_server.h"
 
 // ---------------------------------------------------------------------------
@@ -251,11 +259,15 @@ struct Case {
   Measurement legacy;
   Measurement current;
   double tuples_per_op = 0.0;  // input tuples one evaluation touches
+  // JSON record suffixes; the vectorized section relabels them so the CI
+  // perf gate can pair each vectorized case with its own scalar baseline.
+  const char* legacy_label = "legacy";
+  const char* current_label = "current";
 };
 
 void Report(std::vector<Case> cases) {
-  std::printf("\n== Executor hot path: legacy (seed) vs current ==\n");
-  std::printf("%-28s %14s %14s %12s %9s\n", "case", "legacy_ns/op",
+  std::printf("\n== Executor hot path: baseline vs current ==\n");
+  std::printf("%-28s %14s %14s %12s %9s\n", "case", "base_ns/op",
               "current_ns/op", "speedup", "allocs");
   std::vector<BenchRecord> records;
   for (const Case& c : cases) {
@@ -264,16 +276,152 @@ void Report(std::vector<Case> cases) {
                 c.name.c_str(), c.legacy.ns_per_op, c.current.ns_per_op,
                 speedup, c.legacy.allocs_per_op, c.current.allocs_per_op);
     records.push_back(BenchRecord{
-        c.name + "/legacy", c.legacy.ns_per_op,
+        c.name + "/" + c.legacy_label, c.legacy.ns_per_op,
         c.tuples_per_op * 1e9 / c.legacy.ns_per_op,
         c.legacy.allocs_per_op});
     records.push_back(BenchRecord{
-        c.name + "/current", c.current.ns_per_op,
+        c.name + "/" + c.current_label, c.current.ns_per_op,
         c.tuples_per_op * 1e9 / c.current.ns_per_op,
         c.current.allocs_per_op});
   }
   WriteBenchJson("BENCH_exec.json", records);
   std::printf("wrote BENCH_exec.json (%zu records)\n", records.size());
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs vectorized operator kernels: scalar::X on borrowed
+// RelationViews against vectorized::X on prebuilt ColumnBatches. The
+// row→column conversion is deliberately outside the timed loop — it
+// happens once per window buffer at the scan boundary and is shared by
+// every operator of every (differential) plan over that window, so the
+// per-operator cost is the kernel itself. Both kernels are byte-for-byte
+// interchangeable (checked here via row counts; exhaustively in
+// column_batch_test and the sim's exec-mode-flip oracle), so the delta is
+// pure execution-model speed: selection vectors and typed arrays vs
+// per-tuple Values.
+// ---------------------------------------------------------------------------
+
+void RunVectorizedCases(Rng* rng, std::vector<Case>* cases) {
+  const auto kernel_case = [](const char* name, double tuples_per_op,
+                              auto&& scalar_fn, auto&& vector_fn) {
+    Case c;
+    c.name = name;
+    c.tuples_per_op = tuples_per_op;
+    c.legacy_label = "scalar";
+    c.current_label = "vectorized";
+    c.legacy = Measure(scalar_fn);
+    c.current = Measure(vector_fn);
+    DT_CHECK_EQ(c.legacy.result_rows, c.current.result_rows);
+    return c;
+  };
+
+  // --- Filter at 1% / 50% / 99% selectivity over 65536 rows. ---
+  {
+    Schema schema({{"k", FieldType::kInt64}, {"v", FieldType::kInt64}});
+    const Relation rel = MakeIntRelation(rng, 65536, 2, 0, 9999);
+    const exec::RelationView view = exec::RelationView::Borrow(rel);
+    auto batch = exec::ColumnBatch::FromRelation(rel);
+    const exec::BatchView bview{batch, nullptr};
+    PlanPtr scan = LogicalPlan::StreamScan("s", Channel::kBase, schema);
+    const struct {
+      const char* name;
+      int64_t threshold;  // keep rows with k < threshold; keys ~U[0,9999]
+    } kSelectivities[] = {{"vec_filter_sel01", 100},
+                          {"vec_filter_sel50", 5000},
+                          {"vec_filter_sel99", 9900}};
+    for (const auto& sel : kSelectivities) {
+      auto filter = LogicalPlan::Filter(
+          scan,
+          plan::BoundExpr::Binary(
+              sql::BinaryOp::kLess,
+              plan::BoundExpr::Column(0, FieldType::kInt64),
+              plan::BoundExpr::Literal(Value::Int64(sel.threshold))));
+      DT_CHECK(filter.ok());
+      const LogicalPlan& plan = **filter;
+      exec::ExecStats stats;
+      cases->push_back(kernel_case(
+          sel.name, 65536,
+          [&] { return exec::scalar::Filter(plan, view, &stats).size(); },
+          [&] {
+            return exec::vectorized::Filter(plan, bview, &stats).size();
+          }));
+    }
+  }
+
+  // --- Equijoin build (4096) + probe (16384), single int key. ---
+  {
+    Schema probe_schema({{"p.k", FieldType::kInt64}});
+    Schema build_schema(
+        {{"b.k", FieldType::kInt64}, {"b.v", FieldType::kInt64}});
+    const Relation probe_rel = MakeIntRelation(rng, 16384, 1, 0, 8191);
+    const Relation build_rel = MakeIntRelation(rng, 4096, 2, 0, 8191);
+    const exec::RelationView probe_view =
+        exec::RelationView::Borrow(probe_rel);
+    const exec::RelationView build_view =
+        exec::RelationView::Borrow(build_rel);
+    auto probe_batch = exec::ColumnBatch::FromRelation(probe_rel);
+    auto build_batch = exec::ColumnBatch::FromRelation(build_rel);
+    const exec::BatchView probe_bview{probe_batch, nullptr};
+    const exec::BatchView build_bview{build_batch, nullptr};
+    PlanPtr p = LogicalPlan::StreamScan("p", Channel::kBase, probe_schema);
+    PlanPtr b = LogicalPlan::StreamScan("b", Channel::kBase, build_schema);
+    auto join = LogicalPlan::Join(p, b, {{0, 0}});
+    DT_CHECK(join.ok());
+    const LogicalPlan& plan = **join;
+    exec::ExecStats stats;
+    cases->push_back(kernel_case(
+        "vec_join_build_probe", 16384 + 4096,
+        [&] {
+          return exec::scalar::Join(plan, probe_view, build_view, &stats)
+              .size();
+        },
+        [&] {
+          return exec::vectorized::Join(plan, probe_bview, build_bview,
+                                        &stats)
+              .size();
+        }));
+  }
+
+  // --- Grouped aggregate at 10 / 1k / 100k groups, 4 aggregates. ---
+  {
+    const struct {
+      const char* name;
+      size_t rows;
+      int64_t cardinality;
+    } kGroupings[] = {{"vec_group_by_10", 65536, 10},
+                      {"vec_group_by_1k", 65536, 1000},
+                      {"vec_group_by_100k", 131072, 100000}};
+    for (const auto& g : kGroupings) {
+      Schema schema({{"k", FieldType::kInt64}, {"v", FieldType::kInt64}});
+      const Relation rel =
+          MakeIntRelation(rng, g.rows, 2, 0, g.cardinality - 1);
+      const exec::RelationView view = exec::RelationView::Borrow(rel);
+      auto batch = exec::ColumnBatch::FromRelation(rel);
+      const exec::BatchView bview{batch, nullptr};
+      PlanPtr scan = LogicalPlan::StreamScan("s", Channel::kBase, schema);
+      auto agg = LogicalPlan::Aggregate(
+          scan, {{0, "k"}},
+          {{sql::AggFunc::kCount, true, 0, "count"},
+           {sql::AggFunc::kSum, false, 1, "total"},
+           {sql::AggFunc::kMin, false, 1, "lo"},
+           {sql::AggFunc::kMax, false, 1, "hi"}});
+      DT_CHECK(agg.ok());
+      const LogicalPlan& plan = **agg;
+      exec::ExecStats stats;
+      cases->push_back(kernel_case(
+          g.name, static_cast<double>(g.rows),
+          [&] {
+            auto result = exec::scalar::Aggregate(plan, view, &stats);
+            DT_CHECK(result.ok());
+            return result->size();
+          },
+          [&] {
+            auto result = exec::vectorized::Aggregate(plan, bview, &stats);
+            DT_CHECK(result.ok());
+            return result->size();
+          }));
+    }
+  }
 }
 
 void Run() {
@@ -466,6 +614,8 @@ void Run() {
     DT_CHECK_EQ(c.legacy.result_rows, c.current.result_rows);
     cases.push_back(std::move(c));
   }
+
+  RunVectorizedCases(&rng, &cases);
 
   Report(std::move(cases));
 }

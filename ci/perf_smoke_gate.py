@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Perf gate for the vectorized executor (ci.yml perf-smoke job).
+
+abl_exec_hotpath writes paired records named <case>/scalar and
+<case>/vectorized into BENCH_exec.json. This script compares the
+vectorized-to-scalar ns/op ratio per case between the merge base's run
+and the PR head's run, and fails when any case's ratio worsened by more
+than 10%. Comparing the within-run ratio rather than raw ns/op keeps the
+gate robust to runner speed variance: both executors ran on the same
+machine seconds apart, so the ratio cancels the machine out.
+
+Usage: perf_smoke_gate.py BENCH_exec_base.json BENCH_exec_head.json
+"""
+
+import json
+import sys
+
+REGRESSION_LIMIT = 0.10
+
+
+def vectorized_ratios(path):
+    """Maps case name -> vectorized ns/op divided by scalar ns/op."""
+    with open(path) as f:
+        records = {r["name"]: r["ns_per_op"] for r in json.load(f)}
+    ratios = {}
+    for name, ns_per_op in records.items():
+        if not name.endswith("/vectorized"):
+            continue
+        case = name[: -len("/vectorized")]
+        scalar = records.get(case + "/scalar")
+        if scalar:
+            ratios[case] = ns_per_op / scalar
+    return ratios
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base = vectorized_ratios(argv[1])
+    head = vectorized_ratios(argv[2])
+    if not base:
+        # Merge base predates the vectorized bench section: nothing to
+        # gate against yet.
+        print("no <case>/vectorized records in base run; skipping gate")
+        return 0
+    failed = []
+    for case, head_ratio in sorted(head.items()):
+        base_ratio = base.get(case)
+        if base_ratio is None:
+            print(f"{case}: new case, vec/scalar {head_ratio:.3f} (no base)")
+            continue
+        regression = (head_ratio - base_ratio) / base_ratio
+        verdict = "ok"
+        if regression > REGRESSION_LIMIT:
+            verdict = "REGRESSED"
+            failed.append(case)
+        print(
+            f"{case}: vec/scalar base {base_ratio:.3f} -> head "
+            f"{head_ratio:.3f} ({regression:+.1%}) {verdict}"
+        )
+    if failed:
+        print(
+            f"FAIL: {len(failed)} case(s) regressed more than "
+            f"{REGRESSION_LIMIT:.0%} vs their scalar baseline: "
+            + ", ".join(failed)
+        )
+        return 1
+    print("perf gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

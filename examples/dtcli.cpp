@@ -30,6 +30,10 @@
 //                       is byte-identical at any setting (DESIGN.md §11)
 //   --drop-policy=random|drop_newest|drop_oldest|synergistic
 //   --seed=N            drop-policy seed           (default 1)
+//   --scalar-exec       run windows on the tuple-at-a-time reference
+//                       executor instead of the vectorized columnar one
+//                       (results are byte-identical; escape hatch for
+//                       differential debugging and perf comparison)
 //   --sort-events       time-sort the event file before feeding
 //   --show-rewrite      print the rewritten SQL (paper Figs. 4-5) and exit
 //   --stats             print run statistics to stderr
@@ -137,6 +141,9 @@ int main(int argc, char** argv) {
       print_stats = true;
     } else if (arg == "--sort-events") {
       sort_events = true;
+    } else if (arg == "--scalar-exec") {
+      config.vectorized_exec = false;
+      config.vectorized_min_rows = 0;
     } else if (arg.rfind("--", 0) == 0) {
       return Fail("unknown option '" + arg + "' (see header comment)");
     } else {

@@ -73,6 +73,41 @@ class FlatTable {
     }
   }
 
+  /// Bulk build from `n` precomputed hashes: reserves capacity for all of
+  /// them once, then runs the FindOrEmplace protocol per index without the
+  /// per-insert threshold check (the up-front reservation guarantees the
+  /// load factor, so a mid-build rehash can never happen). With the same
+  /// hash sequence this yields the exact slot layout of `Reserve(size() +
+  /// n)` followed by n FindOrEmplace calls — batch and incremental builds
+  /// stay interchangeable for layout-sensitive callers (hash join build).
+  ///
+  /// `eq(entry, i)` compares key `i` against an existing entry, `make(i)`
+  /// constructs the entry for a new key, and `on_existing(&entry, i)`
+  /// fires when key `i` matched an existing entry (duplicate-chain hooks).
+  template <typename Eq, typename Make, typename OnExisting>
+  void BuildFrom(const uint64_t* hashes, size_t n, Eq&& eq, Make&& make,
+                 OnExisting&& on_existing) {
+    Reserve(size_ + n);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t hash = hashes[i];
+      for (size_t s = hash & mask;; s = (s + 1) & mask) {
+        Slot& slot = slots_[s];
+        if (!slot.occupied) {
+          slot.occupied = true;
+          slot.hash = hash;
+          slot.entry = make(i);
+          ++size_;
+          break;
+        }
+        if (slot.hash == hash && eq(slot.entry, i)) {
+          on_existing(&slot.entry, i);
+          break;
+        }
+      }
+    }
+  }
+
   /// Removes the entry matching (`hash`, `eq`), if present, and returns
   /// whether an entry was removed. Uses backward-shift deletion (no
   /// tombstones): slots after the hole are shifted back while they remain

@@ -22,6 +22,12 @@ Status EngineConfig::Validate() const {
           "eviction, paper Sec. 8.1)");
     }
   }
+  if (vectorized_min_rows > 0 && !vectorized_exec) {
+    return Status::InvalidArgument(
+        "EngineConfig: vectorized_min_rows only thresholds the "
+        "vectorized executor; set vectorized_exec or drop the "
+        "threshold");
+  }
   return Status::OK();
 }
 

@@ -31,6 +31,17 @@ struct EngineConfig {
   /// Seed for the drop policies (one forked Rng per stream queue).
   uint64_t seed = 1;
 
+  /// Run window evaluations on the column-major batch executor
+  /// (src/exec/vector_eval.h) instead of the tuple-at-a-time reference
+  /// path. The two produce byte-identical results, timestamps, and
+  /// ExecStats — this flag trades nothing but speed. Also applied to the
+  /// exact-synopsis shadow algebra.
+  bool vectorized_exec = true;
+  /// Minimum total input rows per evaluation before the vectorized path
+  /// engages; smaller windows stay scalar, where the row-to-column
+  /// conversion would dominate. Requires vectorized_exec.
+  size_t vectorized_min_rows = 0;
+
   /// Checks the config's internal invariants, returning a specific error
   /// for the first violation found: a zero queue_capacity, the
   /// synergistic drop policy without a synopsizing strategy, or a zero

@@ -1,10 +1,96 @@
 #include "src/engine/merge.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "src/common/flat_table.h"
+#include "src/exec/column_batch.h"
 
 namespace datatriage::engine {
+
+namespace {
+
+/// Column-at-a-time AccumulateExact: one batch conversion, whole-column
+/// group hashing, then per-aggregate accumulation sweeps. Hashes, group
+/// equality, and the per-(group, aggregate) floating-point update order
+/// all replicate the row-at-a-time loop exactly.
+synopsis::GroupedEstimate AccumulateExactVectorized(
+    const exec::Relation& spj_rows, const AggregationSpec& spec) {
+  const size_t n = spj_rows.size();
+  const size_t stride = spec.agg_columns.size();
+  const auto batch = exec::ColumnBatch::FromRelation(spj_rows);
+
+  std::vector<const exec::Column*> group_cols;
+  group_cols.reserve(spec.group_columns.size());
+  for (size_t g : spec.group_columns) group_cols.push_back(&batch->col(g));
+  std::vector<uint64_t> hashes;
+  exec::HashRows(group_cols, nullptr, n, &hashes);
+
+  struct Staged {
+    uint32_t repr_row = 0;
+    uint32_t id = 0;
+  };
+  FlatTable<Staged> staged;
+  std::vector<uint32_t> group_of(n);
+  std::vector<uint32_t> repr_rows;
+  for (size_t i = 0; i < n; ++i) {
+    auto [entry, inserted] = staged.FindOrEmplace(
+        hashes[i],
+        [&](const Staged& s) {
+          for (const exec::Column* col : group_cols) {
+            if (!exec::ColumnsEqualAt(*col, s.repr_row, *col, i)) {
+              return false;
+            }
+          }
+          return true;
+        },
+        [&] {
+          Staged s{static_cast<uint32_t>(i),
+                   static_cast<uint32_t>(repr_rows.size())};
+          repr_rows.push_back(static_cast<uint32_t>(i));
+          return s;
+        });
+    group_of[i] = entry->id;
+  }
+
+  std::vector<synopsis::AggAccumulator> arena(repr_rows.size() * stride);
+  for (size_t a = 0; a < stride; ++a) {
+    if (spec.agg_columns[a] == synopsis::kCountOnlyColumn) {
+      for (size_t i = 0; i < n; ++i) {
+        arena[group_of[i] * stride + a].count += 1.0;
+      }
+      continue;
+    }
+    const exec::Column& col = batch->col(spec.agg_columns[a]);
+    if (!col.is_string() && col.clean()) {
+      const double* f = col.f64.data();
+      for (size_t i = 0; i < n; ++i) {
+        arena[group_of[i] * stride + a].Add(f[i], 1.0);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        arena[group_of[i] * stride + a].Add(col.ValueAt(i).AsDouble(), 1.0);
+      }
+    }
+  }
+
+  synopsis::GroupedEstimate groups;
+  for (size_t g = 0; g < repr_rows.size(); ++g) {
+    std::vector<Value> key;
+    key.reserve(spec.group_columns.size());
+    for (size_t gc : spec.group_columns) {
+      key.push_back(batch->col(gc).ValueAt(repr_rows[g]));
+    }
+    groups.emplace(std::move(key),
+                   std::vector<synopsis::AggAccumulator>(
+                       arena.begin() + static_cast<ptrdiff_t>(g * stride),
+                       arena.begin() +
+                           static_cast<ptrdiff_t>((g + 1) * stride)));
+  }
+  return groups;
+}
+
+}  // namespace
 
 Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query) {
   if (!query.has_aggregate) {
@@ -23,7 +109,11 @@ Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query) {
 }
 
 synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
-                                          const AggregationSpec& spec) {
+                                          const AggregationSpec& spec,
+                                          bool vectorized) {
+  if (vectorized && !spj_rows.empty()) {
+    return AccumulateExactVectorized(spj_rows, spec);
+  }
   // Stage groups in a flat table keyed by borrowed rows, then build the
   // ordered GroupedEstimate once per distinct group: the per-row cost is
   // a hash plus an in-place comparison, not a key-vector construction.

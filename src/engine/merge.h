@@ -27,9 +27,13 @@ Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query);
 
 /// Aggregates exact SPJ rows into per-group accumulators, mirroring what
 /// Synopsis::EstimateGroups produces for the shadow side so the two merge
-/// additively.
+/// additively. With `vectorized` the rows are converted to a column batch
+/// first and grouped/accumulated column-at-a-time; the result is
+/// byte-identical (same hashes, same per-group accumulation order), so
+/// the flag affects speed only.
 synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
-                                          const AggregationSpec& spec);
+                                          const AggregationSpec& spec,
+                                          bool vectorized = false);
 
 /// Adds `src`'s accumulators into `dst` group-wise.
 void MergeGroupedEstimates(synopsis::GroupedEstimate* dst,

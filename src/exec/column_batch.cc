@@ -1,0 +1,284 @@
+#include "src/exec/column_batch.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/logging.h"
+
+namespace datatriage::exec {
+
+const Value& Column::ExceptionAt(size_t row) const {
+  auto it = std::lower_bound(
+      exception_values.begin(), exception_values.end(), row,
+      [](const std::pair<uint32_t, Value>& e, size_t r) {
+        return e.first < r;
+      });
+  DT_CHECK(it != exception_values.end() && it->first == row)
+      << "no out-of-line value for exception row";
+  return it->second;
+}
+
+Value Column::ValueAt(size_t row) const {
+  if (ExceptionLevel(row) != 0) return ExceptionAt(row);
+  switch (kind) {
+    case FieldType::kInt64:
+      return Value::Int64(i64[row]);
+    case FieldType::kDouble:
+      return Value::Double(f64[row]);
+    case FieldType::kTimestamp:
+      return Value::Timestamp(f64[row]);
+    case FieldType::kString:
+      return Value::String(*str[row]);
+  }
+  DT_CHECK(false) << "unhandled column kind";
+  return Value();
+}
+
+size_t Column::HashAt(size_t row) const {
+  const uint8_t level = ExceptionLevel(row);
+  if (level == kCrossClass) return ExceptionAt(row).Hash();
+  if (kind == FieldType::kString) return std::hash<std::string>{}(*str[row]);
+  // Numeric (including same-class exceptions, whose promotion is cached
+  // in f64): Value::Hash hashes the double representation.
+  return std::hash<double>{}(f64[row]);
+}
+
+Tuple ColumnBatch::RowAt(size_t row) const {
+  std::vector<Value> values;
+  values.reserve(cols_.size());
+  for (const auto& col : cols_) values.push_back(col->ValueAt(row));
+  return Tuple(std::move(values), (*timestamps_)[row]);
+}
+
+namespace {
+
+FieldType KindOf(const Value& v) { return v.type(); }
+
+bool SameClass(FieldType a, FieldType b) {
+  return (a == FieldType::kString) == (b == FieldType::kString);
+}
+
+}  // namespace
+
+std::shared_ptr<const ColumnBatch> ColumnBatch::Build(
+    const Relation& rel, std::shared_ptr<const Relation> owner) {
+  const size_t rows = rel.size();
+  const size_t cols = rows == 0 ? 0 : rel.front().size();
+
+  std::vector<Column> built(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    Column& col = built[c];
+    col.kind = KindOf(rel.front().value(c));
+    switch (col.kind) {
+      case FieldType::kInt64:
+        col.i64.reserve(rows);
+        col.f64.reserve(rows);
+        break;
+      case FieldType::kDouble:
+      case FieldType::kTimestamp:
+        col.f64.reserve(rows);
+        break;
+      case FieldType::kString:
+        col.str.reserve(rows);
+        break;
+    }
+  }
+  auto timestamps = std::make_shared<std::vector<VirtualTime>>();
+  timestamps->reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const Tuple& t = rel[r];
+    DT_CHECK_EQ(t.size(), cols) << "ragged relation in batch conversion";
+    timestamps->push_back(t.timestamp());
+    for (size_t c = 0; c < cols; ++c) {
+      Column& col = built[c];
+      const Value& v = t.value(c);
+      const FieldType vt = KindOf(v);
+      if (vt != col.kind) {
+        if (col.exception.empty()) col.exception.resize(rows, 0);
+        const bool cross = !SameClass(vt, col.kind);
+        col.exception[r] = cross ? Column::kCrossClass : Column::kSameClass;
+        col.has_cross_class |= cross;
+        col.exception_values.emplace_back(static_cast<uint32_t>(r), v);
+      }
+      switch (col.kind) {
+        case FieldType::kInt64:
+          col.i64.push_back(v.is_int64() ? v.int64() : 0);
+          col.f64.push_back(v.is_numeric() ? v.AsDouble() : 0.0);
+          break;
+        case FieldType::kDouble:
+        case FieldType::kTimestamp:
+          col.f64.push_back(v.is_numeric() ? v.AsDouble() : 0.0);
+          break;
+        case FieldType::kString:
+          col.str.push_back(v.is_string() ? &v.str() : nullptr);
+          break;
+      }
+    }
+  }
+
+  std::shared_ptr<ColumnBatch> batch(new ColumnBatch());
+  batch->num_rows_ = rows;
+  batch->cols_.reserve(cols);
+  for (Column& col : built) {
+    batch->cols_.push_back(
+        std::make_shared<const Column>(std::move(col)));
+  }
+  batch->timestamps_ = std::move(timestamps);
+  batch->source_rows_ = &rel;
+  if (owner != nullptr) batch->retained_.push_back(std::move(owner));
+  return batch;
+}
+
+std::shared_ptr<const ColumnBatch> ColumnBatch::FromRelation(
+    const Relation& rel) {
+  return Build(rel, nullptr);
+}
+
+std::shared_ptr<const ColumnBatch> ColumnBatch::FromRelation(
+    std::shared_ptr<const Relation> rel) {
+  const Relation& ref = *rel;
+  return Build(ref, std::move(rel));
+}
+
+std::shared_ptr<const ColumnBatch> ColumnBatch::FromColumns(
+    std::vector<std::shared_ptr<const Column>> cols,
+    std::shared_ptr<const std::vector<VirtualTime>> timestamps,
+    std::vector<std::shared_ptr<const void>> retained) {
+  std::shared_ptr<ColumnBatch> batch(new ColumnBatch());
+  batch->num_rows_ = timestamps == nullptr ? 0 : timestamps->size();
+  batch->cols_ = std::move(cols);
+  batch->timestamps_ = std::move(timestamps);
+  batch->retained_ = std::move(retained);
+  return batch;
+}
+
+Relation BatchView::ToRelation() const {
+  Relation out;
+  const size_t n = size();
+  out.reserve(n);
+  // Batches converted from a relation keep a pointer to the source rows:
+  // copying those tuples is the same bytes as reconstructing them via
+  // RowAt, at the cost the scalar path pays for its own materialization.
+  if (const Relation* src = batch == nullptr ? nullptr
+                                             : batch->source_rows()) {
+    for (size_t i = 0; i < n; ++i) out.push_back((*src)[RowIndex(i)]);
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(batch->RowAt(RowIndex(i)));
+  }
+  return out;
+}
+
+void ColumnBuilder::Reserve(size_t n) {
+  switch (col_.kind) {
+    case FieldType::kInt64:
+      col_.i64.reserve(n);
+      col_.f64.reserve(n);
+      break;
+    case FieldType::kDouble:
+    case FieldType::kTimestamp:
+      col_.f64.reserve(n);
+      break;
+    case FieldType::kString:
+      col_.str.reserve(n);
+      break;
+  }
+}
+
+void ColumnBuilder::Append(const Value& v) {
+  const FieldType vt = v.type();
+  if (!kind_fixed_) {
+    col_.kind = vt;
+    kind_fixed_ = true;
+  }
+  const size_t row = size_++;
+  if (vt != col_.kind) {
+    if (col_.exception.empty()) col_.exception.resize(row, 0);
+    const bool cross = (vt == FieldType::kString) !=
+                       (col_.kind == FieldType::kString);
+    col_.exception.push_back(cross ? Column::kCrossClass
+                                   : Column::kSameClass);
+    col_.has_cross_class |= cross;
+    col_.exception_values.emplace_back(static_cast<uint32_t>(row), v);
+  } else if (!col_.exception.empty()) {
+    col_.exception.push_back(0);
+  }
+  switch (col_.kind) {
+    case FieldType::kInt64:
+      col_.i64.push_back(v.is_int64() ? v.int64() : 0);
+      col_.f64.push_back(v.is_numeric() ? v.AsDouble() : 0.0);
+      break;
+    case FieldType::kDouble:
+    case FieldType::kTimestamp:
+      col_.f64.push_back(v.is_numeric() ? v.AsDouble() : 0.0);
+      break;
+    case FieldType::kString:
+      if (v.is_string()) {
+        if (strings_ == nullptr) {
+          strings_ = std::make_shared<std::vector<std::string>>();
+        }
+        strings_->push_back(v.str());
+        col_.str.push_back(nullptr);  // patched in Finish (reallocation)
+      } else {
+        col_.str.push_back(nullptr);
+      }
+      break;
+  }
+}
+
+std::shared_ptr<const Column> ColumnBuilder::Finish() {
+  if (col_.kind == FieldType::kString && strings_ != nullptr) {
+    // Pointers are assigned only now: the owned vector no longer moves.
+    size_t next = 0;
+    for (size_t r = 0; r < col_.str.size(); ++r) {
+      const bool is_string_row =
+          col_.exception.empty() ||
+          col_.exception[r] != Column::kCrossClass;
+      if (is_string_row) col_.str[r] = &(*strings_)[next++];
+    }
+    col_.str_storage = strings_;
+  }
+  return std::make_shared<const Column>(std::move(col_));
+}
+
+bool ColumnsEqualAt(const Column& a, size_t ar, const Column& b, size_t br) {
+  const uint8_t la = a.ExceptionLevel(ar);
+  const uint8_t lb = b.ExceptionLevel(br);
+  if (la == Column::kCrossClass || lb == Column::kCrossClass ||
+      a.is_string() != b.is_string()) {
+    // Rare path: full Value semantics (string-vs-numeric is never equal,
+    // but let operator== say so).
+    return a.ValueAt(ar) == b.ValueAt(br);
+  }
+  if (a.is_string()) return *a.str[ar] == *b.str[br];
+  return a.f64[ar] == b.f64[br];
+}
+
+void HashRows(const std::vector<const Column*>& cols, const uint32_t* rows,
+              size_t n, std::vector<uint64_t>* out) {
+  out->assign(n, cols.size());
+  for (const Column* col : cols) {
+    uint64_t* dst = out->data();
+    if (!col->is_string() && !col->has_cross_class) {
+      const double* f = col->f64.data();
+      std::hash<double> h;
+      if (rows == nullptr) {
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = HashCombine(dst[i], h(f[i]));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = HashCombine(dst[i], h(f[rows[i]]));
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t row = rows == nullptr ? i : rows[i];
+        dst[i] = HashCombine(dst[i], col->HashAt(row));
+      }
+    }
+  }
+}
+
+}  // namespace datatriage::exec

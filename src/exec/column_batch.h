@@ -1,0 +1,198 @@
+#ifndef DATATRIAGE_EXEC_COLUMN_BATCH_H_
+#define DATATRIAGE_EXEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/catalog/field_type.h"
+#include "src/common/virtual_time.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::exec {
+
+using Relation = std::vector<Tuple>;
+
+/// One column of a ColumnBatch: a typed value array plus an exception
+/// ("null") mask. The engine has no SQL NULL, so the mask does not mark
+/// missing values; it marks rows whose runtime Value type differs from the
+/// column's declared kind (tuples are untyped vectors, so a column can in
+/// principle hold e.g. a Double among Int64s). Masked rows keep their full
+/// Value out of line so the original bytes are reconstructible, which is
+/// what lets the vectorized path stay byte-identical to the scalar one.
+///
+/// Storage by kind:
+///  - numeric kinds (kInt64 / kDouble / kTimestamp): `f64` always holds
+///    the promoted double (Value::AsDouble()) for every row whose value
+///    is numeric — including same-class exceptions — because hashing,
+///    equality, comparison, and aggregation all operate on the promotion
+///    (Value::operator== / Hash promote numerics to double). kInt64
+///    additionally keeps the exact `i64` values for reconstruction and
+///    int64 arithmetic.
+///  - kString: `str` holds borrowed pointers; the batch retains whatever
+///    owns the string bytes (the provider relation, or `str_storage` for
+///    strings the operator itself produced).
+///
+/// Exception levels: 0 = clean; kSameClass = numeric value of another
+/// numeric kind (or timestamp), f64 still valid; kCrossClass = a string in
+/// a numeric column or vice versa, so the typed arrays hold placeholders
+/// and every consumer must go through the out-of-line Value.
+struct Column {
+  static constexpr uint8_t kSameClass = 1;
+  static constexpr uint8_t kCrossClass = 2;
+
+  FieldType kind = FieldType::kInt64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<const std::string*> str;
+  /// Per-row exception level; empty when the column is clean.
+  std::vector<uint8_t> exception;
+  /// Out-of-line Values for exception rows, sorted by row index.
+  std::vector<std::pair<uint32_t, Value>> exception_values;
+  /// True when any row is a kCrossClass exception.
+  bool has_cross_class = false;
+  /// Owned backing store for strings this column created (literals,
+  /// fallback conversions); borrowed columns leave it null.
+  std::shared_ptr<const std::vector<std::string>> str_storage;
+
+  bool clean() const { return exception.empty(); }
+  bool is_string() const { return kind == FieldType::kString; }
+  uint8_t ExceptionLevel(size_t row) const {
+    return exception.empty() ? 0 : exception[row];
+  }
+  /// Precondition: ExceptionLevel(row) != 0.
+  const Value& ExceptionAt(size_t row) const;
+
+  /// Reconstructs the exact original Value (type, timestamp flag, string
+  /// bytes) for `row`.
+  Value ValueAt(size_t row) const;
+
+  /// Value::Hash() of ValueAt(row), without constructing the Value on the
+  /// clean paths.
+  size_t HashAt(size_t row) const;
+};
+
+/// Column-major representation of a Relation: per-column value arrays, a
+/// shared timestamp array, and shared ownership of whatever the borrowed
+/// pointers reach into. Columns are individually shared (shared_ptr), so a
+/// projection is a column-pointer shuffle, never a copy.
+///
+/// Batches are immutable once built; operators compose them with selection
+/// vectors (see BatchView) instead of materializing intermediate rows.
+class ColumnBatch {
+ public:
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return cols_.size(); }
+  const Column& col(size_t c) const { return *cols_[c]; }
+  const std::shared_ptr<const Column>& col_ptr(size_t c) const {
+    return cols_[c];
+  }
+  VirtualTime timestamp(size_t row) const { return (*timestamps_)[row]; }
+  const std::shared_ptr<const std::vector<VirtualTime>>& timestamps() const {
+    return timestamps_;
+  }
+
+  /// Exact per-cell reconstruction.
+  Value ValueAt(size_t col, size_t row) const {
+    return cols_[col]->ValueAt(row);
+  }
+  /// The relation this batch was converted from, or null for batches
+  /// assembled from columns. Valid for the batch's lifetime (borrowed
+  /// sources must outlive the batch; owned sources are retained).
+  const Relation* source_rows() const { return source_rows_; }
+  /// Rebuilds row `row` as a Tuple (values + timestamp), byte-identical
+  /// to the row the batch was built from.
+  Tuple RowAt(size_t row) const;
+
+  /// Converts `rel` into a batch. String cells are borrowed: `rel` must
+  /// outlive the batch (scan of a provider input), or be passed via the
+  /// owning overload. All rows must share the first row's arity.
+  static std::shared_ptr<const ColumnBatch> FromRelation(const Relation& rel);
+  /// Same, but the batch shares ownership of the relation, keeping the
+  /// borrowed string bytes alive (operator-built rows).
+  static std::shared_ptr<const ColumnBatch> FromRelation(
+      std::shared_ptr<const Relation> rel);
+
+  /// Assembles a batch from prebuilt columns. Every column must have
+  /// exactly `timestamps->size()` rows. `retained` keeps parent batches
+  /// (and through them, borrowed string storage) alive.
+  static std::shared_ptr<const ColumnBatch> FromColumns(
+      std::vector<std::shared_ptr<const Column>> cols,
+      std::shared_ptr<const std::vector<VirtualTime>> timestamps,
+      std::vector<std::shared_ptr<const void>> retained);
+
+ private:
+  ColumnBatch() = default;
+
+  static std::shared_ptr<const ColumnBatch> Build(
+      const Relation& rel, std::shared_ptr<const Relation> owner);
+
+  size_t num_rows_ = 0;
+  std::vector<std::shared_ptr<const Column>> cols_;
+  std::shared_ptr<const std::vector<VirtualTime>> timestamps_;
+  const Relation* source_rows_ = nullptr;
+  // Keep-alive for borrowed storage reachable from cols_ (parent batches,
+  // source relations).
+  std::vector<std::shared_ptr<const void>> retained_;
+};
+
+/// A batch plus an optional selection vector: the working set of every
+/// vectorized operator. `sel == nullptr` means all rows in order; otherwise
+/// `sel` lists the selected row indices, ascending for filter outputs
+/// (filters never reorder). Operators pass views downstream without
+/// materializing, exactly as RelationView does for the scalar path.
+struct BatchView {
+  std::shared_ptr<const ColumnBatch> batch;
+  std::shared_ptr<const std::vector<uint32_t>> sel;
+
+  size_t size() const {
+    if (sel != nullptr) return sel->size();
+    return batch == nullptr ? 0 : batch->num_rows();
+  }
+  bool empty() const { return size() == 0; }
+  /// Absolute row index of the i-th selected row.
+  uint32_t RowIndex(size_t i) const {
+    return sel != nullptr ? (*sel)[i] : static_cast<uint32_t>(i);
+  }
+
+  /// Materializes the selected rows, byte-identical to what the scalar
+  /// path would have produced.
+  Relation ToRelation() const;
+};
+
+/// Incremental column construction from arbitrary Values (aggregate
+/// outputs, fallback conversions). The first appended value fixes the
+/// kind; later values of other types become exceptions. Strings are
+/// copied into an owned store.
+class ColumnBuilder {
+ public:
+  void Reserve(size_t n);
+  void Append(const Value& v);
+  size_t size() const { return size_; }
+  /// Finalizes; the builder must not be reused afterwards.
+  std::shared_ptr<const Column> Finish();
+
+ private:
+  Column col_;
+  std::shared_ptr<std::vector<std::string>> strings_;
+  size_t size_ = 0;
+  bool kind_fixed_ = false;
+};
+
+/// Row equality across (possibly distinct) batches under Value::operator==
+/// promotion rules, without constructing Values on the clean paths.
+bool ColumnsEqualAt(const Column& a, size_t ar, const Column& b, size_t br);
+
+/// HashValuesAt / Tuple::Hash replicated over columns: seed = cols.size(),
+/// folded with HashCombine over each column's HashAt. `rows`/`n` select
+/// the domain (rows == nullptr means 0..n-1); results are appended to
+/// `out` in domain order.
+void HashRows(const std::vector<const Column*>& cols, const uint32_t* rows,
+              size_t n, std::vector<uint64_t>* out);
+
+}  // namespace datatriage::exec
+
+#endif  // DATATRIAGE_EXEC_COLUMN_BATCH_H_

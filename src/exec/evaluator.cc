@@ -7,6 +7,7 @@
 
 #include "src/common/flat_table.h"
 #include "src/common/string_util.h"
+#include "src/exec/vector_eval.h"
 
 namespace datatriage::exec {
 
@@ -38,66 +39,32 @@ ExecStats& ExecStats::operator+=(const ExecStats& other) {
   return *this;
 }
 
-Result<Relation> Evaluator::Evaluate(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView view, EvaluateView(plan));
-  return std::move(view).Materialize();
-}
+namespace scalar {
 
-Result<RelationView> Evaluator::EvaluateView(const LogicalPlan& plan) {
-  switch (plan.kind()) {
-    case LogicalPlan::Kind::kEmpty:
-      return RelationView();
-    case LogicalPlan::Kind::kStreamScan:
-      return EvaluateScan(plan);
-    case LogicalPlan::Kind::kFilter:
-      return EvaluateFilter(plan);
-    case LogicalPlan::Kind::kProject:
-      return EvaluateProject(plan);
-    case LogicalPlan::Kind::kCompute:
-      return EvaluateCompute(plan);
-    case LogicalPlan::Kind::kJoin:
-      return EvaluateJoin(plan);
-    case LogicalPlan::Kind::kUnionAll:
-      return EvaluateUnionAll(plan);
-    case LogicalPlan::Kind::kSetDifference:
-      return EvaluateSetDifference(plan);
-    case LogicalPlan::Kind::kAggregate:
-      return EvaluateAggregate(plan);
-  }
-  return Status::Internal("unhandled plan kind in evaluator");
-}
-
-Result<RelationView> Evaluator::EvaluateScan(const LogicalPlan& plan) {
-  auto it = inputs_->find(ChannelKey{plan.stream(), plan.channel()});
-  if (it == inputs_->end()) return RelationView();
-  stats_.tuples_scanned += static_cast<int64_t>(it->second.size());
-  return RelationView::Borrow(it->second);
-}
-
-Result<RelationView> Evaluator::EvaluateFilter(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+RelationView Filter(const LogicalPlan& plan, const RelationView& input,
+                    ExecStats* stats) {
   std::vector<const Tuple*> refs;
   refs.reserve(input.size());
   input.ForEach([&](const Tuple& t) {
-    ++stats_.comparisons;
+    ++stats->comparisons;
     if (plan.predicate()->EvaluatesToTrue(t)) refs.push_back(&t);
   });
-  stats_.tuples_output += static_cast<int64_t>(refs.size());
+  stats->tuples_output += static_cast<int64_t>(refs.size());
   return RelationView::Subset(input, std::move(refs));
 }
 
-Result<RelationView> Evaluator::EvaluateProject(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+RelationView Project(const LogicalPlan& plan, const RelationView& input,
+                     ExecStats* stats) {
   Relation output;
   output.reserve(input.size());
   input.ForEach(
       [&](const Tuple& t) { output.push_back(t.Project(plan.projection())); });
-  stats_.tuples_output += static_cast<int64_t>(output.size());
+  stats->tuples_output += static_cast<int64_t>(output.size());
   return RelationView::Own(std::move(output));
 }
 
-Result<RelationView> Evaluator::EvaluateCompute(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+RelationView Compute(const LogicalPlan& plan, const RelationView& input,
+                     ExecStats* stats) {
   Relation output;
   output.reserve(input.size());
   input.ForEach([&](const Tuple& t) {
@@ -109,13 +76,12 @@ Result<RelationView> Evaluator::EvaluateCompute(const LogicalPlan& plan) {
     output.emplace_back(std::move(row));
     output.back().set_timestamp(t.timestamp());
   });
-  stats_.tuples_output += static_cast<int64_t>(output.size());
+  stats->tuples_output += static_cast<int64_t>(output.size());
   return RelationView::Own(std::move(output));
 }
 
-Result<RelationView> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
-  DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
+RelationView Join(const LogicalPlan& plan, const RelationView& left,
+                  const RelationView& right, ExecStats* stats) {
   Relation output;
 
   if (plan.join_keys().empty()) {
@@ -123,16 +89,16 @@ Result<RelationView> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
     for (size_t li = 0; li < left.size(); ++li) {
       const Tuple& l = left[li];
       for (size_t ri = 0; ri < right.size(); ++ri) {
-        ++stats_.join_probes;
+        ++stats->join_probes;
         Tuple joined = l.Concat(right[ri]);
         if (plan.predicate() != nullptr) {
-          ++stats_.comparisons;
+          ++stats->comparisons;
           if (!plan.predicate()->EvaluatesToTrue(joined)) continue;
         }
         output.push_back(std::move(joined));
       }
     }
-    stats_.tuples_output += static_cast<int64_t>(output.size());
+    stats->tuples_output += static_cast<int64_t>(output.size());
     return RelationView::Own(std::move(output));
   }
 
@@ -161,7 +127,7 @@ Result<RelationView> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
   std::vector<uint32_t> next(build.size(), kNil);
   for (size_t i = 0; i < build.size(); ++i) {
     const Tuple& t = build[i];
-    ++stats_.join_build_inserts;
+    ++stats->join_build_inserts;
     const uint64_t hash = HashValuesAt(t, build_keys);
     auto [bucket, inserted] = table.FindOrEmplace(
         hash,
@@ -179,7 +145,7 @@ Result<RelationView> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
   }
   for (size_t pi = 0; pi < probe.size(); ++pi) {
     const Tuple& t = probe[pi];
-    ++stats_.join_probes;
+    ++stats->join_probes;
     const uint64_t hash = HashValuesAt(t, probe_keys);
     BuildBucket* bucket = table.Find(hash, [&](const BuildBucket& b) {
       return ValuesEqualAt(*b.repr, build_keys, t, probe_keys);
@@ -190,28 +156,24 @@ Result<RelationView> Evaluator::EvaluateJoin(const LogicalPlan& plan) {
       // Output column order is (left, right) regardless of build side.
       Tuple joined = build_left ? match.Concat(t) : t.Concat(match);
       if (plan.predicate() != nullptr) {
-        ++stats_.comparisons;
+        ++stats->comparisons;
         if (!plan.predicate()->EvaluatesToTrue(joined)) continue;
       }
       output.push_back(std::move(joined));
     }
   }
-  stats_.tuples_output += static_cast<int64_t>(output.size());
+  stats->tuples_output += static_cast<int64_t>(output.size());
   return RelationView::Own(std::move(output));
 }
 
-Result<RelationView> Evaluator::EvaluateUnionAll(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
-  DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
-  stats_.tuples_output +=
-      static_cast<int64_t>(left.size() + right.size());
+RelationView UnionAll(RelationView left, RelationView right,
+                      ExecStats* stats) {
+  stats->tuples_output += static_cast<int64_t>(left.size() + right.size());
   return RelationView::Concat(std::move(left), std::move(right));
 }
 
-Result<RelationView> Evaluator::EvaluateSetDifference(
-    const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
-  DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
+RelationView SetDifference(const RelationView& left,
+                           const RelationView& right, ExecStats* stats) {
   // Multiset monus: each right-side tuple cancels at most one left-side
   // occurrence.
   struct Monus {
@@ -220,7 +182,7 @@ Result<RelationView> Evaluator::EvaluateSetDifference(
   };
   FlatTable<Monus> to_remove(right.size());
   right.ForEach([&](const Tuple& t) {
-    ++stats_.comparisons;
+    ++stats->comparisons;
     auto [entry, inserted] = to_remove.FindOrEmplace(
         t.Hash(), [&](const Monus& m) { return *m.repr == t; },
         [&] { return Monus{&t, 0}; });
@@ -229,7 +191,7 @@ Result<RelationView> Evaluator::EvaluateSetDifference(
   std::vector<const Tuple*> refs;
   refs.reserve(left.size());
   left.ForEach([&](const Tuple& t) {
-    ++stats_.comparisons;
+    ++stats->comparisons;
     Monus* entry = to_remove.Find(
         t.Hash(), [&](const Monus& m) { return *m.repr == t; });
     if (entry != nullptr && entry->count > 0) {
@@ -238,12 +200,12 @@ Result<RelationView> Evaluator::EvaluateSetDifference(
     }
     refs.push_back(&t);
   });
-  stats_.tuples_output += static_cast<int64_t>(refs.size());
+  stats->tuples_output += static_cast<int64_t>(refs.size());
   return RelationView::Subset(left, std::move(refs));
 }
 
-Result<RelationView> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
-  DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+Result<RelationView> Aggregate(const LogicalPlan& plan,
+                               const RelationView& input, ExecStats* stats) {
   std::vector<size_t> group_indices;
   for (const plan::GroupBySpec& g : plan.group_by()) {
     group_indices.push_back(g.input_index);
@@ -265,7 +227,7 @@ Result<RelationView> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
   std::vector<AggState> agg_arena;
   for (size_t i = 0; i < input.size(); ++i) {
     const Tuple& t = input[i];
-    ++stats_.comparisons;
+    ++stats->comparisons;
     const uint64_t hash = HashValuesAt(t, group_indices);
     auto [entry, inserted] = groups.FindOrEmplace(
         hash,
@@ -334,13 +296,78 @@ Result<RelationView> Evaluator::EvaluateAggregate(const LogicalPlan& plan) {
     }
     output.emplace_back(std::move(row));
   });
-  stats_.tuples_output += static_cast<int64_t>(output.size());
+  stats->tuples_output += static_cast<int64_t>(output.size());
   return RelationView::Own(std::move(output));
+}
+
+}  // namespace scalar
+
+Result<Relation> Evaluator::Evaluate(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(RelationView view, EvaluateView(plan));
+  return std::move(view).Materialize();
+}
+
+Result<RelationView> Evaluator::EvaluateView(const LogicalPlan& plan) {
+  switch (plan.kind()) {
+    case LogicalPlan::Kind::kEmpty:
+      return RelationView();
+    case LogicalPlan::Kind::kStreamScan:
+      return EvaluateScan(plan);
+    case LogicalPlan::Kind::kFilter: {
+      DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+      return scalar::Filter(plan, input, &stats_);
+    }
+    case LogicalPlan::Kind::kProject: {
+      DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+      return scalar::Project(plan, input, &stats_);
+    }
+    case LogicalPlan::Kind::kCompute: {
+      DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+      return scalar::Compute(plan, input, &stats_);
+    }
+    case LogicalPlan::Kind::kJoin: {
+      DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
+      return scalar::Join(plan, left, right, &stats_);
+    }
+    case LogicalPlan::Kind::kUnionAll: {
+      DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
+      return scalar::UnionAll(std::move(left), std::move(right), &stats_);
+    }
+    case LogicalPlan::Kind::kSetDifference: {
+      DT_ASSIGN_OR_RETURN(RelationView left, EvaluateView(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(RelationView right, EvaluateView(*plan.child(1)));
+      return scalar::SetDifference(left, right, &stats_);
+    }
+    case LogicalPlan::Kind::kAggregate: {
+      DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+      return scalar::Aggregate(plan, input, &stats_);
+    }
+  }
+  return Status::Internal("unhandled plan kind in evaluator");
+}
+
+Result<RelationView> Evaluator::EvaluateScan(const LogicalPlan& plan) {
+  auto it = inputs_->find(ChannelKey{plan.stream(), plan.channel()});
+  if (it == inputs_->end()) return RelationView();
+  stats_.tuples_scanned += static_cast<int64_t>(it->second.size());
+  return RelationView::Borrow(it->second);
 }
 
 Result<Relation> EvaluatePlan(const LogicalPlan& plan,
                               const RelationProvider& inputs,
-                              ExecStats* stats) {
+                              ExecStats* stats, const EvalOptions& options) {
+  if (options.vectorized) {
+    size_t total_rows = 0;
+    for (const auto& [key, rel] : inputs) total_rows += rel.size();
+    if (total_rows >= options.min_rows) {
+      VectorEvaluator evaluator(&inputs);
+      DT_ASSIGN_OR_RETURN(Relation result, evaluator.Evaluate(plan));
+      if (stats != nullptr) *stats += evaluator.stats();
+      return result;
+    }
+  }
   Evaluator evaluator(&inputs);
   DT_ASSIGN_OR_RETURN(Relation result, evaluator.Evaluate(plan));
   if (stats != nullptr) *stats += evaluator.stats();

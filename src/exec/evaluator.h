@@ -27,6 +27,17 @@ struct ExecStats {
   ExecStats& operator+=(const ExecStats& other);
 };
 
+/// Executor dispatch options. The vectorized path (vector_eval.h) and the
+/// scalar path are byte-for-byte interchangeable — same rows, same row
+/// order, same ExecStats — so these options affect speed only, never
+/// results. `min_rows` keeps tiny evaluations on the scalar path, where
+/// the row→column conversion would dominate: vectorization engages only
+/// when the provider holds at least that many input tuples in total.
+struct EvalOptions {
+  bool vectorized = false;
+  size_t min_rows = 0;
+};
+
 /// Evaluates a logical plan exactly over materialized inputs.
 ///
 /// Joins use an open-addressing hash table (FlatTable) on the equijoin
@@ -40,6 +51,10 @@ struct ExecStats {
 /// compute, join, aggregate) own their output. Hash keys are (tuple
 /// pointer, index list) views with precomputed hashes — no Value is
 /// copied to build or probe a table.
+///
+/// This class is the reference scalar implementation; the column-major
+/// executor in vector_eval.h reuses its operator kernels (the scalar::
+/// functions below) for semantics it does not vectorize.
 class Evaluator {
  public:
   explicit Evaluator(const RelationProvider* inputs) : inputs_(inputs) {}
@@ -59,23 +74,41 @@ class Evaluator {
   Result<RelationView> EvaluateView(const plan::LogicalPlan& plan);
 
   Result<RelationView> EvaluateScan(const plan::LogicalPlan& plan);
-  Result<RelationView> EvaluateFilter(const plan::LogicalPlan& plan);
-  Result<RelationView> EvaluateProject(const plan::LogicalPlan& plan);
-  Result<RelationView> EvaluateCompute(const plan::LogicalPlan& plan);
-  Result<RelationView> EvaluateJoin(const plan::LogicalPlan& plan);
-  Result<RelationView> EvaluateUnionAll(const plan::LogicalPlan& plan);
-  Result<RelationView> EvaluateSetDifference(
-      const plan::LogicalPlan& plan);
-  Result<RelationView> EvaluateAggregate(const plan::LogicalPlan& plan);
 
   const RelationProvider* inputs_;
   ExecStats stats_;
 };
 
-/// One-shot convenience wrapper.
+/// The scalar operator kernels, shared between Evaluator and the
+/// vectorized executor's fallback paths. Each takes fully-evaluated child
+/// views, charges `stats` exactly as the tuple-at-a-time loop always has,
+/// and returns the operator's output view.
+namespace scalar {
+
+RelationView Filter(const plan::LogicalPlan& plan, const RelationView& input,
+                    ExecStats* stats);
+RelationView Project(const plan::LogicalPlan& plan,
+                     const RelationView& input, ExecStats* stats);
+RelationView Compute(const plan::LogicalPlan& plan,
+                     const RelationView& input, ExecStats* stats);
+RelationView Join(const plan::LogicalPlan& plan, const RelationView& left,
+                  const RelationView& right, ExecStats* stats);
+RelationView UnionAll(RelationView left, RelationView right,
+                      ExecStats* stats);
+RelationView SetDifference(const RelationView& left,
+                           const RelationView& right, ExecStats* stats);
+Result<RelationView> Aggregate(const plan::LogicalPlan& plan,
+                               const RelationView& input, ExecStats* stats);
+
+}  // namespace scalar
+
+/// One-shot convenience wrapper. With `options.vectorized` the plan runs
+/// on the column-major executor (vector_eval.h); the output is
+/// byte-identical either way.
 Result<Relation> EvaluatePlan(const plan::LogicalPlan& plan,
                               const RelationProvider& inputs,
-                              ExecStats* stats = nullptr);
+                              ExecStats* stats = nullptr,
+                              const EvalOptions& options = EvalOptions());
 
 }  // namespace datatriage::exec
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/exec/column_batch.h"
 #include "src/plan/logical_plan.h"
 #include "src/tuple/tuple.h"
 

@@ -1,0 +1,1132 @@
+#include "src/exec/vector_eval.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/flat_table.h"
+#include "src/common/logging.h"
+#include "src/plan/expression.h"
+#include "src/sql/ast.h"
+
+namespace datatriage::exec {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::LogicalPlan;
+
+constexpr uint32_t kNil = UINT32_MAX;
+
+/// The row domain a kernel operates over: `rows == nullptr` means rows
+/// 0..n-1 of the batch, otherwise `rows[0..n)` are absolute row indices.
+struct Domain {
+  const ColumnBatch* batch = nullptr;  // may be null only when n == 0
+  const uint32_t* rows = nullptr;
+  size_t n = 0;
+
+  uint32_t Abs(size_t i) const {
+    return rows != nullptr ? rows[i] : static_cast<uint32_t>(i);
+  }
+};
+
+Domain DomainOf(const BatchView& view) {
+  return Domain{view.batch.get(),
+                view.sel != nullptr ? view.sel->data() : nullptr,
+                view.size()};
+}
+
+/// Dense numeric expression result. `f64` always holds the promoted
+/// doubles (what Value::AsDouble would return); `i64` is additionally
+/// valid when every row is a runtime Int64 (`is_i64`), which is exactly
+/// when BoundExpr::Evaluate would have produced Value::Int64 rows — the
+/// distinction drives the int64-vs-double arithmetic paths below.
+struct NumVec {
+  std::vector<double> f64;
+  std::vector<int64_t> i64;
+  bool is_i64 = false;
+};
+
+std::vector<uint8_t> EvalBool(const BoundExpr& e, const Domain& d);
+
+NumVec MaskToNum(std::vector<uint8_t> mask) {
+  NumVec out;
+  out.is_i64 = true;
+  const size_t n = mask.size();
+  out.i64.resize(n);
+  out.f64.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.i64[i] = mask[i] ? 1 : 0;
+    out.f64[i] = mask[i] ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+/// True when every row of `e` can be computed from the typed arrays
+/// alone, with results identical to per-row BoundExpr::Evaluate. Columns
+/// must be exception-free (so static types equal runtime types), and
+/// comparisons must not mix string and numeric operands (the binder
+/// rejects those; the per-row path is the conservative catch-all).
+bool ExprVectorizable(const BoundExpr& e, const ColumnBatch& batch) {
+  switch (e.kind()) {
+    case BoundExpr::Kind::kColumn:
+      return e.column_index() < batch.num_cols() &&
+             batch.col(e.column_index()).clean();
+    case BoundExpr::Kind::kLiteral:
+      return true;
+    case BoundExpr::Kind::kUnary:
+      return ExprVectorizable(*e.lhs(), batch);
+    case BoundExpr::Kind::kBinary: {
+      if (sql::IsComparisonOp(e.binary_op()) &&
+          (e.lhs()->result_type() == FieldType::kString) !=
+              (e.rhs()->result_type() == FieldType::kString)) {
+        return false;
+      }
+      return ExprVectorizable(*e.lhs(), batch) &&
+             ExprVectorizable(*e.rhs(), batch);
+    }
+  }
+  return false;
+}
+
+/// Dense string-pointer expression result; only bare string columns and
+/// string literals produce strings (arithmetic on strings is a bind
+/// error), so those are the only cases.
+std::vector<const std::string*> EvalStr(const BoundExpr& e, const Domain& d) {
+  std::vector<const std::string*> out(d.n);
+  if (e.kind() == BoundExpr::Kind::kColumn) {
+    const Column& col = d.batch->col(e.column_index());
+    DT_CHECK(col.is_string()) << "string eval of non-string column";
+    for (size_t i = 0; i < d.n; ++i) out[i] = col.str[d.Abs(i)];
+    return out;
+  }
+  DT_CHECK(e.kind() == BoundExpr::Kind::kLiteral && e.literal().is_string())
+      << "string eval of non-string expression";
+  const std::string* s = &e.literal().str();
+  for (size_t i = 0; i < d.n; ++i) out[i] = s;
+  return out;
+}
+
+NumVec EvalNum(const BoundExpr& e, const Domain& d) {
+  const size_t n = d.n;
+  NumVec out;
+  switch (e.kind()) {
+    case BoundExpr::Kind::kColumn: {
+      const Column& col = d.batch->col(e.column_index());
+      DT_CHECK(!col.is_string()) << "numeric eval of string column";
+      out.f64.resize(n);
+      const double* f = col.f64.data();
+      for (size_t i = 0; i < n; ++i) out.f64[i] = f[d.Abs(i)];
+      if (col.kind == FieldType::kInt64) {
+        out.is_i64 = true;
+        out.i64.resize(n);
+        const int64_t* x = col.i64.data();
+        for (size_t i = 0; i < n; ++i) out.i64[i] = x[d.Abs(i)];
+      }
+      return out;
+    }
+    case BoundExpr::Kind::kLiteral: {
+      const Value& v = e.literal();
+      DT_CHECK(v.is_numeric()) << "numeric eval of string literal";
+      out.f64.assign(n, v.AsDouble());
+      if (v.is_int64()) {
+        out.is_i64 = true;
+        out.i64.assign(n, v.int64());
+      }
+      return out;
+    }
+    case BoundExpr::Kind::kUnary: {
+      if (e.unary_op() == sql::UnaryOp::kNot) {
+        return MaskToNum(EvalBool(*e.lhs(), d));
+      }
+      // Negation: Int64 rows stay Int64, everything else becomes Double
+      // (matching the scalar runtime-type dispatch).
+      NumVec a = EvalNum(*e.lhs(), d);
+      if (a.is_i64) {
+        for (size_t i = 0; i < n; ++i) {
+          a.i64[i] = -a.i64[i];
+          a.f64[i] = static_cast<double>(a.i64[i]);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) a.f64[i] = -a.f64[i];
+      }
+      return a;
+    }
+    case BoundExpr::Kind::kBinary: {
+      const sql::BinaryOp op = e.binary_op();
+      if (sql::IsComparisonOp(op) || op == sql::BinaryOp::kAnd ||
+          op == sql::BinaryOp::kOr) {
+        return MaskToNum(EvalBool(e, d));
+      }
+      NumVec a = EvalNum(*e.lhs(), d);
+      NumVec b = EvalNum(*e.rhs(), d);
+      // Exact int64 arithmetic when both operands are runtime Int64 and
+      // the op is not division, as in the scalar evaluator.
+      if (a.is_i64 && b.is_i64 && op != sql::BinaryOp::kDiv) {
+        out.is_i64 = true;
+        out.i64.resize(n);
+        out.f64.resize(n);
+        switch (op) {
+          case sql::BinaryOp::kAdd:
+            for (size_t i = 0; i < n; ++i) out.i64[i] = a.i64[i] + b.i64[i];
+            break;
+          case sql::BinaryOp::kSub:
+            for (size_t i = 0; i < n; ++i) out.i64[i] = a.i64[i] - b.i64[i];
+            break;
+          default:
+            for (size_t i = 0; i < n; ++i) out.i64[i] = a.i64[i] * b.i64[i];
+            break;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          out.f64[i] = static_cast<double>(out.i64[i]);
+        }
+        return out;
+      }
+      out.f64.resize(n);
+      const double* x = a.f64.data();
+      const double* y = b.f64.data();
+      switch (op) {
+        case sql::BinaryOp::kAdd:
+          for (size_t i = 0; i < n; ++i) out.f64[i] = x[i] + y[i];
+          break;
+        case sql::BinaryOp::kSub:
+          for (size_t i = 0; i < n; ++i) out.f64[i] = x[i] - y[i];
+          break;
+        case sql::BinaryOp::kMul:
+          for (size_t i = 0; i < n; ++i) out.f64[i] = x[i] * y[i];
+          break;
+        case sql::BinaryOp::kDiv:
+          for (size_t i = 0; i < n; ++i) {
+            out.f64[i] = y[i] == 0.0 ? 0.0 : x[i] / y[i];
+          }
+          break;
+        default:
+          DT_CHECK(false) << "unhandled binary op in vectorized eval";
+      }
+      return out;
+    }
+  }
+  DT_CHECK(false) << "unhandled expression kind";
+  return out;
+}
+
+std::vector<uint8_t> EvalBool(const BoundExpr& e, const Domain& d) {
+  const size_t n = d.n;
+  if (e.kind() == BoundExpr::Kind::kUnary &&
+      e.unary_op() == sql::UnaryOp::kNot) {
+    std::vector<uint8_t> a = EvalBool(*e.lhs(), d);
+    for (size_t i = 0; i < n; ++i) a[i] = a[i] == 0 ? 1 : 0;
+    return a;
+  }
+  if (e.kind() == BoundExpr::Kind::kBinary) {
+    const sql::BinaryOp op = e.binary_op();
+    // The scalar evaluator short-circuits AND/OR, but expressions are
+    // pure, so evaluating both sides gives the same truth value.
+    if (op == sql::BinaryOp::kAnd || op == sql::BinaryOp::kOr) {
+      std::vector<uint8_t> a = EvalBool(*e.lhs(), d);
+      std::vector<uint8_t> b = EvalBool(*e.rhs(), d);
+      if (op == sql::BinaryOp::kAnd) {
+        for (size_t i = 0; i < n; ++i) a[i] = a[i] & b[i];
+      } else {
+        for (size_t i = 0; i < n; ++i) a[i] = a[i] | b[i];
+      }
+      return a;
+    }
+    if (sql::IsComparisonOp(op)) {
+      std::vector<uint8_t> m(n);
+      if (e.lhs()->result_type() == FieldType::kString) {
+        // ExprVectorizable guarantees both sides are strings.
+        std::vector<const std::string*> a = EvalStr(*e.lhs(), d);
+        std::vector<const std::string*> b = EvalStr(*e.rhs(), d);
+        switch (op) {
+          case sql::BinaryOp::kEq:
+            for (size_t i = 0; i < n; ++i) m[i] = *a[i] == *b[i];
+            break;
+          case sql::BinaryOp::kNotEq:
+            for (size_t i = 0; i < n; ++i) m[i] = !(*a[i] == *b[i]);
+            break;
+          case sql::BinaryOp::kLess:
+            for (size_t i = 0; i < n; ++i) m[i] = *a[i] < *b[i];
+            break;
+          case sql::BinaryOp::kLessEq:
+            for (size_t i = 0; i < n; ++i) m[i] = !(*b[i] < *a[i]);
+            break;
+          case sql::BinaryOp::kGreater:
+            for (size_t i = 0; i < n; ++i) m[i] = *b[i] < *a[i];
+            break;
+          default:  // kGreaterEq
+            for (size_t i = 0; i < n; ++i) m[i] = !(*a[i] < *b[i]);
+            break;
+        }
+        return m;
+      }
+      NumVec a = EvalNum(*e.lhs(), d);
+      NumVec b = EvalNum(*e.rhs(), d);
+      const double* x = a.f64.data();
+      const double* y = b.f64.data();
+      // Exact double-promotion comparisons, with the scalar evaluator's
+      // derived forms (a <= b is !(b < a), etc.) so NaN behaves
+      // identically on both paths.
+      switch (op) {
+        case sql::BinaryOp::kEq:
+          for (size_t i = 0; i < n; ++i) m[i] = x[i] == y[i];
+          break;
+        case sql::BinaryOp::kNotEq:
+          for (size_t i = 0; i < n; ++i) m[i] = !(x[i] == y[i]);
+          break;
+        case sql::BinaryOp::kLess:
+          for (size_t i = 0; i < n; ++i) m[i] = x[i] < y[i];
+          break;
+        case sql::BinaryOp::kLessEq:
+          for (size_t i = 0; i < n; ++i) m[i] = !(y[i] < x[i]);
+          break;
+        case sql::BinaryOp::kGreater:
+          for (size_t i = 0; i < n; ++i) m[i] = y[i] < x[i];
+          break;
+        default:  // kGreaterEq
+          for (size_t i = 0; i < n; ++i) m[i] = !(x[i] < y[i]);
+          break;
+      }
+      return m;
+    }
+  }
+  // Any other expression as a condition: ValueIsTrue semantics — strings
+  // are true when non-empty, numerics when the promoted double is
+  // non-zero.
+  if (e.result_type() == FieldType::kString) {
+    std::vector<const std::string*> s = EvalStr(e, d);
+    std::vector<uint8_t> m(n);
+    for (size_t i = 0; i < n; ++i) m[i] = !s[i]->empty();
+    return m;
+  }
+  NumVec v = EvalNum(e, d);
+  std::vector<uint8_t> m(n);
+  for (size_t i = 0; i < n; ++i) m[i] = v.f64[i] != 0.0;
+  return m;
+}
+
+/// Copies the domain's rows of `src` into a dense column, preserving
+/// exception rows exactly. String pointers are shared, not copied; the
+/// caller retains the parent batch to keep them alive.
+std::shared_ptr<const Column> GatherColumn(const Column& src,
+                                           const Domain& d) {
+  const size_t n = d.n;
+  Column out;
+  out.kind = src.kind;
+  switch (src.kind) {
+    case FieldType::kInt64:
+      out.i64.resize(n);
+      out.f64.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = d.Abs(i);
+        out.i64[i] = src.i64[r];
+        out.f64[i] = src.f64[r];
+      }
+      break;
+    case FieldType::kDouble:
+    case FieldType::kTimestamp:
+      out.f64.resize(n);
+      for (size_t i = 0; i < n; ++i) out.f64[i] = src.f64[d.Abs(i)];
+      break;
+    case FieldType::kString:
+      out.str.resize(n);
+      for (size_t i = 0; i < n; ++i) out.str[i] = src.str[d.Abs(i)];
+      out.str_storage = src.str_storage;
+      break;
+  }
+  if (!src.exception.empty()) {
+    bool any = false;
+    out.exception.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t r = d.Abs(i);
+      const uint8_t level = src.exception[r];
+      if (level == 0) continue;
+      any = true;
+      out.exception[i] = level;
+      out.has_cross_class |= level == Column::kCrossClass;
+      out.exception_values.emplace_back(static_cast<uint32_t>(i),
+                                        src.ExceptionAt(r));
+    }
+    if (!any) out.exception.clear();
+  }
+  return std::make_shared<const Column>(std::move(out));
+}
+
+/// A column holding `n` copies of `v` (compute over a literal).
+std::shared_ptr<const Column> LiteralColumn(const Value& v, size_t n) {
+  Column out;
+  out.kind = v.type();
+  switch (out.kind) {
+    case FieldType::kInt64:
+      out.i64.assign(n, v.int64());
+      out.f64.assign(n, v.AsDouble());
+      break;
+    case FieldType::kDouble:
+    case FieldType::kTimestamp:
+      out.f64.assign(n, v.AsDouble());
+      break;
+    case FieldType::kString: {
+      auto store = std::make_shared<std::vector<std::string>>(1, v.str());
+      out.str.assign(n, &store->front());
+      out.str_storage = std::move(store);
+      break;
+    }
+  }
+  return std::make_shared<const Column>(std::move(out));
+}
+
+std::shared_ptr<const std::vector<VirtualTime>> GatherTimestamps(
+    const BatchView& view) {
+  if (view.sel == nullptr) return view.batch->timestamps();
+  auto ts = std::make_shared<std::vector<VirtualTime>>();
+  const size_t n = view.size();
+  ts->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ts->push_back(view.batch->timestamp(view.RowIndex(i)));
+  }
+  return ts;
+}
+
+/// Row equality on parallel index lists, mirroring ValuesEqualAt.
+bool RowsEqualOnKeys(const ColumnBatch& a, size_t ar,
+                     const std::vector<size_t>& akeys, const ColumnBatch& b,
+                     size_t br, const std::vector<size_t>& bkeys) {
+  for (size_t k = 0; k < akeys.size(); ++k) {
+    if (!ColumnsEqualAt(a.col(akeys[k]), ar, b.col(bkeys[k]), br)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Full-row equality, mirroring Tuple::operator== (values only, no
+/// timestamp). Arity must already be known equal.
+bool RowsEqualAllCols(const ColumnBatch& a, size_t ar, const ColumnBatch& b,
+                      size_t br) {
+  const size_t cols = a.num_cols();
+  for (size_t c = 0; c < cols; ++c) {
+    if (!ColumnsEqualAt(a.col(c), ar, b.col(c), br)) return false;
+  }
+  return true;
+}
+
+std::vector<const Column*> KeyColumns(const BatchView& view,
+                                      const std::vector<size_t>& keys) {
+  std::vector<const Column*> cols;
+  if (view.size() == 0) return cols;  // empty side may have a null batch
+  cols.reserve(keys.size());
+  for (size_t k : keys) cols.push_back(&view.batch->col(k));
+  return cols;
+}
+
+std::vector<const Column*> AllColumns(const BatchView& view) {
+  std::vector<const Column*> cols;
+  if (view.size() == 0) return cols;
+  const size_t n = view.batch->num_cols();
+  cols.reserve(n);
+  for (size_t c = 0; c < n; ++c) cols.push_back(&view.batch->col(c));
+  return cols;
+}
+
+}  // namespace
+
+Result<Relation> VectorEvaluator::Evaluate(const LogicalPlan& plan) {
+  DT_ASSIGN_OR_RETURN(BatchView view, EvaluateView(plan));
+  return view.ToRelation();
+}
+
+Result<BatchView> VectorEvaluator::EvaluateView(const LogicalPlan& plan) {
+  switch (plan.kind()) {
+    case LogicalPlan::Kind::kEmpty:
+      return BatchView{};
+    case LogicalPlan::Kind::kStreamScan:
+      return EvaluateScan(plan);
+    case LogicalPlan::Kind::kFilter: {
+      DT_ASSIGN_OR_RETURN(BatchView input, EvaluateView(*plan.child(0)));
+      return vectorized::Filter(plan, input, &stats_);
+    }
+    case LogicalPlan::Kind::kProject: {
+      DT_ASSIGN_OR_RETURN(BatchView input, EvaluateView(*plan.child(0)));
+      return vectorized::Project(plan, input, &stats_);
+    }
+    case LogicalPlan::Kind::kCompute: {
+      DT_ASSIGN_OR_RETURN(BatchView input, EvaluateView(*plan.child(0)));
+      return vectorized::Compute(plan, input, &stats_);
+    }
+    case LogicalPlan::Kind::kJoin: {
+      DT_ASSIGN_OR_RETURN(BatchView left, EvaluateView(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(BatchView right, EvaluateView(*plan.child(1)));
+      return vectorized::Join(plan, left, right, &stats_);
+    }
+    case LogicalPlan::Kind::kUnionAll: {
+      DT_ASSIGN_OR_RETURN(BatchView left, EvaluateView(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(BatchView right, EvaluateView(*plan.child(1)));
+      return vectorized::UnionAll(left, right, &stats_);
+    }
+    case LogicalPlan::Kind::kSetDifference: {
+      DT_ASSIGN_OR_RETURN(BatchView left, EvaluateView(*plan.child(0)));
+      DT_ASSIGN_OR_RETURN(BatchView right, EvaluateView(*plan.child(1)));
+      return vectorized::SetDifference(left, right, &stats_);
+    }
+    case LogicalPlan::Kind::kAggregate: {
+      DT_ASSIGN_OR_RETURN(BatchView input, EvaluateView(*plan.child(0)));
+      return vectorized::Aggregate(plan, input, &stats_);
+    }
+  }
+  return Status::Internal("unhandled plan kind in vector evaluator");
+}
+
+Result<BatchView> VectorEvaluator::EvaluateScan(const LogicalPlan& plan) {
+  const ChannelKey key{plan.stream(), plan.channel()};
+  auto it = inputs_->find(key);
+  if (it == inputs_->end()) return BatchView{};
+  stats_.tuples_scanned += static_cast<int64_t>(it->second.size());
+  auto cached = scan_cache_.find(key);
+  if (cached == scan_cache_.end()) {
+    cached =
+        scan_cache_.emplace(key, ColumnBatch::FromRelation(it->second)).first;
+  }
+  return BatchView{cached->second, nullptr};
+}
+
+namespace vectorized {
+
+BatchView Filter(const LogicalPlan& plan, const BatchView& input,
+                 ExecStats* stats) {
+  const size_t n = input.size();
+  stats->comparisons += static_cast<int64_t>(n);
+  auto sel = std::make_shared<std::vector<uint32_t>>();
+  sel->reserve(n);
+  if (n > 0) {
+    const Domain d = DomainOf(input);
+    const BoundExpr& pred = *plan.predicate();
+    if (ExprVectorizable(pred, *input.batch)) {
+      const std::vector<uint8_t> mask = EvalBool(pred, d);
+      for (size_t i = 0; i < n; ++i) {
+        if (mask[i]) sel->push_back(input.RowIndex(i));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = input.RowIndex(i);
+        if (pred.EvaluatesToTrue(input.batch->RowAt(r))) sel->push_back(r);
+      }
+    }
+  }
+  stats->tuples_output += static_cast<int64_t>(sel->size());
+  return BatchView{input.batch, std::move(sel)};
+}
+
+BatchView Project(const LogicalPlan& plan, const BatchView& input,
+                  ExecStats* stats) {
+  stats->tuples_output += static_cast<int64_t>(input.size());
+  if (input.size() == 0) return BatchView{};
+  // Pure column-pointer shuffle: the selection vector carries over.
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(plan.projection().size());
+  for (size_t idx : plan.projection()) {
+    cols.push_back(input.batch->col_ptr(idx));
+  }
+  auto batch = ColumnBatch::FromColumns(
+      std::move(cols), input.batch->timestamps(), {input.batch});
+  return BatchView{std::move(batch), input.sel};
+}
+
+BatchView Compute(const LogicalPlan& plan, const BatchView& input,
+                  ExecStats* stats) {
+  const size_t n = input.size();
+  stats->tuples_output += static_cast<int64_t>(n);
+  if (n == 0) return BatchView{};
+  const auto& exprs = plan.compute_exprs();
+
+  bool all_refs = true;
+  for (const plan::BoundExprPtr& e : exprs) {
+    if (e->kind() != BoundExpr::Kind::kColumn) {
+      all_refs = false;
+      break;
+    }
+  }
+  if (all_refs) {
+    // Column reordering/duplication only — share columns and selection.
+    std::vector<std::shared_ptr<const Column>> cols;
+    cols.reserve(exprs.size());
+    for (const plan::BoundExprPtr& e : exprs) {
+      cols.push_back(input.batch->col_ptr(e->column_index()));
+    }
+    auto batch = ColumnBatch::FromColumns(
+        std::move(cols), input.batch->timestamps(), {input.batch});
+    return BatchView{std::move(batch), input.sel};
+  }
+
+  const Domain d = DomainOf(input);
+  bool vectorizable = true;
+  for (const plan::BoundExprPtr& e : exprs) {
+    if (e->kind() == BoundExpr::Kind::kColumn ||
+        e->kind() == BoundExpr::Kind::kLiteral) {
+      continue;  // gathered / broadcast exactly, exceptions and all
+    }
+    if (!ExprVectorizable(*e, *input.batch) ||
+        e->result_type() == FieldType::kString) {
+      vectorizable = false;
+      break;
+    }
+  }
+
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(exprs.size());
+  if (vectorizable) {
+    for (const plan::BoundExprPtr& e : exprs) {
+      if (e->kind() == BoundExpr::Kind::kColumn) {
+        cols.push_back(GatherColumn(input.batch->col(e->column_index()), d));
+      } else if (e->kind() == BoundExpr::Kind::kLiteral) {
+        cols.push_back(LiteralColumn(e->literal(), n));
+      } else {
+        NumVec v = EvalNum(*e, d);
+        Column c;
+        if (v.is_i64) {
+          c.kind = FieldType::kInt64;
+          c.i64 = std::move(v.i64);
+          c.f64 = std::move(v.f64);
+        } else {
+          c.kind = FieldType::kDouble;
+          c.f64 = std::move(v.f64);
+        }
+        cols.push_back(std::make_shared<const Column>(std::move(c)));
+      }
+    }
+  } else {
+    // Per-row fallback: identical to the scalar loop, still columnar out.
+    std::vector<ColumnBuilder> builders(exprs.size());
+    for (ColumnBuilder& b : builders) b.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple t = input.batch->RowAt(d.Abs(i));
+      for (size_t e = 0; e < exprs.size(); ++e) {
+        builders[e].Append(exprs[e]->Evaluate(t));
+      }
+    }
+    for (ColumnBuilder& b : builders) cols.push_back(b.Finish());
+  }
+  auto batch = ColumnBatch::FromColumns(std::move(cols),
+                                        GatherTimestamps(input),
+                                        {input.batch});
+  return BatchView{std::move(batch), nullptr};
+}
+
+BatchView Join(const LogicalPlan& plan, const BatchView& left,
+               const BatchView& right, ExecStats* stats) {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  // Absolute (left row, right row) index pairs, in scalar emission order.
+  std::vector<uint32_t> l_rows, r_rows;
+
+  if (plan.join_keys().empty()) {
+    // Cross product.
+    stats->join_probes += static_cast<int64_t>(nl) * static_cast<int64_t>(nr);
+    l_rows.reserve(nl * nr);
+    r_rows.reserve(nl * nr);
+    for (size_t li = 0; li < nl; ++li) {
+      const uint32_t lr = left.RowIndex(li);
+      for (size_t ri = 0; ri < nr; ++ri) {
+        l_rows.push_back(lr);
+        r_rows.push_back(right.RowIndex(ri));
+      }
+    }
+  } else {
+    std::vector<size_t> left_keys, right_keys;
+    for (const auto& [l, r] : plan.join_keys()) {
+      left_keys.push_back(l);
+      right_keys.push_back(r);
+    }
+    // Build on the smaller side, probe with the larger (scalar tie rule:
+    // build left when sizes are equal).
+    const bool build_left = nl <= nr;
+    const BatchView& build = build_left ? left : right;
+    const BatchView& probe = build_left ? right : left;
+    const std::vector<size_t>& build_keys =
+        build_left ? left_keys : right_keys;
+    const std::vector<size_t>& probe_keys =
+        build_left ? right_keys : left_keys;
+    const size_t nb = build.size();
+    const size_t np = probe.size();
+    stats->join_build_inserts += static_cast<int64_t>(nb);
+
+    std::vector<uint64_t> build_hashes, probe_hashes;
+    HashRows(KeyColumns(build, build_keys),
+             build.sel != nullptr ? build.sel->data() : nullptr, nb,
+             &build_hashes);
+    HashRows(KeyColumns(probe, probe_keys),
+             probe.sel != nullptr ? probe.sel->data() : nullptr, np,
+             &probe_hashes);
+
+    // One bucket per distinct key; duplicate rows chain through `next`.
+    // Indices are positions in the build domain (0..nb).
+    struct Bucket {
+      uint32_t repr = kNil;
+      uint32_t head = kNil;
+      uint32_t tail = kNil;
+    };
+    auto build_abs = [&](uint32_t i) -> uint32_t {
+      return build.sel != nullptr ? (*build.sel)[i] : i;
+    };
+    FlatTable<Bucket> table;
+    std::vector<uint32_t> next(nb, kNil);
+    table.BuildFrom(
+        build_hashes.data(), nb,
+        [&](const Bucket& b, size_t i) {
+          return RowsEqualOnKeys(*build.batch, build_abs(b.repr), build_keys,
+                                 *build.batch, build_abs(i), build_keys);
+        },
+        [&](size_t i) {
+          const uint32_t pos = static_cast<uint32_t>(i);
+          return Bucket{pos, pos, pos};
+        },
+        [&](Bucket* b, size_t i) {
+          next[b->tail] = static_cast<uint32_t>(i);
+          b->tail = static_cast<uint32_t>(i);
+        });
+
+    for (size_t pi = 0; pi < np; ++pi) {
+      ++stats->join_probes;
+      const uint32_t probe_row = probe.RowIndex(pi);
+      Bucket* bucket = table.Find(probe_hashes[pi], [&](const Bucket& b) {
+        return RowsEqualOnKeys(*build.batch, build_abs(b.repr), build_keys,
+                               *probe.batch, probe_row, probe_keys);
+      });
+      if (bucket == nullptr) continue;
+      for (uint32_t bi = bucket->head; bi != kNil; bi = next[bi]) {
+        if (build_left) {
+          l_rows.push_back(build_abs(bi));
+          r_rows.push_back(probe_row);
+        } else {
+          l_rows.push_back(probe_row);
+          r_rows.push_back(build_abs(bi));
+        }
+      }
+    }
+  }
+
+  const size_t npairs = l_rows.size();
+  if (npairs == 0) return BatchView{};
+
+  // Gather the joined batch: left columns then right columns, output
+  // timestamp = max of the two sides (Tuple::Concat).
+  const Domain ld{left.batch.get(), l_rows.data(), npairs};
+  const Domain rd{right.batch.get(), r_rows.data(), npairs};
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(left.batch->num_cols() + right.batch->num_cols());
+  for (size_t c = 0; c < left.batch->num_cols(); ++c) {
+    cols.push_back(GatherColumn(left.batch->col(c), ld));
+  }
+  for (size_t c = 0; c < right.batch->num_cols(); ++c) {
+    cols.push_back(GatherColumn(right.batch->col(c), rd));
+  }
+  auto ts = std::make_shared<std::vector<VirtualTime>>();
+  ts->reserve(npairs);
+  for (size_t i = 0; i < npairs; ++i) {
+    ts->push_back(std::max(left.batch->timestamp(l_rows[i]),
+                           right.batch->timestamp(r_rows[i])));
+  }
+  auto joined = ColumnBatch::FromColumns(std::move(cols), std::move(ts),
+                                         {left.batch, right.batch});
+
+  if (plan.predicate() == nullptr) {
+    stats->tuples_output += static_cast<int64_t>(npairs);
+    return BatchView{std::move(joined), nullptr};
+  }
+  // Residual predicate over the gathered pairs.
+  stats->comparisons += static_cast<int64_t>(npairs);
+  auto sel = std::make_shared<std::vector<uint32_t>>();
+  sel->reserve(npairs);
+  const Domain jd{joined.get(), nullptr, npairs};
+  const BoundExpr& pred = *plan.predicate();
+  if (ExprVectorizable(pred, *joined)) {
+    const std::vector<uint8_t> mask = EvalBool(pred, jd);
+    for (size_t i = 0; i < npairs; ++i) {
+      if (mask[i]) sel->push_back(static_cast<uint32_t>(i));
+    }
+  } else {
+    for (size_t i = 0; i < npairs; ++i) {
+      if (pred.EvaluatesToTrue(joined->RowAt(i))) {
+        sel->push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  stats->tuples_output += static_cast<int64_t>(sel->size());
+  return BatchView{std::move(joined), std::move(sel)};
+}
+
+BatchView UnionAll(const BatchView& left, const BatchView& right,
+                   ExecStats* stats) {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  stats->tuples_output += static_cast<int64_t>(nl + nr);
+  if (nl == 0) return right;
+  if (nr == 0) return left;
+  DT_CHECK_EQ(left.batch->num_cols(), right.batch->num_cols())
+      << "union of mismatched arities";
+
+  const Domain dl = DomainOf(left);
+  const Domain dr = DomainOf(right);
+  const size_t cols_n = left.batch->num_cols();
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(cols_n);
+  for (size_t c = 0; c < cols_n; ++c) {
+    const Column& a = left.batch->col(c);
+    const Column& b = right.batch->col(c);
+    if (a.kind == b.kind && a.clean() && b.clean()) {
+      Column out;
+      out.kind = a.kind;
+      switch (a.kind) {
+        case FieldType::kInt64:
+          out.i64.reserve(nl + nr);
+          out.f64.reserve(nl + nr);
+          for (size_t i = 0; i < nl; ++i) {
+            const uint32_t r = dl.Abs(i);
+            out.i64.push_back(a.i64[r]);
+            out.f64.push_back(a.f64[r]);
+          }
+          for (size_t i = 0; i < nr; ++i) {
+            const uint32_t r = dr.Abs(i);
+            out.i64.push_back(b.i64[r]);
+            out.f64.push_back(b.f64[r]);
+          }
+          break;
+        case FieldType::kDouble:
+        case FieldType::kTimestamp:
+          out.f64.reserve(nl + nr);
+          for (size_t i = 0; i < nl; ++i) out.f64.push_back(a.f64[dl.Abs(i)]);
+          for (size_t i = 0; i < nr; ++i) out.f64.push_back(b.f64[dr.Abs(i)]);
+          break;
+        case FieldType::kString:
+          out.str.reserve(nl + nr);
+          for (size_t i = 0; i < nl; ++i) out.str.push_back(a.str[dl.Abs(i)]);
+          for (size_t i = 0; i < nr; ++i) out.str.push_back(b.str[dr.Abs(i)]);
+          break;
+      }
+      cols.push_back(std::make_shared<const Column>(std::move(out)));
+    } else {
+      // Kind mismatch or exceptions: rebuild the column value-by-value.
+      ColumnBuilder builder;
+      builder.Reserve(nl + nr);
+      for (size_t i = 0; i < nl; ++i) builder.Append(a.ValueAt(dl.Abs(i)));
+      for (size_t i = 0; i < nr; ++i) builder.Append(b.ValueAt(dr.Abs(i)));
+      cols.push_back(builder.Finish());
+    }
+  }
+  auto ts = std::make_shared<std::vector<VirtualTime>>();
+  ts->reserve(nl + nr);
+  for (size_t i = 0; i < nl; ++i) {
+    ts->push_back(left.batch->timestamp(dl.Abs(i)));
+  }
+  for (size_t i = 0; i < nr; ++i) {
+    ts->push_back(right.batch->timestamp(dr.Abs(i)));
+  }
+  auto batch = ColumnBatch::FromColumns(std::move(cols), std::move(ts),
+                                        {left.batch, right.batch});
+  return BatchView{std::move(batch), nullptr};
+}
+
+BatchView SetDifference(const BatchView& left, const BatchView& right,
+                        ExecStats* stats) {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  // The scalar loops charge one comparison per row of each side.
+  stats->comparisons += static_cast<int64_t>(nl + nr);
+  if (nl == 0) return BatchView{};
+  if (nr == 0 || right.batch->num_cols() != left.batch->num_cols()) {
+    // Mismatched arities can never compare equal: everything survives.
+    stats->tuples_output += static_cast<int64_t>(nl);
+    return left;
+  }
+
+  std::vector<uint64_t> left_hashes, right_hashes;
+  HashRows(AllColumns(left),
+           left.sel != nullptr ? left.sel->data() : nullptr, nl,
+           &left_hashes);
+  HashRows(AllColumns(right),
+           right.sel != nullptr ? right.sel->data() : nullptr, nr,
+           &right_hashes);
+
+  // Multiset monus, as in the scalar kernel: each right row cancels at
+  // most one left occurrence. `repr` is a position in the right domain.
+  struct Monus {
+    uint32_t repr = kNil;
+    int64_t count = 0;
+  };
+  auto right_abs = [&](uint32_t i) -> uint32_t {
+    return right.sel != nullptr ? (*right.sel)[i] : i;
+  };
+  FlatTable<Monus> to_remove(nr);
+  to_remove.BuildFrom(
+      right_hashes.data(), nr,
+      [&](const Monus& m, size_t i) {
+        return RowsEqualAllCols(*right.batch, right_abs(m.repr),
+                                *right.batch, right_abs(i));
+      },
+      [&](size_t i) { return Monus{static_cast<uint32_t>(i), 1}; },
+      [&](Monus* m, size_t) { ++m->count; });
+
+  auto sel = std::make_shared<std::vector<uint32_t>>();
+  sel->reserve(nl);
+  for (size_t i = 0; i < nl; ++i) {
+    const uint32_t row = left.RowIndex(i);
+    Monus* entry = to_remove.Find(left_hashes[i], [&](const Monus& m) {
+      return RowsEqualAllCols(*right.batch, right_abs(m.repr), *left.batch,
+                              row);
+    });
+    if (entry != nullptr && entry->count > 0) {
+      --entry->count;
+      continue;
+    }
+    sel->push_back(row);
+  }
+  stats->tuples_output += static_cast<int64_t>(sel->size());
+  return BatchView{left.batch, std::move(sel)};
+}
+
+Result<BatchView> Aggregate(const LogicalPlan& plan,
+                            const BatchView& input, ExecStats* stats) {
+  std::vector<size_t> group_indices;
+  for (const plan::GroupBySpec& g : plan.group_by()) {
+    group_indices.push_back(g.input_index);
+  }
+  const size_t num_aggs = plan.aggregates().size();
+  for (const plan::AggregateSpec& spec : plan.aggregates()) {
+    if (spec.func == sql::AggFunc::kNone) {
+      return Status::Internal("AggFunc::kNone in aggregate spec");
+    }
+  }
+
+  const size_t n = input.size();
+  stats->comparisons += static_cast<int64_t>(n);
+
+  std::vector<uint64_t> hashes;
+  HashRows(KeyColumns(input, group_indices),
+           input.sel != nullptr ? input.sel->data() : nullptr, n, &hashes);
+
+  // Group discovery must reproduce the scalar table's slot layout exactly
+  // (output rows are emitted in slot order), so the table grows from
+  // empty through the same per-insert FindOrEmplace protocol — no bulk
+  // reservation here. `repr` is a position in the input domain.
+  struct GroupEntry {
+    uint32_t repr = kNil;
+    uint32_t id = 0;
+  };
+  FlatTable<GroupEntry> groups;
+  std::vector<uint32_t> group_of(n);
+  std::vector<uint32_t> first_abs;  // first absolute row of each group
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = input.RowIndex(i);
+    auto [entry, inserted] = groups.FindOrEmplace(
+        hashes[i],
+        [&](const GroupEntry& g) {
+          return RowsEqualOnKeys(*input.batch, first_abs[g.id],
+                                 group_indices, *input.batch, row,
+                                 group_indices);
+        },
+        [&] {
+          GroupEntry e{static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(first_abs.size())};
+          first_abs.push_back(row);
+          return e;
+        });
+    group_of[i] = entry->id;
+  }
+  const size_t num_groups = first_abs.size();
+
+  // Accumulators at a fixed stride, updated in row-arrival order per
+  // group so floating-point sums match the scalar path bit-for-bit.
+  // min/max track the extreme's row index, with the scalar's strict-less
+  // updates (first-seen extreme wins ties; NaN never displaces).
+  struct VecAgg {
+    int64_t count = 0;
+    double sum = 0.0;
+    bool sum_is_integral = true;
+    uint32_t min_row = kNil;
+    uint32_t max_row = kNil;
+  };
+  std::vector<VecAgg> arena(num_groups * num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const plan::AggregateSpec& spec = plan.aggregates()[a];
+    if (spec.count_star) {
+      for (size_t i = 0; i < n; ++i) {
+        ++arena[group_of[i] * num_aggs + a].count;
+      }
+      continue;
+    }
+    const Column& col = input.batch->col(spec.input_index);
+    if (!col.is_string() && col.clean()) {
+      const double* f = col.f64.data();
+      const bool integral = col.kind == FieldType::kInt64;
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = input.RowIndex(i);
+        VecAgg& st = arena[group_of[i] * num_aggs + a];
+        ++st.count;
+        st.sum += f[r];
+        if (!integral) st.sum_is_integral = false;
+        if (st.min_row == kNil) {
+          st.min_row = r;
+          st.max_row = r;
+        } else {
+          if (f[r] < f[st.min_row]) st.min_row = r;
+          if (f[st.max_row] < f[r]) st.max_row = r;
+        }
+      }
+    } else {
+      // Exceptional or string column: full Value semantics per row.
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = input.RowIndex(i);
+        VecAgg& st = arena[group_of[i] * num_aggs + a];
+        ++st.count;
+        const Value v = col.ValueAt(r);
+        if (v.is_numeric()) {
+          st.sum += v.AsDouble();
+          if (!v.is_int64()) st.sum_is_integral = false;
+        }
+        if (st.min_row == kNil) {
+          st.min_row = r;
+          st.max_row = r;
+        } else {
+          if (v < col.ValueAt(st.min_row)) st.min_row = r;
+          if (col.ValueAt(st.max_row) < v) st.max_row = r;
+        }
+      }
+    }
+  }
+
+  // Emit one row per group in slot order, as the scalar ForEach does.
+  // Output construction is column-at-a-time: group keys and min/max
+  // results gather straight from the input columns (preserving exception
+  // rows exactly), and count/sum/avg columns fill typed arrays from the
+  // arena. Per-cell Value appends remain only for the rare cases (a sum
+  // column mixing Int64 and Double groups, a min/max with no tracked
+  // extreme); every cell still reconstructs to the same bytes the scalar
+  // switch would have produced.
+  std::vector<uint32_t> order;  // group ids in slot order
+  order.reserve(num_groups);
+  groups.ForEach([&](const GroupEntry& g) { order.push_back(g.id); });
+  std::vector<uint32_t> repr_rows(num_groups);
+  for (size_t o = 0; o < num_groups; ++o) {
+    repr_rows[o] = first_abs[order[o]];
+  }
+  const Domain out_domain{input.batch.get(), repr_rows.data(), num_groups};
+
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(group_indices.size() + num_aggs);
+  for (size_t k : group_indices) {
+    cols.push_back(GatherColumn(input.batch->col(k), out_domain));
+  }
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const plan::AggregateSpec& spec = plan.aggregates()[a];
+    const auto agg_at = [&](size_t o) -> const VecAgg& {
+      return arena[order[o] * num_aggs + a];
+    };
+    switch (spec.func) {
+      case sql::AggFunc::kCount: {
+        Column col;
+        col.kind = FieldType::kInt64;
+        col.i64.resize(num_groups);
+        col.f64.resize(num_groups);
+        for (size_t o = 0; o < num_groups; ++o) {
+          const int64_t count = agg_at(o).count;
+          col.i64[o] = count;
+          col.f64[o] = static_cast<double>(count);
+        }
+        cols.push_back(std::make_shared<const Column>(std::move(col)));
+        break;
+      }
+      case sql::AggFunc::kAvg: {
+        Column col;
+        col.kind = FieldType::kDouble;
+        col.f64.resize(num_groups);
+        for (size_t o = 0; o < num_groups; ++o) {
+          const VecAgg& st = agg_at(o);
+          col.f64[o] =
+              st.count == 0 ? 0.0 : st.sum / static_cast<double>(st.count);
+        }
+        cols.push_back(std::make_shared<const Column>(std::move(col)));
+        break;
+      }
+      case sql::AggFunc::kSum: {
+        bool any_integral = false;
+        bool any_double = false;
+        for (size_t o = 0; o < num_groups; ++o) {
+          (agg_at(o).sum_is_integral ? any_integral : any_double) = true;
+        }
+        if (!any_double) {  // every group sums to Int64 (or no groups)
+          Column col;
+          col.kind = FieldType::kInt64;
+          col.i64.resize(num_groups);
+          col.f64.resize(num_groups);
+          for (size_t o = 0; o < num_groups; ++o) {
+            const int64_t sum = static_cast<int64_t>(agg_at(o).sum);
+            col.i64[o] = sum;
+            col.f64[o] = static_cast<double>(sum);
+          }
+          cols.push_back(std::make_shared<const Column>(std::move(col)));
+        } else if (!any_integral) {  // every group sums to Double
+          Column col;
+          col.kind = FieldType::kDouble;
+          col.f64.resize(num_groups);
+          for (size_t o = 0; o < num_groups; ++o) {
+            col.f64[o] = agg_at(o).sum;
+          }
+          cols.push_back(std::make_shared<const Column>(std::move(col)));
+        } else {
+          ColumnBuilder builder;
+          builder.Reserve(num_groups);
+          for (size_t o = 0; o < num_groups; ++o) {
+            const VecAgg& st = agg_at(o);
+            builder.Append(st.sum_is_integral
+                               ? Value::Int64(static_cast<int64_t>(st.sum))
+                               : Value::Double(st.sum));
+          }
+          cols.push_back(builder.Finish());
+        }
+        break;
+      }
+      case sql::AggFunc::kMin:
+      case sql::AggFunc::kMax: {
+        const bool is_min = spec.func == sql::AggFunc::kMin;
+        std::vector<uint32_t> extreme_rows(num_groups);
+        bool any_nil = false;
+        for (size_t o = 0; o < num_groups; ++o) {
+          const VecAgg& st = agg_at(o);
+          extreme_rows[o] = is_min ? st.min_row : st.max_row;
+          any_nil |= extreme_rows[o] == kNil;
+        }
+        if (!any_nil) {
+          cols.push_back(GatherColumn(
+              input.batch->col(spec.input_index),
+              Domain{input.batch.get(), extreme_rows.data(), num_groups}));
+        } else {
+          // A group whose extreme was never tracked emits the default
+          // Value, exactly as the scalar switch does.
+          const Column& src = input.batch->col(spec.input_index);
+          ColumnBuilder builder;
+          builder.Reserve(num_groups);
+          for (size_t o = 0; o < num_groups; ++o) {
+            builder.Append(extreme_rows[o] == kNil
+                               ? Value()
+                               : src.ValueAt(extreme_rows[o]));
+          }
+          cols.push_back(builder.Finish());
+        }
+        break;
+      }
+      case sql::AggFunc::kNone:
+        break;  // rejected above
+    }
+  }
+  stats->tuples_output += static_cast<int64_t>(num_groups);
+  // Aggregate output tuples carry the default timestamp (0.0), exactly
+  // like the scalar path's freshly-constructed rows.
+  auto ts = std::make_shared<std::vector<VirtualTime>>(num_groups, 0.0);
+  auto batch = ColumnBatch::FromColumns(std::move(cols), std::move(ts),
+                                        {input.batch});
+  return BatchView{std::move(batch), nullptr};
+}
+
+}  // namespace vectorized
+
+}  // namespace datatriage::exec

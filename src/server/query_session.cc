@@ -32,7 +32,11 @@ Result<std::unique_ptr<QuerySession>> QuerySession::Make(
 
 QuerySession::QuerySession(SessionId id, rewrite::TriagedQuery triaged,
                            engine::EngineConfig config)
-    : id_(id), triaged_(std::move(triaged)), config_(std::move(config)) {}
+    : id_(id), triaged_(std::move(triaged)), config_(std::move(config)) {
+  // The shadow algebra's exact synopses follow the executor's mode so a
+  // session is either fully vectorized or fully scalar.
+  config_.synopsis.vectorized_exec = config_.vectorized_exec;
+}
 
 Status QuerySession::Init(IngestPlane* plane) {
   const plan::BoundQuery& query = triaged_.query;
@@ -371,7 +375,9 @@ Status QuerySession::EmitWindow(WindowId window) {
   exec::ExecStats exec_stats;
   DT_ASSIGN_OR_RETURN(
       exec::Relation kept_rows,
-      exec::EvaluatePlan(exact_plan, kept_inputs, &exec_stats));
+      exec::EvaluatePlan(exact_plan, kept_inputs, &exec_stats,
+                         exec::EvalOptions{config_.vectorized_exec,
+                                           config_.vectorized_min_rows}));
   ChargeExactTime(static_cast<double>(exec_stats.TotalWork()) *
                   config_.cost_model.exact_work_unit_cost);
   // Roll this window's executor accounting into the registry.
@@ -415,7 +421,8 @@ Status QuerySession::EmitWindow(WindowId window) {
   // Merge (paper Fig. 2): exact rows + estimated lost results.
   if (query.has_aggregate) {
     synopsis::GroupedEstimate exact_groups =
-        engine::AccumulateExact(kept_rows, agg_spec_);
+        engine::AccumulateExact(kept_rows, agg_spec_,
+                                config_.vectorized_exec);
     DT_ASSIGN_OR_RETURN(
         result.exact_rows,
         engine::BuildAggregateRows(exact_groups, query, agg_spec_,

@@ -70,6 +70,26 @@ Status RunScenarioOnce(uint64_t seed, const SimOptions& options,
         "parallel-equivalence"));
   }
 
+  // Executor equivalence: rerun the scenario with every session's
+  // executor mode flipped (vectorized <-> scalar, thresholds cleared).
+  // The columnar executor's contract is byte-for-byte parity — results
+  // CSV, window traces, and the metrics/stats counters must all match
+  // the baseline exactly, faults included.
+  {
+    SimScenario flipped = scenario;
+    for (SimQuery& query : flipped.queries) {
+      query.config.vectorized_exec = !query.config.vectorized_exec;
+      query.config.vectorized_min_rows = 0;
+    }
+    auto flipped_run = RunOnServer(flipped, 0, install_faults);
+    if (!flipped_run.ok()) {
+      return Annotate(flipped_run.status(), seed, "exec-mode-flip-run");
+    }
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckRunsEquivalent(*base, *flipped_run, "serial", "exec-flipped"),
+        seed, "exec-mode-equivalence"));
+  }
+
   // Standalone-engine equivalence needs a fault-free server: a
   // ContinuousQueryEngine has no fault hooks to mirror them (and the
   // fault-shed counter alone would already skew the metrics export).

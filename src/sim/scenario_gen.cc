@@ -121,6 +121,15 @@ engine::EngineConfig GenerateConfig(Rng& rng) {
       1.0 / static_cast<double>(rng.UniformInt(100, 700));
   config.cost_model.delay_factor = rng.UniformDouble(0.5, 2.0);
   config.seed = rng.Fork();
+  // Executor mode fuzzing, derived from the already-drawn seed rather
+  // than fresh rng draws so the scenario generation streams of existing
+  // seeds stay byte-identical. Roughly half the scenarios run
+  // vectorized, and a quarter of those exercise the min-rows threshold
+  // (mixed vectorized/scalar windows within one run).
+  config.vectorized_exec = (config.seed & 1) != 0;
+  static constexpr size_t kMinRowsChoices[] = {0, 0, 16, 64};
+  config.vectorized_min_rows =
+      config.vectorized_exec ? kMinRowsChoices[(config.seed >> 1) & 3] : 0;
   Status valid = config.Validate();
   DT_CHECK(valid.ok()) << valid.ToString();
   return config;

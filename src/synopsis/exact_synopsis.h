@@ -14,7 +14,13 @@ namespace datatriage::synopsis {
 /// ExactSynopsis must reproduce the dropped query results exactly.
 class ExactSynopsis final : public Synopsis {
  public:
-  static Result<SynopsisPtr> Make(Schema schema);
+  /// `vectorized_exec` routes EstimateGroups and EquiJoinWith through the
+  /// column-at-a-time kernels (whole-column hashing, hash join instead of
+  /// nested loops). Results — including floating-point accumulation order
+  /// and reported OpStats work — are byte-identical either way; the flag
+  /// is propagated to every synopsis derived from this one.
+  static Result<SynopsisPtr> Make(Schema schema,
+                                  bool vectorized_exec = true);
 
   SynopsisType type() const override { return SynopsisType::kExact; }
 
@@ -43,9 +49,19 @@ class ExactSynopsis final : public Synopsis {
   void AddRow(Tuple tuple, double weight);
 
  private:
-  explicit ExactSynopsis(Schema schema) : Synopsis(std::move(schema)) {}
+  ExactSynopsis(Schema schema, bool vectorized_exec)
+      : Synopsis(std::move(schema)), vectorized_(vectorized_exec) {}
+
+  /// Column-at-a-time EstimateGroups (validated arguments, rows_ not
+  /// empty): gathers the referenced columns as promoted doubles, hashes
+  /// whole columns, and accumulates per aggregate in row order —
+  /// byte-identical to the row-at-a-time staging.
+  GroupedEstimate EstimateGroupsVectorized(
+      const std::vector<size_t>& group_columns,
+      const std::vector<size_t>& agg_columns) const;
 
   std::vector<WeightedRow> rows_;
+  bool vectorized_ = true;
 };
 
 }  // namespace datatriage::synopsis

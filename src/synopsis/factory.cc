@@ -24,7 +24,7 @@ Result<SynopsisPtr> MakeSynopsis(const SynopsisConfig& config,
     case SynopsisType::kAviHistogram:
       return AviHistogram::Make(std::move(schema), config.avi);
     case SynopsisType::kExact:
-      return ExactSynopsis::Make(std::move(schema));
+      return ExactSynopsis::Make(std::move(schema), config.vectorized_exec);
   }
   return Status::InvalidArgument("unknown synopsis type");
 }

@@ -19,6 +19,10 @@ struct SynopsisConfig {
   MHistConfig mhist;
   ReservoirSampleConfig reservoir;
   AviHistogramConfig avi;
+  /// kExact only: run the shadow algebra's group-by and equijoin on the
+  /// column-at-a-time kernels. Byte-identical results either way; kept in
+  /// sync with EngineConfig::vectorized_exec by the query sessions.
+  bool vectorized_exec = true;
 };
 
 /// Creates an empty synopsis of the configured family over `schema`.

@@ -4,15 +4,6 @@
 
 namespace datatriage {
 
-namespace {
-
-// 64-bit hash combiner (boost::hash_combine style, widened).
-inline size_t CombineHash(size_t seed, size_t h) {
-  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
-}
-
-}  // namespace
-
 Tuple Tuple::Project(const std::vector<size_t>& indices) const {
   std::vector<Value> projected;
   projected.reserve(indices.size());
@@ -50,13 +41,13 @@ bool Tuple::operator<(const Tuple& other) const {
 
 size_t Tuple::Hash() const {
   size_t seed = values_.size();
-  for (const Value& v : values_) seed = CombineHash(seed, v.Hash());
+  for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
   return seed;
 }
 
 size_t HashValuesAt(const Tuple& tuple, const std::vector<size_t>& indices) {
   size_t seed = indices.size();
-  for (size_t i : indices) seed = CombineHash(seed, tuple.value(i).Hash());
+  for (size_t i : indices) seed = HashCombine(seed, tuple.value(i).Hash());
   return seed;
 }
 

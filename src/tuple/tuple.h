@@ -60,6 +60,14 @@ class Tuple {
   VirtualTime timestamp_ = 0.0;
 };
 
+/// 64-bit hash combiner (boost::hash_combine style, widened). Exposed so
+/// batch kernels can reproduce Tuple::Hash / HashValuesAt bit-for-bit from
+/// column arrays: both seed with the value count and fold per-value hashes
+/// through this exact function.
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
 /// Functors for unordered containers keyed by Tuple.
 struct TupleHash {
   size_t operator()(const Tuple& t) const { return t.Hash(); }

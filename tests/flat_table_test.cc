@@ -203,5 +203,148 @@ TEST_P(FlatTableProperty, MatchesUnorderedMapReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FlatTableProperty,
                          ::testing::Range<uint64_t>(1, 9));
 
+// --- BuildFrom ----------------------------------------------------------
+
+uint64_t SpreadHash(int64_t key) {
+  return static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+}
+
+/// Entries in slot order; byte-comparable layout fingerprint.
+std::vector<std::pair<int64_t, int64_t>> Layout(
+    const FlatTable<Entry>& table) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  table.ForEach(
+      [&](const Entry& e) { out.emplace_back(e.key, e.payload); });
+  return out;
+}
+
+TEST(FlatTableBuildFromTest, EmptyInputIsNoop) {
+  FlatTable<Entry> table;
+  table.BuildFrom(
+      nullptr, 0, [](const Entry&, size_t) { return true; },
+      [](size_t) { return Entry{}; }, [](Entry*, size_t) {});
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(FlatTableBuildFromTest, CollidingHashesAggregateByKey) {
+  // Seven buckets for 64 inserts: every probe walks a collision chain,
+  // and duplicate keys must land on on_existing, never on make.
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> hashes;
+  for (int64_t i = 0; i < 64; ++i) {
+    keys.push_back(i % 16);
+    hashes.push_back(CollidingHash(keys.back()));
+  }
+  FlatTable<Entry> table;
+  table.BuildFrom(
+      hashes.data(), hashes.size(),
+      [&](const Entry& e, size_t i) { return e.key == keys[i]; },
+      [&](size_t i) { return Entry{keys[i], 1}; },
+      [](Entry* e, size_t) { ++e->payload; });
+  EXPECT_EQ(table.size(), 16u);
+  table.ForEach([](const Entry& e) { EXPECT_EQ(e.payload, 4); });
+  for (int64_t k = 0; k < 16; ++k) {
+    Entry* found = table.Find(CollidingHash(k),
+                              [&](const Entry& e) { return e.key == k; });
+    ASSERT_NE(found, nullptr) << "key " << k;
+  }
+}
+
+class FlatTableBuildFromProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+/// The vectorized executor's layout-parity contract: BuildFrom on an
+/// empty table must leave entries in exactly the slots that
+/// reserve-then-FindOrEmplace (the scalar build loop) would have used,
+/// because downstream output order is table slot order.
+TEST_P(FlatTableBuildFromProperty, MatchesReserveThenIncrementalLayout) {
+  Rng rng(GetParam() * 0x2545F4914F6CDD1DULL + 1);
+  const size_t n = static_cast<size_t>(rng.UniformInt(1, 400));
+  std::vector<int64_t> keys;
+  std::vector<uint64_t> hashes;
+  const bool collide = rng.Bernoulli(0.5);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key = rng.UniformInt(int64_t{0}, int64_t{50});
+    keys.push_back(key);
+    hashes.push_back(collide ? CollidingHash(key) : SpreadHash(key));
+  }
+
+  FlatTable<Entry> incremental(n);
+  for (size_t i = 0; i < n; ++i) {
+    incremental.FindOrEmplace(
+        hashes[i], [&](const Entry& e) { return e.key == keys[i]; },
+        [&] { return Entry{keys[i], 1}; });
+  }
+  FlatTable<Entry> batched;
+  batched.BuildFrom(
+      hashes.data(), n,
+      [&](const Entry& e, size_t i) { return e.key == keys[i]; },
+      [&](size_t i) { return Entry{keys[i], 1}; },
+      [](Entry*, size_t) {});
+  EXPECT_EQ(batched.size(), incremental.size());
+  EXPECT_EQ(Layout(batched), Layout(incremental));
+}
+
+/// BuildFrom composes with point operations: batch-load, then interleave
+/// Erase / Find / further batch loads against a map reference.
+TEST_P(FlatTableBuildFromProperty, EraseInterleaveMatchesReference) {
+  Rng rng(GetParam() ^ 0xD1B54A32D192ED03ULL);
+  std::unordered_map<int64_t, int64_t> reference;
+  FlatTable<Entry> table;
+  const auto hash_of = [](int64_t key) { return CollidingHash(key); };
+
+  for (int round = 0; round < 6; ++round) {
+    // One batch load...
+    const size_t n = static_cast<size_t>(rng.UniformInt(0, 40));
+    std::vector<int64_t> keys;
+    std::vector<uint64_t> hashes;
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(rng.UniformInt(int64_t{0}, int64_t{30}));
+      hashes.push_back(hash_of(keys.back()));
+      auto [it, inserted] = reference.emplace(keys.back(), 1);
+      if (!inserted) ++it->second;
+    }
+    table.BuildFrom(
+        hashes.data(), n,
+        [&](const Entry& e, size_t i) { return e.key == keys[i]; },
+        [&](size_t i) { return Entry{keys[i], 1}; },
+        [](Entry* e, size_t) { ++e->payload; });
+
+    // ...then a burst of point erases and lookups.
+    for (int step = 0; step < 20; ++step) {
+      const int64_t key = rng.UniformInt(int64_t{0}, int64_t{30});
+      if (rng.Bernoulli(0.5)) {
+        const bool erased = table.Erase(
+            hash_of(key), [&](const Entry& e) { return e.key == key; });
+        ASSERT_EQ(erased, reference.erase(key) == 1)
+            << "round " << round << " key " << key;
+      } else {
+        Entry* found = table.Find(
+            hash_of(key), [&](const Entry& e) { return e.key == key; });
+        const auto ref_it = reference.find(key);
+        ASSERT_EQ(found != nullptr, ref_it != reference.end())
+            << "round " << round << " key " << key;
+        if (found != nullptr) {
+          ASSERT_EQ(found->payload, ref_it->second);
+        }
+      }
+    }
+    ASSERT_EQ(table.size(), reference.size()) << "round " << round;
+  }
+
+  size_t visits = 0;
+  table.ForEach([&](const Entry& e) {
+    ++visits;
+    const auto ref_it = reference.find(e.key);
+    ASSERT_NE(ref_it, reference.end()) << "stray key " << e.key;
+    ASSERT_EQ(e.payload, ref_it->second);
+  });
+  EXPECT_EQ(visits, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatTableBuildFromProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
 }  // namespace
 }  // namespace datatriage
