@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,63 @@ RunOutputs RunOnce(const workload::Scenario& scenario,
   return out;
 }
 
+/// Churn variant (DESIGN.md Sec. 14): half the fleet is resident from
+/// the start, the other half joins mid-feed, and the first quarter
+/// retires at the three-quarter mark. Measures the lifecycle machinery
+/// on the hot path — mid-stream registration, quiescent unregister
+/// drains — against the static-registration baseline.
+RunOutputs RunChurnOnce(const workload::Scenario& scenario,
+                        size_t worker_threads) {
+  engine::StreamServerOptions options;
+  options.worker_threads = worker_threads;
+  server::StreamServer server(scenario.catalog, options);
+  std::vector<server::SessionId> ids(kQueries, 0);
+  for (size_t q = 0; q < kQueries / 2; ++q) {
+    auto id = server.RegisterQuery(scenario.query_sql, SessionConfig(q));
+    DT_CHECK(id.ok()) << id.status().ToString();
+    ids[q] = *id;
+  }
+
+  const std::span<const engine::StreamEvent> feed(scenario.events);
+  const size_t half = feed.size() / 2;
+  const size_t three_quarters = feed.size() * 3 / 4;
+
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
+  Status pushed = server.PushBatch(feed.subspan(0, half));
+  DT_CHECK(pushed.ok()) << pushed.ToString();
+  for (size_t q = kQueries / 2; q < kQueries; ++q) {
+    auto id = server.RegisterQuery(scenario.query_sql, SessionConfig(q));
+    DT_CHECK(id.ok()) << id.status().ToString();
+    ids[q] = *id;
+  }
+  pushed = server.PushBatch(feed.subspan(half, three_quarters - half));
+  DT_CHECK(pushed.ok()) << pushed.ToString();
+  for (size_t q = 0; q < kQueries / 4; ++q) {
+    Status detached = server.UnregisterQuery(ids[q]);
+    DT_CHECK(detached.ok()) << detached.ToString();
+  }
+  pushed = server.PushBatch(feed.subspan(three_quarters));
+  DT_CHECK(pushed.ok()) << pushed.ToString();
+  Status finished = server.Finish();
+  DT_CHECK(finished.ok()) << finished.ToString();
+  const double seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  RunOutputs out;
+  out.seconds = seconds;
+  const std::vector<std::string> columns = {"a", "count"};
+  for (server::SessionId id : ids) {
+    // Detached sessions keep serving results and metrics.
+    server::QuerySession& session = server.session(id);
+    out.results_csv.push_back(
+        io::FormatResultsCsv(session.TakeResults(), columns));
+    out.metrics_json.push_back(
+        obs::MetricsJson(session.metrics(), &session.trace()));
+  }
+  return out;
+}
+
 void ExpectEquivalent(const RunOutputs& serial, const RunOutputs& run,
                       size_t workers) {
   for (size_t q = 0; q < kQueries; ++q) {
@@ -131,7 +189,9 @@ void Run(bool smoke) {
   std::vector<BenchRecord> records;
   RunOutputs serial;
   double serial_seconds = 0.0;
-  for (size_t workers : worker_settings) {
+  std::vector<double> static_best(worker_settings.size(), 0.0);
+  for (size_t w = 0; w < worker_settings.size(); ++w) {
+    const size_t workers = worker_settings[w];
     // Best-of-reps wall time; outputs are checked on every rep.
     double best = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
@@ -145,12 +205,52 @@ void Run(bool smoke) {
       if (rep == 0 || run.seconds < best) best = run.seconds;
     }
     if (workers == 0) serial_seconds = best;
+    static_best[w] = best;
     const double events_per_sec =
         static_cast<double>(scenario.events.size()) / best;
     std::printf("%8zu %10.3f %12.0f %7.2fx\n", workers, best,
                 events_per_sec, serial_seconds / best);
     BenchRecord record;
     record.name = "parallel_sessions/q" + std::to_string(kQueries) +
+                  "/workers=" + std::to_string(workers);
+    record.ns_per_op =
+        best * 1e9 / static_cast<double>(scenario.events.size());
+    record.tuples_per_sec = events_per_sec;
+    records.push_back(std::move(record));
+  }
+
+  // Churn scenario: the same fleet under mid-stream registration and
+  // unregistration. "vs static" is churn throughput over the static run
+  // at the same worker count — the cost of the lifecycle machinery
+  // (quiescent drains, mid-stream admission) on the hot path.
+  std::printf("\n== Churn: %zu resident, %zu join at 50%%, %zu retire "
+              "at 75%% ==\n",
+              kQueries / 2, kQueries - kQueries / 2, kQueries / 4);
+  std::printf("%8s %10s %12s %8s %10s\n", "workers", "seconds",
+              "events/s", "speedup", "vs static");
+  RunOutputs churn_serial;
+  double churn_serial_seconds = 0.0;
+  for (size_t w = 0; w < worker_settings.size(); ++w) {
+    const size_t workers = worker_settings[w];
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      RunOutputs run = RunChurnOnce(scenario, workers);
+      if (workers == 0 && rep == 0) {
+        churn_serial = std::move(run);
+        best = churn_serial.seconds;
+        continue;
+      }
+      ExpectEquivalent(churn_serial, run, workers);
+      if (rep == 0 || run.seconds < best) best = run.seconds;
+    }
+    if (workers == 0) churn_serial_seconds = best;
+    const double events_per_sec =
+        static_cast<double>(scenario.events.size()) / best;
+    std::printf("%8zu %10.3f %12.0f %7.2fx %9.2fx\n", workers, best,
+                events_per_sec, churn_serial_seconds / best,
+                static_best[w] / best);
+    BenchRecord record;
+    record.name = "parallel_sessions_churn/q" + std::to_string(kQueries) +
                   "/workers=" + std::to_string(workers);
     record.ns_per_op =
         best * 1e9 / static_cast<double>(scenario.events.size());

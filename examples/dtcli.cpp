@@ -28,6 +28,15 @@
 //   --workers=N         worker threads session execution is sharded
 //                       across; 0 = serial (default). Per-query output
 //                       is byte-identical at any setting (DESIGN.md §11)
+//   --register-at=I:T   rolling deployment: hold query I back and
+//                       register it mid-stream, just before the first
+//                       event with timestamp >= T. It observes only
+//                       whole windows from the next window boundary
+//                       after the arrival clock (DESIGN.md §14)
+//   --unregister-at=I:T retire query I just before the first event with
+//                       timestamp >= T: its queued tuples drain, its
+//                       in-flight windows emit, and its results/stats
+//                       stay readable at the end of the run
 //   --drop-policy=random|drop_newest|drop_oldest|synergistic
 //   --seed=N            drop-policy seed           (default 1)
 //   --scalar-exec       run windows on the tuple-at-a-time reference
@@ -44,8 +53,10 @@
 // Example:
 //   ./build/examples/dtcli --stats script.sql events.csv > results.csv
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,6 +86,29 @@ bool ConsumeFlag(const std::string& arg, const std::string& name,
   return true;
 }
 
+/// One --register-at / --unregister-at op: applied just before the first
+/// event with timestamp >= time.
+struct LifecycleOp {
+  double time = 0.0;
+  size_t query = 0;
+  bool is_register = false;
+};
+
+bool ParseLifecycleOp(const std::string& value, bool is_register,
+                      std::vector<LifecycleOp>* ops) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= value.size()) {
+    return false;
+  }
+  LifecycleOp op;
+  op.query = static_cast<size_t>(std::atoll(value.substr(0, colon).c_str()));
+  op.time = std::atof(value.substr(colon + 1).c_str());
+  op.is_register = is_register;
+  ops->push_back(op);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +120,7 @@ int main(int argc, char** argv) {
   bool show_rewrite = false, print_stats = false, sort_events = false;
   std::vector<std::string> positional;
   std::vector<std::string> query_flags;
+  std::vector<LifecycleOp> lifecycle_ops;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -130,6 +165,17 @@ int main(int argc, char** argv) {
             datatriage::triage::DropPolicyKind::kSynergistic;
       } else {
         return Fail("unknown drop policy '" + value + "'");
+      }
+    } else if (ConsumeFlag(arg, "register-at", &value)) {
+      if (!ParseLifecycleOp(value, /*is_register=*/true, &lifecycle_ops)) {
+        return Fail("--register-at wants <query>:<time>, got '" + value +
+                    "'");
+      }
+    } else if (ConsumeFlag(arg, "unregister-at", &value)) {
+      if (!ParseLifecycleOp(value, /*is_register=*/false,
+                            &lifecycle_ops)) {
+        return Fail("--unregister-at wants <query>:<time>, got '" + value +
+                    "'");
       }
     } else if (ConsumeFlag(arg, "metrics-json", &value)) {
       metrics_json_path = value;
@@ -255,22 +301,89 @@ int main(int argc, char** argv) {
   if (Status s = server_options.Validate(); !s.ok()) {
     return Fail(s.ToString());
   }
+  for (const LifecycleOp& op : lifecycle_ops) {
+    if (op.query >= num_queries) {
+      return Fail("lifecycle op names query " + std::to_string(op.query) +
+                  " but only " + std::to_string(num_queries) +
+                  " queries are defined");
+    }
+  }
+  std::stable_sort(lifecycle_ops.begin(), lifecycle_ops.end(),
+                   [](const LifecycleOp& a, const LifecycleOp& b) {
+                     return a.time < b.time;
+                   });
+
   datatriage::server::StreamServer server(catalog, server_options);
+  // Queries with a --register-at op are held back and join mid-stream;
+  // the rest register up front. `ids` maps query order to session ids.
+  std::vector<datatriage::server::SessionId> ids(num_queries, 0);
+  std::vector<bool> registered(num_queries, false);
   for (size_t i = 0; i < num_queries; ++i) {
+    bool held_back = false;
+    for (const LifecycleOp& op : lifecycle_ops) {
+      if (op.is_register && op.query == i) held_back = true;
+    }
+    if (held_back) continue;
     auto id = server.RegisterQuery(std::move(bound_queries[i]), config);
     if (!id.ok()) return Fail(id.status().ToString());
+    ids[i] = *id;
+    registered[i] = true;
   }
-  // One batch: timestamps validate in a single pass and same-stream runs
-  // skip the per-event name lookup (StreamServer::PushBatch).
-  if (Status s = server.PushBatch(*events); !s.ok()) {
-    return Fail(s.ToString());
+
+  const auto apply_op = [&](const LifecycleOp& op) -> Status {
+    if (op.is_register) {
+      auto id =
+          server.RegisterQuery(std::move(bound_queries[op.query]), config);
+      if (!id.ok()) return id.status();
+      ids[op.query] = *id;
+      registered[op.query] = true;
+      return Status::OK();
+    }
+    if (!registered[op.query]) {
+      return Status::InvalidArgument(
+          "--unregister-at fires for query " + std::to_string(op.query) +
+          " before it is registered");
+    }
+    return server.UnregisterQuery(ids[op.query]);
+  };
+
+  // Push in batches split at lifecycle-op boundaries: each op fires just
+  // before the first event with timestamp >= its time. Within a segment,
+  // PushBatch keeps the one-pass validation and routing memoization.
+  const std::span<const datatriage::engine::StreamEvent> feed(*events);
+  size_t e = 0, o = 0;
+  while (e < feed.size()) {
+    while (o < lifecycle_ops.size() &&
+           feed[e].tuple.timestamp() >= lifecycle_ops[o].time) {
+      if (Status s = apply_op(lifecycle_ops[o++]); !s.ok()) {
+        return Fail(s.ToString());
+      }
+    }
+    size_t n = feed.size() - e;
+    if (o < lifecycle_ops.size()) {
+      size_t j = e;
+      while (j < feed.size() &&
+             feed[j].tuple.timestamp() < lifecycle_ops[o].time) {
+        ++j;
+      }
+      n = j - e;
+    }
+    if (Status s = server.PushBatch(feed.subspan(e, n)); !s.ok()) {
+      return Fail(s.ToString());
+    }
+    e += n;
+  }
+  // Ops past the end of the feed still fire, in order, before Finish.
+  while (o < lifecycle_ops.size()) {
+    if (Status s = apply_op(lifecycle_ops[o++]); !s.ok()) {
+      return Fail(s.ToString());
+    }
   }
   if (Status s = server.Finish(); !s.ok()) return Fail(s.ToString());
 
   for (size_t i = 0; i < num_queries; ++i) {
     if (num_queries > 1) std::printf("# query %zu\n", i);
-    auto& session =
-        server.session(static_cast<datatriage::server::SessionId>(i));
+    auto& session = server.session(ids[i]);
     std::fputs(datatriage::io::FormatResultsCsv(session.TakeResults(),
                                                 column_names[i])
                    .c_str(),
@@ -281,7 +394,7 @@ int main(int argc, char** argv) {
     // One query keeps the legacy single-registry schema (Sec. 9.3);
     // several write the combined server export (Sec. 10).
     if (num_queries == 1) {
-      auto& session = server.session(0);
+      auto& session = server.session(ids[0]);
       if (Status s = datatriage::obs::WriteMetricsJson(
               session.metrics(), &session.trace(), metrics_json_path);
           !s.ok()) {
@@ -304,16 +417,18 @@ int main(int argc, char** argv) {
 
   if (print_stats) {
     for (size_t i = 0; i < num_queries; ++i) {
-      const auto& session =
-          server.session(static_cast<datatriage::server::SessionId>(i));
+      const auto& session = server.session(ids[i]);
       const datatriage::engine::EngineStatsSnapshot snapshot =
           session.StatsSnapshot();
       const datatriage::engine::EngineStats& stats = snapshot.core;
       // With several sessions each stderr line carries the session's
-      // metric scope (the same "session.<i>." prefix the combined JSON
-      // export uses); with one the legacy unscoped format is kept.
+      // metric scope (the same "session.<id>." prefix the combined JSON
+      // export uses — the id, not the query order, since mid-stream
+      // registration can reorder them); with one the legacy unscoped
+      // format is kept.
       const std::string scope =
-          num_queries > 1 ? "session." + std::to_string(i) + "." : "";
+          num_queries > 1 ? "session." + std::to_string(ids[i]) + "."
+                          : "";
       std::fprintf(
           stderr,
           "%singested=%lld kept=%lld dropped=%lld windows=%lld "

@@ -31,6 +31,9 @@ constexpr const char* kUsage = R"(usage: sim_main [options]
   --no-faults        do not install the generated fault plans
   --max-seconds X    wall-clock budget; stop between scenarios once spent
   --failures-out P   append "<seed> <failure>" lines to file P
+  --snapshot-dump-dir D
+                     write failing scenarios' mid-run session snapshots
+                     to D/seed-<seed>.dtss (D must exist)
   --verbose          describe every scenario as it runs
   --help             this text
 )";
@@ -100,6 +103,10 @@ int main(int argc, char** argv) {
       const std::string* v = next();
       if (v == nullptr) return 2;
       options.failures_path = *v;
+    } else if (arg == "--snapshot-dump-dir") {
+      const std::string* v = next();
+      if (v == nullptr) return 2;
+      options.snapshot_dump_dir = *v;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else {

@@ -47,6 +47,7 @@ class Rng {
   uint64_t Fork();
 
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

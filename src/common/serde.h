@@ -1,0 +1,153 @@
+#ifndef DATATRIAGE_COMMON_SERDE_H_
+#define DATATRIAGE_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/string_util.h"
+
+namespace datatriage::serde {
+
+/// Minimal deterministic binary encoding used by the session snapshot
+/// format (DESIGN.md §14). Integers are little-endian fixed width,
+/// doubles are the IEEE-754 bit pattern as u64, strings are u64
+/// length-prefixed bytes. The encoding is platform-independent so a
+/// snapshot taken on one host restores byte-identically on another.
+class Writer {
+ public:
+  void WriteU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) { AppendLittleEndian(v, 4); }
+
+  void WriteU64(uint64_t v) { AppendLittleEndian(v, 8); }
+
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteDouble(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  void WriteString(std::string_view v) {
+    WriteU64(v.size());
+    out_.append(v.data(), v.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string TakeBytes() { return std::move(out_); }
+
+ private:
+  void AppendLittleEndian(uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string out_;
+};
+
+/// Cursor over a snapshot byte string. Every read is bounds-checked and
+/// returns a Status on truncation, so a corrupt snapshot fails cleanly
+/// instead of reading garbage.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> ReadU8() {
+    DT_RETURN_IF_ERROR(Require(1));
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    DT_ASSIGN_OR_RETURN(const uint64_t v, ReadLittleEndian(4));
+    return static_cast<uint32_t>(v);
+  }
+
+  Result<uint64_t> ReadU64() { return ReadLittleEndian(8); }
+
+  Result<int64_t> ReadI64() {
+    DT_ASSIGN_OR_RETURN(const uint64_t v, ReadU64());
+    return static_cast<int64_t>(v);
+  }
+
+  Result<bool> ReadBool() {
+    DT_ASSIGN_OR_RETURN(const uint8_t v, ReadU8());
+    return v != 0;
+  }
+
+  Result<double> ReadDouble() {
+    DT_ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    DT_ASSIGN_OR_RETURN(const uint64_t size, ReadU64());
+    DT_RETURN_IF_ERROR(Require(size));
+    std::string v(bytes_.substr(pos_, size));
+    pos_ += size;
+    return v;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Require(uint64_t n) {
+    if (remaining() < n) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot truncated: need %llu byte(s) at offset %zu, "
+          "have %zu",
+          static_cast<unsigned long long>(n), pos_, remaining()));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> ReadLittleEndian(int width) {
+    DT_RETURN_IF_ERROR(Require(width));
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += width;
+    return v;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// mt19937_64 state round-trip via the standard iostream inserter. The
+/// textual form ([rand.req.eng]) is a decimal word list, so the bytes are
+/// deterministic for a given engine state.
+inline void SaveRngEngine(Writer* writer, const std::mt19937_64& engine) {
+  std::ostringstream os;
+  os << engine;
+  writer->WriteString(os.str());
+}
+
+inline Status LoadRngEngine(Reader* reader, std::mt19937_64* engine) {
+  DT_ASSIGN_OR_RETURN(const std::string text, reader->ReadString());
+  std::istringstream is(text);
+  is >> *engine;
+  if (!is) {
+    return Status::InvalidArgument(
+        "snapshot: malformed mt19937_64 state text");
+  }
+  return Status::OK();
+}
+
+}  // namespace datatriage::serde
+
+#endif  // DATATRIAGE_COMMON_SERDE_H_

@@ -25,6 +25,22 @@ void Histogram::Observe(double value) {
   ++bucket_counts_[static_cast<size_t>(it - upper_bounds_.begin())];
 }
 
+void Histogram::Restore(int64_t count, double sum, double min, double max,
+                        std::vector<int64_t> bucket_counts) {
+  DT_CHECK(bucket_counts.size() == upper_bounds_.size() + 1)
+      << "histogram restored with mismatched bucket count";
+  count_ = count;
+  sum_ = sum;
+  if (count_ > 0) {
+    min_ = min;
+    max_ = max;
+  } else {
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+  bucket_counts_ = std::move(bucket_counts);
+}
+
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

@@ -19,6 +19,11 @@ class Counter {
   void Add(int64_t delta = 1) { value_ += delta; }
   int64_t value() const { return value_; }
 
+  /// Overwrites the count with an absolute value. Snapshot restore only
+  /// (DESIGN.md §14): a restored session's instruments must resume from
+  /// the donor's totals, not re-accumulate from zero.
+  void Restore(int64_t value) { value_ = value; }
+
  private:
   int64_t value_ = 0;
 };
@@ -35,6 +40,12 @@ class Gauge {
   void Add(double delta) { Set(value_ + delta); }
   double value() const { return value_; }
   double max() const { return max_; }
+
+  /// Overwrites value and high-watermark. Snapshot restore only.
+  void Restore(double value, double max) {
+    value_ = value;
+    max_ = max;
+  }
 
  private:
   double value_ = 0.0;
@@ -63,6 +74,12 @@ class Histogram {
   const std::vector<int64_t>& bucket_counts() const {
     return bucket_counts_;
   }
+
+  /// Overwrites the whole distribution. Snapshot restore only. When
+  /// `count` is 0 the raw min_/max_ stay at their ±inf defaults so the
+  /// accessors keep returning 0, matching a never-observed histogram.
+  void Restore(int64_t count, double sum, double min, double max,
+               std::vector<int64_t> bucket_counts);
 
  private:
   std::vector<double> upper_bounds_;

@@ -55,6 +55,13 @@ class WindowTraceRecorder {
   /// 0 (the default) means unbounded.
   void set_capacity(size_t capacity) { capacity_ = capacity; }
 
+  /// Overwrites the log wholesale. Snapshot restore only (DESIGN.md §14).
+  void Restore(std::vector<WindowTraceRecord> records,
+               int64_t total_recorded) {
+    records_ = std::move(records);
+    total_recorded_ = total_recorded;
+  }
+
  private:
   std::vector<WindowTraceRecord> records_;
   size_t capacity_ = 0;

@@ -83,6 +83,21 @@ Result<StreamLane*> IngestPlane::Subscribe(
   return raw;
 }
 
+void IngestPlane::Unsubscribe(const QuerySession* session) {
+  for (StreamEntry& entry : streams_) {
+    std::erase_if(entry.lanes, [session](const StreamLane* lane) {
+      return lane->session == session;
+    });
+  }
+}
+
+void IngestPlane::AdvanceClock(VirtualTime t) {
+  if (!saw_arrival_ || t > last_arrival_time_) {
+    saw_arrival_ = true;
+    last_arrival_time_ = t;
+  }
+}
+
 void IngestPlane::SetDispatcher(LaneDispatcher dispatcher) {
   dispatcher_ = std::move(dispatcher);
 }
@@ -102,6 +117,9 @@ Status IngestPlane::Deliver(StreamEntry& entry, const Tuple& tuple) {
     return Status::OK();
   }
   for (StreamLane* lane : entry.lanes) {
+    // Effective-from admission (DESIGN.md §14): a mid-stream-registered
+    // session's lanes only see events from its admission horizon on.
+    if (tuple.timestamp() < lane->admit_from) continue;
     if (dispatcher_) {
       DT_RETURN_IF_ERROR(dispatcher_(lane, tuple));
     } else {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <span>
@@ -84,6 +85,12 @@ struct StreamLane {
   /// Drop-cause counter for fault-injected sheds; registered only when
   /// sim_faults is installed so production metric exports are unchanged.
   obs::Counter* fault_shed = nullptr;
+  /// Admission horizon for mid-stream registration (DESIGN.md §14): the
+  /// plane skips this lane for events with timestamp < admit_from, so a
+  /// session registered at virtual time t observes exactly the feed
+  /// suffix from the next window boundary on. -inf (the default) admits
+  /// everything — the up-front-registration behavior.
+  VirtualTime admit_from = -std::numeric_limits<VirtualTime>::infinity();
 };
 
 /// The shared ingest plane of a StreamServer: one boundary for all
@@ -120,6 +127,20 @@ class IngestPlane {
                                 const engine::EngineConfig& config,
                                 VirtualDuration window_seconds,
                                 VirtualDuration window_slide, Rng* seeder);
+
+  /// Detaches every lane of `session` from event routing. The lane
+  /// objects stay owned by the plane (their queues/buffers remain
+  /// readable by the drained session), but no future arrival reaches
+  /// them. Safe mid-stream: routing mutates only on the pushing thread.
+  void Unsubscribe(const QuerySession* session);
+
+  /// Fast-forwards the arrival clock to at least `t` without delivering
+  /// an event. Snapshot restore only: the restored plane must refuse the
+  /// out-of-order past the donor server had already accepted.
+  void AdvanceClock(VirtualTime t);
+
+  /// True once any arrival was accepted (the arrival clock is live).
+  bool saw_arrival() const { return saw_arrival_; }
 
   /// Validates one arrival (finite timestamp, global timestamp order,
   /// tuple arity against the stream schema) and delivers it to every

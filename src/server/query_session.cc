@@ -5,13 +5,27 @@
 #include <limits>
 #include <utility>
 
+#include "src/common/serde.h"
+#include "src/common/string_util.h"
 #include "src/exec/evaluator.h"
 #include "src/rewrite/shadow_plan.h"
+#include "src/synopsis/serde.h"
+#include "src/tuple/serde.h"
 
 namespace datatriage::server {
 
 using engine::WindowResult;
 using triage::SheddingStrategy;
+
+std::string_view SessionLifecycleToString(SessionLifecycle lifecycle) {
+  switch (lifecycle) {
+    case SessionLifecycle::kActive:
+      return "kActive";
+    case SessionLifecycle::kDetached:
+      return "kDetached";
+  }
+  return "?";
+}
 
 Result<std::unique_ptr<QuerySession>> QuerySession::Make(
     SessionId id, IngestPlane* plane, plan::BoundQuery query,
@@ -584,6 +598,356 @@ Status QuerySession::Finish() {
 
 std::vector<WindowResult> QuerySession::TakeResults() {
   return std::move(results_);
+}
+
+void QuerySession::SetEffectiveFrom(VirtualTime t) {
+  DT_CHECK(!saw_arrival_)
+      << "effective-from must be set before the first arrival";
+  effective_from_ = t;
+  for (auto& [name, lane] : lanes_by_name_) {
+    (void)name;
+    lane->admit_from = t;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Session snapshot serialization (DESIGN.md §14).
+// ---------------------------------------------------------------------
+
+namespace {
+
+void SaveRelation(serde::Writer* writer, const exec::Relation& rows) {
+  writer->WriteU64(rows.size());
+  for (const Tuple& t : rows) SaveTuple(writer, t);
+}
+
+Status LoadRelation(serde::Reader* reader, exec::Relation* rows) {
+  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadU64());
+  rows->clear();
+  rows->reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    DT_ASSIGN_OR_RETURN(Tuple t, LoadTuple(reader));
+    rows->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+void SaveGroupedEstimate(serde::Writer* writer,
+                         const synopsis::GroupedEstimate& estimate) {
+  writer->WriteU64(estimate.size());
+  for (const auto& [key, accumulators] : estimate) {
+    writer->WriteU64(key.size());
+    for (const Value& v : key) SaveValue(writer, v);
+    writer->WriteU64(accumulators.size());
+    for (const synopsis::AggAccumulator& acc : accumulators) {
+      writer->WriteDouble(acc.count);
+      writer->WriteDouble(acc.sum);
+      writer->WriteDouble(acc.min);
+      writer->WriteDouble(acc.max);
+    }
+  }
+}
+
+Status LoadGroupedEstimate(serde::Reader* reader,
+                           synopsis::GroupedEstimate* estimate) {
+  estimate->clear();
+  DT_ASSIGN_OR_RETURN(const uint64_t groups, reader->ReadU64());
+  for (uint64_t g = 0; g < groups; ++g) {
+    DT_ASSIGN_OR_RETURN(const uint64_t key_size, reader->ReadU64());
+    std::vector<Value> key;
+    key.reserve(key_size);
+    for (uint64_t i = 0; i < key_size; ++i) {
+      DT_ASSIGN_OR_RETURN(Value v, LoadValue(reader));
+      key.push_back(std::move(v));
+    }
+    DT_ASSIGN_OR_RETURN(const uint64_t num_accs, reader->ReadU64());
+    std::vector<synopsis::AggAccumulator> accumulators(num_accs);
+    for (uint64_t i = 0; i < num_accs; ++i) {
+      DT_ASSIGN_OR_RETURN(accumulators[i].count, reader->ReadDouble());
+      DT_ASSIGN_OR_RETURN(accumulators[i].sum, reader->ReadDouble());
+      DT_ASSIGN_OR_RETURN(accumulators[i].min, reader->ReadDouble());
+      DT_ASSIGN_OR_RETURN(accumulators[i].max, reader->ReadDouble());
+    }
+    estimate->emplace(std::move(key), std::move(accumulators));
+  }
+  return Status::OK();
+}
+
+void SaveWindowResult(serde::Writer* writer, const WindowResult& result) {
+  writer->WriteI64(result.window);
+  writer->WriteDouble(result.emit_time);
+  SaveRelation(writer, result.exact_rows);
+  SaveRelation(writer, result.merged_rows);
+  SaveGroupedEstimate(writer, result.shadow_estimate);
+  synopsis::SaveSynopsis(writer, result.result_synopsis.get());
+  writer->WriteI64(result.kept_tuples);
+  writer->WriteI64(result.dropped_tuples);
+}
+
+Status LoadWindowResult(serde::Reader* reader, WindowResult* result) {
+  DT_ASSIGN_OR_RETURN(result->window, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(result->emit_time, reader->ReadDouble());
+  DT_RETURN_IF_ERROR(LoadRelation(reader, &result->exact_rows));
+  DT_RETURN_IF_ERROR(LoadRelation(reader, &result->merged_rows));
+  DT_RETURN_IF_ERROR(LoadGroupedEstimate(reader, &result->shadow_estimate));
+  DT_ASSIGN_OR_RETURN(result->result_synopsis,
+                      synopsis::LoadSynopsis(reader));
+  DT_ASSIGN_OR_RETURN(result->kept_tuples, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(result->dropped_tuples, reader->ReadI64());
+  return Status::OK();
+}
+
+void SaveTraceRecord(serde::Writer* writer,
+                     const obs::WindowTraceRecord& record) {
+  writer->WriteI64(record.window);
+  writer->WriteDouble(record.deadline);
+  writer->WriteDouble(record.emit_time);
+  writer->WriteDouble(record.latency);
+  writer->WriteI64(record.kept_tuples);
+  writer->WriteI64(record.dropped_tuples);
+  writer->WriteU64(record.force_shed_by_stream.size());
+  for (const auto& [stream, count] : record.force_shed_by_stream) {
+    writer->WriteString(stream);
+    writer->WriteI64(count);
+  }
+  writer->WriteI64(record.exact_rows);
+  writer->WriteI64(record.merged_rows);
+  writer->WriteI64(record.exact_work_units);
+  writer->WriteI64(record.shadow_work_units);
+}
+
+Status LoadTraceRecord(serde::Reader* reader,
+                       obs::WindowTraceRecord* record) {
+  DT_ASSIGN_OR_RETURN(record->window, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(record->deadline, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(record->emit_time, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(record->latency, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(record->kept_tuples, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(record->dropped_tuples, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(const uint64_t streams, reader->ReadU64());
+  for (uint64_t i = 0; i < streams; ++i) {
+    DT_ASSIGN_OR_RETURN(std::string stream, reader->ReadString());
+    DT_ASSIGN_OR_RETURN(const int64_t count, reader->ReadI64());
+    record->force_shed_by_stream.emplace(std::move(stream), count);
+  }
+  DT_ASSIGN_OR_RETURN(record->exact_rows, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(record->merged_rows, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(record->exact_work_units, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(record->shadow_work_units, reader->ReadI64());
+  return Status::OK();
+}
+
+void SaveRegistry(serde::Writer* writer,
+                  const obs::MetricsRegistry& registry) {
+  const std::map<std::string, int64_t> counters = registry.CounterTotals();
+  writer->WriteU64(counters.size());
+  for (const auto& [name, value] : counters) {
+    writer->WriteString(name);
+    writer->WriteI64(value);
+  }
+  size_t num_gauges = 0;
+  registry.ForEachGauge(
+      [&num_gauges](const std::string&, const obs::Gauge&) {
+        ++num_gauges;
+      });
+  writer->WriteU64(num_gauges);
+  registry.ForEachGauge(
+      [writer](const std::string& name, const obs::Gauge& gauge) {
+        writer->WriteString(name);
+        writer->WriteDouble(gauge.value());
+        writer->WriteDouble(gauge.max());
+      });
+  size_t num_histograms = 0;
+  registry.ForEachHistogram(
+      [&num_histograms](const std::string&, const obs::Histogram&) {
+        ++num_histograms;
+      });
+  writer->WriteU64(num_histograms);
+  registry.ForEachHistogram([writer](const std::string& name,
+                                     const obs::Histogram& histogram) {
+    writer->WriteString(name);
+    writer->WriteU64(histogram.upper_bounds().size());
+    for (const double bound : histogram.upper_bounds()) {
+      writer->WriteDouble(bound);
+    }
+    writer->WriteI64(histogram.count());
+    writer->WriteDouble(histogram.sum());
+    writer->WriteDouble(histogram.min());
+    writer->WriteDouble(histogram.max());
+    for (const int64_t bucket : histogram.bucket_counts()) {
+      writer->WriteI64(bucket);
+    }
+  });
+}
+
+Status LoadRegistry(serde::Reader* reader, obs::MetricsRegistry* registry) {
+  DT_ASSIGN_OR_RETURN(const uint64_t num_counters, reader->ReadU64());
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    DT_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
+    DT_ASSIGN_OR_RETURN(const int64_t value, reader->ReadI64());
+    registry->GetCounter(name)->Restore(value);
+  }
+  DT_ASSIGN_OR_RETURN(const uint64_t num_gauges, reader->ReadU64());
+  for (uint64_t i = 0; i < num_gauges; ++i) {
+    DT_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
+    DT_ASSIGN_OR_RETURN(const double value, reader->ReadDouble());
+    DT_ASSIGN_OR_RETURN(const double max, reader->ReadDouble());
+    registry->GetGauge(name)->Restore(value, max);
+  }
+  DT_ASSIGN_OR_RETURN(const uint64_t num_histograms, reader->ReadU64());
+  for (uint64_t i = 0; i < num_histograms; ++i) {
+    DT_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
+    DT_ASSIGN_OR_RETURN(const uint64_t num_bounds, reader->ReadU64());
+    std::vector<double> bounds(num_bounds);
+    for (uint64_t b = 0; b < num_bounds; ++b) {
+      DT_ASSIGN_OR_RETURN(bounds[b], reader->ReadDouble());
+    }
+    DT_ASSIGN_OR_RETURN(const int64_t count, reader->ReadI64());
+    DT_ASSIGN_OR_RETURN(const double sum, reader->ReadDouble());
+    DT_ASSIGN_OR_RETURN(const double min, reader->ReadDouble());
+    DT_ASSIGN_OR_RETURN(const double max, reader->ReadDouble());
+    std::vector<int64_t> buckets(num_bounds + 1);
+    for (uint64_t b = 0; b < buckets.size(); ++b) {
+      DT_ASSIGN_OR_RETURN(buckets[b], reader->ReadI64());
+    }
+    registry->GetHistogram(name, bounds)
+        ->Restore(count, sum, min, max, std::move(buckets));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void QuerySession::SaveState(serde::Writer* writer) const {
+  writer->WriteDouble(session_time_);
+  writer->WriteBool(saw_arrival_);
+  writer->WriteI64(next_window_to_emit_);
+  writer->WriteI64(last_window_seen_);
+  writer->WriteBool(finished_);
+  writer->WriteDouble(effective_from_);
+
+  writer->WriteI64(stats_.tuples_ingested);
+  writer->WriteI64(stats_.tuples_kept);
+  writer->WriteI64(stats_.tuples_dropped);
+  writer->WriteI64(stats_.windows_emitted);
+  writer->WriteDouble(stats_.exact_work_seconds);
+  writer->WriteDouble(stats_.synopsis_work_seconds);
+  writer->WriteDouble(stats_.final_engine_time);
+
+  writer->WriteU64(lanes_by_name_.size());
+  for (const auto& [name, lane] : lanes_by_name_) {
+    writer->WriteString(name);
+    writer->WriteDouble(lane->admit_from);
+    lane->queue->SaveState(writer);
+    writer->WriteBool(lane->synopsizer != nullptr);
+    if (lane->synopsizer != nullptr) lane->synopsizer->SaveState(writer);
+    writer->WriteU64(lane->kept_buffers.size());
+    for (const auto& [window, relation] : lane->kept_buffers) {
+      writer->WriteI64(window);
+      SaveRelation(writer, relation);
+    }
+    writer->WriteU64(lane->dropped_counts.size());
+    for (const auto& [window, count] : lane->dropped_counts) {
+      writer->WriteI64(window);
+      writer->WriteI64(count);
+    }
+  }
+
+  writer->WriteU64(results_.size());
+  for (const WindowResult& result : results_) {
+    SaveWindowResult(writer, result);
+  }
+
+  writer->WriteU64(trace_.records().size());
+  for (const obs::WindowTraceRecord& record : trace_.records()) {
+    SaveTraceRecord(writer, record);
+  }
+  writer->WriteI64(trace_.total_recorded());
+
+  SaveRegistry(writer, metrics_);
+}
+
+Status QuerySession::LoadState(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(session_time_, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(saw_arrival_, reader->ReadBool());
+  DT_ASSIGN_OR_RETURN(next_window_to_emit_, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(last_window_seen_, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(finished_, reader->ReadBool());
+  DT_ASSIGN_OR_RETURN(effective_from_, reader->ReadDouble());
+
+  DT_ASSIGN_OR_RETURN(stats_.tuples_ingested, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(stats_.tuples_kept, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(stats_.tuples_dropped, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(stats_.windows_emitted, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(stats_.exact_work_seconds, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(stats_.synopsis_work_seconds, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(stats_.final_engine_time, reader->ReadDouble());
+
+  DT_ASSIGN_OR_RETURN(const uint64_t num_lanes, reader->ReadU64());
+  if (num_lanes != lanes_by_name_.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: lane count %llu does not match the rebuilt query's "
+        "%zu lane(s)",
+        static_cast<unsigned long long>(num_lanes),
+        lanes_by_name_.size()));
+  }
+  for (auto& [name, lane] : lanes_by_name_) {
+    DT_ASSIGN_OR_RETURN(const std::string saved_name,
+                        reader->ReadString());
+    if (saved_name != name) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: lane '%s' does not match the rebuilt query's "
+          "lane '%s'",
+          saved_name.c_str(), name.c_str()));
+    }
+    DT_ASSIGN_OR_RETURN(lane->admit_from, reader->ReadDouble());
+    DT_RETURN_IF_ERROR(lane->queue->LoadState(reader));
+    DT_ASSIGN_OR_RETURN(const bool has_synopsizer, reader->ReadBool());
+    if (has_synopsizer != (lane->synopsizer != nullptr)) {
+      return Status::InvalidArgument(
+          "snapshot: synopsizer presence does not match the rebuilt "
+          "session's shedding strategy");
+    }
+    if (lane->synopsizer != nullptr) {
+      DT_RETURN_IF_ERROR(lane->synopsizer->LoadState(reader));
+    }
+    DT_ASSIGN_OR_RETURN(const uint64_t num_buffers, reader->ReadU64());
+    lane->kept_buffers.clear();
+    for (uint64_t i = 0; i < num_buffers; ++i) {
+      DT_ASSIGN_OR_RETURN(const WindowId window, reader->ReadI64());
+      exec::Relation relation;
+      DT_RETURN_IF_ERROR(LoadRelation(reader, &relation));
+      lane->kept_buffers.emplace(window, std::move(relation));
+    }
+    DT_ASSIGN_OR_RETURN(const uint64_t num_counts, reader->ReadU64());
+    lane->dropped_counts.clear();
+    for (uint64_t i = 0; i < num_counts; ++i) {
+      DT_ASSIGN_OR_RETURN(const WindowId window, reader->ReadI64());
+      DT_ASSIGN_OR_RETURN(const int64_t count, reader->ReadI64());
+      lane->dropped_counts.emplace(window, count);
+    }
+  }
+
+  DT_ASSIGN_OR_RETURN(const uint64_t num_results, reader->ReadU64());
+  results_.clear();
+  for (uint64_t i = 0; i < num_results; ++i) {
+    WindowResult result;
+    DT_RETURN_IF_ERROR(LoadWindowResult(reader, &result));
+    results_.push_back(std::move(result));
+  }
+
+  DT_ASSIGN_OR_RETURN(const uint64_t num_records, reader->ReadU64());
+  std::vector<obs::WindowTraceRecord> records(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    DT_RETURN_IF_ERROR(LoadTraceRecord(reader, &records[i]));
+  }
+  DT_ASSIGN_OR_RETURN(const int64_t total_recorded, reader->ReadI64());
+  trace_.Restore(std::move(records), total_recorded);
+
+  // The registry restores last: lane restore above touched the depth
+  // gauges (SetInstruments/LoadState re-set them), and absolute restore
+  // corrects every value and high-watermark to the donor's.
+  return LoadRegistry(reader, &metrics_);
 }
 
 }  // namespace datatriage::server

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,9 +19,25 @@
 #include "src/rewrite/data_triage_rewrite.h"
 #include "src/server/ingest.h"
 
+namespace datatriage::serde {
+class Writer;
+class Reader;
+}  // namespace datatriage::serde
+
 namespace datatriage::server {
 
 using SessionId = uint32_t;
+
+/// Per-session lifecycle (DESIGN.md §14). A session is kActive from
+/// RegisterQuery until UnregisterQuery detaches its lanes; a detached
+/// session is drained (Finish ran) and keeps serving results, stats, and
+/// metrics reads but receives no further arrivals.
+enum class SessionLifecycle {
+  kActive,
+  kDetached,
+};
+
+std::string_view SessionLifecycleToString(SessionLifecycle lifecycle);
 
 /// One bound continuous query hosted by a StreamServer: the exact plan,
 /// shadow plan, merge state, window sink, per-session obs registry, and
@@ -89,6 +106,37 @@ class QuerySession {
   bool ReadsStream(std::string_view name) const {
     return lanes_by_name_.find(name) != lanes_by_name_.end();
   }
+
+  SessionLifecycle lifecycle() const { return lifecycle_; }
+  /// Marks the session detached. Called by the server after Finish, once
+  /// the session's lanes have been removed from routing.
+  void MarkDetached() { lifecycle_ = SessionLifecycle::kDetached; }
+
+  /// The SQL text the session was registered with; empty when it was
+  /// registered from an already-bound query (such sessions cannot be
+  /// snapshotted — the snapshot re-binds from SQL on restore).
+  const std::string& sql() const { return sql_; }
+  void set_sql(std::string sql) { sql_ = std::move(sql); }
+
+  const engine::EngineConfig& config() const { return config_; }
+
+  /// Mid-stream registration (DESIGN.md §14): admits events from `t` on
+  /// by stamping every lane's admission horizon. Must be called before
+  /// the session sees any arrival.
+  void SetEffectiveFrom(VirtualTime t);
+  /// The admission horizon; -inf for sessions registered before the
+  /// first push.
+  VirtualTime effective_from() const { return effective_from_; }
+
+  /// Session-snapshot hooks (DESIGN.md §14): everything the session's
+  /// future behavior and exports depend on beyond (SQL, config) — both
+  /// clock states, window bookkeeping, per-lane queue/synopsis/buffer
+  /// state, buffered results, the trace, and the metrics registry.
+  /// LoadState expects a freshly Made session for the same (SQL, config)
+  /// and overwrites its state in place; the registry is restored last so
+  /// gauge writes during lane restore are corrected to absolute values.
+  void SaveState(serde::Writer* writer) const;
+  Status LoadState(serde::Reader* reader);
 
  private:
   QuerySession(SessionId id, rewrite::TriagedQuery triaged,
@@ -171,6 +219,10 @@ class QuerySession {
   WindowSink sink_;
   engine::EngineStats stats_;
   bool finished_ = false;
+  SessionLifecycle lifecycle_ = SessionLifecycle::kActive;
+  std::string sql_;
+  VirtualTime effective_from_ =
+      -std::numeric_limits<VirtualTime>::infinity();
 
   // --- Observability (src/obs/). The registry owns every metric; the
   // pointers below are hot-path handles resolved once in Init.

@@ -1,0 +1,155 @@
+#include "src/server/snapshot.h"
+
+#include <utility>
+
+#include "src/common/digest.h"
+#include "src/common/serde.h"
+#include "src/common/string_util.h"
+
+namespace datatriage::server {
+
+namespace {
+
+constexpr std::string_view kMagic = "DTSS";
+constexpr size_t kMd5HexLength = 32;
+
+}  // namespace
+
+std::string SealSnapshot(std::string payload) {
+  serde::Writer header;
+  for (const char c : kMagic) {
+    header.WriteU8(static_cast<uint8_t>(c));
+  }
+  header.WriteU32(kSnapshotVersion);
+  header.WriteU64(payload.size());
+  std::string bytes = std::move(header).TakeBytes();
+  const std::string digest = Md5Hex(payload);
+  bytes += payload;
+  bytes += digest;
+  return bytes;
+}
+
+Result<std::string> OpenSnapshot(std::string_view bytes) {
+  serde::Reader reader(bytes);
+  for (size_t i = 0; i < kMagic.size(); ++i) {
+    DT_ASSIGN_OR_RETURN(const uint8_t byte, reader.ReadU8());
+    if (byte != static_cast<uint8_t>(kMagic[i])) {
+      return Status::InvalidArgument(
+          "snapshot: bad magic — not a StreamServer session snapshot");
+    }
+  }
+  DT_ASSIGN_OR_RETURN(const uint32_t version, reader.ReadU32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: version %u is not supported (this build reads "
+        "version %u)",
+        version, kSnapshotVersion));
+  }
+  DT_ASSIGN_OR_RETURN(const uint64_t payload_size, reader.ReadU64());
+  if (reader.remaining() != payload_size + kMd5HexLength) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: frame declares a %llu-byte payload but %zu byte(s) "
+        "follow the header (expected payload + 32-char MD5)",
+        static_cast<unsigned long long>(payload_size),
+        reader.remaining()));
+  }
+  const size_t payload_offset = bytes.size() - reader.remaining();
+  const std::string_view payload =
+      bytes.substr(payload_offset, payload_size);
+  const std::string_view stored_digest =
+      bytes.substr(payload_offset + payload_size);
+  const std::string computed_digest = Md5Hex(payload);
+  if (computed_digest != stored_digest) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: payload MD5 %s does not match the stored digest "
+        "%.*s — the snapshot is corrupt",
+        computed_digest.c_str(), static_cast<int>(stored_digest.size()),
+        stored_digest.data()));
+  }
+  return std::string(payload);
+}
+
+void SaveEngineConfig(serde::Writer* writer,
+                      const engine::EngineConfig& config) {
+  writer->WriteU8(static_cast<uint8_t>(config.strategy));
+  writer->WriteU8(static_cast<uint8_t>(config.synopsis.type));
+  writer->WriteDouble(config.synopsis.grid.cell_width);
+  writer->WriteU64(config.synopsis.mhist.max_buckets);
+  writer->WriteBool(config.synopsis.mhist.aligned);
+  writer->WriteDouble(config.synopsis.mhist.alignment_step);
+  writer->WriteU64(config.synopsis.reservoir.capacity);
+  writer->WriteU64(config.synopsis.reservoir.seed);
+  writer->WriteDouble(config.synopsis.avi.cell_width);
+  writer->WriteBool(config.synopsis.vectorized_exec);
+  writer->WriteU64(config.queue_capacity);
+  writer->WriteU8(static_cast<uint8_t>(config.drop_policy));
+  writer->WriteU64(config.synergistic_candidates);
+  writer->WriteDouble(config.cost_model.exact_tuple_cost);
+  writer->WriteDouble(config.cost_model.synopsis_insert_cost);
+  writer->WriteDouble(config.cost_model.exact_work_unit_cost);
+  writer->WriteDouble(config.cost_model.synopsis_work_unit_cost);
+  writer->WriteDouble(config.cost_model.emission_overhead);
+  writer->WriteDouble(config.cost_model.delay_factor);
+  writer->WriteU64(config.seed);
+  writer->WriteBool(config.vectorized_exec);
+  writer->WriteU64(config.vectorized_min_rows);
+}
+
+Result<engine::EngineConfig> LoadEngineConfig(serde::Reader* reader) {
+  engine::EngineConfig config;
+  DT_ASSIGN_OR_RETURN(const uint8_t strategy, reader->ReadU8());
+  if (strategy > static_cast<uint8_t>(
+                     triage::SheddingStrategy::kDataTriage)) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: unknown shedding strategy tag %d", strategy));
+  }
+  config.strategy = static_cast<triage::SheddingStrategy>(strategy);
+  DT_ASSIGN_OR_RETURN(const uint8_t synopsis_type, reader->ReadU8());
+  if (synopsis_type > static_cast<uint8_t>(synopsis::SynopsisType::kExact)) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: unknown synopsis type tag %d", synopsis_type));
+  }
+  config.synopsis.type =
+      static_cast<synopsis::SynopsisType>(synopsis_type);
+  DT_ASSIGN_OR_RETURN(config.synopsis.grid.cell_width,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.synopsis.mhist.max_buckets,
+                      reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(config.synopsis.mhist.aligned, reader->ReadBool());
+  DT_ASSIGN_OR_RETURN(config.synopsis.mhist.alignment_step,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.synopsis.reservoir.capacity,
+                      reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(config.synopsis.reservoir.seed, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(config.synopsis.avi.cell_width,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.synopsis.vectorized_exec,
+                      reader->ReadBool());
+  DT_ASSIGN_OR_RETURN(config.queue_capacity, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint8_t drop_policy, reader->ReadU8());
+  if (drop_policy >
+      static_cast<uint8_t>(triage::DropPolicyKind::kSynergistic)) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: unknown drop policy tag %d", drop_policy));
+  }
+  config.drop_policy = static_cast<triage::DropPolicyKind>(drop_policy);
+  DT_ASSIGN_OR_RETURN(config.synergistic_candidates, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(config.cost_model.exact_tuple_cost,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.cost_model.synopsis_insert_cost,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.cost_model.exact_work_unit_cost,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.cost_model.synopsis_work_unit_cost,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.cost_model.emission_overhead,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.cost_model.delay_factor,
+                      reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(config.seed, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(config.vectorized_exec, reader->ReadBool());
+  DT_ASSIGN_OR_RETURN(config.vectorized_min_rows, reader->ReadU64());
+  return config;
+}
+
+}  // namespace datatriage::server

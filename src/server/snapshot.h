@@ -1,0 +1,54 @@
+#ifndef DATATRIAGE_SERVER_SNAPSHOT_H_
+#define DATATRIAGE_SERVER_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/engine/config.h"
+
+namespace datatriage::serde {
+class Writer;
+class Reader;
+}  // namespace datatriage::serde
+
+namespace datatriage::server {
+
+/// A sealed, self-describing session snapshot (DESIGN.md §14): everything
+/// needed to rebuild one QuerySession on any StreamServer over the same
+/// catalog — SQL text, engine config, plane-clock state, and the session's
+/// full SaveState blob — framed with a magic/version header and an MD5 of
+/// the payload so corruption and version skew fail loudly instead of
+/// restoring garbage.
+///
+/// Determinism contract: restore(snapshot(s)) is byte-equivalent to never
+/// snapshotting — the restored session's future results, metrics JSON, and
+/// drop-cause partitions match the donor's exactly (tests/ and src/sim/
+/// oracles enforce this at worker counts 0..4).
+struct SessionSnapshot {
+  std::string bytes;
+};
+
+/// Current snapshot wire version. Bump when the payload layout changes;
+/// OpenSnapshot rejects snapshots from other versions by name.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Frames `payload` as a complete snapshot byte string:
+/// magic "DTSS" + u32 version + u64 payload size + payload + 32-char MD5
+/// hex of the payload.
+std::string SealSnapshot(std::string payload);
+
+/// Validates the frame (magic, version, length, MD5) and returns the
+/// payload. InvalidArgument with a specific message on any mismatch.
+Result<std::string> OpenSnapshot(std::string_view bytes);
+
+/// EngineConfig serialization for the snapshot payload. Every field that
+/// affects behavior is round-tripped — the restored session must make the
+/// same shedding, synopsis, and cost-model decisions as the donor.
+void SaveEngineConfig(serde::Writer* writer,
+                      const engine::EngineConfig& config);
+Result<engine::EngineConfig> LoadEngineConfig(serde::Reader* reader);
+
+}  // namespace datatriage::server
+
+#endif  // DATATRIAGE_SERVER_SNAPSHOT_H_

@@ -1,8 +1,10 @@
 #include "src/server/stream_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "src/common/serde.h"
 #include "src/common/string_util.h"
 #include "src/obs/export.h"
 #include "src/plan/binder.h"
@@ -45,25 +47,147 @@ Result<SessionId> StreamServer::RegisterQuery(
                       sql::ParseStatement(query_sql));
   DT_ASSIGN_OR_RETURN(plan::BoundQuery bound,
                       plan::BindStatement(statement, plane_.catalog()));
-  return RegisterQuery(std::move(bound), std::move(config));
+  DT_ASSIGN_OR_RETURN(const SessionId id,
+                      RegisterQuery(std::move(bound), std::move(config)));
+  // Keep the SQL text: it is what SnapshotSession serializes so restore
+  // can re-parse and re-bind the query on the target server.
+  sessions_[id]->set_sql(query_sql);
+  return id;
 }
 
 Result<SessionId> StreamServer::RegisterQuery(plan::BoundQuery query,
                                               engine::EngineConfig config) {
   DT_RETURN_IF_ERROR(config.Validate());
-  if (state_ != ServerState::kRegistering) {
-    return Status::FailedPrecondition(StringPrintf(
-        "RegisterQuery after Push (server state %s): register every "
-        "query while the server is still kRegistering, so sessions see "
-        "the whole feed",
-        std::string(ServerStateName(state_)).c_str()));
+  if (state_ == ServerState::kFinished) {
+    return Status::FailedPrecondition(
+        "RegisterQuery on a finished StreamServer (state kFinished): "
+        "results are sealed once Finish has run");
   }
   const SessionId id = static_cast<SessionId>(sessions_.size());
   DT_ASSIGN_OR_RETURN(
       std::unique_ptr<QuerySession> session,
       QuerySession::Make(id, &plane_, std::move(query), std::move(config)));
+  if (plane_.saw_arrival()) {
+    // Mid-stream registration (DESIGN.md §14): admit from the next window
+    // boundary of this session's own slide after the arrival clock, so
+    // the session only ever observes whole windows — its output matches a
+    // standalone engine fed the feed suffix from that boundary on.
+    const VirtualDuration slide = session->window_slide_seconds();
+    const VirtualTime effective_from =
+        (std::floor(plane_.now() / slide) + 1.0) * slide;
+    session->SetEffectiveFrom(effective_from);
+    CountLifecycleEvent(id, "registered_mid_stream");
+  }
   sessions_.push_back(std::move(session));
+  CountLifecycleEvent(id, "registered");
   return id;
+}
+
+Status StreamServer::UnregisterQuery(SessionId id) {
+  DT_ASSIGN_OR_RETURN(QuerySession * session, FindSession(id));
+  if (state_ == ServerState::kFinished) {
+    return Status::FailedPrecondition(
+        "UnregisterQuery on a finished StreamServer (state kFinished): "
+        "Finish already drained and detached every session");
+  }
+  if (session->lifecycle() == SessionLifecycle::kDetached) {
+    return Status::FailedPrecondition(StringPrintf(
+        "session %u is already kDetached: UnregisterQuery drains and "
+        "detaches a session once; its results and metrics stay readable",
+        id));
+  }
+  // Quiesce the pool so the drain below owns the session's state, then
+  // finish inline: queued tuples process or shed, in-flight windows emit.
+  DT_RETURN_IF_ERROR(Quiesce());
+  Status drained = session->Finish();
+  plane_.Unsubscribe(session);
+  session->MarkDetached();
+  CountLifecycleEvent(id, "unregistered");
+  return drained;
+}
+
+Result<SessionSnapshot> StreamServer::SnapshotSession(SessionId id) {
+  DT_ASSIGN_OR_RETURN(QuerySession * session, FindSession(id));
+  if (session->lifecycle() == SessionLifecycle::kDetached) {
+    return Status::FailedPrecondition(StringPrintf(
+        "session %u is kDetached: a drained session has no live state "
+        "to snapshot — snapshot before UnregisterQuery",
+        id));
+  }
+  if (session->sql().empty()) {
+    return Status::FailedPrecondition(StringPrintf(
+        "session %u was registered from an already-bound query: "
+        "snapshots serialize the SQL text so restore can re-bind — "
+        "register via the SQL overload to make a session snapshottable",
+        id));
+  }
+  DT_RETURN_IF_ERROR(Quiesce());
+  serde::Writer writer;
+  writer.WriteString(session->sql());
+  SaveEngineConfig(&writer, session->config());
+  writer.WriteBool(plane_.saw_arrival());
+  writer.WriteDouble(plane_.now());
+  session->SaveState(&writer);
+  CountLifecycleEvent(id, "snapshots");
+  return SessionSnapshot{SealSnapshot(std::move(writer).TakeBytes())};
+}
+
+Result<SessionId> StreamServer::RestoreSession(
+    const SessionSnapshot& snapshot) {
+  if (state_ == ServerState::kFinished) {
+    return Status::FailedPrecondition(
+        "RestoreSession on a finished StreamServer (state kFinished): "
+        "results are sealed once Finish has run");
+  }
+  DT_ASSIGN_OR_RETURN(const std::string payload,
+                      OpenSnapshot(snapshot.bytes));
+  serde::Reader reader(payload);
+  DT_ASSIGN_OR_RETURN(const std::string sql, reader.ReadString());
+  DT_ASSIGN_OR_RETURN(engine::EngineConfig config,
+                      LoadEngineConfig(&reader));
+  DT_ASSIGN_OR_RETURN(const bool donor_saw_arrival, reader.ReadBool());
+  DT_ASSIGN_OR_RETURN(const VirtualTime donor_clock, reader.ReadDouble());
+  // Rebuild the session the same way it was first made (parse, bind,
+  // rewrite, subscribe), then overwrite its state from the snapshot —
+  // LoadState also restores each lane's admission horizon, superseding
+  // any effective-from stamp the re-registration just applied.
+  DT_ASSIGN_OR_RETURN(const SessionId id,
+                      RegisterQuery(sql, std::move(config)));
+  DT_RETURN_IF_ERROR(sessions_[id]->LoadState(&reader));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: %zu trailing byte(s) after the session state",
+        reader.remaining()));
+  }
+  if (donor_saw_arrival) {
+    // The restored plane must refuse out-of-order arrivals the donor's
+    // plane had already rejected the past of.
+    plane_.AdvanceClock(donor_clock);
+  }
+  CountLifecycleEvent(id, "restored");
+  return id;
+}
+
+size_t StreamServer::live_session_count() const {
+  size_t live = 0;
+  for (const std::unique_ptr<QuerySession>& session : sessions_) {
+    if (session->lifecycle() == SessionLifecycle::kActive) ++live;
+  }
+  return live;
+}
+
+Status StreamServer::Quiesce() {
+  if (pool_ == nullptr) return Status::OK();
+  return pool_->Drain();
+}
+
+void StreamServer::CountLifecycleEvent(SessionId id,
+                                       std::string_view event) {
+  plane_.mutable_metrics()
+      .GetCounter(StringPrintf("session.%u.lifecycle.%.*s", id,
+                               static_cast<int>(event.size()),
+                               event.data()))
+      ->Add(1);
 }
 
 Result<StreamId> StreamServer::InternStream(std::string_view name) {
@@ -86,6 +210,17 @@ Status StreamServer::EnsureStreaming() {
     return Status::FailedPrecondition(
         "Push on a finished StreamServer (state kFinished): results are "
         "sealed once Finish has run");
+  }
+  if (live_session_count() == 0) {
+    // Reject before any state change (in particular, before the
+    // kRegistering -> kStreaming transition): a feed pushed at a server
+    // with no attached session would be dropped wholesale, which is
+    // load shedding by accident, not by policy.
+    return Status::FailedPrecondition(StringPrintf(
+        "Push with zero live sessions: this server hosts %zu "
+        "session(s) but none is attached — RegisterQuery (or "
+        "RestoreSession) before pushing",
+        sessions_.size()));
   }
   if (state_ == ServerState::kRegistering) {
     state_ = ServerState::kStreaming;

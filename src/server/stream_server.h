@@ -12,16 +12,20 @@
 #include "src/engine/config.h"
 #include "src/server/ingest.h"
 #include "src/server/query_session.h"
+#include "src/server/snapshot.h"
 #include "src/server/worker_pool.h"
 
 namespace datatriage::server {
 
-/// Explicit server lifecycle. The transitions are one-way:
+/// Coarse server phase. The transitions are one-way:
 /// kRegistering --first Push/PushBatch--> kStreaming --Finish--> kFinished.
-/// RegisterQuery is legal only while kRegistering; Push/PushBatch are
-/// legal until kFinished; results/metrics accessors are meaningful once
-/// kFinished (and, in parallel mode, safe only then — workers may still
-/// be executing while kStreaming).
+/// The phase gates only what is sealed: pushing and registering both end
+/// at kFinished, and results/metrics accessors are meaningful once
+/// kFinished (in parallel mode, safe only then — workers may still be
+/// executing while kStreaming). Query membership is NOT gated by the
+/// phase: sessions have their own lifecycle (SessionLifecycle, DESIGN.md
+/// §14) and may register, unregister, snapshot, and restore while the
+/// server is kRegistering or kStreaming.
 enum class ServerState { kRegistering, kStreaming, kFinished };
 
 /// "kRegistering" / "kStreaming" / "kFinished", for error messages.
@@ -29,15 +33,18 @@ std::string_view ServerStateName(ServerState state);
 
 /// Multi-query facade over one shared ingest plane (paper Fig. 1 scaled
 /// out: one triage queue per data source *per consumer*, one boundary per
-/// feed). Register every query up front, push one interleaved event feed,
-/// and read each session's results and stats independently:
+/// feed). Register queries — up front or mid-stream — push one
+/// interleaved event feed, and read each session's results and stats
+/// independently:
 ///
 ///   StreamServer server(catalog, {.worker_threads = 4});
 ///   auto a = server.RegisterQuery(sql_a, config_a);
-///   auto b = server.RegisterQuery(sql_b, config_b);
-///   server.PushBatch(events);
+///   server.PushBatch(morning_events);
+///   auto b = server.RegisterQuery(sql_b, config_b);  // joins live
+///   server.PushBatch(afternoon_events);
+///   server.UnregisterQuery(*a);                      // drains + detaches
 ///   server.Finish();
-///   for (WindowResult& r : server.session(*a).TakeResults()) ...
+///   for (WindowResult& r : server.session(*b).TakeResults()) ...
 ///
 /// Each session's output is byte-identical to a standalone
 /// ContinuousQueryEngine run of the same (query, config) over the same
@@ -46,6 +53,15 @@ std::string_view ServerStateName(ServerState state);
 /// holds for every worker_threads setting: sessions are statically
 /// sharded across the pool, so each one is still consumed in feed order
 /// by a single thread (DESIGN.md Sec. 11).
+///
+/// Mid-stream lifecycle (DESIGN.md §14): a query registered at arrival
+/// time t observes exactly the windows whose span starts on or after the
+/// next window boundary after t — byte-identical to a standalone engine
+/// fed that suffix of the feed. UnregisterQuery drains the session
+/// (emitting its in-flight windows) before detaching its lanes; the
+/// detached session keeps serving results, stats, and metrics.
+/// SnapshotSession/RestoreSession round-trip a session through a sealed,
+/// versioned byte format for migration and recovery.
 class StreamServer {
  public:
   explicit StreamServer(Catalog catalog,
@@ -56,13 +72,44 @@ class StreamServer {
 
   ~StreamServer();
 
-  /// Parses, binds, rewrites, and hosts one continuous query. Legal only
-  /// in state kRegistering (before the first push) — FailedPrecondition
-  /// otherwise.
+  /// Parses, binds, rewrites, and hosts one continuous query. Legal while
+  /// kRegistering or kStreaming — FailedPrecondition once kFinished. A
+  /// query registered mid-stream (after arrivals) is stamped with an
+  /// admission horizon at the next window boundary of its own slide after
+  /// the arrival clock, so it observes exactly the whole-window suffix of
+  /// the feed (DESIGN.md §14) and its results stay byte-identical to a
+  /// standalone engine fed that suffix.
   Result<SessionId> RegisterQuery(const std::string& query_sql,
                                   engine::EngineConfig config);
   Result<SessionId> RegisterQuery(plan::BoundQuery query,
                                   engine::EngineConfig config);
+
+  /// Drains `id` — its queued tuples are processed or shed and every
+  /// in-flight window emits, exactly as Finish would — then detaches its
+  /// lanes from routing and marks it kDetached. The session object stays
+  /// owned by the server: results, stats, metrics, and trace remain
+  /// readable. NotFound for an unknown id; FailedPrecondition when the
+  /// session is already detached or the server is finished. In parallel
+  /// mode the pool is drained first, so the detach is quiescent.
+  Status UnregisterQuery(SessionId id);
+
+  /// Serializes session `id` into a sealed, versioned byte format
+  /// (src/server/snapshot.h): SQL, config, plane clock, window buffers,
+  /// triage-queue contents, synopses, drop-RNG state, results, trace, and
+  /// metrics — everything needed for RestoreSession to resume the session
+  /// byte-identically on this or another server over the same catalog.
+  /// NotFound for an unknown id; FailedPrecondition for a detached
+  /// session or one registered from an already-bound query (restore
+  /// re-binds from SQL). Non-invasive: the donor session is unchanged.
+  Result<SessionSnapshot> SnapshotSession(SessionId id);
+
+  /// Rebuilds a session from `snapshot` under a fresh dense id, restoring
+  /// its full state and fast-forwarding this server's arrival clock to at
+  /// least the donor's. The restored session's future output is
+  /// byte-identical to the donor's had it kept running.
+  /// FailedPrecondition once kFinished; InvalidArgument for a corrupt,
+  /// truncated, or version-skewed snapshot.
+  Result<SessionId> RestoreSession(const SessionSnapshot& snapshot);
 
   /// Resolves a stream name to its interned id ahead of pushing, so hot
   /// ingest loops can use the id overload of Push and skip per-event
@@ -79,8 +126,9 @@ class StreamServer {
   /// Delivers one arrival to every session reading its stream. Events
   /// must have finite, non-decreasing timestamps; violations return
   /// InvalidArgument and leave every session untouched. The first push
-  /// (even a failing one) moves the server to kStreaming and seals
-  /// registration; pushing on a finished server is FailedPrecondition.
+  /// moves the server to kStreaming (starting the worker pool when
+  /// configured); pushing on a finished server, or with zero live
+  /// sessions, is FailedPrecondition.
   Status Push(const engine::StreamEvent& event);
   Status Push(StreamId stream, const Tuple& tuple);
 
@@ -98,12 +146,15 @@ class StreamServer {
   Status Finish();
 
   ServerState state() const { return state_; }
-  [[deprecated("use state() == ServerState::kFinished")]] bool finished()
-      const {
-    return state_ == ServerState::kFinished;
-  }
 
+  /// All sessions ever hosted, attached or detached (ids are dense in
+  /// [0, session_count())).
   size_t session_count() const { return sessions_.size(); }
+
+  /// Sessions currently attached to routing (lifecycle kActive). Pushing
+  /// with zero live sessions is FailedPrecondition — the whole feed would
+  /// be dropped on the floor.
+  size_t live_session_count() const;
 
   /// The session behind `id` (results, sink, stats, metrics, trace).
   /// Ids are dense: 0 <= id < session_count(). CHECK-fails on an
@@ -135,11 +186,24 @@ class StreamServer {
   std::string MetricsJson() const;
 
  private:
-  /// Moves kRegistering -> kStreaming on the first push: seals
-  /// registration and, when worker_threads > 0, starts the pool and
-  /// installs the plane dispatcher. Also surfaces any error a worker
-  /// recorded since the previous push (FailedPrecondition on kFinished).
+  /// Moves kRegistering -> kStreaming on the first push and, when
+  /// worker_threads > 0, starts the pool and installs the plane
+  /// dispatcher (the pool size is fixed here; sessions registered later
+  /// shard onto the existing workers). Rejects pushes on a finished
+  /// server or with zero live sessions, and surfaces any error a worker
+  /// recorded since the previous push.
   Status EnsureStreaming();
+
+  /// Quiesces the worker pool (barrier over every dispatched task) so
+  /// lifecycle operations can touch session state on this thread. No-op
+  /// in serial mode.
+  Status Quiesce();
+
+  /// Bumps the plane-registry counter session.<id>.lifecycle.<event>.
+  /// Lifecycle counters live in the plane registry — not the session's —
+  /// so a session's own metrics stay byte-identical to a standalone
+  /// engine run.
+  void CountLifecycleEvent(SessionId id, std::string_view event);
 
   /// Folds the pool's post-barrier accounting into the plane registry
   /// as server.worker.<k>.* instruments.

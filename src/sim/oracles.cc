@@ -1,5 +1,6 @@
 #include "src/sim/oracles.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <span>
@@ -93,12 +94,18 @@ Status CompareOutputs(const QueryRunOutput& a, const QueryRunOutput& b,
   return Status::OK();
 }
 
-/// Events (from the pushed prefix) on the streams `query` reads.
+/// Events (from the pushed prefix) on the streams `query` reads, cut to
+/// the query's churn envelope: nothing before `admit_from`, nothing at
+/// or past its unregistration point.
 std::vector<StreamEvent> QueryFeed(const SimScenario& scenario,
-                                   const SimQuery& query) {
+                                   const SimQuery& query,
+                                   VirtualTime admit_from) {
   std::vector<StreamEvent> feed;
-  for (size_t i = 0; i < scenario.events_to_push; ++i) {
+  const size_t limit =
+      std::min(scenario.events_to_push, query.unregister_at_event);
+  for (size_t i = 0; i < limit; ++i) {
     const StreamEvent& event = scenario.events[i];
+    if (event.tuple.timestamp() < admit_from) continue;
     for (const std::string& stream : query.streams) {
       if (event.stream == stream) {
         feed.push_back(event);
@@ -120,12 +127,58 @@ Result<ServerRunOutput> RunOnServer(const SimScenario& scenario,
   if (install_faults) {
     DT_RETURN_IF_ERROR(server.SetSimFaults(&scenario.faults));
   }
-  std::vector<server::SessionId> ids;
-  for (const SimQuery& query : scenario.queries) {
-    DT_ASSIGN_OR_RETURN(server::SessionId id,
-                        server.RegisterQuery(query.sql, query.config));
-    ids.push_back(id);
+  const size_t num_queries = scenario.queries.size();
+  std::vector<server::SessionId> ids(num_queries, 0);
+  ServerRunOutput out;
+  out.sessions.resize(num_queries);
+
+  const auto register_query = [&](size_t q) -> Status {
+    DT_ASSIGN_OR_RETURN(ids[q],
+                        server.RegisterQuery(scenario.queries[q].sql,
+                                             scenario.queries[q].config));
+    out.sessions[q].admit_from = server.session(ids[q]).effective_from();
+    return Status::OK();
+  };
+  for (size_t q = 0; q < num_queries; ++q) {
+    if (scenario.queries[q].register_at_event == 0) {
+      DT_RETURN_IF_ERROR(register_query(q));
+    }
   }
+
+  // Churn plan: lifecycle ops run immediately before their event index
+  // is pushed. Batches are split at op points, so a PushBatch never
+  // straddles a registration, unregistration, or snapshot.
+  const auto apply_ops_before = [&](size_t i) -> Status {
+    for (size_t q = 0; q < num_queries; ++q) {
+      if (scenario.queries[q].register_at_event == i && i > 0) {
+        DT_RETURN_IF_ERROR(register_query(q));
+      }
+      if (scenario.queries[q].unregister_at_event == i) {
+        DT_RETURN_IF_ERROR(server.UnregisterQuery(ids[q]));
+      }
+    }
+    if (scenario.snapshot_at_event == i) {
+      DT_ASSIGN_OR_RETURN(server::SessionSnapshot snapshot,
+                          server.SnapshotSession(ids[0]));
+      out.session_snapshot = std::move(snapshot.bytes);
+    }
+    return Status::OK();
+  };
+  std::vector<size_t> op_points;
+  for (const SimQuery& query : scenario.queries) {
+    if (query.register_at_event > 0) {
+      op_points.push_back(query.register_at_event);
+    }
+    if (query.unregister_at_event != SIZE_MAX) {
+      op_points.push_back(query.unregister_at_event);
+    }
+  }
+  if (scenario.snapshot_at_event != SIZE_MAX) {
+    op_points.push_back(scenario.snapshot_at_event);
+  }
+  std::sort(op_points.begin(), op_points.end());
+  op_points.erase(std::unique(op_points.begin(), op_points.end()),
+                  op_points.end());
 
   const std::span<const StreamEvent> feed(scenario.events.data(),
                                           scenario.events_to_push);
@@ -134,7 +187,12 @@ Result<ServerRunOutput> RunOnServer(const SimScenario& scenario,
   const size_t poison_at =
       scenario.inject_poison_batch ? feed.size() / 2 : feed.size() + 1;
   size_t i = 0;
+  size_t next_op = 0;
   while (i < feed.size()) {
+    if (next_op < op_points.size() && op_points[next_op] == i) {
+      DT_RETURN_IF_ERROR(apply_ops_before(i));
+      ++next_op;
+    }
     if (i == poison_at) {
       std::vector<StreamEvent> poison;
       poison.push_back(feed[i]);  // valid lead event: must NOT leak in
@@ -154,27 +212,38 @@ Result<ServerRunOutput> RunOnServer(const SimScenario& scenario,
     } else {
       size_t n = std::min(scenario.push_batch_size, feed.size() - i);
       if (i < poison_at && poison_at < i + n) n = poison_at - i;
+      if (next_op < op_points.size() && op_points[next_op] < i + n) {
+        n = op_points[next_op] - i;
+      }
       DT_RETURN_IF_ERROR(server.PushBatch(feed.subspan(i, n)));
       i += n;
     }
   }
   DT_RETURN_IF_ERROR(server.Finish());
 
-  ServerRunOutput out;
-  for (size_t q = 0; q < ids.size(); ++q) {
-    out.sessions.push_back(
-        CollectSession(server.session(ids[q]), scenario.queries[q]));
+  for (size_t q = 0; q < num_queries; ++q) {
+    const VirtualTime admit_from = out.sessions[q].admit_from;
+    out.sessions[q] =
+        CollectSession(server.session(ids[q]), scenario.queries[q]);
+    out.sessions[q].admit_from = admit_from;
   }
   return out;
 }
 
 Result<QueryRunOutput> RunOnEngine(const SimScenario& scenario,
-                                   size_t query_index) {
+                                   size_t query_index,
+                                   VirtualTime admit_from) {
   const SimQuery& query = scenario.queries[query_index];
   DT_ASSIGN_OR_RETURN(std::unique_ptr<engine::ContinuousQueryEngine> eng,
                       engine::ContinuousQueryEngine::Make(
                           scenario.catalog, query.sql, query.config));
-  for (size_t i = 0; i < scenario.events_to_push; ++i) {
+  // A mid-stream-registered session sees only events at or after its
+  // admission horizon; an unregistered one drains exactly like Finish,
+  // so the standalone reference stops at its unregistration point.
+  const size_t limit =
+      std::min(scenario.events_to_push, query.unregister_at_event);
+  for (size_t i = 0; i < limit; ++i) {
+    if (scenario.events[i].tuple.timestamp() < admit_from) continue;
     const Status status = eng->Push(scenario.events[i]);
     if (!status.ok() && status.code() != StatusCode::kNotFound) {
       return status;
@@ -186,13 +255,15 @@ Result<QueryRunOutput> RunOnEngine(const SimScenario& scenario,
   out.results_csv = io::FormatResultsCsv(out.results, query.columns);
   out.snapshot = eng->StatsSnapshot();
   out.metrics_json = obs::MetricsJson(eng->metrics(), &eng->trace());
+  out.admit_from = admit_from;
   return out;
 }
 
 Status CheckRunsEquivalent(const ServerRunOutput& a,
                            const ServerRunOutput& b,
                            std::string_view a_label,
-                           std::string_view b_label) {
+                           std::string_view b_label,
+                           bool compare_snapshots) {
   if (a.sessions.size() != b.sessions.size()) {
     return Status::Internal(StringPrintf(
         "session count differs between %s (%zu) and %s (%zu)",
@@ -200,8 +271,22 @@ Status CheckRunsEquivalent(const ServerRunOutput& a,
         std::string(b_label).c_str(), b.sessions.size()));
   }
   for (size_t s = 0; s < a.sessions.size(); ++s) {
+    if (a.sessions[s].admit_from != b.sessions[s].admit_from) {
+      return Status::Internal(StringPrintf(
+          "session %zu admission horizon differs between %s (%g) and "
+          "%s (%g)",
+          s, std::string(a_label).c_str(), a.sessions[s].admit_from,
+          std::string(b_label).c_str(), b.sessions[s].admit_from));
+    }
     DT_RETURN_IF_ERROR(CompareOutputs(a.sessions[s], b.sessions[s], s,
                                       a_label, b_label));
+  }
+  if (compare_snapshots && a.session_snapshot != b.session_snapshot) {
+    return Status::Internal(StringPrintf(
+        "session 0 snapshot bytes differ between %s (%zu byte(s)) and "
+        "%s (%zu byte(s))",
+        std::string(a_label).c_str(), a.session_snapshot.size(),
+        std::string(b_label).c_str(), b.session_snapshot.size()));
   }
   return Status::OK();
 }
@@ -209,13 +294,47 @@ Status CheckRunsEquivalent(const ServerRunOutput& a,
 Status CheckEngineEquivalence(const SimScenario& scenario,
                               const ServerRunOutput& server_run) {
   for (size_t q = 0; q < scenario.queries.size(); ++q) {
-    DT_ASSIGN_OR_RETURN(QueryRunOutput standalone,
-                        RunOnEngine(scenario, q));
+    DT_ASSIGN_OR_RETURN(
+        QueryRunOutput standalone,
+        RunOnEngine(scenario, q, server_run.sessions[q].admit_from));
     DT_RETURN_IF_ERROR(CompareOutputs(server_run.sessions[q], standalone,
                                       q, "hosted session",
                                       "standalone engine"));
   }
   return Status::OK();
+}
+
+Status CheckSnapshotRestore(const SimScenario& scenario,
+                            const ServerRunOutput& base,
+                            bool install_faults) {
+  if (base.session_snapshot.empty()) return Status::OK();
+  engine::StreamServerOptions options = scenario.options;
+  options.worker_threads = 0;
+  server::StreamServer server(scenario.catalog, options);
+  if (install_faults) {
+    DT_RETURN_IF_ERROR(server.SetSimFaults(&scenario.faults));
+  }
+  auto restored =
+      server.RestoreSession(server::SessionSnapshot{base.session_snapshot});
+  if (!restored.ok()) {
+    return Status::Internal(StringPrintf(
+        "snapshot restore failed: %s",
+        restored.status().ToString().c_str()));
+  }
+  // Replay only the remainder of the donor's pushed feed: everything
+  // before the snapshot point is baked into the restored state, and the
+  // restored arrival clock refuses the past. The donor's poison batch
+  // (if any) is not replayed — its rejection was atomic, so it left no
+  // trace in the snapshot. Outputs must match the donor's full run.
+  for (size_t i = scenario.snapshot_at_event; i < scenario.events_to_push;
+       ++i) {
+    DT_RETURN_IF_ERROR(server.Push(scenario.events[i]));
+  }
+  DT_RETURN_IF_ERROR(server.Finish());
+  QueryRunOutput collected =
+      CollectSession(server.session(*restored), scenario.queries[0]);
+  return CompareOutputs(collected, base.sessions[0], 0,
+                        "restored session", "donor session");
 }
 
 Status CheckConservation(const QueryRunOutput& run) {
@@ -307,7 +426,8 @@ Status CheckAccuracy(const SimScenario& scenario, size_t query_index,
                       sql::ParseStatement(query.sql));
   DT_ASSIGN_OR_RETURN(plan::BoundQuery bound,
                       plan::BindStatement(statement, scenario.catalog));
-  const std::vector<StreamEvent> feed = QueryFeed(scenario, query);
+  const std::vector<StreamEvent> feed =
+      QueryFeed(scenario, query, run.admit_from);
   auto ideal_result = metrics::ComputeIdealResults(
       bound, feed, scenario.window_seconds, scenario.window_slide);
   if (!ideal_result.ok()) return ideal_result.status();

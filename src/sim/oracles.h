@@ -1,11 +1,13 @@
 #ifndef DATATRIAGE_SIM_ORACLES_H_
 #define DATATRIAGE_SIM_ORACLES_H_
 
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/virtual_time.h"
 #include "src/engine/window_result.h"
 #include "src/sim/scenario_gen.h"
 
@@ -19,6 +21,12 @@ struct QueryRunOutput {
   engine::EngineStatsSnapshot snapshot;
   std::string metrics_json;
   std::vector<engine::WindowResult> results;
+  /// Admission horizon stamped at registration (DESIGN.md Sec. 14):
+  /// -inf for sessions registered up front, the next window boundary
+  /// after the arrival clock for sessions registered mid-stream. The
+  /// suffix-equivalence oracle feeds a standalone engine only events at
+  /// or after this time.
+  VirtualTime admit_from = -std::numeric_limits<double>::infinity();
 };
 
 /// Per-session outputs of one server run (indexed like scenario.queries).
@@ -27,27 +35,51 @@ struct QueryRunOutput {
 /// across worker counts by design.
 struct ServerRunOutput {
   std::vector<QueryRunOutput> sessions;
+  /// Sealed SnapshotSession bytes of session 0 taken immediately before
+  /// event scenario.snapshot_at_event; empty when the scenario takes no
+  /// snapshot. Must be byte-identical across worker counts (the snapshot
+  /// is a pure function of the delivered subsequence).
+  std::string session_snapshot;
 };
 
 /// Runs the scenario on a StreamServer with `worker_threads` workers
 /// (0 = serial inline mode), honoring the scenario's push plan (batch
-/// size, poison batch, mid-stream finish). `install_faults` wires
-/// scenario.faults into the server before registration.
+/// size, poison batch, mid-stream finish) and churn plan (mid-stream
+/// registration, unregistration, and the session-0 snapshot point).
+/// `install_faults` wires scenario.faults into the server before
+/// registration.
 Result<ServerRunOutput> RunOnServer(const SimScenario& scenario,
                                     size_t worker_threads,
                                     bool install_faults);
 
 /// Runs query `query_index` alone on a standalone ContinuousQueryEngine
 /// over the same pushed prefix (per-event, tolerating NotFound for
-/// events on streams the query does not read).
-Result<QueryRunOutput> RunOnEngine(const SimScenario& scenario,
-                                   size_t query_index);
+/// events on streams the query does not read), cut to the query's churn
+/// envelope: events before `admit_from` are skipped and the feed stops
+/// at the query's unregister_at_event (unregistration drains exactly
+/// like Finish, so the prefix run is the reference).
+Result<QueryRunOutput> RunOnEngine(
+    const SimScenario& scenario, size_t query_index,
+    VirtualTime admit_from = -std::numeric_limits<double>::infinity());
 
 /// Oracle: two server runs are byte-identical per session (results CSV,
 /// snapshot, metrics JSON). Used serial-vs-replay and serial-vs-parallel.
+/// `compare_snapshots` additionally demands byte-identical session-0
+/// snapshot bytes — on for replay/parallel comparisons, off when the two
+/// runs legitimately serialize different configs (executor-mode flips).
 Status CheckRunsEquivalent(const ServerRunOutput& a,
-                           const ServerRunOutput& b, std::string_view
-                           a_label, std::string_view b_label);
+                           const ServerRunOutput& b,
+                           std::string_view a_label,
+                           std::string_view b_label,
+                           bool compare_snapshots = true);
+
+/// Oracle: the session-0 snapshot taken mid-run restores into a fresh
+/// server (same catalog and fault plan, serial) that, fed the remaining
+/// events of the pushed feed, finishes byte-identical to the donor
+/// session's full run. No-op when the scenario took no snapshot.
+Status CheckSnapshotRestore(const SimScenario& scenario,
+                            const ServerRunOutput& base,
+                            bool install_faults);
 
 /// Oracle: every hosted session matches its standalone engine run byte
 /// for byte. Only valid when no faults were installed on the server (a

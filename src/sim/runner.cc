@@ -18,6 +18,109 @@ Status Annotate(Status status, uint64_t seed, const char* oracle) {
       status.ToString().c_str()));
 }
 
+/// Writes the failing scenario's session snapshot (when one was taken)
+/// to options.snapshot_dump_dir, so CI uploads the exact bytes.
+void MaybeDumpSnapshot(uint64_t seed, const ServerRunOutput& base,
+                       const SimOptions& options, std::ostream* out) {
+  if (options.snapshot_dump_dir.empty()) return;
+  if (base.session_snapshot.empty()) return;
+  const std::string path = StringPrintf(
+      "%s/seed-%llu.dtss", options.snapshot_dump_dir.c_str(),
+      static_cast<unsigned long long>(seed));
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    if (out != nullptr) {
+      *out << "could not write snapshot dump " << path << "\n";
+    }
+    return;
+  }
+  file.write(base.session_snapshot.data(),
+             static_cast<std::streamsize>(base.session_snapshot.size()));
+  if (out != nullptr) {
+    *out << "  snapshot dumped: " << path << "\n";
+  }
+}
+
+/// Every oracle after the base serial run, in order. Split out so
+/// RunScenarioOnce can dump the failing scenario's snapshot regardless
+/// of which oracle tripped.
+Status RunOracles(uint64_t seed, const SimScenario& scenario,
+                  const ServerRunOutput& base, bool install_faults,
+                  const SimOptions& options) {
+  // Determinism: the serial run replayed must be byte-identical — this
+  // is what makes every other oracle's failure a stable reproduction.
+  auto replay = RunOnServer(scenario, 0, install_faults);
+  if (!replay.ok()) {
+    return Annotate(replay.status(), seed, "serial-replay");
+  }
+  DT_RETURN_IF_ERROR(Annotate(
+      CheckRunsEquivalent(base, *replay, "serial", "serial-replay"),
+      seed, "replay-determinism"));
+
+  // Parallel equivalence: every worker count must match the serial
+  // baseline per session, faults and all (faults are functions of
+  // virtual time, never of scheduling). Includes the session-0 snapshot
+  // bytes: a snapshot is a pure function of the delivered subsequence,
+  // so it may not depend on the worker count either.
+  for (size_t workers : options.worker_counts) {
+    auto parallel = RunOnServer(scenario, workers, install_faults);
+    if (!parallel.ok()) {
+      return Annotate(parallel.status(), seed, "parallel-run");
+    }
+    const std::string label = "workers=" + std::to_string(workers);
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckRunsEquivalent(base, *parallel, "serial", label), seed,
+        "parallel-equivalence"));
+  }
+
+  // Snapshot round-trip: restoring the mid-run snapshot into a fresh
+  // server and replaying the remaining feed must reproduce the donor
+  // session byte for byte.
+  DT_RETURN_IF_ERROR(Annotate(
+      CheckSnapshotRestore(scenario, base, install_faults), seed,
+      "snapshot-restore"));
+
+  // Executor equivalence: rerun the scenario with every session's
+  // executor mode flipped (vectorized <-> scalar, thresholds cleared).
+  // The columnar executor's contract is byte-for-byte parity — results
+  // CSV, window traces, and the metrics/stats counters must all match
+  // the baseline exactly, faults included. Snapshot bytes are exempt:
+  // they serialize the (deliberately different) config.
+  {
+    SimScenario flipped = scenario;
+    for (SimQuery& query : flipped.queries) {
+      query.config.vectorized_exec = !query.config.vectorized_exec;
+      query.config.vectorized_min_rows = 0;
+    }
+    auto flipped_run = RunOnServer(flipped, 0, install_faults);
+    if (!flipped_run.ok()) {
+      return Annotate(flipped_run.status(), seed, "exec-mode-flip-run");
+    }
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckRunsEquivalent(base, *flipped_run, "serial", "exec-flipped",
+                            /*compare_snapshots=*/false),
+        seed, "exec-mode-equivalence"));
+  }
+
+  // Standalone-engine equivalence needs a fault-free server: a
+  // ContinuousQueryEngine has no fault hooks to mirror them (and the
+  // fault-shed counter alone would already skew the metrics export).
+  // Churned sessions compare against a standalone engine fed their
+  // churn envelope of the feed (admission horizon to unregistration).
+  if (!install_faults) {
+    DT_RETURN_IF_ERROR(Annotate(CheckEngineEquivalence(scenario, base),
+                                seed, "engine-equivalence"));
+  }
+
+  for (size_t q = 0; q < base.sessions.size(); ++q) {
+    DT_RETURN_IF_ERROR(Annotate(CheckConservation(base.sessions[q]),
+                                seed, "conservation"));
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckAccuracy(scenario, q, base.sessions[q]), seed, "accuracy"));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string ReplayCommand(uint64_t seed, const SimOptions& options) {
@@ -46,66 +149,12 @@ Status RunScenarioOnce(uint64_t seed, const SimOptions& options,
     return Annotate(base.status(), seed, "serial-run");
   }
 
-  // Determinism: the serial run replayed must be byte-identical — this
-  // is what makes every other oracle's failure a stable reproduction.
-  auto replay = RunOnServer(scenario, 0, install_faults);
-  if (!replay.ok()) {
-    return Annotate(replay.status(), seed, "serial-replay");
+  const Status status =
+      RunOracles(seed, scenario, *base, install_faults, options);
+  if (!status.ok()) {
+    MaybeDumpSnapshot(seed, *base, options, out);
   }
-  DT_RETURN_IF_ERROR(Annotate(
-      CheckRunsEquivalent(*base, *replay, "serial", "serial-replay"),
-      seed, "replay-determinism"));
-
-  // Parallel equivalence: every worker count must match the serial
-  // baseline per session, faults and all (faults are functions of
-  // virtual time, never of scheduling).
-  for (size_t workers : options.worker_counts) {
-    auto parallel = RunOnServer(scenario, workers, install_faults);
-    if (!parallel.ok()) {
-      return Annotate(parallel.status(), seed, "parallel-run");
-    }
-    const std::string label = "workers=" + std::to_string(workers);
-    DT_RETURN_IF_ERROR(Annotate(
-        CheckRunsEquivalent(*base, *parallel, "serial", label), seed,
-        "parallel-equivalence"));
-  }
-
-  // Executor equivalence: rerun the scenario with every session's
-  // executor mode flipped (vectorized <-> scalar, thresholds cleared).
-  // The columnar executor's contract is byte-for-byte parity — results
-  // CSV, window traces, and the metrics/stats counters must all match
-  // the baseline exactly, faults included.
-  {
-    SimScenario flipped = scenario;
-    for (SimQuery& query : flipped.queries) {
-      query.config.vectorized_exec = !query.config.vectorized_exec;
-      query.config.vectorized_min_rows = 0;
-    }
-    auto flipped_run = RunOnServer(flipped, 0, install_faults);
-    if (!flipped_run.ok()) {
-      return Annotate(flipped_run.status(), seed, "exec-mode-flip-run");
-    }
-    DT_RETURN_IF_ERROR(Annotate(
-        CheckRunsEquivalent(*base, *flipped_run, "serial", "exec-flipped"),
-        seed, "exec-mode-equivalence"));
-  }
-
-  // Standalone-engine equivalence needs a fault-free server: a
-  // ContinuousQueryEngine has no fault hooks to mirror them (and the
-  // fault-shed counter alone would already skew the metrics export).
-  if (!install_faults) {
-    DT_RETURN_IF_ERROR(Annotate(CheckEngineEquivalence(scenario, *base),
-                                seed, "engine-equivalence"));
-  }
-
-  for (size_t q = 0; q < base->sessions.size(); ++q) {
-    DT_RETURN_IF_ERROR(
-        Annotate(CheckConservation(base->sessions[q]), seed,
-                 "conservation"));
-    DT_RETURN_IF_ERROR(Annotate(
-        CheckAccuracy(scenario, q, base->sessions[q]), seed, "accuracy"));
-  }
-  return Status::OK();
+  return status;
 }
 
 SimReport RunSimulations(const SimOptions& options, std::ostream* out) {

@@ -24,6 +24,11 @@ struct SimOptions {
   /// When set, failing seeds are appended to this file, one
   /// "<seed> <first oracle failure>" line each (the CI artifact).
   std::string failures_path;
+  /// When set, the base run's session snapshot (if the scenario took
+  /// one) is written to <dir>/seed-<seed>.dtss for every failing seed,
+  /// so CI can upload the exact bytes that misbehaved. The directory
+  /// must already exist.
+  std::string snapshot_dump_dir;
   bool verbose = false;
 };
 

@@ -376,6 +376,38 @@ SimScenario GenerateScenario(uint64_t seed) {
   scenario.inject_poison_batch = rng.Bernoulli(0.25);
   const size_t batch_sizes[] = {0, 1, 32, 128};
   scenario.push_batch_size = batch_sizes[rng.UniformInt(0, 3)];
+
+  // Churn plan (DESIGN.md Sec. 14), drawn after every pre-existing draw
+  // so the scenario streams of existing seeds stay byte-identical. Query
+  // 0 is pinned resident for the whole run: the feed is never pushed
+  // into a zero-live-session server, and the snapshot oracle always has
+  // a session that spans the full feed. Every knob is drawn
+  // unconditionally (the GenerateFaults idiom) so the draw sequence does
+  // not depend on which ops were selected.
+  const size_t push_count = scenario.events_to_push;
+  for (size_t i = 1; i < scenario.queries.size(); ++i) {
+    SimQuery& query = scenario.queries[i];
+    const bool join_late = rng.Bernoulli(0.35);
+    const bool leave_early = rng.Bernoulli(0.3);
+    const size_t join_at = static_cast<size_t>(
+        rng.UniformDouble(0.15, 0.7) * static_cast<double>(push_count));
+    const size_t leave_at = static_cast<size_t>(
+        rng.UniformDouble(0.5, 0.95) * static_cast<double>(push_count));
+    if (join_late && join_at > 0) query.register_at_event = join_at;
+    if (leave_early && leave_at > query.register_at_event &&
+        leave_at < push_count) {
+      query.unregister_at_event = leave_at;
+    }
+  }
+  // Snapshot session 0 mid-run on every 4th seed, plus a random extra
+  // cohort — CI's round-trip smoke rides on these scenarios.
+  const bool snapshot_drawn = rng.Bernoulli(0.2);
+  const size_t snapshot_at = static_cast<size_t>(
+      rng.UniformDouble(0.25, 0.75) * static_cast<double>(push_count));
+  if ((seed % 4 == 0 || snapshot_drawn) && snapshot_at > 0 &&
+      snapshot_at < push_count) {
+    scenario.snapshot_at_event = snapshot_at;
+  }
   return scenario;
 }
 
@@ -388,8 +420,21 @@ std::string Describe(const SimScenario& scenario) {
       scenario.window_seconds, scenario.window_slide,
       scenario.events_to_push, scenario.events.size(),
       scenario.push_batch_size, scenario.inject_poison_batch ? 1 : 0);
+  if (scenario.snapshot_at_event != SIZE_MAX) {
+    out += StringPrintf("  snapshot: session 0 before event %zu\n",
+                        scenario.snapshot_at_event);
+  }
   for (size_t i = 0; i < scenario.queries.size(); ++i) {
     const SimQuery& q = scenario.queries[i];
+    if (q.register_at_event > 0 || q.unregister_at_event != SIZE_MAX) {
+      out += StringPrintf("  churn: query %zu registers at %zu", i,
+                          q.register_at_event);
+      if (q.unregister_at_event != SIZE_MAX) {
+        out += StringPrintf(", unregisters before event %zu",
+                            q.unregister_at_event);
+      }
+      out += "\n";
+    }
     out += StringPrintf(
         "  query %zu [%s cap=%zu policy=%s]: %s\n", i,
         std::string(triage::SheddingStrategyToString(q.config.strategy))

@@ -25,6 +25,17 @@ struct SimQuery {
   std::vector<std::string> streams;
   size_t num_group_columns = 0;
   bool has_aggregate = false;
+  // --- Churn plan (DESIGN.md Sec. 14) ---------------------------------
+  /// Event index at which the query registers: 0 registers up front,
+  /// i > 0 registers mid-stream immediately before event i is pushed
+  /// (the session then observes only whole windows from its admission
+  /// horizon on). Query 0 is always 0 — the server never runs with zero
+  /// live sessions.
+  size_t register_at_event = 0;
+  /// Event index immediately before which the session is unregistered
+  /// (drained + detached); SIZE_MAX = stays resident to the end. Always
+  /// > register_at_event when set.
+  size_t unregister_at_event = SIZE_MAX;
   /// HAVING / ORDER BY / LIMIT present. Presentation clauses reshape
   /// per-window rows, so the accuracy oracles (which compare against the
   /// clause-free ideal evaluation) skip these queries; the differential
@@ -66,6 +77,22 @@ struct SimScenario {
   bool inject_poison_batch = false;
   /// 0 pushes event by event; N > 0 pushes PushBatch chunks of N.
   size_t push_batch_size = 0;
+  /// Event index immediately before which session 0 is snapshotted
+  /// (SnapshotSession is non-invasive, so the run's outputs are
+  /// unchanged); SIZE_MAX = no snapshot. The runner's snapshot oracle
+  /// restores the bytes into a fresh server, replays the remaining feed,
+  /// and demands byte-identical outputs; the bytes themselves must also
+  /// be identical across worker counts.
+  size_t snapshot_at_event = SIZE_MAX;
+
+  /// True when any query joins late or leaves early.
+  bool HasChurn() const {
+    for (const SimQuery& query : queries) {
+      if (query.register_at_event > 0) return true;
+      if (query.unregister_at_event != SIZE_MAX) return true;
+    }
+    return false;
+  }
 
   /// True when the installed faults change session *semantics* (shed or
   /// stall) as opposed to only scheduling (sharding, ring size, yields).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/serde.h"
 #include "src/common/string_util.h"
 
 namespace datatriage::synopsis {
@@ -404,6 +405,35 @@ double AviHistogram::EstimatePointCount(const Tuple& point) const {
     estimate *= share;
   }
   return estimate;
+}
+
+void AviHistogram::SaveState(serde::Writer* writer) const {
+  writer->WriteDouble(config_.cell_width);
+  writer->WriteU64(marginals_.size());
+  for (const auto& marginal : marginals_) {
+    writer->WriteU64(marginal.size());
+    for (const auto& [coord, mass] : marginal) {
+      writer->WriteI64(coord);
+      writer->WriteDouble(mass);
+    }
+  }
+  writer->WriteDouble(total_count_);
+}
+
+Status AviHistogram::LoadState(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(config_.cell_width, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadU64());
+  marginals_.assign(dims, {});
+  for (uint64_t d = 0; d < dims; ++d) {
+    DT_ASSIGN_OR_RETURN(const uint64_t cells, reader->ReadU64());
+    for (uint64_t i = 0; i < cells; ++i) {
+      DT_ASSIGN_OR_RETURN(const int64_t coord, reader->ReadI64());
+      DT_ASSIGN_OR_RETURN(const double mass, reader->ReadDouble());
+      marginals_[d].emplace(coord, mass);
+    }
+  }
+  DT_ASSIGN_OR_RETURN(total_count_, reader->ReadDouble());
+  return Status::OK();
 }
 
 }  // namespace datatriage::synopsis

@@ -55,6 +55,9 @@ class AviHistogram final : public Synopsis {
       const std::vector<size_t>& agg_columns) const override;
   double EstimatePointCount(const Tuple& point) const override;
 
+  void SaveState(serde::Writer* writer) const override;
+  Status LoadState(serde::Reader* reader) override;
+
   /// Marginal cell-coordinate -> mass for one dimension (testing hook).
   const std::map<int64_t, double>& marginal(size_t dim) const {
     return marginals_.at(dim);

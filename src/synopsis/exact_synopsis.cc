@@ -4,7 +4,9 @@
 #include <functional>
 
 #include "src/common/flat_table.h"
+#include "src/common/serde.h"
 #include "src/common/string_util.h"
+#include "src/tuple/serde.h"
 
 namespace datatriage::synopsis {
 
@@ -357,6 +359,29 @@ double ExactSynopsis::EstimatePointCount(const Tuple& point) const {
     if (r.tuple == point) total += r.weight;
   }
   return total;
+}
+
+void ExactSynopsis::SaveState(serde::Writer* writer) const {
+  writer->WriteBool(vectorized_);
+  writer->WriteU64(rows_.size());
+  for (const WeightedRow& r : rows_) {
+    SaveTuple(writer, r.tuple);
+    writer->WriteDouble(r.weight);
+  }
+}
+
+Status ExactSynopsis::LoadState(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(vectorized_, reader->ReadBool());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_rows, reader->ReadU64());
+  rows_.clear();
+  rows_.reserve(num_rows);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    WeightedRow r;
+    DT_ASSIGN_OR_RETURN(r.tuple, LoadTuple(reader));
+    DT_ASSIGN_OR_RETURN(r.weight, reader->ReadDouble());
+    rows_.push_back(std::move(r));
+  }
+  return Status::OK();
 }
 
 }  // namespace datatriage::synopsis

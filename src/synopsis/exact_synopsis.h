@@ -45,6 +45,9 @@ class ExactSynopsis final : public Synopsis {
       const std::vector<size_t>& agg_columns) const override;
   double EstimatePointCount(const Tuple& point) const override;
 
+  void SaveState(serde::Writer* writer) const override;
+  Status LoadState(serde::Reader* reader) override;
+
   const std::vector<WeightedRow>& rows() const { return rows_; }
   void AddRow(Tuple tuple, double weight);
 

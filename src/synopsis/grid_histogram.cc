@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/serde.h"
 #include "src/common/string_util.h"
 
 namespace datatriage::synopsis {
@@ -328,6 +329,34 @@ double GridHistogram::EstimatePointCount(const Tuple& point) const {
     }
   }
   return it->second / points;
+}
+
+void GridHistogram::SaveState(serde::Writer* writer) const {
+  writer->WriteDouble(config_.cell_width);
+  writer->WriteU64(cells_.size());
+  for (const auto& [coords, count] : cells_) {
+    writer->WriteU64(coords.size());
+    for (const int64_t c : coords) writer->WriteI64(c);
+    writer->WriteDouble(count);
+  }
+  writer->WriteDouble(total_count_);
+}
+
+Status GridHistogram::LoadState(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(config_.cell_width, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_cells, reader->ReadU64());
+  cells_.clear();
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadU64());
+    std::vector<int64_t> coords(dims);
+    for (uint64_t d = 0; d < dims; ++d) {
+      DT_ASSIGN_OR_RETURN(coords[d], reader->ReadI64());
+    }
+    DT_ASSIGN_OR_RETURN(const double count, reader->ReadDouble());
+    cells_.emplace(std::move(coords), count);
+  }
+  DT_ASSIGN_OR_RETURN(total_count_, reader->ReadDouble());
+  return Status::OK();
 }
 
 }  // namespace datatriage::synopsis

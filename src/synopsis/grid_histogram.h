@@ -58,6 +58,9 @@ class GridHistogram final : public Synopsis {
       const std::vector<size_t>& agg_columns) const override;
   double EstimatePointCount(const Tuple& point) const override;
 
+  void SaveState(serde::Writer* writer) const override;
+  Status LoadState(serde::Reader* reader) override;
+
   double cell_width() const { return config_.cell_width; }
 
   /// Cell coordinates -> estimated tuple count; exposed for tests and the

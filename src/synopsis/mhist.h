@@ -60,6 +60,9 @@ class MHist final : public Synopsis {
       const std::vector<size_t>& agg_columns) const override;
   double EstimatePointCount(const Tuple& point) const override;
 
+  void SaveState(serde::Writer* writer) const override;
+  Status LoadState(serde::Reader* reader) override;
+
   struct Bucket {
     std::vector<double> lo;  // inclusive
     std::vector<double> hi;  // exclusive

@@ -1,6 +1,8 @@
 #include "src/synopsis/reservoir_sample.h"
 
+#include "src/common/serde.h"
 #include "src/common/string_util.h"
+#include "src/tuple/serde.h"
 
 namespace datatriage::synopsis {
 
@@ -206,6 +208,38 @@ double ReservoirSample::EstimatePointCount(const Tuple& point) const {
     if (r.tuple == point) total += r.weight;
   }
   return total;
+}
+
+void ReservoirSample::SaveState(serde::Writer* writer) const {
+  writer->WriteU64(config_.capacity);
+  writer->WriteU64(config_.seed);
+  serde::SaveRngEngine(writer, rng_.engine());
+  writer->WriteBool(materialized_);
+  writer->WriteI64(seen_);
+  writer->WriteU64(rows_.size());
+  for (const WeightedRow& r : rows_) {
+    SaveTuple(writer, r.tuple);
+    writer->WriteDouble(r.weight);
+  }
+}
+
+Status ReservoirSample::LoadState(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(const uint64_t capacity, reader->ReadU64());
+  config_.capacity = capacity;
+  DT_ASSIGN_OR_RETURN(config_.seed, reader->ReadU64());
+  DT_RETURN_IF_ERROR(serde::LoadRngEngine(reader, &rng_.engine()));
+  DT_ASSIGN_OR_RETURN(materialized_, reader->ReadBool());
+  DT_ASSIGN_OR_RETURN(seen_, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_rows, reader->ReadU64());
+  rows_.clear();
+  rows_.reserve(num_rows);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    WeightedRow r;
+    DT_ASSIGN_OR_RETURN(r.tuple, LoadTuple(reader));
+    DT_ASSIGN_OR_RETURN(r.weight, reader->ReadDouble());
+    rows_.push_back(std::move(r));
+  }
+  return Status::OK();
 }
 
 }  // namespace datatriage::synopsis

@@ -54,6 +54,9 @@ class ReservoirSample final : public Synopsis {
       const std::vector<size_t>& agg_columns) const override;
   double EstimatePointCount(const Tuple& point) const override;
 
+  void SaveState(serde::Writer* writer) const override;
+  Status LoadState(serde::Reader* reader) override;
+
   /// Stored rows with their current scaled weights.
   std::vector<WeightedRow> ScaledRows() const;
 

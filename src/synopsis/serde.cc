@@ -1,0 +1,110 @@
+#include "src/synopsis/serde.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/synopsis/factory.h"
+
+namespace datatriage::synopsis {
+namespace {
+
+// Wire tags mirror SynopsisType but are pinned independently of the enum
+// order so reordering the enum cannot silently change the format.
+constexpr uint8_t kTagGrid = 0;
+constexpr uint8_t kTagMHist = 1;
+constexpr uint8_t kTagAlignedMHist = 2;
+constexpr uint8_t kTagReservoir = 3;
+constexpr uint8_t kTagAvi = 4;
+constexpr uint8_t kTagExact = 5;
+
+uint8_t TagFor(SynopsisType type) {
+  switch (type) {
+    case SynopsisType::kGridHistogram:
+      return kTagGrid;
+    case SynopsisType::kMHist:
+      return kTagMHist;
+    case SynopsisType::kAlignedMHist:
+      return kTagAlignedMHist;
+    case SynopsisType::kReservoirSample:
+      return kTagReservoir;
+    case SynopsisType::kAviHistogram:
+      return kTagAvi;
+    case SynopsisType::kExact:
+      return kTagExact;
+  }
+  return 0xff;
+}
+
+Result<SynopsisType> TypeFor(uint8_t tag) {
+  switch (tag) {
+    case kTagGrid:
+      return SynopsisType::kGridHistogram;
+    case kTagMHist:
+      return SynopsisType::kMHist;
+    case kTagAlignedMHist:
+      return SynopsisType::kAlignedMHist;
+    case kTagReservoir:
+      return SynopsisType::kReservoirSample;
+    case kTagAvi:
+      return SynopsisType::kAviHistogram;
+    case kTagExact:
+      return SynopsisType::kExact;
+    default:
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: unknown synopsis tag %d", static_cast<int>(tag)));
+  }
+}
+
+}  // namespace
+
+void SaveSchema(serde::Writer* writer, const Schema& schema) {
+  writer->WriteU64(schema.num_fields());
+  for (const Field& field : schema.fields()) {
+    writer->WriteString(field.name);
+    writer->WriteU8(static_cast<uint8_t>(field.type));
+  }
+}
+
+Result<Schema> LoadSchema(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(const uint64_t num_fields, reader->ReadU64());
+  std::vector<Field> fields;
+  fields.reserve(num_fields);
+  for (uint64_t i = 0; i < num_fields; ++i) {
+    Field field;
+    DT_ASSIGN_OR_RETURN(field.name, reader->ReadString());
+    DT_ASSIGN_OR_RETURN(const uint8_t type, reader->ReadU8());
+    if (type > static_cast<uint8_t>(FieldType::kTimestamp)) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: unknown field type tag %d", static_cast<int>(type)));
+    }
+    field.type = static_cast<FieldType>(type);
+    fields.push_back(std::move(field));
+  }
+  return Schema(std::move(fields));
+}
+
+void SaveSynopsis(serde::Writer* writer, const Synopsis* synopsis) {
+  writer->WriteBool(synopsis != nullptr);
+  if (synopsis == nullptr) return;
+  writer->WriteU8(TagFor(synopsis->type()));
+  SaveSchema(writer, synopsis->schema());
+  synopsis->SaveState(writer);
+}
+
+Result<SynopsisPtr> LoadSynopsis(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(const bool present, reader->ReadBool());
+  if (!present) return SynopsisPtr(nullptr);
+  DT_ASSIGN_OR_RETURN(const uint8_t tag, reader->ReadU8());
+  DT_ASSIGN_OR_RETURN(const SynopsisType type, TypeFor(tag));
+  DT_ASSIGN_OR_RETURN(Schema schema, LoadSchema(reader));
+  // Instantiate with default parameters; LoadState then overwrites the
+  // parameters and contents from the byte stream.
+  SynopsisConfig config;
+  config.type = type;
+  DT_ASSIGN_OR_RETURN(SynopsisPtr synopsis,
+                      MakeSynopsis(config, std::move(schema)));
+  DT_RETURN_IF_ERROR(synopsis->LoadState(reader));
+  return synopsis;
+}
+
+}  // namespace datatriage::synopsis

@@ -1,0 +1,27 @@
+#ifndef DATATRIAGE_SYNOPSIS_SERDE_H_
+#define DATATRIAGE_SYNOPSIS_SERDE_H_
+
+#include "src/catalog/schema.h"
+#include "src/common/result.h"
+#include "src/common/serde.h"
+#include "src/synopsis/synopsis.h"
+
+namespace datatriage::synopsis {
+
+/// Schema round-trip for the session snapshot format (DESIGN.md §14).
+void SaveSchema(serde::Writer* writer, const Schema& schema);
+Result<Schema> LoadSchema(serde::Reader* reader);
+
+/// Serializes `synopsis` (which may be null — window slots hold null
+/// synopses before the first fold) as a presence flag, a type tag, the
+/// schema, and the type-specific state written by Synopsis::SaveState.
+void SaveSynopsis(serde::Writer* writer, const Synopsis* synopsis);
+
+/// Inverse of SaveSynopsis: reconstructs a synopsis of the encoded type
+/// over the encoded schema and replays its state. Returns nullptr for an
+/// encoded null.
+Result<SynopsisPtr> LoadSynopsis(serde::Reader* reader);
+
+}  // namespace datatriage::synopsis
+
+#endif  // DATATRIAGE_SYNOPSIS_SERDE_H_

@@ -13,6 +13,11 @@
 #include "src/plan/expression.h"
 #include "src/tuple/tuple.h"
 
+namespace datatriage::serde {
+class Writer;
+class Reader;
+}  // namespace datatriage::serde
+
 namespace datatriage::synopsis {
 
 enum class SynopsisType {
@@ -151,6 +156,15 @@ class Synopsis {
   virtual double EstimatePointCount(const Tuple& point) const = 0;
 
   std::string DebugString() const;
+
+  /// Session-snapshot hooks (DESIGN.md §14): serialize every member the
+  /// estimates depend on — per-type parameters, bucket/sample contents,
+  /// RNG positions, lazy-build flags — so a restored synopsis continues
+  /// byte-identically. The dispatcher in src/synopsis/serde.h writes the
+  /// type tag and schema; implementations write only their own state and
+  /// LoadState overwrites the default-constructed parameters.
+  virtual void SaveState(serde::Writer* writer) const = 0;
+  virtual Status LoadState(serde::Reader* reader) = 0;
 
   /// Validates that all columns are numeric (the synopsis structures
   /// histogram/sample over numeric domains only).

@@ -1,6 +1,7 @@
 #include "src/triage/drop_policy.h"
 
 #include "src/common/logging.h"
+#include "src/common/serde.h"
 
 namespace datatriage::triage {
 
@@ -30,6 +31,14 @@ class RandomDropPolicy final : public DropPolicy {
     DT_CHECK(!queue.empty());
     return static_cast<size_t>(
         rng_.UniformInt(0, static_cast<int64_t>(queue.size()) - 1));
+  }
+
+  void SaveState(serde::Writer* writer) const override {
+    serde::SaveRngEngine(writer, rng_.engine());
+  }
+
+  Status LoadState(serde::Reader* reader) override {
+    return serde::LoadRngEngine(reader, &rng_.engine());
   }
 
  private:
@@ -93,6 +102,14 @@ class SynergisticDropPolicy final : public DropPolicy {
     return fallback;
   }
 
+  void SaveState(serde::Writer* writer) const override {
+    serde::SaveRngEngine(writer, rng_.engine());
+  }
+
+  Status LoadState(serde::Reader* reader) override {
+    return serde::LoadRngEngine(reader, &rng_.engine());
+  }
+
  private:
   Rng rng_;
   const SynopsisCoverageProbe* probe_;
@@ -100,6 +117,12 @@ class SynergisticDropPolicy final : public DropPolicy {
 };
 
 }  // namespace
+
+void DropPolicy::SaveState(serde::Writer* /*writer*/) const {}
+
+Status DropPolicy::LoadState(serde::Reader* /*reader*/) {
+  return Status::OK();
+}
 
 std::unique_ptr<DropPolicy> DropPolicy::Make(DropPolicyKind kind,
                                              uint64_t seed) {

@@ -9,6 +9,11 @@
 #include "src/common/result.h"
 #include "src/tuple/tuple.h"
 
+namespace datatriage::serde {
+class Writer;
+class Reader;
+}  // namespace datatriage::serde
+
 namespace datatriage::triage {
 
 /// Victim-selection policies for a full triage queue (paper Sec. 5.2.1:
@@ -49,6 +54,14 @@ class DropPolicy {
 
   /// Index of the victim in [0, queue.size()). Requires a non-empty queue.
   virtual size_t ChooseVictim(const std::deque<Tuple>& queue) = 0;
+
+  /// Session-snapshot hooks (DESIGN.md §14): serialize whatever internal
+  /// state the next ChooseVictim depends on — for the randomized policies
+  /// that is the RNG position; the deterministic ones write nothing. The
+  /// restored policy must be of the same kind (the snapshot carries the
+  /// EngineConfig, so the kind is re-derived before LoadState runs).
+  virtual void SaveState(serde::Writer* writer) const;
+  virtual Status LoadState(serde::Reader* reader);
 
   /// Creates one of the probe-free policies. CHECK-fails for
   /// kSynergistic, which needs MakeSynergistic.

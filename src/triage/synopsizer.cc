@@ -1,6 +1,8 @@
 #include "src/triage/synopsizer.h"
 
+#include "src/common/serde.h"
 #include "src/obs/metrics.h"
+#include "src/synopsis/serde.h"
 
 namespace datatriage::triage {
 
@@ -83,6 +85,33 @@ WindowSynopsizer::WindowSynopses WindowSynopsizer::TakeWindow(
   if (cached_slot_ == &it->second) cached_slot_ = nullptr;
   windows_.erase(it);
   return result;
+}
+
+void WindowSynopsizer::SaveState(serde::Writer* writer) const {
+  writer->WriteU64(windows_.size());
+  for (const auto& [window, slot] : windows_) {
+    writer->WriteI64(window);
+    synopsis::SaveSynopsis(writer, slot.kept.get());
+    synopsis::SaveSynopsis(writer, slot.dropped.get());
+    writer->WriteI64(slot.kept_count);
+    writer->WriteI64(slot.dropped_count);
+  }
+}
+
+Status WindowSynopsizer::LoadState(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(const uint64_t num_windows, reader->ReadU64());
+  windows_.clear();
+  cached_slot_ = nullptr;
+  for (uint64_t i = 0; i < num_windows; ++i) {
+    DT_ASSIGN_OR_RETURN(const WindowId window, reader->ReadI64());
+    PerWindow slot;
+    DT_ASSIGN_OR_RETURN(slot.kept, synopsis::LoadSynopsis(reader));
+    DT_ASSIGN_OR_RETURN(slot.dropped, synopsis::LoadSynopsis(reader));
+    DT_ASSIGN_OR_RETURN(slot.kept_count, reader->ReadI64());
+    DT_ASSIGN_OR_RETURN(slot.dropped_count, reader->ReadI64());
+    windows_.emplace(window, std::move(slot));
+  }
+  return Status::OK();
 }
 
 }  // namespace datatriage::triage

@@ -78,6 +78,11 @@ class WindowSynopsizer {
     instruments_ = instruments;
   }
 
+  /// Session-snapshot hooks (DESIGN.md §14): the per-window kept/dropped
+  /// synopses and fold counts. LoadState resets the window-slot cache.
+  void SaveState(serde::Writer* writer) const;
+  Status LoadState(serde::Reader* reader);
+
  private:
   struct PerWindow {
     synopsis::SynopsisPtr kept;

@@ -1,7 +1,9 @@
 #include "src/triage/triage_queue.h"
 
 #include "src/common/logging.h"
+#include "src/common/serde.h"
 #include "src/obs/metrics.h"
+#include "src/tuple/serde.h"
 
 namespace datatriage::triage {
 
@@ -86,6 +88,30 @@ void TriageQueue::UpdateDepthGauge() {
 void TriageQueue::ForEach(
     const std::function<void(const Tuple&)>& visit) const {
   for (const Tuple& t : queue_) visit(t);
+}
+
+void TriageQueue::SaveState(serde::Writer* writer) const {
+  writer->WriteU64(queue_.size());
+  for (const Tuple& t : queue_) SaveTuple(writer, t);
+  writer->WriteI64(total_pushed_);
+  writer->WriteI64(total_dropped_);
+  writer->WriteI64(total_popped_);
+  policy_->SaveState(writer);
+}
+
+Status TriageQueue::LoadState(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadU64());
+  queue_.clear();
+  for (uint64_t i = 0; i < size; ++i) {
+    DT_ASSIGN_OR_RETURN(Tuple t, LoadTuple(reader));
+    queue_.push_back(std::move(t));
+  }
+  DT_ASSIGN_OR_RETURN(total_pushed_, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(total_dropped_, reader->ReadI64());
+  DT_ASSIGN_OR_RETURN(total_popped_, reader->ReadI64());
+  DT_RETURN_IF_ERROR(policy_->LoadState(reader));
+  UpdateDepthGauge();
+  return Status::OK();
 }
 
 }  // namespace datatriage::triage

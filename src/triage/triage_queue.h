@@ -76,6 +76,13 @@ class TriageQueue {
   int64_t total_dropped() const { return total_dropped_; }
   int64_t total_popped() const { return total_popped_; }
 
+  /// Session-snapshot hooks (DESIGN.md §14): buffered tuples in FIFO
+  /// order, lifetime counters, and the drop policy's internal state.
+  /// LoadState replaces the buffer wholesale; capacity and policy kind
+  /// come from the EngineConfig the session was rebuilt with.
+  void SaveState(serde::Writer* writer) const;
+  Status LoadState(serde::Reader* reader);
+
  private:
   void UpdateDepthGauge();
 

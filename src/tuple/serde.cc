@@ -1,0 +1,80 @@
+#include "src/tuple/serde.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace datatriage {
+namespace {
+
+// Wire tags; append-only (the snapshot format is versioned as a whole,
+// but stable tags make old payloads diagnosable).
+constexpr uint8_t kTagInt64 = 0;
+constexpr uint8_t kTagDouble = 1;
+constexpr uint8_t kTagString = 2;
+constexpr uint8_t kTagTimestamp = 3;
+
+}  // namespace
+
+void SaveValue(serde::Writer* writer, const Value& value) {
+  if (value.is_int64()) {
+    writer->WriteU8(kTagInt64);
+    writer->WriteI64(value.int64());
+  } else if (value.is_timestamp()) {
+    writer->WriteU8(kTagTimestamp);
+    writer->WriteDouble(value.dbl());
+  } else if (value.is_double()) {
+    writer->WriteU8(kTagDouble);
+    writer->WriteDouble(value.dbl());
+  } else {
+    writer->WriteU8(kTagString);
+    writer->WriteString(value.str());
+  }
+}
+
+Result<Value> LoadValue(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(const uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case kTagInt64: {
+      DT_ASSIGN_OR_RETURN(const int64_t v, reader->ReadI64());
+      return Value::Int64(v);
+    }
+    case kTagDouble: {
+      DT_ASSIGN_OR_RETURN(const double v, reader->ReadDouble());
+      return Value::Double(v);
+    }
+    case kTagString: {
+      DT_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+      return Value::String(std::move(v));
+    }
+    case kTagTimestamp: {
+      DT_ASSIGN_OR_RETURN(const double v, reader->ReadDouble());
+      return Value::Timestamp(v);
+    }
+    default:
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: unknown value tag %d", static_cast<int>(tag)));
+  }
+}
+
+void SaveTuple(serde::Writer* writer, const Tuple& tuple) {
+  writer->WriteDouble(tuple.timestamp());
+  writer->WriteU64(tuple.size());
+  for (const Value& v : tuple.values()) SaveValue(writer, v);
+}
+
+Result<Tuple> LoadTuple(serde::Reader* reader) {
+  DT_ASSIGN_OR_RETURN(const double timestamp, reader->ReadDouble());
+  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadU64());
+  std::vector<Value> values;
+  values.reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    DT_ASSIGN_OR_RETURN(Value v, LoadValue(reader));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values), timestamp);
+}
+
+}  // namespace datatriage

@@ -1,0 +1,21 @@
+#ifndef DATATRIAGE_TUPLE_SERDE_H_
+#define DATATRIAGE_TUPLE_SERDE_H_
+
+#include "src/common/result.h"
+#include "src/common/serde.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage {
+
+/// Tuple/Value binary round-trip for the session snapshot format
+/// (DESIGN.md §14). Values carry a one-byte type tag so the reader never
+/// guesses; tuples are the timestamp followed by the value list.
+void SaveValue(serde::Writer* writer, const Value& value);
+Result<Value> LoadValue(serde::Reader* reader);
+
+void SaveTuple(serde::Writer* writer, const Tuple& tuple);
+Result<Tuple> LoadTuple(serde::Reader* reader);
+
+}  // namespace datatriage
+
+#endif  // DATATRIAGE_TUPLE_SERDE_H_

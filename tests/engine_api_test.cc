@@ -13,6 +13,9 @@
 #include "src/engine/engine.h"
 #include "src/io/csv.h"
 #include "src/obs/export.h"
+#include "src/plan/binder.h"
+#include "src/server/stream_server.h"
+#include "src/sql/parser.h"
 #include "src/workload/scenario.h"
 #include "tests/test_util.h"
 
@@ -259,6 +262,144 @@ TEST(StatsSnapshotTest, MetricsJsonIsDeterministicAcrossRuns) {
   }
   EXPECT_EQ(first, second);
   EXPECT_NE(first.find("\"windows\": ["), std::string::npos);
+}
+
+// --- Session lifecycle error paths (DESIGN.md §14) ----------------------
+//
+// Every lifecycle misuse returns a specific, actionable Status in the
+// EngineConfig::Validate() style: the message names what was wrong and
+// what to do instead, never just "error".
+
+TEST(SessionLifecycleErrorTest, UnregisterUnknownSessionIsNotFound) {
+  const workload::Scenario scenario = OverloadScenario();
+  server::StreamServer server(scenario.catalog);
+  auto id = server.RegisterQuery(scenario.query_sql, TriageConfig());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  Status status = server.UnregisterQuery(41);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("no session with id 41"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("[0, 1)"), std::string::npos);
+}
+
+TEST(SessionLifecycleErrorTest, DoubleUnregisterIsFailedPrecondition) {
+  const workload::Scenario scenario = OverloadScenario();
+  server::StreamServer server(scenario.catalog);
+  auto keeper = server.RegisterQuery(scenario.query_sql, TriageConfig());
+  ASSERT_TRUE(keeper.ok()) << keeper.status().ToString();
+  auto id = server.RegisterQuery(scenario.query_sql, TriageConfig());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(server.Push(scenario.events.front()).ok());
+
+  ASSERT_TRUE(server.UnregisterQuery(*id).ok());
+  EXPECT_EQ(server.session(*id).lifecycle(),
+            server::SessionLifecycle::kDetached);
+  EXPECT_EQ(server.live_session_count(), 1u);
+
+  Status again = server.UnregisterQuery(*id);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(again.message().find("already kDetached"), std::string::npos);
+  // The detached session's results stay readable, as the message says.
+  EXPECT_NE(again.message().find("results and metrics stay readable"),
+            std::string::npos);
+  (void)server.session(*id).StatsSnapshot();
+}
+
+TEST(SessionLifecycleErrorTest, PushWithNoSessionsIsFailedPrecondition) {
+  const workload::Scenario scenario = OverloadScenario();
+  server::StreamServer server(scenario.catalog);
+
+  Status status = server.Push(scenario.events.front());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("zero live sessions"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("RegisterQuery"), std::string::npos);
+  // The rejected push did not seal the registration phase.
+  EXPECT_EQ(server.state(), server::ServerState::kRegistering);
+}
+
+TEST(SessionLifecycleErrorTest,
+     PushAfterLastSessionUnregistersIsFailedPrecondition) {
+  const workload::Scenario scenario = OverloadScenario();
+  server::StreamServer server(scenario.catalog);
+  auto id = server.RegisterQuery(scenario.query_sql, TriageConfig());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(server.Push(scenario.events[0]).ok());
+  ASSERT_TRUE(server.UnregisterQuery(*id).ok());
+
+  Status status = server.Push(scenario.events[1]);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("zero live sessions"),
+            std::string::npos);
+  // The message distinguishes "no sessions ever" from "all detached" by
+  // reporting the hosted count.
+  EXPECT_NE(status.message().find("hosts 1 session(s)"),
+            std::string::npos);
+}
+
+TEST(SessionLifecycleErrorTest, SnapshotErrorsNameTheirCause) {
+  const workload::Scenario scenario = OverloadScenario();
+  server::StreamServer server(scenario.catalog);
+  auto id = server.RegisterQuery(scenario.query_sql, TriageConfig());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Unknown id: bounds-checked like every session lookup.
+  auto missing = server.SnapshotSession(7);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // A session registered from an already-bound query carries no SQL text
+  // for restore to re-bind, and says so.
+  auto statement = sql::ParseStatement(scenario.query_sql);
+  ASSERT_TRUE(statement.ok());
+  auto bound = plan::BindStatement(*statement, scenario.catalog);
+  ASSERT_TRUE(bound.ok());
+  auto bound_id = server.RegisterQuery(*std::move(bound), TriageConfig());
+  ASSERT_TRUE(bound_id.ok()) << bound_id.status().ToString();
+  auto unsnapshottable = server.SnapshotSession(*bound_id);
+  ASSERT_FALSE(unsnapshottable.ok());
+  EXPECT_EQ(unsnapshottable.status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_NE(unsnapshottable.status().message().find("already-bound"),
+            std::string::npos);
+  EXPECT_NE(unsnapshottable.status().message().find("SQL overload"),
+            std::string::npos);
+
+  // A detached session has been drained; its pre-drain state is gone.
+  ASSERT_TRUE(server.Push(scenario.events.front()).ok());
+  ASSERT_TRUE(server.UnregisterQuery(*id).ok());
+  auto detached = server.SnapshotSession(*id);
+  ASSERT_FALSE(detached.ok());
+  EXPECT_EQ(detached.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(detached.status().message().find("kDetached"),
+            std::string::npos);
+}
+
+TEST(SessionLifecycleErrorTest, LifecycleOpsOnFinishedServerAreRejected) {
+  const workload::Scenario scenario = OverloadScenario();
+  server::StreamServer server(scenario.catalog);
+  auto id = server.RegisterQuery(scenario.query_sql, TriageConfig());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(server.Push(scenario.events.front()).ok());
+  auto snapshot = server.SnapshotSession(*id);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_TRUE(server.Finish().ok());
+
+  Status unregistered = server.UnregisterQuery(*id);
+  ASSERT_FALSE(unregistered.ok());
+  EXPECT_EQ(unregistered.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(unregistered.message().find("kFinished"), std::string::npos);
+
+  auto restored = server.RestoreSession(*snapshot);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(restored.status().message().find("kFinished"),
+            std::string::npos);
 }
 
 }  // namespace

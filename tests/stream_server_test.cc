@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -114,15 +115,19 @@ struct RunOutput {
   std::string metrics_json;
 };
 
-/// Runs `spec` on its own standalone engine, feeding only the events on
-/// streams the query reads (the wrapper rejects the rest with NotFound —
-/// exactly the subsequence the co-hosted session sees).
-RunOutput RunStandalone(const workload::Scenario& scenario,
-                        const QuerySpec& spec) {
-  auto engine = ContinuousQueryEngine::Make(scenario.catalog, spec.sql,
-                                            spec.config);
+/// Runs `spec` on its own standalone engine over `events`, feeding only
+/// the events on streams the query reads (the wrapper rejects the rest
+/// with NotFound — exactly the subsequence a co-hosted session sees).
+/// `admit_from` time-filters the feed the way a mid-stream-registered
+/// session's admission horizon does.
+RunOutput RunStandaloneEvents(
+    const Catalog& catalog, const QuerySpec& spec,
+    std::span<const StreamEvent> events,
+    VirtualTime admit_from = -std::numeric_limits<VirtualTime>::infinity()) {
+  auto engine = ContinuousQueryEngine::Make(catalog, spec.sql, spec.config);
   DT_CHECK(engine.ok()) << engine.status().ToString();
-  for (const StreamEvent& event : scenario.events) {
+  for (const StreamEvent& event : events) {
+    if (event.tuple.timestamp() < admit_from) continue;
     Status status = (*engine)->Push(event);
     DT_CHECK(status.ok() || status.code() == StatusCode::kNotFound)
         << status.ToString();
@@ -135,6 +140,11 @@ RunOutput RunStandalone(const workload::Scenario& scenario,
   out.metrics_json =
       obs::MetricsJson((*engine)->metrics(), &(*engine)->trace());
   return out;
+}
+
+RunOutput RunStandalone(const workload::Scenario& scenario,
+                        const QuerySpec& spec) {
+  return RunStandaloneEvents(scenario.catalog, spec, scenario.events);
 }
 
 void ExpectSnapshotsEqual(const EngineStatsSnapshot& a,
@@ -248,25 +258,67 @@ TEST(StreamServerTest, InternedIdPushMatchesNamePush) {
 
 // --- Server-boundary behavior -------------------------------------------
 
-TEST(StreamServerTest, RejectsRegistrationAfterFirstPush) {
+TEST(StreamServerTest, MidStreamRegistrationAdmitsFromNextWindowBoundary) {
   const workload::Scenario scenario = OverloadScenario();
   const std::vector<QuerySpec> specs = HostedQueries(scenario);
 
   StreamServer server(scenario.catalog);
   EXPECT_EQ(server.state(), ServerState::kRegistering);
   ASSERT_TRUE(server.RegisterQuery(specs[0].sql, specs[0].config).ok());
-  ASSERT_TRUE(server.Push(scenario.events.front()).ok());
+  const size_t half = scenario.events.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(server.Push(scenario.events[i]).ok());
+  }
   EXPECT_EQ(server.state(), ServerState::kStreaming);
 
+  // Registration is legal mid-stream now; the session is stamped with an
+  // admission horizon at the next boundary of its own window slide.
+  const VirtualTime now = scenario.events[half - 1].tuple.timestamp();
   auto late = server.RegisterQuery(specs[1].sql, specs[1].config);
-  ASSERT_FALSE(late.ok());
-  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(late.status().message().find("RegisterQuery after Push"),
-            std::string::npos);
-  // The message names the state the server is actually in.
-  EXPECT_NE(late.status().message().find("kStreaming"),
-            std::string::npos);
-  EXPECT_EQ(server.session_count(), 1u);
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_EQ(server.session_count(), 2u);
+  const QuerySession& session = server.session(*late);
+  const VirtualDuration slide = session.window_slide_seconds();
+  const VirtualTime expected_horizon =
+      (std::floor(now / slide) + 1.0) * slide;
+  EXPECT_EQ(session.effective_from(), expected_horizon);
+  EXPECT_GT(session.effective_from(), now);
+
+  for (size_t i = half; i < scenario.events.size(); ++i) {
+    ASSERT_TRUE(server.Push(scenario.events[i]).ok());
+  }
+  ASSERT_TRUE(server.Finish().ok());
+
+  // The determinism contract extends to mid-stream joiners: the late
+  // session is byte-identical to a standalone engine fed only the feed
+  // suffix from its admission horizon on.
+  auto engine = ContinuousQueryEngine::Make(scenario.catalog,
+                                            specs[1].sql, specs[1].config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  for (const StreamEvent& event : scenario.events) {
+    if (event.tuple.timestamp() < expected_horizon) continue;
+    Status status = (*engine)->Push(event);
+    ASSERT_TRUE(status.ok() || status.code() == StatusCode::kNotFound)
+        << status.ToString();
+  }
+  ASSERT_TRUE((*engine)->Finish().ok());
+
+  QuerySession& hosted = server.session(*late);
+  EXPECT_GT(hosted.StatsSnapshot().core.tuples_ingested, 0);
+  EXPECT_EQ(io::FormatResultsCsv(hosted.TakeResults(), specs[1].columns),
+            io::FormatResultsCsv((*engine)->TakeResults(),
+                                 specs[1].columns));
+  ExpectSnapshotsEqual(hosted.StatsSnapshot(), (*engine)->StatsSnapshot());
+  EXPECT_EQ(obs::MetricsJson(hosted.metrics(), &hosted.trace()),
+            obs::MetricsJson((*engine)->metrics(), &(*engine)->trace()));
+
+  // Lifecycle counters land in the plane registry, scoped by session id,
+  // so per-session registries stay standalone-identical.
+  const auto totals = server.server_metrics().CounterTotals();
+  EXPECT_EQ(totals.at("session.0.lifecycle.registered"), 1);
+  EXPECT_EQ(totals.count("session.0.lifecycle.registered_mid_stream"), 0u);
+  EXPECT_EQ(totals.at("session.1.lifecycle.registered"), 1);
+  EXPECT_EQ(totals.at("session.1.lifecycle.registered_mid_stream"), 1);
 }
 
 TEST(StreamServerTest, LifecycleStatesAndPushAfterFinish) {
@@ -684,6 +736,265 @@ TEST(StreamServerTest, EnginePushBatchChecksMembershipUpFront) {
   ASSERT_TRUE((*engine)->PushBatch(good).ok());
   ASSERT_TRUE((*engine)->Finish().ok());
   EXPECT_EQ((*engine)->StatsSnapshot().core.tuples_ingested, 2);
+}
+
+// --- Live lifecycle churn (DESIGN.md §14) -------------------------------
+
+/// Outputs of one churned run plus the horizons the churn induced.
+struct ChurnRun {
+  std::vector<RunOutput> outputs;  // one per spec, in spec order
+  VirtualTime joiner_horizon = 0.0;
+  VirtualTime unregister_clock = 0.0;
+};
+
+/// Interleaved register/unregister under overload: specs[0] and specs[1]
+/// register up front, specs[2] joins a third of the way into the feed,
+/// specs[1] is unregistered at two thirds. Every session sheds (the
+/// scenario is a 1.5x overload), so churn interacts with live triage
+/// queues, synopses, and in-flight windows — not an idle server.
+ChurnRun RunChurned(const workload::Scenario& scenario,
+                    const std::vector<QuerySpec>& specs,
+                    size_t worker_threads) {
+  DT_CHECK(specs.size() == 3);
+  engine::StreamServerOptions options;
+  options.worker_threads = worker_threads;
+  StreamServer server(scenario.catalog, options);
+  std::vector<SessionId> ids;
+  for (size_t i = 0; i < 2; ++i) {
+    auto id = server.RegisterQuery(specs[i].sql, specs[i].config);
+    DT_CHECK(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  const std::span<const StreamEvent> events(scenario.events);
+  const size_t third = events.size() / 3;
+  ChurnRun run;
+
+  DT_CHECK(server.PushBatch(events.subspan(0, third)).ok());
+  auto joined = server.RegisterQuery(specs[2].sql, specs[2].config);
+  DT_CHECK(joined.ok()) << joined.status().ToString();
+  ids.push_back(*joined);
+  run.joiner_horizon = server.session(*joined).effective_from();
+
+  DT_CHECK(server.PushBatch(events.subspan(third, third)).ok());
+  run.unregister_clock = events[2 * third - 1].tuple.timestamp();
+  Status unregistered = server.UnregisterQuery(ids[1]);
+  DT_CHECK(unregistered.ok()) << unregistered.ToString();
+  DT_CHECK(server.session(ids[1]).lifecycle() ==
+           SessionLifecycle::kDetached);
+
+  DT_CHECK(server.PushBatch(events.subspan(2 * third)).ok());
+  DT_CHECK(server.Finish().ok());
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    QuerySession& session = server.session(ids[i]);
+    RunOutput out;
+    out.results_csv =
+        io::FormatResultsCsv(session.TakeResults(), specs[i].columns);
+    out.snapshot = session.StatsSnapshot();
+    out.metrics_json =
+        obs::MetricsJson(session.metrics(), &session.trace());
+    run.outputs.push_back(std::move(out));
+  }
+  return run;
+}
+
+void ExpectRunOutputsEqual(const RunOutput& actual,
+                           const RunOutput& expected) {
+  EXPECT_EQ(actual.results_csv, expected.results_csv);
+  ExpectSnapshotsEqual(actual.snapshot, expected.snapshot);
+  EXPECT_EQ(actual.metrics_json, expected.metrics_json);
+  // Drop causes partition the dropped count whatever the lifecycle did.
+  int64_t by_cause = 0;
+  for (const auto& [name, value] : actual.snapshot.counters) {
+    if (name.rfind("stream.", 0) == 0 &&
+        name.find(".dropped.") != std::string::npos) {
+      by_cause += value;
+    }
+  }
+  EXPECT_EQ(by_cause, actual.snapshot.core.tuples_dropped);
+}
+
+TEST(ChurnEquivalence, ChurnedSessionsMatchStandaloneSubsequences) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+  const ChurnRun churned = RunChurned(scenario, specs, 0);
+  const std::span<const StreamEvent> events(scenario.events);
+  const size_t third = events.size() / 3;
+
+  // The always-resident session saw the whole feed: churn around it must
+  // not perturb a single byte.
+  ExpectRunOutputsEqual(churned.outputs[0],
+                        RunStandalone(scenario, specs[0]));
+
+  // The unregistered session equals a standalone engine fed the prefix
+  // up to the unregister point and then finished — unregister drained
+  // its queues and emitted its in-flight windows.
+  EXPECT_GT(churned.outputs[1].snapshot.core.windows_emitted, 0);
+  ExpectRunOutputsEqual(
+      churned.outputs[1],
+      RunStandaloneEvents(scenario.catalog, specs[1],
+                          events.subspan(0, 2 * third)));
+
+  // The mid-stream joiner equals a standalone engine fed the time-suffix
+  // from its admission horizon on.
+  EXPECT_GT(churned.outputs[2].snapshot.core.tuples_ingested, 0);
+  ExpectRunOutputsEqual(
+      churned.outputs[2],
+      RunStandaloneEvents(scenario.catalog, specs[2], events,
+                          churned.joiner_horizon));
+}
+
+TEST(ChurnEquivalence, WorkerCountsProduceByteIdenticalChurnedRuns) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+  const ChurnRun serial = RunChurned(scenario, specs, 0);
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("worker_threads=" + std::to_string(workers));
+    const ChurnRun parallel = RunChurned(scenario, specs, workers);
+    EXPECT_EQ(parallel.joiner_horizon, serial.joiner_horizon);
+    ASSERT_EQ(parallel.outputs.size(), serial.outputs.size());
+    for (size_t i = 0; i < serial.outputs.size(); ++i) {
+      SCOPED_TRACE("session " + std::to_string(i));
+      ExpectRunOutputsEqual(parallel.outputs[i], serial.outputs[i]);
+    }
+  }
+}
+
+// --- Session snapshot / restore (DESIGN.md §14) -------------------------
+
+TEST(SessionSnapshotTest, RestoreRoundTripsByteIdenticallyAcrossWorkers) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+  const std::span<const StreamEvent> events(scenario.events);
+  const size_t half = events.size() / 2;
+  // What the snapshotted session should produce had nothing happened.
+  const RunOutput clean = RunStandalone(scenario, specs[0]);
+
+  for (size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("worker_threads=" + std::to_string(workers));
+    engine::StreamServerOptions options;
+    options.worker_threads = workers;
+
+    // Donor: all three queries, snapshot session 0 mid-run, keep going.
+    StreamServer donor(scenario.catalog, options);
+    std::vector<SessionId> ids;
+    for (const QuerySpec& spec : specs) {
+      auto id = donor.RegisterQuery(spec.sql, spec.config);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE(donor.PushBatch(events.subspan(0, half)).ok());
+    auto snapshot = donor.SnapshotSession(ids[0]);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    EXPECT_GT(snapshot->bytes.size(), 0u);
+    ASSERT_TRUE(donor.PushBatch(events.subspan(half)).ok());
+    ASSERT_TRUE(donor.Finish().ok());
+
+    // Snapshotting was non-invasive: the donor session still matches the
+    // never-snapshotted standalone run.
+    QuerySession& donor_session = donor.session(ids[0]);
+    EXPECT_EQ(
+        io::FormatResultsCsv(donor_session.TakeResults(),
+                             specs[0].columns),
+        clean.results_csv);
+    ExpectSnapshotsEqual(donor_session.StatsSnapshot(), clean.snapshot);
+
+    // Restore into a fresh server and feed the rest of the feed: the
+    // restored session finishes the run byte-identically.
+    StreamServer restored(scenario.catalog, options);
+    auto restored_id = restored.RestoreSession(*snapshot);
+    ASSERT_TRUE(restored_id.ok()) << restored_id.status().ToString();
+    ASSERT_TRUE(restored.PushBatch(events.subspan(half)).ok());
+    ASSERT_TRUE(restored.Finish().ok());
+
+    QuerySession& restored_session = restored.session(*restored_id);
+    EXPECT_EQ(restored_session.sql(), specs[0].sql);
+    EXPECT_EQ(io::FormatResultsCsv(restored_session.TakeResults(),
+                                   specs[0].columns),
+              clean.results_csv);
+    ExpectSnapshotsEqual(restored_session.StatsSnapshot(),
+                         clean.snapshot);
+    EXPECT_EQ(obs::MetricsJson(restored_session.metrics(),
+                               &restored_session.trace()),
+              clean.metrics_json);
+    // Lifecycle accounting for the restore.
+    const auto totals = restored.server_metrics().CounterTotals();
+    EXPECT_EQ(totals.at(StringPrintf("session.%u.lifecycle.restored",
+                                     *restored_id)),
+              1);
+  }
+}
+
+TEST(SessionSnapshotTest, RestoredPlaneRefusesTheDonorsPast) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+  const std::span<const StreamEvent> events(scenario.events);
+  const size_t half = events.size() / 2;
+
+  StreamServer donor(scenario.catalog);
+  auto id = donor.RegisterQuery(specs[0].sql, specs[0].config);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(donor.PushBatch(events.subspan(0, half)).ok());
+  auto snapshot = donor.SnapshotSession(*id);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  StreamServer restored(scenario.catalog);
+  ASSERT_TRUE(restored.RestoreSession(*snapshot).ok());
+  // An arrival from before the donor's clock is out of order on the
+  // restored server too — the snapshot carried the plane clock.
+  Status stale = restored.Push(events[0]);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.message().find("timestamp order"), std::string::npos);
+}
+
+TEST(SessionSnapshotTest, RejectsCorruptTruncatedAndSkewedSnapshots) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+
+  StreamServer donor(scenario.catalog);
+  auto id = donor.RegisterQuery(specs[0].sql, specs[0].config);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const std::span<const StreamEvent> events(scenario.events);
+  ASSERT_TRUE(donor.PushBatch(events.subspan(0, events.size() / 2)).ok());
+  auto snapshot = donor.SnapshotSession(*id);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  StreamServer target(scenario.catalog);
+
+  // A flipped payload byte fails the MD5 seal.
+  SessionSnapshot corrupt = *snapshot;
+  corrupt.bytes[corrupt.bytes.size() / 2] ^= 0x40;
+  auto bad = target.RestoreSession(corrupt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("MD5"), std::string::npos);
+
+  // Truncation is named as such (frame length mismatch).
+  SessionSnapshot truncated = *snapshot;
+  truncated.bytes.resize(truncated.bytes.size() / 2);
+  bad = target.RestoreSession(truncated);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Wrong magic: not a snapshot at all.
+  SessionSnapshot garbage;
+  garbage.bytes = "definitely not a snapshot";
+  bad = target.RestoreSession(garbage);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("magic"), std::string::npos);
+
+  // Version skew is rejected by number before any payload parsing.
+  SessionSnapshot skewed = *snapshot;
+  skewed.bytes[4] = static_cast<char>(kSnapshotVersion + 1);
+  bad = target.RestoreSession(skewed);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("version"), std::string::npos);
+
+  // The pristine snapshot still restores after all those rejections.
+  EXPECT_TRUE(target.RestoreSession(*snapshot).ok());
 }
 
 }  // namespace
