@@ -194,6 +194,7 @@ Relation LegacyScanFilter(const Relation& input_src,
 struct Measurement {
   double ns_per_op = 0.0;
   double allocs_per_op = 0.0;
+  double peak_rss_kb = -1.0;
   size_t result_rows = 0;
 };
 
@@ -221,6 +222,7 @@ Measurement Measure(Fn&& fn) {
   m.ns_per_op = total_ns / iters;
   m.allocs_per_op =
       static_cast<double>(g_allocs.load() - allocs_before) / iters;
+  m.peak_rss_kb = CurrentPeakRssKb();
   return m;
 }
 
@@ -278,11 +280,11 @@ void Report(std::vector<Case> cases) {
     records.push_back(BenchRecord{
         c.name + "/" + c.legacy_label, c.legacy.ns_per_op,
         c.tuples_per_op * 1e9 / c.legacy.ns_per_op,
-        c.legacy.allocs_per_op});
+        c.legacy.allocs_per_op, c.legacy.peak_rss_kb});
     records.push_back(BenchRecord{
         c.name + "/" + c.current_label, c.current.ns_per_op,
         c.tuples_per_op * 1e9 / c.current.ns_per_op,
-        c.current.allocs_per_op});
+        c.current.allocs_per_op, c.current.peak_rss_kb});
   }
   WriteBenchJson("BENCH_exec.json", records);
   std::printf("wrote BENCH_exec.json (%zu records)\n", records.size());

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "src/metrics/ideal.h"
 #include "src/metrics/rms.h"
 #include "src/obs/export.h"
@@ -77,6 +81,20 @@ void PrintHeader(const std::string& title, const std::string& x_label) {
               "rms_mean", "rms_stddev", "runs");
 }
 
+double CurrentPeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss);  // KiB
+#endif
+#else
+  return -1.0;
+#endif
+}
+
 void WriteBenchJson(const std::string& path,
                     const std::vector<BenchRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -90,6 +108,9 @@ void WriteBenchJson(const std::string& path,
                  r.name.c_str(), r.ns_per_op, r.tuples_per_sec);
     if (r.allocs_per_op >= 0) {
       std::fprintf(f, ", \"allocs_per_op\": %.1f", r.allocs_per_op);
+    }
+    if (r.peak_rss_kb >= 0) {
+      std::fprintf(f, ", \"peak_rss_kb\": %.0f", r.peak_rss_kb);
     }
     std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }

@@ -50,12 +50,23 @@ struct BenchRecord {
   double ns_per_op = 0.0;
   double tuples_per_sec = 0.0;
   double allocs_per_op = -1.0;  // < 0 means "not measured"
+  /// Process peak RSS (getrusage ru_maxrss) sampled when the case
+  /// finished, in KiB; < 0 means "not measured". ru_maxrss is a
+  /// process-lifetime high-watermark, so the column is cumulative across
+  /// a run's cases — comparable per case between two runs of the same
+  /// binary (the CI memory gate), not between cases of one run.
+  double peak_rss_kb = -1.0;
 };
+
+/// Process-lifetime peak RSS in KiB, from getrusage. Returns -1 when the
+/// platform cannot report it.
+double CurrentPeakRssKb();
 
 /// Writes `records` to `path` as a JSON array of objects with keys
 /// `name`, `ns_per_op`, `tuples_per_sec`, and (when measured)
-/// `allocs_per_op`. Overwrites the file: callers pass every record of the
-/// run so the perf trajectory can be diffed across PRs.
+/// `allocs_per_op` / `peak_rss_kb`. Overwrites the file: callers pass
+/// every record of the run so the perf trajectory can be diffed across
+/// PRs.
 void WriteBenchJson(const std::string& path,
                     const std::vector<BenchRecord>& records);
 

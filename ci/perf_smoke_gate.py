@@ -9,6 +9,12 @@ than 10%. Comparing the within-run ratio rather than raw ns/op keeps the
 gate robust to runner speed variance: both executors ran on the same
 machine seconds apart, so the ratio cancels the machine out.
 
+Records also carry peak_rss_kb — the process peak RSS sampled when the
+case finished (a cumulative high-watermark across the run's cases).
+Since base and head run the same case sequence on the same runner, the
+per-case watermark is directly comparable between the two runs, and the
+gate fails when any case's peak RSS grew by more than 15%.
+
 Usage: perf_smoke_gate.py BENCH_exec_base.json BENCH_exec_head.json
 """
 
@@ -16,6 +22,7 @@ import json
 import sys
 
 REGRESSION_LIMIT = 0.10
+RSS_REGRESSION_LIMIT = 0.15
 
 
 def vectorized_ratios(path):
@@ -31,6 +38,41 @@ def vectorized_ratios(path):
         if scalar:
             ratios[case] = ns_per_op / scalar
     return ratios
+
+
+def peak_rss(path):
+    """Maps record name -> peak_rss_kb, for records that measured it."""
+    with open(path) as f:
+        return {
+            r["name"]: r["peak_rss_kb"]
+            for r in json.load(f)
+            if r.get("peak_rss_kb", -1) > 0
+        }
+
+
+def gate_peak_rss(base_path, head_path):
+    """Returns the names of cases whose peak RSS regressed > 15%."""
+    base = peak_rss(base_path)
+    head = peak_rss(head_path)
+    if not base:
+        print("no peak_rss_kb in base run; skipping memory gate")
+        return []
+    failed = []
+    for name, head_kb in sorted(head.items()):
+        base_kb = base.get(name)
+        if base_kb is None:
+            print(f"{name}: new case, peak RSS {head_kb:.0f} KiB (no base)")
+            continue
+        regression = (head_kb - base_kb) / base_kb
+        verdict = "ok"
+        if regression > RSS_REGRESSION_LIMIT:
+            verdict = "REGRESSED"
+            failed.append(name)
+        print(
+            f"{name}: peak RSS base {base_kb:.0f} KiB -> head "
+            f"{head_kb:.0f} KiB ({regression:+.1%}) {verdict}"
+        )
+    return failed
 
 
 def main(argv):
@@ -59,12 +101,19 @@ def main(argv):
             f"{case}: vec/scalar base {base_ratio:.3f} -> head "
             f"{head_ratio:.3f} ({regression:+.1%}) {verdict}"
         )
-    if failed:
-        print(
-            f"FAIL: {len(failed)} case(s) regressed more than "
-            f"{REGRESSION_LIMIT:.0%} vs their scalar baseline: "
-            + ", ".join(failed)
-        )
+    rss_failed = gate_peak_rss(argv[1], argv[2])
+    if failed or rss_failed:
+        if failed:
+            print(
+                f"FAIL: {len(failed)} case(s) regressed more than "
+                f"{REGRESSION_LIMIT:.0%} vs their scalar baseline: "
+                + ", ".join(failed)
+            )
+        if rss_failed:
+            print(
+                f"FAIL: {len(rss_failed)} case(s) grew peak RSS more "
+                f"than {RSS_REGRESSION_LIMIT:.0%}: " + ", ".join(rss_failed)
+            )
         return 1
     print("perf gate clean")
     return 0

@@ -25,6 +25,11 @@
 //   --buckets=N         MHIST bucket budget        (default 64)
 //   --reservoir=N       reservoir capacity         (default 64)
 //   --queue-capacity=N  triage queue slots         (default 100)
+//   --memory-budget=B   per-session memory budget in bytes (default 0 =
+//                       unbounded). Over budget, the session folds its
+//                       coldest buffered window into the synopsis and
+//                       counts the evictions under the memory_shed drop
+//                       cause (DESIGN.md §15). Minimum 65536
 //   --workers=N         worker threads session execution is sharded
 //                       across; 0 = serial (default). Per-query output
 //                       is byte-identical at any setting (DESIGN.md §11)
@@ -45,7 +50,9 @@
 //                       differential debugging and perf comparison)
 //   --sort-events       time-sort the event file before feeding
 //   --show-rewrite      print the rewritten SQL (paper Figs. 4-5) and exit
-//   --stats             print run statistics to stderr
+//   --stats             print run statistics to stderr, including each
+//                       memory component's peak accounted bytes and
+//                       (under a budget) the memory_shed drop counts
 //   --metrics-json=PATH write the obs metrics registry + per-window
 //                       trace as JSON (schema: DESIGN.md Sec. 9.3);
 //                       `--metrics-json PATH` also works
@@ -145,6 +152,9 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ConsumeFlag(arg, "queue-capacity", &value)) {
       config.queue_capacity =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ConsumeFlag(arg, "memory-budget", &value)) {
+      config.memory_budget_bytes =
           static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ConsumeFlag(arg, "workers", &value)) {
       server_options.worker_threads =
@@ -451,6 +461,16 @@ int main(int argc, char** argv) {
         if (name.rfind("stream.", 0) == 0 &&
             name.find(".queue_depth") != std::string::npos) {
           std::fprintf(stderr, "%s%s.hwm=%g\n", scope.c_str(),
+                       name.c_str(), value);
+        }
+      }
+      // Peak accounted bytes per memory component (DESIGN.md §15). The
+      // mem.*.bytes gauges read 0 after Finish — the high-watermark is
+      // the interesting number. Accounting is always on, so these print
+      // whether or not a budget was set.
+      for (const auto& [name, value] : snapshot.gauge_maxima) {
+        if (name.rfind("mem.", 0) == 0 && value > 0) {
+          std::fprintf(stderr, "%s%s.peak=%g\n", scope.c_str(),
                        name.c_str(), value);
         }
       }

@@ -29,6 +29,9 @@ constexpr const char* kUsage = R"(usage: sim_main [options]
   --workers A,B,...  worker counts to compare against the serial run
                      (default 1,2,4)
   --no-faults        do not install the generated fault plans
+  --force-memory-budgets
+                     override every query config with a tight seed-derived
+                     memory budget, exercising memory-triggered triage
   --max-seconds X    wall-clock budget; stop between scenarios once spent
   --failures-out P   append "<seed> <failure>" lines to file P
   --snapshot-dump-dir D
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-faults") {
       options.with_faults = false;
+    } else if (arg == "--force-memory-budgets") {
+      options.force_memory_budgets = true;
     } else if (arg == "--max-seconds") {
       const std::string* v = next();
       if (v == nullptr) return 2;

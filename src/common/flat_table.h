@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,19 @@ class FlatTable {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  size_t slot_count() const { return slots_.size(); }
+
+  /// Observes capacity changes: fires as (old slot count, new slot
+  /// count) on every rehash — the table's single allocation point — so
+  /// owners can convert slot counts to accounted bytes. Fires
+  /// immediately with (0, current) if the table already has slots.
+  void SetCapacityObserver(
+      std::function<void(size_t, size_t)> observer) {
+    capacity_observer_ = std::move(observer);
+    if (capacity_observer_ && !slots_.empty()) {
+      capacity_observer_(0, slots_.size());
+    }
+  }
 
   /// Pre-sizes the table to hold `expected` entries without rehashing.
   void Reserve(size_t expected) {
@@ -176,6 +190,9 @@ class FlatTable {
   }
 
   void Rehash(size_t new_capacity) {
+    if (capacity_observer_) {
+      capacity_observer_(slots_.size(), new_capacity);
+    }
     std::vector<Slot> old = std::move(slots_);
     slots_ = std::vector<Slot>(new_capacity);
     const size_t mask = new_capacity - 1;
@@ -191,6 +208,7 @@ class FlatTable {
 
   std::vector<Slot> slots_;
   size_t size_ = 0;
+  std::function<void(size_t, size_t)> capacity_observer_;
 };
 
 }  // namespace datatriage

@@ -1,0 +1,40 @@
+#include "src/common/mem_accounting.h"
+
+#include <string>
+
+namespace datatriage::mem {
+
+std::string_view ComponentName(Component component) {
+  switch (component) {
+    case Component::kWindowBuffers:
+      return "window_buffers";
+    case Component::kTriageQueues:
+      return "triage_queues";
+    case Component::kSynopses:
+      return "synopses";
+    case Component::kMergeState:
+      return "merge_state";
+  }
+  return "unknown";
+}
+
+void SessionAccount::BindGauges(obs::MetricsRegistry* registry) {
+  for (size_t i = 0; i < kNumComponents; ++i) {
+    const std::string name =
+        "mem." +
+        std::string(ComponentName(static_cast<Component>(i))) + ".bytes";
+    gauges_[i] = registry->GetGauge(name);
+  }
+}
+
+void SessionAccount::RestorePeak(Component component, size_t peak) {
+  const size_t i = static_cast<size_t>(component);
+  if (peak > peak_bytes_[i]) peak_bytes_[i] = peak;
+  if (gauges_[i] != nullptr &&
+      static_cast<double>(peak_bytes_[i]) > gauges_[i]->max()) {
+    gauges_[i]->Restore(static_cast<double>(bytes_[i]),
+                        static_cast<double>(peak_bytes_[i]));
+  }
+}
+
+}  // namespace datatriage::mem

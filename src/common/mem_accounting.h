@@ -1,0 +1,227 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/tuple/tuple.h"
+
+namespace datatriage::mem {
+
+/// The state-holding layers a session's bytes are attributed to.
+/// Component indices are serialized in session snapshots (format v2),
+/// so the order is part of the snapshot contract — append only.
+enum class Component : uint8_t {
+  kWindowBuffers = 0,  ///< Per-window kept-tuple relations awaiting emit.
+  kTriageQueues = 1,   ///< Tuples buffered in the triage queue.
+  kSynopses = 2,       ///< Window-slot synopses (kept + dropped).
+  kMergeState = 3,     ///< Transient group-by tables/arenas during merge.
+};
+
+inline constexpr size_t kNumComponents = 4;
+
+std::string_view ComponentName(Component component);
+
+/// Deterministic byte model
+/// -----------------------
+/// Accounting uses a fixed cost model, not allocator truth: the same
+/// tuple must cost the same number of bytes on every platform, at every
+/// worker count, in both executor modes — otherwise byte-triggered
+/// eviction (and with it session output) would stop being a pure
+/// function of the event subsequence. The constants approximate a
+/// 64-bit libstdc++ layout but are frozen here as *the* model.
+inline constexpr size_t kTupleOverheadBytes = 32;   // Tuple + vector header
+inline constexpr size_t kValueSlotBytes = 24;       // one Value slot
+inline constexpr size_t kStringOverheadBytes = 16;  // out-of-line string
+inline constexpr size_t kWeightedRowBytes = 8;      // weight alongside a row
+inline constexpr size_t kMapNodeBytes = 48;         // ordered-map node
+inline constexpr size_t kVectorHeaderBytes = 24;    // vector bookkeeping
+inline constexpr size_t kSynopsisBaseBytes = 64;    // empty synopsis
+
+inline size_t ValueBytes(const Value& value) {
+  size_t bytes = kValueSlotBytes;
+  if (value.is_string()) {
+    bytes += kStringOverheadBytes + value.str().size();
+  }
+  return bytes;
+}
+
+inline size_t TupleBytes(const Tuple& tuple) {
+  size_t bytes = kTupleOverheadBytes;
+  for (const Value& value : tuple.values()) bytes += ValueBytes(value);
+  return bytes;
+}
+
+/// Sum of TupleBytes over any container of Tuples.
+template <typename Rows>
+size_t RelationBytes(const Rows& rows) {
+  size_t bytes = 0;
+  for (const Tuple& tuple : rows) bytes += TupleBytes(tuple);
+  return bytes;
+}
+
+/// Server-wide accountant: one per StreamServer, shared by every
+/// session. Charges are relaxed atomics — the server total is a
+/// monitoring figure, never an enforcement input (enforcement reads the
+/// single-writer per-session account), so cross-session ordering does
+/// not matter and the hot path stays a pair of fetch_adds.
+class MemoryAccountant {
+ public:
+  explicit MemoryAccountant(size_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
+  MemoryAccountant(const MemoryAccountant&) = delete;
+  MemoryAccountant& operator=(const MemoryAccountant&) = delete;
+
+  void Charge(Component component, size_t bytes) {
+    if (bytes == 0) return;
+    component_bytes_[Index(component)].fetch_add(bytes,
+                                                 std::memory_order_relaxed);
+    const size_t total =
+        total_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (total > peak && !peak_bytes_.compare_exchange_weak(
+                               peak, total, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(Component component, size_t bytes) {
+    if (bytes == 0) return;
+    component_bytes_[Index(component)].fetch_sub(bytes,
+                                                 std::memory_order_relaxed);
+    total_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  size_t TotalBytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t PeakBytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t ComponentBytes(Component component) const {
+    return component_bytes_[Index(component)].load(
+        std::memory_order_relaxed);
+  }
+  size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  static size_t Index(Component component) {
+    return static_cast<size_t>(component);
+  }
+
+  std::array<std::atomic<size_t>, kNumComponents> component_bytes_{};
+  std::atomic<size_t> total_bytes_{0};
+  std::atomic<size_t> peak_bytes_{0};
+  const size_t budget_bytes_;
+};
+
+/// Per-session account: single-writer (the session's owning worker),
+/// exact, and the input to memory-triggered triage. Optionally forwards
+/// every charge to the server-wide accountant and mirrors component
+/// bytes into `mem.<component>.bytes` gauges (whose high-watermark is
+/// the exported peak).
+class SessionAccount {
+ public:
+  SessionAccount() = default;
+
+  SessionAccount(const SessionAccount&) = delete;
+  SessionAccount& operator=(const SessionAccount&) = delete;
+
+  /// Registers the mem.<component>.bytes gauges in `registry`. Call
+  /// once, before any charge.
+  void BindGauges(obs::MetricsRegistry* registry);
+
+  void SetServerAccountant(MemoryAccountant* server) { server_ = server; }
+
+  void Charge(Component component, size_t bytes) {
+    if (bytes == 0) return;
+    const size_t i = static_cast<size_t>(component);
+    bytes_[i] += bytes;
+    total_bytes_ += bytes;
+    if (bytes_[i] > peak_bytes_[i]) peak_bytes_[i] = bytes_[i];
+    if (gauges_[i] != nullptr) {
+      gauges_[i]->Set(static_cast<double>(bytes_[i]));
+    }
+    if (server_ != nullptr) server_->Charge(component, bytes);
+  }
+
+  void Release(Component component, size_t bytes) {
+    if (bytes == 0) return;
+    const size_t i = static_cast<size_t>(component);
+    DT_CHECK(bytes_[i] >= bytes && total_bytes_ >= bytes)
+        << "mem accounting underflow: releasing " << bytes << " from "
+        << ComponentName(component) << " holding " << bytes_[i];
+    bytes_[i] -= bytes;
+    total_bytes_ -= bytes;
+    if (gauges_[i] != nullptr) {
+      gauges_[i]->Set(static_cast<double>(bytes_[i]));
+    }
+    if (server_ != nullptr) server_->Release(component, bytes);
+  }
+
+  size_t bytes(Component component) const {
+    return bytes_[static_cast<size_t>(component)];
+  }
+  size_t peak_bytes(Component component) const {
+    return peak_bytes_[static_cast<size_t>(component)];
+  }
+  size_t TotalBytes() const { return total_bytes_; }
+
+  /// Restores a peak from a snapshot (never lowers the live one).
+  void RestorePeak(Component component, size_t peak);
+
+ private:
+  std::array<size_t, kNumComponents> bytes_{};
+  std::array<size_t, kNumComponents> peak_bytes_{};
+  std::array<obs::Gauge*, kNumComponents> gauges_{};
+  size_t total_bytes_ = 0;
+  MemoryAccountant* server_ = nullptr;
+};
+
+/// RAII charge for transient state (merge tables/arenas): releases the
+/// accumulated charge on destruction, so the peak lands in the gauge
+/// HWM while the steady-state reading returns to zero.
+class ScopedCharge {
+ public:
+  ScopedCharge(SessionAccount* account, Component component)
+      : account_(account), component_(component) {}
+
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  ~ScopedCharge() {
+    if (account_ != nullptr && charged_ > 0) {
+      account_->Release(component_, charged_);
+    }
+  }
+
+  void Add(size_t bytes) {
+    if (account_ == nullptr || bytes == 0) return;
+    account_->Charge(component_, bytes);
+    charged_ += bytes;
+  }
+
+  /// Adjusts the charge to `bytes` total (used when a table regrows).
+  void SetTo(size_t bytes) {
+    if (account_ == nullptr) return;
+    if (bytes > charged_) {
+      account_->Charge(component_, bytes - charged_);
+    } else if (bytes < charged_) {
+      account_->Release(component_, charged_ - bytes);
+    }
+    charged_ = bytes;
+  }
+
+  size_t charged() const { return charged_; }
+
+ private:
+  SessionAccount* account_;
+  Component component_;
+  size_t charged_ = 0;
+};
+
+}  // namespace datatriage::mem

@@ -99,6 +99,25 @@ class Reader {
     return v;
   }
 
+  /// Reads an element count whose payload occupies at least
+  /// `min_bytes_per_element` of the remaining input. Rejects counts a
+  /// truncated or hostile frame cannot actually back, so LoadState loops
+  /// fail before reserving or looping on an absurd length instead of at
+  /// the first element read (or after an OOM-sized reserve).
+  Result<uint64_t> ReadCount(uint64_t min_bytes_per_element) {
+    DT_ASSIGN_OR_RETURN(const uint64_t count, ReadU64());
+    if (min_bytes_per_element > 0 &&
+        count > remaining() / min_bytes_per_element) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot corrupt: declared %llu element(s) of >= %llu "
+          "byte(s) at offset %zu, but only %zu byte(s) remain",
+          static_cast<unsigned long long>(count),
+          static_cast<unsigned long long>(min_bytes_per_element), pos_,
+          remaining()));
+    }
+    return count;
+  }
+
   size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 

@@ -28,6 +28,13 @@ Status EngineConfig::Validate() const {
         "vectorized executor; set vectorized_exec or drop the "
         "threshold");
   }
+  if (memory_budget_bytes != 0 &&
+      memory_budget_bytes < kMinMemoryBudgetBytes) {
+    return Status::InvalidArgument(
+        "EngineConfig: memory_budget_bytes must be 0 (unbounded) or at "
+        "least 64 KiB (a smaller budget would evict every window as it "
+        "forms, degenerating to summarize-only)");
+  }
   return Status::OK();
 }
 
@@ -42,6 +49,13 @@ Status StreamServerOptions::Validate() const {
         "StreamServerOptions: worker_threads must be at most 256 (one "
         "thread per session is the useful maximum; the pool is clamped "
         "to the session count anyway)");
+  }
+  if (memory_budget_bytes != 0 &&
+      memory_budget_bytes < EngineConfig::kMinMemoryBudgetBytes) {
+    return Status::InvalidArgument(
+        "StreamServerOptions: memory_budget_bytes must be 0 (unbounded) "
+        "or at least 64 KiB (the split across sessions must leave each "
+        "a workable share)");
   }
   return Status::OK();
 }

@@ -42,6 +42,18 @@ struct EngineConfig {
   /// conversion would dominate. Requires vectorized_exec.
   size_t vectorized_min_rows = 0;
 
+  /// Per-session state budget, in model bytes (src/common/mem_accounting.h);
+  /// 0 (the default) disables enforcement. When the session's tracked
+  /// state exceeds the budget, memory-triggered triage folds the coldest
+  /// buffered window (LRU by tuple arrival time — never wall-clock) into
+  /// its dropped synopsis, counting the shed tuples under
+  /// `dropped.memory_shed`. Determinism is preserved: eviction depends
+  /// only on the event subsequence and this config.
+  size_t memory_budget_bytes = 0;
+  /// Floor below which the budget is rejected by Validate() — a budget
+  /// smaller than one window of typical state would thrash (64 KiB).
+  static constexpr size_t kMinMemoryBudgetBytes = 64 * 1024;
+
   /// Checks the config's internal invariants, returning a specific error
   /// for the first violation found: a zero queue_capacity, the
   /// synergistic drop policy without a synopsizing strategy, or a zero
@@ -70,8 +82,16 @@ struct StreamServerOptions {
   /// shedding is the triage queues' job, not the task queues'.
   size_t task_queue_capacity = 1024;
 
-  /// Checks the options' invariants: a positive task_queue_capacity and
-  /// a worker_threads count within the sane ceiling (256).
+  /// Server-wide state budget, in model bytes, split evenly across live
+  /// sessions (each session enforces min(its own memory_budget_bytes,
+  /// its share)); 0 disables the server-wide budget. The split is
+  /// recomputed on register/unregister — a deterministic function of the
+  /// serial API-call sequence, not of scheduling.
+  size_t memory_budget_bytes = 0;
+
+  /// Checks the options' invariants: a positive task_queue_capacity, a
+  /// worker_threads count within the sane ceiling (256), and a
+  /// memory budget that is zero or at least the per-session floor.
   Status Validate() const;
 };
 

@@ -10,12 +10,19 @@ namespace datatriage::engine {
 
 namespace {
 
+/// Model bytes per group-table slot and per arena accumulator (fixed
+/// constants so scalar and vectorized staging — whose Entry types differ
+/// — charge identically).
+constexpr size_t kMergeSlotBytes = 24;
+constexpr size_t kMergeAccumulatorBytes = 32;
+
 /// Column-at-a-time AccumulateExact: one batch conversion, whole-column
 /// group hashing, then per-aggregate accumulation sweeps. Hashes, group
 /// equality, and the per-(group, aggregate) floating-point update order
 /// all replicate the row-at-a-time loop exactly.
 synopsis::GroupedEstimate AccumulateExactVectorized(
-    const exec::Relation& spj_rows, const AggregationSpec& spec) {
+    const exec::Relation& spj_rows, const AggregationSpec& spec,
+    mem::ScopedCharge* charge) {
   const size_t n = spj_rows.size();
   const size_t stride = spec.agg_columns.size();
   const auto batch = exec::ColumnBatch::FromRelation(spj_rows);
@@ -31,6 +38,9 @@ synopsis::GroupedEstimate AccumulateExactVectorized(
     uint32_t id = 0;
   };
   FlatTable<Staged> staged;
+  staged.SetCapacityObserver([charge](size_t old_slots, size_t new_slots) {
+    charge->Add((new_slots - old_slots) * kMergeSlotBytes);
+  });
   std::vector<uint32_t> group_of(n);
   std::vector<uint32_t> repr_rows;
   for (size_t i = 0; i < n; ++i) {
@@ -45,6 +55,7 @@ synopsis::GroupedEstimate AccumulateExactVectorized(
           return true;
         },
         [&] {
+          charge->Add(stride * kMergeAccumulatorBytes);
           Staged s{static_cast<uint32_t>(i),
                    static_cast<uint32_t>(repr_rows.size())};
           repr_rows.push_back(static_cast<uint32_t>(i));
@@ -110,9 +121,13 @@ Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query) {
 
 synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
                                           const AggregationSpec& spec,
-                                          bool vectorized) {
+                                          bool vectorized,
+                                          mem::SessionAccount* account) {
+  // The scoped charge drains when the call returns: merge state is
+  // transient, so only the gauge high-watermark records it.
+  mem::ScopedCharge charge(account, mem::Component::kMergeState);
   if (vectorized && !spj_rows.empty()) {
-    return AccumulateExactVectorized(spj_rows, spec);
+    return AccumulateExactVectorized(spj_rows, spec, &charge);
   }
   // Stage groups in a flat table keyed by borrowed rows, then build the
   // ordered GroupedEstimate once per distinct group: the per-row cost is
@@ -123,6 +138,9 @@ synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
   };
   const size_t stride = spec.agg_columns.size();
   FlatTable<Staged> staged;
+  staged.SetCapacityObserver([&charge](size_t old_slots, size_t new_slots) {
+    charge.Add((new_slots - old_slots) * kMergeSlotBytes);
+  });
   std::vector<synopsis::AggAccumulator> arena;
   for (const Tuple& row : spj_rows) {
     const uint64_t hash = HashValuesAt(row, spec.group_columns);
@@ -133,6 +151,7 @@ synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
                                spec.group_columns);
         },
         [&] {
+          charge.Add(stride * kMergeAccumulatorBytes);
           const size_t offset = arena.size();
           arena.resize(offset + stride);
           return Staged{&row, offset};

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/mem_accounting.h"
 #include "src/common/result.h"
 #include "src/exec/relation.h"
 #include "src/plan/binder.h"
@@ -31,9 +32,16 @@ Result<AggregationSpec> MakeAggregationSpec(const plan::BoundQuery& query);
 /// first and grouped/accumulated column-at-a-time; the result is
 /// byte-identical (same hashes, same per-group accumulation order), so
 /// the flag affects speed only.
-synopsis::GroupedEstimate AccumulateExact(const exec::Relation& spj_rows,
-                                          const AggregationSpec& spec,
-                                          bool vectorized = false);
+///
+/// When `account` is set, the transient group table and accumulator
+/// arena are charged to Component::kMergeState for the duration of the
+/// call. The charge sequence is a fixed model over (slot count, group
+/// count) — both identical across executor modes — so accounting stays
+/// byte-equivalent under the exec-mode-flip oracle; vectorized-only
+/// transients (hash/column buffers) are deliberately not charged.
+synopsis::GroupedEstimate AccumulateExact(
+    const exec::Relation& spj_rows, const AggregationSpec& spec,
+    bool vectorized = false, mem::SessionAccount* account = nullptr);
 
 /// Adds `src`'s accumulators into `dst` group-wise.
 void MergeGroupedEstimates(synopsis::GroupedEstimate* dst,

@@ -73,6 +73,11 @@ struct StreamLane {
   /// Kept tuples per open window.
   std::map<WindowId, exec::Relation> kept_buffers;
   std::map<WindowId, int64_t> dropped_counts;
+  /// Arrival-clock LRU key for memory-triggered triage (DESIGN.md §15):
+  /// timestamp of the last tuple appended to kept_buffers[w]. Never
+  /// wall-clock — eviction order must replay identically at any worker
+  /// count. Erased together with the buffer entry.
+  std::map<WindowId, VirtualTime> buffer_touch;
   /// Obs hooks, resolved once at session init (owned by the session's
   /// registry).
   obs::Counter* summarized_dropped = nullptr;
@@ -85,6 +90,10 @@ struct StreamLane {
   /// Drop-cause counter for fault-injected sheds; registered only when
   /// sim_faults is installed so production metric exports are unchanged.
   obs::Counter* fault_shed = nullptr;
+  /// Drop-cause counter for memory-triggered sheds (budget eviction);
+  /// registered only when the session runs with a memory budget so
+  /// unbudgeted metric exports are unchanged.
+  obs::Counter* memory_shed = nullptr;
   /// Admission horizon for mid-stream registration (DESIGN.md §14): the
   /// plane skips this lane for events with timestamp < admit_from, so a
   /// session registered at virtual time t observes exactly the feed

@@ -102,6 +102,10 @@ Status QuerySession::Init(IngestPlane* plane) {
 }
 
 void QuerySession::InitInstruments() {
+  // Byte accounting is always on (the mem.*.bytes gauges and their
+  // high-watermarks are part of every export); only the enforcement
+  // counters are budget-gated.
+  account_.BindGauges(&metrics_);
   ingested_counter_ = metrics_.GetCounter("engine.tuples_ingested");
   kept_counter_ = metrics_.GetCounter("engine.tuples_kept");
   dropped_counter_ = metrics_.GetCounter("engine.tuples_dropped");
@@ -123,6 +127,7 @@ void QuerySession::InitInstruments() {
   for (auto& [name, lane] : lanes_by_name_) {
     const std::string prefix = "stream." + name;
     if (lane->queue != nullptr) {
+      lane->queue->SetAccount(&account_);
       triage::QueueInstruments queue_instruments;
       queue_instruments.depth =
           metrics_.GetGauge(prefix + ".queue_depth");
@@ -133,6 +138,7 @@ void QuerySession::InitInstruments() {
       lane->queue->SetInstruments(queue_instruments);
     }
     if (lane->synopsizer != nullptr) {
+      lane->synopsizer->SetAccount(&account_);
       triage::SynopsizerInstruments synopsizer_instruments;
       synopsizer_instruments.kept_folded =
           metrics_.GetCounter(prefix + ".synopsis.kept_folded");
@@ -155,6 +161,35 @@ void QuerySession::InitInstruments() {
           metrics_.GetCounter(prefix + ".dropped.fault_shed");
     }
   }
+  if (config_.memory_budget_bytes > 0) EnsureMemoryInstruments();
+}
+
+void QuerySession::EnsureMemoryInstruments() {
+  if (mem_over_budget_ != nullptr) return;
+  // Self-check counters (asserted zero by the sim accounting oracle) and
+  // the memory_shed drop cause. Registered only for budgeted sessions so
+  // unbudgeted metric exports are byte-identical to earlier versions.
+  mem_over_budget_ = metrics_.GetCounter("mem.boundary_over_budget");
+  mem_invariant_violations_ =
+      metrics_.GetCounter("mem.invariant_violations");
+  for (auto& [name, lane] : lanes_by_name_) {
+    lane->memory_shed =
+        metrics_.GetCounter("stream." + name + ".dropped.memory_shed");
+  }
+}
+
+void QuerySession::SetServerBudgetShare(size_t bytes) {
+  server_budget_share_ = bytes;
+  if (bytes > 0) EnsureMemoryInstruments();
+}
+
+size_t QuerySession::EffectiveMemoryBudget() const {
+  size_t budget = config_.memory_budget_bytes;
+  if (server_budget_share_ > 0 &&
+      (budget == 0 || server_budget_share_ < budget)) {
+    budget = server_budget_share_;
+  }
+  return budget;
 }
 
 Status QuerySession::Ingest(StreamLane* lane, const Tuple& tuple) {
@@ -192,7 +227,8 @@ Status QuerySession::Ingest(StreamLane* lane, const Tuple& tuple) {
       // Forced overflow: the arrival never reaches the queue — shed it
       // through the normal victim path under the fault_shed cause.
       lane->fault_shed->Add(1);
-      return ShedTuple(lane, tuple);
+      DT_RETURN_IF_ERROR(ShedTuple(lane, tuple));
+      return MaybeShedForMemory();
     }
   }
   if (config_.strategy == SheddingStrategy::kSummarizeOnly) {
@@ -207,13 +243,13 @@ Status QuerySession::Ingest(StreamLane* lane, const Tuple& tuple) {
       ChargeSynopsisTime(lane, config_.cost_model.synopsis_insert_cost);
       lane->dropped_counts[w] += 1;
     }
-    return Status::OK();
+    return MaybeShedForMemory();
   }
   std::optional<Tuple> victim = lane->queue->Push(tuple);
   if (victim.has_value()) {
     DT_RETURN_IF_ERROR(ShedTuple(lane, *victim));
   }
-  return Status::OK();
+  return MaybeShedForMemory();
 }
 
 Status QuerySession::ShedTuple(StreamLane* lane, const Tuple& tuple) {
@@ -271,6 +307,8 @@ Status QuerySession::ProcessOneQueuedTuple() {
   // yet emitted (windows whose deadline already passed counted it as
   // dropped at their emission).
   const WindowSpan pending = PendingWindowsFor(tuple.timestamp());
+  const size_t tuple_bytes = mem::TupleBytes(tuple);
+  const VirtualTime touch = tuple.timestamp();
   for (WindowId w = pending.first; w <= pending.last; ++w) {
     if (config_.strategy == SheddingStrategy::kDataTriage) {
       // Data Triage also synopsizes kept tuples so the shadow plan can
@@ -278,6 +316,8 @@ Status QuerySession::ProcessOneQueuedTuple() {
       DT_RETURN_IF_ERROR(best->synopsizer->AddKeptToWindow(tuple, w));
       ChargeSynopsisTime(best, config_.cost_model.synopsis_insert_cost);
     }
+    account_.Charge(mem::Component::kWindowBuffers, tuple_bytes);
+    best->buffer_touch[w] = touch;
     // The last covering window takes the tuple by move (the common
     // tumbling-window case copies nothing); earlier sliding windows copy.
     if (w == pending.last) {
@@ -287,6 +327,114 @@ Status QuerySession::ProcessOneQueuedTuple() {
     }
   }
   return Status::OK();
+}
+
+bool QuerySession::HasFoldableWindow() const {
+  for (const auto& [name, lane] : lanes_by_name_) {
+    if (!lane->buffer_touch.empty()) return true;
+  }
+  return false;
+}
+
+Status QuerySession::MaybeShedForMemory() {
+  const size_t budget = EffectiveMemoryBudget();
+  if (budget == 0) return Status::OK();
+  EnsureMemoryInstruments();
+  while (account_.TotalBytes() > budget) {
+    // Coldest foldable window: least recently appended-to by arrival
+    // timestamp; lanes iterate in stream-name order and windows in id
+    // order, so the strict `<` breaks ties by (touch, stream, window) —
+    // fully deterministic, never wall-clock.
+    StreamLane* coldest_lane = nullptr;
+    WindowId coldest_window = 0;
+    VirtualTime coldest_touch =
+        std::numeric_limits<VirtualTime>::infinity();
+    for (auto& [name, lane] : lanes_by_name_) {
+      for (const auto& [window, touched] : lane->buffer_touch) {
+        if (window < next_window_to_emit_) continue;
+        if (touched < coldest_touch) {
+          coldest_touch = touched;
+          coldest_lane = lane;
+          coldest_window = window;
+        }
+      }
+    }
+    // Nothing left to fold: the remaining bytes are irreducible state
+    // (queue capacity is bounded; synopses cannot shrink). The loop
+    // terminates because each fold erases one buffered window.
+    if (coldest_lane == nullptr) break;
+    DT_RETURN_IF_ERROR(
+        FoldWindowForMemory(coldest_lane, coldest_window));
+  }
+  return Status::OK();
+}
+
+Status QuerySession::FoldWindowForMemory(StreamLane* lane,
+                                         WindowId window) {
+  auto it = lane->kept_buffers.find(window);
+  DT_CHECK(it != lane->kept_buffers.end());
+  exec::Relation rows = std::move(it->second);
+  lane->kept_buffers.erase(it);
+  lane->buffer_touch.erase(window);
+  account_.Release(mem::Component::kWindowBuffers,
+                   mem::RelationBytes(rows));
+  for (const Tuple& tuple : rows) {
+    // For this window the tuple is now a dropped tuple: it is counted
+    // (and, under synopsizing strategies, folded) exactly like a tuple
+    // the deadline overran. Its kept copies in earlier sliding windows
+    // are untouched.
+    DT_RETURN_IF_ERROR(ShedTupleForWindow(lane, tuple, window));
+    const WindowSpan covering = CoveringWindows(
+        tuple.timestamp(), window_seconds_, window_slide_);
+    if (covering.last == window) {
+      // This was the tuple's final covering window, so it can no longer
+      // reach any exact plan: flip it from kept to dropped globally
+      // under the memory_shed cause. The conservation invariant
+      // (ingested == kept + dropped) and the drop-cause partition both
+      // stay exact.
+      --stats_.tuples_kept;
+      ++stats_.tuples_dropped;
+      kept_counter_->Add(-1);
+      dropped_counter_->Add(1);
+      lane->memory_shed->Add(1);
+    }
+  }
+  return Status::OK();
+}
+
+void QuerySession::CheckMemoryBoundary() {
+  const size_t budget = EffectiveMemoryBudget();
+  if (budget == 0) return;
+  EnsureMemoryInstruments();
+  // MaybeShedForMemory only stops while over budget when nothing is
+  // foldable; a boundary that is over budget *with* foldable state left
+  // means enforcement failed.
+  if (account_.TotalBytes() > budget && HasFoldableWindow()) {
+    mem_over_budget_->Add(1);
+  }
+  // Double-entry audit: recompute ground truth from the owners and
+  // compare against the account. Merge transients must have drained
+  // (ScopedCharge) by every boundary.
+  size_t queue_bytes = 0;
+  size_t synopsis_bytes = 0;
+  size_t buffer_bytes = 0;
+  for (const auto& [name, lane] : lanes_by_name_) {
+    if (lane->queue != nullptr) {
+      queue_bytes += lane->queue->MemoryBytes();
+    }
+    if (lane->synopsizer != nullptr) {
+      synopsis_bytes += lane->synopsizer->MemoryBytes();
+    }
+    for (const auto& [window, relation] : lane->kept_buffers) {
+      buffer_bytes += mem::RelationBytes(relation);
+    }
+  }
+  if (queue_bytes != account_.bytes(mem::Component::kTriageQueues) ||
+      synopsis_bytes != account_.bytes(mem::Component::kSynopses) ||
+      buffer_bytes != account_.bytes(mem::Component::kWindowBuffers) ||
+      account_.bytes(mem::Component::kMergeState) != 0) {
+    mem_invariant_violations_->Add(1);
+  }
 }
 
 Status QuerySession::ProcessUntil(VirtualTime until) {
@@ -369,10 +517,13 @@ Status QuerySession::EmitWindow(WindowId window) {
   for (auto& [name, lane] : lanes_by_name_) {
     auto it = lane->kept_buffers.find(window);
     if (it != lane->kept_buffers.end()) {
+      account_.Release(mem::Component::kWindowBuffers,
+                       mem::RelationBytes(it->second));
       result.kept_tuples += static_cast<int64_t>(it->second.size());
       kept_inputs[exec::ChannelKey{name, plan::Channel::kKept}] =
           std::move(it->second);
       lane->kept_buffers.erase(it);
+      lane->buffer_touch.erase(window);
     }
     auto dropped_it = lane->dropped_counts.find(window);
     if (dropped_it != lane->dropped_counts.end()) {
@@ -436,7 +587,7 @@ Status QuerySession::EmitWindow(WindowId window) {
   if (query.has_aggregate) {
     synopsis::GroupedEstimate exact_groups =
         engine::AccumulateExact(kept_rows, agg_spec_,
-                                config_.vectorized_exec);
+                                config_.vectorized_exec, &account_);
     DT_ASSIGN_OR_RETURN(
         result.exact_rows,
         engine::BuildAggregateRows(exact_groups, query, agg_spec_,
@@ -524,6 +675,11 @@ Status QuerySession::EmitWindow(WindowId window) {
   trace_.Record(std::move(trace_record));
 
   DeliverResult(std::move(result));
+  // Emission freed this window's buffers but grew nothing foldable;
+  // still re-check (sliding windows may leave later buffers over the
+  // budget) and audit the account at the boundary.
+  DT_RETURN_IF_ERROR(MaybeShedForMemory());
+  CheckMemoryBoundary();
   return Status::OK();
 }
 
@@ -622,7 +778,7 @@ void SaveRelation(serde::Writer* writer, const exec::Relation& rows) {
 }
 
 Status LoadRelation(serde::Reader* reader, exec::Relation* rows) {
-  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadCount(16));
   rows->clear();
   rows->reserve(size);
   for (uint64_t i = 0; i < size; ++i) {
@@ -651,16 +807,16 @@ void SaveGroupedEstimate(serde::Writer* writer,
 Status LoadGroupedEstimate(serde::Reader* reader,
                            synopsis::GroupedEstimate* estimate) {
   estimate->clear();
-  DT_ASSIGN_OR_RETURN(const uint64_t groups, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t groups, reader->ReadCount(16));
   for (uint64_t g = 0; g < groups; ++g) {
-    DT_ASSIGN_OR_RETURN(const uint64_t key_size, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t key_size, reader->ReadCount(8));
     std::vector<Value> key;
     key.reserve(key_size);
     for (uint64_t i = 0; i < key_size; ++i) {
       DT_ASSIGN_OR_RETURN(Value v, LoadValue(reader));
       key.push_back(std::move(v));
     }
-    DT_ASSIGN_OR_RETURN(const uint64_t num_accs, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t num_accs, reader->ReadCount(32));
     std::vector<synopsis::AggAccumulator> accumulators(num_accs);
     for (uint64_t i = 0; i < num_accs; ++i) {
       DT_ASSIGN_OR_RETURN(accumulators[i].count, reader->ReadDouble());
@@ -724,7 +880,7 @@ Status LoadTraceRecord(serde::Reader* reader,
   DT_ASSIGN_OR_RETURN(record->latency, reader->ReadDouble());
   DT_ASSIGN_OR_RETURN(record->kept_tuples, reader->ReadI64());
   DT_ASSIGN_OR_RETURN(record->dropped_tuples, reader->ReadI64());
-  DT_ASSIGN_OR_RETURN(const uint64_t streams, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t streams, reader->ReadCount(16));
   for (uint64_t i = 0; i < streams; ++i) {
     DT_ASSIGN_OR_RETURN(std::string stream, reader->ReadString());
     DT_ASSIGN_OR_RETURN(const int64_t count, reader->ReadI64());
@@ -781,23 +937,23 @@ void SaveRegistry(serde::Writer* writer,
 }
 
 Status LoadRegistry(serde::Reader* reader, obs::MetricsRegistry* registry) {
-  DT_ASSIGN_OR_RETURN(const uint64_t num_counters, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_counters, reader->ReadCount(16));
   for (uint64_t i = 0; i < num_counters; ++i) {
     DT_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
     DT_ASSIGN_OR_RETURN(const int64_t value, reader->ReadI64());
     registry->GetCounter(name)->Restore(value);
   }
-  DT_ASSIGN_OR_RETURN(const uint64_t num_gauges, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_gauges, reader->ReadCount(24));
   for (uint64_t i = 0; i < num_gauges; ++i) {
     DT_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
     DT_ASSIGN_OR_RETURN(const double value, reader->ReadDouble());
     DT_ASSIGN_OR_RETURN(const double max, reader->ReadDouble());
     registry->GetGauge(name)->Restore(value, max);
   }
-  DT_ASSIGN_OR_RETURN(const uint64_t num_histograms, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_histograms, reader->ReadCount(16));
   for (uint64_t i = 0; i < num_histograms; ++i) {
     DT_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
-    DT_ASSIGN_OR_RETURN(const uint64_t num_bounds, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t num_bounds, reader->ReadCount(8));
     std::vector<double> bounds(num_bounds);
     for (uint64_t b = 0; b < num_bounds; ++b) {
       DT_ASSIGN_OR_RETURN(bounds[b], reader->ReadDouble());
@@ -851,6 +1007,11 @@ void QuerySession::SaveState(serde::Writer* writer) const {
       writer->WriteI64(window);
       writer->WriteI64(count);
     }
+    writer->WriteU64(lane->buffer_touch.size());
+    for (const auto& [window, touched] : lane->buffer_touch) {
+      writer->WriteI64(window);
+      writer->WriteDouble(touched);
+    }
   }
 
   writer->WriteU64(results_.size());
@@ -863,6 +1024,14 @@ void QuerySession::SaveState(serde::Writer* writer) const {
     SaveTraceRecord(writer, record);
   }
   writer->WriteI64(trace_.total_recorded());
+
+  // Memory-account state (format v2): live bytes are redundant with the
+  // lane state above (LoadState cross-checks them), peaks are not.
+  for (size_t i = 0; i < mem::kNumComponents; ++i) {
+    const auto component = static_cast<mem::Component>(i);
+    writer->WriteU64(account_.bytes(component));
+    writer->WriteU64(account_.peak_bytes(component));
+  }
 
   SaveRegistry(writer, metrics_);
 }
@@ -883,7 +1052,12 @@ Status QuerySession::LoadState(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(stats_.synopsis_work_seconds, reader->ReadDouble());
   DT_ASSIGN_OR_RETURN(stats_.final_engine_time, reader->ReadDouble());
 
-  DT_ASSIGN_OR_RETURN(const uint64_t num_lanes, reader->ReadU64());
+  // Window-buffer charges belong to the session (not a lane object), so
+  // drop any existing ones before the lanes re-charge their state.
+  account_.Release(mem::Component::kWindowBuffers,
+                   account_.bytes(mem::Component::kWindowBuffers));
+
+  DT_ASSIGN_OR_RETURN(const uint64_t num_lanes, reader->ReadCount(8));
   if (num_lanes != lanes_by_name_.size()) {
     return Status::InvalidArgument(StringPrintf(
         "snapshot: lane count %llu does not match the rebuilt query's "
@@ -911,24 +1085,35 @@ Status QuerySession::LoadState(serde::Reader* reader) {
     if (lane->synopsizer != nullptr) {
       DT_RETURN_IF_ERROR(lane->synopsizer->LoadState(reader));
     }
-    DT_ASSIGN_OR_RETURN(const uint64_t num_buffers, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t num_buffers, reader->ReadCount(16));
     lane->kept_buffers.clear();
     for (uint64_t i = 0; i < num_buffers; ++i) {
       DT_ASSIGN_OR_RETURN(const WindowId window, reader->ReadI64());
       exec::Relation relation;
       DT_RETURN_IF_ERROR(LoadRelation(reader, &relation));
+      account_.Charge(mem::Component::kWindowBuffers,
+                      mem::RelationBytes(relation));
       lane->kept_buffers.emplace(window, std::move(relation));
     }
-    DT_ASSIGN_OR_RETURN(const uint64_t num_counts, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t num_counts, reader->ReadCount(16));
     lane->dropped_counts.clear();
     for (uint64_t i = 0; i < num_counts; ++i) {
       DT_ASSIGN_OR_RETURN(const WindowId window, reader->ReadI64());
       DT_ASSIGN_OR_RETURN(const int64_t count, reader->ReadI64());
       lane->dropped_counts.emplace(window, count);
     }
+    DT_ASSIGN_OR_RETURN(const uint64_t num_touches,
+                        reader->ReadCount(16));
+    lane->buffer_touch.clear();
+    for (uint64_t i = 0; i < num_touches; ++i) {
+      DT_ASSIGN_OR_RETURN(const WindowId window, reader->ReadI64());
+      DT_ASSIGN_OR_RETURN(const VirtualTime touched,
+                          reader->ReadDouble());
+      lane->buffer_touch.emplace(window, touched);
+    }
   }
 
-  DT_ASSIGN_OR_RETURN(const uint64_t num_results, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_results, reader->ReadCount(16));
   results_.clear();
   for (uint64_t i = 0; i < num_results; ++i) {
     WindowResult result;
@@ -936,13 +1121,34 @@ Status QuerySession::LoadState(serde::Reader* reader) {
     results_.push_back(std::move(result));
   }
 
-  DT_ASSIGN_OR_RETURN(const uint64_t num_records, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_records, reader->ReadCount(16));
   std::vector<obs::WindowTraceRecord> records(num_records);
   for (uint64_t i = 0; i < num_records; ++i) {
     DT_RETURN_IF_ERROR(LoadTraceRecord(reader, &records[i]));
   }
   DT_ASSIGN_OR_RETURN(const int64_t total_recorded, reader->ReadI64());
   trace_.Restore(std::move(records), total_recorded);
+
+  // Memory accounts: the lane restores above already re-charged every
+  // byte, so the saved live bytes are a cross-check of snapshot
+  // consistency; only the peaks carry new information.
+  for (size_t i = 0; i < mem::kNumComponents; ++i) {
+    const auto component = static_cast<mem::Component>(i);
+    DT_ASSIGN_OR_RETURN(const uint64_t saved_bytes, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t saved_peak, reader->ReadU64());
+    if (saved_bytes != account_.bytes(component)) {
+      const std::string_view name = mem::ComponentName(component);
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: mem.%.*s account saved %llu byte(s) but the "
+          "restored state rebuilds to %zu byte(s) — the snapshot is "
+          "inconsistent",
+          static_cast<int>(name.size()), name.data(),
+          static_cast<unsigned long long>(saved_bytes),
+          account_.bytes(component)));
+    }
+    account_.RestorePeak(component, saved_peak);
+  }
+  if (EffectiveMemoryBudget() > 0) EnsureMemoryInstruments();
 
   // The registry restores last: lane restore above touched the depth
   // gauges (SetInstruments/LoadState re-set them), and absolute restore

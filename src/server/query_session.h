@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/mem_accounting.h"
 #include "src/common/result.h"
 #include "src/engine/config.h"
 #include "src/engine/merge.h"
@@ -120,6 +121,23 @@ class QuerySession {
 
   const engine::EngineConfig& config() const { return config_; }
 
+  /// Memory-budget plumbing (DESIGN.md §15). The session always accounts
+  /// its state bytes (window buffers, triage queues, synopses, merge
+  /// transients); enforcement only engages when the effective budget is
+  /// nonzero.
+  const mem::SessionAccount& memory_account() const { return account_; }
+  /// Forwards every session charge into the server-wide accountant.
+  /// Called by the server at registration, before any arrival.
+  void SetServerAccountant(mem::MemoryAccountant* accountant) {
+    account_.SetServerAccountant(accountant);
+  }
+  /// This session's share of the server-wide budget (0 = no server
+  /// budget). Recomputed by the server whenever the live-session count
+  /// changes; the effective budget is the tighter of this and
+  /// config().memory_budget_bytes.
+  void SetServerBudgetShare(size_t bytes);
+  size_t EffectiveMemoryBudget() const;
+
   /// Mid-stream registration (DESIGN.md §14): admits events from `t` on
   /// by stamping every lane's admission horizon. Must be called before
   /// the session sees any arrival.
@@ -177,6 +195,36 @@ class QuerySession {
   /// and attaches the queue/synopsizer hooks. Called once from Init.
   void InitInstruments();
 
+  /// Registers the budget-only instruments (mem.boundary_over_budget,
+  /// mem.invariant_violations, stream.*.dropped.memory_shed). Idempotent;
+  /// called the first time the session runs with a nonzero budget so
+  /// unbudgeted metric exports stay byte-identical.
+  void EnsureMemoryInstruments();
+
+  /// Memory-triggered triage (the paper's second overload trigger): while
+  /// the session is over its effective budget and a foldable window
+  /// remains, fold the coldest buffered window — LRU by last-append
+  /// arrival timestamp, ties broken by stream name then window id — into
+  /// its dropped synopsis. Runs at the end of Ingest and EmitWindow.
+  Status MaybeShedForMemory();
+
+  /// Folds kept_buffers[window] of `lane` into the window's dropped
+  /// synopsis: every folded tuple counts as dropped for that window;
+  /// tuples whose *last* covering window this is flip from kept to
+  /// dropped globally under the memory_shed cause (earlier sliding
+  /// windows may still keep their copies).
+  Status FoldWindowForMemory(StreamLane* lane, WindowId window);
+
+  /// True when some lane still buffers a not-yet-emitted window.
+  bool HasFoldableWindow() const;
+
+  /// Double-entry audit at a window boundary (budgeted sessions only):
+  /// recomputes ground-truth bytes from the owners and compares against
+  /// the account; also flags a boundary left over budget with foldable
+  /// state remaining. Violations increment counters the sim oracle
+  /// asserts are zero.
+  void CheckMemoryBoundary();
+
   void ChargeSynopsisTime(double seconds) {
     session_time_ += seconds;
     stats_.synopsis_work_seconds += seconds;
@@ -218,6 +266,11 @@ class QuerySession {
   std::vector<engine::WindowResult> results_;
   WindowSink sink_;
   engine::EngineStats stats_;
+
+  /// Per-session byte account (DESIGN.md §15): single-writer, exact,
+  /// and the enforcement input for memory-triggered triage.
+  mem::SessionAccount account_;
+  size_t server_budget_share_ = 0;
   bool finished_ = false;
   SessionLifecycle lifecycle_ = SessionLifecycle::kActive;
   std::string sql_;
@@ -239,6 +292,10 @@ class QuerySession {
   obs::Counter* exec_comparisons_ = nullptr;
   obs::Counter* shadow_work_ = nullptr;
   obs::Histogram* emission_latency_ = nullptr;
+  /// Budget-only self-check counters; null until the first nonzero
+  /// budget (see EnsureMemoryInstruments).
+  obs::Counter* mem_over_budget_ = nullptr;
+  obs::Counter* mem_invariant_violations_ = nullptr;
 };
 
 }  // namespace datatriage::server

@@ -93,6 +93,7 @@ void SaveEngineConfig(serde::Writer* writer,
   writer->WriteU64(config.seed);
   writer->WriteBool(config.vectorized_exec);
   writer->WriteU64(config.vectorized_min_rows);
+  writer->WriteU64(config.memory_budget_bytes);
 }
 
 Result<engine::EngineConfig> LoadEngineConfig(serde::Reader* reader) {
@@ -149,6 +150,7 @@ Result<engine::EngineConfig> LoadEngineConfig(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(config.seed, reader->ReadU64());
   DT_ASSIGN_OR_RETURN(config.vectorized_exec, reader->ReadBool());
   DT_ASSIGN_OR_RETURN(config.vectorized_min_rows, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(config.memory_budget_bytes, reader->ReadU64());
   return config;
 }
 

@@ -31,7 +31,10 @@ struct SessionSnapshot {
 
 /// Current snapshot wire version. Bump when the payload layout changes;
 /// OpenSnapshot rejects snapshots from other versions by name.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// v2: EngineConfig gained memory_budget_bytes, and the session payload
+/// carries per-lane window-buffer touch clocks plus the per-component
+/// memory-account bytes and peaks (DESIGN.md §15).
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Frames `payload` as a complete snapshot byte string:
 /// magic "DTSS" + u32 version + u64 payload size + payload + 32-char MD5

@@ -26,7 +26,9 @@ std::string_view ServerStateName(ServerState state) {
 
 StreamServer::StreamServer(Catalog catalog,
                            engine::StreamServerOptions options)
-    : options_(options), plane_(std::move(catalog)) {
+    : options_(options),
+      plane_(std::move(catalog)),
+      accountant_(options.memory_budget_bytes) {
   Status valid = options_.Validate();
   DT_CHECK(valid.ok()) << valid.ToString();
 }
@@ -78,7 +80,15 @@ Result<SessionId> StreamServer::RegisterQuery(plan::BoundQuery query,
     session->SetEffectiveFrom(effective_from);
     CountLifecycleEvent(id, "registered_mid_stream");
   }
+  session->SetServerAccountant(&accountant_);
   sessions_.push_back(std::move(session));
+  if (options_.memory_budget_bytes > 0) {
+    // Shares are read on the owning workers, so quiesce before
+    // re-splitting. Unbudgeted servers skip this: no drain, no
+    // behavioral perturbation.
+    DT_RETURN_IF_ERROR(Quiesce());
+    RecomputeBudgetShares();
+  }
   CountLifecycleEvent(id, "registered");
   return id;
 }
@@ -102,6 +112,7 @@ Status StreamServer::UnregisterQuery(SessionId id) {
   Status drained = session->Finish();
   plane_.Unsubscribe(session);
   session->MarkDetached();
+  if (options_.memory_budget_bytes > 0) RecomputeBudgetShares();
   CountLifecycleEvent(id, "unregistered");
   return drained;
 }
@@ -179,6 +190,18 @@ size_t StreamServer::live_session_count() const {
 Status StreamServer::Quiesce() {
   if (pool_ == nullptr) return Status::OK();
   return pool_->Drain();
+}
+
+void StreamServer::RecomputeBudgetShares() {
+  const size_t live = live_session_count();
+  if (live == 0) return;
+  const size_t share =
+      std::max<size_t>(1, options_.memory_budget_bytes / live);
+  for (std::unique_ptr<QuerySession>& session : sessions_) {
+    if (session->lifecycle() == SessionLifecycle::kActive) {
+      session->SetServerBudgetShare(share);
+    }
+  }
 }
 
 void StreamServer::CountLifecycleEvent(SessionId id,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/catalog/catalog.h"
+#include "src/common/mem_accounting.h"
 #include "src/common/result.h"
 #include "src/engine/config.h"
 #include "src/server/ingest.h"
@@ -175,6 +176,16 @@ class StreamServer {
     return plane_.metrics();
   }
 
+  /// Server-wide memory accountant (DESIGN.md §15): every session charge
+  /// is mirrored here, so TotalBytes/PeakBytes aggregate the whole
+  /// server's accounted state. The server-wide budget
+  /// (StreamServerOptions::memory_budget_bytes) is split evenly across
+  /// live sessions; each share is recomputed whenever the live-session
+  /// count changes.
+  const mem::MemoryAccountant& memory_accountant() const {
+    return accountant_;
+  }
+
   /// Combined deterministic JSON export: the plane's registry under
   /// "server", then one entry per session whose metric names are scoped
   /// with the "session.<id>." prefix (DESIGN.md Sec. 10). Single-session
@@ -209,8 +220,14 @@ class StreamServer {
   /// as server.worker.<k>.* instruments.
   void FlushWorkerMetrics();
 
+  /// Re-splits the server-wide memory budget across the live sessions
+  /// (budget / live count, floored, at least 1 byte). Callers must have
+  /// quiesced the pool first — shares are read on the owning workers.
+  void RecomputeBudgetShares();
+
   engine::StreamServerOptions options_;
   IngestPlane plane_;
+  mem::MemoryAccountant accountant_;
   std::vector<std::unique_ptr<QuerySession>> sessions_;
   ServerState state_ = ServerState::kRegistering;
   std::unique_ptr<WorkerPool> pool_;

@@ -417,6 +417,50 @@ Status CheckConservation(const QueryRunOutput& run) {
   return Status::OK();
 }
 
+Status CheckMemoryAccounting(const QueryRunOutput& run, bool budgeted) {
+  // Always-on part: accounting must drain to zero once the session is
+  // finished — every charge has a matching release (window buffers emit,
+  // queues evict stragglers, synopses are taken, merge transients are
+  // scoped).
+  static constexpr const char* kComponentGauges[] = {
+      "mem.window_buffers.bytes", "mem.triage_queues.bytes",
+      "mem.synopses.bytes", "mem.merge_state.bytes"};
+  for (const char* name : kComponentGauges) {
+    const auto it = run.snapshot.gauges.find(name);
+    if (it == run.snapshot.gauges.end()) {
+      return Status::Internal(StringPrintf(
+          "mem accounting: gauge %s missing from the export", name));
+    }
+    if (it->second != 0.0) {
+      return Status::Internal(StringPrintf(
+          "mem accounting: gauge %s reads %g byte(s) after Finish "
+          "(expected 0 — some charge was never released)",
+          name, it->second));
+    }
+  }
+  if (!budgeted) return Status::OK();
+  // Budgeted part: the enforcement self-checks must have stayed silent —
+  // no boundary left over budget with foldable state, and every
+  // double-entry audit matched.
+  const auto expect_zero = [&](const char* name) -> Status {
+    const auto it = run.snapshot.counters.find(name);
+    if (it == run.snapshot.counters.end()) {
+      return Status::Internal(StringPrintf(
+          "mem accounting: counter %s missing from a budgeted run",
+          name));
+    }
+    if (it->second != 0) {
+      return Status::Internal(StringPrintf(
+          "mem accounting: counter %s = %lld (expected 0)", name,
+          static_cast<long long>(it->second)));
+    }
+    return Status::OK();
+  };
+  DT_RETURN_IF_ERROR(expect_zero("mem.boundary_over_budget"));
+  DT_RETURN_IF_ERROR(expect_zero("mem.invariant_violations"));
+  return Status::OK();
+}
+
 Status CheckAccuracy(const SimScenario& scenario, size_t query_index,
                      const QueryRunOutput& run) {
   const SimQuery& query = scenario.queries[query_index];
@@ -460,6 +504,9 @@ Status CheckAccuracy(const SimScenario& scenario, size_t query_index,
   config.cost_model.synopsis_work_unit_cost = 0.0;
   config.cost_model.emission_overhead = 0.0;
   config.cost_model.delay_factor = 1.0;
+  // The ideal run is unbudgeted: a memory budget would trigger
+  // memory_shed drops despite the zero-cost model.
+  config.memory_budget_bytes = 0;
   DT_ASSIGN_OR_RETURN(std::unique_ptr<engine::ContinuousQueryEngine> eng,
                       engine::ContinuousQueryEngine::Make(
                           scenario.catalog, query.sql, config));

@@ -93,6 +93,13 @@ Status CheckEngineEquivalence(const SimScenario& scenario,
 /// increasing order at non-decreasing emit times.
 Status CheckConservation(const QueryRunOutput& run);
 
+/// Oracle: memory-accounting invariants of one session (DESIGN.md §15).
+/// Always: every mem.<component>.bytes gauge reads 0 after Finish (each
+/// charge had a matching release). When `budgeted`, additionally: the
+/// enforcement self-check counters mem.boundary_over_budget and
+/// mem.invariant_violations exist and are exactly 0.
+Status CheckMemoryAccounting(const QueryRunOutput& run, bool budgeted);
+
 /// Oracle: accuracy against the offline ideal evaluation, for queries
 /// with AccuracyEligible(). Checks (a) the scenario run's merged-channel
 /// RMS error vs the ideal is finite, and (b) an ideal engine run of the

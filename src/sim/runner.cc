@@ -115,6 +115,11 @@ Status RunOracles(uint64_t seed, const SimScenario& scenario,
   for (size_t q = 0; q < base.sessions.size(); ++q) {
     DT_RETURN_IF_ERROR(Annotate(CheckConservation(base.sessions[q]),
                                 seed, "conservation"));
+    const bool budgeted =
+        scenario.queries[q].config.memory_budget_bytes > 0;
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckMemoryAccounting(base.sessions[q], budgeted), seed,
+        "mem-accounting"));
     DT_RETURN_IF_ERROR(Annotate(
         CheckAccuracy(scenario, q, base.sessions[q]), seed, "accuracy"));
   }
@@ -133,12 +138,24 @@ std::string ReplayCommand(uint64_t seed, const SimOptions& options) {
       "sim_main --replay-seed %llu --workers %s",
       static_cast<unsigned long long>(seed), workers.c_str());
   if (!options.with_faults) command += " --no-faults";
+  if (options.force_memory_budgets) command += " --force-memory-budgets";
   return command;
 }
 
 Status RunScenarioOnce(uint64_t seed, const SimOptions& options,
                        std::ostream* out) {
-  const SimScenario scenario = GenerateScenario(seed);
+  SimScenario scenario = GenerateScenario(seed);
+  if (options.force_memory_budgets) {
+    // Same choice table as the generator's organic draw; keyed by
+    // (seed, query index) so the override is a pure function of the
+    // replay command.
+    static constexpr size_t kBudgetChoices[] = {64 * 1024, 96 * 1024,
+                                                160 * 1024, 512 * 1024};
+    for (size_t q = 0; q < scenario.queries.size(); ++q) {
+      scenario.queries[q].config.memory_budget_bytes =
+          kBudgetChoices[(seed + q) & 3];
+    }
+  }
   const bool install_faults = options.with_faults && scenario.use_faults;
   if (options.verbose && out != nullptr) {
     *out << Describe(scenario);

@@ -18,6 +18,12 @@ struct SimOptions {
   std::vector<size_t> worker_counts = {1, 2, 4};
   /// Install each scenario's generated SimFaults (--no-faults clears).
   bool with_faults = true;
+  /// Override every generated query config with a tight, seed-derived
+  /// memory budget (DESIGN.md §15), so a whole campaign exercises
+  /// memory-triggered triage instead of the ~1/8 of seeds the generator
+  /// budgets organically. The override is deterministic per (seed,
+  /// query), so replay commands stay exact reproductions.
+  bool force_memory_budgets = false;
   /// Wall-clock budget in seconds; 0 = no budget. Checked between
   /// scenarios, so a campaign overruns by at most one scenario.
   double max_wall_seconds = 0.0;

@@ -130,6 +130,15 @@ engine::EngineConfig GenerateConfig(Rng& rng) {
   static constexpr size_t kMinRowsChoices[] = {0, 0, 16, 64};
   config.vectorized_min_rows =
       config.vectorized_exec ? kMinRowsChoices[(config.seed >> 1) & 3] : 0;
+  // Memory-budget fuzzing, same seed-bit idiom: ~1/8 of scenarios run
+  // budgeted, spread across tight (memory-triggered triage fires
+  // constantly) through roomy (it fires rarely), so the accounting
+  // oracle sees both regimes.
+  if (((config.seed >> 3) & 7) == 0) {
+    static constexpr size_t kBudgetChoices[] = {
+        64 * 1024, 96 * 1024, 160 * 1024, 512 * 1024};
+    config.memory_budget_bytes = kBudgetChoices[(config.seed >> 6) & 3];
+  }
   Status valid = config.Validate();
   DT_CHECK(valid.ok()) << valid.ToString();
   return config;

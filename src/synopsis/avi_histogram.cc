@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/mem_accounting.h"
 #include "src/common/serde.h"
 #include "src/common/string_util.h"
 
@@ -72,6 +73,14 @@ size_t AviHistogram::SizeInCells() const {
   size_t cells = 0;
   for (const auto& marginal : marginals_) cells += marginal.size();
   return cells;
+}
+
+size_t AviHistogram::MemoryBytes() const {
+  // One map per dimension plus one node per occupied marginal cell
+  // (int64 coordinate + double count).
+  return mem::kSynopsisBaseBytes +
+         marginals_.size() * mem::kVectorHeaderBytes +
+         SizeInCells() * (mem::kMapNodeBytes + 16);
 }
 
 SynopsisPtr AviHistogram::Clone() const {
@@ -422,10 +431,10 @@ void AviHistogram::SaveState(serde::Writer* writer) const {
 
 Status AviHistogram::LoadState(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(config_.cell_width, reader->ReadDouble());
-  DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadCount(8));
   marginals_.assign(dims, {});
   for (uint64_t d = 0; d < dims; ++d) {
-    DT_ASSIGN_OR_RETURN(const uint64_t cells, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t cells, reader->ReadCount(16));
     for (uint64_t i = 0; i < cells; ++i) {
       DT_ASSIGN_OR_RETURN(const int64_t coord, reader->ReadI64());
       DT_ASSIGN_OR_RETURN(const double mass, reader->ReadDouble());

@@ -37,6 +37,7 @@ class AviHistogram final : public Synopsis {
   void Insert(const Tuple& tuple) override;
   double TotalCount() const override { return total_count_; }
   size_t SizeInCells() const override;
+  size_t MemoryBytes() const override;
   SynopsisPtr Clone() const override;
 
   Result<SynopsisPtr> UnionAllWith(const Synopsis& other,

@@ -18,13 +18,22 @@ Result<SynopsisPtr> ExactSynopsis::Make(Schema schema,
 
 void ExactSynopsis::Insert(const Tuple& tuple) {
   DT_CHECK_EQ(tuple.size(), schema_.num_fields());
+  row_bytes_ += mem::TupleBytes(tuple) + mem::kWeightedRowBytes;
   rows_.push_back(WeightedRow{tuple, 1.0});
 }
 
 void ExactSynopsis::AddRow(Tuple tuple, double weight) {
   DT_CHECK_EQ(tuple.size(), schema_.num_fields());
   if (weight <= 0) return;
+  row_bytes_ += mem::TupleBytes(tuple) + mem::kWeightedRowBytes;
   rows_.push_back(WeightedRow{std::move(tuple), weight});
+}
+
+void ExactSynopsis::RecomputeMemoryBytes() {
+  row_bytes_ = mem::kSynopsisBaseBytes;
+  for (const WeightedRow& r : rows_) {
+    row_bytes_ += mem::TupleBytes(r.tuple) + mem::kWeightedRowBytes;
+  }
 }
 
 double ExactSynopsis::TotalCount() const {
@@ -37,6 +46,7 @@ SynopsisPtr ExactSynopsis::Clone() const {
   auto clone = std::unique_ptr<ExactSynopsis>(
       new ExactSynopsis(schema_, vectorized_));
   clone->rows_ = rows_;
+  clone->row_bytes_ = row_bytes_;
   return clone;
 }
 
@@ -56,6 +66,7 @@ Result<SynopsisPtr> ExactSynopsis::UnionAllWith(const Synopsis& other,
   result->rows_ = rows_;
   result->rows_.insert(result->rows_.end(), rhs.rows_.begin(),
                        rhs.rows_.end());
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) {
     stats->work += static_cast<int64_t>(rows_.size() + rhs.rows_.size());
   }
@@ -149,6 +160,7 @@ Result<SynopsisPtr> ExactSynopsis::EquiJoinWith(
             WeightedRow{l.tuple.Concat(r.tuple), l.weight * r.weight});
       }
     }
+    result->RecomputeMemoryBytes();
     if (stats != nullptr) stats->work += work;
     return SynopsisPtr(std::move(result));
   }
@@ -166,6 +178,7 @@ Result<SynopsisPtr> ExactSynopsis::EquiJoinWith(
           WeightedRow{l.tuple.Concat(r.tuple), l.weight * r.weight});
     }
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += work;
   return SynopsisPtr(std::move(result));
 }
@@ -191,6 +204,7 @@ Result<SynopsisPtr> ExactSynopsis::ProjectColumns(
   for (const WeightedRow& r : rows_) {
     result->rows_.push_back(WeightedRow{r.tuple.Project(indices), r.weight});
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
   return SynopsisPtr(std::move(result));
 }
@@ -202,6 +216,7 @@ Result<SynopsisPtr> ExactSynopsis::Filter(const plan::BoundExpr& predicate,
   for (const WeightedRow& r : rows_) {
     if (predicate.EvaluatesToTrue(r.tuple)) result->rows_.push_back(r);
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
   return SynopsisPtr(std::move(result));
 }
@@ -372,7 +387,7 @@ void ExactSynopsis::SaveState(serde::Writer* writer) const {
 
 Status ExactSynopsis::LoadState(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(vectorized_, reader->ReadBool());
-  DT_ASSIGN_OR_RETURN(const uint64_t num_rows, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_rows, reader->ReadCount(16));
   rows_.clear();
   rows_.reserve(num_rows);
   for (uint64_t i = 0; i < num_rows; ++i) {
@@ -381,6 +396,7 @@ Status ExactSynopsis::LoadState(serde::Reader* reader) {
     DT_ASSIGN_OR_RETURN(r.weight, reader->ReadDouble());
     rows_.push_back(std::move(r));
   }
+  RecomputeMemoryBytes();
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/mem_accounting.h"
 #include "src/synopsis/synopsis.h"
 
 namespace datatriage::synopsis {
@@ -27,6 +28,7 @@ class ExactSynopsis final : public Synopsis {
   void Insert(const Tuple& tuple) override;
   double TotalCount() const override;
   size_t SizeInCells() const override { return rows_.size(); }
+  size_t MemoryBytes() const override { return row_bytes_; }
   SynopsisPtr Clone() const override;
 
   Result<SynopsisPtr> UnionAllWith(const Synopsis& other,
@@ -63,7 +65,12 @@ class ExactSynopsis final : public Synopsis {
       const std::vector<size_t>& group_columns,
       const std::vector<size_t>& agg_columns) const;
 
+  /// Rebuilds row_bytes_ from rows_; algebra builders call this once on
+  /// their result instead of paying a per-row increment.
+  void RecomputeMemoryBytes();
+
   std::vector<WeightedRow> rows_;
+  size_t row_bytes_ = mem::kSynopsisBaseBytes;
   bool vectorized_ = true;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/mem_accounting.h"
 #include "src/common/serde.h"
 #include "src/common/string_util.h"
 
@@ -44,6 +45,13 @@ double GridHistogram::ValuesPerCell() const {
 
 double GridHistogram::CellMidpoint(int64_t coord) const {
   return (static_cast<double>(coord) + 0.5) * config_.cell_width;
+}
+
+size_t GridHistogram::MemoryBytes() const {
+  // One map node per occupied cell: coordinate vector + count.
+  const size_t per_cell = mem::kMapNodeBytes + mem::kVectorHeaderBytes +
+                          8 * schema_.num_fields() + 8;
+  return mem::kSynopsisBaseBytes + cells_.size() * per_cell;
 }
 
 void GridHistogram::Insert(const Tuple& tuple) {
@@ -344,10 +352,10 @@ void GridHistogram::SaveState(serde::Writer* writer) const {
 
 Status GridHistogram::LoadState(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(config_.cell_width, reader->ReadDouble());
-  DT_ASSIGN_OR_RETURN(const uint64_t num_cells, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_cells, reader->ReadCount(16));
   cells_.clear();
   for (uint64_t i = 0; i < num_cells; ++i) {
-    DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadCount(8));
     std::vector<int64_t> coords(dims);
     for (uint64_t d = 0; d < dims; ++d) {
       DT_ASSIGN_OR_RETURN(coords[d], reader->ReadI64());

@@ -40,6 +40,7 @@ class GridHistogram final : public Synopsis {
   void Insert(const Tuple& tuple) override;
   double TotalCount() const override { return total_count_; }
   size_t SizeInCells() const override { return cells_.size(); }
+  size_t MemoryBytes() const override;
   SynopsisPtr Clone() const override;
 
   Result<SynopsisPtr> UnionAllWith(const Synopsis& other,

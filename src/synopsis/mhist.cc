@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "src/common/mem_accounting.h"
 #include "src/common/serde.h"
 #include "src/common/string_util.h"
 #include "src/tuple/serde.h"
@@ -90,6 +91,7 @@ Result<SynopsisPtr> MHist::Make(Schema schema, const MHistConfig& config) {
 void MHist::Insert(const Tuple& tuple) {
   DT_CHECK(!built_) << "Insert after the MAXDIFF build ran";
   DT_CHECK_EQ(tuple.size(), schema_.num_fields());
+  state_bytes_ += mem::TupleBytes(tuple);
   buffer_.push_back(tuple);
   total_count_ += 1.0;
 }
@@ -97,6 +99,25 @@ void MHist::Insert(const Tuple& tuple) {
 size_t MHist::SizeInCells() const {
   EnsureBuilt();
   return buckets_.size();
+}
+
+size_t MHist::BucketModelBytes() const {
+  return 2 * (mem::kVectorHeaderBytes + 8 * schema_.num_fields()) + 8;
+}
+
+size_t MHist::MemoryBytes() const {
+  // The bucket budget is charged up front as a reservation: the lazy
+  // MAXDIFF build may materialize up to max_buckets at any const read,
+  // and accounting must not move on const reads.
+  return mem::kSynopsisBaseBytes +
+         config_.max_buckets * BucketModelBytes() + state_bytes_;
+}
+
+void MHist::RecomputeMemoryBytes() {
+  state_bytes_ = mem::RelationBytes(buffer_);
+  if (built_ && buffer_.empty()) {
+    state_bytes_ += buckets_.size() * BucketModelBytes();
+  }
 }
 
 const std::vector<MHist::Bucket>& MHist::buckets() const {
@@ -215,6 +236,7 @@ SynopsisPtr MHist::Clone() const {
   clone->built_ = built_;
   clone->buckets_ = buckets_;
   clone->total_count_ = total_count_;
+  clone->state_bytes_ = state_bytes_;
   return clone;
 }
 
@@ -236,6 +258,7 @@ Result<SynopsisPtr> MHist::UnionAllWith(const Synopsis& other,
   result->buckets_.insert(result->buckets_.end(), rhs.buckets_.begin(),
                           rhs.buckets_.end());
   result->total_count_ = total_count_ + rhs.total_count_;
+  result->RecomputeMemoryBytes();
   work += static_cast<int64_t>(result->buckets_.size());
   if (stats != nullptr) stats->work += work;
   return SynopsisPtr(std::move(result));
@@ -337,6 +360,7 @@ Result<SynopsisPtr> MHist::EquiJoinWith(
     result->buckets_.push_back(
         Bucket{bounds.first, bounds.second, count});
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += work;
   return SynopsisPtr(std::move(result));
 }
@@ -372,6 +396,7 @@ Result<SynopsisPtr> MHist::ProjectColumns(
     result->buckets_.push_back(std::move(projected));
     result->total_count_ += b.count;
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += work;
   return SynopsisPtr(std::move(result));
 }
@@ -393,6 +418,7 @@ Result<SynopsisPtr> MHist::Filter(const plan::BoundExpr& predicate,
       result->total_count_ += b.count;
     }
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += work;
   return SynopsisPtr(std::move(result));
 }
@@ -520,18 +546,18 @@ Status MHist::LoadState(serde::Reader* reader) {
   config_.max_buckets = max_buckets;
   DT_ASSIGN_OR_RETURN(config_.aligned, reader->ReadBool());
   DT_ASSIGN_OR_RETURN(config_.alignment_step, reader->ReadDouble());
-  DT_ASSIGN_OR_RETURN(const uint64_t buffered, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t buffered, reader->ReadCount(16));
   buffer_.clear();
   for (uint64_t i = 0; i < buffered; ++i) {
     DT_ASSIGN_OR_RETURN(Tuple t, LoadTuple(reader));
     buffer_.push_back(std::move(t));
   }
   DT_ASSIGN_OR_RETURN(built_, reader->ReadBool());
-  DT_ASSIGN_OR_RETURN(const uint64_t num_buckets, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_buckets, reader->ReadCount(8));
   buckets_.clear();
   for (uint64_t i = 0; i < num_buckets; ++i) {
     Bucket b;
-    DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadU64());
+    DT_ASSIGN_OR_RETURN(const uint64_t dims, reader->ReadCount(16));
     b.lo.resize(dims);
     b.hi.resize(dims);
     for (uint64_t d = 0; d < dims; ++d) {
@@ -544,6 +570,7 @@ Status MHist::LoadState(serde::Reader* reader) {
     buckets_.push_back(std::move(b));
   }
   DT_ASSIGN_OR_RETURN(total_count_, reader->ReadDouble());
+  RecomputeMemoryBytes();
   return Status::OK();
 }
 

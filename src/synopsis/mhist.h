@@ -42,6 +42,7 @@ class MHist final : public Synopsis {
   void Insert(const Tuple& tuple) override;
   double TotalCount() const override { return total_count_; }
   size_t SizeInCells() const override;
+  size_t MemoryBytes() const override;
   SynopsisPtr Clone() const override;
 
   Result<SynopsisPtr> UnionAllWith(const Synopsis& other,
@@ -86,6 +87,15 @@ class MHist final : public Synopsis {
   /// (>= 1; used for uniformity-based estimates on integer columns).
   double PointsAlong(const Bucket& bucket, size_t dim) const;
 
+  /// Model bytes of one bucket (two boundary vectors + count).
+  size_t BucketModelBytes() const;
+
+  /// Rebuilds state_bytes_ from buffer_/buckets_. Buckets only count
+  /// once the lazy buffer is gone (built_ && buffer_.empty()), so a
+  /// const-read EnsureBuilt never changes MemoryBytes() — see the
+  /// Synopsis::MemoryBytes contract.
+  void RecomputeMemoryBytes();
+
   MHistConfig config_;
   // Build inputs (sampling mode).
   std::vector<Tuple> buffer_;
@@ -93,6 +103,7 @@ class MHist final : public Synopsis {
   mutable bool built_ = false;
   mutable std::vector<Bucket> buckets_;
   double total_count_ = 0.0;
+  size_t state_bytes_ = 0;
 };
 
 }  // namespace datatriage::synopsis

@@ -26,13 +26,24 @@ void ReservoirSample::Insert(const Tuple& tuple) {
   DT_CHECK_EQ(tuple.size(), schema_.num_fields());
   ++seen_;
   if (rows_.size() < config_.capacity) {
+    row_bytes_ += mem::TupleBytes(tuple) + mem::kWeightedRowBytes;
     rows_.push_back(WeightedRow{tuple, 1.0});
     return;
   }
   // Vitter's algorithm R: replace a random victim with probability k/n.
   const int64_t slot = rng_.UniformInt(0, seen_ - 1);
   if (slot < static_cast<int64_t>(config_.capacity)) {
-    rows_[static_cast<size_t>(slot)] = WeightedRow{tuple, 1.0};
+    WeightedRow& victim = rows_[static_cast<size_t>(slot)];
+    row_bytes_ -= mem::TupleBytes(victim.tuple);
+    row_bytes_ += mem::TupleBytes(tuple);
+    victim = WeightedRow{tuple, 1.0};
+  }
+}
+
+void ReservoirSample::RecomputeMemoryBytes() {
+  row_bytes_ = mem::kSynopsisBaseBytes;
+  for (const WeightedRow& r : rows_) {
+    row_bytes_ += mem::TupleBytes(r.tuple) + mem::kWeightedRowBytes;
   }
 }
 
@@ -62,6 +73,7 @@ SynopsisPtr ReservoirSample::Clone() const {
   clone->materialized_ = materialized_;
   clone->seen_ = seen_;
   clone->rows_ = rows_;
+  clone->row_bytes_ = row_bytes_;
   return clone;
 }
 
@@ -83,6 +95,7 @@ Result<SynopsisPtr> ReservoirSample::UnionAllWith(const Synopsis& other,
   std::vector<WeightedRow> other_rows = rhs.ScaledRows();
   result->rows_.insert(result->rows_.end(), other_rows.begin(),
                        other_rows.end());
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) {
     stats->work += static_cast<int64_t>(result->rows_.size());
   }
@@ -129,6 +142,7 @@ Result<SynopsisPtr> ReservoirSample::EquiJoinWith(
           WeightedRow{l.tuple.Concat(r.tuple), l.weight * r.weight});
     }
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += work;
   return SynopsisPtr(std::move(result));
 }
@@ -156,6 +170,7 @@ Result<SynopsisPtr> ReservoirSample::ProjectColumns(
     result->rows_.push_back(
         WeightedRow{r.tuple.Project(indices), r.weight});
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
   return SynopsisPtr(std::move(result));
 }
@@ -168,6 +183,7 @@ Result<SynopsisPtr> ReservoirSample::Filter(const plan::BoundExpr& predicate,
   for (const WeightedRow& r : ScaledRows()) {
     if (predicate.EvaluatesToTrue(r.tuple)) result->rows_.push_back(r);
   }
+  result->RecomputeMemoryBytes();
   if (stats != nullptr) stats->work += static_cast<int64_t>(rows_.size());
   return SynopsisPtr(std::move(result));
 }
@@ -230,7 +246,7 @@ Status ReservoirSample::LoadState(serde::Reader* reader) {
   DT_RETURN_IF_ERROR(serde::LoadRngEngine(reader, &rng_.engine()));
   DT_ASSIGN_OR_RETURN(materialized_, reader->ReadBool());
   DT_ASSIGN_OR_RETURN(seen_, reader->ReadI64());
-  DT_ASSIGN_OR_RETURN(const uint64_t num_rows, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_rows, reader->ReadCount(16));
   rows_.clear();
   rows_.reserve(num_rows);
   for (uint64_t i = 0; i < num_rows; ++i) {
@@ -239,6 +255,7 @@ Status ReservoirSample::LoadState(serde::Reader* reader) {
     DT_ASSIGN_OR_RETURN(r.weight, reader->ReadDouble());
     rows_.push_back(std::move(r));
   }
+  RecomputeMemoryBytes();
   return Status::OK();
 }
 

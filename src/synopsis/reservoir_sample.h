@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/mem_accounting.h"
 #include "src/common/random.h"
 #include "src/synopsis/synopsis.h"
 
@@ -36,6 +37,7 @@ class ReservoirSample final : public Synopsis {
   void Insert(const Tuple& tuple) override;
   double TotalCount() const override;
   size_t SizeInCells() const override { return rows_.size(); }
+  size_t MemoryBytes() const override { return row_bytes_; }
   SynopsisPtr Clone() const override;
 
   Result<SynopsisPtr> UnionAllWith(const Synopsis& other,
@@ -69,12 +71,17 @@ class ReservoirSample final : public Synopsis {
   /// Scale factor mapping stored base weights to population estimates.
   double ScaleFactor() const;
 
+  /// Rebuilds row_bytes_ from rows_; algebra builders call this once on
+  /// their result, Insert maintains it incrementally.
+  void RecomputeMemoryBytes();
+
   ReservoirSampleConfig config_;
   Rng rng_;
   /// True once this instance holds op results instead of a live sample.
   bool materialized_ = false;
   int64_t seen_ = 0;
   std::vector<WeightedRow> rows_;
+  size_t row_bytes_ = mem::kSynopsisBaseBytes;
 };
 
 }  // namespace datatriage::synopsis

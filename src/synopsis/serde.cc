@@ -66,7 +66,7 @@ void SaveSchema(serde::Writer* writer, const Schema& schema) {
 }
 
 Result<Schema> LoadSchema(serde::Reader* reader) {
-  DT_ASSIGN_OR_RETURN(const uint64_t num_fields, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t num_fields, reader->ReadCount(8));
   std::vector<Field> fields;
   fields.reserve(num_fields);
   for (uint64_t i = 0; i < num_fields; ++i) {

@@ -108,6 +108,14 @@ class Synopsis {
   /// Memory footprint proxy: buckets / samples currently held.
   virtual size_t SizeInCells() const = 0;
 
+  /// Deterministic model bytes this synopsis holds (the byte model of
+  /// src/common/mem_accounting.h, not allocator truth). Contract: the
+  /// value is a pure function of the summarized state — it changes only
+  /// under Insert / LoadState / construction by an algebra operation,
+  /// never under const reads (lazy build caches are excluded), so
+  /// owners can account charge deltas by bracketing those mutations.
+  virtual size_t MemoryBytes() const = 0;
+
   virtual SynopsisPtr Clone() const = 0;
 
   // ------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/catalog/schema.h"
+#include "src/common/mem_accounting.h"
 #include "src/common/virtual_time.h"
 #include "src/synopsis/factory.h"
 
@@ -78,6 +79,15 @@ class WindowSynopsizer {
     instruments_ = instruments;
   }
 
+  /// Attaches the session's memory account; window-slot synopses are
+  /// charged to Component::kSynopses as they grow and released when
+  /// TakeWindow removes the slot. Pass nullptr to detach (outstanding
+  /// charge is released first).
+  void SetAccount(mem::SessionAccount* account);
+
+  /// Model bytes of all window-slot synopses (mirrors the account).
+  size_t MemoryBytes() const { return accounted_bytes_; }
+
   /// Session-snapshot hooks (DESIGN.md §14): the per-window kept/dropped
   /// synopses and fold counts. LoadState resets the window-slot cache.
   void SaveState(serde::Writer* writer) const;
@@ -97,11 +107,18 @@ class WindowSynopsizer {
   /// pointer valid until that window is erased.
   PerWindow* WindowSlot(WindowId window);
 
+  /// Applies the MemoryBytes delta of one synopsis mutation to the
+  /// running total and the attached account.
+  void ApplyDelta(size_t before, size_t after);
+  void ReleaseBytes(size_t bytes);
+
   std::string stream_;
   Schema schema_;
   SynopsizerInstruments instruments_;
   synopsis::SynopsisConfig config_;
   VirtualDuration window_seconds_;
+  mem::SessionAccount* account_ = nullptr;
+  size_t accounted_bytes_ = 0;
   std::map<WindowId, PerWindow> windows_;
   WindowId cached_window_ = 0;
   PerWindow* cached_slot_ = nullptr;

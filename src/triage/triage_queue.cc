@@ -16,6 +16,7 @@ TriageQueue::TriageQueue(size_t capacity,
 
 std::optional<Tuple> TriageQueue::Push(Tuple tuple) {
   ++total_pushed_;
+  ChargeBytes(mem::TupleBytes(tuple));
   queue_.push_back(std::move(tuple));
   if (queue_.size() <= capacity_) {
     UpdateDepthGauge();
@@ -25,6 +26,7 @@ std::optional<Tuple> TriageQueue::Push(Tuple tuple) {
   DT_CHECK_LT(victim_index, queue_.size());
   Tuple victim = std::move(queue_[victim_index]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim_index));
+  ReleaseBytes(mem::TupleBytes(victim));
   ++total_dropped_;
   if (instruments_.policy_evicted != nullptr) {
     instruments_.policy_evicted->Add(1);
@@ -42,6 +44,7 @@ Tuple TriageQueue::PopFront() {
   DT_CHECK(!queue_.empty());
   Tuple front = std::move(queue_.front());
   queue_.pop_front();
+  ReleaseBytes(mem::TupleBytes(front));
   ++total_popped_;
   UpdateDepthGauge();
   return front;
@@ -60,6 +63,7 @@ std::vector<Tuple> TriageQueue::EvictIf(
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (predicate(*it)) {
       evicted.push_back(std::move(*it));
+      ReleaseBytes(mem::TupleBytes(evicted.back()));
       it = queue_.erase(it);
       ++total_dropped_;
     } else {
@@ -77,6 +81,32 @@ std::vector<Tuple> TriageQueue::EvictIf(
 void TriageQueue::SetInstruments(QueueInstruments instruments) {
   instruments_ = instruments;
   UpdateDepthGauge();
+}
+
+void TriageQueue::SetAccount(mem::SessionAccount* account) {
+  if (account_ == account) return;
+  if (account_ != nullptr && buffered_bytes_ > 0) {
+    account_->Release(mem::Component::kTriageQueues, buffered_bytes_);
+  }
+  account_ = account;
+  if (account_ != nullptr && buffered_bytes_ > 0) {
+    account_->Charge(mem::Component::kTriageQueues, buffered_bytes_);
+  }
+}
+
+void TriageQueue::ChargeBytes(size_t bytes) {
+  buffered_bytes_ += bytes;
+  if (account_ != nullptr) {
+    account_->Charge(mem::Component::kTriageQueues, bytes);
+  }
+}
+
+void TriageQueue::ReleaseBytes(size_t bytes) {
+  DT_CHECK_GE(buffered_bytes_, bytes);
+  buffered_bytes_ -= bytes;
+  if (account_ != nullptr) {
+    account_->Release(mem::Component::kTriageQueues, bytes);
+  }
 }
 
 void TriageQueue::UpdateDepthGauge() {
@@ -100,10 +130,12 @@ void TriageQueue::SaveState(serde::Writer* writer) const {
 }
 
 Status TriageQueue::LoadState(serde::Reader* reader) {
-  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadCount(16));
+  ReleaseBytes(buffered_bytes_);
   queue_.clear();
   for (uint64_t i = 0; i < size; ++i) {
     DT_ASSIGN_OR_RETURN(Tuple t, LoadTuple(reader));
+    ChargeBytes(mem::TupleBytes(t));
     queue_.push_back(std::move(t));
   }
   DT_ASSIGN_OR_RETURN(total_pushed_, reader->ReadI64());

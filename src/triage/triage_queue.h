@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/mem_accounting.h"
 #include "src/common/virtual_time.h"
 #include "src/triage/drop_policy.h"
 
@@ -71,6 +72,15 @@ class TriageQueue {
   /// queue. Passing default-constructed instruments detaches.
   void SetInstruments(QueueInstruments instruments);
 
+  /// Attaches the session's memory account; buffered tuples are charged
+  /// to Component::kTriageQueues. Call before any Push (typically right
+  /// after construction). Pass nullptr to detach; any outstanding charge
+  /// is released first.
+  void SetAccount(mem::SessionAccount* account);
+
+  /// Model bytes currently buffered (mirrors the account's charge).
+  size_t MemoryBytes() const { return buffered_bytes_; }
+
   // Lifetime counters.
   int64_t total_pushed() const { return total_pushed_; }
   int64_t total_dropped() const { return total_dropped_; }
@@ -85,11 +95,15 @@ class TriageQueue {
 
  private:
   void UpdateDepthGauge();
+  void ChargeBytes(size_t bytes);
+  void ReleaseBytes(size_t bytes);
 
   size_t capacity_;
   std::unique_ptr<DropPolicy> policy_;
   QueueInstruments instruments_;
+  mem::SessionAccount* account_ = nullptr;
   std::deque<Tuple> queue_;
+  size_t buffered_bytes_ = 0;
   int64_t total_pushed_ = 0;
   int64_t total_dropped_ = 0;
   int64_t total_popped_ = 0;

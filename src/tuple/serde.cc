@@ -67,7 +67,7 @@ void SaveTuple(serde::Writer* writer, const Tuple& tuple) {
 
 Result<Tuple> LoadTuple(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(const double timestamp, reader->ReadDouble());
-  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadU64());
+  DT_ASSIGN_OR_RETURN(const uint64_t size, reader->ReadCount(8));
   std::vector<Value> values;
   values.reserve(size);
   for (uint64_t i = 0; i < size; ++i) {
