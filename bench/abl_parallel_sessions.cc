@@ -16,18 +16,33 @@
 // pipeline can't overlap), but the equivalence assertions still bite —
 // which is exactly what the TSan smoke mode exists for.
 //
-// Usage: abl_parallel_sessions [--smoke]
-//   --smoke  small feed, workers {0, 4} only, no JSON — a fast
-//            correctness pass for sanitizer CI.
+// The skew section (DESIGN.md Sec. 16) is the scheduler ablation from
+// the ROADMAP: one giant three-way-join session next to seven tiny
+// single-stream tenants. Static sharding pins the giant to one worker,
+// so the fleet's wall clock is the giant's serial time; work stealing
+// plus intra-session morsels spreads the giant's join across the pool.
+// On a >= 4-core host the stealing+intra setting must beat static
+// sharding by >= 1.5x wall-clock (enforced), and both settings must
+// stay byte-identical to the serial run.
+//
+// Usage: abl_parallel_sessions [--smoke] [--skew-only]
+//   --smoke      small feeds, fewer settings, no JSON, no speedup
+//                floor — a fast correctness pass for sanitizer CI.
+//                Runs the fleet + churn sections; combine with
+//                --skew-only for the skew section's smoke pass.
+//   --skew-only  run only the skewed-tenant section (the perf-smoke
+//                CI gate input).
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/string_util.h"
 #include "src/io/csv.h"
 #include "src/obs/export.h"
 #include "src/server/stream_server.h"
@@ -73,7 +88,7 @@ engine::EngineConfig SessionConfig(size_t query_index) {
 RunOutputs RunOnce(const workload::Scenario& scenario,
                    size_t worker_threads) {
   engine::StreamServerOptions options;
-  options.worker_threads = worker_threads;
+  options.scheduler.worker_threads = worker_threads;
   server::StreamServer server(scenario.catalog, options);
   std::vector<server::SessionId> ids;
   for (size_t q = 0; q < kQueries; ++q) {
@@ -112,7 +127,7 @@ RunOutputs RunOnce(const workload::Scenario& scenario,
 RunOutputs RunChurnOnce(const workload::Scenario& scenario,
                         size_t worker_threads) {
   engine::StreamServerOptions options;
-  options.worker_threads = worker_threads;
+  options.scheduler.worker_threads = worker_threads;
   server::StreamServer server(scenario.catalog, options);
   std::vector<server::SessionId> ids(kQueries, 0);
   for (size_t q = 0; q < kQueries / 2; ++q) {
@@ -173,7 +188,180 @@ void ExpectEquivalent(const RunOutputs& serial, const RunOutputs& run,
   }
 }
 
-void Run(bool smoke) {
+// --- Skewed tenants: one giant join + tiny counts (DESIGN.md Sec. 16) --
+
+/// One registered query of the skew fleet.
+struct QuerySpec {
+  std::string sql;
+  engine::EngineConfig config;
+  std::vector<std::string> columns;
+};
+
+/// A feed whose windows are deep enough that the giant's join kernels
+/// split into morsels (>= 2 * kMorselRows build/probe rows per window).
+workload::Scenario BuildSkewFeed(bool smoke) {
+  workload::ScenarioConfig config;
+  config.tuples_per_stream = smoke ? 2200 : 6000;
+  config.tuples_per_window = smoke ? 2200.0 : 3000.0;
+  config.rate_per_stream = 100.0;
+  config.seed = 7;
+  auto scenario = workload::BuildPaperScenario(config);
+  DT_CHECK(scenario.ok()) << scenario.status().ToString();
+  return *std::move(scenario);
+}
+
+/// The giant runs the scenario's three-way join with a queue deep
+/// enough to admit whole windows and a zero tuple cost, so evaluation
+/// (not shedding) dominates; the tiny tenants are cheap single-stream
+/// counts that finish almost instantly.
+std::vector<QuerySpec> SkewedSpecs(const workload::Scenario& scenario) {
+  std::vector<QuerySpec> specs;
+  QuerySpec giant;
+  giant.sql = scenario.query_sql;
+  giant.config.strategy = triage::SheddingStrategy::kDropOnly;
+  giant.config.queue_capacity = 8192;
+  giant.config.drop_policy = triage::DropPolicyKind::kDropNewest;
+  giant.config.cost_model.exact_tuple_cost = 0.0;
+  giant.config.seed = 11;
+  giant.columns = {"a", "count"};
+  specs.push_back(std::move(giant));
+  for (size_t i = 0; i + 1 < kQueries; ++i) {
+    QuerySpec tiny;
+    tiny.sql = StringPrintf(
+        "SELECT b, COUNT(*) as count FROM S GROUP BY b; "
+        "WINDOW S['%.9f seconds'];",
+        scenario.window_seconds);
+    tiny.config.strategy = triage::SheddingStrategy::kDropOnly;
+    tiny.config.queue_capacity = 16 + 4 * i;  // distinct shed patterns
+    tiny.config.drop_policy = triage::DropPolicyKind::kDropNewest;
+    tiny.config.seed = 100 + i;
+    tiny.columns = {"b", "count"};
+    specs.push_back(std::move(tiny));
+  }
+  return specs;
+}
+
+RunOutputs RunSpecsOnce(const workload::Scenario& scenario,
+                        const std::vector<QuerySpec>& specs,
+                        const engine::SchedulerOptions& scheduler) {
+  engine::StreamServerOptions options;
+  options.scheduler = scheduler;
+  server::StreamServer server(scenario.catalog, options);
+  std::vector<server::SessionId> ids;
+  for (const QuerySpec& spec : specs) {
+    auto id = server.RegisterQuery(spec.sql, spec.config);
+    DT_CHECK(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
+  Status pushed = server.PushBatch(scenario.events);
+  DT_CHECK(pushed.ok()) << pushed.ToString();
+  Status finished = server.Finish();
+  DT_CHECK(finished.ok()) << finished.ToString();
+  const double seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  RunOutputs out;
+  out.seconds = seconds;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    server::QuerySession& session = server.session(ids[i]);
+    out.results_csv.push_back(
+        io::FormatResultsCsv(session.TakeResults(), specs[i].columns));
+    out.metrics_json.push_back(
+        obs::MetricsJson(session.metrics(), &session.trace()));
+  }
+  return out;
+}
+
+void RunSkew(bool smoke, std::vector<BenchRecord>* records) {
+  const workload::Scenario scenario = BuildSkewFeed(smoke);
+  const std::vector<QuerySpec> specs = SkewedSpecs(scenario);
+  const int reps = smoke ? 1 : 3;
+
+  struct Setting {
+    const char* name;
+    engine::SchedulerOptions scheduler;
+  };
+  std::vector<Setting> settings;
+  settings.push_back({"serial", engine::SchedulerOptions{}});
+  {
+    engine::SchedulerOptions sharded;
+    sharded.worker_threads = 4;  // dispatch stays kStatic, no intra
+    settings.push_back({"static", sharded});
+  }
+  {
+    engine::SchedulerOptions stealing;
+    stealing.worker_threads = 4;
+    stealing.dispatch = engine::DispatchMode::kStealing;
+    stealing.intra_session_threads = 4;
+    settings.push_back({"stealing", stealing});
+  }
+
+  std::printf("\n== Skewed tenants: 1 giant join + %zu tiny counts, "
+              "%zu events ==\n",
+              kQueries - 1, scenario.events.size());
+  std::printf("%10s %10s %12s %8s\n", "setting", "seconds", "events/s",
+              "speedup");
+
+  RunOutputs serial;
+  double serial_seconds = 0.0;
+  double static_seconds = 0.0;
+  double stealing_seconds = 0.0;
+  for (const Setting& setting : settings) {
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      RunOutputs run = RunSpecsOnce(scenario, specs, setting.scheduler);
+      if (setting.scheduler.worker_threads == 0 && rep == 0) {
+        serial = std::move(run);
+        best = serial.seconds;
+        continue;
+      }
+      ExpectEquivalent(serial, run, setting.scheduler.worker_threads);
+      if (rep == 0 || run.seconds < best) best = run.seconds;
+    }
+    if (std::strcmp(setting.name, "serial") == 0) serial_seconds = best;
+    if (std::strcmp(setting.name, "static") == 0) static_seconds = best;
+    if (std::strcmp(setting.name, "stealing") == 0) {
+      stealing_seconds = best;
+    }
+    const double events_per_sec =
+        static_cast<double>(scenario.events.size()) / best;
+    std::printf("%10s %10.3f %12.0f %7.2fx\n", setting.name, best,
+                events_per_sec, serial_seconds / best);
+    if (records != nullptr) {
+      BenchRecord record;
+      record.name =
+          std::string("parallel_skew/giant+7tiny/") + setting.name;
+      record.ns_per_op =
+          best * 1e9 / static_cast<double>(scenario.events.size());
+      record.tuples_per_sec = events_per_sec;
+      record.peak_rss_kb = CurrentPeakRssKb();
+      records->push_back(std::move(record));
+    }
+  }
+
+  const double skew_speedup = static_seconds / stealing_seconds;
+  std::printf("stealing+intra over static sharding: %.2fx\n",
+              skew_speedup);
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (!smoke && cores >= 4) {
+    // The ROADMAP target: spreading the giant across the pool must buy
+    // at least 1.5x over pinning it to one worker. Only meaningful with
+    // real cores to spread across.
+    DT_CHECK(skew_speedup >= 1.5)
+        << "skewed-tenant stealing+intra speedup " << skew_speedup
+        << "x is below the 1.5x floor on a " << cores << "-core host";
+  } else if (!smoke) {
+    std::fprintf(stderr,
+                 "note: %u-core host, skipping the 1.5x speedup floor "
+                 "(threads cannot overlap)\n",
+                 cores);
+  }
+}
+
+void RunFleetAndChurn(bool smoke, std::vector<BenchRecord>& records) {
   const workload::Scenario scenario = BuildFeed(smoke);
   const std::vector<size_t> worker_settings =
       smoke ? std::vector<size_t>{0, 4}
@@ -186,7 +374,6 @@ void Run(bool smoke) {
   std::printf("%8s %10s %12s %8s\n", "workers", "seconds", "events/s",
               "speedup");
 
-  std::vector<BenchRecord> records;
   RunOutputs serial;
   double serial_seconds = 0.0;
   std::vector<double> static_best(worker_settings.size(), 0.0);
@@ -257,6 +444,14 @@ void Run(bool smoke) {
     record.tuples_per_sec = events_per_sec;
     records.push_back(std::move(record));
   }
+}
+
+void Run(bool smoke, bool skew_only) {
+  std::vector<BenchRecord> records;
+  if (!skew_only) RunFleetAndChurn(smoke, records);
+  // In smoke mode the sections are selected one at a time (the TSan job
+  // runs them as separate steps); a full run covers both.
+  if (skew_only || !smoke) RunSkew(smoke, &records);
 
   if (!smoke) {
     WriteBenchJson("BENCH_parallel.json", records);
@@ -265,7 +460,7 @@ void Run(bool smoke) {
   } else {
     std::fprintf(stderr,
                  "smoke ok: per-session outputs byte-identical across "
-                 "worker settings\n");
+                 "scheduler settings\n");
   }
 }
 
@@ -274,9 +469,11 @@ void Run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool skew_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--skew-only") == 0) skew_only = true;
   }
-  datatriage::bench::Run(smoke);
+  datatriage::bench::Run(smoke, skew_only);
   return 0;
 }

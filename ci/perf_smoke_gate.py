@@ -15,10 +15,20 @@ Since base and head run the same case sequence on the same runner, the
 per-case watermark is directly comparable between the two runs, and the
 gate fails when any case's peak RSS grew by more than 15%.
 
-Usage: perf_smoke_gate.py BENCH_exec_base.json BENCH_exec_head.json
+When the optional parallel-bench files are given, the gate also checks
+the scheduler skew ablation (abl_parallel_sessions --skew-only, DESIGN.md
+Sec. 16): the parallel_skew/*/static over parallel_skew/*/stealing
+wall-clock speedup must not shrink by more than 10% between base and
+head — the same within-run-ratio trick, so runner speed cancels out.
+A missing or skew-less base file skips that gate (the merge base may
+predate the skew section).
+
+Usage: perf_smoke_gate.py BENCH_exec_base.json BENCH_exec_head.json \
+           [BENCH_parallel_base.json BENCH_parallel_head.json]
 """
 
 import json
+import os
 import sys
 
 REGRESSION_LIMIT = 0.10
@@ -50,6 +60,58 @@ def peak_rss(path):
         }
 
 
+def skew_speedups(path):
+    """Maps skew case name -> static ns/op divided by stealing ns/op.
+
+    The ratio is the stealing-dispatch speedup over static sharding for
+    one skewed-tenant case; bigger is better, so the gate fails when it
+    shrinks.
+    """
+    with open(path) as f:
+        records = {r["name"]: r["ns_per_op"] for r in json.load(f)}
+    speedups = {}
+    for name, ns_per_op in records.items():
+        if not (name.startswith("parallel_skew/")
+                and name.endswith("/stealing")):
+            continue
+        case = name[: -len("/stealing")]
+        static = records.get(case + "/static")
+        if static:
+            speedups[case] = static / ns_per_op
+    return speedups
+
+
+def gate_skew(base_path, head_path):
+    """Returns skew cases whose stealing speedup shrank > 10%."""
+    if not os.path.exists(base_path) or not os.path.exists(head_path):
+        print("parallel bench file(s) missing; skipping skew gate")
+        return []
+    base = skew_speedups(base_path)
+    head = skew_speedups(head_path)
+    if not base:
+        print("no parallel_skew records in base run; skipping skew gate")
+        return []
+    failed = []
+    for case, head_speedup in sorted(head.items()):
+        base_speedup = base.get(case)
+        if base_speedup is None:
+            print(
+                f"{case}: new case, stealing speedup "
+                f"{head_speedup:.2f}x (no base)"
+            )
+            continue
+        regression = (base_speedup - head_speedup) / base_speedup
+        verdict = "ok"
+        if regression > REGRESSION_LIMIT:
+            verdict = "REGRESSED"
+            failed.append(case)
+        print(
+            f"{case}: stealing speedup base {base_speedup:.2f}x -> head "
+            f"{head_speedup:.2f}x ({-regression:+.1%}) {verdict}"
+        )
+    return failed
+
+
 def gate_peak_rss(base_path, head_path):
     """Returns the names of cases whose peak RSS regressed > 15%."""
     base = peak_rss(base_path)
@@ -76,17 +138,17 @@ def gate_peak_rss(base_path, head_path):
 
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) not in (3, 5):
         print(__doc__, file=sys.stderr)
         return 2
     base = vectorized_ratios(argv[1])
     head = vectorized_ratios(argv[2])
+    failed = []
     if not base:
         # Merge base predates the vectorized bench section: nothing to
-        # gate against yet.
+        # gate against yet (the other gates still run).
         print("no <case>/vectorized records in base run; skipping gate")
-        return 0
-    failed = []
+        head = {}
     for case, head_ratio in sorted(head.items()):
         base_ratio = base.get(case)
         if base_ratio is None:
@@ -102,7 +164,10 @@ def main(argv):
             f"{head_ratio:.3f} ({regression:+.1%}) {verdict}"
         )
     rss_failed = gate_peak_rss(argv[1], argv[2])
-    if failed or rss_failed:
+    skew_failed = []
+    if len(argv) == 5:
+        skew_failed = gate_skew(argv[3], argv[4])
+    if failed or rss_failed or skew_failed:
         if failed:
             print(
                 f"FAIL: {len(failed)} case(s) regressed more than "
@@ -113,6 +178,12 @@ def main(argv):
             print(
                 f"FAIL: {len(rss_failed)} case(s) grew peak RSS more "
                 f"than {RSS_REGRESSION_LIMIT:.0%}: " + ", ".join(rss_failed)
+            )
+        if skew_failed:
+            print(
+                f"FAIL: {len(skew_failed)} skew case(s) lost more than "
+                f"{REGRESSION_LIMIT:.0%} of their stealing speedup: "
+                + ", ".join(skew_failed)
             )
         return 1
     print("perf gate clean")

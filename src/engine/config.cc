@@ -38,18 +38,66 @@ Status EngineConfig::Validate() const {
   return Status::OK();
 }
 
+std::string_view DispatchModeToString(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kStatic:
+      return "static";
+    case DispatchMode::kLeastLoaded:
+      return "least-loaded";
+    case DispatchMode::kStealing:
+      return "stealing";
+  }
+  return "?";
+}
+
+Status SchedulerOptions::Validate() const {
+  if (worker_threads > 256) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: worker_threads must be at most 256 (one "
+        "thread per session plus morsel helpers is the useful maximum)");
+  }
+  if (intra_session_threads > 1 && worker_threads == 0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: intra_session_threads > 1 requires a worker "
+        "pool; set worker_threads > 0 (the serial inline path has no "
+        "task pool to split operator morsels across)");
+  }
+  if (intra_session_threads > 64) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: intra_session_threads must be at most 64 "
+        "(morsel fan-out beyond that only adds merge overhead)");
+  }
+  return Status::OK();
+}
+
+// The deprecated worker_threads shim is read (only) here and in
+// EffectiveScheduler, by design: every other consumer goes through
+// EffectiveScheduler, so the deprecation warning fires exactly at the
+// call sites that still assign the legacy field.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+SchedulerOptions StreamServerOptions::EffectiveScheduler() const {
+  SchedulerOptions effective = scheduler;
+  if (worker_threads != 0 && effective.worker_threads == 0) {
+    effective.worker_threads = worker_threads;
+  }
+  return effective;
+}
+
 Status StreamServerOptions::Validate() const {
   if (task_queue_capacity == 0) {
     return Status::InvalidArgument(
         "StreamServerOptions: task_queue_capacity must be positive (a "
         "zero-slot task queue could never hand a worker any work)");
   }
-  if (worker_threads > 256) {
+  if (worker_threads != 0 && scheduler.worker_threads != 0) {
     return Status::InvalidArgument(
-        "StreamServerOptions: worker_threads must be at most 256 (one "
-        "thread per session is the useful maximum; the pool is clamped "
-        "to the session count anyway)");
+        "StreamServerOptions: both the deprecated worker_threads shim "
+        "and scheduler.worker_threads are set; set exactly one "
+        "(migrate to scheduler.worker_threads)");
   }
+  DT_RETURN_IF_ERROR(EffectiveScheduler().Validate());
   if (memory_budget_bytes != 0 &&
       memory_budget_bytes < EngineConfig::kMinMemoryBudgetBytes) {
     return Status::InvalidArgument(
@@ -59,5 +107,7 @@ Status StreamServerOptions::Validate() const {
   }
   return Status::OK();
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace datatriage::engine

@@ -257,25 +257,32 @@ bool ColumnsEqualAt(const Column& a, size_t ar, const Column& b, size_t br) {
 
 void HashRows(const std::vector<const Column*>& cols, const uint32_t* rows,
               size_t n, std::vector<uint64_t>* out) {
-  out->assign(n, cols.size());
+  out->resize(n);
+  HashRowsRange(cols, rows, 0, n, out->data());
+}
+
+void HashRowsRange(const std::vector<const Column*>& cols,
+                   const uint32_t* rows, size_t start, size_t n,
+                   uint64_t* out) {
+  const size_t end = start + n;
+  for (size_t i = start; i < end; ++i) out[i] = cols.size();
   for (const Column* col : cols) {
-    uint64_t* dst = out->data();
     if (!col->is_string() && !col->has_cross_class) {
       const double* f = col->f64.data();
       std::hash<double> h;
       if (rows == nullptr) {
-        for (size_t i = 0; i < n; ++i) {
-          dst[i] = HashCombine(dst[i], h(f[i]));
+        for (size_t i = start; i < end; ++i) {
+          out[i] = HashCombine(out[i], h(f[i]));
         }
       } else {
-        for (size_t i = 0; i < n; ++i) {
-          dst[i] = HashCombine(dst[i], h(f[rows[i]]));
+        for (size_t i = start; i < end; ++i) {
+          out[i] = HashCombine(out[i], h(f[rows[i]]));
         }
       }
     } else {
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = start; i < end; ++i) {
         const size_t row = rows == nullptr ? i : rows[i];
-        dst[i] = HashCombine(dst[i], col->HashAt(row));
+        out[i] = HashCombine(out[i], col->HashAt(row));
       }
     }
   }

@@ -193,6 +193,15 @@ bool ColumnsEqualAt(const Column& a, size_t ar, const Column& b, size_t br);
 void HashRows(const std::vector<const Column*>& cols, const uint32_t* rows,
               size_t n, std::vector<uint64_t>* out);
 
+/// Range form of HashRows for morsel-parallel kernels: fills
+/// `out[start .. start+n)` with the hashes of those domain positions,
+/// where `out` spans the whole domain. Each element is a pure function
+/// of its own position, so any partition of the domain into ranges
+/// produces bytes identical to one HashRows pass.
+void HashRowsRange(const std::vector<const Column*>& cols,
+                   const uint32_t* rows, size_t start, size_t n,
+                   uint64_t* out);
+
 }  // namespace datatriage::exec
 
 #endif  // DATATRIAGE_EXEC_COLUMN_BATCH_H_

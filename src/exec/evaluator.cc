@@ -362,7 +362,8 @@ Result<Relation> EvaluatePlan(const LogicalPlan& plan,
     size_t total_rows = 0;
     for (const auto& [key, rel] : inputs) total_rows += rel.size();
     if (total_rows >= options.min_rows) {
-      VectorEvaluator evaluator(&inputs);
+      VectorEvaluator evaluator(&inputs, options.pool,
+                                options.parallel_min_rows);
       DT_ASSIGN_OR_RETURN(Relation result, evaluator.Evaluate(plan));
       if (stats != nullptr) *stats += evaluator.stats();
       return result;

@@ -27,6 +27,8 @@ struct ExecStats {
   ExecStats& operator+=(const ExecStats& other);
 };
 
+class TaskPool;
+
 /// Executor dispatch options. The vectorized path (vector_eval.h) and the
 /// scalar path are byte-for-byte interchangeable — same rows, same row
 /// order, same ExecStats — so these options affect speed only, never
@@ -36,6 +38,18 @@ struct ExecStats {
 struct EvalOptions {
   bool vectorized = false;
   size_t min_rows = 0;
+
+  /// Helper pool for morsel-parallel join/aggregate kernels
+  /// (task_pool.h); nullptr keeps every kernel single-threaded. Like
+  /// `vectorized`, this trades nothing but speed: morsel partials merge
+  /// in a deterministic order (DESIGN.md §16.2), so results, row order,
+  /// and ExecStats stay byte-identical. Only meaningful together with
+  /// `vectorized` — the scalar reference path never splits.
+  TaskPool* pool = nullptr;
+  /// Minimum rows a kernel input needs before it splits into morsels;
+  /// smaller inputs run the serial vectorized loop, where partition +
+  /// merge overhead would dominate. Purely a performance threshold.
+  size_t parallel_min_rows = 0;
 };
 
 /// Evaluates a logical plan exactly over materialized inputs.

@@ -1,0 +1,92 @@
+#include "src/exec/task_pool.h"
+
+namespace datatriage::exec {
+
+TaskPool::TaskPool(size_t helper_threads) {
+  helpers_.reserve(helper_threads);
+  for (size_t i = 0; i < helper_threads; ++i) {
+    helpers_.emplace_back([this] { RunHelper(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+size_t TaskPool::WorkOn(Job* job) {
+  size_t executed = 0;
+  while (true) {
+    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) break;
+    (*job->fn)(i);
+    ++executed;
+    // release: the submitter's acquire load of `done` (or its wait
+    // below) must observe every write fn(i) made.
+    if (job->done.fetch_add(1, std::memory_order_release) + 1 == job->n) {
+      std::lock_guard<std::mutex> lock(job->done_mutex);
+      job->done_cv.notify_all();
+    }
+  }
+  return executed;
+}
+
+void TaskPool::ParallelFor(size_t n,
+                           const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (helpers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+  WorkOn(job.get());
+  if (job->done.load(std::memory_order_acquire) < n) {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&job, n] {
+      return job->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+  // The job is exhausted; drop it from the queue if a helper has not
+  // already retired it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (it->get() == job.get()) {
+      jobs_.erase(it);
+      break;
+    }
+  }
+}
+
+void TaskPool::RunHelper() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      // Oldest job first; exhausted jobs are retired here so a helper
+      // never spins on a drained entry.
+      while (!jobs_.empty() &&
+             jobs_.front()->next.load(std::memory_order_relaxed) >=
+                 jobs_.front()->n) {
+        jobs_.pop_front();
+      }
+      if (jobs_.empty()) continue;
+      job = jobs_.front();
+    }
+    WorkOn(job.get());
+  }
+}
+
+}  // namespace datatriage::exec

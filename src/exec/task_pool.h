@@ -1,0 +1,79 @@
+#ifndef DATATRIAGE_EXEC_TASK_POOL_H_
+#define DATATRIAGE_EXEC_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace datatriage::exec {
+
+/// A shared pool of helper threads for intra-operator parallelism
+/// (DESIGN.md §16.2). Operator kernels call ParallelFor to split a
+/// morsel loop across the helpers; the *calling* thread always
+/// participates, so a ParallelFor never deadlocks when every helper is
+/// busy with another session's job (and a pool with zero helpers is
+/// just a serial loop). Multiple sessions may run ParallelFor
+/// concurrently: jobs queue FIFO and helpers drain whichever is
+/// oldest.
+///
+/// Determinism contract: ParallelFor only promises that fn(i) runs
+/// exactly once for every i in [0, n), on some thread, before the call
+/// returns. Callers keep results byte-identical to a serial loop by
+/// writing each morsel's output to its own disjoint slot and merging
+/// the slots in index order afterwards — the two-phase pattern the
+/// vectorized join/aggregate kernels use.
+class TaskPool {
+ public:
+  /// Starts `helper_threads` dedicated helpers. A session configured
+  /// with intra_session_threads = T gets T-way kernels from a pool of
+  /// T - 1 helpers plus its own worker.
+  explicit TaskPool(size_t helper_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Maximum threads one ParallelFor can spread across: the helpers
+  /// plus the calling thread.
+  size_t parallelism() const { return helpers_.size() + 1; }
+
+  /// Runs fn(i) exactly once for every i in [0, n), on the calling
+  /// thread and any idle helpers, and returns when all n calls have
+  /// finished. fn must not throw and must not call ParallelFor on the
+  /// same pool (nested jobs would deadlock the caller's wait).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  /// One ParallelFor in flight: helpers claim indices from `next` and
+  /// bump `done`; the submitting thread waits for done == n.
+  struct Job {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  /// Claims and runs indices of `job` until none remain; returns the
+  /// number of indices this thread executed.
+  static size_t WorkOn(Job* job);
+
+  void RunHelper();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> helpers_;
+};
+
+}  // namespace datatriage::exec
+
+#endif  // DATATRIAGE_EXEC_TASK_POOL_H_

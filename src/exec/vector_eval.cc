@@ -7,6 +7,7 @@
 
 #include "src/common/flat_table.h"
 #include "src/common/logging.h"
+#include "src/exec/task_pool.h"
 #include "src/plan/expression.h"
 #include "src/sql/ast.h"
 
@@ -18,6 +19,43 @@ using plan::BoundExpr;
 using plan::LogicalPlan;
 
 constexpr uint32_t kNil = UINT32_MAX;
+
+/// Rows per morsel for the parallel join/aggregate phases. The value is
+/// a speed knob only: every split merges back in morsel order, so the
+/// output bytes never depend on it.
+constexpr size_t kMorselRows = 1024;
+
+/// Number of morsels an `n`-row kernel input splits into under `pool`,
+/// or 0 when the input stays on the single-threaded loop: no pool (or a
+/// pool with no helpers), fewer rows than the configured floor, or too
+/// few rows to fill two morsels.
+size_t MorselCount(const TaskPool* pool, size_t parallel_min_rows,
+                   size_t n) {
+  if (pool == nullptr || pool->parallelism() < 2) return 0;
+  if (n < parallel_min_rows || n < 2 * kMorselRows) return 0;
+  return (n + kMorselRows - 1) / kMorselRows;
+}
+
+/// HashRows, split across the pool when the domain is large enough.
+/// Each position's hash is independent, so the bytes match the serial
+/// pass exactly.
+void HashDomain(TaskPool* pool, size_t parallel_min_rows,
+                const std::vector<const Column*>& cols,
+                const uint32_t* rows, size_t n,
+                std::vector<uint64_t>* out) {
+  const size_t num_morsels = MorselCount(pool, parallel_min_rows, n);
+  if (num_morsels == 0) {
+    HashRows(cols, rows, n, out);
+    return;
+  }
+  out->resize(n);
+  uint64_t* dst = out->data();
+  pool->ParallelFor(num_morsels, [&](size_t m) {
+    const size_t start = m * kMorselRows;
+    HashRowsRange(cols, rows, start, std::min(kMorselRows, n - start),
+                  dst);
+  });
+}
 
 /// The row domain a kernel operates over: `rows == nullptr` means rows
 /// 0..n-1 of the batch, otherwise `rows[0..n)` are absolute row indices.
@@ -457,7 +495,8 @@ Result<BatchView> VectorEvaluator::EvaluateView(const LogicalPlan& plan) {
     case LogicalPlan::Kind::kJoin: {
       DT_ASSIGN_OR_RETURN(BatchView left, EvaluateView(*plan.child(0)));
       DT_ASSIGN_OR_RETURN(BatchView right, EvaluateView(*plan.child(1)));
-      return vectorized::Join(plan, left, right, &stats_);
+      return vectorized::Join(plan, left, right, &stats_, pool_,
+                              parallel_min_rows_);
     }
     case LogicalPlan::Kind::kUnionAll: {
       DT_ASSIGN_OR_RETURN(BatchView left, EvaluateView(*plan.child(0)));
@@ -471,7 +510,8 @@ Result<BatchView> VectorEvaluator::EvaluateView(const LogicalPlan& plan) {
     }
     case LogicalPlan::Kind::kAggregate: {
       DT_ASSIGN_OR_RETURN(BatchView input, EvaluateView(*plan.child(0)));
-      return vectorized::Aggregate(plan, input, &stats_);
+      return vectorized::Aggregate(plan, input, &stats_, pool_,
+                                   parallel_min_rows_);
     }
   }
   return Status::Internal("unhandled plan kind in vector evaluator");
@@ -613,7 +653,8 @@ BatchView Compute(const LogicalPlan& plan, const BatchView& input,
 }
 
 BatchView Join(const LogicalPlan& plan, const BatchView& left,
-               const BatchView& right, ExecStats* stats) {
+               const BatchView& right, ExecStats* stats, TaskPool* pool,
+               size_t parallel_min_rows) {
   const size_t nl = left.size();
   const size_t nr = right.size();
   // Absolute (left row, right row) index pairs, in scalar emission order.
@@ -651,12 +692,12 @@ BatchView Join(const LogicalPlan& plan, const BatchView& left,
     stats->join_build_inserts += static_cast<int64_t>(nb);
 
     std::vector<uint64_t> build_hashes, probe_hashes;
-    HashRows(KeyColumns(build, build_keys),
-             build.sel != nullptr ? build.sel->data() : nullptr, nb,
-             &build_hashes);
-    HashRows(KeyColumns(probe, probe_keys),
-             probe.sel != nullptr ? probe.sel->data() : nullptr, np,
-             &probe_hashes);
+    HashDomain(pool, parallel_min_rows, KeyColumns(build, build_keys),
+               build.sel != nullptr ? build.sel->data() : nullptr, nb,
+               &build_hashes);
+    HashDomain(pool, parallel_min_rows, KeyColumns(probe, probe_keys),
+               probe.sel != nullptr ? probe.sel->data() : nullptr, np,
+               &probe_hashes);
 
     // One bucket per distinct key; duplicate rows chain through `next`.
     // Indices are positions in the build domain (0..nb).
@@ -670,37 +711,135 @@ BatchView Join(const LogicalPlan& plan, const BatchView& left,
     };
     FlatTable<Bucket> table;
     std::vector<uint32_t> next(nb, kNil);
-    table.BuildFrom(
-        build_hashes.data(), nb,
-        [&](const Bucket& b, size_t i) {
-          return RowsEqualOnKeys(*build.batch, build_abs(b.repr), build_keys,
-                                 *build.batch, build_abs(i), build_keys);
-        },
-        [&](size_t i) {
+    const size_t build_morsels = MorselCount(pool, parallel_min_rows, nb);
+    if (build_morsels == 0) {
+      table.BuildFrom(
+          build_hashes.data(), nb,
+          [&](const Bucket& b, size_t i) {
+            return RowsEqualOnKeys(*build.batch, build_abs(b.repr),
+                                   build_keys, *build.batch, build_abs(i),
+                                   build_keys);
+          },
+          [&](size_t i) {
+            const uint32_t pos = static_cast<uint32_t>(i);
+            return Bucket{pos, pos, pos};
+          },
+          [&](Bucket* b, size_t i) {
+            next[b->tail] = static_cast<uint32_t>(i);
+            b->tail = static_cast<uint32_t>(i);
+          });
+    } else {
+      // Two-phase parallel build (DESIGN.md §16.2). Phase one: each
+      // morsel deduplicates its own rows into a local table, chaining
+      // duplicates through the shared `next` array — every write lands
+      // on a position inside the writer's own morsel, so the slots are
+      // disjoint. Phase two (single-threaded): walk the morsels in
+      // order and fold each local bucket into the central table,
+      // splicing chains tail-to-head. A key's merged chain concatenates
+      // its per-morsel chains in morsel order, each ascending, which is
+      // exactly the ascending build-position order the serial BuildFrom
+      // produces — so probe output, and therefore the joined bytes, are
+      // identical. (The central table's slot layout may differ from the
+      // serial build's, which is fine: the join only ever probes it.)
+      struct LocalBuild {
+        FlatTable<uint32_t> keys;     // key -> index into `buckets`
+        std::vector<Bucket> buckets;  // in first-appearance order
+      };
+      std::vector<LocalBuild> locals(build_morsels);
+      pool->ParallelFor(build_morsels, [&](size_t m) {
+        LocalBuild& local = locals[m];
+        const size_t start = m * kMorselRows;
+        const size_t end = std::min(start + kMorselRows, nb);
+        local.keys.Reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
           const uint32_t pos = static_cast<uint32_t>(i);
-          return Bucket{pos, pos, pos};
-        },
-        [&](Bucket* b, size_t i) {
-          next[b->tail] = static_cast<uint32_t>(i);
-          b->tail = static_cast<uint32_t>(i);
-        });
+          auto [idx, inserted] = local.keys.FindOrEmplace(
+              build_hashes[i],
+              [&](uint32_t b) {
+                return RowsEqualOnKeys(
+                    *build.batch, build_abs(local.buckets[b].repr),
+                    build_keys, *build.batch, build_abs(pos), build_keys);
+              },
+              [&] {
+                local.buckets.push_back(Bucket{pos, pos, pos});
+                return static_cast<uint32_t>(local.buckets.size() - 1);
+              });
+          if (!inserted) {
+            Bucket& b = local.buckets[*idx];
+            next[b.tail] = pos;
+            b.tail = pos;
+          }
+        }
+      });
+      size_t distinct = 0;
+      for (const LocalBuild& local : locals) {
+        distinct += local.buckets.size();
+      }
+      table.Reserve(distinct);
+      for (const LocalBuild& local : locals) {
+        for (const Bucket& lb : local.buckets) {
+          auto [b, inserted] = table.FindOrEmplace(
+              build_hashes[lb.repr],
+              [&](const Bucket& c) {
+                return RowsEqualOnKeys(*build.batch, build_abs(c.repr),
+                                       build_keys, *build.batch,
+                                       build_abs(lb.repr), build_keys);
+              },
+              [&] { return lb; });
+          if (!inserted) {
+            next[b->tail] = lb.head;
+            b->tail = lb.tail;
+          }
+        }
+      }
+    }
 
-    for (size_t pi = 0; pi < np; ++pi) {
-      ++stats->join_probes;
+    const auto probe_one = [&](size_t pi, std::vector<uint32_t>* ls,
+                               std::vector<uint32_t>* rs) {
       const uint32_t probe_row = probe.RowIndex(pi);
       Bucket* bucket = table.Find(probe_hashes[pi], [&](const Bucket& b) {
         return RowsEqualOnKeys(*build.batch, build_abs(b.repr), build_keys,
                                *probe.batch, probe_row, probe_keys);
       });
-      if (bucket == nullptr) continue;
+      if (bucket == nullptr) return;
       for (uint32_t bi = bucket->head; bi != kNil; bi = next[bi]) {
         if (build_left) {
-          l_rows.push_back(build_abs(bi));
-          r_rows.push_back(probe_row);
+          ls->push_back(build_abs(bi));
+          rs->push_back(probe_row);
         } else {
-          l_rows.push_back(probe_row);
-          r_rows.push_back(build_abs(bi));
+          ls->push_back(probe_row);
+          rs->push_back(build_abs(bi));
         }
+      }
+    };
+    stats->join_probes += static_cast<int64_t>(np);
+    const size_t probe_morsels = MorselCount(pool, parallel_min_rows, np);
+    if (probe_morsels == 0) {
+      for (size_t pi = 0; pi < np; ++pi) {
+        probe_one(pi, &l_rows, &r_rows);
+      }
+    } else {
+      // Morsels probe the (now read-only) table independently; partial
+      // match lists concatenate in morsel order, which is probe order.
+      struct Matches {
+        std::vector<uint32_t> l, r;
+      };
+      std::vector<Matches> partials(probe_morsels);
+      pool->ParallelFor(probe_morsels, [&](size_t m) {
+        Matches& out = partials[m];
+        const size_t start = m * kMorselRows;
+        const size_t end = std::min(start + kMorselRows, np);
+        for (size_t pi = start; pi < end; ++pi) {
+          probe_one(pi, &out.l, &out.r);
+        }
+      });
+      size_t total = 0;
+      for (const Matches& p : partials) total += p.l.size();
+      l_rows.reserve(total);
+      r_rows.reserve(total);
+      for (const Matches& p : partials) {
+        l_rows.insert(l_rows.end(), p.l.begin(), p.l.end());
+        r_rows.insert(r_rows.end(), p.r.begin(), p.r.end());
       }
     }
   }
@@ -709,22 +848,31 @@ BatchView Join(const LogicalPlan& plan, const BatchView& left,
   if (npairs == 0) return BatchView{};
 
   // Gather the joined batch: left columns then right columns, output
-  // timestamp = max of the two sides (Tuple::Concat).
+  // timestamp = max of the two sides (Tuple::Concat). Each output
+  // column (and the timestamp vector) is an independent gather, so for
+  // large outputs they spread across the pool one column per task.
   const Domain ld{left.batch.get(), l_rows.data(), npairs};
   const Domain rd{right.batch.get(), r_rows.data(), npairs};
-  std::vector<std::shared_ptr<const Column>> cols;
-  cols.reserve(left.batch->num_cols() + right.batch->num_cols());
-  for (size_t c = 0; c < left.batch->num_cols(); ++c) {
-    cols.push_back(GatherColumn(left.batch->col(c), ld));
-  }
-  for (size_t c = 0; c < right.batch->num_cols(); ++c) {
-    cols.push_back(GatherColumn(right.batch->col(c), rd));
-  }
-  auto ts = std::make_shared<std::vector<VirtualTime>>();
-  ts->reserve(npairs);
-  for (size_t i = 0; i < npairs; ++i) {
-    ts->push_back(std::max(left.batch->timestamp(l_rows[i]),
-                           right.batch->timestamp(r_rows[i])));
+  const size_t ncl = left.batch->num_cols();
+  const size_t ncr = right.batch->num_cols();
+  std::vector<std::shared_ptr<const Column>> cols(ncl + ncr);
+  auto ts = std::make_shared<std::vector<VirtualTime>>(npairs);
+  const auto gather_one = [&](size_t c) {
+    if (c < ncl) {
+      cols[c] = GatherColumn(left.batch->col(c), ld);
+    } else if (c < ncl + ncr) {
+      cols[c] = GatherColumn(right.batch->col(c - ncl), rd);
+    } else {
+      for (size_t i = 0; i < npairs; ++i) {
+        (*ts)[i] = std::max(left.batch->timestamp(l_rows[i]),
+                            right.batch->timestamp(r_rows[i]));
+      }
+    }
+  };
+  if (MorselCount(pool, parallel_min_rows, npairs) != 0) {
+    pool->ParallelFor(ncl + ncr + 1, gather_one);
+  } else {
+    for (size_t c = 0; c < ncl + ncr + 1; ++c) gather_one(c);
   }
   auto joined = ColumnBatch::FromColumns(std::move(cols), std::move(ts),
                                          {left.batch, right.batch});
@@ -885,7 +1033,8 @@ BatchView SetDifference(const BatchView& left, const BatchView& right,
 }
 
 Result<BatchView> Aggregate(const LogicalPlan& plan,
-                            const BatchView& input, ExecStats* stats) {
+                            const BatchView& input, ExecStats* stats,
+                            TaskPool* pool, size_t parallel_min_rows) {
   std::vector<size_t> group_indices;
   for (const plan::GroupBySpec& g : plan.group_by()) {
     group_indices.push_back(g.input_index);
@@ -901,8 +1050,9 @@ Result<BatchView> Aggregate(const LogicalPlan& plan,
   stats->comparisons += static_cast<int64_t>(n);
 
   std::vector<uint64_t> hashes;
-  HashRows(KeyColumns(input, group_indices),
-           input.sel != nullptr ? input.sel->data() : nullptr, n, &hashes);
+  HashDomain(pool, parallel_min_rows, KeyColumns(input, group_indices),
+             input.sel != nullptr ? input.sel->data() : nullptr, n,
+             &hashes);
 
   // Group discovery must reproduce the scalar table's slot layout exactly
   // (output rows are emitted in slot order), so the table grows from
@@ -915,22 +1065,97 @@ Result<BatchView> Aggregate(const LogicalPlan& plan,
   FlatTable<GroupEntry> groups;
   std::vector<uint32_t> group_of(n);
   std::vector<uint32_t> first_abs;  // first absolute row of each group
-  for (size_t i = 0; i < n; ++i) {
-    const uint32_t row = input.RowIndex(i);
-    auto [entry, inserted] = groups.FindOrEmplace(
-        hashes[i],
-        [&](const GroupEntry& g) {
-          return RowsEqualOnKeys(*input.batch, first_abs[g.id],
-                                 group_indices, *input.batch, row,
-                                 group_indices);
-        },
-        [&] {
-          GroupEntry e{static_cast<uint32_t>(i),
-                       static_cast<uint32_t>(first_abs.size())};
-          first_abs.push_back(row);
-          return e;
-        });
-    group_of[i] = entry->id;
+  const size_t group_morsels = MorselCount(pool, parallel_min_rows, n);
+  if (group_morsels == 0) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t row = input.RowIndex(i);
+      auto [entry, inserted] = groups.FindOrEmplace(
+          hashes[i],
+          [&](const GroupEntry& g) {
+            return RowsEqualOnKeys(*input.batch, first_abs[g.id],
+                                   group_indices, *input.batch, row,
+                                   group_indices);
+          },
+          [&] {
+            GroupEntry e{static_cast<uint32_t>(i),
+                         static_cast<uint32_t>(first_abs.size())};
+            first_abs.push_back(row);
+            return e;
+          });
+      group_of[i] = entry->id;
+    }
+  } else {
+    // Parallel group discovery, serial accumulation (DESIGN.md §16.2).
+    // Phase one: each morsel assigns its rows *local* group ids from a
+    // local table (group_of writes stay inside the morsel's range).
+    // Phase two (single-threaded): fold each morsel's distinct keys —
+    // in morsel order, within a morsel in first-appearance order — into
+    // the central table. That visiting order is the global
+    // first-occurrence order (a key first seen in morsel m cannot
+    // appear in an earlier morsel), so the central table replays the
+    // serial insertion sequence exactly and lands on the same slot
+    // layout: duplicate keys only re-Find, and a Find can at most move
+    // a rehash earlier in the call sequence, not change the contents it
+    // repositions. Phase three: remap local ids to global ones. The
+    // accumulation loops below then run single-threaded in row order,
+    // inheriting every scalar FP/tie/exception behavior untouched.
+    struct LocalGroups {
+      FlatTable<uint32_t> keys;        // key -> local group id
+      std::vector<uint32_t> first_pos;  // local id -> first position
+    };
+    std::vector<LocalGroups> locals(group_morsels);
+    pool->ParallelFor(group_morsels, [&](size_t m) {
+      LocalGroups& local = locals[m];
+      const size_t start = m * kMorselRows;
+      const size_t end = std::min(start + kMorselRows, n);
+      local.keys.Reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        const uint32_t row = input.RowIndex(i);
+        auto [id, inserted] = local.keys.FindOrEmplace(
+            hashes[i],
+            [&](uint32_t g) {
+              return RowsEqualOnKeys(
+                  *input.batch, input.RowIndex(local.first_pos[g]),
+                  group_indices, *input.batch, row, group_indices);
+            },
+            [&] {
+              local.first_pos.push_back(static_cast<uint32_t>(i));
+              return static_cast<uint32_t>(local.first_pos.size() - 1);
+            });
+        group_of[i] = *id;
+      }
+    });
+    std::vector<std::vector<uint32_t>> remap(group_morsels);
+    for (size_t m = 0; m < group_morsels; ++m) {
+      const LocalGroups& local = locals[m];
+      remap[m].resize(local.first_pos.size());
+      for (size_t g = 0; g < local.first_pos.size(); ++g) {
+        const uint32_t pos = local.first_pos[g];
+        const uint32_t row = input.RowIndex(pos);
+        auto [entry, inserted] = groups.FindOrEmplace(
+            hashes[pos],
+            [&](const GroupEntry& ge) {
+              return RowsEqualOnKeys(*input.batch, first_abs[ge.id],
+                                     group_indices, *input.batch, row,
+                                     group_indices);
+            },
+            [&] {
+              GroupEntry e{pos,
+                           static_cast<uint32_t>(first_abs.size())};
+              first_abs.push_back(row);
+              return e;
+            });
+        remap[m][g] = entry->id;
+      }
+    }
+    pool->ParallelFor(group_morsels, [&](size_t m) {
+      const size_t start = m * kMorselRows;
+      const size_t end = std::min(start + kMorselRows, n);
+      const std::vector<uint32_t>& map = remap[m];
+      for (size_t i = start; i < end; ++i) {
+        group_of[i] = map[group_of[i]];
+      }
+    });
   }
   const size_t num_groups = first_abs.size();
 

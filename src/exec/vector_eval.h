@@ -32,8 +32,16 @@ namespace datatriage::exec {
 /// into provider tuples), so it must not outlive the provider.
 class VectorEvaluator {
  public:
-  explicit VectorEvaluator(const RelationProvider* inputs)
-      : inputs_(inputs) {}
+  /// With a non-null `pool`, join and aggregate kernels split inputs of
+  /// at least `parallel_min_rows` rows into morsels across the pool's
+  /// threads; the deterministic central merge keeps the byte-identity
+  /// contract above intact (DESIGN.md §16.2).
+  explicit VectorEvaluator(const RelationProvider* inputs,
+                           TaskPool* pool = nullptr,
+                           size_t parallel_min_rows = 0)
+      : inputs_(inputs),
+        pool_(pool),
+        parallel_min_rows_(parallel_min_rows) {}
 
   VectorEvaluator(const VectorEvaluator&) = delete;
   VectorEvaluator& operator=(const VectorEvaluator&) = delete;
@@ -50,6 +58,8 @@ class VectorEvaluator {
   Result<BatchView> EvaluateScan(const plan::LogicalPlan& plan);
 
   const RelationProvider* inputs_;
+  TaskPool* pool_;
+  size_t parallel_min_rows_;
   ExecStats stats_;
   /// Row→column conversion happens once per scanned channel per
   /// evaluation, at the window-buffer boundary; plans that scan the same
@@ -72,14 +82,23 @@ BatchView Project(const plan::LogicalPlan& plan, const BatchView& input,
                   ExecStats* stats);
 BatchView Compute(const plan::LogicalPlan& plan, const BatchView& input,
                   ExecStats* stats);
+/// Join and Aggregate optionally run morsel-parallel: with a pool and an
+/// input of at least `parallel_min_rows` rows, build/probe (join) and
+/// group discovery (aggregate) split into fixed-size morsels whose
+/// per-thread partial tables merge centrally in morsel order,
+/// reproducing the serial kernel's bytes exactly (DESIGN.md §16.2).
+/// Defaults keep both kernels single-threaded.
 BatchView Join(const plan::LogicalPlan& plan, const BatchView& left,
-               const BatchView& right, ExecStats* stats);
+               const BatchView& right, ExecStats* stats,
+               TaskPool* pool = nullptr, size_t parallel_min_rows = 0);
 BatchView UnionAll(const BatchView& left, const BatchView& right,
                    ExecStats* stats);
 BatchView SetDifference(const BatchView& left, const BatchView& right,
                         ExecStats* stats);
 Result<BatchView> Aggregate(const plan::LogicalPlan& plan,
-                            const BatchView& input, ExecStats* stats);
+                            const BatchView& input, ExecStats* stats,
+                            TaskPool* pool = nullptr,
+                            size_t parallel_min_rows = 0);
 
 }  // namespace vectorized
 

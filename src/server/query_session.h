@@ -20,6 +20,10 @@
 #include "src/rewrite/data_triage_rewrite.h"
 #include "src/server/ingest.h"
 
+namespace datatriage::exec {
+class TaskPool;
+}  // namespace datatriage::exec
+
 namespace datatriage::serde {
 class Writer;
 class Reader;
@@ -137,6 +141,18 @@ class QuerySession {
   /// config().memory_budget_bytes.
   void SetServerBudgetShare(size_t bytes);
   size_t EffectiveMemoryBudget() const;
+
+  /// Intra-session operator parallelism (DESIGN.md §16.2): window
+  /// evaluation splits join/aggregation work into morsels run on `pool`
+  /// when a relation reaches `parallel_min_rows` rows. The partials
+  /// merge deterministically, so results stay byte-identical to the
+  /// serial path — the pool is a throughput knob only. Pass nullptr to
+  /// stay serial. Called by the server before the session's first
+  /// arrival (or at mid-stream registration).
+  void SetTaskPool(exec::TaskPool* pool, size_t parallel_min_rows) {
+    task_pool_ = pool;
+    parallel_min_rows_ = parallel_min_rows;
+  }
 
   /// Mid-stream registration (DESIGN.md §14): admits events from `t` on
   /// by stamping every lane's admission horizon. Must be called before
@@ -266,6 +282,10 @@ class QuerySession {
   std::vector<engine::WindowResult> results_;
   WindowSink sink_;
   engine::EngineStats stats_;
+
+  /// Shared morsel pool (owned by the server); null in serial mode.
+  exec::TaskPool* task_pool_ = nullptr;
+  size_t parallel_min_rows_ = 0;
 
   /// Per-session byte account (DESIGN.md §15): single-writer, exact,
   /// and the enforcement input for memory-triggered triage.

@@ -11,7 +11,7 @@ namespace datatriage::server {
 /// Deterministic fault injection for simulation testing (src/sim/,
 /// DESIGN.md Sec. 12). A StreamServer under test takes one SimFaults via
 /// SetSimFaults() *before* any RegisterQuery; the hooks fire at fixed
-/// points of the ingest and worker-pool paths. Every fault is a pure
+/// points of the ingest and task-scheduler paths. Every fault is a pure
 /// function of virtual time and per-session state — never of wall-clock
 /// or thread scheduling — so a faulted run stays byte-identical across
 /// worker counts, which is exactly what lets the differential oracles
@@ -38,12 +38,15 @@ struct SimFaults {
   VirtualTime stall_from = 0.0;
   VirtualTime stall_to = 0.0;
 
-  // --- Worker-pool faults (src/server/worker_pool.*, parallel.h) ---
+  // --- Scheduler faults (src/server/task_scheduler.*, parallel.h) ---
 
-  /// Session-to-worker sharding override. kModulo is the production rule
-  /// (session id % workers); the adversarial variants pile every session
-  /// onto one worker or reverse the assignment — per-session output must
-  /// not change either way.
+  /// Initial session-to-worker placement override. kModulo is the
+  /// production rule (session id % workers); the adversarial variants
+  /// pile every session onto one worker or reverse the assignment. The
+  /// override sets each session's *initial* home under every
+  /// DispatchMode (least-loaded re-homing and stealing then move work
+  /// from that adversarial start) — per-session output must not change
+  /// either way.
   enum class Sharding : uint8_t { kModulo, kSingleWorker, kReversed };
   Sharding sharding = Sharding::kModulo;
 

@@ -34,7 +34,12 @@ struct SessionSnapshot {
 /// v2: EngineConfig gained memory_budget_bytes, and the session payload
 /// carries per-lane window-buffer touch clocks plus the per-component
 /// memory-account bytes and peaks (DESIGN.md §15).
-inline constexpr uint32_t kSnapshotVersion = 2;
+/// v3: a scheduler stamp (dispatch-mode tag + parallel_min_rows) follows
+/// the engine config; RestoreSession cross-checks it against the target
+/// server's effective SchedulerOptions (DESIGN.md §16.3). Worker and
+/// intra-session thread counts are deployment properties and are not
+/// stamped.
+inline constexpr uint32_t kSnapshotVersion = 3;
 
 /// Frames `payload` as a complete snapshot byte string:
 /// magic "DTSS" + u32 version + u64 payload size + payload + 32-char MD5

@@ -34,10 +34,10 @@ StreamServer::StreamServer(Catalog catalog,
 }
 
 StreamServer::~StreamServer() {
-  // The pool (if streaming never reached Finish) must stop before the
-  // sessions and lanes its queued tasks point into are torn down.
-  if (pool_ != nullptr) {
-    pool_->Stop();
+  // The scheduler (if streaming never reached Finish) must stop before
+  // the sessions and lanes its queued tasks point into are torn down.
+  if (scheduler_ != nullptr) {
+    scheduler_->Stop();
     plane_.SetDispatcher(nullptr);
   }
 }
@@ -81,6 +81,16 @@ Result<SessionId> StreamServer::RegisterQuery(plan::BoundQuery query,
     CountLifecycleEvent(id, "registered_mid_stream");
   }
   session->SetServerAccountant(&accountant_);
+  if (scheduler_ != nullptr) {
+    // Mid-stream registrant while the scheduler runs: give it a task
+    // ring (initial home by the static placement rule, fault-adjusted)
+    // and the shared morsel pool before its first arrival.
+    scheduler_->AddSession(
+        id, WorkerForSessionFaulted(id, scheduler_->size(),
+                                    plane_.sim_faults()));
+    session->SetTaskPool(task_pool_.get(),
+                         options_.EffectiveScheduler().parallel_min_rows);
+  }
   sessions_.push_back(std::move(session));
   if (options_.memory_budget_bytes > 0) {
     // Shares are read on the owning workers, so quiesce before
@@ -136,6 +146,15 @@ Result<SessionSnapshot> StreamServer::SnapshotSession(SessionId id) {
   serde::Writer writer;
   writer.WriteString(session->sql());
   SaveEngineConfig(&writer, session->config());
+  // v3 scheduler stamp: the knobs that shape a session's bytes
+  // (dispatch gates nothing today but is recorded for cross-checking;
+  // parallel_min_rows feeds the morsel gate). worker_threads and
+  // intra_session_threads are deployment properties — deliberately not
+  // stamped, so snapshot bytes stay identical across worker-count
+  // sweeps.
+  const engine::SchedulerOptions effective = options_.EffectiveScheduler();
+  writer.WriteU8(static_cast<uint8_t>(effective.dispatch));
+  writer.WriteU64(effective.parallel_min_rows);
   writer.WriteBool(plane_.saw_arrival());
   writer.WriteDouble(plane_.now());
   session->SaveState(&writer);
@@ -156,6 +175,35 @@ Result<SessionId> StreamServer::RestoreSession(
   DT_ASSIGN_OR_RETURN(const std::string sql, reader.ReadString());
   DT_ASSIGN_OR_RETURN(engine::EngineConfig config,
                       LoadEngineConfig(&reader));
+  DT_ASSIGN_OR_RETURN(const uint8_t dispatch_tag, reader.ReadU8());
+  if (dispatch_tag > static_cast<uint8_t>(engine::DispatchMode::kStealing)) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: unknown dispatch mode tag %u", dispatch_tag));
+  }
+  DT_ASSIGN_OR_RETURN(const uint64_t donor_min_rows, reader.ReadU64());
+  // Strict scheduler cross-check: the donor's stamped dispatch mode and
+  // morsel floor must match this server's, or the restored session's
+  // future bytes could diverge from the donor's.
+  const engine::SchedulerOptions effective = options_.EffectiveScheduler();
+  if (dispatch_tag != static_cast<uint8_t>(effective.dispatch)) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: donor dispatch mode %s does not match this server's "
+        "%s — restore onto a server with the same "
+        "SchedulerOptions::dispatch",
+        std::string(engine::DispatchModeToString(
+                        static_cast<engine::DispatchMode>(dispatch_tag)))
+            .c_str(),
+        std::string(engine::DispatchModeToString(effective.dispatch))
+            .c_str()));
+  }
+  if (donor_min_rows != effective.parallel_min_rows) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: donor parallel_min_rows %llu does not match this "
+        "server's %llu — restore onto a server with the same "
+        "SchedulerOptions::parallel_min_rows",
+        static_cast<unsigned long long>(donor_min_rows),
+        static_cast<unsigned long long>(effective.parallel_min_rows)));
+  }
   DT_ASSIGN_OR_RETURN(const bool donor_saw_arrival, reader.ReadBool());
   DT_ASSIGN_OR_RETURN(const VirtualTime donor_clock, reader.ReadDouble());
   // Rebuild the session the same way it was first made (parse, bind,
@@ -188,8 +236,8 @@ size_t StreamServer::live_session_count() const {
 }
 
 Status StreamServer::Quiesce() {
-  if (pool_ == nullptr) return Status::OK();
-  return pool_->Drain();
+  if (scheduler_ == nullptr) return Status::OK();
+  return scheduler_->Drain();
 }
 
 void StreamServer::RecomputeBudgetShares() {
@@ -247,34 +295,55 @@ Status StreamServer::EnsureStreaming() {
   }
   if (state_ == ServerState::kRegistering) {
     state_ = ServerState::kStreaming;
+    const engine::SchedulerOptions effective = options_.EffectiveScheduler();
+    // Without intra-session parallelism there is nothing for a worker
+    // beyond one-per-session to do, so clamp to the session count; with
+    // morsel helpers configured the full complement stays useful (the
+    // helpers are the TaskPool's own threads, but scheduler workers
+    // overlap sessions' serial stretches).
     const size_t workers =
-        std::min(options_.worker_threads, sessions_.size());
+        effective.intra_session_threads > 1
+            ? effective.worker_threads
+            : std::min(effective.worker_threads, sessions_.size());
     if (workers > 0) {
       const SimFaults* faults = plane_.sim_faults();
       size_t queue_capacity = options_.task_queue_capacity;
       if (faults != nullptr && faults->task_queue_capacity_override > 0) {
         queue_capacity = faults->task_queue_capacity_override;
       }
-      pool_ = std::make_unique<WorkerPool>(workers, queue_capacity);
+      scheduler_ = std::make_unique<TaskScheduler>(effective.dispatch,
+                                                   workers, queue_capacity);
       if (faults != nullptr) {
-        pool_->SetDispatchYield(faults->dispatch_yield_every);
+        scheduler_->SetDispatchYield(faults->dispatch_yield_every);
+      }
+      for (std::unique_ptr<QuerySession>& session : sessions_) {
+        scheduler_->AddSession(
+            session->id(),
+            WorkerForSessionFaulted(session->id(), workers, faults));
+      }
+      if (effective.intra_session_threads > 1) {
+        task_pool_ = std::make_unique<exec::TaskPool>(
+            effective.intra_session_threads - 1);
+      }
+      for (std::unique_ptr<QuerySession>& session : sessions_) {
+        session->SetTaskPool(task_pool_.get(),
+                             effective.parallel_min_rows);
       }
       plane_.SetDispatcher([this](StreamLane* lane, const Tuple& tuple) {
         WorkerTask task;
         task.kind = WorkerTask::Kind::kIngest;
         task.lane = lane;
         task.tuple = tuple;  // by value: the plane's reference dies here
-        pool_->Dispatch(
-            WorkerForSessionFaulted(lane->session->id(), pool_->size(),
-                                    plane_.sim_faults()),
-            std::move(task));
+        scheduler_->Dispatch(lane->session->id(), std::move(task));
         return Status::OK();
       });
     }
   }
   // Asynchronous execution defers errors; surface the earliest one on
   // the next push rather than silently feeding a dead session.
-  if (pool_ != nullptr && pool_->error_seen()) return pool_->first_error();
+  if (scheduler_ != nullptr && scheduler_->error_seen()) {
+    return scheduler_->first_error();
+  }
   return Status::OK();
 }
 
@@ -297,24 +366,22 @@ Status StreamServer::PushBatch(
 Status StreamServer::Finish() {
   if (state_ == ServerState::kFinished) return Status::OK();
   state_ = ServerState::kFinished;
-  if (pool_ != nullptr) {
-    // Each session finishes on its owning worker — end-of-stream drain
-    // parallelizes like ingest — then the pool's barrier walks workers
-    // in index order and reports the lowest-id session error, so what
-    // the caller observes never depends on thread timing.
+  if (scheduler_ != nullptr) {
+    // Each session finishes on a scheduler worker — end-of-stream drain
+    // parallelizes like ingest — then the scheduler's barrier walks
+    // sessions in id order and reports the lowest-id session error, so
+    // what the caller observes never depends on thread timing.
     for (std::unique_ptr<QuerySession>& session : sessions_) {
       WorkerTask task;
       task.kind = WorkerTask::Kind::kFinish;
       task.session = session.get();
-      pool_->Dispatch(
-          WorkerForSessionFaulted(session->id(), pool_->size(),
-                                  plane_.sim_faults()),
-          std::move(task));
+      scheduler_->Dispatch(session->id(), std::move(task));
     }
-    Status status = pool_->Stop();
+    Status status = scheduler_->Stop();
     plane_.SetDispatcher(nullptr);
     FlushWorkerMetrics();
-    pool_.reset();
+    scheduler_.reset();
+    task_pool_.reset();
     return status;
   }
   for (std::unique_ptr<QuerySession>& session : sessions_) {
@@ -325,8 +392,8 @@ Status StreamServer::Finish() {
 
 void StreamServer::FlushWorkerMetrics() {
   obs::MetricsRegistry& registry = plane_.mutable_metrics();
-  for (size_t k = 0; k < pool_->size(); ++k) {
-    const WorkerPoolStats stats = pool_->stats(k);
+  for (size_t k = 0; k < scheduler_->size(); ++k) {
+    const TaskWorkerStats stats = scheduler_->stats(k);
     const std::string prefix = "server.worker." + std::to_string(k);
     registry.GetCounter(prefix + ".tasks")->Add(stats.tasks);
     registry.GetGauge(prefix + ".busy_seconds")->Set(stats.busy_seconds);

@@ -13,8 +13,9 @@
 #include "src/engine/config.h"
 #include "src/server/ingest.h"
 #include "src/server/query_session.h"
+#include "src/exec/task_pool.h"
 #include "src/server/snapshot.h"
-#include "src/server/worker_pool.h"
+#include "src/server/task_scheduler.h"
 
 namespace datatriage::server {
 
@@ -38,7 +39,7 @@ std::string_view ServerStateName(ServerState state);
 /// interleaved event feed, and read each session's results and stats
 /// independently:
 ///
-///   StreamServer server(catalog, {.worker_threads = 4});
+///   StreamServer server(catalog, {.scheduler = {.worker_threads = 4}});
 ///   auto a = server.RegisterQuery(sql_a, config_a);
 ///   server.PushBatch(morning_events);
 ///   auto b = server.RegisterQuery(sql_b, config_b);  // joins live
@@ -51,9 +52,11 @@ std::string_view ServerStateName(ServerState state);
 /// ContinuousQueryEngine run of the same (query, config) over the same
 /// events — co-hosting shares the ingest boundary (name resolution,
 /// validation, routing), never the per-query triage state — and that
-/// holds for every worker_threads setting: sessions are statically
-/// sharded across the pool, so each one is still consumed in feed order
-/// by a single thread (DESIGN.md Sec. 11).
+/// holds for every SchedulerOptions setting (worker count, dispatch
+/// mode, intra-session threads): each session's tasks live in one FIFO
+/// ring consumed in feed order by exactly one worker at a time, and
+/// morsel-parallel operators merge their partials deterministically
+/// (DESIGN.md Sec. 11, Sec. 16).
 ///
 /// Mid-stream lifecycle (DESIGN.md §14): a query registered at arrival
 /// time t observes exactly the windows whose span starts on or after the
@@ -127,9 +130,9 @@ class StreamServer {
   /// Delivers one arrival to every session reading its stream. Events
   /// must have finite, non-decreasing timestamps; violations return
   /// InvalidArgument and leave every session untouched. The first push
-  /// moves the server to kStreaming (starting the worker pool when
-  /// configured); pushing on a finished server, or with zero live
-  /// sessions, is FailedPrecondition.
+  /// moves the server to kStreaming (starting the task scheduler and
+  /// morsel pool when configured); pushing on a finished server, or with
+  /// zero live sessions, is FailedPrecondition.
   Status Push(const engine::StreamEvent& event);
   Status Push(StreamId stream, const Tuple& tuple);
 
@@ -141,9 +144,9 @@ class StreamServer {
   /// not a semantic variant.
   Status PushBatch(std::span<const engine::StreamEvent> events);
 
-  /// Drains every session (in parallel mode: on its owning worker, with
+  /// Drains every session (in parallel mode: on a scheduler worker, with
   /// a deterministic session-ordered barrier before returning), emits
-  /// all remaining windows, and joins the pool. Idempotent.
+  /// all remaining windows, and joins the scheduler. Idempotent.
   Status Finish();
 
   ServerState state() const { return state_; }
@@ -193,19 +196,20 @@ class StreamServer {
   /// registry directly with obs::MetricsJson. Note the worker gauges in
   /// the "server" section carry wall-clock readings — per-session
   /// sections stay deterministic, the server section is deterministic
-  /// only at worker_threads == 0.
+  /// only with scheduler.worker_threads == 0.
   std::string MetricsJson() const;
 
  private:
-  /// Moves kRegistering -> kStreaming on the first push and, when
-  /// worker_threads > 0, starts the pool and installs the plane
-  /// dispatcher (the pool size is fixed here; sessions registered later
-  /// shard onto the existing workers). Rejects pushes on a finished
-  /// server or with zero live sessions, and surfaces any error a worker
-  /// recorded since the previous push.
+  /// Moves kRegistering -> kStreaming on the first push and, when the
+  /// effective scheduler has worker_threads > 0, starts the TaskScheduler
+  /// (and the intra-session morsel pool when intra_session_threads > 1)
+  /// and installs the plane dispatcher (the worker count is fixed here;
+  /// sessions registered later home onto the existing workers). Rejects
+  /// pushes on a finished server or with zero live sessions, and surfaces
+  /// any error a worker recorded since the previous push.
   Status EnsureStreaming();
 
-  /// Quiesces the worker pool (barrier over every dispatched task) so
+  /// Quiesces the scheduler (barrier over every dispatched task) so
   /// lifecycle operations can touch session state on this thread. No-op
   /// in serial mode.
   Status Quiesce();
@@ -216,8 +220,8 @@ class StreamServer {
   /// engine run.
   void CountLifecycleEvent(SessionId id, std::string_view event);
 
-  /// Folds the pool's post-barrier accounting into the plane registry
-  /// as server.worker.<k>.* instruments.
+  /// Folds the scheduler's post-barrier accounting into the plane
+  /// registry as server.worker.<k>.* instruments.
   void FlushWorkerMetrics();
 
   /// Re-splits the server-wide memory budget across the live sessions
@@ -230,7 +234,11 @@ class StreamServer {
   mem::MemoryAccountant accountant_;
   std::vector<std::unique_ptr<QuerySession>> sessions_;
   ServerState state_ = ServerState::kRegistering;
-  std::unique_ptr<WorkerPool> pool_;
+  /// Inter-session dispatch: per-session task rings + worker threads.
+  std::unique_ptr<TaskScheduler> scheduler_;
+  /// Intra-session morsel helpers, shared by every session; null unless
+  /// scheduler.intra_session_threads > 1.
+  std::unique_ptr<exec::TaskPool> task_pool_;
 };
 
 }  // namespace datatriage::server

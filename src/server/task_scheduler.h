@@ -1,0 +1,186 @@
+#ifndef DATATRIAGE_SERVER_TASK_SCHEDULER_H_
+#define DATATRIAGE_SERVER_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/config.h"
+#include "src/server/parallel.h"
+
+namespace datatriage::server {
+
+/// Post-run accounting of one worker, read after Drain()/Stop() only.
+/// tasks/busy_seconds are written by the worker thread and published by
+/// the Stop() join; queue_depth_hwm is owned by the dispatching thread
+/// outright.
+struct TaskWorkerStats {
+  int64_t tasks = 0;
+  /// Wall-clock seconds spent executing tasks (not idling). Wall time is
+  /// observability-only — everything deterministic runs on virtual
+  /// clocks — so this is the one place the server reads a real clock.
+  double busy_seconds = 0.0;
+  int64_t queue_depth_hwm = 0;
+};
+
+/// Fixed pool of worker threads consuming per-*session* bounded SPSC
+/// task rings, fed by a single dispatching thread (the StreamServer's
+/// ingest thread). Which worker runs a session is the dispatch policy's
+/// business (engine::DispatchMode): static modulo homes, least-loaded
+/// re-homing at each empty→non-empty transition, or work stealing where
+/// any idle worker may claim any pending session.
+///
+/// The determinism contract (DESIGN.md §11, §16.1) is policy-free: a
+/// session's tasks sit in one FIFO ring and a claim flag serializes
+/// consumers, so every mode consumes each session in feed order on one
+/// thread *at a time*. Placement moves *when* a session runs across
+/// wall-clock time, never *what* it computes — per-session output is
+/// byte-identical across modes and worker counts.
+///
+/// Error model: task execution is asynchronous, so a failing task cannot
+/// fail the Push that enqueued it. The first error per session is
+/// recorded and the session's remaining tasks are skipped (popped and
+/// counted, not executed), mirroring how a serial run would have stopped
+/// at its first failure. Drain()/Stop() surface the error of the
+/// lowest-id errored session — a deterministic choice, thread timing
+/// never picks the winner — and the dispatcher can poll error_seen()
+/// between pushes to fail fast.
+class TaskScheduler {
+ public:
+  /// Starts `workers` (>= 1) threads. Each session added later gets its
+  /// own task ring of at least `queue_capacity` slots.
+  TaskScheduler(engine::DispatchMode dispatch, size_t workers,
+                size_t queue_capacity);
+
+  /// Stops and joins outstanding workers (draining every ring first).
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Registers session `session_id` with its initial home worker.
+  /// Session ids must arrive dense and in order (they index the ring
+  /// table). Safe while workers run — mid-stream registration adds
+  /// sessions between pushes; workers pick the new ring up on their
+  /// next scan.
+  void AddSession(uint32_t session_id, size_t home_worker);
+
+  /// Enqueues `task` on `session_id`'s ring, blocking (yield loop)
+  /// while the ring is full. Must only be called from the single
+  /// dispatching thread, and not after Stop(). Under kLeastLoaded an
+  /// empty→non-empty ring is first re-homed to the worker with the
+  /// fewest outstanding tasks (ties to the lowest index).
+  void Dispatch(uint32_t session_id, WorkerTask task);
+
+  /// Simulation hook (SimFaults::dispatch_yield_every): when `every_n`
+  /// is > 0 the dispatching thread yields after every N enqueued tasks,
+  /// perturbing thread interleavings without touching any virtual clock.
+  void SetDispatchYield(uint64_t every_n) { dispatch_yield_every_ = every_n; }
+
+  /// Barrier: blocks until every dispatched task has executed, walking
+  /// sessions in id order. Returns the deterministic first error (see
+  /// class comment), OK when no task failed.
+  Status Drain();
+
+  /// Drain() + shut the threads down and join them. Idempotent; the
+  /// scheduler cannot be restarted.
+  Status Stop();
+
+  /// True once any task has failed; cheap enough for per-push polling.
+  bool error_seen() const {
+    return error_seen_.load(std::memory_order_acquire);
+  }
+
+  /// The error of the lowest-id errored session; OK when none.
+  Status first_error() const;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Valid after Stop() (the join publishes worker-thread counters).
+  TaskWorkerStats stats(size_t worker) const;
+
+ private:
+  /// One session's task ring plus the claim protocol that serializes
+  /// its consumers across dispatch modes.
+  struct SessionQueue {
+    SessionQueue(uint32_t session_id, size_t queue_capacity,
+                 size_t home_worker)
+        : id(session_id), queue(queue_capacity), home(home_worker) {}
+
+    const uint32_t id;
+    SpscTaskQueue queue;
+    /// Placement hint: which worker scans this ring (ignored by
+    /// stealing workers, which scan every ring). Producer-written
+    /// under kLeastLoaded; a hint only, the claim below is what
+    /// serializes consumption.
+    std::atomic<size_t> home;
+    /// Exactly one worker consumes the ring at a time: acquire-CAS to
+    /// claim, release-store to release, so ring consumer state hands
+    /// off cleanly between workers under stealing/re-homing.
+    std::atomic<bool> claimed{false};
+    /// Producer cursor (single writer: the dispatching thread);
+    /// release-published after the slot lands so scanning workers see
+    /// the ring non-empty only once the task is poppable.
+    std::atomic<uint64_t> enqueued{0};
+    /// Tasks completed; release-stored after each task so Drain()'s
+    /// acquire load observes the task's session-state side effects.
+    alignas(64) std::atomic<uint64_t> executed{0};
+    /// Set at the session's first task failure; later tasks are
+    /// skipped (popped and counted, never executed).
+    std::atomic<bool> errored{false};
+  };
+
+  struct Worker {
+    std::thread thread;
+    // Consumer-side accounting (owned by the worker thread until the
+    // Stop() join publishes it).
+    double busy_seconds = 0.0;
+    int64_t tasks = 0;
+  };
+
+  void RunWorker(size_t k);
+  /// Pops and runs `q`'s tasks until its ring is empty; returns whether
+  /// any task was popped. Caller must hold the claim.
+  bool DrainSession(Worker* w, SessionQueue* q);
+  static Status ExecuteTask(const WorkerTask& task);
+  void RecordError(uint32_t session_id, Status status);
+  /// The dispatching thread's cached ring table, refreshed from
+  /// sessions_ when the generation counter moved.
+  void RefreshProducerView();
+
+  const engine::DispatchMode dispatch_;
+  const size_t queue_capacity_;
+
+  /// Ring table: index == session id. Guarded by sessions_mutex_ for
+  /// growth; generation_ bumps on every AddSession so workers (and the
+  /// producer) refresh their pointer snapshots without locking on the
+  /// hot path.
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<SessionQueue>> sessions_;
+  std::atomic<uint64_t> generation_{0};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  bool joined_ = false;
+
+  // Dispatching-thread-only state.
+  std::vector<SessionQueue*> producer_view_;
+  uint64_t producer_generation_ = 0;
+  std::vector<int64_t> depth_hwm_;  // per home worker, producer-owned
+  uint64_t dispatch_yield_every_ = 0;
+  uint64_t dispatched_since_yield_ = 0;
+
+  mutable std::mutex error_mutex_;
+  /// First error per session id; min key wins at the barrier.
+  std::map<uint32_t, Status> errors_;
+  std::atomic<bool> error_seen_{false};
+};
+
+}  // namespace datatriage::server
+
+#endif  // DATATRIAGE_SERVER_TASK_SCHEDULER_H_

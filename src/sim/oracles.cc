@@ -122,7 +122,13 @@ Result<ServerRunOutput> RunOnServer(const SimScenario& scenario,
                                     size_t worker_threads,
                                     bool install_faults) {
   engine::StreamServerOptions options = scenario.options;
-  options.worker_threads = worker_threads;
+  options.scheduler.worker_threads = worker_threads;
+  if (worker_threads == 0) {
+    // The serial sweep point: no scheduler, so no morsel pool either
+    // (intra_session_threads > 1 requires workers). Output must still
+    // match every parallel point — that is the oracle.
+    options.scheduler.intra_session_threads = 0;
+  }
   server::StreamServer server(scenario.catalog, options);
   if (install_faults) {
     DT_RETURN_IF_ERROR(server.SetSimFaults(&scenario.faults));
@@ -309,7 +315,11 @@ Status CheckSnapshotRestore(const SimScenario& scenario,
                             bool install_faults) {
   if (base.session_snapshot.empty()) return Status::OK();
   engine::StreamServerOptions options = scenario.options;
-  options.worker_threads = 0;
+  // Serial restore target. dispatch and parallel_min_rows keep the
+  // scenario's values so the snapshot's scheduler stamp cross-checks
+  // cleanly (they are stamped; thread counts are not).
+  options.scheduler.worker_threads = 0;
+  options.scheduler.intra_session_threads = 0;
   server::StreamServer server(scenario.catalog, options);
   if (install_faults) {
     DT_RETURN_IF_ERROR(server.SetSimFaults(&scenario.faults));

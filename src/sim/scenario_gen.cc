@@ -417,6 +417,22 @@ SimScenario GenerateScenario(uint64_t seed) {
       snapshot_at < push_count) {
     scenario.snapshot_at_event = snapshot_at;
   }
+  // Scheduler fuzzing (DESIGN.md §16), seed-bit idiom so the rng draw
+  // sequence of existing seeds stays byte-identical: ~1/4 of scenarios
+  // pick a non-default SchedulerOptions. worker_threads stays 0 here —
+  // the runner sweeps worker counts itself — but dispatch mode, the
+  // intra-session morsel fan-out, and the morsel floor ride in the
+  // scenario so every oracle (including the snapshot round-trip, which
+  // cross-checks the scheduler stamp) sees them.
+  if ((seed & 3) == 2) {
+    engine::SchedulerOptions& sched = scenario.options.scheduler;
+    sched.dispatch = ((seed >> 2) & 1) != 0
+                         ? engine::DispatchMode::kStealing
+                         : engine::DispatchMode::kLeastLoaded;
+    sched.intra_session_threads = 1 + ((seed >> 4) & 3);
+    static constexpr size_t kMinRowsChoices[] = {0, 0, 64, 256};
+    sched.parallel_min_rows = kMinRowsChoices[(seed >> 6) & 3];
+  }
   return scenario;
 }
 
@@ -432,6 +448,14 @@ std::string Describe(const SimScenario& scenario) {
   if (scenario.snapshot_at_event != SIZE_MAX) {
     out += StringPrintf("  snapshot: session 0 before event %zu\n",
                         scenario.snapshot_at_event);
+  }
+  const engine::SchedulerOptions& sched = scenario.options.scheduler;
+  if (sched.dispatch != engine::DispatchMode::kStatic ||
+      sched.intra_session_threads > 0 || sched.parallel_min_rows > 0) {
+    out += StringPrintf(
+        "  scheduler: dispatch=%s intra=%zu parallel_min_rows=%zu\n",
+        std::string(engine::DispatchModeToString(sched.dispatch)).c_str(),
+        sched.intra_session_threads, sched.parallel_min_rows);
   }
   for (size_t i = 0; i < scenario.queries.size(); ++i) {
     const SimQuery& q = scenario.queries[i];

@@ -219,7 +219,7 @@ TEST(MemoryShedTest, TightBudgetFoldsWindowsAndStaysDeterministic) {
   for (size_t workers : {size_t{0}, size_t{2}}) {
     SCOPED_TRACE("worker_threads=" + std::to_string(workers));
     engine::StreamServerOptions options;
-    options.worker_threads = workers;
+    options.scheduler.worker_threads = workers;
     StreamServer server(scenario.catalog, options);
     auto id = server.RegisterQuery(scenario.query_sql, config);
     ASSERT_TRUE(id.ok()) << id.status().ToString();

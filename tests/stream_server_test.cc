@@ -458,7 +458,7 @@ std::vector<RunOutput> RunHosted(const workload::Scenario& scenario,
                                  const std::vector<QuerySpec>& specs,
                                  size_t worker_threads) {
   engine::StreamServerOptions options;
-  options.worker_threads = worker_threads;
+  options.scheduler.worker_threads = worker_threads;
   StreamServer server(scenario.catalog, options);
   std::vector<SessionId> ids;
   for (const QuerySpec& spec : specs) {
@@ -498,7 +498,7 @@ TEST(StreamServerTest, PushBatchRejectsPoisonedBatchAtomically) {
   const std::vector<RunOutput> clean = RunHosted(scenario, specs, 2);
 
   engine::StreamServerOptions options;
-  options.worker_threads = 2;
+  options.scheduler.worker_threads = 2;
   StreamServer server(scenario.catalog, options);
   std::vector<SessionId> ids;
   for (const QuerySpec& spec : specs) {
@@ -591,7 +591,7 @@ TEST(ParallelEquivalence, FlushesWorkerInstrumentsAfterFinish) {
   const std::vector<QuerySpec> specs = HostedQueries(scenario);
 
   engine::StreamServerOptions options;
-  options.worker_threads = 2;
+  options.scheduler.worker_threads = 2;
   StreamServer server(scenario.catalog, options);
   for (const QuerySpec& spec : specs) {
     ASSERT_TRUE(server.RegisterQuery(spec.sql, spec.config).ok());
@@ -757,7 +757,7 @@ ChurnRun RunChurned(const workload::Scenario& scenario,
                     size_t worker_threads) {
   DT_CHECK(specs.size() == 3);
   engine::StreamServerOptions options;
-  options.worker_threads = worker_threads;
+  options.scheduler.worker_threads = worker_threads;
   StreamServer server(scenario.catalog, options);
   std::vector<SessionId> ids;
   for (size_t i = 0; i < 2; ++i) {
@@ -873,7 +873,7 @@ TEST(SessionSnapshotTest, RestoreRoundTripsByteIdenticallyAcrossWorkers) {
   for (size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
     SCOPED_TRACE("worker_threads=" + std::to_string(workers));
     engine::StreamServerOptions options;
-    options.worker_threads = workers;
+    options.scheduler.worker_threads = workers;
 
     // Donor: all three queries, snapshot session 0 mid-run, keep going.
     StreamServer donor(scenario.catalog, options);
@@ -995,6 +995,250 @@ TEST(SessionSnapshotTest, RejectsCorruptTruncatedAndSkewedSnapshots) {
 
   // The pristine snapshot still restores after all those rejections.
   EXPECT_TRUE(target.RestoreSession(*snapshot).ok());
+}
+
+TEST(SessionSnapshotTest, RejectsSchedulerStampMismatchOnRestore) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = HostedQueries(scenario);
+  const std::span<const StreamEvent> events(scenario.events);
+
+  engine::StreamServerOptions donor_options;
+  donor_options.scheduler.worker_threads = 2;
+  donor_options.scheduler.dispatch = engine::DispatchMode::kStealing;
+  StreamServer donor(scenario.catalog, donor_options);
+  auto id = donor.RegisterQuery(specs[0].sql, specs[0].config);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(donor.PushBatch(events.subspan(0, events.size() / 2)).ok());
+  auto snapshot = donor.SnapshotSession(*id);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  // A kStatic target refuses the kStealing stamp by name.
+  StreamServer static_target(scenario.catalog);
+  auto bad = static_target.RestoreSession(*snapshot);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("dispatch mode"),
+            std::string::npos)
+      << bad.status().ToString();
+
+  // A mismatched morsel floor is refused too.
+  engine::StreamServerOptions floor_options;
+  floor_options.scheduler.dispatch = engine::DispatchMode::kStealing;
+  floor_options.scheduler.parallel_min_rows = 512;
+  StreamServer floor_target(scenario.catalog, floor_options);
+  bad = floor_target.RestoreSession(*snapshot);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("parallel_min_rows"),
+            std::string::npos)
+      << bad.status().ToString();
+
+  // Matching dispatch restores fine even at a different worker count —
+  // thread counts are deployment properties, deliberately unstamped.
+  engine::StreamServerOptions match_options;
+  match_options.scheduler.worker_threads = 4;
+  match_options.scheduler.dispatch = engine::DispatchMode::kStealing;
+  match_options.scheduler.intra_session_threads = 2;
+  StreamServer match_target(scenario.catalog, match_options);
+  EXPECT_TRUE(match_target.RestoreSession(*snapshot).ok());
+}
+
+// --- Skewed tenants under the scheduler sweep (DESIGN.md §16) -----------
+
+/// One giant join session next to tiny single-stream tenants: the shape
+/// where dispatch policy and intra-session parallelism actually move
+/// work around. The giant runs the scenario's three-way join with a
+/// deep queue (big builds, big probes); the tiny tenants are cheap
+/// single-stream counts that finish almost instantly.
+std::vector<QuerySpec> SkewedQueries(const workload::Scenario& scenario,
+                                     size_t tiny_sessions) {
+  std::vector<QuerySpec> specs;
+  QuerySpec giant;
+  giant.sql = scenario.query_sql;
+  giant.config.strategy = SheddingStrategy::kDataTriage;
+  giant.config.queue_capacity = 200;
+  giant.config.synopsis.type = synopsis::SynopsisType::kGridHistogram;
+  giant.config.synopsis.grid.cell_width = 4.0;
+  giant.config.cost_model.exact_tuple_cost = 1.0 / 400.0;
+  giant.columns = {"a", "count"};
+  specs.push_back(std::move(giant));
+  for (size_t i = 0; i < tiny_sessions; ++i) {
+    QuerySpec tiny;
+    tiny.sql = StringPrintf(
+        "SELECT b, COUNT(*) as count FROM S GROUP BY b; "
+        "WINDOW S['%.9f seconds'];",
+        scenario.window_seconds);
+    tiny.config.strategy = SheddingStrategy::kDropOnly;
+    tiny.config.queue_capacity = 16 + 4 * i;  // distinct shed patterns
+    tiny.config.drop_policy = DropPolicyKind::kDropNewest;
+    tiny.config.seed = 100 + i;
+    tiny.columns = {"b", "count"};
+    specs.push_back(std::move(tiny));
+  }
+  return specs;
+}
+
+/// RunHosted with a full SchedulerOptions instead of a bare thread
+/// count.
+std::vector<RunOutput> RunScheduled(const workload::Scenario& scenario,
+                                    const std::vector<QuerySpec>& specs,
+                                    engine::SchedulerOptions scheduler) {
+  engine::StreamServerOptions options;
+  options.scheduler = scheduler;
+  StreamServer server(scenario.catalog, options);
+  std::vector<SessionId> ids;
+  for (const QuerySpec& spec : specs) {
+    auto id = server.RegisterQuery(spec.sql, spec.config);
+    DT_CHECK(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  Status pushed = server.PushBatch(scenario.events);
+  DT_CHECK(pushed.ok()) << pushed.ToString();
+  DT_CHECK(server.Finish().ok());
+  std::vector<RunOutput> outputs;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    QuerySession& session = server.session(ids[i]);
+    RunOutput out;
+    out.results_csv =
+        io::FormatResultsCsv(session.TakeResults(), specs[i].columns);
+    out.snapshot = session.StatsSnapshot();
+    out.metrics_json =
+        obs::MetricsJson(session.metrics(), &session.trace());
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+TEST(SkewedTenantEquivalence, SchedulerSweepProducesByteIdenticalRuns) {
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = SkewedQueries(scenario, 3);
+  const std::vector<RunOutput> serial =
+      RunScheduled(scenario, specs, engine::SchedulerOptions{});
+  // The giant must actually shed — equivalence over an idle run proves
+  // little.
+  EXPECT_GT(serial[0].snapshot.core.tuples_dropped, 0);
+
+  for (engine::DispatchMode dispatch :
+       {engine::DispatchMode::kStatic, engine::DispatchMode::kLeastLoaded,
+        engine::DispatchMode::kStealing}) {
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+      for (size_t intra : {size_t{1}, size_t{2}, size_t{4}}) {
+        SCOPED_TRACE(StringPrintf(
+            "dispatch=%s workers=%zu intra=%zu",
+            std::string(engine::DispatchModeToString(dispatch)).c_str(),
+            workers, intra));
+        engine::SchedulerOptions scheduler;
+        scheduler.worker_threads = workers;
+        scheduler.dispatch = dispatch;
+        scheduler.intra_session_threads = intra;
+        const std::vector<RunOutput> run =
+            RunScheduled(scenario, specs, scheduler);
+        ASSERT_EQ(run.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+          SCOPED_TRACE("session " + std::to_string(i));
+          EXPECT_EQ(run[i].results_csv, serial[i].results_csv);
+          EXPECT_EQ(run[i].metrics_json, serial[i].metrics_json);
+          ExpectSnapshotsEqual(run[i].snapshot, serial[i].snapshot);
+          // Drop causes partition the dropped count under every policy.
+          int64_t by_cause = 0;
+          for (const auto& [name, value] : run[i].snapshot.counters) {
+            if (name.rfind("stream.", 0) == 0 &&
+                name.find(".dropped.") != std::string::npos) {
+              by_cause += value;
+            }
+          }
+          EXPECT_EQ(by_cause, run[i].snapshot.core.tuples_dropped);
+        }
+      }
+    }
+  }
+}
+
+TEST(SkewedTenantEquivalence, ParallelMinRowsIsPerfOnlyUnderSweep) {
+  // The morsel floor gates *when* kernels split, never what they emit:
+  // flipping it between "always split" and "never split" must not move
+  // a byte, even with stealing and morsel helpers on.
+  const workload::Scenario scenario = OverloadScenario(5);
+  const std::vector<QuerySpec> specs = SkewedQueries(scenario, 2);
+  engine::SchedulerOptions scheduler;
+  scheduler.worker_threads = 2;
+  scheduler.dispatch = engine::DispatchMode::kStealing;
+  scheduler.intra_session_threads = 4;
+  scheduler.parallel_min_rows = 0;  // split whenever >= 2 morsels exist
+  const std::vector<RunOutput> split =
+      RunScheduled(scenario, specs, scheduler);
+  scheduler.parallel_min_rows = SIZE_MAX;  // never split
+  const std::vector<RunOutput> unsplit =
+      RunScheduled(scenario, specs, scheduler);
+  ASSERT_EQ(split.size(), unsplit.size());
+  for (size_t i = 0; i < split.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    EXPECT_EQ(split[i].results_csv, unsplit[i].results_csv);
+    EXPECT_EQ(split[i].metrics_json, unsplit[i].metrics_json);
+    ExpectSnapshotsEqual(split[i].snapshot, unsplit[i].snapshot);
+  }
+}
+
+TEST(SkewedTenantEquivalence, QuiesceUnderStealingKeepsLifecycleExact) {
+  // Unregister and snapshot must quiesce cleanly while stealing workers
+  // and morsel helpers are live: the drained tenant matches a
+  // standalone engine fed its prefix, the snapshot round-trips into a
+  // same-scheduler server byte-identically, and the resident giant is
+  // untouched by either operation.
+  const workload::Scenario scenario = OverloadScenario();
+  const std::vector<QuerySpec> specs = SkewedQueries(scenario, 2);
+  const std::span<const StreamEvent> events(scenario.events);
+  const size_t half = events.size() / 2;
+
+  engine::StreamServerOptions options;
+  options.scheduler.worker_threads = 4;
+  options.scheduler.dispatch = engine::DispatchMode::kStealing;
+  options.scheduler.intra_session_threads = 2;
+  StreamServer server(scenario.catalog, options);
+  std::vector<SessionId> ids;
+  for (const QuerySpec& spec : specs) {
+    auto id = server.RegisterQuery(spec.sql, spec.config);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(server.PushBatch(events.subspan(0, half)).ok());
+
+  // Mid-run, under live stealing: snapshot the giant, retire a tenant.
+  auto snapshot = server.SnapshotSession(ids[0]);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_TRUE(server.UnregisterQuery(ids[1]).ok());
+
+  ASSERT_TRUE(server.PushBatch(events.subspan(half)).ok());
+  ASSERT_TRUE(server.Finish().ok());
+
+  // The resident giant saw the whole feed, snapshot and churn included.
+  QuerySession& giant = server.session(ids[0]);
+  const RunOutput clean_giant = RunStandalone(scenario, specs[0]);
+  EXPECT_EQ(io::FormatResultsCsv(giant.TakeResults(), specs[0].columns),
+            clean_giant.results_csv);
+  ExpectSnapshotsEqual(giant.StatsSnapshot(), clean_giant.snapshot);
+
+  // The retired tenant equals a standalone engine fed the prefix.
+  QuerySession& retired = server.session(ids[1]);
+  const RunOutput clean_retired = RunStandaloneEvents(
+      scenario.catalog, specs[1], events.subspan(0, half));
+  EXPECT_EQ(
+      io::FormatResultsCsv(retired.TakeResults(), specs[1].columns),
+      clean_retired.results_csv);
+  ExpectSnapshotsEqual(retired.StatsSnapshot(), clean_retired.snapshot);
+
+  // The snapshot restores onto a same-scheduler server and finishes the
+  // feed byte-identically to the giant's full run.
+  StreamServer restored(scenario.catalog, options);
+  auto restored_id = restored.RestoreSession(*snapshot);
+  ASSERT_TRUE(restored_id.ok()) << restored_id.status().ToString();
+  ASSERT_TRUE(restored.PushBatch(events.subspan(half)).ok());
+  ASSERT_TRUE(restored.Finish().ok());
+  QuerySession& revived = restored.session(*restored_id);
+  EXPECT_EQ(
+      io::FormatResultsCsv(revived.TakeResults(), specs[0].columns),
+      clean_giant.results_csv);
+  ExpectSnapshotsEqual(revived.StatsSnapshot(), clean_giant.snapshot);
 }
 
 }  // namespace
