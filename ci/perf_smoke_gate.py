@@ -23,8 +23,17 @@ head — the same within-run-ratio trick, so runner speed cancels out.
 A missing or skew-less base file skips that gate (the merge base may
 predate the skew section).
 
+When a BENCH_pattern_head.json is given (the optional last argument),
+the gate also checks the MATCH load-shedding ablation (abl_pattern_shed,
+DESIGN.md §17): the utility drop policy's detected-match recall must
+beat random shedding at two or more offered rates. This check is
+absolute — both policies ran in the same process on the same feeds, so
+no base run is involved — and skips gracefully when the file is absent
+(the merge base may predate the pattern bench).
+
 Usage: perf_smoke_gate.py BENCH_exec_base.json BENCH_exec_head.json \
-           [BENCH_parallel_base.json BENCH_parallel_head.json]
+           [BENCH_parallel_base.json BENCH_parallel_head.json] \
+           [BENCH_pattern_head.json]
 """
 
 import json
@@ -137,10 +146,46 @@ def gate_peak_rss(base_path, head_path):
     return failed
 
 
+def gate_pattern(path):
+    """Returns a failure marker unless utility recall beats random at
+    two or more offered rates in the pattern-shedding ablation."""
+    if not os.path.exists(path):
+        print(f"{path} missing; skipping pattern gate")
+        return []
+    with open(path) as f:
+        records = {r["name"]: r["recall"] for r in json.load(f)}
+    wins = 0
+    compared = 0
+    for name, recall in sorted(records.items()):
+        if not name.endswith("/utility"):
+            continue
+        case = name[: -len("/utility")]
+        random_recall = records.get(case + "/random")
+        if random_recall is None:
+            continue
+        compared += 1
+        won = recall > random_recall
+        wins += won
+        print(
+            f"{case}: recall utility {recall:.3f} vs random "
+            f"{random_recall:.3f} {'ok' if won else 'lost'}"
+        )
+    if compared == 0:
+        print("no utility/random record pairs; skipping pattern gate")
+        return []
+    if wins < 2:
+        return [f"utility won {wins}/{compared} rate(s), need >= 2"]
+    return []
+
+
 def main(argv):
-    if len(argv) not in (3, 5):
+    if len(argv) not in (3, 4, 5, 6):
         print(__doc__, file=sys.stderr)
         return 2
+    pattern_path = None
+    if len(argv) in (4, 6):
+        pattern_path = argv[-1]
+        argv = argv[:-1]
     base = vectorized_ratios(argv[1])
     head = vectorized_ratios(argv[2])
     failed = []
@@ -167,7 +212,10 @@ def main(argv):
     skew_failed = []
     if len(argv) == 5:
         skew_failed = gate_skew(argv[3], argv[4])
-    if failed or rss_failed or skew_failed:
+    pattern_failed = []
+    if pattern_path is not None:
+        pattern_failed = gate_pattern(pattern_path)
+    if failed or rss_failed or skew_failed or pattern_failed:
         if failed:
             print(
                 f"FAIL: {len(failed)} case(s) regressed more than "
@@ -184,6 +232,11 @@ def main(argv):
                 f"FAIL: {len(skew_failed)} skew case(s) lost more than "
                 f"{REGRESSION_LIMIT:.0%} of their stealing speedup: "
                 + ", ".join(skew_failed)
+            )
+        if pattern_failed:
+            print(
+                "FAIL: utility shedding did not beat random on MATCH "
+                "recall: " + ", ".join(pattern_failed)
             )
         return 1
     print("perf gate clean")

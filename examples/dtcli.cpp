@@ -54,7 +54,7 @@
 //                       timestamp >= T: its queued tuples drain, its
 //                       in-flight windows emit, and its results/stats
 //                       stay readable at the end of the run
-//   --drop-policy=random|drop_newest|drop_oldest|synergistic
+//   --drop-policy=random|drop_newest|drop_oldest|synergistic|utility
 //   --seed=N            drop-policy seed           (default 1)
 //   --scalar-exec       run windows on the tuple-at-a-time reference
 //                       executor instead of the vectorized columnar one
@@ -202,6 +202,11 @@ int main(int argc, char** argv) {
       } else if (value == "synergistic") {
         config.drop_policy =
             datatriage::triage::DropPolicyKind::kSynergistic;
+      } else if (value == "utility") {
+        // Utility-aware CEP shedding (DESIGN.md §17); the query must be
+        // a MATCH pattern query, which the engine checks at registration.
+        config.drop_policy =
+            datatriage::triage::DropPolicyKind::kUtility;
       } else {
         return Fail("unknown drop policy '" + value + "'");
       }

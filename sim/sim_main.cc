@@ -32,6 +32,10 @@ constexpr const char* kUsage = R"(usage: sim_main [options]
   --force-memory-budgets
                      override every query config with a tight seed-derived
                      memory budget, exercising memory-triggered triage
+  --force-pattern-queries
+                     rewrite every generated query into a MATCH pattern
+                     query, exercising the NFA executor and the utility
+                     drop policy
   --max-seconds X    wall-clock budget; stop between scenarios once spent
   --failures-out P   append "<seed> <failure>" lines to file P
   --snapshot-dump-dir D
@@ -100,6 +104,8 @@ int main(int argc, char** argv) {
       options.with_faults = false;
     } else if (arg == "--force-memory-budgets") {
       options.force_memory_budgets = true;
+    } else if (arg == "--force-pattern-queries") {
+      options.force_pattern_queries = true;
     } else if (arg == "--max-seconds") {
       const std::string* v = next();
       if (v == nullptr) return 2;

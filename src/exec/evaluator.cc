@@ -7,6 +7,7 @@
 
 #include "src/common/flat_table.h"
 #include "src/common/string_util.h"
+#include "src/exec/pattern_eval.h"
 #include "src/exec/vector_eval.h"
 
 namespace datatriage::exec {
@@ -344,6 +345,10 @@ Result<RelationView> Evaluator::EvaluateView(const LogicalPlan& plan) {
       DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
       return scalar::Aggregate(plan, input, &stats_);
     }
+    case LogicalPlan::Kind::kPattern: {
+      DT_ASSIGN_OR_RETURN(RelationView input, EvaluateView(*plan.child(0)));
+      return EvaluatePattern(plan, input, &stats_);
+    }
   }
   return Status::Internal("unhandled plan kind in evaluator");
 }
@@ -358,7 +363,9 @@ Result<RelationView> Evaluator::EvaluateScan(const LogicalPlan& plan) {
 Result<Relation> EvaluatePlan(const LogicalPlan& plan,
                               const RelationProvider& inputs,
                               ExecStats* stats, const EvalOptions& options) {
-  if (options.vectorized) {
+  // Pattern plans have no vectorized kernel yet; force the scalar path so
+  // the exec-mode-flip oracle holds trivially for MATCH queries.
+  if (options.vectorized && !plan.ContainsPattern()) {
     size_t total_rows = 0;
     for (const auto& [key, rel] : inputs) total_rows += rel.size();
     if (total_rows >= options.min_rows) {

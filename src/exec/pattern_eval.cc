@@ -1,0 +1,145 @@
+#include "src/exec/pattern_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace datatriage::exec {
+
+using plan::LogicalPlan;
+
+namespace {
+
+/// A partial match: the timestamps of the matched prefix (index 0 is the
+/// first step, so ts.front() anchors the WITHIN check).
+struct Partial {
+  std::vector<double> ts;
+};
+
+Tuple MakeMatchRow(const Value& key, const std::vector<double>& prefix_ts,
+                   double last_ts) {
+  std::vector<Value> row;
+  row.reserve(prefix_ts.size() + 2);
+  row.push_back(key);
+  for (double t : prefix_ts) row.push_back(Value::Double(t));
+  row.push_back(Value::Double(last_ts));
+  return Tuple(std::move(row), last_ts);
+}
+
+}  // namespace
+
+RelationView EvaluatePattern(const LogicalPlan& plan,
+                             const RelationView& input, ExecStats* stats) {
+  const std::vector<plan::BoundExprPtr>& steps = plan.pattern_steps();
+  const size_t k = steps.size();
+  const size_t key_index = plan.pattern_key_index();
+  const double within = plan.pattern_within_seconds();
+
+  // Per key: levels[j] holds partials with steps 0..j matched, in
+  // creation order. Level k-1 completes immediately, so only k-1 levels
+  // are stored.
+  std::map<Value, std::vector<std::vector<Partial>>> state;
+  Relation output;
+  std::vector<bool> step_hits(k);
+
+  input.ForEach([&](const Tuple& tuple) {
+    bool any = false;
+    for (size_t j = 0; j < k; ++j) {
+      ++stats->comparisons;
+      step_hits[j] = steps[j]->EvaluatesToTrue(tuple);
+      any = any || step_hits[j];
+    }
+    if (!any) return;
+    const Value& key = tuple.value(key_index);
+    auto it = state.find(key);
+    if (it == state.end()) {
+      it = state.emplace(key, std::vector<std::vector<Partial>>(k - 1))
+               .first;
+    }
+    std::vector<std::vector<Partial>>& levels = it->second;
+    const double ts = tuple.timestamp();
+    // Descending levels so a partial created by this tuple is never
+    // extended by the same tuple (indices stay strictly increasing).
+    for (size_t j = k; j-- > 0;) {
+      if (!step_hits[j]) continue;
+      if (j == 0) {
+        levels[0].push_back(Partial{{ts}});
+        continue;
+      }
+      for (const Partial& p : levels[j - 1]) {
+        ++stats->comparisons;
+        if (ts - p.ts.front() > within) continue;
+        if (j == k - 1) {
+          output.push_back(MakeMatchRow(key, p.ts, ts));
+        } else {
+          Partial extended = p;
+          extended.ts.push_back(ts);
+          levels[j].push_back(std::move(extended));
+        }
+      }
+    }
+  });
+  stats->tuples_output += static_cast<int64_t>(output.size());
+  return RelationView::Own(std::move(output));
+}
+
+Relation EvaluatePatternBruteForce(const LogicalPlan& plan,
+                                   const Relation& input) {
+  const std::vector<plan::BoundExprPtr>& steps = plan.pattern_steps();
+  const size_t k = steps.size();
+  const size_t key_index = plan.pattern_key_index();
+  const double within = plan.pattern_within_seconds();
+  const size_t n = input.size();
+
+  std::vector<std::vector<size_t>> matches;
+  std::vector<size_t> indices(k);
+  // Enumerate i1 < ... < ik recursively; every combination is checked
+  // directly against the definition.
+  auto recurse = [&](auto&& self, size_t level, size_t start) -> void {
+    if (level == k) {
+      const Tuple& first = input[indices[0]];
+      const Tuple& last = input[indices[k - 1]];
+      if (last.timestamp() - first.timestamp() > within) return;
+      for (size_t j = 1; j < k; ++j) {
+        if (!(input[indices[j]].value(key_index) ==
+              first.value(key_index))) {
+          return;
+        }
+      }
+      matches.push_back(indices);
+      return;
+    }
+    for (size_t i = start; i < n; ++i) {
+      if (!steps[level]->EvaluatesToTrue(input[i])) continue;
+      indices[level] = i;
+      self(self, level + 1, i + 1);
+    }
+  };
+  recurse(recurse, 0, 0);
+
+  // EvaluatePattern emits in creation order: ascending by the reversed
+  // index sequence.
+  std::sort(matches.begin(), matches.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return std::lexicographical_compare(a.rbegin(), a.rend(),
+                                                  b.rbegin(), b.rend());
+            });
+
+  Relation output;
+  output.reserve(matches.size());
+  for (const std::vector<size_t>& m : matches) {
+    std::vector<double> prefix_ts;
+    prefix_ts.reserve(k - 1);
+    for (size_t j = 0; j + 1 < k; ++j) {
+      prefix_ts.push_back(input[m[j]].timestamp());
+    }
+    // The NFA emits the completing tuple's key value; mirror that (the
+    // representations are equal under operator== but could differ).
+    output.push_back(MakeMatchRow(input[m[k - 1]].value(key_index),
+                                  prefix_ts,
+                                  input[m[k - 1]].timestamp()));
+  }
+  return output;
+}
+
+}  // namespace datatriage::exec

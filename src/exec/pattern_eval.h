@@ -1,0 +1,36 @@
+#ifndef DATATRIAGE_EXEC_PATTERN_EVAL_H_
+#define DATATRIAGE_EXEC_PATTERN_EVAL_H_
+
+#include "src/exec/evaluator.h"
+#include "src/exec/relation.h"
+#include "src/plan/logical_plan.h"
+
+namespace datatriage::exec {
+
+/// NFA-style evaluation of a kPattern plan node over one window's input
+/// (DESIGN.md §17). Semantics are skip-till-any-match over the window:
+/// one output row per strictly ordered index subsequence i1 < ... < ik of
+/// the input whose tuples all carry the same partition-key value, satisfy
+/// step predicate j at position j, and span at most `within` seconds from
+/// the first to the last timestamp. Matches never cross windows.
+///
+/// The matcher keeps per-key partial-match lists (one level per matched
+/// prefix length) and extends them tuple-at-a-time in input order, so the
+/// cost is proportional to the number of live partials rather than n^k
+/// when the pattern is selective. Output rows are (key, t1, ..., tk) with
+/// the last event's timestamp as the row timestamp, emitted in creation
+/// order: ascending final index, then ascending earlier indices
+/// right-to-left (i.e. sorted by the reversed index sequence).
+RelationView EvaluatePattern(const plan::LogicalPlan& plan,
+                             const RelationView& input, ExecStats* stats);
+
+/// Brute-force O(n^k) reference matcher: enumerates every index
+/// subsequence and filters by key/step/WITHIN, then orders rows exactly
+/// like EvaluatePattern. Differential-test oracle only — never on a hot
+/// path.
+Relation EvaluatePatternBruteForce(const plan::LogicalPlan& plan,
+                                   const Relation& input);
+
+}  // namespace datatriage::exec
+
+#endif  // DATATRIAGE_EXEC_PATTERN_EVAL_H_

@@ -513,6 +513,11 @@ Result<BatchView> VectorEvaluator::EvaluateView(const LogicalPlan& plan) {
       return vectorized::Aggregate(plan, input, &stats_, pool_,
                                    parallel_min_rows_);
     }
+    case LogicalPlan::Kind::kPattern:
+      // Pattern plans are routed to the scalar executor by EvaluatePlan
+      // (vectorized parity is deferred; see DESIGN.md §17).
+      return Status::Unimplemented(
+          "pattern evaluation has no vectorized kernel");
   }
   return Status::Internal("unhandled plan kind in vector evaluator");
 }

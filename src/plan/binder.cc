@@ -64,7 +64,12 @@ class SelectBinder {
     DT_RETURN_IF_ERROR(ClassifyPredicates());
     DT_RETURN_IF_ERROR(BuildJoinTree());
     DT_RETURN_IF_ERROR(BindWindows());
-    DT_RETURN_IF_ERROR(BindOutput());
+    if (select_.match != nullptr) {
+      DT_RETURN_IF_ERROR(BindMatch());
+      DT_RETURN_IF_ERROR(BindPatternOutput());
+    } else {
+      DT_RETURN_IF_ERROR(BindOutput());
+    }
     DT_RETURN_IF_ERROR(BindOrderByAndLimit());
     return std::move(query_);
   }
@@ -244,6 +249,89 @@ class SelectBinder {
       query_.window_slide_seconds.insert(
           {e.stream, query_.window_seconds.at(e.stream)});
     }
+    return Status::OK();
+  }
+
+  Status BindMatch() {
+    const sql::MatchClause& match = *select_.match;
+    if (from_.size() != 1) {
+      return Status::BindError(
+          "MATCH requires exactly one FROM stream");
+    }
+    if (!select_.group_by.empty() || select_.having != nullptr) {
+      return Status::BindError(
+          "MATCH cannot be combined with GROUP BY / HAVING");
+    }
+    if (select_.distinct) {
+      return Status::BindError("MATCH cannot be combined with DISTINCT");
+    }
+    for (const sql::SelectItem& item : select_.items) {
+      if (item.agg != sql::AggFunc::kNone) {
+        return Status::BindError(
+            "MATCH cannot be combined with aggregates");
+      }
+    }
+    std::vector<BoundExprPtr> steps;
+    for (const sql::ExprPtr& step : match.steps) {
+      DT_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*step, combined_));
+      steps.push_back(std::move(bound));
+    }
+    DT_ASSIGN_OR_RETURN(
+        size_t key_index,
+        ResolveColumn(match.partition_table, match.partition_column,
+                      combined_));
+    DT_ASSIGN_OR_RETURN(
+        query_.pattern_node,
+        LogicalPlan::Pattern(query_.spj_core, std::move(steps), key_index,
+                             match.within_seconds));
+    return Status::OK();
+  }
+
+  /// Output binding for MATCH queries: SELECT items are `*` or plain
+  /// references to the pattern's output columns (the partition key and
+  /// the per-step timestamps t1..tk).
+  Status BindPatternOutput() {
+    query_.has_aggregate = false;
+    const Schema& pattern_schema = query_.pattern_node->schema();
+    std::set<std::string> used_names;
+    auto add_output = [&](size_t index, std::string preferred) {
+      std::string name = std::move(preferred);
+      if (!used_names.insert(name).second) {
+        int suffix = 2;
+        std::string base = name;
+        do {
+          name = base + StringPrintf("_%d", suffix++);
+        } while (used_names.count(name) > 0);
+        used_names.insert(name);
+      }
+      query_.projection.push_back(index);
+      query_.projection_names.push_back(std::move(name));
+    };
+    for (const sql::SelectItem& item : select_.items) {
+      if (item.is_star) {
+        for (size_t i = 0; i < pattern_schema.num_fields(); ++i) {
+          add_output(i, BaseName(pattern_schema.field(i).name));
+        }
+        continue;
+      }
+      if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+        return Status::BindError(
+            "MATCH SELECT items must be '*' or pattern output columns, "
+            "got " +
+            item.expr->ToString());
+      }
+      DT_ASSIGN_OR_RETURN(
+          size_t index,
+          ResolveColumn(item.expr->table, item.expr->column,
+                        pattern_schema));
+      add_output(index, item.alias.empty()
+                            ? BaseName(pattern_schema.field(index).name)
+                            : item.alias);
+    }
+    DT_ASSIGN_OR_RETURN(
+        query_.plan,
+        LogicalPlan::Project(query_.pattern_node, query_.projection,
+                             query_.projection_names));
     return Status::OK();
   }
 
@@ -481,6 +569,10 @@ Result<BoundQuery> BindSetOp(const sql::SetOpStatement& set_op,
   if (lhs.has_aggregate || rhs.has_aggregate) {
     return Status::BindError(
         "UNION ALL / EXCEPT over aggregate queries is not supported");
+  }
+  if (lhs.is_pattern() || rhs.is_pattern()) {
+    return Status::BindError(
+        "UNION ALL / EXCEPT over MATCH queries is not supported");
   }
   if (lhs.distinct || rhs.distinct) {
     return Status::BindError(

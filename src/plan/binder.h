@@ -66,6 +66,13 @@ struct BoundQuery {
   /// self-joins; paired with the alias actually used).
   std::vector<std::string> from_streams;
   std::vector<std::string> from_aliases;
+
+  /// Populated for MATCH pattern queries (DESIGN.md §17): the kPattern
+  /// plan node whose child is spj_core. Pattern queries are single-stream,
+  /// aggregate-free, and bypass the differential rewrite — the kept plan
+  /// is the pattern over kept tuples and the shadow side is empty.
+  PlanPtr pattern_node;
+  bool is_pattern() const { return pattern_node != nullptr; }
 };
 
 struct BindOptions {

@@ -242,6 +242,55 @@ Result<PlanPtr> LogicalPlan::Aggregate(PlanPtr input,
   return PlanPtr(p);
 }
 
+Result<PlanPtr> LogicalPlan::Pattern(PlanPtr input,
+                                     std::vector<BoundExprPtr> steps,
+                                     size_t key_index,
+                                     double within_seconds) {
+  if (input == nullptr) {
+    return Status::InvalidArgument("Pattern requires an input");
+  }
+  if (steps.size() < 2) {
+    return Status::InvalidArgument(
+        "Pattern requires at least two step predicates");
+  }
+  for (const BoundExprPtr& s : steps) {
+    if (s == nullptr) {
+      return Status::InvalidArgument("Pattern step predicate is null");
+    }
+  }
+  if (key_index >= input->schema().num_fields()) {
+    return Status::OutOfRange(
+        StringPrintf("Pattern key index %zu out of range for schema [%s]",
+                     key_index, input->schema().ToString().c_str()));
+  }
+  if (!(within_seconds > 0)) {
+    return Status::InvalidArgument("Pattern WITHIN must be positive");
+  }
+  Schema schema;
+  DT_RETURN_IF_ERROR(
+      schema.AddField(input->schema().field(key_index)));
+  for (size_t i = 0; i < steps.size(); ++i) {
+    DT_RETURN_IF_ERROR(schema.AddField(
+        Field{StringPrintf("t%zu", i + 1), FieldType::kDouble}));
+  }
+  auto p = std::shared_ptr<LogicalPlan>(new LogicalPlan());
+  p->kind_ = Kind::kPattern;
+  p->schema_ = std::move(schema);
+  p->children_.push_back(std::move(input));
+  p->pattern_steps_ = std::move(steps);
+  p->pattern_key_index_ = key_index;
+  p->pattern_within_seconds_ = within_seconds;
+  return PlanPtr(p);
+}
+
+bool LogicalPlan::ContainsPattern() const {
+  if (kind_ == Kind::kPattern) return true;
+  for (const PlanPtr& c : children_) {
+    if (c->ContainsPattern()) return true;
+  }
+  return false;
+}
+
 bool LogicalPlan::IsFreeOfChannel(Channel channel) const {
   if (kind_ == Kind::kStreamScan && channel_ == channel) return false;
   for (const PlanPtr& c : children_) {
@@ -332,6 +381,16 @@ void LogicalPlan::AppendTo(std::string* out, int indent) const {
         *out += ") AS " + a.output_name;
       }
       *out += "}";
+      break;
+    }
+    case Kind::kPattern: {
+      *out += "Pattern steps {";
+      for (size_t i = 0; i < pattern_steps_.size(); ++i) {
+        if (i > 0) *out += " THEN ";
+        *out += pattern_steps_[i]->ToString();
+      }
+      *out += StringPrintf("} key $%zu within %g s", pattern_key_index_,
+                           pattern_within_seconds_);
       break;
     }
   }

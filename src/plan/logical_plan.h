@@ -61,6 +61,7 @@ class LogicalPlan {
     kUnionAll,       // multiset +
     kSetDifference,  // multiset −
     kAggregate,      // γ (hash group-by)
+    kPattern,        // MATCH sequence over a single stream's window
   };
 
   // ------------------------------------------------------------------
@@ -109,6 +110,17 @@ class LogicalPlan {
                                    std::vector<GroupBySpec> group_by,
                                    std::vector<AggregateSpec> aggregates);
 
+  /// MATCH sequence operator (DESIGN.md §17): emits one output row per
+  /// ordered subsequence of the input window whose tuples (i) all carry
+  /// the same value in key column `key_index`, (ii) satisfy `steps[j]`
+  /// at position j, and (iii) span at most `within_seconds` from first
+  /// to last timestamp. Output schema: the key column (name and type
+  /// preserved) followed by one kDouble timestamp column per step
+  /// ("t1".."tk"). Step predicates are bound against input->schema().
+  static Result<PlanPtr> Pattern(PlanPtr input,
+                                 std::vector<BoundExprPtr> steps,
+                                 size_t key_index, double within_seconds);
+
   // ------------------------------------------------------------------
   // Accessors.
   // ------------------------------------------------------------------
@@ -144,6 +156,17 @@ class LogicalPlan {
     return aggregates_;
   }
 
+  // kPattern.
+  const std::vector<BoundExprPtr>& pattern_steps() const {
+    return pattern_steps_;
+  }
+  size_t pattern_key_index() const { return pattern_key_index_; }
+  double pattern_within_seconds() const { return pattern_within_seconds_; }
+
+  /// True if this node or any descendant is a kPattern node; pattern
+  /// plans force the scalar executor and bypass the shadow algebra.
+  bool ContainsPattern() const;
+
   /// True if no kStreamScan leaf below this node reads `channel`.
   bool IsFreeOfChannel(Channel channel) const;
 
@@ -171,6 +194,9 @@ class LogicalPlan {
   std::vector<std::pair<size_t, size_t>> join_keys_;
   std::vector<GroupBySpec> group_by_;
   std::vector<AggregateSpec> aggregates_;
+  std::vector<BoundExprPtr> pattern_steps_;
+  size_t pattern_key_index_ = 0;
+  double pattern_within_seconds_ = 0.0;
 };
 
 }  // namespace datatriage::plan

@@ -12,6 +12,25 @@ Result<TriagedQuery> RewriteForDataTriage(plan::BoundQuery query) {
   if (query.spj_core == nullptr) {
     return Status::InvalidArgument("bound query has no SPJ core");
   }
+  if (query.is_pattern()) {
+    // MATCH queries bypass the differential rewrite (DESIGN.md §17): a
+    // dropped tuple invalidates whole match subsequences, which the
+    // synopsis algebra cannot represent. The exact plan runs the pattern
+    // over kept tuples; the shadow side is empty and its loss is
+    // accounted for by the utility drop policy instead.
+    TriagedQuery triaged;
+    DT_ASSIGN_OR_RETURN(
+        triaged.kept_plan,
+        RetargetScans(query.pattern_node, plan::Channel::kKept));
+    DT_ASSIGN_OR_RETURN(triaged.kept_output_plan,
+                        RetargetScans(query.plan, plan::Channel::kKept));
+    triaged.dropped_plan =
+        plan::LogicalPlan::Empty(query.pattern_node->schema());
+    triaged.plus_plan = plan::LogicalPlan::Empty(query.pattern_node->schema());
+    triaged.plus_is_empty = true;
+    triaged.query = std::move(query);
+    return triaged;
+  }
   TriagedQuery triaged;
   DT_ASSIGN_OR_RETURN(triaged.kept_plan,
                       RetargetScans(query.spj_core, plan::Channel::kKept));

@@ -194,6 +194,11 @@ Result<DifferentialPlan> Rewrite(const PlanPtr& q) {
       return Status::Unimplemented(
           "the differential rewrite covers the SPJ core only; aggregates "
           "are merged outside the rewrite (paper Sec. 8.1)");
+    case LogicalPlan::Kind::kPattern:
+      return Status::Unimplemented(
+          "pattern plans bypass the differential rewrite: a dropped tuple "
+          "invalidates whole match subsequences, which synopses cannot "
+          "represent (DESIGN.md §17)");
   }
   return Status::Internal("unhandled plan kind in differential rewrite");
 }
@@ -270,6 +275,13 @@ Result<plan::PlanPtr> RetargetScans(const plan::PlanPtr& query,
                           RetargetScans(query->child(0), channel));
       return LogicalPlan::Aggregate(std::move(child), query->group_by(),
                                     query->aggregates());
+    }
+    case LogicalPlan::Kind::kPattern: {
+      DT_ASSIGN_OR_RETURN(PlanPtr child,
+                          RetargetScans(query->child(0), channel));
+      return LogicalPlan::Pattern(std::move(child), query->pattern_steps(),
+                                  query->pattern_key_index(),
+                                  query->pattern_within_seconds());
     }
   }
   return Status::Internal("unhandled plan kind in RetargetScans");

@@ -66,6 +66,10 @@ Result<SynopsisPtr> ShadowEvaluator::Evaluate(const LogicalPlan& plan) {
           "aggregates are estimated from the result synopsis "
           "(Synopsis::EstimateGroups), not evaluated inside the shadow "
           "plan");
+    case LogicalPlan::Kind::kPattern:
+      return Status::Unimplemented(
+          "pattern matching has no synopsis-algebra counterpart; MATCH "
+          "queries run exact-over-kept only (DESIGN.md §17)");
   }
   return Status::Internal("unhandled plan kind in shadow evaluator");
 }

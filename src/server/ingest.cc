@@ -47,7 +47,8 @@ const Schema& IngestPlane::SchemaOf(StreamId id) const {
 Result<StreamLane*> IngestPlane::Subscribe(
     QuerySession* session, const std::string& stream,
     const engine::EngineConfig& config, VirtualDuration window_seconds,
-    VirtualDuration window_slide, Rng* seeder) {
+    VirtualDuration window_slide, Rng* seeder,
+    const triage::UtilityPatternSpec* utility_spec) {
   DT_ASSIGN_OR_RETURN(StreamId id, Intern(stream));
   StreamEntry& entry = streams_[id];
 
@@ -72,6 +73,19 @@ Result<StreamLane*> IngestPlane::Subscribe(
         triage::DropPolicy::MakeSynergistic(
             seeder->Fork(), lane->coverage_probe.get(),
             config.synergistic_candidates));
+  } else if (config.drop_policy == triage::DropPolicyKind::kUtility) {
+    if (utility_spec == nullptr) {
+      return Status::InvalidArgument(
+          "the utility drop policy scores queued tuples against a MATCH "
+          "pattern; only MATCH queries can select drop_policy=utility "
+          "(DESIGN.md §17)");
+    }
+    lane->queue = std::make_unique<triage::TriageQueue>(
+        config.queue_capacity, triage::MakeUtilityPolicy(*utility_spec));
+    // The deterministic utility policy draws no randomness, but forking
+    // keeps the seeder's draw sequence aligned with every other policy so
+    // a config differing only in drop_policy replays the same stream.
+    (void)seeder->Fork();
   } else {
     lane->queue = std::make_unique<triage::TriageQueue>(
         config.queue_capacity,

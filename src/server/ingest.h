@@ -21,6 +21,7 @@
 #include "src/server/sim_faults.h"
 #include "src/triage/synopsizer.h"
 #include "src/triage/triage_queue.h"
+#include "src/triage/utility_policy.h"
 
 namespace datatriage::server {
 
@@ -130,12 +131,14 @@ class IngestPlane {
   /// an Rng forked from `seeder`), and, for synopsizing strategies, the
   /// window synopsizer and coverage probe — and registers it for routing.
   /// The returned lane stays owned by the plane and valid for its
-  /// lifetime.
-  Result<StreamLane*> Subscribe(QuerySession* session,
-                                const std::string& stream,
-                                const engine::EngineConfig& config,
-                                VirtualDuration window_seconds,
-                                VirtualDuration window_slide, Rng* seeder);
+  /// lifetime. `utility_spec` is the MATCH pattern of the session's query
+  /// and is required (non-null) iff the config selects the utility drop
+  /// policy, which scores queued tuples against it.
+  Result<StreamLane*> Subscribe(
+      QuerySession* session, const std::string& stream,
+      const engine::EngineConfig& config, VirtualDuration window_seconds,
+      VirtualDuration window_slide, Rng* seeder,
+      const triage::UtilityPatternSpec* utility_spec = nullptr);
 
   /// Detaches every lane of `session` from event routing. The lane
   /// objects stay owned by the plane (their queues/buffers remain

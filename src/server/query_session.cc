@@ -86,6 +86,20 @@ Status QuerySession::Init(IngestPlane* plane) {
     DT_ASSIGN_OR_RETURN(agg_spec_, engine::MakeAggregationSpec(query));
   }
 
+  // The utility drop policy needs the MATCH pattern to score against;
+  // Subscribe rejects kUtility when no spec is available (non-MATCH
+  // queries).
+  triage::UtilityPatternSpec utility_spec;
+  const triage::UtilityPatternSpec* utility_spec_ptr = nullptr;
+  if (query.is_pattern() &&
+      config_.drop_policy == triage::DropPolicyKind::kUtility) {
+    utility_spec.steps = query.pattern_node->pattern_steps();
+    utility_spec.key_index = query.pattern_node->pattern_key_index();
+    utility_spec.within_seconds =
+        query.pattern_node->pattern_within_seconds();
+    utility_spec_ptr = &utility_spec;
+  }
+
   // Lanes are created (and drop-policy Rngs forked) in FROM-clause order,
   // matching the single-query engine's seeding exactly.
   Rng seeder(config_.seed);
@@ -94,7 +108,7 @@ Status QuerySession::Init(IngestPlane* plane) {
     DT_ASSIGN_OR_RETURN(
         StreamLane * lane,
         plane->Subscribe(this, stream, config_, window_seconds_,
-                         window_slide_, &seeder));
+                         window_slide_, &seeder, utility_spec_ptr));
     lanes_by_name_.emplace(stream, lane);
   }
   InitInstruments();
@@ -131,8 +145,14 @@ void QuerySession::InitInstruments() {
       triage::QueueInstruments queue_instruments;
       queue_instruments.depth =
           metrics_.GetGauge(prefix + ".queue_depth");
-      queue_instruments.policy_evicted =
-          metrics_.GetCounter(prefix + ".dropped.policy_evicted");
+      // Utility-shed victims get their own drop cause: the conservation
+      // oracle partitions dropped tuples over stream.*.dropped.*, so the
+      // rename folds in without any oracle change.
+      queue_instruments.policy_evicted = metrics_.GetCounter(
+          prefix +
+          (config_.drop_policy == triage::DropPolicyKind::kUtility
+               ? ".dropped.utility_shed"
+               : ".dropped.policy_evicted"));
       queue_instruments.force_evicted =
           metrics_.GetCounter(prefix + ".dropped.force_shed");
       lane->queue->SetInstruments(queue_instruments);
@@ -627,8 +647,11 @@ Status QuerySession::EmitWindow(WindowId window) {
     // synopsis counterpart).
     result.exact_rows = kept_rows;
     result.merged_rows = std::move(kept_rows);
-    if (shadow_result != nullptr && !query.computed_projection &&
-        !query.projection.empty()) {
+    // MATCH queries have no loss estimate: a dropped tuple invalidates
+    // whole match subsequences, which a synopsis over single tuples
+    // cannot represent (DESIGN.md §17).
+    if (shadow_result != nullptr && !query.is_pattern() &&
+        !query.computed_projection && !query.projection.empty()) {
       DT_ASSIGN_OR_RETURN(
           result.result_synopsis,
           shadow_result->ProjectColumns(query.projection,
@@ -749,6 +772,9 @@ Status QuerySession::Finish() {
     for (Tuple& tuple : stragglers) {
       DT_RETURN_IF_ERROR(ShedTuple(lane, tuple));
     }
+    // Stateful drop policies (kUtility) release their observed state so
+    // the mem.triage_queues gauge drains to zero with the queues empty.
+    lane->queue->ClearPolicyState();
   }
   stats_.final_engine_time = session_time_;
   return Status::OK();

@@ -129,7 +129,7 @@ Result<engine::EngineConfig> LoadEngineConfig(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(config.queue_capacity, reader->ReadU64());
   DT_ASSIGN_OR_RETURN(const uint8_t drop_policy, reader->ReadU8());
   if (drop_policy >
-      static_cast<uint8_t>(triage::DropPolicyKind::kSynergistic)) {
+      static_cast<uint8_t>(triage::DropPolicyKind::kUtility)) {
     return Status::InvalidArgument(StringPrintf(
         "snapshot: unknown drop policy tag %d", drop_policy));
   }

@@ -39,7 +39,11 @@ struct SessionSnapshot {
 /// server's effective SchedulerOptions (DESIGN.md §16.3). Worker and
 /// intra-session thread counts are deployment properties and are not
 /// stamped.
-inline constexpr uint32_t kSnapshotVersion = 3;
+/// v4: the drop-policy tag admits kUtility, whose per-lane queue state
+/// carries the policy's partial-match tracker (DESIGN.md §17). The
+/// payload layout is otherwise unchanged, but a v3 reader cannot parse a
+/// utility lane, so the version gates it.
+inline constexpr uint32_t kSnapshotVersion = 4;
 
 /// Frames `payload` as a complete snapshot byte string:
 /// magic "DTSS" + u32 version + u64 payload size + payload + 32-char MD5

@@ -546,4 +546,132 @@ Status CheckAccuracy(const SimScenario& scenario, size_t query_index,
   return Status::OK();
 }
 
+namespace {
+
+/// Multiset of exact-channel result rows per window, keyed by the row's
+/// rendered values. emit_time is deliberately excluded: it depends on
+/// the cost model, and the pattern oracle compares *what* matched, not
+/// when the engine got around to emitting it.
+std::map<WindowId, std::map<std::string, int>> PatternRowsByWindow(
+    const std::vector<engine::WindowResult>& results) {
+  std::map<WindowId, std::map<std::string, int>> rows;
+  for (const engine::WindowResult& result : results) {
+    std::map<std::string, int>& window = rows[result.window];
+    for (const Tuple& tuple : result.exact_rows) {
+      std::string key;
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        key += tuple.value(i).ToString();
+        key += '|';
+      }
+      ++window[key];
+    }
+  }
+  return rows;
+}
+
+/// Runs `query` alone over `feed` with infinite capacity and a zero-cost
+/// model under `policy` (the pattern analogue of CheckAccuracy's ideal
+/// run), asserts it shed nothing, and returns the emitted windows.
+Result<std::vector<engine::WindowResult>> RunPatternIdeal(
+    const SimScenario& scenario, size_t query_index,
+    const std::vector<StreamEvent>& feed,
+    triage::DropPolicyKind policy) {
+  const SimQuery& query = scenario.queries[query_index];
+  engine::EngineConfig config = query.config;
+  config.strategy = triage::SheddingStrategy::kDropOnly;
+  config.drop_policy = policy;
+  config.queue_capacity = scenario.events.size() + 16;
+  config.cost_model.exact_tuple_cost = 0.0;
+  config.cost_model.synopsis_insert_cost = 0.0;
+  config.cost_model.exact_work_unit_cost = 0.0;
+  config.cost_model.synopsis_work_unit_cost = 0.0;
+  config.cost_model.emission_overhead = 0.0;
+  config.cost_model.delay_factor = 1.0;
+  config.memory_budget_bytes = 0;
+  DT_ASSIGN_OR_RETURN(std::unique_ptr<engine::ContinuousQueryEngine> eng,
+                      engine::ContinuousQueryEngine::Make(
+                          scenario.catalog, query.sql, config));
+  for (const StreamEvent& event : feed) {
+    DT_RETURN_IF_ERROR(eng->Push(event));
+  }
+  DT_RETURN_IF_ERROR(eng->Finish());
+  const engine::EngineStatsSnapshot snapshot = eng->StatsSnapshot();
+  if (snapshot.core.tuples_dropped != 0) {
+    return Status::Internal(StringPrintf(
+        "pattern: ideal %.*s-policy run of query %zu shed %lld tuple(s) "
+        "despite zero-cost model and capacity %zu",
+        static_cast<int>(triage::DropPolicyKindToString(policy).size()),
+        triage::DropPolicyKindToString(policy).data(), query_index,
+        static_cast<long long>(snapshot.core.tuples_dropped),
+        config.queue_capacity));
+  }
+  return eng->TakeResults();
+}
+
+}  // namespace
+
+Status CheckPattern(const SimScenario& scenario, size_t query_index,
+                    const QueryRunOutput& run) {
+  const SimQuery& query = scenario.queries[query_index];
+  if (!query.is_pattern) return Status::OK();
+
+  const std::vector<StreamEvent> feed =
+      QueryFeed(scenario, query, run.admit_from);
+  DT_ASSIGN_OR_RETURN(
+      const std::vector<engine::WindowResult> ideal_random,
+      RunPatternIdeal(scenario, query_index, feed,
+                      triage::DropPolicyKind::kRandom));
+  DT_ASSIGN_OR_RETURN(
+      const std::vector<engine::WindowResult> ideal_utility,
+      RunPatternIdeal(scenario, query_index, feed,
+                      triage::DropPolicyKind::kUtility));
+
+  const std::map<WindowId, std::map<std::string, int>> ideal_rows =
+      PatternRowsByWindow(ideal_random);
+
+  // (c) Zero-shed parity across policies: a drop policy chooses what to
+  // shed and nothing else, so when nothing is shed the NFA must compute
+  // identical matches under either policy.
+  if (PatternRowsByWindow(ideal_utility) != ideal_rows) {
+    return Status::Internal(StringPrintf(
+        "pattern: zero-shed ideal runs of query %zu disagree between "
+        "the random and utility drop policies — the policy changed what "
+        "the NFA computed, not just what was shed",
+        query_index));
+  }
+
+  // (a) Monotonicity: shedding may lose matches, never invent them —
+  // every row the scenario run emitted must appear in the zero-shed run
+  // with at least the same per-window multiplicity.
+  const std::map<WindowId, std::map<std::string, int>> actual_rows =
+      PatternRowsByWindow(run.results);
+  for (const auto& [window, rows] : actual_rows) {
+    const auto ideal_it = ideal_rows.find(window);
+    for (const auto& [row, count] : rows) {
+      int ideal_count = 0;
+      if (ideal_it != ideal_rows.end()) {
+        const auto row_it = ideal_it->second.find(row);
+        if (row_it != ideal_it->second.end()) ideal_count = row_it->second;
+      }
+      if (count > ideal_count) {
+        return Status::Internal(StringPrintf(
+            "pattern: query %zu window %lld emitted match row [%s] x%d "
+            "but the zero-shed ideal run has only x%d — shedding "
+            "invented a match",
+            query_index, static_cast<long long>(window), row.c_str(),
+            count, ideal_count));
+      }
+    }
+  }
+
+  // (b) When the scenario run shed nothing, the containment is two-way.
+  if (run.snapshot.core.tuples_dropped == 0 && actual_rows != ideal_rows) {
+    return Status::Internal(StringPrintf(
+        "pattern: query %zu shed nothing but its match rows differ from "
+        "the zero-shed ideal run's",
+        query_index));
+  }
+  return Status::OK();
+}
+
 }  // namespace datatriage::sim

@@ -108,6 +108,20 @@ Status CheckMemoryAccounting(const QueryRunOutput& run, bool budgeted);
 Status CheckAccuracy(const SimScenario& scenario, size_t query_index,
                      const QueryRunOutput& run);
 
+/// Oracle for MATCH queries (no-op for others):
+/// (a) Monotonicity — every exact match row the scenario run emitted
+///     appears (with at least that multiplicity, per window) in an ideal
+///     zero-shed run of the same query: shedding may lose matches but
+///     can never invent one.
+/// (b) When the scenario run shed nothing, its match rows equal the
+///     ideal run's exactly.
+/// (c) Utility-vs-random parity at zero shed: ideal runs under the
+///     utility and random drop policies emit identical match rows (the
+///     policies may only differ in *which* tuples they shed, never in
+///     what the NFA computes over kept tuples).
+Status CheckPattern(const SimScenario& scenario, size_t query_index,
+                    const QueryRunOutput& run);
+
 }  // namespace datatriage::sim
 
 #endif  // DATATRIAGE_SIM_ORACLES_H_

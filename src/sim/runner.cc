@@ -150,6 +150,8 @@ Status RunOracles(uint64_t seed, const SimScenario& scenario,
         "mem-accounting"));
     DT_RETURN_IF_ERROR(Annotate(
         CheckAccuracy(scenario, q, base.sessions[q]), seed, "accuracy"));
+    DT_RETURN_IF_ERROR(Annotate(
+        CheckPattern(scenario, q, base.sessions[q]), seed, "pattern"));
   }
   return Status::OK();
 }
@@ -167,12 +169,21 @@ std::string ReplayCommand(uint64_t seed, const SimOptions& options) {
       static_cast<unsigned long long>(seed), workers.c_str());
   if (!options.with_faults) command += " --no-faults";
   if (options.force_memory_budgets) command += " --force-memory-budgets";
+  if (options.force_pattern_queries) command += " --force-pattern-queries";
   return command;
 }
 
 Status RunScenarioOnce(uint64_t seed, const SimOptions& options,
                        std::ostream* out) {
   SimScenario scenario = GenerateScenario(seed);
+  if (options.force_pattern_queries) {
+    // Converts every query, including any the generator already
+    // converted organically (ConvertToPatternQuery is idempotent in the
+    // sense that reconverting just derives the same pattern again).
+    for (size_t q = 0; q < scenario.queries.size(); ++q) {
+      ConvertToPatternQuery(&scenario, q);
+    }
+  }
   if (options.force_memory_budgets) {
     // Same choice table as the generator's organic draw; keyed by
     // (seed, query index) so the override is a pure function of the

@@ -24,6 +24,12 @@ struct SimOptions {
   /// budgets organically. The override is deterministic per (seed,
   /// query), so replay commands stay exact reproductions.
   bool force_memory_budgets = false;
+  /// Rewrite every generated query into a MATCH pattern query
+  /// (DESIGN.md §17), so a whole campaign exercises the NFA executor and
+  /// the utility drop policy instead of the ~1/4 of seeds the generator
+  /// converts organically. Deterministic per (seed, query), so replay
+  /// commands stay exact reproductions.
+  bool force_pattern_queries = false;
   /// Wall-clock budget in seconds; 0 = no budget. Checked between
   /// scenarios, so a campaign overruns by at most one scenario.
   double max_wall_seconds = 0.0;

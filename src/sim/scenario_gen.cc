@@ -433,7 +433,94 @@ SimScenario GenerateScenario(uint64_t seed) {
     static constexpr size_t kMinRowsChoices[] = {0, 0, 64, 256};
     sched.parallel_min_rows = kMinRowsChoices[(seed >> 6) & 3];
   }
+  // MATCH pattern cohort (DESIGN.md §17), ~1/4 of seeds: one query is
+  // rewritten into a pattern query. The conversion draws nothing from
+  // the rng (pure function of seed bits), so every pre-existing seed's
+  // draw sequence — and therefore every other query of the scenario —
+  // stays byte-identical.
+  if (((seed >> 7) & 3) == 1) {
+    ConvertToPatternQuery(&scenario,
+                          (seed >> 9) % scenario.queries.size());
+  }
   return scenario;
+}
+
+void ConvertToPatternQuery(SimScenario* scenario, size_t query_index) {
+  DT_CHECK_LT(query_index, scenario->queries.size());
+  SimQuery& query = scenario->queries[query_index];
+  // splitmix64-style bit mix of (seed, index): deterministic, distinct
+  // per query, and independent of the generator's rng draw order.
+  uint64_t bits =
+      scenario->seed + 0x9e3779b97f4a7c15ull * (query_index + 1);
+  bits ^= bits >> 30;
+  bits *= 0xbf58476d1ce4e5b9ull;
+  bits ^= bits >> 27;
+  bits *= 0x94d049bb133111ebull;
+  bits ^= bits >> 31;
+
+  const size_t num_streams = scenario->catalog.num_streams();
+  DT_CHECK_GT(num_streams, 0u);
+  const size_t stream_index = bits % num_streams;
+  const std::string stream = StringPrintf("s%zu", stream_index);
+  auto def = scenario->catalog.GetStream(stream);
+  DT_CHECK(def.ok()) << def.status().ToString();
+  const size_t num_columns = def->schema.num_fields();
+  DT_CHECK_GE(num_columns, 2u);
+  const size_t k = 2 + ((bits >> 8) & 1);  // 2 or 3 steps
+
+  // Step predicates over the non-key columns (column 0 partitions; its
+  // shared 16-value domain makes key collisions routine). Thresholds
+  // stay <= 3, valid for every generated domain (>= 4), with mixed
+  // forms so steps span selective and permissive.
+  std::string match = " MATCH (";
+  for (size_t j = 0; j < k; ++j) {
+    if (j > 0) match += " THEN ";
+    const uint64_t step_bits = bits >> (10 + 6 * j);
+    const size_t col = 1 + (step_bits % (num_columns - 1));
+    const std::string name = ColumnName(stream_index, col);
+    switch ((step_bits >> 2) % 3) {
+      case 0:
+        match += StringPrintf("%s >= %llu", name.c_str(),
+                              static_cast<unsigned long long>(
+                                  1 + ((step_bits >> 4) & 1)));
+        break;
+      case 1:
+        match += StringPrintf("%s < %llu", name.c_str(),
+                              static_cast<unsigned long long>(
+                                  2 + ((step_bits >> 4) & 1)));
+        break;
+      default:
+        match += StringPrintf("%s = %llu", name.c_str(),
+                              static_cast<unsigned long long>(
+                                  (step_bits >> 4) & 3));
+        break;
+    }
+  }
+  static constexpr double kWithinFractions[] = {0.3, 0.5, 0.8, 1.0};
+  const double within =
+      scenario->window_seconds * kWithinFractions[(bits >> 32) & 3];
+  match += StringPrintf(") PARTITION BY %s WITHIN '%.9f seconds'",
+                        ColumnName(stream_index, 0).c_str(), within);
+
+  query.sql = "SELECT * FROM " + stream + match;
+  query.streams = {stream};
+  query.columns = {"key"};
+  for (size_t j = 0; j < k; ++j) {
+    query.columns.push_back(StringPrintf("t%zu", j + 1));
+  }
+  query.has_aggregate = false;
+  query.has_presentation = false;
+  query.num_group_columns = 0;
+  query.is_pattern = true;
+  // Pattern queries run exact-over-kept only: no synopsis side, shed by
+  // the utility policy (half the cohort) or random.
+  query.config.strategy = SheddingStrategy::kDropOnly;
+  query.config.drop_policy = ((bits >> 34) & 1) != 0
+                                 ? DropPolicyKind::kUtility
+                                 : DropPolicyKind::kRandom;
+  AppendWindowClause(*scenario, query.streams, &query.sql);
+  Status valid = query.config.Validate();
+  DT_CHECK(valid.ok()) << valid.ToString();
 }
 
 std::string Describe(const SimScenario& scenario) {

@@ -25,6 +25,11 @@ struct SimQuery {
   std::vector<std::string> streams;
   size_t num_group_columns = 0;
   bool has_aggregate = false;
+  /// MATCH pattern query (DESIGN.md §17). Pattern queries run drop-only
+  /// (the synopsis algebra cannot represent match subsequences) and are
+  /// covered by the pattern-monotonicity oracle instead of the RMS
+  /// accuracy oracle.
+  bool is_pattern = false;
   // --- Churn plan (DESIGN.md Sec. 14) ---------------------------------
   /// Event index at which the query registers: 0 registers up front,
   /// i > 0 registers mid-stream immediately before event i is pushed
@@ -104,6 +109,16 @@ struct SimScenario {
 
 /// Derives a full scenario from `seed`. Pure function of the seed.
 SimScenario GenerateScenario(uint64_t seed);
+
+/// Rewrites query `query_index` of a generated scenario into a MATCH
+/// pattern query — random 2–3 step pattern over the query's stream,
+/// PARTITION BY its column 0, WITHIN a fraction of the window, shed by
+/// the utility or random drop policy. Deterministic in
+/// (scenario.seed, query_index) with no rng-stream draws, so the
+/// runner's --force-pattern-queries override is a pure function of the
+/// replay command; GenerateScenario uses it for the organic pattern
+/// cohort (~1/4 of seeds).
+void ConvertToPatternQuery(SimScenario* scenario, size_t query_index);
 
 /// Human-readable summary (streams, queries, faults) for failure reports.
 std::string Describe(const SimScenario& scenario);

@@ -154,6 +154,19 @@ std::string SelectItem::ToString() const {
   return out;
 }
 
+std::string MatchClause::ToString() const {
+  std::string out = "MATCH (";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += " THEN ";
+    out += steps[i]->ToString();
+  }
+  out += ") PARTITION BY ";
+  if (!partition_table.empty()) out += partition_table + ".";
+  out += partition_column;
+  out += StringPrintf(" WITHIN '%g seconds'", within_seconds);
+  return out;
+}
+
 std::string SelectStatement::ToString() const {
   std::string out = "SELECT ";
   if (distinct) out += "DISTINCT ";
@@ -167,6 +180,7 @@ std::string SelectStatement::ToString() const {
     out += from[i].name;
     if (!from[i].alias.empty()) out += " AS " + from[i].alias;
   }
+  if (match) out += " " + match->ToString();
   if (where) out += " WHERE " + where->ToString();
   if (!group_by.empty()) {
     out += " GROUP BY ";

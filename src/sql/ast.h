@@ -108,10 +108,26 @@ struct OrderBySpec {
   bool descending = false;
 };
 
+/// `MATCH (A THEN B [THEN C]) PARTITION BY <col> WITHIN '<interval>'`:
+/// a sequence pattern over one stream. Each step is a boolean predicate
+/// over the stream's columns; a match is a strictly ordered subsequence
+/// of tuples — one per step, all sharing the partition-key value — whose
+/// first-to-last timestamp span is at most `within_seconds`.
+struct MatchClause {
+  std::vector<ExprPtr> steps;
+  /// Partition key column ("R.a" or bare "a").
+  std::string partition_table;
+  std::string partition_column;
+  double within_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
 struct SelectStatement {
   bool distinct = false;
   std::vector<SelectItem> items;
   std::vector<TableRef> from;
+  std::unique_ptr<MatchClause> match;  // null when absent
   ExprPtr where;                    // null when absent
   std::vector<ExprPtr> group_by;
   ExprPtr having;                   // null when absent

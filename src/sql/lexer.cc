@@ -25,7 +25,10 @@ const std::map<std::string, TokenType>& KeywordTable() {
       {"all", TokenType::kAll},         {"except", TokenType::kExcept},
       {"count", TokenType::kCount},     {"sum", TokenType::kSum},
       {"avg", TokenType::kAvg},         {"min", TokenType::kMin},
-      {"max", TokenType::kMax},
+      {"max", TokenType::kMax},         {"match", TokenType::kMatch},
+      {"then", TokenType::kThen},
+      {"partition", TokenType::kPartition},
+      {"within", TokenType::kWithin},
   };
   return *table;
 }

@@ -186,6 +186,10 @@ class Parser {
       stmt->from.push_back(std::move(ref));
     } while (Match(TokenType::kComma));
 
+    if (Check(TokenType::kMatch)) {
+      DT_ASSIGN_OR_RETURN(stmt->match, ParseMatchClause());
+    }
+
     if (Match(TokenType::kWhere)) {
       DT_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
     }
@@ -253,6 +257,41 @@ class Parser {
       } while (Match(TokenType::kComma));
     }
     return stmt;
+  }
+
+  /// `MATCH ( <expr> THEN <expr> [THEN <expr> ...] ) PARTITION BY <col>
+  /// WITHIN '<interval>'`.
+  Result<std::unique_ptr<MatchClause>> ParseMatchClause() {
+    DT_RETURN_IF_ERROR(Expect(TokenType::kMatch, "MATCH").status());
+    DT_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('").status());
+    auto clause = std::make_unique<MatchClause>();
+    do {
+      DT_ASSIGN_OR_RETURN(ExprPtr step, ParseExpr());
+      clause->steps.push_back(std::move(step));
+    } while (Match(TokenType::kThen));
+    if (clause->steps.size() < 2) {
+      return Error("MATCH requires at least two THEN-separated steps");
+    }
+    DT_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'").status());
+    DT_RETURN_IF_ERROR(Expect(TokenType::kPartition, "PARTITION").status());
+    DT_RETURN_IF_ERROR(Expect(TokenType::kBy, "BY").status());
+    DT_ASSIGN_OR_RETURN(Token first,
+                        Expect(TokenType::kIdentifier, "partition column"));
+    if (Match(TokenType::kDot)) {
+      DT_ASSIGN_OR_RETURN(Token col,
+                          Expect(TokenType::kIdentifier, "column name"));
+      clause->partition_table = first.text;
+      clause->partition_column = col.text;
+    } else {
+      clause->partition_column = first.text;
+    }
+    DT_RETURN_IF_ERROR(Expect(TokenType::kWithin, "WITHIN").status());
+    DT_ASSIGN_OR_RETURN(
+        Token interval,
+        Expect(TokenType::kStringLiteral, "interval literal"));
+    DT_ASSIGN_OR_RETURN(clause->within_seconds,
+                        ParseIntervalSeconds(interval.text));
+    return clause;
   }
 
   Result<SelectItem> ParseSelectItem() {

@@ -98,6 +98,14 @@ std::string_view TokenTypeToString(TokenType type) {
       return "MIN";
     case TokenType::kMax:
       return "MAX";
+    case TokenType::kMatch:
+      return "MATCH";
+    case TokenType::kThen:
+      return "THEN";
+    case TokenType::kPartition:
+      return "PARTITION";
+    case TokenType::kWithin:
+      return "WITHIN";
     case TokenType::kEndOfInput:
       return "end of input";
   }

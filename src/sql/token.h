@@ -58,6 +58,10 @@ enum class TokenType {
   kAvg,
   kMin,
   kMax,
+  kMatch,
+  kThen,
+  kPartition,
+  kWithin,
   kEndOfInput,
 };
 

@@ -15,6 +15,8 @@ std::string_view DropPolicyKindToString(DropPolicyKind kind) {
       return "drop_oldest";
     case DropPolicyKind::kSynergistic:
       return "synergistic";
+    case DropPolicyKind::kUtility:
+      return "utility";
   }
   return "?";
 }
@@ -124,6 +126,12 @@ Status DropPolicy::LoadState(serde::Reader* /*reader*/) {
   return Status::OK();
 }
 
+void DropPolicy::ObserveKept(const Tuple& /*tuple*/) {}
+
+size_t DropPolicy::MemoryBytes() const { return 0; }
+
+void DropPolicy::ClearObservedState() {}
+
 std::unique_ptr<DropPolicy> DropPolicy::Make(DropPolicyKind kind,
                                              uint64_t seed) {
   switch (kind) {
@@ -136,6 +144,10 @@ std::unique_ptr<DropPolicy> DropPolicy::Make(DropPolicyKind kind,
     case DropPolicyKind::kSynergistic:
       DT_CHECK(false)
           << "kSynergistic needs a coverage probe; use MakeSynergistic";
+      return nullptr;
+    case DropPolicyKind::kUtility:
+      DT_CHECK(false) << "kUtility needs a pattern spec; use "
+                         "MakeUtilityPolicy (utility_policy.h)";
       return nullptr;
   }
   DT_CHECK(false) << "unknown drop policy";

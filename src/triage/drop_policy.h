@@ -26,6 +26,9 @@ enum class DropPolicyKind {
   kDropOldest,   // head drop: evict the stalest tuple
   kSynergistic,  // prefer victims the synopsis summarizes "for free"
                  // (paper Sec. 8.1's proposed synergistic policy)
+  kUtility,      // utility-aware CEP shedding for MATCH queries: score
+                 // tuples by step position and live partial matches
+                 // (eSPICE/pSPICE; DESIGN.md §17), evict the least useful
 };
 
 std::string_view DropPolicyKindToString(DropPolicyKind kind);
@@ -62,6 +65,17 @@ class DropPolicy {
   /// EngineConfig, so the kind is re-derived before LoadState runs).
   virtual void SaveState(serde::Writer* writer) const;
   virtual Status LoadState(serde::Reader* reader);
+
+  /// State-observation hooks for stateful policies (kUtility tracks
+  /// partial-match progress per partition key). The queue calls
+  /// ObserveKept for every tuple handed to the engine; MemoryBytes is the
+  /// model-byte footprint of the observed state (folded into the queue's
+  /// own MemoryBytes and charged to Component::kTriageQueues); Clear
+  /// drops the state (called at session Finish so gauges drain to zero).
+  /// Stateless policies inherit these no-ops.
+  virtual void ObserveKept(const Tuple& tuple);
+  virtual size_t MemoryBytes() const;
+  virtual void ClearObservedState();
 
   /// Creates one of the probe-free policies. CHECK-fails for
   /// kSynergistic, which needs MakeSynergistic.

@@ -46,6 +46,9 @@ Tuple TriageQueue::PopFront() {
   queue_.pop_front();
   ReleaseBytes(mem::TupleBytes(front));
   ++total_popped_;
+  const size_t policy_bytes = policy_->MemoryBytes();
+  policy_->ObserveKept(front);
+  SyncPolicyBytes(policy_bytes);
   UpdateDepthGauge();
   return front;
 }
@@ -101,6 +104,21 @@ void TriageQueue::ChargeBytes(size_t bytes) {
   }
 }
 
+void TriageQueue::SyncPolicyBytes(size_t before) {
+  const size_t after = policy_->MemoryBytes();
+  if (after > before) {
+    ChargeBytes(after - before);
+  } else if (before > after) {
+    ReleaseBytes(before - after);
+  }
+}
+
+void TriageQueue::ClearPolicyState() {
+  const size_t policy_bytes = policy_->MemoryBytes();
+  policy_->ClearObservedState();
+  SyncPolicyBytes(policy_bytes);
+}
+
 void TriageQueue::ReleaseBytes(size_t bytes) {
   DT_CHECK_GE(buffered_bytes_, bytes);
   buffered_bytes_ -= bytes;
@@ -141,7 +159,10 @@ Status TriageQueue::LoadState(serde::Reader* reader) {
   DT_ASSIGN_OR_RETURN(total_pushed_, reader->ReadI64());
   DT_ASSIGN_OR_RETURN(total_dropped_, reader->ReadI64());
   DT_ASSIGN_OR_RETURN(total_popped_, reader->ReadI64());
+  // The ReleaseBytes above wiped the policy's old charge along with the
+  // buffer's, so re-charge whatever state the snapshot restored.
   DT_RETURN_IF_ERROR(policy_->LoadState(reader));
+  SyncPolicyBytes(0);
   UpdateDepthGauge();
   return Status::OK();
 }

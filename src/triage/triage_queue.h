@@ -51,7 +51,10 @@ class TriageQueue {
   size_t size() const { return queue_.size(); }
   size_t capacity() const { return capacity_; }
 
-  /// Precondition: !empty().
+  /// Precondition: !empty(). Popping hands the tuple to the engine, so
+  /// PopFront routes it through DropPolicy::ObserveKept first (stateful
+  /// policies learn only from kept tuples; EvictIf removals are shed and
+  /// never observed).
   const Tuple& Front() const;
   Tuple PopFront();
 
@@ -78,8 +81,16 @@ class TriageQueue {
   /// is released first.
   void SetAccount(mem::SessionAccount* account);
 
-  /// Model bytes currently buffered (mirrors the account's charge).
+  /// Model bytes currently buffered — tuples plus the drop policy's
+  /// observed state (mirrors the account's charge).
   size_t MemoryBytes() const { return buffered_bytes_; }
+
+  /// Discards the drop policy's observed state (kUtility's partial-match
+  /// tracker) and releases its bytes. Called at session Finish so the
+  /// kTriageQueues gauge drains to zero.
+  void ClearPolicyState();
+
+  const DropPolicy& policy() const { return *policy_; }
 
   // Lifetime counters.
   int64_t total_pushed() const { return total_pushed_; }
@@ -97,6 +108,9 @@ class TriageQueue {
   void UpdateDepthGauge();
   void ChargeBytes(size_t bytes);
   void ReleaseBytes(size_t bytes);
+  /// Reconciles buffered_bytes_ (and the account) with the policy's
+  /// MemoryBytes after a mutation; `before` is the pre-mutation value.
+  void SyncPolicyBytes(size_t before);
 
   size_t capacity_;
   std::unique_ptr<DropPolicy> policy_;

@@ -1,0 +1,213 @@
+#include "src/triage/utility_policy.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/mem_accounting.h"
+#include "src/common/serde.h"
+#include "src/tuple/serde.h"
+
+namespace datatriage::triage {
+
+namespace {
+
+/// Cap on stored partials per (key, level). Bounds both the memory model
+/// and the per-observe work; beyond the cap the oldest entry is replaced
+/// only implicitly by WITHIN expiry, so the tracker stays deterministic.
+constexpr size_t kMaxPartialsPerLevel = 32;
+
+/// Live-partial counts saturate here for scoring; keeps the bonus term
+/// strictly below one step's weight so step position always dominates.
+constexpr size_t kBonusCap = 16;
+
+class UtilityDropPolicy final : public DropPolicy {
+ public:
+  explicit UtilityDropPolicy(UtilityPatternSpec spec)
+      : spec_(std::move(spec)) {
+    DT_CHECK_GE(spec_.steps.size(), 2u);
+    for (const plan::BoundExprPtr& step : spec_.steps) {
+      DT_CHECK(step != nullptr);
+    }
+    DT_CHECK_GT(spec_.within_seconds, 0.0);
+  }
+
+  DropPolicyKind kind() const override { return DropPolicyKind::kUtility; }
+
+  size_t ChooseVictim(const std::deque<Tuple>& queue) override {
+    DT_CHECK(!queue.empty());
+    // Scoring must not mutate the tracker: the queue only syncs policy
+    // bytes around ObserveKept, so MemoryBytes() has to be stable here.
+    size_t victim = 0;
+    double victim_score = ScoreTuple(queue[0]);
+    for (size_t i = 1; i < queue.size(); ++i) {
+      const double score = ScoreTuple(queue[i]);
+      if (score < victim_score) {
+        victim = i;
+        victim_score = score;
+      }
+    }
+    return victim;
+  }
+
+  void ObserveKept(const Tuple& tuple) override {
+    const size_t k = spec_.steps.size();
+    bool any = false;
+    std::vector<bool> step_hits(k);
+    for (size_t j = 0; j < k; ++j) {
+      step_hits[j] = spec_.steps[j]->EvaluatesToTrue(tuple);
+      any = any || step_hits[j];
+    }
+    const double ts = tuple.timestamp();
+    now_ = std::max(now_, ts);
+    if (!any) return;
+    if (tuple.size() <= spec_.key_index) return;
+    auto it = state_.find(tuple.value(spec_.key_index));
+    if (it == state_.end()) {
+      it = state_
+               .emplace(tuple.value(spec_.key_index),
+                        std::vector<std::vector<double>>(k - 1))
+               .first;
+      ++num_keys_;
+    }
+    std::vector<std::vector<double>>& levels = it->second;
+    // Descending levels, mirroring the pattern executor: a partial this
+    // tuple starts is never extended by the same tuple.
+    for (size_t j = k; j-- > 0;) {
+      if (!step_hits[j]) continue;
+      if (j == 0) {
+        Prune(&levels[0]);
+        if (levels[0].size() < kMaxPartialsPerLevel) {
+          levels[0].push_back(ts);
+          ++total_entries_;
+        }
+        continue;
+      }
+      if (j == k - 1) continue;  // completions leave no new partial
+      Prune(&levels[j - 1]);
+      Prune(&levels[j]);
+      // Each live level-(j-1) partial extends to level j, keeping its
+      // first timestamp (that is all the WITHIN check needs).
+      for (const double first : levels[j - 1]) {
+        if (ts - first > spec_.within_seconds) continue;
+        if (levels[j].size() >= kMaxPartialsPerLevel) break;
+        levels[j].push_back(first);
+        ++total_entries_;
+      }
+    }
+  }
+
+  size_t MemoryBytes() const override {
+    const size_t per_key =
+        mem::kMapNodeBytes + mem::kValueSlotBytes +
+        (spec_.steps.size() - 1) * mem::kVectorHeaderBytes;
+    return num_keys_ * per_key + total_entries_ * mem::kWeightedRowBytes;
+  }
+
+  void ClearObservedState() override {
+    state_.clear();
+    num_keys_ = 0;
+    total_entries_ = 0;
+    now_ = 0.0;
+  }
+
+  void SaveState(serde::Writer* writer) const override {
+    writer->WriteDouble(now_);
+    writer->WriteU64(state_.size());
+    for (const auto& [key, levels] : state_) {
+      SaveValue(writer, key);
+      for (const std::vector<double>& level : levels) {
+        writer->WriteU64(level.size());
+        for (const double first : level) writer->WriteDouble(first);
+      }
+    }
+  }
+
+  Status LoadState(serde::Reader* reader) override {
+    ClearObservedState();
+    DT_ASSIGN_OR_RETURN(now_, reader->ReadDouble());
+    DT_ASSIGN_OR_RETURN(const uint64_t num_keys, reader->ReadCount(8));
+    const size_t num_levels = spec_.steps.size() - 1;
+    for (uint64_t i = 0; i < num_keys; ++i) {
+      DT_ASSIGN_OR_RETURN(Value key, LoadValue(reader));
+      std::vector<std::vector<double>> levels(num_levels);
+      for (std::vector<double>& level : levels) {
+        DT_ASSIGN_OR_RETURN(const uint64_t count, reader->ReadCount(8));
+        level.reserve(count);
+        for (uint64_t e = 0; e < count; ++e) {
+          DT_ASSIGN_OR_RETURN(const double first, reader->ReadDouble());
+          level.push_back(first);
+        }
+        total_entries_ += level.size();
+      }
+      state_.emplace(std::move(key), std::move(levels));
+    }
+    num_keys_ = state_.size();
+    return Status::OK();
+  }
+
+ private:
+  /// Drops partials that can no longer complete by the advancing
+  /// watermark. Only ObserveKept calls this (see ChooseVictim).
+  void Prune(std::vector<double>* level) {
+    auto keep = std::remove_if(level->begin(), level->end(),
+                               [&](double first) {
+                                 return now_ - first >
+                                        spec_.within_seconds;
+                               });
+    total_entries_ -= static_cast<size_t>(level->end() - keep);
+    level->erase(keep, level->end());
+  }
+
+  double ScoreTuple(const Tuple& tuple) const {
+    const size_t k = spec_.steps.size();
+    if (tuple.size() <= spec_.key_index) return 0.0;
+    const std::vector<std::vector<double>>* levels = nullptr;
+    double best = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      if (!spec_.steps[j]->EvaluatesToTrue(tuple)) continue;
+      double bonus = 0.0;
+      if (j > 0) {
+        if (levels == nullptr) {
+          auto it = state_.find(tuple.value(spec_.key_index));
+          levels = it == state_.end() ? &kNoLevels : &it->second;
+        }
+        if (j - 1 < levels->size()) {
+          size_t live = 0;
+          for (const double first : (*levels)[j - 1]) {
+            const double age = tuple.timestamp() - first;
+            if (age >= 0.0 && age <= spec_.within_seconds) ++live;
+          }
+          bonus = static_cast<double>(std::min(live, kBonusCap)) /
+                  static_cast<double>(kBonusCap + 1);
+        }
+      }
+      best = std::max(
+          best, (static_cast<double>(j + 1) + bonus) /
+                    static_cast<double>(k));
+    }
+    return best;
+  }
+
+  static const std::vector<std::vector<double>> kNoLevels;
+
+  UtilityPatternSpec spec_;
+  /// Per partition key, levels[j] holds first-timestamps of partials with
+  /// steps 0..j matched (j in [0, k-2]); bounded per level.
+  std::map<Value, std::vector<std::vector<double>>> state_;
+  size_t num_keys_ = 0;
+  size_t total_entries_ = 0;
+  /// High-water timestamp over observed tuples; drives WITHIN expiry.
+  double now_ = 0.0;
+};
+
+const std::vector<std::vector<double>> UtilityDropPolicy::kNoLevels;
+
+}  // namespace
+
+std::unique_ptr<DropPolicy> MakeUtilityPolicy(UtilityPatternSpec spec) {
+  return std::make_unique<UtilityDropPolicy>(std::move(spec));
+}
+
+}  // namespace datatriage::triage

@@ -1,0 +1,49 @@
+#ifndef DATATRIAGE_TRIAGE_UTILITY_POLICY_H_
+#define DATATRIAGE_TRIAGE_UTILITY_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/plan/expression.h"
+#include "src/triage/drop_policy.h"
+
+namespace datatriage::triage {
+
+/// Pattern description the utility policy scores against, extracted from
+/// a bound MATCH query (plan::BoundQuery::pattern_node). Step predicates
+/// are bound against the stream's scan schema, so they evaluate directly
+/// on raw queued tuples.
+struct UtilityPatternSpec {
+  std::vector<plan::BoundExprPtr> steps;
+  size_t key_index = 0;
+  double within_seconds = 0.0;
+};
+
+/// Creates the kUtility drop policy (DESIGN.md §17): deterministic,
+/// RNG-free utility-aware shedding for MATCH queries in the spirit of
+/// eSPICE (event-importance by step position) and pSPICE (partial-match
+/// awareness).
+///
+/// The policy observes every tuple the engine keeps (ObserveKept) and
+/// maintains, per partition key, bounded lists of live partial matches —
+/// one level per matched prefix length, each entry the partial's first
+/// timestamp so WITHIN expiry can prune it. On overflow, ChooseVictim
+/// scores every queued tuple:
+///
+///   score = 0                                      if no step matches
+///   score = max over matching steps j of
+///           (j+1)/k + bonus(j)/k                   otherwise
+///   bonus(j) = min(live partials at level j-1, 16) / 17  (0 for j = 0)
+///
+/// and evicts the minimum, breaking ties toward the oldest tuple. Noise
+/// tuples (matching no step) always shed before pattern-relevant ones;
+/// later steps outweigh earlier ones; a tuple that can complete live
+/// partial matches outweighs one whose key has none.
+///
+/// The observed state is charged through the memory accountant
+/// (MemoryBytes) and rides the session snapshot (SaveState/LoadState).
+std::unique_ptr<DropPolicy> MakeUtilityPolicy(UtilityPatternSpec spec);
+
+}  // namespace datatriage::triage
+
+#endif  // DATATRIAGE_TRIAGE_UTILITY_POLICY_H_

@@ -14,11 +14,13 @@
 #include <vector>
 
 #include "src/common/digest.h"
+#include "src/common/random.h"
 #include "src/engine/engine.h"
 #include "src/io/csv.h"
 #include "src/synopsis/factory.h"
 #include "src/triage/shedding_strategy.h"
 #include "src/workload/scenario.h"
+#include "tests/test_util.h"
 
 namespace datatriage {
 namespace {
@@ -69,6 +71,57 @@ TEST(GoldenSeedTest, Fig8ScenarioDigestsArePinned) {
     EXPECT_EQ(Md5Hex(*csv), golden.results_md5)
         << "seed " << golden.seed
         << ": results CSV drifted from the pinned golden output";
+  }
+}
+
+/// Canonical MATCH scenario (DESIGN.md §17): a seeded 2-step pattern
+/// query under the utility drop policy with real eviction pressure
+/// (1000 events/s vs the default 400 tuples/s exact capacity, queue of
+/// 8), so the pins cover the NFA executor, the utility scoring, and the
+/// utility_shed accounting end to end.
+Result<std::string> RunMatchScenario(uint64_t seed) {
+  Catalog catalog;
+  DT_RETURN_IF_ERROR(catalog.RegisterStream(
+      {"e", Schema({{"key", FieldType::kInt64},
+                    {"v", FieldType::kInt64},
+                    {"w", FieldType::kInt64}})}));
+
+  engine::EngineConfig config;
+  config.strategy = triage::SheddingStrategy::kDropOnly;
+  config.drop_policy = triage::DropPolicyKind::kUtility;
+  config.queue_capacity = 8;
+  auto engine = engine::ContinuousQueryEngine::Make(
+      catalog,
+      "SELECT * FROM e MATCH (v = 1 THEN v = 2) PARTITION BY key WITHIN "
+      "'0.5 seconds' WINDOW e['1 seconds']",
+      config);
+  if (!engine.ok()) return engine.status();
+
+  Rng rng(seed);
+  for (size_t i = 0; i < 800; ++i) {
+    const Tuple row = testing::Row({rng.UniformInt(0, 3),
+                                    rng.UniformInt(0, 4),
+                                    rng.UniformInt(0, 4)},
+                                   0.001 * static_cast<double>(i));
+    DT_RETURN_IF_ERROR((*engine)->Push({"e", row}));
+  }
+  DT_RETURN_IF_ERROR((*engine)->Finish());
+  return io::FormatResultsCsv((*engine)->TakeResults(),
+                              {"key", "t1", "t2"});
+}
+
+TEST(GoldenSeedTest, MatchScenarioDigestsArePinned) {
+  const GoldenSeed kGolden[] = {
+      {1, "6bc451e8c01c6373c4e69e4888c7a483"},
+      {2, "e2e4af39224a8ec83d8e7893feadbd74"},
+      {3, "1cda120fedeffafb6f8bf36a035edb58"},
+  };
+  for (const GoldenSeed& golden : kGolden) {
+    auto csv = RunMatchScenario(golden.seed);
+    ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+    EXPECT_EQ(Md5Hex(*csv), golden.results_md5)
+        << "seed " << golden.seed
+        << ": MATCH results CSV drifted from the pinned golden output";
   }
 }
 

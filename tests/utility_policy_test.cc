@@ -1,0 +1,244 @@
+// Tests for the utility-aware CEP drop policy (DESIGN.md §17,
+// eSPICE/pSPICE): deterministic score ordering, tie-breaks, per-key
+// partial-match bonuses, snapshot round-trips of the tracker, and
+// byte-identical `dropped.utility_shed` folds across worker counts.
+
+#include "src/triage/utility_policy.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/catalog.h"
+#include "src/common/serde.h"
+#include "src/common/string_util.h"
+#include "src/plan/binder.h"
+#include "src/sim/oracles.h"
+#include "src/sim/scenario_gen.h"
+#include "src/sql/parser.h"
+#include "src/triage/drop_policy.h"
+#include "tests/test_util.h"
+
+namespace datatriage {
+namespace {
+
+Catalog PatternCatalog() {
+  Catalog catalog;
+  DT_CHECK(catalog
+               .RegisterStream({"e", Schema({{"key", FieldType::kInt64},
+                                             {"v", FieldType::kInt64},
+                                             {"w", FieldType::kInt64}})})
+               .ok());
+  return catalog;
+}
+
+/// Builds the policy spec by binding a real MATCH query, so the test
+/// exercises the same BoundExpr steps the engine would hand the policy.
+triage::UtilityPatternSpec SpecFor(const std::string& match_clause,
+                                   const Catalog& catalog) {
+  const std::string sql =
+      "SELECT * FROM e MATCH " + match_clause + " WINDOW e['10 seconds']";
+  plan::BoundQuery bound = testing::MustBind(sql, catalog);
+  DT_CHECK(bound.is_pattern());
+  triage::UtilityPatternSpec spec;
+  spec.steps = bound.pattern_node->pattern_steps();
+  spec.key_index = bound.pattern_node->pattern_key_index();
+  spec.within_seconds = bound.pattern_node->pattern_within_seconds();
+  return spec;
+}
+
+triage::UtilityPatternSpec TwoStepSpec(const Catalog& catalog) {
+  return SpecFor("(v = 1 THEN v = 2) PARTITION BY key WITHIN '2 seconds'",
+                 catalog);
+}
+
+// Score table, proven through victim choices: noise (no step matches)
+// scores 0 and is always shed first; a first-step tuple scores below a
+// completing-step tuple.
+TEST(UtilityPolicy, StepPositionOrdersVictims) {
+  const Catalog catalog = PatternCatalog();
+  auto policy = triage::MakeUtilityPolicy(TwoStepSpec(catalog));
+
+  // {v=2 (score 1.0), v=1 (score 0.5), v=0 (score 0)} -> evict the noise.
+  std::deque<Tuple> queue = {testing::Row({1, 2, 0}, 0.0),
+                             testing::Row({1, 1, 0}, 0.1),
+                             testing::Row({1, 0, 0}, 0.2)};
+  EXPECT_EQ(policy->ChooseVictim(queue), 2u);
+
+  // Without noise, the first-step tuple is less useful than the
+  // completing one.
+  queue = {testing::Row({1, 2, 0}, 0.0), testing::Row({1, 1, 0}, 0.1)};
+  EXPECT_EQ(policy->ChooseVictim(queue), 1u);
+}
+
+// Exact ties break to the lowest index (the oldest queued tuple).
+TEST(UtilityPolicy, TiesBreakToOldestIndex) {
+  const Catalog catalog = PatternCatalog();
+  auto policy = triage::MakeUtilityPolicy(TwoStepSpec(catalog));
+  const std::deque<Tuple> queue = {testing::Row({1, 1, 0}, 0.0),
+                                   testing::Row({2, 1, 0}, 1.0),
+                                   testing::Row({3, 1, 0}, 2.0)};
+  EXPECT_EQ(policy->ChooseVictim(queue), 0u);
+}
+
+// A live partial raises the score of the tuple that would complete it:
+// pSPICE's "protect tuples that finish work already paid for".
+TEST(UtilityPolicy, LivePartialRaisesCompletionScore) {
+  const Catalog catalog = PatternCatalog();
+  auto policy = triage::MakeUtilityPolicy(TwoStepSpec(catalog));
+  // Key 1 has a live first-step partial at t=0 (WITHIN is 2 seconds).
+  policy->ObserveKept(testing::Row({1, 1, 0}, 0.0));
+
+  // Two completing tuples: one inside the partial's WITHIN horizon, one
+  // past it. The expired one carries no bonus and is evicted.
+  const std::deque<Tuple> queue = {testing::Row({1, 2, 0}, 1.0),
+                                   testing::Row({1, 2, 0}, 10.0)};
+  EXPECT_EQ(policy->ChooseVictim(queue), 1u);
+}
+
+// The bonus is per partition key: key 2 gains nothing from key 1's
+// partial, so it is evicted first on an otherwise equal score.
+TEST(UtilityPolicy, BonusIsPartitionedByKey) {
+  const Catalog catalog = PatternCatalog();
+  auto policy = triage::MakeUtilityPolicy(TwoStepSpec(catalog));
+  policy->ObserveKept(testing::Row({1, 1, 0}, 0.0));
+
+  const std::deque<Tuple> queue = {testing::Row({2, 2, 0}, 1.0),
+                                   testing::Row({1, 2, 0}, 1.0)};
+  EXPECT_EQ(policy->ChooseVictim(queue), 0u);
+}
+
+// Observing noise advances the expiry watermark but stores nothing.
+TEST(UtilityPolicy, NoiseLeavesNoState) {
+  const Catalog catalog = PatternCatalog();
+  auto policy = triage::MakeUtilityPolicy(TwoStepSpec(catalog));
+  const size_t empty_bytes = policy->MemoryBytes();
+  policy->ObserveKept(testing::Row({1, 0, 0}, 5.0));
+  EXPECT_EQ(policy->MemoryBytes(), empty_bytes);
+
+  // The watermark did advance: a partial started at t=0 would already be
+  // expired relative to now=5, so a completion at t=1 gets no bonus and
+  // ties resolve by index.
+  policy->ObserveKept(testing::Row({1, 1, 0}, 5.5));
+  const std::deque<Tuple> queue = {testing::Row({1, 2, 0}, 6.0),
+                                   testing::Row({1, 2, 0}, 6.0)};
+  EXPECT_EQ(policy->ChooseVictim(queue), 0u);
+}
+
+// SaveState/LoadState round-trips the tracker: byte-stable re-save,
+// identical memory model, and identical victim choices afterwards.
+TEST(UtilityPolicy, SnapshotRoundTripsTracker) {
+  const Catalog catalog = PatternCatalog();
+  const triage::UtilityPatternSpec spec = SpecFor(
+      "(v = 1 THEN v = 2 THEN v = 3) PARTITION BY key WITHIN "
+      "'3 seconds'",
+      catalog);
+  auto donor = triage::MakeUtilityPolicy(spec);
+  // Build multi-level state across two keys.
+  donor->ObserveKept(testing::Row({1, 1, 0}, 0.0));
+  donor->ObserveKept(testing::Row({1, 2, 0}, 0.5));
+  donor->ObserveKept(testing::Row({2, 1, 0}, 1.0));
+  donor->ObserveKept(testing::Row({1, 1, 0}, 1.5));
+  EXPECT_GT(donor->MemoryBytes(), 0u);
+
+  serde::Writer writer;
+  donor->SaveState(&writer);
+  const std::string bytes = std::move(writer).TakeBytes();
+
+  auto restored = triage::MakeUtilityPolicy(spec);
+  serde::Reader reader(bytes);
+  const Status loaded = restored->LoadState(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_EQ(restored->MemoryBytes(), donor->MemoryBytes());
+
+  serde::Writer rewriter;
+  restored->SaveState(&rewriter);
+  EXPECT_EQ(std::move(rewriter).TakeBytes(), bytes);
+
+  // The restored tracker drives the same decisions: key 1 has a live
+  // two-step partial, so its completing tuple outranks key 2's.
+  const std::deque<Tuple> queue = {testing::Row({1, 3, 0}, 2.0),
+                                   testing::Row({2, 3, 0}, 2.0)};
+  EXPECT_EQ(donor->ChooseVictim(queue), 1u);
+  EXPECT_EQ(restored->ChooseVictim(queue), 1u);
+
+  restored->ClearObservedState();
+  EXPECT_EQ(restored->MemoryBytes(), 0u);
+}
+
+/// Hand-built scenario: one MATCH query under the utility policy with a
+/// tiny queue, fed enough correlated events that the policy must evict.
+sim::SimScenario UtilityShedScenario() {
+  sim::SimScenario scenario;
+  scenario.seed = 424242;
+  scenario.catalog = PatternCatalog();
+  scenario.window_seconds = 1.0;
+  scenario.window_slide = 1.0;
+
+  // 1000 events/s against an exact_tuple_cost of 1/400 s: ~2.5x
+  // overload, so the tiny queue must evict through the policy.
+  for (size_t i = 0; i < 1200; ++i) {
+    scenario.events.push_back(
+        {"e", testing::Row({static_cast<int64_t>(i % 4),
+                            static_cast<int64_t>((i * 7) % 5), 0},
+                           0.001 * static_cast<double>(i))});
+  }
+  scenario.events_to_push = scenario.events.size();
+
+  sim::SimQuery query;
+  query.sql =
+      "SELECT * FROM e MATCH (v = 1 THEN v = 2) PARTITION BY key WITHIN "
+      "'0.500000000 seconds' WINDOW e['1.000000000 seconds']";
+  query.columns = {"key", "t1", "t2"};
+  query.streams = {"e"};
+  query.is_pattern = true;
+  query.config.strategy = triage::SheddingStrategy::kDropOnly;
+  query.config.drop_policy = triage::DropPolicyKind::kUtility;
+  query.config.queue_capacity = 4;
+  DT_CHECK(query.config.Validate().ok());
+  scenario.queries.push_back(std::move(query));
+  return scenario;
+}
+
+// The utility_shed drop cause folds byte-identically across worker
+// counts {1, 2, 4} vs the serial run, under real eviction pressure, and
+// the conservation partition still balances.
+TEST(UtilityPolicy, UtilityShedFoldsAcrossWorkerCounts) {
+  const sim::SimScenario scenario = UtilityShedScenario();
+  auto base = sim::RunOnServer(scenario, 0, false);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_EQ(base->sessions.size(), 1u);
+
+  const auto& counters = base->sessions[0].snapshot.counters;
+  const auto it = counters.find("stream.e.dropped.utility_shed");
+  std::string counter_names;
+  for (const auto& [name, value] : counters) {
+    counter_names += "\n  " + name + " = " + std::to_string(value);
+  }
+  ASSERT_NE(it, counters.end())
+      << "utility policy sessions must register the utility_shed cause;"
+      << " counters:" << counter_names;
+  EXPECT_GT(it->second, 0) << "scenario applied no eviction pressure";
+  EXPECT_EQ(counters.count("stream.e.dropped.policy_evicted"), 0u)
+      << "the generic policy_evicted name must be renamed for kUtility";
+
+  const Status conserved = sim::CheckConservation(base->sessions[0]);
+  EXPECT_TRUE(conserved.ok()) << conserved.ToString();
+  const Status pattern = sim::CheckPattern(scenario, 0, base->sessions[0]);
+  EXPECT_TRUE(pattern.ok()) << pattern.ToString();
+
+  for (const size_t workers : {1u, 2u, 4u}) {
+    auto run = sim::RunOnServer(scenario, workers, false);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const Status same = sim::CheckRunsEquivalent(
+        *base, *run, "serial", StringPrintf("workers=%zu", workers));
+    EXPECT_TRUE(same.ok()) << same.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace datatriage
